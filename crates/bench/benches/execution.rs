@@ -1,0 +1,91 @@
+//! Criterion micro-benchmarks of query execution: the naive Fig. 1
+//! algorithm vs the optimized fast-failing executor over the publication
+//! workload (small configuration so each iteration is quick), plus CQ
+//! minimization and the semi-naive Datalog evaluator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use toorjah_catalog::tuple;
+use toorjah_core::plan_query;
+use toorjah_datalog::{evaluate, DTerm, FactStore, Literal, Program, Rule};
+use toorjah_engine::{
+    execute_plan, naive_evaluate, ExecOptions, InstanceSource, NaiveOptions,
+};
+use toorjah_query::{minimize, parse_query};
+use toorjah_workload::{paper_queries, publication_instance, publication_schema, PublicationConfig};
+
+fn naive_vs_optimized(c: &mut Criterion) {
+    let schema = publication_schema();
+    let config = PublicationConfig {
+        papers: 60,
+        persons: 60,
+        conferences: 10,
+        years: 6,
+        tuples_per_relation: 150,
+        seed: 0x1CDE_2008,
+    };
+    let instance = publication_instance(&schema, &config);
+    let provider = InstanceSource::new(schema.clone(), instance);
+
+    for (name, query) in paper_queries(&schema) {
+        let planned = plan_query(&query, &schema).unwrap();
+        c.bench_function(&format!("naive_{name}"), |b| {
+            b.iter(|| {
+                naive_evaluate(
+                    std::hint::black_box(&query),
+                    &schema,
+                    &provider,
+                    NaiveOptions::default(),
+                )
+                .unwrap()
+            })
+        });
+        c.bench_function(&format!("optimized_{name}"), |b| {
+            b.iter(|| {
+                execute_plan(std::hint::black_box(&planned.plan), &provider, ExecOptions::default())
+                    .unwrap()
+            })
+        });
+    }
+}
+
+fn minimization(c: &mut Criterion) {
+    let schema = toorjah_catalog::Schema::parse("e^oo(V, V)").unwrap();
+    // A 6-atom chain with a redundant self-loop: folds down to one atom.
+    let q = parse_query(
+        "q() <- e(A, B), e(B, C), e(C, D), e(D, E), e(E, F), e(W, W)",
+        &schema,
+    )
+    .unwrap();
+    c.bench_function("minimize_6_atom_chain", |b| {
+        b.iter(|| minimize(std::hint::black_box(&q)))
+    });
+}
+
+fn datalog_closure(c: &mut Criterion) {
+    let mut p = Program::new();
+    let edge = p.predicate("edge", 2).unwrap();
+    let path = p.predicate("path", 2).unwrap();
+    let v = DTerm::Var;
+    p.add_rule(Rule::new(
+        Literal::new(path, vec![v(0), v(1)]),
+        vec![Literal::new(edge, vec![v(0), v(1)])],
+        vec!["X".into(), "Y".into()],
+    ))
+    .unwrap();
+    p.add_rule(Rule::new(
+        Literal::new(path, vec![v(0), v(2)]),
+        vec![Literal::new(edge, vec![v(0), v(1)]), Literal::new(path, vec![v(1), v(2)])],
+        vec!["X".into(), "Y".into(), "Z".into()],
+    ))
+    .unwrap();
+    let mut edb = FactStore::new();
+    for i in 0..120i64 {
+        edb.insert(edge, tuple![i, i + 1]);
+    }
+    c.bench_function("datalog_transitive_closure_120", |b| {
+        b.iter(|| evaluate(std::hint::black_box(&p), &edb))
+    });
+}
+
+criterion_group!(benches, naive_vs_optimized, minimization, datalog_closure);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion micro-benchmarks of the optimizer pipeline: d-graph
+//! construction, the GFP arc-marking algorithm, ordering and full plan
+//! generation, at increasing schema/query sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use toorjah_core::{gfp, order_sources, plan_query, DGraph, OptimizedDGraph, OrderingHeuristic};
+use toorjah_query::{parse_query, preprocess};
+use toorjah_workload::random::seeded_rng;
+use toorjah_workload::{publication_schema, random_query, random_schema, RandomParams};
+
+fn paper_q3_pipeline(c: &mut Criterion) {
+    let schema = publication_schema();
+    let q3 = parse_query(
+        "q3(R) <- rev_icde(R, S, acc), sub(S, A), pub1(P, R), pub1(P, A), \
+         rev(R, icde, 2008), conf(P, icde, Y)",
+        &schema,
+    )
+    .unwrap();
+    let pre = preprocess(&q3, &schema).unwrap();
+
+    c.bench_function("dgraph_build_q3", |b| {
+        b.iter(|| DGraph::build(std::hint::black_box(&pre)).unwrap())
+    });
+
+    let graph = DGraph::build(&pre).unwrap();
+    c.bench_function("gfp_q3", |b| b.iter(|| gfp(std::hint::black_box(&graph))));
+
+    let (solution, _) = gfp(&graph);
+    let opt = OptimizedDGraph::new(graph.clone(), solution);
+    c.bench_function("ordering_q3", |b| {
+        b.iter(|| order_sources(std::hint::black_box(&opt), OrderingHeuristic::JoinCountDesc).unwrap())
+    });
+
+    c.bench_function("plan_query_q3_end_to_end", |b| {
+        b.iter(|| plan_query(std::hint::black_box(&q3), &schema).unwrap())
+    });
+}
+
+fn gfp_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gfp_scaling");
+    for &relations in &[5usize, 10, 20, 40] {
+        let params = RandomParams {
+            relations: (relations, relations),
+            atoms: (4, 6),
+            ..RandomParams::paper()
+        };
+        let mut rng = seeded_rng(relations as u64);
+        let generated = random_schema(&mut rng, &params);
+        let Some(query) = random_query(&mut rng, &generated, &params) else { continue };
+        let Ok(pre) = preprocess(&query, &generated.schema) else { continue };
+        let Ok(graph) = DGraph::build(&pre) else { continue };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(relations),
+            &graph,
+            |b, graph| b.iter(|| gfp(std::hint::black_box(graph))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, paper_q3_pipeline, gfp_scaling);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! §VI statistic — the fraction of synthetic queries that are *connection
+//! queries* (the restricted class handled by prior work [Li & Chang 2001]).
+//!
+//! The paper: "approximately 70% of our 10,000 synthetically generated
+//! queries are not connection queries (and, for instance, also the
+//! non-synthetic query q3 is not a connection query)".
+//!
+//! Run: `cargo run --release -p toorjah-bench --bin connection_stats [--full]`
+
+use toorjah_bench::Cli;
+use toorjah_query::is_connection_query;
+use toorjah_workload::random::seeded_rng;
+use toorjah_workload::{paper_queries, publication_schema, random_query, random_schema, RandomParams};
+
+fn main() {
+    let cli = Cli::parse();
+    let (schema_count, query_count) = if cli.full {
+        (cli.schemas.unwrap_or(100), cli.queries.unwrap_or(100))
+    } else {
+        (cli.schemas.unwrap_or(50), cli.queries.unwrap_or(50))
+    };
+    let params = RandomParams::paper();
+
+    let mut total = 0usize;
+    let mut connection = 0usize;
+    for schema_idx in 0..schema_count {
+        let mut rng = seeded_rng(cli.seed ^ (schema_idx as u64).wrapping_mul(0x8525_29C5));
+        let generated = random_schema(&mut rng, &params);
+        for _ in 0..query_count {
+            let Some(query) = random_query(&mut rng, &generated, &params) else { break };
+            total += 1;
+            if is_connection_query(&query, &generated.schema) {
+                connection += 1;
+            }
+        }
+    }
+
+    let not_connection = 100.0 * (1.0 - connection as f64 / total.max(1) as f64);
+    println!("§VI — connection-query statistics over {total} synthetic queries");
+    println!(
+        "connection queries: {connection} ({:.1}%); NOT connection queries: {:.1}%",
+        100.0 * connection as f64 / total.max(1) as f64,
+        not_connection,
+    );
+    println!("paper: approximately 70% are not connection queries\n");
+
+    // The hand-written queries.
+    let schema = publication_schema();
+    for (name, q) in paper_queries(&schema) {
+        println!(
+            "{name} is {}a connection query (paper: q3 is not)",
+            if is_connection_query(&q, &schema) { "" } else { "not " }
+        );
+    }
+}

@@ -1,0 +1,132 @@
+//! Fig. 11 — average query execution times by number of atoms, naive vs
+//! optimized.
+//!
+//! The paper measured wall time under PostgreSQL on a 2008-era quad-core
+//! (naive 9.3–15.5 s, optimized 0.7–1.7 s per query). Here sources are
+//! simulated in memory with a configurable per-access latency (default
+//! 1 ms, the dominant cost for remote sources), so the reported time is
+//!
+//! ```text
+//! local computation (measured) + accesses × latency (accumulated virtually)
+//! ```
+//!
+//! which preserves the paper's observation that "the number of accesses
+//! heavily weighs upon the execution time".
+//!
+//! Run: `cargo run --release -p toorjah-bench --bin fig11 [--full] [--seed N]`
+
+use std::time::{Duration, Instant};
+
+use toorjah_bench::{fmt_ms, Cli, MinMaxAvg};
+use toorjah_core::{plan_query, CoreError};
+use toorjah_engine::{
+    execute_plan, naive_evaluate, ExecOptions, InstanceSource, LatencySource, NaiveOptions,
+};
+use toorjah_workload::random::seeded_rng;
+use toorjah_workload::{random_instance, random_query, random_schema, RandomParams};
+
+const LATENCY: Duration = Duration::from_millis(1);
+
+fn main() {
+    let cli = Cli::parse();
+    let (schema_count, queries_per_schema, params, budget) = if cli.full {
+        (
+            cli.schemas.unwrap_or(50),
+            cli.queries.unwrap_or(40),
+            RandomParams { domains: 10, ..RandomParams::paper() },
+            1_000_000usize,
+        )
+    } else {
+        (
+            cli.schemas.unwrap_or(15),
+            cli.queries.unwrap_or(20),
+            RandomParams {
+                domains: 10,
+                domain_values: (20, 60),
+                tuples: (10, 1_000),
+                ..RandomParams::paper()
+            },
+            120_000usize,
+        )
+    };
+
+    // naive/optimized simulated time per atom count 2..=6.
+    let mut naive_times: Vec<MinMaxAvg> = (0..5).map(|_| MinMaxAvg::default()).collect();
+    let mut opt_times: Vec<MinMaxAvg> = (0..5).map(|_| MinMaxAvg::default()).collect();
+
+    for schema_idx in 0..schema_count {
+        let mut rng = seeded_rng(cli.seed ^ (schema_idx as u64).wrapping_mul(0xC2B2_AE35));
+        let generated = random_schema(&mut rng, &params);
+        let instance = random_instance(&mut rng, &generated, &params);
+        let provider = LatencySource::new(
+            InstanceSource::new(generated.schema.clone(), instance),
+            LATENCY,
+        );
+
+        for _ in 0..queries_per_schema {
+            let Some(query) = random_query(&mut rng, &generated, &params) else { break };
+            let atoms = query.atoms().len();
+            if !(2..=6).contains(&atoms) {
+                continue;
+            }
+            let all_free = query
+                .relations()
+                .iter()
+                .all(|&r| generated.schema.relation(r).is_free());
+            if all_free {
+                continue;
+            }
+            let planned = match plan_query(&query, &generated.schema) {
+                Ok(p) => p,
+                Err(CoreError::NotAnswerable { .. }) => continue,
+                Err(e) => panic!("planning failed: {e}"),
+            };
+
+            provider.reset_cost();
+            let wall = Instant::now();
+            let naive = naive_evaluate(
+                &query,
+                &generated.schema,
+                &provider,
+                NaiveOptions { max_accesses: budget },
+            );
+            let naive_time = wall.elapsed() + provider.simulated_cost();
+
+            provider.reset_cost();
+            let wall = Instant::now();
+            let optimized = execute_plan(
+                &planned.plan,
+                &provider,
+                ExecOptions { max_accesses: budget, ..ExecOptions::default() },
+            );
+            let opt_time = wall.elapsed() + provider.simulated_cost();
+
+            if naive.is_ok() && optimized.is_ok() {
+                naive_times[atoms - 2].push(naive_time.as_secs_f64() * 1000.0);
+                opt_times[atoms - 2].push(opt_time.as_secs_f64() * 1000.0);
+            }
+        }
+        eprint!("\rschema {}/{schema_count}…", schema_idx + 1);
+    }
+    eprintln!();
+
+    println!(
+        "Fig. 11 — average execution times by atom count ({} per-access latency)\n",
+        fmt_ms(LATENCY)
+    );
+    println!(
+        "{:<8}{:>14}{:>14}{:>10}    (paper naive → opt)",
+        "atoms", "naive", "optimized", "queries"
+    );
+    let paper = ["9310 → 684", "12161 → 1732", "10198 → 959", "14879 → 1134", "15474 → 1247"];
+    for (i, label) in (2..=6).enumerate() {
+        println!(
+            "{:<8}{:>11.0} ms{:>11.0} ms{:>10}    ({} ms)",
+            label,
+            naive_times[i].avg(),
+            opt_times[i].avg(),
+            naive_times[i].count(),
+            paper[i],
+        );
+    }
+}

@@ -1,0 +1,115 @@
+//! Fig. 6 — experimental results for the test queries q1–q3 over the
+//! publication schema: number of accesses and returned rows per relation,
+//! naive plan vs optimized plan. Blank cells (-) mean the relation is not
+//! part of the plan (irrelevant) or was never probed.
+//!
+//! Run: `cargo run --release -p toorjah-bench --bin fig6 [--full]`
+//! (default uses the paper-scale configuration already).
+
+use toorjah_bench::Cli;
+use toorjah_engine::{
+    execute_plan, naive_evaluate, ExecOptions, InstanceSource, NaiveOptions,
+};
+use toorjah_core::plan_query;
+use toorjah_workload::{paper_queries, publication_instance, publication_schema, PublicationConfig};
+
+/// The paper's published cell values for comparison, as printed in Fig. 6
+/// (naive accesses, optimized accesses, naive rows, optimized rows); `None`
+/// marks cells left blank.
+type Row = (&'static str, Option<u64>, Option<u64>, Option<u64>, Option<u64>);
+
+fn paper_reference(query: &str) -> Vec<Row> {
+    match query {
+        "q1" => vec![
+            ("pub1", Some(4), None, Some(996), None),
+            ("pub2", Some(399), Some(364), Some(991), Some(884)),
+            ("conf", Some(4), Some(1), Some(1000), Some(1000)),
+            ("rev", Some(20), Some(20), Some(999), Some(999)),
+            ("sub", Some(400), None, Some(996), None),
+            ("rev_icde", Some(159_600), None, Some(997), None),
+        ],
+        "q2" => vec![
+            ("pub1", Some(4), None, Some(996), None),
+            ("pub2", Some(399), None, Some(991), None),
+            ("conf", Some(4), Some(1), Some(1000), Some(1000)),
+            ("rev", Some(20), Some(20), Some(999), Some(999)),
+            ("sub", Some(400), None, Some(996), None),
+            ("rev_icde", Some(159_600), Some(133_588), Some(997), Some(818)),
+        ],
+        "q3" => vec![
+            ("pub1", Some(4), None, Some(996), None),
+            ("pub2", Some(399), Some(364), Some(991), Some(884)),
+            ("conf", Some(4), Some(1), Some(1000), Some(1000)),
+            ("rev", Some(20), Some(1), Some(999), Some(56)),
+            ("sub", Some(400), Some(357), Some(996), Some(893)),
+            ("rev_icde", Some(159_600), Some(17_184), Some(997), Some(102)),
+        ],
+        _ => Vec::new(),
+    }
+}
+
+fn fmt(v: Option<u64>) -> String {
+    v.map_or("-".to_string(), |n| n.to_string())
+}
+
+fn main() {
+    let _cli = Cli::parse();
+    let schema = publication_schema();
+    let config = PublicationConfig::paper();
+    eprintln!("generating data (seed {:#x})…", config.seed);
+    let instance = publication_instance(&schema, &config);
+    let provider = InstanceSource::new(schema.clone(), instance);
+
+    println!("Fig. 6 — accesses and returned rows per relation (naive | optimized)");
+    println!("paper columns are the published values; ours come from the seeded");
+    println!("synthetic instance (absolute numbers differ with the data; the shape");
+    println!("— which relations are pruned, relative magnitudes — is the target).\n");
+
+    for (name, query) in paper_queries(&schema) {
+        println!("=== {name}: {} ===", query.display(&schema));
+        let naive = naive_evaluate(&query, &schema, &provider, NaiveOptions::default())
+            .expect("naive evaluation fits the budget");
+        let planned = plan_query(&query, &schema).expect("q1-q3 are answerable");
+        let optimized =
+            execute_plan(&planned.plan, &provider, ExecOptions::default()).expect("plan runs");
+
+        println!(
+            "{:<10}| {:>12} {:>12} | {:>12} {:>12} | {:>11} {:>11} | {:>10} {:>10}",
+            "", "naive acc.", "(paper)", "opt. acc.", "(paper)", "naive rows", "(paper)", "opt. rows", "(paper)"
+        );
+        let reference = paper_reference(name);
+        for (id, rel) in schema.iter() {
+            let r = reference.iter().find(|r| r.0 == rel.name());
+            let na = naive.stats.accesses_to(id);
+            let oa = optimized.stats.accesses_to(id);
+            let nr = naive.stats.extracted_from(id);
+            let or = optimized.stats.extracted_from(id);
+            let blank = |n: usize| if n == 0 { "-".to_string() } else { n.to_string() };
+            println!(
+                "{:<10}| {:>12} {:>12} | {:>12} {:>12} | {:>11} {:>11} | {:>10} {:>10}",
+                rel.name(),
+                blank(na),
+                r.map_or("?".into(), |r| fmt(r.1)),
+                blank(oa),
+                r.map_or("?".into(), |r| fmt(r.2)),
+                blank(nr),
+                r.map_or("?".into(), |r| fmt(r.3)),
+                blank(or),
+                r.map_or("?".into(), |r| fmt(r.4)),
+            );
+        }
+        let saved = 100.0
+            * (1.0 - optimized.stats.total_accesses as f64 / naive.stats.total_accesses.max(1) as f64);
+        let mut a = naive.answers.clone();
+        let mut b = optimized.answers.clone();
+        a.sort();
+        b.sort();
+        println!(
+            "answers: {} (naive == optimized: {}); total accesses {} → {} ({saved:.1}% saved)\n",
+            optimized.answers.len(),
+            a == b,
+            naive.stats.total_accesses,
+            optimized.stats.total_accesses,
+        );
+    }
+}

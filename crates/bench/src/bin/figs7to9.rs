@@ -1,0 +1,77 @@
+//! Figs. 7, 8, 9 — the d-graph and optimized d-graph for q1, q2 and q3.
+//!
+//! Emits Graphviz DOT files under `figures/` (render with
+//! `dot -Tpdf figures/q1_optimized.dot -o q1.pdf`) and prints textual
+//! summaries: the sources of each graph and the pruning outcome, matching
+//! the paper's figures (e.g. Fig. 7: the optimized d-graph for q1 keeps
+//! only rev(1), conf(1), pub1(1)).
+//!
+//! Run: `cargo run --release -p toorjah-bench --bin figs7to9`
+
+use std::fs;
+use std::path::Path;
+
+use toorjah_core::{dgraph_to_dot, optimized_to_dot, plan_query};
+use toorjah_workload::{paper_queries, publication_schema};
+
+fn main() {
+    let schema = publication_schema();
+    let out_dir = Path::new("figures");
+    fs::create_dir_all(out_dir).expect("can create figures/");
+
+    for (idx, (name, query)) in paper_queries(&schema).into_iter().enumerate() {
+        let fig = 7 + idx;
+        println!("=== Fig. {fig}: d-graph and optimized d-graph for {name} ===");
+        println!("{name}: {}", query.display(&schema));
+        let planned = plan_query(&query, &schema).expect("q1-q3 plan");
+        let opt = &planned.optimized;
+        let graph = opt.graph();
+
+        // Full d-graph.
+        let full_sources: Vec<String> =
+            graph.sources().iter().map(|s| s.label.clone()).collect();
+        println!(
+            "  d-graph: sources {{{}}}, {} arcs",
+            full_sources.join(", "),
+            graph.arcs().len()
+        );
+
+        // Optimized d-graph.
+        let kept: Vec<String> = planned
+            .plan
+            .caches
+            .iter()
+            .map(|c| format!("{}@{}", c.label, c.position))
+            .collect();
+        println!(
+            "  optimized: sources {{{}}} — {} strong, {} weak, {} deleted arcs",
+            kept.join(", "),
+            opt.strong_count(),
+            opt.weak_count(),
+            opt.deleted_count(),
+        );
+        let pruned: Vec<String> = graph
+            .sources()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| {
+                !opt.is_relevant_source(toorjah_core::SourceId(*i as u32))
+            })
+            .map(|(_, s)| s.label.clone())
+            .collect();
+        println!("  pruned sources: {{{}}}", pruned.join(", "));
+
+        let full_dot = dgraph_to_dot(graph);
+        let opt_dot = optimized_to_dot(opt, false);
+        let full_path = out_dir.join(format!("{name}_dgraph.dot"));
+        let opt_path = out_dir.join(format!("{name}_optimized.dot"));
+        fs::write(&full_path, full_dot).expect("write dot");
+        fs::write(&opt_path, opt_dot).expect("write dot");
+        println!("  wrote {} and {}\n", full_path.display(), opt_path.display());
+    }
+
+    println!("paper reference:");
+    println!("  Fig. 7 (q1): optimized keeps rev(1), conf(1), pub1(1)");
+    println!("  Fig. 8 (q2): optimized keeps rev(1), conf(1), rev_icde(1), r_rej(1)");
+    println!("  Fig. 9 (q3): optimized keeps pub1(1), conf(1), rev(1), r_acc(1), pub1(2), sub(1), rev_icde(1), r_2008(1), r_icde(1)");
+}

@@ -1,0 +1,107 @@
+//! §IV/§V heuristic study — the paper notes that when several source
+//! orderings are possible, further optimizations based on the choice are
+//! "by their nature, highly depending on the instance" and that "their
+//! impact […] can only be relatively small". This experiment quantifies
+//! that claim: the same random workload is executed with the join-count
+//! heuristic (the paper's suggestion: sources with more joins first, to
+//! fail faster) and with a plain deterministic order, comparing accesses.
+//!
+//! Run: `cargo run --release -p toorjah-bench --bin orderings [--seed N]`
+
+use toorjah_bench::{Cli, MinMaxAvg};
+use toorjah_core::{CoreError, OrderingHeuristic, Planner};
+use toorjah_engine::{execute_plan, ExecOptions, InstanceSource};
+use toorjah_workload::random::seeded_rng;
+use toorjah_workload::{random_instance, random_query, random_schema, RandomParams};
+
+fn main() {
+    let cli = Cli::parse();
+    let schema_count = cli.schemas.unwrap_or(15);
+    let query_count = cli.queries.unwrap_or(15);
+    let params = RandomParams {
+        domains: 10,
+        domain_values: (20, 60),
+        tuples: (10, 1_000),
+        input_probability: 0.45,
+        join_probability: 0.65,
+        constant_probability: 0.3,
+        ..RandomParams::paper()
+    };
+    let budget = 150_000usize;
+
+    let mut join_first = MinMaxAvg::default();
+    let mut id_order = MinMaxAvg::default();
+    let mut differing = 0usize;
+    let mut measured = 0usize;
+
+    for schema_idx in 0..schema_count {
+        let mut rng = seeded_rng(cli.seed ^ (schema_idx as u64).wrapping_mul(0xB5297A4D));
+        let generated = random_schema(&mut rng, &params);
+        let instance = random_instance(&mut rng, &generated, &params);
+        let provider = InstanceSource::new(generated.schema.clone(), instance);
+
+        for _ in 0..query_count {
+            let Some(query) = random_query(&mut rng, &generated, &params) else { break };
+            let plans: Vec<_> = [OrderingHeuristic::JoinCountDesc, OrderingHeuristic::SourceIdAsc]
+                .into_iter()
+                .map(|heuristic| {
+                    let planner = Planner { heuristic, ..Planner::default() };
+                    planner.plan(&query, &generated.schema)
+                })
+                .collect();
+            let (Ok(a), Ok(b)) = (&plans[0], &plans[1]) else {
+                if matches!(plans[0], Err(CoreError::NotAnswerable { .. })) {
+                    continue;
+                }
+                panic!("planning failed");
+            };
+            let opts = ExecOptions { max_accesses: budget, ..ExecOptions::default() };
+            let (Ok(ra), Ok(rb)) = (
+                execute_plan(&a.plan, &provider, opts),
+                execute_plan(&b.plan, &provider, opts),
+            ) else {
+                continue; // budget blow-up: skip
+            };
+            // Sanity: the heuristic must never change the answers.
+            let mut x = ra.answers.clone();
+            let mut y = rb.answers.clone();
+            x.sort();
+            y.sort();
+            assert_eq!(x, y, "ordering heuristics must not change answers");
+            join_first.push(ra.stats.total_accesses as f64);
+            id_order.push(rb.stats.total_accesses as f64);
+            if ra.stats.total_accesses != rb.stats.total_accesses {
+                differing += 1;
+            }
+            measured += 1;
+        }
+        eprint!("\rschema {}/{schema_count}…", schema_idx + 1);
+    }
+    eprintln!();
+
+    println!("§IV heuristic study over {measured} queries");
+    println!(
+        "{:<26}{:>12}{:>12}{:>12}",
+        "ordering", "min acc.", "max acc.", "avg acc."
+    );
+    println!(
+        "{:<26}{:>12.0}{:>12.0}{:>12.1}",
+        "join-count first (paper)",
+        join_first.min(),
+        join_first.max(),
+        join_first.avg()
+    );
+    println!(
+        "{:<26}{:>12.0}{:>12.0}{:>12.1}",
+        "source-id order",
+        id_order.min(),
+        id_order.max(),
+        id_order.avg()
+    );
+    let delta = 100.0 * (id_order.avg() - join_first.avg()) / id_order.avg().max(1.0);
+    println!(
+        "\nqueries with differing access counts: {differing}/{measured}; \
+         join-count heuristic saves {delta:.2}% on average\n\
+         (paper: the impact of ordering choices \"can only be relatively small\")"
+    );
+}

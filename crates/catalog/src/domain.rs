@@ -1,0 +1,181 @@
+//! Abstract domains (§II of the paper).
+//!
+//! An abstract domain has an underlying concrete domain but represents
+//! information at a higher level of abstraction: it distinguishes, e.g.,
+//! strings representing person names from strings representing song titles.
+//! Dependency arcs in the d-graph (and value flow in the naive algorithm)
+//! connect only positions with the *same* abstract domain.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::CatalogError;
+
+/// Identifier of an abstract domain inside a [`DomainRegistry`].
+///
+/// Ids are dense indexes assigned in registration order, which lets graph
+/// algorithms use them directly as vector indexes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct DomainId(pub u32);
+
+impl DomainId {
+    /// The id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for DomainId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "δ{}", self.0)
+    }
+}
+
+/// A named abstract domain, e.g. `Artist`, `Year`, `Paper`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Domain {
+    name: String,
+}
+
+impl Domain {
+    /// The name of the domain.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl fmt::Display for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// An interning registry of abstract domains.
+///
+/// Domain names are case-sensitive and must be non-empty. Registration is
+/// idempotent: registering an existing name returns its existing id.
+///
+/// ```
+/// use toorjah_catalog::DomainRegistry;
+///
+/// let mut reg = DomainRegistry::new();
+/// let artist = reg.intern("Artist");
+/// assert_eq!(reg.intern("Artist"), artist);
+/// assert_eq!(reg.name(artist), "Artist");
+/// assert_eq!(reg.len(), 1);
+/// ```
+#[derive(Clone, Default, Debug)]
+pub struct DomainRegistry {
+    domains: Vec<Domain>,
+    by_name: HashMap<String, DomainId>,
+}
+
+impl DomainRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the id for `name`, registering the domain if new.
+    pub fn intern(&mut self, name: impl AsRef<str>) -> DomainId {
+        let name = name.as_ref();
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = DomainId(self.domains.len() as u32);
+        self.domains.push(Domain { name: name.to_string() });
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Looks up a domain id by name without registering.
+    pub fn lookup(&self, name: &str) -> Option<DomainId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Looks up a domain id by name, reporting an error when unknown.
+    pub fn require(&self, name: &str) -> Result<DomainId, CatalogError> {
+        self.lookup(name)
+            .ok_or_else(|| CatalogError::UnknownDomain(name.to_string()))
+    }
+
+    /// The name of a registered domain.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this registry.
+    pub fn name(&self, id: DomainId) -> &str {
+        self.domains[id.index()].name()
+    }
+
+    /// The domain for an id, if valid.
+    pub fn get(&self, id: DomainId) -> Option<&Domain> {
+        self.domains.get(id.index())
+    }
+
+    /// Number of registered domains.
+    pub fn len(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// Whether no domain has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.domains.is_empty()
+    }
+
+    /// Iterates over `(id, domain)` pairs in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (DomainId, &Domain)> {
+        self.domains
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (DomainId(i as u32), d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut reg = DomainRegistry::new();
+        let a = reg.intern("A");
+        let b = reg.intern("B");
+        assert_ne!(a, b);
+        assert_eq!(reg.intern("A"), a);
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn lookup_miss_and_require_error() {
+        let reg = DomainRegistry::new();
+        assert!(reg.lookup("nope").is_none());
+        let err = reg.require("nope").unwrap_err();
+        assert!(err.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn names_round_trip() {
+        let mut reg = DomainRegistry::new();
+        let id = reg.intern("Artist");
+        assert_eq!(reg.name(id), "Artist");
+        assert_eq!(reg.get(id).unwrap().to_string(), "Artist");
+        assert!(reg.get(DomainId(99)).is_none());
+    }
+
+    #[test]
+    fn iter_in_registration_order() {
+        let mut reg = DomainRegistry::new();
+        reg.intern("X");
+        reg.intern("Y");
+        let names: Vec<_> = reg.iter().map(|(_, d)| d.name().to_string()).collect();
+        assert_eq!(names, ["X", "Y"]);
+    }
+
+    #[test]
+    fn case_sensitive() {
+        let mut reg = DomainRegistry::new();
+        let a = reg.intern("artist");
+        let b = reg.intern("Artist");
+        assert_ne!(a, b);
+    }
+}

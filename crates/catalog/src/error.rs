@@ -1,0 +1,114 @@
+//! Error type for catalog operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building or using schemas and instances.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CatalogError {
+    /// An access pattern string contained a character other than `i`/`o`.
+    BadAccessPattern {
+        /// The offending pattern string.
+        pattern: String,
+        /// The first invalid character.
+        offending: char,
+    },
+    /// A relation declaration's domain list and pattern have different lengths.
+    ArityMismatch {
+        /// Relation name.
+        relation: String,
+        /// Number of declared domains.
+        domains: usize,
+        /// Length of the access pattern.
+        pattern: usize,
+    },
+    /// Two relations with the same name were declared.
+    DuplicateRelation(String),
+    /// A relation name was not found in the schema.
+    UnknownRelation(String),
+    /// A domain name was not found in the registry.
+    UnknownDomain(String),
+    /// A tuple's arity does not match its relation's arity.
+    TupleArity {
+        /// Relation name.
+        relation: String,
+        /// Expected arity.
+        expected: usize,
+        /// Arity of the offending tuple.
+        got: usize,
+    },
+    /// An access binding's arity does not match the relation's input count.
+    BindingArity {
+        /// Relation name.
+        relation: String,
+        /// Number of input positions.
+        expected: usize,
+        /// Arity of the offending binding.
+        got: usize,
+    },
+    /// A schema text declaration could not be parsed.
+    Parse {
+        /// The offending fragment.
+        fragment: String,
+        /// Why it failed.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CatalogError::BadAccessPattern { pattern, offending } => write!(
+                f,
+                "invalid access pattern {pattern:?}: unexpected character {offending:?} (only 'i' and 'o' are allowed)"
+            ),
+            CatalogError::ArityMismatch { relation, domains, pattern } => write!(
+                f,
+                "relation {relation}: {domains} domain(s) declared but access pattern has length {pattern}"
+            ),
+            CatalogError::DuplicateRelation(name) => {
+                write!(f, "relation {name} declared more than once")
+            }
+            CatalogError::UnknownRelation(name) => write!(f, "unknown relation {name}"),
+            CatalogError::UnknownDomain(name) => write!(f, "unknown abstract domain {name}"),
+            CatalogError::TupleArity { relation, expected, got } => write!(
+                f,
+                "tuple of arity {got} inserted into relation {relation} of arity {expected}"
+            ),
+            CatalogError::BindingArity { relation, expected, got } => write!(
+                f,
+                "access binding of arity {got} for relation {relation} with {expected} input position(s)"
+            ),
+            CatalogError::Parse { fragment, reason } => {
+                write!(f, "cannot parse schema fragment {fragment:?}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for CatalogError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = CatalogError::ArityMismatch {
+            relation: "r".into(),
+            domains: 2,
+            pattern: 3,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains('r') && msg.contains('2') && msg.contains('3'));
+
+        let e = CatalogError::TupleArity { relation: "s".into(), expected: 1, got: 4 };
+        assert!(e.to_string().contains("arity 4"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_err<E: Error>(_: &E) {}
+        assert_err(&CatalogError::UnknownRelation("x".into()));
+    }
+}

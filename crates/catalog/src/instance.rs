@@ -1,0 +1,352 @@
+//! Database instances: one extension per relation schema, indexed on the
+//! input positions so that an access is a hash lookup.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use crate::{CatalogError, RelationId, Schema, Tuple, Value};
+
+/// The extension of one relation together with an index keyed on the values
+/// of its input positions.
+#[derive(Clone, Debug, Default)]
+pub struct RelationData {
+    tuples: Vec<Tuple>,
+    /// Dedup set over all tuples (instances are sets of tuples, §II).
+    seen: HashSet<Tuple>,
+    /// Input positions this relation is indexed on (from the access pattern).
+    input_positions: Vec<usize>,
+    /// binding (projection on input positions) → tuple indexes.
+    index: HashMap<Tuple, Vec<usize>>,
+}
+
+impl RelationData {
+    fn new(input_positions: Vec<usize>) -> Self {
+        RelationData {
+            tuples: Vec::new(),
+            seen: HashSet::new(),
+            input_positions,
+            index: HashMap::new(),
+        }
+    }
+
+    /// All tuples, in insertion order.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Number of (distinct) tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the extension is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Inserts a tuple; returns `true` if it was new.
+    fn insert(&mut self, tuple: Tuple) -> bool {
+        if !self.seen.insert(tuple.clone()) {
+            return false;
+        }
+        let key = tuple.project(&self.input_positions);
+        let idx = self.tuples.len();
+        self.tuples.push(tuple);
+        self.index.entry(key).or_default().push(idx);
+        true
+    }
+
+    /// Tuples whose input positions equal `binding` (the result of an
+    /// *access* with that binding).
+    fn matching(&self, binding: &Tuple) -> Vec<Tuple> {
+        match self.index.get(binding) {
+            Some(rows) => rows.iter().map(|&i| self.tuples[i].clone()).collect(),
+            None => Vec::new(),
+        }
+    }
+}
+
+/// A database instance `D` of a [`Schema`]: a set of relations, one over each
+/// relation schema.
+///
+/// ```
+/// use toorjah_catalog::{Instance, Schema, tuple};
+///
+/// let schema = Schema::parse("r1^io(A, C) r2^io(B, C)").unwrap();
+/// let mut db = Instance::new(&schema);
+/// db.insert("r1", tuple!["a1", "c1"]).unwrap();
+/// db.insert("r1", tuple!["a1", "c3"]).unwrap();
+///
+/// // An access to r1 binding its input argument to 'a1':
+/// let out = db.access_by_name("r1", &tuple!["a1"]).unwrap();
+/// assert_eq!(out.len(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Instance {
+    /// Extension per relation id; indexes aligned with the schema.
+    extents: Vec<RelationData>,
+    /// Relation names (copied from the schema for error messages/Display).
+    names: Vec<String>,
+    /// Declared arity per relation (tuples are validated against it).
+    arities: Vec<usize>,
+}
+
+impl Instance {
+    /// Creates an empty instance of `schema`.
+    pub fn new(schema: &Schema) -> Self {
+        let mut extents = Vec::with_capacity(schema.relation_count());
+        let mut names = Vec::with_capacity(schema.relation_count());
+        let mut arities = Vec::with_capacity(schema.relation_count());
+        for (_, rel) in schema.iter() {
+            extents.push(RelationData::new(rel.pattern().input_positions().collect()));
+            names.push(rel.name().to_string());
+            arities.push(rel.arity());
+        }
+        Instance { extents, names, arities }
+    }
+
+    /// Creates an instance and populates it from `(relation name, tuples)` pairs.
+    pub fn with_data<'a>(
+        schema: &Schema,
+        data: impl IntoIterator<Item = (&'a str, Vec<Tuple>)>,
+    ) -> Result<Self, CatalogError> {
+        let mut db = Instance::new(schema);
+        for (name, tuples) in data {
+            let id = schema.require_relation(name)?;
+            for t in tuples {
+                db.insert_by_id(id, t)?;
+            }
+        }
+        Ok(db)
+    }
+
+    /// Inserts a tuple into the named relation. The instance must have been
+    /// created from a schema containing that relation.
+    pub fn insert(&mut self, name: &str, tuple: Tuple) -> Result<bool, CatalogError> {
+        let id = self
+            .names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| RelationId(i as u32))
+            .ok_or_else(|| CatalogError::UnknownRelation(name.to_string()))?;
+        self.insert_by_id(id, tuple)
+    }
+
+    /// Inserts a tuple by relation id; returns `true` if the tuple was new.
+    pub fn insert_by_id(&mut self, id: RelationId, tuple: Tuple) -> Result<bool, CatalogError> {
+        let arity = self.arities[id.index()];
+        if tuple.len() != arity {
+            return Err(CatalogError::TupleArity {
+                relation: self.names[id.index()].clone(),
+                expected: arity,
+                got: tuple.len(),
+            });
+        }
+        Ok(self.extents[id.index()].insert(tuple))
+    }
+
+    /// Performs an *access* (§II): evaluates the single-atom CQ selecting all
+    /// input positions of relation `id` with the constants in `binding`.
+    ///
+    /// `binding` lists one value per input position, in positional order.
+    pub fn access(&self, id: RelationId, binding: &Tuple) -> Result<Vec<Tuple>, CatalogError> {
+        let data = &self.extents[id.index()];
+        if binding.len() != data.input_positions.len() {
+            return Err(CatalogError::BindingArity {
+                relation: self.names[id.index()].clone(),
+                expected: data.input_positions.len(),
+                got: binding.len(),
+            });
+        }
+        Ok(data.matching(binding))
+    }
+
+    /// [`Instance::access`] by relation name.
+    pub fn access_by_name(&self, name: &str, binding: &Tuple) -> Result<Vec<Tuple>, CatalogError> {
+        let id = self
+            .names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| RelationId(i as u32))
+            .ok_or_else(|| CatalogError::UnknownRelation(name.to_string()))?;
+        self.access(id, binding)
+    }
+
+    /// The full extension of a relation (bypasses access limitations; used by
+    /// tests and by the "complete answer" oracle).
+    pub fn full_extension(&self, id: RelationId) -> &[Tuple] {
+        self.extents[id.index()].tuples()
+    }
+
+    /// Extension size of a relation.
+    pub fn relation_len(&self, id: RelationId) -> usize {
+        self.extents[id.index()].len()
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn total_tuples(&self) -> usize {
+        self.extents.iter().map(|d| d.len()).sum()
+    }
+
+    /// Number of relations (same as the schema's).
+    pub fn relation_count(&self) -> usize {
+        self.extents.len()
+    }
+
+    /// Distinct values appearing at the given position of a relation.
+    pub fn values_at(&self, id: RelationId, position: usize) -> HashSet<Value> {
+        self.extents[id.index()]
+            .tuples()
+            .iter()
+            .map(|t| t[position].clone())
+            .collect()
+    }
+
+    /// Merges another instance's tuples into this one (used to build cache
+    /// databases from extraction results). Relations are matched by index.
+    pub fn absorb(&mut self, other: &Instance) {
+        for (i, data) in other.extents.iter().enumerate() {
+            for t in data.tuples() {
+                let _ = self.extents[i].insert(t.clone());
+            }
+        }
+    }
+}
+
+impl fmt::Display for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, data) in self.extents.iter().enumerate() {
+            writeln!(f, "{} ({} tuples)", self.names[i], data.len())?;
+            for t in data.tuples() {
+                writeln!(f, "  {t}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    fn example2_schema() -> Schema {
+        Schema::parse("r1^io(A, C) r2^io(B, C) r3^io(C, B)").unwrap()
+    }
+
+    fn example2_instance(schema: &Schema) -> Instance {
+        Instance::with_data(
+            schema,
+            [
+                ("r1", vec![tuple!["a1", "c1"], tuple!["a1", "c3"]]),
+                ("r2", vec![tuple!["b1", "c1"], tuple!["b2", "c2"], tuple!["b3", "c3"]]),
+                ("r3", vec![tuple!["c1", "b2"], tuple!["c2", "b1"]]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn access_selects_on_input_positions() {
+        let schema = example2_schema();
+        let db = example2_instance(&schema);
+        let r1 = schema.relation_id("r1").unwrap();
+        let out = db.access(r1, &tuple!["a1"]).unwrap();
+        assert_eq!(out.len(), 2);
+        let out = db.access(r1, &tuple!["a2"]).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn access_wrong_binding_arity_is_an_error() {
+        let schema = example2_schema();
+        let db = example2_instance(&schema);
+        let r1 = schema.relation_id("r1").unwrap();
+        assert!(db.access(r1, &tuple!["a1", "zz"]).is_err());
+        assert!(db.access(r1, &Tuple::empty()).is_err());
+    }
+
+    #[test]
+    fn free_relation_access_with_empty_binding() {
+        let schema = Schema::parse("r3^oo(Artist, Album)").unwrap();
+        let mut db = Instance::new(&schema);
+        db.insert("r3", tuple!["modugno", "nel blu"]).unwrap();
+        let out = db.access_by_name("r3", &Tuple::empty()).unwrap();
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_tuples_are_ignored() {
+        let schema = example2_schema();
+        let mut db = Instance::new(&schema);
+        assert!(db.insert("r1", tuple!["a", "c"]).unwrap());
+        assert!(!db.insert("r1", tuple!["a", "c"]).unwrap());
+        assert_eq!(db.relation_len(schema.relation_id("r1").unwrap()), 1);
+    }
+
+    #[test]
+    fn arity_is_validated() {
+        let schema = example2_schema();
+        let mut db = Instance::new(&schema);
+        db.insert("r1", tuple!["a", "c"]).unwrap();
+        assert!(db.insert("r1", tuple!["a", "c", "d"]).is_err());
+        assert!(db.insert("r1", Tuple::empty()).is_err());
+        // The declared arity binds even for the very first tuple.
+        let mut empty = Instance::new(&schema);
+        assert!(empty.insert("r1", tuple!["only-one"]).is_err());
+    }
+
+    #[test]
+    fn unknown_relation_is_an_error() {
+        let schema = example2_schema();
+        let mut db = Instance::new(&schema);
+        assert!(db.insert("zz", tuple!["a"]).is_err());
+        assert!(db.access_by_name("zz", &Tuple::empty()).is_err());
+    }
+
+    #[test]
+    fn values_at_projects_distinct() {
+        let schema = example2_schema();
+        let db = example2_instance(&schema);
+        let r2 = schema.relation_id("r2").unwrap();
+        let vals = db.values_at(r2, 0);
+        assert_eq!(vals.len(), 3);
+        assert!(vals.contains(&Value::from("b2")));
+    }
+
+    #[test]
+    fn totals() {
+        let schema = example2_schema();
+        let db = example2_instance(&schema);
+        assert_eq!(db.total_tuples(), 7);
+        assert_eq!(db.relation_count(), 3);
+    }
+
+    #[test]
+    fn absorb_merges_and_dedups() {
+        let schema = example2_schema();
+        let mut a = example2_instance(&schema);
+        let b = example2_instance(&schema);
+        a.absorb(&b);
+        assert_eq!(a.total_tuples(), 7);
+    }
+
+    #[test]
+    fn nullary_relation_roundtrip() {
+        let schema = Schema::parse("flag^()").unwrap();
+        let mut db = Instance::new(&schema);
+        assert!(db.insert("flag", Tuple::empty()).unwrap());
+        assert!(!db.insert("flag", Tuple::empty()).unwrap());
+        let out = db.access_by_name("flag", &Tuple::empty()).unwrap();
+        assert_eq!(out, vec![Tuple::empty()]);
+    }
+
+    #[test]
+    fn display_lists_relations() {
+        let schema = example2_schema();
+        let db = example2_instance(&schema);
+        let s = db.to_string();
+        assert!(s.contains("r1 (2 tuples)"));
+        assert!(s.contains("⟨'c2', 'b1'⟩"));
+    }
+}

@@ -1,0 +1,44 @@
+//! # toorjah-catalog
+//!
+//! Schema substrate for the Toorjah reproduction of *"Querying Data under
+//! Access Limitations"* (Calì & Martinenghi, ICDE 2008).
+//!
+//! This crate models the paper's preliminaries (§II):
+//!
+//! * **Abstract domains** ([`Domain`], [`DomainId`]): named domains such as
+//!   `Artist` or `Year` that sit above concrete domains and distinguish, e.g.,
+//!   strings denoting person names from strings denoting song titles.
+//! * **Access patterns** ([`AccessPattern`], [`Mode`]): per-position `i`/`o`
+//!   annotations stating which arguments must be bound to query a relation.
+//! * **Relation schemas** ([`RelationSchema`]) and **database schemas**
+//!   ([`Schema`]): signatures `r^α(A1,…,An)` in the paper's positional
+//!   notation.
+//! * **Values, tuples and instances** ([`Value`], [`Tuple`], [`Instance`]):
+//!   in-memory extensions with hash indexes on the input positions, so that an
+//!   *access* (a single-atom CQ with all input attributes selected) is a
+//!   constant-time lookup.
+//!
+//! The textual format used throughout the workspace mirrors the paper:
+//! `pub1^io(Paper, Person)` declares relation `pub1` with access pattern `io`
+//! over abstract domains `Paper` and `Person`. [`Schema::parse`] accepts a
+//! whitespace/semicolon-separated list of such declarations.
+
+#![warn(missing_docs)]
+
+mod domain;
+mod error;
+mod instance;
+mod pattern;
+mod relation;
+mod schema;
+mod tuple;
+mod value;
+
+pub use domain::{Domain, DomainId, DomainRegistry};
+pub use error::CatalogError;
+pub use instance::{Instance, RelationData};
+pub use pattern::{AccessPattern, Mode};
+pub use relation::{RelationId, RelationSchema};
+pub use schema::{Schema, SchemaBuilder};
+pub use tuple::Tuple;
+pub use value::Value;

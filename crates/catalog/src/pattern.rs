@@ -1,0 +1,221 @@
+//! Access patterns (§II of the paper).
+//!
+//! An access pattern `α` for an n-ary relation is a sequence of `i`/`o`
+//! symbols of length n. The k-th argument is an *input* argument when the
+//! k-th symbol is `i`, an *output* argument otherwise. A relation whose
+//! pattern contains no `i` is *free* and can be accessed with no bindings.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::CatalogError;
+
+/// The access mode of a single argument position.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Mode {
+    /// The position must be bound by a constant to access the relation (`i`).
+    Input,
+    /// The position is returned by the access (`o`).
+    Output,
+}
+
+impl Mode {
+    /// `true` for [`Mode::Input`].
+    pub fn is_input(self) -> bool {
+        matches!(self, Mode::Input)
+    }
+
+    /// `true` for [`Mode::Output`].
+    pub fn is_output(self) -> bool {
+        matches!(self, Mode::Output)
+    }
+
+    /// The paper's one-letter rendering: `i` or `o`.
+    pub fn letter(self) -> char {
+        match self {
+            Mode::Input => 'i',
+            Mode::Output => 'o',
+        }
+    }
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.letter())
+    }
+}
+
+/// An access pattern: one [`Mode`] per argument position.
+///
+/// ```
+/// use toorjah_catalog::{AccessPattern, Mode};
+///
+/// let p: AccessPattern = "ooi".parse().unwrap();
+/// assert_eq!(p.arity(), 3);
+/// assert!(!p.is_free());
+/// assert_eq!(p.input_positions().collect::<Vec<_>>(), vec![2]);
+/// assert_eq!(p.to_string(), "ooi");
+/// assert!(AccessPattern::all_output(2).is_free());
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct AccessPattern {
+    modes: Vec<Mode>,
+}
+
+impl AccessPattern {
+    /// Builds a pattern from explicit modes.
+    pub fn new(modes: Vec<Mode>) -> Self {
+        AccessPattern { modes }
+    }
+
+    /// An all-output (free) pattern of the given arity.
+    pub fn all_output(arity: usize) -> Self {
+        AccessPattern { modes: vec![Mode::Output; arity] }
+    }
+
+    /// An all-input pattern of the given arity.
+    pub fn all_input(arity: usize) -> Self {
+        AccessPattern { modes: vec![Mode::Input; arity] }
+    }
+
+    /// The number of argument positions.
+    pub fn arity(&self) -> usize {
+        self.modes.len()
+    }
+
+    /// The mode of position `k` (0-based).
+    ///
+    /// # Panics
+    /// Panics if `k >= self.arity()`.
+    pub fn mode(&self, k: usize) -> Mode {
+        self.modes[k]
+    }
+
+    /// All modes in positional order.
+    pub fn modes(&self) -> &[Mode] {
+        &self.modes
+    }
+
+    /// Whether the relation is free (no input arguments).
+    pub fn is_free(&self) -> bool {
+        self.modes.iter().all(|m| m.is_output())
+    }
+
+    /// 0-based positions that must be bound for an access.
+    pub fn input_positions(&self) -> impl Iterator<Item = usize> + '_ {
+        self.modes
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.is_input())
+            .map(|(k, _)| k)
+    }
+
+    /// 0-based positions returned by an access.
+    pub fn output_positions(&self) -> impl Iterator<Item = usize> + '_ {
+        self.modes
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.is_output())
+            .map(|(k, _)| k)
+    }
+
+    /// Number of input positions.
+    pub fn input_count(&self) -> usize {
+        self.modes.iter().filter(|m| m.is_input()).count()
+    }
+
+    /// Number of output positions.
+    pub fn output_count(&self) -> usize {
+        self.arity() - self.input_count()
+    }
+}
+
+impl FromStr for AccessPattern {
+    type Err = CatalogError;
+
+    /// Parses the paper's `i`/`o` string notation, e.g. `"iio"`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut modes = Vec::with_capacity(s.len());
+        for c in s.chars() {
+            match c {
+                'i' | 'I' => modes.push(Mode::Input),
+                'o' | 'O' => modes.push(Mode::Output),
+                other => {
+                    return Err(CatalogError::BadAccessPattern {
+                        pattern: s.to_string(),
+                        offending: other,
+                    })
+                }
+            }
+        }
+        Ok(AccessPattern { modes })
+    }
+}
+
+impl fmt::Display for AccessPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for m in &self.modes {
+            write!(f, "{m}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trip() {
+        for s in ["", "o", "i", "io", "ooi", "iio", "ooo"] {
+            let p: AccessPattern = s.parse().unwrap();
+            assert_eq!(p.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        let err = "ixo".parse::<AccessPattern>().unwrap_err();
+        assert!(err.to_string().contains('x'));
+    }
+
+    #[test]
+    fn parse_accepts_uppercase() {
+        let p: AccessPattern = "IO".parse().unwrap();
+        assert_eq!(p.to_string(), "io");
+    }
+
+    #[test]
+    fn free_detection() {
+        assert!("ooo".parse::<AccessPattern>().unwrap().is_free());
+        assert!("".parse::<AccessPattern>().unwrap().is_free());
+        assert!(!"ooi".parse::<AccessPattern>().unwrap().is_free());
+    }
+
+    #[test]
+    fn positions_and_counts() {
+        let p: AccessPattern = "iio".parse().unwrap();
+        assert_eq!(p.input_positions().collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(p.output_positions().collect::<Vec<_>>(), vec![2]);
+        assert_eq!(p.input_count(), 2);
+        assert_eq!(p.output_count(), 1);
+        assert!(p.mode(0).is_input());
+        assert!(p.mode(2).is_output());
+    }
+
+    #[test]
+    fn constructors() {
+        assert_eq!(AccessPattern::all_output(3).to_string(), "ooo");
+        assert_eq!(AccessPattern::all_input(2).to_string(), "ii");
+        let p = AccessPattern::new(vec![Mode::Input, Mode::Output]);
+        assert_eq!(p.to_string(), "io");
+    }
+
+    #[test]
+    fn nullary_pattern_is_free() {
+        let p = AccessPattern::all_output(0);
+        assert_eq!(p.arity(), 0);
+        assert!(p.is_free());
+        assert_eq!(p.input_count(), 0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Relation schemas: signatures `r^α(A1,…,An)` (§II).
+
+use std::fmt;
+
+use crate::{AccessPattern, DomainId, DomainRegistry, Mode};
+
+/// Identifier of a relation inside a [`crate::Schema`].
+///
+/// Ids are dense indexes assigned in declaration order.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct RelationId(pub u32);
+
+impl RelationId {
+    /// The id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for RelationId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ρ{}", self.0)
+    }
+}
+
+/// A relation schema: name, abstract domain per position, access pattern.
+///
+/// The paper uses positional notation — the `Ai` are abstract domains, not
+/// attribute names. Two positions of different relations "represent values of
+/// the same kind" exactly when they share a [`DomainId`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RelationSchema {
+    name: String,
+    domains: Vec<DomainId>,
+    pattern: AccessPattern,
+}
+
+impl RelationSchema {
+    /// Creates a relation schema. `domains` and `pattern` must have equal
+    /// length; this is validated by [`crate::SchemaBuilder`].
+    pub(crate) fn new(name: String, domains: Vec<DomainId>, pattern: AccessPattern) -> Self {
+        debug_assert_eq!(domains.len(), pattern.arity());
+        RelationSchema { name, domains, pattern }
+    }
+
+    /// The relation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The arity of the relation.
+    pub fn arity(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// The abstract domain of position `k` (0-based).
+    ///
+    /// # Panics
+    /// Panics if `k >= self.arity()`.
+    pub fn domain(&self, k: usize) -> DomainId {
+        self.domains[k]
+    }
+
+    /// All abstract domains in positional order.
+    pub fn domains(&self) -> &[DomainId] {
+        &self.domains
+    }
+
+    /// The access pattern.
+    pub fn pattern(&self) -> &AccessPattern {
+        &self.pattern
+    }
+
+    /// The mode of position `k` (0-based).
+    pub fn mode(&self, k: usize) -> Mode {
+        self.pattern.mode(k)
+    }
+
+    /// Whether the relation is free (no input arguments).
+    pub fn is_free(&self) -> bool {
+        self.pattern.is_free()
+    }
+
+    /// Renders the schema in the paper's notation with the given registry,
+    /// e.g. `rev^ooi(Person, ConfName, Year)`.
+    pub fn display<'a>(&'a self, domains: &'a DomainRegistry) -> impl fmt::Display + 'a {
+        DisplaySchema { schema: self, domains }
+    }
+}
+
+struct DisplaySchema<'a> {
+    schema: &'a RelationSchema,
+    domains: &'a DomainRegistry,
+}
+
+impl fmt::Display for DisplaySchema<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}^{}(", self.schema.name(), self.schema.pattern())?;
+        for (k, d) in self.schema.domains().iter().enumerate() {
+            if k > 0 {
+                f.write_str(", ")?;
+            }
+            f.write_str(self.domains.name(*d))?;
+        }
+        f.write_str(")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (DomainRegistry, RelationSchema) {
+        let mut reg = DomainRegistry::new();
+        let person = reg.intern("Person");
+        let conf = reg.intern("ConfName");
+        let year = reg.intern("Year");
+        let schema = RelationSchema::new(
+            "rev".to_string(),
+            vec![person, conf, year],
+            "ooi".parse().unwrap(),
+        );
+        (reg, schema)
+    }
+
+    #[test]
+    fn accessors() {
+        let (reg, r) = sample();
+        assert_eq!(r.name(), "rev");
+        assert_eq!(r.arity(), 3);
+        assert_eq!(reg.name(r.domain(2)), "Year");
+        assert!(r.mode(2).is_input());
+        assert!(!r.is_free());
+    }
+
+    #[test]
+    fn paper_notation_display() {
+        let (reg, r) = sample();
+        assert_eq!(r.display(&reg).to_string(), "rev^ooi(Person, ConfName, Year)");
+    }
+
+    #[test]
+    fn nullary_relation() {
+        let reg = DomainRegistry::new();
+        let r = RelationSchema::new("flag".into(), vec![], AccessPattern::all_output(0));
+        assert_eq!(r.arity(), 0);
+        assert!(r.is_free());
+        assert_eq!(r.display(&reg).to_string(), "flag^()");
+    }
+}

@@ -1,0 +1,391 @@
+//! Database schemas: sets of relation schemas over a shared domain registry.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::{AccessPattern, CatalogError, DomainId, DomainRegistry, RelationId, RelationSchema};
+
+/// A database schema `R`: relation schemas for distinct relation names plus
+/// the registry of abstract domains they mention.
+///
+/// Schemas are immutable once built; use [`SchemaBuilder`] or [`Schema::parse`]
+/// to construct them.
+///
+/// ```
+/// use toorjah_catalog::Schema;
+///
+/// let schema = Schema::parse(
+///     "r1^ioo(Artist, Nation, Year)
+///      r2^oio(Title, Year, Artist)
+///      r3^oo(Artist, Album)",
+/// ).unwrap();
+/// assert_eq!(schema.relation_count(), 3);
+/// let r3 = schema.relation_by_name("r3").unwrap();
+/// assert!(r3.is_free());
+/// ```
+#[derive(Clone, Debug)]
+pub struct Schema {
+    relations: Vec<RelationSchema>,
+    by_name: HashMap<String, RelationId>,
+    domains: DomainRegistry,
+}
+
+impl Schema {
+    /// Starts building a schema.
+    pub fn builder() -> SchemaBuilder {
+        SchemaBuilder::new()
+    }
+
+    /// Parses a schema from the paper's textual notation.
+    ///
+    /// Declarations look like `rev^ooi(Person, ConfName, Year)` and are
+    /// separated by whitespace, newlines, commas after the closing paren, or
+    /// semicolons. A nullary relation is written `flag^()` or `flag()`.
+    pub fn parse(text: &str) -> Result<Schema, CatalogError> {
+        let mut builder = SchemaBuilder::new();
+        for decl in split_declarations(text) {
+            let (name, pattern, domains) = parse_declaration(&decl)?;
+            builder = builder.relation_dyn(&name, &pattern, &domains)?;
+        }
+        builder.finish()
+    }
+
+    /// The registry of abstract domains.
+    pub fn domains(&self) -> &DomainRegistry {
+        &self.domains
+    }
+
+    /// Number of relations.
+    pub fn relation_count(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// The relation schema for an id.
+    ///
+    /// # Panics
+    /// Panics if `id` does not belong to this schema.
+    pub fn relation(&self, id: RelationId) -> &RelationSchema {
+        &self.relations[id.index()]
+    }
+
+    /// Looks up a relation id by name.
+    pub fn relation_id(&self, name: &str) -> Option<RelationId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Looks up a relation id by name, reporting an error when unknown.
+    pub fn require_relation(&self, name: &str) -> Result<RelationId, CatalogError> {
+        self.relation_id(name)
+            .ok_or_else(|| CatalogError::UnknownRelation(name.to_string()))
+    }
+
+    /// Looks up a relation schema by name.
+    pub fn relation_by_name(&self, name: &str) -> Option<&RelationSchema> {
+        self.relation_id(name).map(|id| self.relation(id))
+    }
+
+    /// Iterates over `(id, relation)` pairs in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = (RelationId, &RelationSchema)> {
+        self.relations
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (RelationId(i as u32), r))
+    }
+
+    /// Ids of all relations in declaration order.
+    pub fn relation_ids(&self) -> impl Iterator<Item = RelationId> {
+        (0..self.relations.len() as u32).map(RelationId)
+    }
+
+    /// Derives a new schema extended with extra relations (used by query
+    /// preprocessing to add artificial constant relations). Existing ids are
+    /// preserved; the new relations receive the next ids in order.
+    pub fn extend(
+        &self,
+        extra: impl IntoIterator<Item = (String, AccessPattern, Vec<DomainId>)>,
+    ) -> Result<Schema, CatalogError> {
+        let mut out = self.clone();
+        for (name, pattern, domains) in extra {
+            if out.by_name.contains_key(&name) {
+                return Err(CatalogError::DuplicateRelation(name));
+            }
+            if pattern.arity() != domains.len() {
+                return Err(CatalogError::ArityMismatch {
+                    relation: name,
+                    domains: domains.len(),
+                    pattern: pattern.arity(),
+                });
+            }
+            let id = RelationId(out.relations.len() as u32);
+            out.by_name.insert(name.clone(), id);
+            out.relations.push(RelationSchema::new(name, domains, pattern));
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, r) in self.relations.iter().enumerate() {
+            if i > 0 {
+                f.write_str("\n")?;
+            }
+            write!(f, "{}", r.display(&self.domains))?;
+        }
+        Ok(())
+    }
+}
+
+/// Incremental builder for [`Schema`].
+#[derive(Default, Debug)]
+pub struct SchemaBuilder {
+    relations: Vec<RelationSchema>,
+    by_name: HashMap<String, RelationId>,
+    domains: DomainRegistry,
+}
+
+impl SchemaBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a relation, interning its domains; chainable.
+    ///
+    /// ```
+    /// use toorjah_catalog::SchemaBuilder;
+    ///
+    /// let schema = SchemaBuilder::new()
+    ///     .relation("pub1", "io", &["Paper", "Person"]).unwrap()
+    ///     .relation("conf", "ooo", &["Paper", "ConfName", "Year"]).unwrap()
+    ///     .finish().unwrap();
+    /// assert_eq!(schema.relation_count(), 2);
+    /// ```
+    pub fn relation(
+        self,
+        name: &str,
+        pattern: &str,
+        domains: &[&str],
+    ) -> Result<Self, CatalogError> {
+        let owned: Vec<String> = domains.iter().map(|s| s.to_string()).collect();
+        self.relation_dyn(name, pattern, &owned)
+    }
+
+    fn relation_dyn(
+        mut self,
+        name: &str,
+        pattern: &str,
+        domains: &[String],
+    ) -> Result<Self, CatalogError> {
+        if self.by_name.contains_key(name) {
+            return Err(CatalogError::DuplicateRelation(name.to_string()));
+        }
+        let pattern: AccessPattern = pattern.parse()?;
+        if pattern.arity() != domains.len() {
+            return Err(CatalogError::ArityMismatch {
+                relation: name.to_string(),
+                domains: domains.len(),
+                pattern: pattern.arity(),
+            });
+        }
+        let ids: Vec<DomainId> = domains.iter().map(|d| self.domains.intern(d)).collect();
+        let id = RelationId(self.relations.len() as u32);
+        self.by_name.insert(name.to_string(), id);
+        self.relations
+            .push(RelationSchema::new(name.to_string(), ids, pattern));
+        Ok(self)
+    }
+
+    /// Finalizes the schema.
+    pub fn finish(self) -> Result<Schema, CatalogError> {
+        Ok(Schema {
+            relations: self.relations,
+            by_name: self.by_name,
+            domains: self.domains,
+        })
+    }
+}
+
+/// Splits schema text into individual `name^pattern(...)` declarations.
+fn split_declarations(text: &str) -> Vec<String> {
+    let mut decls = Vec::new();
+    let mut current = String::new();
+    let mut depth = 0usize;
+    for c in text.chars() {
+        match c {
+            '(' => {
+                depth += 1;
+                current.push(c);
+            }
+            ')' => {
+                depth = depth.saturating_sub(1);
+                current.push(c);
+                if depth == 0 {
+                    decls.push(current.trim().to_string());
+                    current.clear();
+                }
+            }
+            ';' | ',' if depth == 0 => {
+                // separators between declarations
+            }
+            c if c.is_whitespace() && depth == 0 => {
+                // whitespace between declarations
+                if !current.trim().is_empty() {
+                    // name fragment continues; keep accumulating
+                    current.push(' ');
+                }
+            }
+            _ => current.push(c),
+        }
+    }
+    if !current.trim().is_empty() {
+        decls.push(current.trim().to_string());
+    }
+    decls
+}
+
+/// Parses one `name^pattern(Dom1, …, DomN)` declaration.
+fn parse_declaration(decl: &str) -> Result<(String, String, Vec<String>), CatalogError> {
+    let err = |reason: &str| CatalogError::Parse {
+        fragment: decl.to_string(),
+        reason: reason.to_string(),
+    };
+    let open = decl.find('(').ok_or_else(|| err("missing '('"))?;
+    if !decl.ends_with(')') {
+        return Err(err("missing trailing ')'"));
+    }
+    let head = decl[..open].trim();
+    let args = &decl[open + 1..decl.len() - 1];
+    let (name, pattern) = match head.split_once('^') {
+        Some((n, p)) => (n.trim(), p.trim().to_string()),
+        None => (head, String::new()),
+    };
+    if name.is_empty() {
+        return Err(err("empty relation name"));
+    }
+    if !name.chars().all(|c| c.is_alphanumeric() || c == '_') {
+        return Err(err("relation names must be alphanumeric/underscore"));
+    }
+    let domains: Vec<String> = if args.trim().is_empty() {
+        Vec::new()
+    } else {
+        args.split(',').map(|a| a.trim().to_string()).collect()
+    };
+    if domains.iter().any(|d| d.is_empty()) {
+        return Err(err("empty domain name"));
+    }
+    // A head without `^pattern` defaults to all-output (free) access.
+    let pattern = if pattern.is_empty() {
+        "o".repeat(domains.len())
+    } else {
+        pattern
+    };
+    Ok((name.to_string(), pattern, domains))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_example1_schema() {
+        // Example 1 of the paper.
+        let schema = Schema::parse(
+            "r1^ioo(Artist, Nation, Year)
+             r2^oio(Title, Year, Artist)
+             r3^oo(Artist, Album)",
+        )
+        .unwrap();
+        assert_eq!(schema.relation_count(), 3);
+        assert_eq!(schema.domains().len(), 5);
+        let r2 = schema.relation_by_name("r2").unwrap();
+        assert_eq!(r2.pattern().to_string(), "oio");
+        assert_eq!(schema.domains().name(r2.domain(2)), "Artist");
+    }
+
+    #[test]
+    fn parse_with_semicolons_and_default_free_pattern() {
+        let schema = Schema::parse("a^i(X); b(X, Y)").unwrap();
+        assert!(schema.relation_by_name("b").unwrap().is_free());
+        assert_eq!(schema.relation_by_name("b").unwrap().pattern().to_string(), "oo");
+    }
+
+    #[test]
+    fn parse_nullary() {
+        let schema = Schema::parse("flag^()").unwrap();
+        let f = schema.relation_by_name("flag").unwrap();
+        assert_eq!(f.arity(), 0);
+        assert!(f.is_free());
+    }
+
+    #[test]
+    fn parse_rejects_arity_mismatch() {
+        let err = Schema::parse("r^io(A)").unwrap_err();
+        assert!(matches!(err, CatalogError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn parse_rejects_duplicates() {
+        let err = Schema::parse("r^o(A) r^o(B)").unwrap_err();
+        assert!(matches!(err, CatalogError::DuplicateRelation(_)));
+    }
+
+    #[test]
+    fn parse_rejects_missing_paren() {
+        assert!(Schema::parse("r^o A").is_err());
+    }
+
+    #[test]
+    fn shared_domains_get_one_id() {
+        let schema = Schema::parse("r1^io(A, C) r2^io(B, C) r3^io(C, B)").unwrap();
+        let r1 = schema.relation_by_name("r1").unwrap();
+        let r3 = schema.relation_by_name("r3").unwrap();
+        assert_eq!(r1.domain(1), r3.domain(0));
+    }
+
+    #[test]
+    fn relation_ids_are_dense() {
+        let schema = Schema::parse("a^o(X) b^o(X) c^o(X)").unwrap();
+        let ids: Vec<u32> = schema.relation_ids().map(|r| r.0).collect();
+        assert_eq!(ids, [0, 1, 2]);
+        assert_eq!(schema.relation(RelationId(1)).name(), "b");
+    }
+
+    #[test]
+    fn extend_preserves_ids() {
+        let schema = Schema::parse("a^o(X)").unwrap();
+        let x = schema.domains().lookup("X").unwrap();
+        let extended = schema
+            .extend([("c_a".to_string(), AccessPattern::all_output(1), vec![x])])
+            .unwrap();
+        assert_eq!(extended.relation_id("a"), Some(RelationId(0)));
+        assert_eq!(extended.relation_id("c_a"), Some(RelationId(1)));
+        // Original untouched.
+        assert_eq!(schema.relation_count(), 1);
+    }
+
+    #[test]
+    fn extend_rejects_duplicates() {
+        let schema = Schema::parse("a^o(X)").unwrap();
+        let x = schema.domains().lookup("X").unwrap();
+        assert!(schema
+            .extend([("a".to_string(), AccessPattern::all_output(1), vec![x])])
+            .is_err());
+    }
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        let schema = Schema::parse("pub1^io(Paper, Person) rev^ooi(Person, ConfName, Year)").unwrap();
+        let text = schema.to_string();
+        let again = Schema::parse(&text).unwrap();
+        assert_eq!(again.relation_count(), 2);
+        assert_eq!(text, "pub1^io(Paper, Person)\nrev^ooi(Person, ConfName, Year)");
+    }
+
+    #[test]
+    fn require_relation_errors() {
+        let schema = Schema::parse("a^o(X)").unwrap();
+        assert!(schema.require_relation("a").is_ok());
+        assert!(schema.require_relation("zz").is_err());
+    }
+}

@@ -1,0 +1,150 @@
+//! Tuples `⟨c1,…,cn⟩` of constants.
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+use crate::Value;
+
+/// An immutable tuple of [`Value`]s.
+///
+/// Tuples are reference counted so that the cache database, meta-caches and
+/// answer sets can share them without copying. Dereferences to `[Value]`.
+///
+/// ```
+/// use toorjah_catalog::{Tuple, Value};
+///
+/// let t = Tuple::from(vec![Value::from("a1"), Value::from(1990)]);
+/// assert_eq!(t.len(), 2);
+/// assert_eq!(t.to_string(), "⟨'a1', 1990⟩");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tuple(Arc<[Value]>);
+
+impl Tuple {
+    /// Creates a tuple from values.
+    pub fn new(values: impl Into<Vec<Value>>) -> Self {
+        Tuple(Arc::from(values.into()))
+    }
+
+    /// The empty (nullary) tuple `⟨⟩`.
+    pub fn empty() -> Self {
+        Tuple(Arc::from(Vec::new()))
+    }
+
+    /// The tuple's values.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// Projects the tuple onto the given 0-based positions.
+    ///
+    /// # Panics
+    /// Panics if any position is out of range.
+    pub fn project(&self, positions: &[usize]) -> Tuple {
+        Tuple::new(positions.iter().map(|&p| self.0[p].clone()).collect::<Vec<_>>())
+    }
+}
+
+impl Deref for Tuple {
+    type Target = [Value];
+
+    fn deref(&self) -> &[Value] {
+        &self.0
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(values: Vec<Value>) -> Self {
+        Tuple::new(values)
+    }
+}
+
+impl FromIterator<Value> for Tuple {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Self {
+        Tuple::new(iter.into_iter().collect::<Vec<_>>())
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("⟨")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        f.write_str("⟩")
+    }
+}
+
+impl fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// Convenience macro building a [`Tuple`] from value-convertible expressions.
+///
+/// ```
+/// use toorjah_catalog::tuple;
+///
+/// let t = tuple!["volare", 1958];
+/// assert_eq!(t.to_string(), "⟨'volare', 1958⟩");
+/// ```
+#[macro_export]
+macro_rules! tuple {
+    ($($v:expr),* $(,)?) => {
+        $crate::Tuple::new(vec![$($crate::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn construction_and_deref() {
+        let t = tuple!["a", 1];
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0], Value::from("a"));
+        assert_eq!(t.values()[1], Value::from(1));
+    }
+
+    #[test]
+    fn empty_tuple() {
+        let t = Tuple::empty();
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.to_string(), "⟨⟩");
+    }
+
+    #[test]
+    fn projection() {
+        let t = tuple!["a", "b", "c"];
+        assert_eq!(t.project(&[2, 0]), tuple!["c", "a"]);
+        assert_eq!(t.project(&[]), Tuple::empty());
+    }
+
+    #[test]
+    fn hashes_by_content() {
+        let mut set = HashSet::new();
+        set.insert(tuple!["x", 1]);
+        assert!(set.contains(&tuple!["x", 1]));
+        assert!(!set.contains(&tuple![1, "x"]));
+    }
+
+    #[test]
+    fn from_iterator() {
+        let t: Tuple = (0..3).map(Value::from).collect();
+        assert_eq!(t.to_string(), "⟨0, 1, 2⟩");
+    }
+
+    #[test]
+    fn clone_is_cheap_and_equal() {
+        let t = tuple!["shared", 7];
+        let u = t.clone();
+        assert_eq!(t, u);
+    }
+}

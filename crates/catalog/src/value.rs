@@ -1,0 +1,144 @@
+//! Constants that populate relations.
+//!
+//! The paper treats values as members of abstract domains with an underlying
+//! concrete domain. We support the two concrete domains that cover the
+//! paper's examples and experiments: integers (years, synthetic ids) and
+//! strings (names, titles). A value does not carry its abstract domain; the
+//! domain is always implied by the schema position a value was read from or
+//! bound to, exactly as in the paper's positional notation.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A constant of one of the supported concrete domains.
+///
+/// `Value` is cheap to clone: string payloads are reference counted, so
+/// values can be freely shared between the binding set, caches and answers.
+///
+/// ```
+/// use toorjah_catalog::Value;
+///
+/// let v = Value::from("volare");
+/// assert_eq!(v.to_string(), "'volare'");
+/// assert_eq!(Value::from(2008).to_string(), "2008");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// An integer constant, e.g. a year such as `2008`.
+    Int(i64),
+    /// A string constant, e.g. `'volare'`.
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Creates a string value.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Creates an integer value.
+    pub fn int(i: i64) -> Self {
+        Value::Int(i)
+    }
+
+    /// Returns the integer payload, if this is an integer value.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// Returns the string payload, if this is a string value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Int(_) => None,
+            Value::Str(s) => Some(s),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(Arc::from(s.as_str()))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn int_and_str_are_distinct() {
+        assert_ne!(Value::from(1), Value::from("1"));
+    }
+
+    #[test]
+    fn display_quotes_strings_only() {
+        assert_eq!(Value::from("a").to_string(), "'a'");
+        assert_eq!(Value::from(42).to_string(), "42");
+    }
+
+    #[test]
+    fn clone_is_equal_and_hashes_identically() {
+        let v = Value::from("an artist name");
+        let w = v.clone();
+        assert_eq!(v, w);
+        let mut set = HashSet::new();
+        set.insert(v);
+        assert!(set.contains(&w));
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut vals = [Value::from("b"), Value::from(2), Value::from("a"), Value::from(1)];
+        vals.sort();
+        // Ints sort before strings under the derived ordering.
+        assert_eq!(vals[0], Value::from(1));
+        assert_eq!(vals[1], Value::from(2));
+        assert_eq!(vals[2], Value::from("a"));
+        assert_eq!(vals[3], Value::from("b"));
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::from(7).as_int(), Some(7));
+        assert_eq!(Value::from(7).as_str(), None);
+        assert_eq!(Value::from("x").as_str(), Some("x"));
+        assert_eq!(Value::from("x").as_int(), None);
+    }
+}

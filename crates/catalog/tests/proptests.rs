@@ -1,0 +1,107 @@
+//! Property-based tests of the catalog substrate.
+
+use proptest::prelude::*;
+use toorjah_catalog::{AccessPattern, Instance, Schema, Tuple, Value};
+
+/// Strategy for access-pattern strings.
+fn pattern_string() -> impl Strategy<Value = String> {
+    proptest::collection::vec(prop_oneof![Just('i'), Just('o')], 0..8)
+        .prop_map(|cs| cs.into_iter().collect())
+}
+
+/// Strategy for small values.
+fn value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (-50i64..50).prop_map(Value::from),
+        "[a-z]{1,4}".prop_map(Value::str),
+    ]
+}
+
+proptest! {
+    /// Parsing and printing access patterns round-trips.
+    #[test]
+    fn access_pattern_roundtrip(s in pattern_string()) {
+        let p: AccessPattern = s.parse().unwrap();
+        prop_assert_eq!(p.to_string(), s);
+        prop_assert_eq!(p.arity(), p.input_count() + p.output_count());
+        prop_assert_eq!(p.is_free(), p.input_count() == 0);
+    }
+
+    /// Tuple projection keeps exactly the requested positions.
+    #[test]
+    fn tuple_projection(values in proptest::collection::vec(value(), 1..6)) {
+        let t = Tuple::new(values.clone());
+        let all: Vec<usize> = (0..values.len()).collect();
+        prop_assert_eq!(t.project(&all), t.clone());
+        let reversed: Vec<usize> = (0..values.len()).rev().collect();
+        let r = t.project(&reversed);
+        for (i, &p) in reversed.iter().enumerate() {
+            prop_assert_eq!(&r[i], &t[p]);
+        }
+    }
+
+    /// An access returns exactly the tuples whose input positions match the
+    /// binding — no more, no fewer.
+    #[test]
+    fn access_equals_filter(
+        rows in proptest::collection::vec((value(), value()), 0..25),
+        probe in value(),
+    ) {
+        let schema = Schema::parse("r^io(A, B)").unwrap();
+        let mut db = Instance::new(&schema);
+        for (a, b) in &rows {
+            let _ = db.insert("r", Tuple::new(vec![a.clone(), b.clone()]));
+        }
+        let got = db.access_by_name("r", &Tuple::new(vec![probe.clone()])).unwrap();
+        // Expected: distinct matching rows, in first-insertion order.
+        let mut expected: Vec<Tuple> = Vec::new();
+        for (a, b) in &rows {
+            if *a == probe {
+                let t = Tuple::new(vec![a.clone(), b.clone()]);
+                if !expected.contains(&t) {
+                    expected.push(t);
+                }
+            }
+        }
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Inserting the same rows twice leaves the instance unchanged.
+    #[test]
+    fn insert_idempotent(rows in proptest::collection::vec((value(), value()), 0..20)) {
+        let schema = Schema::parse("r^io(A, B)").unwrap();
+        let mut db = Instance::new(&schema);
+        for (a, b) in &rows {
+            let _ = db.insert("r", Tuple::new(vec![a.clone(), b.clone()]));
+        }
+        let before = db.total_tuples();
+        for (a, b) in &rows {
+            let inserted = db.insert("r", Tuple::new(vec![a.clone(), b.clone()])).unwrap();
+            prop_assert!(!inserted);
+        }
+        prop_assert_eq!(db.total_tuples(), before);
+    }
+
+    /// Schema text printing re-parses to an identical schema.
+    #[test]
+    fn schema_display_roundtrip(
+        patterns in proptest::collection::vec(pattern_string(), 1..5),
+    ) {
+        let mut text = String::new();
+        for (i, p) in patterns.iter().enumerate() {
+            let domains: Vec<String> =
+                (0..p.len()).map(|k| format!("D{k}")).collect();
+            text.push_str(&format!("r{i}^{}({})\n", p, domains.join(", ")));
+        }
+        // Nullary relations print as r^() which also parses.
+        let schema = Schema::parse(&text).unwrap();
+        let again = Schema::parse(&schema.to_string()).unwrap();
+        prop_assert_eq!(schema.relation_count(), again.relation_count());
+        for (id, rel) in schema.iter() {
+            let other = again.relation_by_name(rel.name()).unwrap();
+            prop_assert_eq!(rel.pattern(), other.pattern());
+            prop_assert_eq!(rel.arity(), other.arity());
+            let _ = id;
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Candidate strong arcs and the cyclicity check (§III).
+//!
+//! An arc `u → v` is a **candidate strong arc** when both `u` and `v` are
+//! black and their positions carry variables that are *joined* in the query
+//! — after constant elimination this is simply "the same variable", since
+//! all joins are explicit variable sharing.
+//!
+//! A candidate strong arc is **cyclic** (`cycl`) when it is contained in a
+//! cyclic d-path all of whose arcs are candidate strong. D-paths chain
+//! through sources (entering any bound node, leaving from any free node of
+//! the same source), so cyclicity is decided on the source-level graph whose
+//! edges are the candidate strong arcs: an arc is cyclic iff its endpoint
+//! sources lie in one strongly connected component of that graph.
+//! Cyclic candidates can never become strong (none of their input nodes
+//! would be free-reachable) nor deleted (they reach black nodes), so they
+//! always end up weak.
+
+use std::collections::HashSet;
+
+use crate::util::strongly_connected_components;
+use crate::{ArcId, DGraph};
+
+/// All candidate strong arcs of `graph` (`cand(G)`).
+pub fn candidate_strong_arcs(graph: &DGraph) -> HashSet<ArcId> {
+    graph
+        .arc_ids()
+        .filter(|&id| {
+            let arc = graph.arc(id);
+            let u = graph.node(arc.from);
+            let v = graph.node(arc.to);
+            match (u.variable, v.variable) {
+                (Some(a), Some(b)) => a == b,
+                _ => false,
+            }
+        })
+        .collect()
+}
+
+/// The cyclic candidate strong arcs of `graph` (`cycl(G)`), given its
+/// candidate set.
+pub fn cyclic_candidate_arcs(graph: &DGraph, candidates: &HashSet<ArcId>) -> HashSet<ArcId> {
+    // Source-level graph restricted to candidate strong arcs.
+    let n = graph.sources().len();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &arc in candidates {
+        let from = graph.arc_from_source(arc).index();
+        let to = graph.arc_to_source(arc).index();
+        adj[from].push(to);
+    }
+    let comp = strongly_connected_components(&adj);
+    candidates
+        .iter()
+        .copied()
+        .filter(|&arc| {
+            let from = graph.arc_from_source(arc).index();
+            let to = graph.arc_to_source(arc).index();
+            // An edge lies on a cycle iff its endpoints share a component;
+            // a source-level self-loop (from == to) is trivially cyclic.
+            comp[from] == comp[to]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use toorjah_catalog::Schema;
+    use toorjah_query::{parse_query, preprocess};
+
+    fn build(schema_text: &str, query_text: &str) -> DGraph {
+        let schema = Schema::parse(schema_text).unwrap();
+        let q = parse_query(query_text, &schema).unwrap();
+        let pre = preprocess(&q, &schema).unwrap();
+        DGraph::build(&pre).unwrap()
+    }
+
+    fn arc_labels(graph: &DGraph, arcs: &HashSet<ArcId>) -> Vec<String> {
+        let mut out: Vec<String> = arcs
+            .iter()
+            .map(|&a| {
+                format!(
+                    "{}→{}",
+                    graph.source(graph.arc_from_source(a)).label,
+                    graph.source(graph.arc_to_source(a)).label
+                )
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn example5_candidates() {
+        // Example 5: e1 (ra→r1) and e2 (r1→r2) are the candidate strong arcs.
+        let g = build(
+            "r1^io(A, B) r2^io(B, C) r3^io(C, A)",
+            "q(C) <- r1('a', B), r2(B, C)",
+        );
+        let cand = candidate_strong_arcs(&g);
+        assert_eq!(
+            arc_labels(&g, &cand),
+            ["r1(1)→r2(1)", "r_a(1)→r1(1)"]
+        );
+        // Neither is cyclic.
+        let cycl = cyclic_candidate_arcs(&g, &cand);
+        assert!(cycl.is_empty());
+    }
+
+    #[test]
+    fn white_arcs_are_never_candidates() {
+        let g = build(
+            "r1^io(A, B) r2^io(B, C) r3^io(C, A)",
+            "q(C) <- r1('a', B), r2(B, C)",
+        );
+        let cand = candidate_strong_arcs(&g);
+        for arc in g.arc_ids() {
+            let from_black = g.source(g.arc_from_source(arc)).is_black();
+            let to_black = g.source(g.arc_to_source(arc)).is_black();
+            if cand.contains(&arc) {
+                assert!(from_black && to_black);
+            }
+        }
+    }
+
+    #[test]
+    fn unjoined_black_arcs_are_not_candidates() {
+        // r1's output B feeds r2's input B, but the query uses different
+        // variables at those positions (no join).
+        let g = build("r1^oo(A, B) r2^io(B, C)", "q(C) <- r1(X, Y), r2(Z, C)");
+        let cand = candidate_strong_arcs(&g);
+        assert!(cand.is_empty());
+    }
+
+    #[test]
+    fn three_cycle_of_candidates_is_cyclic() {
+        // q(A) ← r1(A,B), r2(B,C), r3(C,A): all three arcs candidate strong
+        // and on one cycle.
+        let g = build(
+            "r1^io(A, B) r2^io(B, C) r3^io(C, A) seed^o(A)",
+            "q(A) <- r1(A, B), r2(B, C), r3(C, A), seed(A)",
+        );
+        let cand = candidate_strong_arcs(&g);
+        let cycl = cyclic_candidate_arcs(&g, &cand);
+        // Arcs inside the r1→r2→r3→r1 cycle are cyclic; seed→r1 is not.
+        let labels = arc_labels(&g, &cycl);
+        assert_eq!(labels, ["r1(1)→r2(1)", "r2(1)→r3(1)", "r3(1)→r1(1)"]);
+        assert!(cand.len() > cycl.len());
+    }
+
+    #[test]
+    fn self_join_self_loop_is_cyclic() {
+        // r(A^i, A^o) with atom r(X, X): the intra-source arc is a cyclic
+        // candidate (a length-one cyclic d-path).
+        let g = build("r^io(A, A) seed^o(A)", "q(X) <- r(X, X), seed(X)");
+        let cand = candidate_strong_arcs(&g);
+        let cycl = cyclic_candidate_arcs(&g, &cand);
+        let self_loops: Vec<_> = cycl
+            .iter()
+            .filter(|&&a| g.arc_from_source(a) == g.arc_to_source(a))
+            .collect();
+        assert_eq!(self_loops.len(), 1);
+    }
+
+    #[test]
+    fn two_source_cycle_detected() {
+        let g = build(
+            "p^io(A, B) r^io(B, A) seed^o(A)",
+            "q(X) <- p(X, Y), r(Y, X), seed(X)",
+        );
+        let cand = candidate_strong_arcs(&g);
+        let cycl = cyclic_candidate_arcs(&g, &cand);
+        let labels = arc_labels(&g, &cycl);
+        assert_eq!(labels, ["p(1)→r(1)", "r(1)→p(1)"]);
+    }
+}

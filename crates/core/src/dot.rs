@@ -1,0 +1,139 @@
+//! Graphviz (DOT) export of d-graphs, regenerating the paper's Figures
+//! 2, 4, 7, 8 and 9.
+//!
+//! Sources render as clusters (the paper draws them as ovals); nodes are
+//! labelled with their abstract domain and access mode; strong arcs render
+//! with double lines (`color="black:invis:black"`), weak arcs as plain
+//! arrows, deleted arcs (when requested) as dashed grey.
+
+use std::fmt::Write as _;
+
+use crate::{ArcMark, DGraph, OptimizedDGraph, Solution};
+
+/// Renders an unmarked d-graph (all arcs weak).
+pub fn dgraph_to_dot(graph: &DGraph) -> String {
+    render(&OptimizedDGraph::new(graph.clone(), Solution::all_weak()), true)
+}
+
+/// Renders an optimized d-graph. With `include_deleted`, deleted arcs and
+/// pruned sources are drawn dashed/grey instead of omitted (useful to
+/// visualize the pruning side by side, as in Figs. 7–9).
+pub fn optimized_to_dot(opt: &OptimizedDGraph, include_deleted: bool) -> String {
+    render(opt, include_deleted)
+}
+
+fn render(opt: &OptimizedDGraph, include_deleted: bool) -> String {
+    let graph = opt.graph();
+    let schema = graph.schema();
+    let mut out = String::new();
+    out.push_str("digraph dgraph {\n");
+    out.push_str("  rankdir=LR;\n  compound=true;\n  node [shape=circle, fontsize=10];\n");
+
+    let relevant = opt.relevant_sources();
+    for (sid, source) in graph.sources().iter().enumerate() {
+        let is_relevant = relevant.iter().any(|s| s.index() == sid);
+        if !include_deleted && !is_relevant {
+            continue;
+        }
+        let style = if source.is_black() { "filled" } else { "solid" };
+        let fill = if source.is_black() { "gray85" } else { "white" };
+        let pen = if is_relevant { "black" } else { "gray60" };
+        let _ = writeln!(out, "  subgraph cluster_{sid} {{");
+        let _ = writeln!(out, "    label=\"{}\";", escape(&source.label));
+        let _ = writeln!(out, "    style=rounded; color={pen};");
+        for &n in &source.nodes {
+            let node = graph.node(n);
+            let domain = schema.domains().name(node.domain);
+            let _ = writeln!(
+                out,
+                "    n{} [label=\"{} ({})\", style={style}, fillcolor={fill}, color={pen}];",
+                n.index(),
+                escape(domain),
+                node.mode.letter(),
+            );
+        }
+        if source.nodes.is_empty() {
+            // Nullary sources still get a placeholder so the cluster shows.
+            let _ = writeln!(out, "    s{sid}_empty [label=\"()\", shape=point];");
+        }
+        out.push_str("  }\n");
+    }
+
+    for (i, arc) in graph.arcs().iter().enumerate() {
+        let id = crate::ArcId(i as u32);
+        let mark = opt.mark(id);
+        if mark == ArcMark::Deleted && !include_deleted {
+            continue;
+        }
+        let attrs = match mark {
+            ArcMark::Strong => "color=\"black:invis:black\", penwidth=1.2",
+            ArcMark::Weak => "color=black",
+            ArcMark::Deleted => "color=gray60, style=dashed",
+        };
+        let _ = writeln!(
+            out,
+            "  n{} -> n{} [{attrs}, label=\"e{}\"];",
+            arc.from.index(),
+            arc.to.index(),
+            i + 1,
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gfp;
+    use toorjah_catalog::Schema;
+    use toorjah_query::{parse_query, preprocess};
+
+    fn example4() -> OptimizedDGraph {
+        let schema = Schema::parse("r1^io(A, B) r2^io(B, C) r3^io(C, A)").unwrap();
+        let q = parse_query("q(C) <- r1('a', B), r2(B, C)", &schema).unwrap();
+        let pre = preprocess(&q, &schema).unwrap();
+        let graph = DGraph::build(&pre).unwrap();
+        let (sol, _) = gfp(&graph);
+        OptimizedDGraph::new(graph, sol)
+    }
+
+    #[test]
+    fn dot_contains_all_sources_and_arcs() {
+        let opt = example4();
+        let dot = dgraph_to_dot(opt.graph());
+        assert!(dot.starts_with("digraph"));
+        for label in ["r_a(1)", "r1(1)", "r2(1)", "r3"] {
+            assert!(dot.contains(label), "missing {label} in:\n{dot}");
+        }
+        // 4 arcs e1..e4.
+        assert!(dot.contains("e4"));
+    }
+
+    #[test]
+    fn optimized_dot_prunes_deleted() {
+        let opt = example4();
+        let dot = optimized_to_dot(&opt, false);
+        // r3 is irrelevant: pruned entirely (Fig. 4).
+        assert!(!dot.contains("\"r3\""), "{dot}");
+        // Strong arcs use the double-line styling.
+        assert!(dot.contains("black:invis:black"));
+    }
+
+    #[test]
+    fn optimized_dot_with_deleted_keeps_everything() {
+        let opt = example4();
+        let dot = optimized_to_dot(&opt, true);
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.contains("r3"));
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+    }
+}

@@ -1,0 +1,77 @@
+//! Error type for d-graph construction and plan generation.
+
+use std::error::Error;
+use std::fmt;
+
+use toorjah_datalog::DatalogError;
+use toorjah_query::QueryError;
+
+/// Errors raised by the optimizer and planner.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CoreError {
+    /// The query mentions a non-queryable relation, hence is not answerable
+    /// (§II): no access plan can ever extract any of its tuples.
+    NotAnswerable {
+        /// Name of the non-queryable relation occurring in the query.
+        relation: String,
+    },
+    /// An error from query validation or preprocessing.
+    Query(QueryError),
+    /// An error while assembling the plan's Datalog program.
+    Datalog(DatalogError),
+    /// An internal invariant was violated (a bug; the message says which).
+    Internal(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::NotAnswerable { relation } => write!(
+                f,
+                "query is not answerable: relation {relation} is not queryable under the schema's access limitations"
+            ),
+            CoreError::Query(e) => write!(f, "query error: {e}"),
+            CoreError::Datalog(e) => write!(f, "plan assembly error: {e}"),
+            CoreError::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Query(e) => Some(e),
+            CoreError::Datalog(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<QueryError> for CoreError {
+    fn from(e: QueryError) -> Self {
+        CoreError::Query(e)
+    }
+}
+
+impl From<DatalogError> for CoreError {
+    fn from(e: DatalogError) -> Self {
+        CoreError::Datalog(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn not_answerable_names_relation() {
+        let e = CoreError::NotAnswerable { relation: "r1".into() };
+        assert!(e.to_string().contains("r1"));
+    }
+
+    #[test]
+    fn wraps_sources() {
+        let e: CoreError = QueryError::EmptyBody.into();
+        assert!(Error::source(&e).is_some());
+    }
+}

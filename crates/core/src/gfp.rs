@@ -1,0 +1,371 @@
+//! The GFP arc-marking algorithm (Fig. 3 of the paper).
+//!
+//! Starting from the largest plausible sets — `S = cand(G) \ cycl(G)` of
+//! strong arcs and `D = arcs(G) \ cand(G)` of deleted arcs — two monotone
+//! "unmarking" operators shrink the sets until the greatest fixpoint:
+//!
+//! * `unmarkStr` removes an arc `u → v` from `S` when the target source
+//!   still has an *unmarked* (weak) outgoing arc: then `v`'s source is needed
+//!   to provide arbitrary values to other relations, so the join with `u`
+//!   cannot restrict the tuples extracted from it.
+//! * `unmarkDel` removes an arc `u → v` from `D` when it is still needed:
+//!   for a black target, when no strong arc into the same node dominates it;
+//!   for a white target, when the target source still has a live outgoing
+//!   arc (i.e. it feeds something downstream).
+//!
+//! The result is the unique maximal solution `(S, D)`; marking `S` strong,
+//! `D` deleted, and everything else weak yields the optimized d-graph
+//! ([`crate::OptimizedDGraph`]). The algorithm is polynomial by monotonicity.
+
+use std::collections::HashSet;
+
+use crate::{candidate_strong_arcs, cyclic_candidate_arcs, ArcId, DGraph};
+
+/// A solution `(S, D)` for a d-graph: disjoint sets of strong and deleted
+/// arcs satisfying the §III conditions.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Solution {
+    /// Strong arcs `S`.
+    pub strong: HashSet<ArcId>,
+    /// Deleted arcs `D`.
+    pub deleted: HashSet<ArcId>,
+}
+
+impl Solution {
+    /// The trivial solution marking every arc weak (used to treat an
+    /// unoptimized d-graph uniformly as a marked one).
+    pub fn all_weak() -> Self {
+        Solution { strong: HashSet::new(), deleted: HashSet::new() }
+    }
+}
+
+/// Counters describing one GFP run.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct GfpStats {
+    /// Fixpoint iterations executed (at least one).
+    pub iterations: usize,
+    /// `|cand(G)|`.
+    pub candidates: usize,
+    /// `|cycl(G)|`.
+    pub cyclic_candidates: usize,
+    /// Size of the initial strong set `cand \ cycl`.
+    pub initial_strong: usize,
+    /// Size of the initial deleted set `arcs \ cand`.
+    pub initial_deleted: usize,
+}
+
+/// Runs `GFP(G)` (Fig. 3), returning the maximal solution and run counters.
+pub fn gfp(graph: &DGraph) -> (Solution, GfpStats) {
+    let cand = candidate_strong_arcs(graph);
+    gfp_with_candidates(graph, cand)
+}
+
+/// Ablation: the optimization with the **strong-arc machinery disabled** —
+/// no arc is ever marked strong, so deletions happen solely through the
+/// dead-white-source cascade (arcs on no d-path reaching a black node).
+/// The delta between this solution and [`gfp`]'s isolates the contribution
+/// of the paper's join-domination reasoning: without it, e.g., Example 5's
+/// `r3` stays relevant and keeps being probed, exactly the waste §III's
+/// strong arcs eliminate.
+pub fn gfp_relevance_only(graph: &DGraph) -> (Solution, GfpStats) {
+    gfp_with_candidates(graph, HashSet::new())
+}
+
+/// The Fig. 3 fixpoint parameterized by the candidate strong arc set.
+fn gfp_with_candidates(graph: &DGraph, cand: HashSet<ArcId>) -> (Solution, GfpStats) {
+    let cycl = cyclic_candidate_arcs(graph, &cand);
+
+    let mut strong: HashSet<ArcId> = cand.difference(&cycl).copied().collect();
+    let mut deleted: HashSet<ArcId> =
+        graph.arc_ids().filter(|a| !cand.contains(a)).collect();
+
+    let mut stats = GfpStats {
+        iterations: 0,
+        candidates: cand.len(),
+        cyclic_candidates: cycl.len(),
+        initial_strong: strong.len(),
+        initial_deleted: deleted.len(),
+    };
+
+    loop {
+        stats.iterations += 1;
+        let strong0 = strong.clone();
+        let deleted0 = deleted.clone();
+        strong = unmark_str(&strong0, &deleted0, graph);
+        deleted = unmark_del(&strong0, &deleted0, graph);
+        if strong == strong0 && deleted == deleted0 {
+            break;
+        }
+    }
+
+    debug_assert!(strong.is_disjoint(&deleted), "S and D must be disjoint");
+    (Solution { strong, deleted }, stats)
+}
+
+/// `unmarkStr(S, D, G)`: keep `u → v` strong only if every outgoing arc of
+/// `v`'s source is already strong or deleted.
+fn unmark_str(strong: &HashSet<ArcId>, deleted: &HashSet<ArcId>, graph: &DGraph) -> HashSet<ArcId> {
+    let mut out = strong.clone();
+    for &arc in strong {
+        let v = graph.arc(arc).to;
+        let escapes = graph
+            .out_arcs_of_node(v)
+            .iter()
+            .any(|gamma| !strong.contains(gamma) && !deleted.contains(gamma));
+        if escapes {
+            out.remove(&arc);
+        }
+    }
+    out
+}
+
+/// `unmarkDel(S, D, G)`: keep `u → v` deleted only if it is dominated (black
+/// target with a strong arc into the same node) or dead (white target whose
+/// source has no live outgoing arc).
+fn unmark_del(strong: &HashSet<ArcId>, deleted: &HashSet<ArcId>, graph: &DGraph) -> HashSet<ArcId> {
+    let mut out = deleted.clone();
+    for &arc in deleted {
+        let v = graph.arc(arc).to;
+        if graph.node(v).is_black() {
+            let strong_exists = strong.iter().any(|&s| graph.arc(s).to == v);
+            if !strong_exists {
+                out.remove(&arc);
+            }
+        } else {
+            let live_out = graph
+                .out_arcs_of_node(v)
+                .iter()
+                .any(|gamma| !deleted.contains(gamma));
+            if live_out {
+                out.remove(&arc);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use toorjah_catalog::Schema;
+    use toorjah_query::{parse_query, preprocess};
+
+    fn build(schema_text: &str, query_text: &str) -> DGraph {
+        let schema = Schema::parse(schema_text).unwrap();
+        let q = parse_query(query_text, &schema).unwrap();
+        let pre = preprocess(&q, &schema).unwrap();
+        DGraph::build(&pre).unwrap()
+    }
+
+    fn arc_by_sources(graph: &DGraph, from: &str, to: &str) -> ArcId {
+        graph
+            .arc_ids()
+            .find(|&a| {
+                graph.source(graph.arc_from_source(a)).label == from
+                    && graph.source(graph.arc_to_source(a)).label == to
+            })
+            .unwrap_or_else(|| panic!("no arc {from}→{to}"))
+    }
+
+    /// Example 5: e1, e2 strong; e3, e4 deleted; r3 pruned.
+    #[test]
+    fn example5_solution() {
+        let g = build(
+            "r1^io(A, B) r2^io(B, C) r3^io(C, A)",
+            "q(C) <- r1('a', B), r2(B, C)",
+        );
+        let (sol, stats) = gfp(&g);
+        let e1 = arc_by_sources(&g, "r_a(1)", "r1(1)");
+        let e2 = arc_by_sources(&g, "r1(1)", "r2(1)");
+        let e3 = arc_by_sources(&g, "r2(1)", "r3");
+        let e4 = arc_by_sources(&g, "r3", "r1(1)");
+        assert!(sol.strong.contains(&e1));
+        assert!(sol.strong.contains(&e2));
+        assert!(sol.deleted.contains(&e3));
+        assert!(sol.deleted.contains(&e4));
+        assert_eq!(stats.candidates, 2);
+        assert_eq!(stats.cyclic_candidates, 0);
+        // Initial guess was already the fixpoint; one confirming pass.
+        assert!(stats.iterations >= 1);
+    }
+
+    /// A strong-arc chain collapses when the head source must feed a white
+    /// relation that is genuinely needed.
+    #[test]
+    fn strong_unmarked_when_target_feeds_elsewhere() {
+        // r2 must provide arbitrary B values to r3, which is the only
+        // provider of the head variable's relation r4 (via domain D).
+        let g = build(
+            "r1^oo(A, B) r2^io(B, C) r3^io(C, D) r4^io(D, E)",
+            "q(E) <- r1(X, Y), r2(Y, Z), r4(W, E)",
+        );
+        let (sol, _) = gfp(&g);
+        // e: r1(1)→r2(1) is a candidate (join on Y). r2's outgoing arc to r3
+        // (white) must stay live because r3 feeds r4; therefore e cannot be
+        // strong.
+        let e = arc_by_sources(&g, "r1(1)", "r2(1)");
+        assert!(!sol.strong.contains(&e));
+        assert!(!sol.deleted.contains(&e));
+        // The white chain stays live.
+        let to_r3 = arc_by_sources(&g, "r2(1)", "r3");
+        let to_r4 = arc_by_sources(&g, "r3", "r4(1)");
+        assert!(!sol.deleted.contains(&to_r3));
+        assert!(!sol.deleted.contains(&to_r4));
+    }
+
+    /// Cyclic candidate strong arcs stay weak: neither strong nor deleted.
+    #[test]
+    fn cyclic_candidates_stay_weak() {
+        let g = build(
+            "r1^io(A, B) r2^io(B, C) r3^io(C, A) seed^o(A)",
+            "q(A) <- r1(A, B), r2(B, C), r3(C, A), seed(A)",
+        );
+        let (sol, stats) = gfp(&g);
+        assert_eq!(stats.cyclic_candidates, 3);
+        for label in [("r1(1)", "r2(1)"), ("r2(1)", "r3(1)"), ("r3(1)", "r1(1)")] {
+            let a = arc_by_sources(&g, label.0, label.1);
+            assert!(!sol.strong.contains(&a), "{label:?} must not be strong");
+            assert!(!sol.deleted.contains(&a), "{label:?} must not be deleted");
+        }
+        // seed→r1 is a non-cyclic candidate... but r1 has a cyclic outgoing
+        // candidate arc (to r2) that is neither strong nor deleted, so the
+        // strong mark cannot survive unmarkStr.
+        let seed_arc = arc_by_sources(&g, "seed(1)", "r1(1)");
+        assert!(!sol.strong.contains(&seed_arc));
+        assert!(!sol.deleted.contains(&seed_arc));
+    }
+
+    /// Dead-end white chains are fully deleted by the unmarkDel cascade.
+    #[test]
+    fn dead_white_chain_cascades() {
+        // w1 feeds w2 feeds nothing relevant: all arcs into/out of them die.
+        let g = build(
+            "r^io(A, B) seed^o(A) w1^io(B, C) w2^io(C, C2)",
+            "q(Y) <- r(X, Y), seed(X)",
+        );
+        let (sol, _) = gfp(&g);
+        for (from, to) in [("r(1)", "w1"), ("w1", "w2")] {
+            let a = arc_by_sources(&g, from, to);
+            assert!(sol.deleted.contains(&a), "{from}→{to} should be deleted");
+        }
+    }
+
+    /// A white cycle that reaches a black node stays alive.
+    #[test]
+    fn live_white_cycle_survives() {
+        // w1 ↔ w2 cycle; w1 also feeds the query relation r's input via
+        // bridge.
+        let g = build(
+            "r^io(C, D) seed^o(A) w1^io(A, B) w2^io(B, A) bridge^io(B, C)",
+            "q(Y) <- r(X, Y)",
+        );
+        // seed(A) → w1(A^i); w1(B^o) → w2(B^i) and → bridge(B^i);
+        // bridge(C^o) → r(C^i). All should stay live (weak).
+        let (sol, _) = gfp(&g);
+        for (from, to) in [("seed", "w1"), ("w1", "w2"), ("w1", "bridge"), ("bridge", "r(1)")] {
+            let a = arc_by_sources(&g, from, to);
+            assert!(!sol.deleted.contains(&a), "{from}→{to} should stay live");
+        }
+    }
+
+    #[test]
+    fn solution_sets_are_disjoint() {
+        let g = build(
+            "r1^io(A, B) r2^io(B, C) r3^io(C, A)",
+            "q(C) <- r1('a', B), r2(B, C)",
+        );
+        let (sol, _) = gfp(&g);
+        assert!(sol.strong.is_disjoint(&sol.deleted));
+    }
+
+    #[test]
+    fn all_weak_solution_is_empty() {
+        let s = Solution::all_weak();
+        assert!(s.strong.is_empty() && s.deleted.is_empty());
+    }
+
+    /// Strong marks cascade off when a downstream source keeps a weak
+    /// outgoing arc (the iteration in Example 5's narrative, reversed).
+    #[test]
+    fn unmark_str_cascades_upstream() {
+        // Chain q(D) ← a(X,Y), b(Y,Z), c(Z,D) with a white sink w fed by c.
+        // w is live (feeds black e's input), so c's incoming strong mark
+        // dies, then b→c stays strong? No: only arcs into sources with
+        // escaping outputs die. b→c: c's out-arcs feed w (weak) → b→c weak.
+        // a→b: b's out-arc b→c is weak → a→b weak as well.
+        let g = build(
+            "a^oo(A, B) b^io(B, C) c^io(C, D) w^io(D, E) e^io(E, F)",
+            "q(F) <- a(X, Y), b(Y, Z), c(Z, W2), e(V, F)",
+        );
+        let (sol, _) = gfp(&g);
+        let ab = arc_by_sources(&g, "a(1)", "b(1)");
+        let bc = arc_by_sources(&g, "b(1)", "c(1)");
+        assert!(!sol.strong.contains(&bc));
+        assert!(!sol.strong.contains(&ab));
+        assert!(!sol.deleted.contains(&bc));
+        assert!(!sol.deleted.contains(&ab));
+    }
+}
+
+#[cfg(test)]
+mod ablation_tests {
+    use super::*;
+    use crate::OptimizedDGraph;
+    use toorjah_catalog::Schema;
+    use toorjah_query::{parse_query, preprocess};
+
+    fn build(schema_text: &str, query_text: &str) -> DGraph {
+        let schema = Schema::parse(schema_text).unwrap();
+        let q = parse_query(query_text, &schema).unwrap();
+        let pre = preprocess(&q, &schema).unwrap();
+        DGraph::build(&pre).unwrap()
+    }
+
+    #[test]
+    fn relevance_only_never_marks_strong() {
+        let g = build(
+            "r1^io(A, B) r2^io(B, C) r3^io(C, A)",
+            "q(C) <- r1('a', B), r2(B, C)",
+        );
+        let (sol, stats) = gfp_relevance_only(&g);
+        assert!(sol.strong.is_empty());
+        assert_eq!(stats.candidates, 0);
+        // Without domination r3 stays relevant (the example's whole point).
+        let opt = OptimizedDGraph::new(g, sol);
+        let names: Vec<String> = opt
+            .relevant_sources()
+            .iter()
+            .map(|&s| opt.graph().source(s).label.clone())
+            .collect();
+        assert!(names.contains(&"r3".to_string()));
+        opt.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn relevance_only_still_prunes_dead_ends() {
+        let g = build(
+            "r^io(A, B) seed^o(A) w1^io(B, C) w2^io(C, C)",
+            "q(Y) <- r(X, Y), seed(X)",
+        );
+        let (sol, _) = gfp_relevance_only(&g);
+        let opt = OptimizedDGraph::new(g, sol);
+        let names: Vec<String> = opt
+            .relevant_sources()
+            .iter()
+            .map(|&s| opt.graph().source(s).label.clone())
+            .collect();
+        assert!(!names.contains(&"w1".to_string()));
+        assert!(!names.contains(&"w2".to_string()));
+    }
+
+    #[test]
+    fn full_gfp_deletes_at_least_as_much() {
+        let g = build(
+            "r1^io(A, B) r2^io(B, C) r3^io(C, A) w^oo(B, C)",
+            "q(C) <- r1('a', B), r2(B, C)",
+        );
+        let (full, _) = gfp(&g);
+        let (ablated, _) = gfp_relevance_only(&g);
+        assert!(ablated.deleted.is_subset(&full.deleted));
+    }
+}

@@ -1,0 +1,556 @@
+//! Dependency graphs (d-graphs), §III of the paper.
+//!
+//! The nodes of a d-graph `G_q^R` for a (constant-free, preprocessed) query
+//! `q` over a schema `R` are grouped into *sources*:
+//!
+//! * each atom occurrence of `q` contributes one source of **black** nodes,
+//!   one per argument of the relation;
+//! * each queryable relation of `R` not appearing in `q` contributes one
+//!   source of **white** nodes.
+//!
+//! Every node is labelled with the access mode (`i`/`o`) and the abstract
+//! domain of its argument. There is an arc `u → v` whenever (i) `u` and `v`
+//! have the same abstract domain, (ii) `u` is an output node, and (iii) `v`
+//! is an input node. Arcs denote that the relation of `v` can obtain input
+//! values from the relation of `u`.
+//!
+//! Non-queryable relations can never be accessed for any instance (§II), so
+//! they are excluded up front, per the paper's "restrict our attention to
+//! queryable relations".
+
+use std::fmt;
+
+use toorjah_catalog::{DomainId, Mode, RelationId, Schema};
+use toorjah_query::{ConjunctiveQuery, PreprocessedQuery, VarId};
+
+use crate::{CoreError, Queryability};
+
+/// Identifier of a node in a [`DGraph`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifier of a source (group of nodes) in a [`DGraph`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct SourceId(pub u32);
+
+impl SourceId {
+    /// The id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifier of an arc in a [`DGraph`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct ArcId(pub u32);
+
+impl ArcId {
+    /// The id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// What a source stands for.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SourceKind {
+    /// A black source: occurrence `occurrence` (index into the preprocessed
+    /// query's atoms) of a relation in the query.
+    QueryAtom {
+        /// Index of the atom in the preprocessed query's body.
+        occurrence: usize,
+    },
+    /// A white source: a schema relation not occurring in the query.
+    Relation,
+}
+
+/// One argument position of a source.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DNode {
+    /// The source this node belongs to.
+    pub source: SourceId,
+    /// 0-based argument position within the relation.
+    pub position: usize,
+    /// Access mode of the position.
+    pub mode: Mode,
+    /// Abstract domain of the position.
+    pub domain: DomainId,
+    /// For black nodes: the query variable at this position (the query is
+    /// constant-free after preprocessing). `None` for white nodes.
+    pub variable: Option<VarId>,
+}
+
+impl DNode {
+    /// `true` when the node belongs to a query-atom (black) source.
+    pub fn is_black(&self) -> bool {
+        self.variable.is_some()
+    }
+}
+
+/// A group of nodes corresponding to one atom occurrence or one relation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Source {
+    /// Black (query atom) or white (relation).
+    pub kind: SourceKind,
+    /// The underlying relation.
+    pub relation: RelationId,
+    /// The source's nodes, in positional order.
+    pub nodes: Vec<NodeId>,
+    /// Display label, e.g. `pub1(1)` for the first occurrence of `pub1` or
+    /// `r3` for a white source.
+    pub label: String,
+}
+
+impl Source {
+    /// `true` for query-atom sources.
+    pub fn is_black(&self) -> bool {
+        matches!(self.kind, SourceKind::QueryAtom { .. })
+    }
+
+    /// `true` when no node of the source has input mode (free sources can be
+    /// accessed with no restriction).
+    pub fn is_free(&self, graph: &DGraph) -> bool {
+        self.nodes.iter().all(|&n| graph.node(n).mode.is_output())
+    }
+}
+
+/// An arc `u → v` from an output node to an input node of equal domain.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DArc {
+    /// Origin (an output node).
+    pub from: NodeId,
+    /// Target (an input node).
+    pub to: NodeId,
+}
+
+/// A dependency graph for a preprocessed (constant-free) query.
+#[derive(Clone, Debug)]
+pub struct DGraph {
+    schema: Schema,
+    query: ConjunctiveQuery,
+    sources: Vec<Source>,
+    nodes: Vec<DNode>,
+    arcs: Vec<DArc>,
+    out_arcs_of_source: Vec<Vec<ArcId>>,
+    in_arcs_of_node: Vec<Vec<ArcId>>,
+}
+
+impl DGraph {
+    /// Builds the d-graph for a preprocessed query.
+    ///
+    /// Returns [`CoreError::NotAnswerable`] when some relation occurring in
+    /// the query is not queryable (§II: the answer is then known to be empty
+    /// without any access, and no plan is generated).
+    pub fn build(pre: &PreprocessedQuery) -> Result<DGraph, CoreError> {
+        debug_assert!(pre.query.is_constant_free(), "preprocess() must run first");
+        let schema = &pre.schema;
+        // Constants were compiled into free relations, so no extra seeds.
+        let queryability = Queryability::compute(schema, []);
+        for atom in pre.query.atoms() {
+            if !queryability.is_queryable(atom.relation()) {
+                return Err(CoreError::NotAnswerable {
+                    relation: schema.relation(atom.relation()).name().to_string(),
+                });
+            }
+        }
+
+        let mut graph = DGraph {
+            schema: schema.clone(),
+            query: pre.query.clone(),
+            sources: Vec::new(),
+            nodes: Vec::new(),
+            arcs: Vec::new(),
+            out_arcs_of_source: Vec::new(),
+            in_arcs_of_node: Vec::new(),
+        };
+
+        // Black sources: one per atom occurrence, labelled with a
+        // per-relation occurrence number as in the paper's figures.
+        let mut occurrence_counter = vec![0usize; schema.relation_count()];
+        for (occurrence, atom) in pre.query.atoms().iter().enumerate() {
+            let rel = atom.relation();
+            occurrence_counter[rel.index()] += 1;
+            let label = format!(
+                "{}({})",
+                schema.relation(rel).name(),
+                occurrence_counter[rel.index()]
+            );
+            let source_id = SourceId(graph.sources.len() as u32);
+            let rel_schema = schema.relation(rel);
+            let mut node_ids = Vec::with_capacity(rel_schema.arity());
+            for k in 0..rel_schema.arity() {
+                let variable = atom.term(k).as_var().ok_or_else(|| {
+                    CoreError::Internal("constant in preprocessed query".to_string())
+                })?;
+                node_ids.push(graph.push_node(DNode {
+                    source: source_id,
+                    position: k,
+                    mode: rel_schema.mode(k),
+                    domain: rel_schema.domain(k),
+                    variable: Some(variable),
+                }));
+            }
+            graph.sources.push(Source {
+                kind: SourceKind::QueryAtom { occurrence },
+                relation: rel,
+                nodes: node_ids,
+                label,
+            });
+        }
+
+        // White sources: queryable relations not occurring in the query.
+        let query_relations = pre.query.relations();
+        for (rel, rel_schema) in schema.iter() {
+            if query_relations.contains(&rel) || !queryability.is_queryable(rel) {
+                continue;
+            }
+            let source_id = SourceId(graph.sources.len() as u32);
+            let mut node_ids = Vec::with_capacity(rel_schema.arity());
+            for k in 0..rel_schema.arity() {
+                node_ids.push(graph.push_node(DNode {
+                    source: source_id,
+                    position: k,
+                    mode: rel_schema.mode(k),
+                    domain: rel_schema.domain(k),
+                    variable: None,
+                }));
+            }
+            graph.sources.push(Source {
+                kind: SourceKind::Relation,
+                relation: rel,
+                nodes: node_ids,
+                label: rel_schema.name().to_string(),
+            });
+        }
+
+        // Arcs: output → input within equal abstract domains.
+        graph.out_arcs_of_source = vec![Vec::new(); graph.sources.len()];
+        graph.in_arcs_of_node = vec![Vec::new(); graph.nodes.len()];
+        for from in 0..graph.nodes.len() as u32 {
+            let u = &graph.nodes[from as usize];
+            if !u.mode.is_output() {
+                continue;
+            }
+            for to in 0..graph.nodes.len() as u32 {
+                let v = &graph.nodes[to as usize];
+                if !v.mode.is_input() || u.domain != v.domain {
+                    continue;
+                }
+                let arc_id = ArcId(graph.arcs.len() as u32);
+                graph.arcs.push(DArc { from: NodeId(from), to: NodeId(to) });
+                graph.out_arcs_of_source[u.source.index()].push(arc_id);
+                graph.in_arcs_of_node[to as usize].push(arc_id);
+            }
+        }
+
+        Ok(graph)
+    }
+
+    fn push_node(&mut self, node: DNode) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(node);
+        id
+    }
+
+    /// The (extended) schema the graph was built over.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The constant-free query the graph was built for.
+    pub fn query(&self) -> &ConjunctiveQuery {
+        &self.query
+    }
+
+    /// All sources; black sources come first, in atom-occurrence order.
+    pub fn sources(&self) -> &[Source] {
+        &self.sources
+    }
+
+    /// A source by id.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn source(&self, id: SourceId) -> &Source {
+        &self.sources[id.index()]
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[DNode] {
+        &self.nodes
+    }
+
+    /// A node by id.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn node(&self, id: NodeId) -> &DNode {
+        &self.nodes[id.index()]
+    }
+
+    /// All arcs.
+    pub fn arcs(&self) -> &[DArc] {
+        &self.arcs
+    }
+
+    /// An arc by id.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn arc(&self, id: ArcId) -> DArc {
+        self.arcs[id.index()]
+    }
+
+    /// Ids of all arcs.
+    pub fn arc_ids(&self) -> impl Iterator<Item = ArcId> {
+        (0..self.arcs.len() as u32).map(ArcId)
+    }
+
+    /// Ids of all sources.
+    pub fn source_ids(&self) -> impl Iterator<Item = SourceId> {
+        (0..self.sources.len() as u32).map(SourceId)
+    }
+
+    /// `outArcs(u, G)`: the arcs leaving *any* node of the source of `u`
+    /// (the paper's notation takes a node; sources share their out-arc set).
+    pub fn out_arcs_of_node(&self, u: NodeId) -> &[ArcId] {
+        &self.out_arcs_of_source[self.node(u).source.index()]
+    }
+
+    /// The arcs leaving any node of source `s`.
+    pub fn out_arcs_of_source(&self, s: SourceId) -> &[ArcId] {
+        &self.out_arcs_of_source[s.index()]
+    }
+
+    /// The arcs entering node `v`.
+    pub fn in_arcs(&self, v: NodeId) -> &[ArcId] {
+        &self.in_arcs_of_node[v.index()]
+    }
+
+    /// The source of an arc's origin node.
+    pub fn arc_from_source(&self, arc: ArcId) -> SourceId {
+        self.node(self.arc(arc).from).source
+    }
+
+    /// The source of an arc's target node.
+    pub fn arc_to_source(&self, arc: ArcId) -> SourceId {
+        self.node(self.arc(arc).to).source
+    }
+
+    /// Input nodes of a source.
+    pub fn input_nodes(&self, s: SourceId) -> impl Iterator<Item = NodeId> + '_ {
+        self.sources[s.index()]
+            .nodes
+            .iter()
+            .copied()
+            .filter(|&n| self.node(n).mode.is_input())
+    }
+
+    /// Black sources (query atoms), in occurrence order.
+    pub fn black_sources(&self) -> impl Iterator<Item = SourceId> + '_ {
+        self.source_ids().filter(|&s| self.source(s).is_black())
+    }
+
+    /// White sources (relations outside the query).
+    pub fn white_sources(&self) -> impl Iterator<Item = SourceId> + '_ {
+        self.source_ids().filter(|&s| !self.source(s).is_black())
+    }
+}
+
+impl fmt::Display for DGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "d-graph: {} sources, {} nodes, {} arcs",
+            self.sources.len(),
+            self.nodes.len(),
+            self.arcs.len()
+        )?;
+        for s in &self.sources {
+            let color = if s.is_black() { "black" } else { "white" };
+            writeln!(f, "  source {} [{color}]", s.label)?;
+        }
+        for (i, arc) in self.arcs.iter().enumerate() {
+            let from = self.node(arc.from);
+            let to = self.node(arc.to);
+            writeln!(
+                f,
+                "  e{}: {}.{} → {}.{}",
+                i + 1,
+                self.source(from.source).label,
+                from.position,
+                self.source(to.source).label,
+                to.position,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use toorjah_query::{parse_query, preprocess};
+
+    /// Example 3/4 of the paper:
+    /// R = {r1^io(A,B), r2^io(B,C), r3^io(C,A)}, q(C) ← r1(a, B), r2(B, C).
+    fn example4() -> (Schema, PreprocessedQuery) {
+        let schema = Schema::parse("r1^io(A, B) r2^io(B, C) r3^io(C, A)").unwrap();
+        let q = parse_query("q(C) <- r1('a', B), r2(B, C)", &schema).unwrap();
+        let pre = preprocess(&q, &schema).unwrap();
+        (schema, pre)
+    }
+
+    #[test]
+    fn example4_graph_shape() {
+        let (_, pre) = example4();
+        let g = DGraph::build(&pre).unwrap();
+        // Sources: r1(1), r2(1), r_a(1) black; r3 white.
+        assert_eq!(g.sources().len(), 4);
+        assert_eq!(g.black_sources().count(), 3);
+        assert_eq!(g.white_sources().count(), 1);
+        // Nodes: r1:2 + r2:2 + r_a:1 + r3:2 = 7.
+        assert_eq!(g.nodes().len(), 7);
+        // Arcs (paper Fig. 2): e1 ra.A→r1.A, e2 r1.B→r2.B, e3 r2.C→r3.C,
+        // e4 r3.A→r1.A — exactly 4.
+        assert_eq!(g.arcs().len(), 4);
+    }
+
+    #[test]
+    fn example4_arcs_match_figure2() {
+        let (_, pre) = example4();
+        let g = DGraph::build(&pre).unwrap();
+        let mut rendered: Vec<String> = g
+            .arcs()
+            .iter()
+            .map(|a| {
+                format!(
+                    "{}→{}",
+                    g.source(g.node(a.from).source).label,
+                    g.source(g.node(a.to).source).label
+                )
+            })
+            .collect();
+        rendered.sort();
+        assert_eq!(rendered, ["r1(1)→r2(1)", "r2(1)→r3", "r3→r1(1)", "r_a(1)→r1(1)"]);
+    }
+
+    #[test]
+    fn black_nodes_carry_variables() {
+        let (_, pre) = example4();
+        let g = DGraph::build(&pre).unwrap();
+        for s in g.black_sources() {
+            for &n in &g.source(s).nodes {
+                assert!(g.node(n).is_black());
+            }
+        }
+        for s in g.white_sources() {
+            for &n in &g.source(s).nodes {
+                assert!(!g.node(n).is_black());
+            }
+        }
+    }
+
+    #[test]
+    fn occurrence_labels_are_numbered_per_relation() {
+        let schema = Schema::parse("pub1^io(Paper, Person) conf^ooo(Paper, C, Y)").unwrap();
+        let q = parse_query("q(R) <- pub1(P, R), pub1(P, A), conf(P, C, Y)", &schema).unwrap();
+        let pre = preprocess(&q, &schema).unwrap();
+        let g = DGraph::build(&pre).unwrap();
+        let labels: Vec<_> = g.sources().iter().map(|s| s.label.clone()).collect();
+        assert!(labels.contains(&"pub1(1)".to_string()));
+        assert!(labels.contains(&"pub1(2)".to_string()));
+        assert!(labels.contains(&"conf(1)".to_string()));
+    }
+
+    #[test]
+    fn non_queryable_white_relations_are_excluded() {
+        // `dead` needs domain D that nothing outputs: excluded from graph.
+        let schema = Schema::parse("r^oo(A, B) dead^io(D, A)").unwrap();
+        let q = parse_query("q(X) <- r(X, Y)", &schema).unwrap();
+        let pre = preprocess(&q, &schema).unwrap();
+        let g = DGraph::build(&pre).unwrap();
+        assert_eq!(g.sources().len(), 1);
+        assert_eq!(g.source(SourceId(0)).label, "r(1)");
+    }
+
+    #[test]
+    fn non_answerable_query_is_rejected() {
+        let schema = Schema::parse("r1^io(A, C) r2^io(B, C) r3^io(C, B)").unwrap();
+        // Example 2's q2 shape but over r1, with no constant of domain A.
+        let q = parse_query("q(C) <- r1(X, C)", &schema).unwrap();
+        let pre = preprocess(&q, &schema).unwrap();
+        let err = DGraph::build(&pre).unwrap_err();
+        assert!(matches!(err, CoreError::NotAnswerable { relation } if relation == "r1"));
+    }
+
+    #[test]
+    fn free_sources_detected() {
+        let (_, pre) = example4();
+        let g = DGraph::build(&pre).unwrap();
+        let free: Vec<_> = g
+            .source_ids()
+            .filter(|&s| g.source(s).is_free(&g))
+            .map(|s| g.source(s).label.clone())
+            .collect();
+        assert_eq!(free, ["r_a(1)"]);
+    }
+
+    #[test]
+    fn out_arcs_are_shared_per_source() {
+        let (_, pre) = example4();
+        let g = DGraph::build(&pre).unwrap();
+        // r1(1) has 2 nodes; outArcs from either is the same set.
+        let r1 = g
+            .source_ids()
+            .find(|&s| g.source(s).label == "r1(1)")
+            .unwrap();
+        let nodes = &g.source(r1).nodes;
+        assert_eq!(g.out_arcs_of_node(nodes[0]), g.out_arcs_of_node(nodes[1]));
+        assert_eq!(g.out_arcs_of_source(r1).len(), 1); // e2 only
+    }
+
+    #[test]
+    fn in_arcs_per_node() {
+        let (_, pre) = example4();
+        let g = DGraph::build(&pre).unwrap();
+        // r1(1)'s input node (position 0) has two incoming arcs: from r_a and r3.
+        let r1 = g
+            .source_ids()
+            .find(|&s| g.source(s).label == "r1(1)")
+            .unwrap();
+        let input = g.input_nodes(r1).next().unwrap();
+        assert_eq!(g.in_arcs(input).len(), 2);
+    }
+
+    #[test]
+    fn self_feeding_source_gets_self_arc() {
+        // r(A^i, A^o): the relation can feed itself once seeded.
+        let schema = Schema::parse("r^io(A, A) seed^o(A)").unwrap();
+        let q = parse_query("q(X) <- r(X, Y)", &schema).unwrap();
+        let pre = preprocess(&q, &schema).unwrap();
+        let g = DGraph::build(&pre).unwrap();
+        let self_arcs = g
+            .arc_ids()
+            .filter(|&a| g.arc_from_source(a) == g.arc_to_source(a))
+            .count();
+        assert_eq!(self_arcs, 1);
+    }
+
+    #[test]
+    fn display_mentions_sources_and_arcs() {
+        let (_, pre) = example4();
+        let g = DGraph::build(&pre).unwrap();
+        let text = g.to_string();
+        assert!(text.contains("4 sources"));
+        assert!(text.contains("r3 [white]"));
+        assert!(text.contains("→"));
+    }
+}

@@ -1,0 +1,52 @@
+//! # toorjah-core
+//!
+//! The core contribution of *"Querying Data under Access Limitations"*
+//! (Calì & Martinenghi, ICDE 2008), reproduced in Rust:
+//!
+//! * **Queryability / answerability** (§II): which relations can be accessed
+//!   at all, starting from the constants in the query — computed as a
+//!   fixpoint over *obtainable abstract domains* ([`Queryability`]).
+//! * **Dependency graphs** (§III): [`DGraph`] — black sources per query-atom
+//!   occurrence, white sources per remaining queryable relation, arcs from
+//!   output nodes to input nodes of the same abstract domain.
+//! * **The GFP arc-marking algorithm** (§III, Fig. 3): [`gfp`] computes the
+//!   unique maximal solution `(S, D)` of strong/deleted arcs via the
+//!   `unmarkStr`/`unmarkDel` fixpoint operators; [`OptimizedDGraph`] is the
+//!   resulting marked d-graph, from which **relevant** sources are read off.
+//! * **Source and relation orderings** (§IV): [`order_sources`] assigns
+//!   positions `1..k` respecting weak (⪯), strong (≺) and cyclic (=)
+//!   constraints; [`MinimalityReport`] decides ∀-minimality (which holds iff
+//!   exactly one relation ordering is possible).
+//! * **⊂-minimal plan generation** (§IV, Example 7): [`plan_query`] emits a
+//!   Datalog program with cache predicates `r̂⁽ᵏ⁾` and domain predicates `s`
+//!   (disjunctive for weak incoming arcs, conjunctive for strong ones),
+//!   executed by `toorjah-engine` under the fast-failing strategy.
+//! * **DOT export** ([`dgraph_to_dot`], [`optimized_to_dot`]) regenerating
+//!   the paper's Figures 2, 4, 7–9.
+
+#![warn(missing_docs)]
+
+mod arcs;
+mod util;
+mod dot;
+mod error;
+mod gfp;
+mod graph;
+mod marked;
+mod minimality;
+mod orderability;
+mod ordering;
+mod plan;
+mod queryability;
+
+pub use arcs::{candidate_strong_arcs, cyclic_candidate_arcs};
+pub use dot::{dgraph_to_dot, optimized_to_dot};
+pub use error::CoreError;
+pub use gfp::{gfp, gfp_relevance_only, GfpStats, Solution};
+pub use graph::{ArcId, DArc, DGraph, DNode, NodeId, Source, SourceId, SourceKind};
+pub use marked::{ArcMark, OptimizedDGraph};
+pub use minimality::{analyze_minimality, MinimalityReport};
+pub use orderability::{executable_order, is_feasible, is_orderable, ExecutableOrder};
+pub use ordering::{order_sources, OrderingHeuristic, SourceOrdering};
+pub use plan::{plan_query, CacheInfo, DomainMode, DomainPredInfo, Planned, Planner, Provider, QueryPlan};
+pub use queryability::{is_answerable, Queryability};

@@ -1,0 +1,377 @@
+//! Marked d-graphs and the optimized d-graph (§III).
+//!
+//! A *marked* d-graph labels every arc strong, weak or deleted. The
+//! *optimized* d-graph is the marked d-graph for the maximal solution
+//! computed by [`crate::gfp`]; visually, deleted arcs are removed, then
+//! white nodes without arcs and sources without nodes disappear. It directly
+//! yields **relevance**: a relation `r` is relevant for the query iff it is
+//! nullary and occurs in the query, or it occurs in the optimized d-graph.
+
+use std::collections::HashSet;
+
+use toorjah_catalog::RelationId;
+
+use crate::{ArcId, CoreError, DGraph, NodeId, Solution, SourceId};
+
+/// The mark of one arc in a marked d-graph.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ArcMark {
+    /// A dominating join arc: all useful tuples of the target relation are
+    /// extracted using only values coming from the origin.
+    Strong,
+    /// An ordinary dependency (any origin may provide values).
+    Weak,
+    /// Pruned: never needed to compute all obtainable answers.
+    Deleted,
+}
+
+/// A d-graph together with a (maximal) solution: the optimized d-graph.
+#[derive(Clone, Debug)]
+pub struct OptimizedDGraph {
+    graph: DGraph,
+    solution: Solution,
+}
+
+impl OptimizedDGraph {
+    /// Pairs a graph with a solution (usually the output of [`crate::gfp`]).
+    pub fn new(graph: DGraph, solution: Solution) -> Self {
+        OptimizedDGraph { graph, solution }
+    }
+
+    /// The underlying d-graph.
+    pub fn graph(&self) -> &DGraph {
+        &self.graph
+    }
+
+    /// The solution `(S, D)`.
+    pub fn solution(&self) -> &Solution {
+        &self.solution
+    }
+
+    /// The mark of an arc.
+    pub fn mark(&self, arc: ArcId) -> ArcMark {
+        if self.solution.strong.contains(&arc) {
+            ArcMark::Strong
+        } else if self.solution.deleted.contains(&arc) {
+            ArcMark::Deleted
+        } else {
+            ArcMark::Weak
+        }
+    }
+
+    /// `true` for strong or weak (non-deleted) arcs.
+    pub fn is_live(&self, arc: ArcId) -> bool {
+        !self.solution.deleted.contains(&arc)
+    }
+
+    /// All non-deleted arcs.
+    pub fn live_arcs(&self) -> impl Iterator<Item = ArcId> + '_ {
+        self.graph.arc_ids().filter(|&a| self.is_live(a))
+    }
+
+    /// Live arcs entering a node.
+    pub fn live_in_arcs(&self, node: NodeId) -> Vec<ArcId> {
+        self.graph
+            .in_arcs(node)
+            .iter()
+            .copied()
+            .filter(|&a| self.is_live(a))
+            .collect()
+    }
+
+    /// Number of strong arcs.
+    pub fn strong_count(&self) -> usize {
+        self.solution.strong.len()
+    }
+
+    /// Number of deleted arcs.
+    pub fn deleted_count(&self) -> usize {
+        self.solution.deleted.len()
+    }
+
+    /// Number of weak arcs.
+    pub fn weak_count(&self) -> usize {
+        self.graph.arcs().len() - self.strong_count() - self.deleted_count()
+    }
+
+    /// Whether a source survives in the optimized d-graph.
+    ///
+    /// Black sources always survive (only white nodes are removed). A white
+    /// source survives when at least one of its nodes has a live incident
+    /// arc. Nullary black sources have no nodes but still count as present:
+    /// the paper's relevance condition (i) keeps nullary query relations.
+    pub fn is_relevant_source(&self, s: SourceId) -> bool {
+        let source = self.graph.source(s);
+        if source.is_black() {
+            return true;
+        }
+        // White: any live incident arc keeps the source.
+        let live_out = self
+            .graph
+            .out_arcs_of_source(s)
+            .iter()
+            .any(|&a| self.is_live(a));
+        if live_out {
+            return true;
+        }
+        source.nodes.iter().any(|&n| {
+            self.graph
+                .in_arcs(n)
+                .iter()
+                .any(|&a| self.is_live(a))
+        })
+    }
+
+    /// Sources of the optimized d-graph (black first, then surviving white).
+    pub fn relevant_sources(&self) -> Vec<SourceId> {
+        self.graph
+            .source_ids()
+            .filter(|&s| self.is_relevant_source(s))
+            .collect()
+    }
+
+    /// Relations relevant for the query (§III): the relations of the
+    /// relevant sources. Nullary query relations are included via their
+    /// (nodeless) black sources.
+    pub fn relevant_relations(&self) -> Vec<RelationId> {
+        let mut out: Vec<RelationId> = Vec::new();
+        for s in self.relevant_sources() {
+            let rel = self.graph.source(s).relation;
+            if !out.contains(&rel) {
+                out.push(rel);
+            }
+        }
+        out
+    }
+
+    /// The inductively *free-reachable* input nodes of the marked d-graph:
+    ///
+    /// * via a weak live arc `u → v` whose origin source has all input nodes
+    ///   free-reachable, or
+    /// * via the (non-empty) set of strong arcs into `v`, all of whose
+    ///   origin sources have all input nodes free-reachable.
+    pub fn free_reachable_inputs(&self) -> HashSet<NodeId> {
+        let mut reachable: HashSet<NodeId> = HashSet::new();
+        let source_ok = |reachable: &HashSet<NodeId>, s: SourceId| {
+            self.graph.input_nodes(s).all(|n| reachable.contains(&n))
+        };
+        loop {
+            let mut changed = false;
+            for (idx, node) in self.graph.nodes().iter().enumerate() {
+                let v = NodeId(idx as u32);
+                if !node.mode.is_input() || reachable.contains(&v) {
+                    continue;
+                }
+                let live = self.live_in_arcs(v);
+                let strong: Vec<ArcId> = live
+                    .iter()
+                    .copied()
+                    .filter(|&a| self.mark(a) == ArcMark::Strong)
+                    .collect();
+                let ok = if strong.is_empty() {
+                    live.iter().any(|&a| {
+                        self.mark(a) == ArcMark::Weak
+                            && source_ok(&reachable, self.graph.arc_from_source(a))
+                    })
+                } else {
+                    strong
+                        .iter()
+                        .all(|&a| source_ok(&reachable, self.graph.arc_from_source(a)))
+                };
+                if ok {
+                    reachable.insert(v);
+                    changed = true;
+                }
+            }
+            if !changed {
+                return reachable;
+            }
+        }
+    }
+
+    /// Validates the §III solution invariants; used by tests and property
+    /// tests. Checks that:
+    ///
+    /// 1. `S` and `D` are disjoint;
+    /// 2. each input node's live incoming arcs are homogeneous (all strong or
+    ///    all weak);
+    /// 3. every input node of every relevant source is free-reachable (the
+    ///    marking preserves queryability).
+    pub fn check_invariants(&self) -> Result<(), CoreError> {
+        if !self.solution.strong.is_disjoint(&self.solution.deleted) {
+            return Err(CoreError::Internal("S and D intersect".to_string()));
+        }
+        for (idx, node) in self.graph.nodes().iter().enumerate() {
+            if !node.mode.is_input() {
+                continue;
+            }
+            let live = self.live_in_arcs(NodeId(idx as u32));
+            let strong = live.iter().filter(|&&a| self.mark(a) == ArcMark::Strong).count();
+            if strong > 0 && strong != live.len() {
+                return Err(CoreError::Internal(format!(
+                    "input node {idx} mixes strong and weak incoming arcs"
+                )));
+            }
+        }
+        let reachable = self.free_reachable_inputs();
+        for s in self.relevant_sources() {
+            for n in self.graph.input_nodes(s) {
+                if !reachable.contains(&n) {
+                    return Err(CoreError::Internal(format!(
+                        "input node {} of relevant source {} lost free-reachability",
+                        n.0,
+                        self.graph.source(s).label
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gfp;
+    use toorjah_catalog::Schema;
+    use toorjah_query::{parse_query, preprocess};
+
+    fn optimize(schema_text: &str, query_text: &str) -> OptimizedDGraph {
+        let schema = Schema::parse(schema_text).unwrap();
+        let q = parse_query(query_text, &schema).unwrap();
+        let pre = preprocess(&q, &schema).unwrap();
+        let graph = DGraph::build(&pre).unwrap();
+        let (sol, _) = gfp(&graph);
+        OptimizedDGraph::new(graph, sol)
+    }
+
+    fn labels(opt: &OptimizedDGraph, sources: &[SourceId]) -> Vec<String> {
+        let mut out: Vec<String> = sources
+            .iter()
+            .map(|&s| opt.graph().source(s).label.clone())
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Example 5: the optimized d-graph drops r3 (Fig. 4).
+    #[test]
+    fn example5_relevance() {
+        let opt = optimize(
+            "r1^io(A, B) r2^io(B, C) r3^io(C, A)",
+            "q(C) <- r1('a', B), r2(B, C)",
+        );
+        let relevant = opt.relevant_sources();
+        assert_eq!(labels(&opt, &relevant), ["r1(1)", "r2(1)", "r_a(1)"]);
+        assert_eq!(opt.strong_count(), 2);
+        assert_eq!(opt.deleted_count(), 2);
+        assert_eq!(opt.weak_count(), 0);
+        opt.check_invariants().unwrap();
+    }
+
+    /// Example 3's narrative: r3 is irrelevant for the query.
+    #[test]
+    fn example3_r3_is_irrelevant() {
+        let opt = optimize(
+            "r1^io(A, B) r2^io(B, C) r3^io(C, A)",
+            "q(C) <- r1('a', B), r2(B, C)",
+        );
+        let relations = opt.relevant_relations();
+        let names: Vec<&str> = relations
+            .iter()
+            .map(|&r| opt.graph().schema().relation(r).name())
+            .collect();
+        assert!(!names.contains(&"r3"));
+        assert!(names.contains(&"r1") && names.contains(&"r2") && names.contains(&"r_a"));
+    }
+
+    #[test]
+    fn white_provider_stays_relevant_when_needed() {
+        // The only provider of r's input is white w: it must stay.
+        let opt = optimize("r^io(A, B) w^oo(A, X)", "q(Y) <- r(X2, Y)");
+        let relevant = opt.relevant_sources();
+        assert_eq!(labels(&opt, &relevant), ["r(1)", "w"]);
+        opt.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn free_reachability_with_strong_arcs() {
+        let opt = optimize(
+            "r1^io(A, B) r2^io(B, C) r3^io(C, A)",
+            "q(C) <- r1('a', B), r2(B, C)",
+        );
+        let reach = opt.free_reachable_inputs();
+        // Both black input nodes (r1.A, r2.B) are free-reachable via the
+        // strong chain from r_a.
+        let black_inputs: Vec<NodeId> = opt
+            .graph()
+            .black_sources()
+            .flat_map(|s| opt.graph().input_nodes(s).collect::<Vec<_>>())
+            .collect();
+        assert_eq!(black_inputs.len(), 2);
+        for n in black_inputs {
+            assert!(reach.contains(&n));
+        }
+    }
+
+    #[test]
+    fn all_weak_marking_matches_queryability() {
+        // With the trivial all-weak solution, free-reachability coincides
+        // with §II queryability.
+        let schema = Schema::parse("r1^io(A, C) r2^io(B, C) r3^io(C, B)").unwrap();
+        let q = parse_query("q2(X) <- r3(X, 'c1')", &schema).unwrap();
+        let pre = preprocess(&q, &schema).unwrap();
+        let graph = DGraph::build(&pre).unwrap();
+        let opt = OptimizedDGraph::new(graph, Solution::all_weak());
+        let reach = opt.free_reachable_inputs();
+        // r1 is not queryable w.r.t. q2, and indeed it is not even in the
+        // graph (pruned as non-queryable); all remaining inputs are
+        // reachable.
+        for s in opt.graph().source_ids() {
+            for n in opt.graph().input_nodes(s) {
+                assert!(reach.contains(&n), "input of {}", opt.graph().source(s).label);
+            }
+        }
+        assert!(opt
+            .graph()
+            .sources()
+            .iter()
+            .all(|s| opt.graph().schema().relation(s.relation).name() != "r1"));
+    }
+
+    #[test]
+    fn mark_accessors_are_consistent() {
+        let opt = optimize(
+            "r1^io(A, B) r2^io(B, C) r3^io(C, A)",
+            "q(C) <- r1('a', B), r2(B, C)",
+        );
+        let mut strong = 0;
+        let mut weak = 0;
+        let mut deleted = 0;
+        for a in opt.graph().arc_ids() {
+            match opt.mark(a) {
+                ArcMark::Strong => strong += 1,
+                ArcMark::Weak => weak += 1,
+                ArcMark::Deleted => deleted += 1,
+            }
+            assert_eq!(opt.is_live(a), opt.mark(a) != ArcMark::Deleted);
+        }
+        assert_eq!(strong, opt.strong_count());
+        assert_eq!(weak, opt.weak_count());
+        assert_eq!(deleted, opt.deleted_count());
+        assert_eq!(opt.live_arcs().count(), strong + weak);
+    }
+
+    #[test]
+    fn invariants_catch_bad_solutions() {
+        let schema = Schema::parse("r1^io(A, B) r2^io(B, C) r3^io(C, A)").unwrap();
+        let q = parse_query("q(C) <- r1('a', B), r2(B, C)", &schema).unwrap();
+        let pre = preprocess(&q, &schema).unwrap();
+        let graph = DGraph::build(&pre).unwrap();
+        // Delete every arc: black inputs lose free-reachability.
+        let all: std::collections::HashSet<ArcId> = graph.arc_ids().collect();
+        let bad = Solution { strong: HashSet::new(), deleted: all };
+        let opt = OptimizedDGraph::new(graph, bad);
+        assert!(opt.check_invariants().is_err());
+    }
+}

@@ -1,0 +1,160 @@
+//! Orderability and executability of queries under access limitations.
+//!
+//! §VI discusses two related notions from prior work that Toorjah subsumes:
+//!
+//! * **Executability** ([Yang, Kifer & Chaudhri, PODS 2006]): can the
+//!   query's atoms be reordered so that the query runs *left to right*,
+//!   each atom's input arguments being bound by constants or by variables
+//!   occurring earlier? Such queries need no recursive plan at all.
+//! * **Feasibility** ([Ludäscher & Nash, PODS 2004]): does an *equivalent*
+//!   query exist that is executable as-is? Deciding feasibility is
+//!   NP-hard-and-beyond in general; *orderability* (above) is its practical
+//!   approximation. Here feasibility is checked on the minimized query —
+//!   exact for the minimal-query core used throughout the crate.
+//!
+//! Executable queries are the easy case: Toorjah's plans handle the general
+//! case where values must be fetched recursively through relations outside
+//! the query. These helpers let callers detect the easy case (and, e.g.,
+//! skip plan generation or compare against a non-recursive baseline).
+
+use toorjah_catalog::Schema;
+use toorjah_query::{minimize, ConjunctiveQuery, Term};
+
+/// An executable ordering of a query's atoms: a permutation such that every
+/// atom's input positions carry constants or variables bound by earlier
+/// atoms (output positions bind variables as they go).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ExecutableOrder {
+    /// Atom indexes (into [`ConjunctiveQuery::atoms`]) in execution order.
+    pub order: Vec<usize>,
+}
+
+/// Finds an executable left-to-right ordering of `query`'s atoms, if one
+/// exists.
+///
+/// Greedy selection is complete for this problem: binding more variables
+/// earlier never hurts later atoms (bound-ness is monotone), so whenever
+/// *some* executable order exists, repeatedly picking any currently
+/// executable atom yields one.
+pub fn executable_order(query: &ConjunctiveQuery, schema: &Schema) -> Option<ExecutableOrder> {
+    let n = query.atoms().len();
+    let mut bound = vec![false; query.var_count()];
+    let mut placed = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    for _ in 0..n {
+        let next = (0..n).find(|&i| {
+            if placed[i] {
+                return false;
+            }
+            let atom = &query.atoms()[i];
+            let rel = schema.relation(atom.relation());
+            rel.pattern().input_positions().all(|k| match atom.term(k) {
+                Term::Const(_) => true,
+                Term::Var(v) => bound[v.index()],
+            })
+        })?;
+        placed[next] = true;
+        for v in query.atoms()[next].variables() {
+            bound[v.index()] = true;
+        }
+        order.push(next);
+    }
+    Some(ExecutableOrder { order })
+}
+
+/// `true` when the query can be executed left to right after reordering its
+/// atoms (the *orderable* queries of [Yang, Kifer & Chaudhri 2006]).
+pub fn is_orderable(query: &ConjunctiveQuery, schema: &Schema) -> bool {
+    executable_order(query, schema).is_some()
+}
+
+/// `true` when an equivalent executable query exists, checked on the
+/// minimized query. For minimal queries orderability and feasibility
+/// coincide on the CQ fragment treated here (removing redundant atoms is
+/// the only equivalence-preserving rewriting that can unlock an ordering,
+/// and the core has none left); the check is exact for minimal inputs and a
+/// sound approximation otherwise.
+pub fn is_feasible(query: &ConjunctiveQuery, schema: &Schema) -> bool {
+    is_orderable(&minimize(query), schema)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use toorjah_query::parse_query;
+
+    #[test]
+    fn free_relations_are_always_orderable() {
+        let schema = Schema::parse("r^oo(A, B) s^oo(B, C)").unwrap();
+        let q = parse_query("q(X, Z) <- r(X, Y), s(Y, Z)", &schema).unwrap();
+        let order = executable_order(&q, &schema).unwrap();
+        assert_eq!(order.order.len(), 2);
+    }
+
+    #[test]
+    fn chain_requires_the_right_order() {
+        // s's input B is bound only after r runs.
+        let schema = Schema::parse("r^oo(A, B) s^io(B, C)").unwrap();
+        let q = parse_query("q(Z) <- s(Y, Z), r(X, Y)", &schema).unwrap();
+        let order = executable_order(&q, &schema).unwrap();
+        assert_eq!(order.order, vec![1, 0], "r must run before s");
+        assert!(is_orderable(&q, &schema));
+    }
+
+    #[test]
+    fn constants_satisfy_inputs() {
+        let schema = Schema::parse("r^io(A, B)").unwrap();
+        let q = parse_query("q(Y) <- r('a', Y)", &schema).unwrap();
+        assert!(is_orderable(&q, &schema));
+    }
+
+    #[test]
+    fn unorderable_when_inputs_cycle() {
+        // r needs A (only from s's output), s needs B (only from r's
+        // output): no left-to-right order.
+        let schema = Schema::parse("r^io(A, B) s^io(B, A)").unwrap();
+        let q = parse_query("q(X) <- r(X, Y), s(Y, X)", &schema).unwrap();
+        assert!(!is_orderable(&q, &schema));
+    }
+
+    #[test]
+    fn example1_is_not_orderable() {
+        // The paper's motivating query needs the recursive plan: r1 requires
+        // an Artist, r2 requires a Year, and neither is bound up front.
+        let schema = Schema::parse(
+            "r1^ioo(Artist, Nation, Year) r2^oio(Title, Year, Artist) r3^oo(Artist, Album)",
+        )
+        .unwrap();
+        let q = parse_query("q(N) <- r1(A, N, Y1), r2('volare', Y2, A)", &schema).unwrap();
+        assert!(!is_orderable(&q, &schema));
+        assert!(!is_feasible(&q, &schema));
+    }
+
+    #[test]
+    fn feasibility_sees_through_redundancy() {
+        // The second atom is redundant; the core r(a, Y) is executable even
+        // though the unorderable copy r(X, Y2) blocks the greedy order...
+        let schema = Schema::parse("r^io(A, B)").unwrap();
+        let q = parse_query("q(Y) <- r('a', Y), r('a', Y2)", &schema).unwrap();
+        // ...actually both atoms here have the constant input, so plain
+        // orderability already holds; build a genuinely blocked redundant
+        // copy instead:
+        assert!(is_orderable(&q, &schema));
+        let q2 = parse_query("q(Y) <- r('a', Y), r(X, Y)", &schema).unwrap();
+        // r(X, Y) has an unbound input forever ⇒ not orderable as written…
+        assert!(!is_orderable(&q2, &schema));
+        // …but it is redundant (folds onto r('a', Y)), so the query is
+        // feasible.
+        assert!(is_feasible(&q2, &schema));
+    }
+
+    #[test]
+    fn greedy_is_complete_on_a_diamond() {
+        // Two independent branches feeding a sink; any greedy choice works.
+        let schema =
+            Schema::parse("a^oo(X, Y) b^oo(X, Z) sink^iio(Y, Z, W)").unwrap();
+        let q = parse_query("q(W) <- sink(Y, Z, W), a(X1, Y), b(X2, Z)", &schema).unwrap();
+        let order = executable_order(&q, &schema).unwrap();
+        assert_eq!(order.order.last(), Some(&0), "sink must come last");
+    }
+}

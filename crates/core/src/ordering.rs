@@ -1,0 +1,327 @@
+//! Source orderings (§IV).
+//!
+//! If the optimized d-graph refers to more than one source, some relations
+//! must be accessed before others. The ordering among the sources of the
+//! optimized d-graph satisfies:
+//!
+//! * weak arc `u → v` ⟹ `src(u) ⪯ src(v)`;
+//! * strong arc `u → v` ⟹ `src(u) ≺ src(v)`;
+//! * sources traversed by a cyclic d-path have the same order.
+//!
+//! Sources in one strongly connected component of the live source graph
+//! share an order group; the condensation is linearized and each component
+//! receives a position `1..k`. When several linearizations are admissible
+//! the paper picks one arbitrarily, suggesting the heuristic of placing
+//! sources involved in more joins first (they are more likely to expose an
+//! empty answer early under the fast-failing strategy); that heuristic is
+//! the default here.
+
+use std::collections::HashSet;
+
+use crate::util::strongly_connected_components;
+use crate::{ArcMark, CoreError, OptimizedDGraph, SourceId};
+
+/// Tie-breaking policy used when several sources are ready at once during
+/// linearization.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum OrderingHeuristic {
+    /// Prefer components whose sources participate in more joins (paper
+    /// §IV), breaking ties by smallest source id. The default.
+    #[default]
+    JoinCountDesc,
+    /// Deterministic smallest-source-id-first order (useful in tests).
+    SourceIdAsc,
+}
+
+/// Positions `1..k` assigned to the relevant sources.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SourceOrdering {
+    /// `positions[source.index()]`: the 1-based position, or `None` for
+    /// irrelevant sources.
+    positions: Vec<Option<usize>>,
+    /// `groups[i]` lists the sources at position `i + 1`.
+    groups: Vec<Vec<SourceId>>,
+}
+
+impl SourceOrdering {
+    /// The 1-based position of a source (`None` if irrelevant).
+    pub fn position(&self, s: SourceId) -> Option<usize> {
+        self.positions.get(s.index()).copied().flatten()
+    }
+
+    /// Number of order groups `k`.
+    pub fn k(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Sources grouped by position (index 0 holds position 1).
+    pub fn groups(&self) -> &[Vec<SourceId>] {
+        &self.groups
+    }
+}
+
+/// Computes a source ordering for an optimized d-graph.
+///
+/// Fails with [`CoreError::Internal`] if a strong arc connects two sources of
+/// one cycle — the GFP algorithm guarantees this cannot happen (cyclic
+/// candidate strong arcs are excluded from `S`), so it indicates a bug.
+pub fn order_sources(
+    opt: &OptimizedDGraph,
+    heuristic: OrderingHeuristic,
+) -> Result<SourceOrdering, CoreError> {
+    let graph = opt.graph();
+    let relevant: Vec<SourceId> = opt.relevant_sources();
+    let relevant_set: HashSet<SourceId> = relevant.iter().copied().collect();
+
+    // Dense renumbering of the relevant sources.
+    let mut dense = vec![usize::MAX; graph.sources().len()];
+    for (i, &s) in relevant.iter().enumerate() {
+        dense[s.index()] = i;
+    }
+
+    // Live source-level edges.
+    let n = relevant.len();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut edges: Vec<(usize, usize, ArcMark)> = Vec::new();
+    for arc in graph.arc_ids() {
+        let mark = opt.mark(arc);
+        if mark == ArcMark::Deleted {
+            continue;
+        }
+        let from = graph.arc_from_source(arc);
+        let to = graph.arc_to_source(arc);
+        if !relevant_set.contains(&from) || !relevant_set.contains(&to) {
+            return Err(CoreError::Internal(format!(
+                "live arc touches irrelevant source {} or {}",
+                graph.source(from).label,
+                graph.source(to).label
+            )));
+        }
+        let (f, t) = (dense[from.index()], dense[to.index()]);
+        adj[f].push(t);
+        edges.push((f, t, mark));
+    }
+
+    let comp = strongly_connected_components(&adj);
+    let comp_count = comp.iter().copied().max().map_or(0, |m| m + 1);
+
+    // Sanity: no strong arc inside a component.
+    for &(f, t, mark) in &edges {
+        if mark == ArcMark::Strong && comp[f] == comp[t] && f != t {
+            return Err(CoreError::Internal(
+                "strong arc inside a cyclic order group".to_string(),
+            ));
+        }
+        if mark == ArcMark::Strong && f == t {
+            return Err(CoreError::Internal(
+                "strong self-loop on a source".to_string(),
+            ));
+        }
+    }
+
+    // Condensation edges + in-degrees for Kahn's algorithm.
+    let mut comp_adj: Vec<HashSet<usize>> = vec![HashSet::new(); comp_count];
+    let mut indegree = vec![0usize; comp_count];
+    for &(f, t, _) in &edges {
+        let (cf, ct) = (comp[f], comp[t]);
+        if cf != ct && comp_adj[cf].insert(ct) {
+            indegree[ct] += 1;
+        }
+    }
+
+    // Members and join weight per component.
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); comp_count];
+    for (i, &c) in comp.iter().enumerate() {
+        members[c].push(i);
+    }
+    let join_weight = |c: usize| -> usize {
+        members[c]
+            .iter()
+            .map(|&i| {
+                let s = relevant[i];
+                let source = graph.source(s);
+                // Join participation: variables of the atom occurring
+                // elsewhere too; white sources weigh 0.
+                match source.kind {
+                    crate::SourceKind::QueryAtom { occurrence } => {
+                        let query = graph.query();
+                        let atom = &query.atoms()[occurrence];
+                        atom.variables()
+                            .filter(|&v| query.positions_of_var(v).len() >= 2)
+                            .count()
+                    }
+                    crate::SourceKind::Relation => 0,
+                }
+            })
+            .sum()
+    };
+
+    // Kahn with heuristic choice among ready components.
+    let mut ready: Vec<usize> = (0..comp_count).filter(|&c| indegree[c] == 0).collect();
+    let mut groups: Vec<Vec<SourceId>> = Vec::with_capacity(comp_count);
+    let mut positions = vec![None; graph.sources().len()];
+    let mut emitted = 0usize;
+    while !ready.is_empty() {
+        let pick_idx = match heuristic {
+            OrderingHeuristic::JoinCountDesc => ready
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, &c)| {
+                    let min_src = members[c].iter().map(|&i| relevant[i].0).min().unwrap_or(0);
+                    (join_weight(c), std::cmp::Reverse(min_src))
+                })
+                .map(|(i, _)| i)
+                .expect("ready is non-empty"),
+            OrderingHeuristic::SourceIdAsc => ready
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &c)| {
+                    members[c].iter().map(|&i| relevant[i].0).min().unwrap_or(u32::MAX)
+                })
+                .map(|(i, _)| i)
+                .expect("ready is non-empty"),
+        };
+        let c = ready.swap_remove(pick_idx);
+        emitted += 1;
+        let position = groups.len() + 1;
+        let mut group: Vec<SourceId> = members[c].iter().map(|&i| relevant[i]).collect();
+        group.sort();
+        for &s in &group {
+            positions[s.index()] = Some(position);
+        }
+        groups.push(group);
+        for &next in &comp_adj[c] {
+            indegree[next] -= 1;
+            if indegree[next] == 0 {
+                ready.push(next);
+            }
+        }
+    }
+    if emitted != comp_count {
+        return Err(CoreError::Internal(
+            "cycle escaped SCC condensation during ordering".to_string(),
+        ));
+    }
+
+    Ok(SourceOrdering { positions, groups })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{gfp, DGraph};
+    use toorjah_catalog::Schema;
+    use toorjah_query::{parse_query, preprocess};
+
+    fn optimize(schema_text: &str, query_text: &str) -> OptimizedDGraph {
+        let schema = Schema::parse(schema_text).unwrap();
+        let q = parse_query(query_text, &schema).unwrap();
+        let pre = preprocess(&q, &schema).unwrap();
+        let graph = DGraph::build(&pre).unwrap();
+        let (sol, _) = gfp(&graph);
+        OptimizedDGraph::new(graph, sol)
+    }
+
+    fn position_of(opt: &OptimizedDGraph, ord: &SourceOrdering, label: &str) -> usize {
+        let s = opt
+            .graph()
+            .source_ids()
+            .find(|&s| opt.graph().source(s).label == label)
+            .unwrap_or_else(|| panic!("no source {label}"));
+        ord.position(s).unwrap_or_else(|| panic!("{label} unordered"))
+    }
+
+    /// Example 7: the only possible ordering is r_a ≺ r1 ≺ r2.
+    #[test]
+    fn example7_unique_ordering() {
+        let opt = optimize(
+            "r1^io(A, B) r2^io(B, C) r3^io(C, A)",
+            "q(C) <- r1('a', B), r2(B, C)",
+        );
+        let ord = order_sources(&opt, OrderingHeuristic::JoinCountDesc).unwrap();
+        assert_eq!(ord.k(), 3);
+        assert_eq!(position_of(&opt, &ord, "r_a(1)"), 1);
+        assert_eq!(position_of(&opt, &ord, "r1(1)"), 2);
+        assert_eq!(position_of(&opt, &ord, "r2(1)"), 3);
+    }
+
+    #[test]
+    fn cyclic_sources_share_a_position() {
+        let opt = optimize(
+            "r1^io(A, B) r2^io(B, C) r3^io(C, A) seed^o(A)",
+            "q(A) <- r1(A, B), r2(B, C), r3(C, A), seed(A)",
+        );
+        let ord = order_sources(&opt, OrderingHeuristic::JoinCountDesc).unwrap();
+        let p1 = position_of(&opt, &ord, "r1(1)");
+        let p2 = position_of(&opt, &ord, "r2(1)");
+        let p3 = position_of(&opt, &ord, "r3(1)");
+        assert_eq!(p1, p2);
+        assert_eq!(p2, p3);
+        assert!(position_of(&opt, &ord, "seed(1)") < p1);
+        assert_eq!(ord.k(), 2);
+    }
+
+    #[test]
+    fn incomparable_free_sources_get_distinct_positions() {
+        // Example 6: two free relations, no arcs — any order is admissible;
+        // we emit a deterministic one with k = 2.
+        let opt = optimize("r1^o(A) r2^o(B)", "q(X) <- r1(X), r2(Y)");
+        let ord = order_sources(&opt, OrderingHeuristic::SourceIdAsc).unwrap();
+        assert_eq!(ord.k(), 2);
+        assert_ne!(
+            position_of(&opt, &ord, "r1(1)"),
+            position_of(&opt, &ord, "r2(1)")
+        );
+    }
+
+    #[test]
+    fn white_providers_precede_consumers() {
+        let opt = optimize("r^io(A, B) w^oo(A, X)", "q(Y) <- r(X2, Y)");
+        let ord = order_sources(&opt, OrderingHeuristic::JoinCountDesc).unwrap();
+        assert!(position_of(&opt, &ord, "w") < position_of(&opt, &ord, "r(1)"));
+    }
+
+    #[test]
+    fn groups_partition_relevant_sources() {
+        let opt = optimize(
+            "r1^io(A, B) r2^io(B, C) r3^io(C, A)",
+            "q(C) <- r1('a', B), r2(B, C)",
+        );
+        let ord = order_sources(&opt, OrderingHeuristic::JoinCountDesc).unwrap();
+        let mut all: Vec<SourceId> = ord.groups().iter().flatten().copied().collect();
+        all.sort();
+        let mut relevant = opt.relevant_sources();
+        relevant.sort();
+        assert_eq!(all, relevant);
+        // Irrelevant sources have no position.
+        for s in opt.graph().source_ids() {
+            if !relevant.contains(&s) {
+                assert_eq!(ord.position(s), None);
+            }
+        }
+    }
+
+    #[test]
+    fn both_heuristics_respect_constraints() {
+        let opt = optimize(
+            "pub1^io(Paper, Person) conf^ooo(Paper, C, Y) rev^ooi(Person, C, Y)",
+            "q(R) <- pub1(P, R), conf(P, C, Y), rev(R, C, Y)",
+        );
+        for h in [OrderingHeuristic::JoinCountDesc, OrderingHeuristic::SourceIdAsc] {
+            let ord = order_sources(&opt, h).unwrap();
+            // Every live arc respects pos(from) <= pos(to); strong arcs are
+            // strict.
+            for arc in opt.graph().arc_ids() {
+                if !opt.is_live(arc) {
+                    continue;
+                }
+                let pf = ord.position(opt.graph().arc_from_source(arc)).unwrap();
+                let pt = ord.position(opt.graph().arc_to_source(arc)).unwrap();
+                assert!(pf <= pt);
+                if opt.mark(arc) == ArcMark::Strong {
+                    assert!(pf < pt);
+                }
+            }
+        }
+    }
+}

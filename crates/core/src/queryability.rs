@@ -1,0 +1,206 @@
+//! Queryability and answerability (§II of the paper).
+//!
+//! A relation is *queryable* (w.r.t. a query) when it can be accessed at
+//! least once for at least one database instance, starting from the values
+//! in the query. Since value flow is typed by abstract domains, queryability
+//! reduces to a fixpoint over *obtainable domains*:
+//!
+//! * the domains of the query's constants are obtainable (after the §III
+//!   preprocessing these are exactly the output domains of the artificial
+//!   free relations);
+//! * a relation is *accessible* once every input position's domain is
+//!   obtainable; the domains of its output positions then become obtainable.
+//!
+//! This matches the d-graph characterization ("a relation is queryable iff
+//! all its input nodes are reachable through d-paths that originate from
+//! sources having only output attributes"), which the test-suite
+//! cross-validates. A query is *answerable* iff every relation occurring in
+//! it is queryable; the algorithm is the one referenced from
+//! [Li & Chang, ICDE 2000].
+
+use std::collections::HashSet;
+
+use toorjah_catalog::{DomainId, RelationId, Schema};
+use toorjah_query::ConjunctiveQuery;
+
+/// Result of the obtainable-domain fixpoint over a schema.
+#[derive(Clone, Debug)]
+pub struct Queryability {
+    obtainable: HashSet<DomainId>,
+    queryable: Vec<bool>,
+}
+
+impl Queryability {
+    /// Runs the fixpoint over `schema`, seeding the obtainable set with
+    /// `seed_domains` (the domains of the query's constants; pass an empty
+    /// iterator when constants have already been compiled into artificial
+    /// free relations by preprocessing).
+    pub fn compute(schema: &Schema, seed_domains: impl IntoIterator<Item = DomainId>) -> Self {
+        let mut obtainable: HashSet<DomainId> = seed_domains.into_iter().collect();
+        let mut queryable = vec![false; schema.relation_count()];
+        loop {
+            let mut changed = false;
+            for (id, rel) in schema.iter() {
+                if queryable[id.index()] {
+                    continue;
+                }
+                let accessible = rel
+                    .pattern()
+                    .input_positions()
+                    .all(|k| obtainable.contains(&rel.domain(k)));
+                if accessible {
+                    queryable[id.index()] = true;
+                    changed = true;
+                    for k in rel.pattern().output_positions() {
+                        obtainable.insert(rel.domain(k));
+                    }
+                }
+            }
+            if !changed {
+                return Queryability { obtainable, queryable };
+            }
+        }
+    }
+
+    /// Whether a relation is queryable.
+    pub fn is_queryable(&self, rel: RelationId) -> bool {
+        self.queryable[rel.index()]
+    }
+
+    /// Whether values of a domain are obtainable at all.
+    pub fn is_obtainable(&self, domain: DomainId) -> bool {
+        self.obtainable.contains(&domain)
+    }
+
+    /// Ids of all queryable relations.
+    pub fn queryable_relations(&self) -> impl Iterator<Item = RelationId> + '_ {
+        self.queryable
+            .iter()
+            .enumerate()
+            .filter(|(_, &q)| q)
+            .map(|(i, _)| RelationId(i as u32))
+    }
+
+    /// Number of queryable relations.
+    pub fn queryable_count(&self) -> usize {
+        self.queryable.iter().filter(|&&q| q).count()
+    }
+}
+
+/// `true` when every relation occurring in `query` is queryable, seeding the
+/// fixpoint with the domains of the query's constants (§II: *"A query is
+/// answerable if and only if no non-queryable relation occurs in it"*).
+pub fn is_answerable(query: &ConjunctiveQuery, schema: &Schema) -> bool {
+    let seeds = query.constants(schema).into_iter().map(|(_, d)| d);
+    let q = Queryability::compute(schema, seeds);
+    query.atoms().iter().all(|a| q.is_queryable(a.relation()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use toorjah_query::parse_query;
+
+    /// Example 2 of the paper: R = {r1^io(A,C), r2^io(B,C), r3^io(C,B)}.
+    fn example2_schema() -> Schema {
+        Schema::parse("r1^io(A, C) r2^io(B, C) r3^io(C, B)").unwrap()
+    }
+
+    #[test]
+    fn example2_q1_all_queryable() {
+        // q1(B) ← r1(a1, C), r2(B, C): constant a1 has domain A.
+        let schema = example2_schema();
+        let q1 = parse_query("q1(B) <- r1('a1', C), r2(B, C)", &schema).unwrap();
+        assert!(is_answerable(&q1, &schema));
+        let seeds = q1.constants(&schema).into_iter().map(|(_, d)| d);
+        let qa = Queryability::compute(&schema, seeds);
+        assert_eq!(qa.queryable_count(), 3);
+    }
+
+    #[test]
+    fn example2_q2_r1_not_queryable() {
+        // q2(X) ← r3(X, c1): constant c1 has domain C; r3 and r2 become
+        // queryable, r1 does not (no way to obtain domain A values).
+        let schema = example2_schema();
+        let q2 = parse_query("q2(X) <- r3(X, 'c1')", &schema).unwrap();
+        let seeds = q2.constants(&schema).into_iter().map(|(_, d)| d);
+        let qa = Queryability::compute(&schema, seeds);
+        let r1 = schema.relation_id("r1").unwrap();
+        let r2 = schema.relation_id("r2").unwrap();
+        let r3 = schema.relation_id("r3").unwrap();
+        assert!(!qa.is_queryable(r1));
+        assert!(qa.is_queryable(r2));
+        assert!(qa.is_queryable(r3));
+        // q2 itself is answerable: r3 is queryable.
+        assert!(is_answerable(&q2, &schema));
+    }
+
+    #[test]
+    fn query_on_non_queryable_relation_is_not_answerable() {
+        let schema = example2_schema();
+        // No constants at all: nothing is obtainable, r1 needs A.
+        let q = parse_query("q(C) <- r1(X, C)", &schema).unwrap();
+        assert!(!is_answerable(&q, &schema));
+    }
+
+    #[test]
+    fn free_relations_bootstrap_the_fixpoint() {
+        let schema = Schema::parse("free^oo(A, B) limited^io(A, C)").unwrap();
+        let qa = Queryability::compute(&schema, []);
+        assert_eq!(qa.queryable_count(), 2);
+        assert!(qa.is_obtainable(schema.domains().lookup("A").unwrap()));
+        assert!(qa.is_obtainable(schema.domains().lookup("C").unwrap()));
+    }
+
+    #[test]
+    fn chain_of_dependencies_resolves() {
+        // a feeds b feeds c.
+        let schema = Schema::parse("a^o(X) b^io(X, Y) c^io(Y, Z)").unwrap();
+        let qa = Queryability::compute(&schema, []);
+        assert_eq!(qa.queryable_count(), 3);
+    }
+
+    #[test]
+    fn self_feeding_relation_is_not_queryable_alone() {
+        // r's input domain is produced only by r itself: never accessible.
+        let schema = Schema::parse("r^io(X, X)").unwrap();
+        let qa = Queryability::compute(&schema, []);
+        assert_eq!(qa.queryable_count(), 0);
+        // With a seed value of domain X it becomes accessible.
+        let x = schema.domains().lookup("X").unwrap();
+        let qa = Queryability::compute(&schema, [x]);
+        assert_eq!(qa.queryable_count(), 1);
+    }
+
+    #[test]
+    fn mutual_recursion_without_entry_point_stays_dead() {
+        let schema = Schema::parse("p^io(A, B) q^io(B, A)").unwrap();
+        let qa = Queryability::compute(&schema, []);
+        assert_eq!(qa.queryable_count(), 0);
+    }
+
+    #[test]
+    fn all_input_relation_needs_all_domains() {
+        let schema = Schema::parse("sink^ii(A, B) a^o(A)").unwrap();
+        let qa = Queryability::compute(&schema, []);
+        assert!(!qa.is_queryable(schema.relation_id("sink").unwrap()));
+        let b = schema.domains().lookup("B").unwrap();
+        let qa = Queryability::compute(&schema, [b]);
+        assert!(qa.is_queryable(schema.relation_id("sink").unwrap()));
+    }
+
+    #[test]
+    fn nullary_relation_is_queryable() {
+        let schema = Schema::parse("flag^()").unwrap();
+        let qa = Queryability::compute(&schema, []);
+        assert!(qa.is_queryable(schema.relation_id("flag").unwrap()));
+    }
+
+    #[test]
+    fn queryable_relations_iterator() {
+        let schema = Schema::parse("a^o(X) dead^io(Z, W)").unwrap();
+        let qa = Queryability::compute(&schema, []);
+        let ids: Vec<_> = qa.queryable_relations().collect();
+        assert_eq!(ids, vec![schema.relation_id("a").unwrap()]);
+    }
+}

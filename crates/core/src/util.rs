@@ -1,0 +1,117 @@
+//! Small graph utilities shared by the optimizer modules.
+
+/// Computes strongly connected components of a directed graph given as
+/// adjacency lists. Returns a component id per vertex; ids are assigned in
+/// reverse topological order (a component's id is greater than or equal to
+/// the ids of components it can reach). Implemented as an iterative Tarjan
+/// so pathological inputs cannot overflow the stack.
+pub(crate) fn strongly_connected_components(adj: &[Vec<usize>]) -> Vec<usize> {
+    let n = adj.len();
+    let mut index = vec![usize::MAX; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut comp = vec![usize::MAX; n];
+    let mut next_index = 0usize;
+    let mut next_comp = 0usize;
+
+    // Explicit DFS frames: (vertex, next child position).
+    let mut call_stack: Vec<(usize, usize)> = Vec::new();
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        call_stack.push((start, 0));
+        index[start] = next_index;
+        lowlink[start] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start] = true;
+
+        while let Some(&mut (v, ref mut child)) = call_stack.last_mut() {
+            if *child < adj[v].len() {
+                let w = adj[v][*child];
+                *child += 1;
+                if index[w] == usize::MAX {
+                    index[w] = next_index;
+                    lowlink[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    call_stack.push((w, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                call_stack.pop();
+                if let Some(&(parent, _)) = call_stack.last() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+                if lowlink[v] == index[v] {
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        comp[w] = next_comp;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    next_comp += 1;
+                }
+            }
+        }
+    }
+    comp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_without_edges() {
+        let comp = strongly_connected_components(&[vec![], vec![], vec![]]);
+        // All distinct components.
+        assert_eq!(comp.iter().collect::<std::collections::HashSet<_>>().len(), 3);
+    }
+
+    #[test]
+    fn simple_cycle_is_one_component() {
+        let comp = strongly_connected_components(&[vec![1], vec![2], vec![0]]);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[1], comp[2]);
+    }
+
+    #[test]
+    fn chain_has_distinct_components_in_reverse_topo_order() {
+        let comp = strongly_connected_components(&[vec![1], vec![2], vec![]]);
+        assert!(comp[0] > comp[1]);
+        assert!(comp[1] > comp[2]);
+    }
+
+    #[test]
+    fn two_cycles_bridged() {
+        // 0↔1 → 2↔3
+        let comp =
+            strongly_connected_components(&[vec![1], vec![0, 2], vec![3], vec![2]]);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[2], comp[3]);
+        assert_ne!(comp[0], comp[2]);
+        assert!(comp[0] > comp[2]);
+    }
+
+    #[test]
+    fn self_loop_is_its_own_component() {
+        let comp = strongly_connected_components(&[vec![0], vec![]]);
+        assert_ne!(comp[0], comp[1]);
+    }
+
+    #[test]
+    fn long_path_does_not_overflow() {
+        // 10_000-vertex path exercises the iterative DFS.
+        let n = 10_000;
+        let adj: Vec<Vec<usize>> = (0..n).map(|i| if i + 1 < n { vec![i + 1] } else { vec![] }).collect();
+        let comp = strongly_connected_components(&adj);
+        assert_eq!(comp.iter().collect::<std::collections::HashSet<_>>().len(), n);
+    }
+}

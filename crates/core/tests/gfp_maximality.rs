@@ -1,0 +1,213 @@
+//! Property test: the GFP algorithm computes the **unique maximal solution**
+//! (§III). On small random d-graphs, every valid solution `(S, D)` is
+//! enumerated by brute force and checked to be dominated by GFP's result.
+//!
+//! A pair `(S, D)` of disjoint arc sets is a *valid solution* when:
+//!
+//! 1. `S ⊆ cand(G) \ cycl(G)` and `D ∩ cand(G) = ∅` (candidate strong arcs
+//!    can never be deleted — they reach black nodes);
+//! 2. stability of `S`: for every `u→v ∈ S`, every outgoing arc of `v`'s
+//!    source is in `S ∪ D`;
+//! 3. stability of `D`: for every `u→v ∈ D`, either `v` is black and some
+//!    arc of `S` enters the node `v`, or `v` is white and all outgoing arcs
+//!    of `v`'s source are in `D`;
+//! 4. the marking preserves free-reachability of every relevant source's
+//!    input nodes (queryability is not destroyed).
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+use toorjah_core::{
+    candidate_strong_arcs, cyclic_candidate_arcs, gfp, ArcId, DGraph, OptimizedDGraph, Solution,
+};
+use toorjah_query::preprocess;
+use toorjah_workload::random::seeded_rng;
+use toorjah_workload::{random_query, random_schema, RandomParams};
+
+/// Is `(S, D)` a valid solution for `graph`? (Conditions 1–4 above.)
+fn is_valid_solution(
+    graph: &DGraph,
+    strong: &HashSet<ArcId>,
+    deleted: &HashSet<ArcId>,
+) -> bool {
+    let cand = candidate_strong_arcs(graph);
+    let cycl = cyclic_candidate_arcs(graph, &cand);
+
+    // (1) domains of the sets.
+    if !strong.iter().all(|a| cand.contains(a) && !cycl.contains(a)) {
+        return false;
+    }
+    if deleted.iter().any(|a| cand.contains(a)) {
+        return false;
+    }
+    if !strong.is_disjoint(deleted) {
+        return false;
+    }
+    // (2) stability of S.
+    for &arc in strong {
+        let v = graph.arc(arc).to;
+        let ok = graph
+            .out_arcs_of_node(v)
+            .iter()
+            .all(|g| strong.contains(g) || deleted.contains(g));
+        if !ok {
+            return false;
+        }
+    }
+    // (3) stability of D.
+    for &arc in deleted {
+        let v = graph.arc(arc).to;
+        if graph.node(v).is_black() {
+            let dominated = strong.iter().any(|&s| graph.arc(s).to == v);
+            if !dominated {
+                return false;
+            }
+        } else {
+            let dead = graph.out_arcs_of_node(v).iter().all(|g| deleted.contains(g));
+            if !dead {
+                return false;
+            }
+        }
+    }
+    // (4) free-reachability preservation.
+    let marked = OptimizedDGraph::new(
+        graph.clone(),
+        Solution { strong: strong.clone(), deleted: deleted.clone() },
+    );
+    marked.check_invariants().is_ok()
+}
+
+/// Brute-force every candidate `(S, D)` pair for graphs with few arcs.
+fn all_solutions(graph: &DGraph) -> Vec<(HashSet<ArcId>, HashSet<ArcId>)> {
+    let cand = candidate_strong_arcs(graph);
+    let cycl = cyclic_candidate_arcs(graph, &cand);
+    let strong_pool: Vec<ArcId> = cand.difference(&cycl).copied().collect();
+    let deleted_pool: Vec<ArcId> =
+        graph.arc_ids().filter(|a| !cand.contains(a)).collect();
+    let mut out = Vec::new();
+    for s_mask in 0u32..(1 << strong_pool.len()) {
+        let strong: HashSet<ArcId> = strong_pool
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| s_mask & (1 << i) != 0)
+            .map(|(_, &a)| a)
+            .collect();
+        for d_mask in 0u32..(1 << deleted_pool.len()) {
+            let deleted: HashSet<ArcId> = deleted_pool
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| d_mask & (1 << i) != 0)
+                .map(|(_, &a)| a)
+                .collect();
+            if is_valid_solution(graph, &strong, &deleted) {
+                out.push((strong.clone(), deleted));
+            }
+        }
+    }
+    out
+}
+
+fn tiny_graph(seed: u64) -> Option<DGraph> {
+    let params = RandomParams {
+        relations: (2, 4),
+        arity: (1, 2),
+        domains: 3,
+        input_probability: 0.4,
+        domain_values: (2, 4),
+        atoms: (1, 3),
+        join_probability: 0.5,
+        constant_probability: 0.3,
+        tuples: (0, 5),
+    };
+    let mut rng = seeded_rng(seed);
+    let generated = random_schema(&mut rng, &params);
+    let query = random_query(&mut rng, &generated, &params)?;
+    let pre = preprocess(&query, &generated.schema).ok()?;
+    let graph = DGraph::build(&pre).ok()?;
+    // Keep the brute force cheap: the pools are split, so 2^|cand\cycl| ×
+    // 2^|non-cand| ≤ 2^12.
+    if graph.arcs().len() > 12 {
+        return None;
+    }
+    Some(graph)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 120, ..ProptestConfig::default() })]
+
+    /// GFP's result is itself valid and dominates every valid solution.
+    #[test]
+    fn gfp_is_the_unique_maximal_solution(seed in 0u64..100_000) {
+        let Some(graph) = tiny_graph(seed) else { return Ok(()); };
+        let (sol, _) = gfp(&graph);
+        prop_assert!(
+            is_valid_solution(&graph, &sol.strong, &sol.deleted),
+            "GFP's own solution must be valid"
+        );
+        for (s, d) in all_solutions(&graph) {
+            prop_assert!(
+                s.is_subset(&sol.strong),
+                "strong set {s:?} not dominated by GFP's {:?}",
+                sol.strong
+            );
+            prop_assert!(
+                d.is_subset(&sol.deleted),
+                "deleted set {d:?} not dominated by GFP's {:?}",
+                sol.deleted
+            );
+        }
+    }
+}
+
+/// Deterministic seeds so failures reproduce without shrinking.
+#[test]
+fn fixed_seed_maximality_sweep() {
+    let mut checked = 0;
+    for seed in 0..400 {
+        let Some(graph) = tiny_graph(seed) else { continue };
+        let (sol, _) = gfp(&graph);
+        assert!(is_valid_solution(&graph, &sol.strong, &sol.deleted), "seed {seed}");
+        for (s, d) in all_solutions(&graph) {
+            assert!(s.is_subset(&sol.strong), "seed {seed}");
+            assert!(d.is_subset(&sol.deleted), "seed {seed}");
+        }
+        checked += 1;
+    }
+    assert!(checked > 100, "enough graphs were checked ({checked}/400)");
+}
+
+/// Ordering constraints hold on random optimized d-graphs for both
+/// heuristics: live weak arcs are non-decreasing in position, strong arcs
+/// strictly increasing, and cyclic groups share a position.
+#[test]
+fn ordering_respects_arc_constraints_on_random_graphs() {
+    use toorjah_core::{gfp, order_sources, ArcMark, OptimizedDGraph, OrderingHeuristic};
+    let mut checked = 0;
+    for seed in 0..300 {
+        let Some(graph) = tiny_graph(seed) else { continue };
+        let (sol, _) = gfp(&graph);
+        let opt = OptimizedDGraph::new(graph, sol);
+        for heuristic in [OrderingHeuristic::JoinCountDesc, OrderingHeuristic::SourceIdAsc] {
+            let ord = order_sources(&opt, heuristic).expect("ordering succeeds");
+            for arc in opt.graph().arc_ids() {
+                if !opt.is_live(arc) {
+                    continue;
+                }
+                let pf = ord.position(opt.graph().arc_from_source(arc)).unwrap();
+                let pt = ord.position(opt.graph().arc_to_source(arc)).unwrap();
+                assert!(pf <= pt, "seed {seed}: weak order violated");
+                if opt.mark(arc) == ArcMark::Strong {
+                    assert!(pf < pt, "seed {seed}: strong order violated");
+                }
+            }
+            // Groups partition the relevant sources.
+            let mut all: Vec<_> = ord.groups().iter().flatten().copied().collect();
+            all.sort();
+            let mut relevant = opt.relevant_sources();
+            relevant.sort();
+            assert_eq!(all, relevant, "seed {seed}");
+        }
+        checked += 1;
+    }
+    assert!(checked > 100, "enough graphs checked ({checked})");
+}

@@ -1,0 +1,77 @@
+//! Error type for Datalog program construction and evaluation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building or evaluating Datalog programs.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DatalogError {
+    /// A predicate was interned twice with different arities.
+    ArityConflict {
+        /// Predicate name.
+        predicate: String,
+        /// Arity of the first registration.
+        first: usize,
+        /// Arity of the conflicting registration.
+        second: usize,
+    },
+    /// A literal's term count differs from its predicate's arity.
+    LiteralArity {
+        /// Predicate name.
+        predicate: String,
+        /// Declared arity.
+        expected: usize,
+        /// Number of terms in the literal.
+        got: usize,
+    },
+    /// A head variable does not occur in the body.
+    NotRangeRestricted {
+        /// Head predicate name.
+        predicate: String,
+    },
+    /// A fact with the wrong arity was inserted into a store.
+    FactArity {
+        /// Predicate name.
+        predicate: String,
+        /// Declared arity.
+        expected: usize,
+        /// Arity of the offending fact.
+        got: usize,
+    },
+}
+
+impl fmt::Display for DatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatalogError::ArityConflict { predicate, first, second } => write!(
+                f,
+                "predicate {predicate} registered with arity {first} and again with arity {second}"
+            ),
+            DatalogError::LiteralArity { predicate, expected, got } => write!(
+                f,
+                "literal over {predicate} has {got} term(s), but the predicate has arity {expected}"
+            ),
+            DatalogError::NotRangeRestricted { predicate } => write!(
+                f,
+                "rule for {predicate} is not range-restricted (a head variable is missing from the body)"
+            ),
+            DatalogError::FactArity { predicate, expected, got } => write!(
+                f,
+                "fact of arity {got} inserted for predicate {predicate} of arity {expected}"
+            ),
+        }
+    }
+}
+
+impl Error for DatalogError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_predicate() {
+        let e = DatalogError::NotRangeRestricted { predicate: "q".into() };
+        assert!(e.to_string().contains('q'));
+    }
+}

@@ -1,0 +1,797 @@
+//! Bottom-up semi-naive least-fixpoint evaluation.
+//!
+//! This is the reference semantics for the paper's query plans: §IV states
+//! that the fast-failing strategy "is guaranteed to always calculate the same
+//! answer as the fixpoint semantics for the Datalog program". The engine's
+//! executor is property-tested against this evaluator.
+
+use std::collections::HashSet;
+
+use toorjah_catalog::{Tuple, Value};
+
+use crate::{DTerm, FactStore, Literal, PredId, Program, Rule};
+
+/// Counters describing one evaluation run.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct EvalStats {
+    /// Number of fixpoint rounds (including the initialization round).
+    pub rounds: usize,
+    /// Number of IDB facts derived.
+    pub derived: usize,
+    /// Number of rule-body satisfactions considered (including rederivations).
+    pub derivations: usize,
+}
+
+/// Evaluates `program` over the extensional facts in `edb`, returning the
+/// derived intensional facts and run statistics.
+///
+/// The program must be positive (no negation — the AST cannot express it)
+/// and range-restricted (validated by [`Program::add_rule`]), so the least
+/// fixpoint exists and is finite over a finite EDB.
+///
+/// ```
+/// use toorjah_catalog::tuple;
+/// use toorjah_datalog::{evaluate, DTerm, FactStore, Literal, Program, Rule};
+///
+/// // path(X,Y) ← edge(X,Y);  path(X,Z) ← edge(X,Y), path(Y,Z)
+/// let mut p = Program::new();
+/// let edge = p.predicate("edge", 2).unwrap();
+/// let path = p.predicate("path", 2).unwrap();
+/// let v = |i| DTerm::Var(i);
+/// p.add_rule(Rule::new(
+///     Literal::new(path, vec![v(0), v(1)]),
+///     vec![Literal::new(edge, vec![v(0), v(1)])],
+///     vec!["X".into(), "Y".into()],
+/// )).unwrap();
+/// p.add_rule(Rule::new(
+///     Literal::new(path, vec![v(0), v(2)]),
+///     vec![Literal::new(edge, vec![v(0), v(1)]), Literal::new(path, vec![v(1), v(2)])],
+///     vec!["X".into(), "Y".into(), "Z".into()],
+/// )).unwrap();
+///
+/// let mut edb = FactStore::new();
+/// edb.extend(edge, [tuple![1, 2], tuple![2, 3]]);
+/// let (idb, stats) = evaluate(&p, &edb);
+/// assert_eq!(idb.len(path), 3); // (1,2), (2,3), (1,3)
+/// assert!(stats.rounds >= 2);
+/// ```
+pub fn evaluate(program: &Program, edb: &FactStore) -> (FactStore, EvalStats) {
+    let idb_preds = program.idb_predicates();
+    let is_idb = |p: PredId| idb_preds.contains(&p);
+
+    let mut total = FactStore::new();
+    let mut delta = FactStore::new();
+    // Initialization counts as the first round: facts and rules whose bodies
+    // contain no IDB literal fire exactly once, here.
+    let mut stats = EvalStats { rounds: 1, ..EvalStats::default() };
+    for rule in program.rules() {
+        if rule.body.iter().any(|l| is_idb(l.pred)) {
+            continue;
+        }
+        let mut out = Vec::new();
+        apply_rule(rule, |_| Source::Edb, edb, &total, &delta, &mut out, &mut stats);
+        for t in out {
+            if total.insert(rule.head.pred, t.clone()) {
+                delta.insert(rule.head.pred, t);
+                stats.derived += 1;
+            }
+        }
+    }
+
+    // Semi-naive rounds.
+    while delta.total() > 0 {
+        stats.rounds += 1;
+        let mut new_facts: Vec<(PredId, Tuple)> = Vec::new();
+        for rule in program.rules() {
+            let idb_positions: Vec<usize> = rule
+                .body
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| is_idb(l.pred))
+                .map(|(i, _)| i)
+                .collect();
+            if idb_positions.is_empty() {
+                continue;
+            }
+            // One pass per pivot: the pivot literal ranges over the delta,
+            // every other literal over the running total (for IDB) or the
+            // EDB. Using the full total for non-pivot IDB literals may
+            // rederive facts but never misses a new combination, because any
+            // new derivation uses at least one delta tuple.
+            for &pivot in &idb_positions {
+                let mut out = Vec::new();
+                apply_rule(
+                    rule,
+                    |i| {
+                        if !is_idb(rule.body[i].pred) {
+                            Source::Edb
+                        } else if i == pivot {
+                            Source::Delta
+                        } else {
+                            Source::Total
+                        }
+                    },
+                    edb,
+                    &total,
+                    &delta,
+                    &mut out,
+                    &mut stats,
+                );
+                for t in out {
+                    if !total.contains(rule.head.pred, &t) {
+                        new_facts.push((rule.head.pred, t));
+                    }
+                }
+            }
+        }
+        delta = FactStore::new();
+        for (pred, t) in new_facts {
+            if total.insert(pred, t.clone()) {
+                delta.insert(pred, t);
+                stats.derived += 1;
+            }
+        }
+    }
+
+    (total, stats)
+}
+
+/// Evaluates a single rule once against `facts`, returning all derivable
+/// head instances (with duplicates possible when several body assignments
+/// agree on the head). Used by the plan executor for the final answer
+/// computation.
+///
+/// The body is decomposed into variable-connected components first:
+/// components that bind no head variable are reduced to satisfiability
+/// checks, and the remaining components are enumerated independently and
+/// combined. This keeps disconnected bodies (e.g. a query with a cartesian
+/// guard atom) from blowing up into a product enumeration.
+pub fn rule_head_instances(rule: &Rule, facts: &FactStore) -> Vec<Tuple> {
+    let components = body_components(rule);
+    let head_vars: HashSet<u32> = rule.head.terms.iter().filter_map(DTerm::as_var).collect();
+
+    // Guard components (no head variable): pure satisfiability.
+    let mut head_components: Vec<&BodyComponent> = Vec::new();
+    for component in &components {
+        if component.vars.is_disjoint(&head_vars) {
+            if !rule_body_satisfiable(rule, &component.literals, facts) {
+                return Vec::new();
+            }
+        } else {
+            head_components.push(component);
+        }
+    }
+
+    // Enumerate each head component once, projecting onto its head vars.
+    let mut projections: Vec<Vec<Vec<(u32, Value)>>> = Vec::new();
+    for component in &head_components {
+        let relevant: Vec<u32> =
+            component.vars.intersection(&head_vars).copied().collect();
+        let mut seen: HashSet<Vec<(u32, Value)>> = HashSet::new();
+        let mut rows = Vec::new();
+        enumerate_subset(rule, &component.literals, facts, &mut |binding| {
+            let mut row: Vec<(u32, Value)> = relevant
+                .iter()
+                .map(|&v| {
+                    (
+                        v,
+                        binding[v as usize]
+                            .clone()
+                            .expect("component variables are bound"),
+                    )
+                })
+                .collect();
+            row.sort_by_key(|(v, _)| *v);
+            if seen.insert(row.clone()) {
+                rows.push(row);
+            }
+            true
+        });
+        if rows.is_empty() {
+            return Vec::new();
+        }
+        projections.push(rows);
+    }
+
+    // Combine the component projections into head instances.
+    let mut out = Vec::new();
+    let mut choice = vec![0usize; projections.len()];
+    loop {
+        let mut assignment: Vec<Option<Value>> = vec![None; rule.var_names.len()];
+        for (c, rows) in projections.iter().enumerate() {
+            for (v, value) in &rows[choice[c]] {
+                assignment[*v as usize] = Some(value.clone());
+            }
+        }
+        out.push(instantiate(&rule.head, &assignment));
+        // Advance the odometer over component choices.
+        let mut pos = 0;
+        loop {
+            if pos == choice.len() {
+                return out;
+            }
+            choice[pos] += 1;
+            if choice[pos] < projections[pos].len() {
+                break;
+            }
+            choice[pos] = 0;
+            pos += 1;
+        }
+    }
+}
+
+/// A variable-connected group of body literals.
+struct BodyComponent {
+    literals: Vec<usize>,
+    vars: HashSet<u32>,
+}
+
+/// Splits a rule body into variable-connected components (ground literals
+/// each form their own component).
+fn body_components(rule: &Rule) -> Vec<BodyComponent> {
+    let n = rule.body.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+        if parent[i] != i {
+            let root = find(parent, parent[i]);
+            parent[i] = root;
+        }
+        parent[i]
+    }
+    let mut owner: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+    for (i, lit) in rule.body.iter().enumerate() {
+        for v in lit.terms.iter().filter_map(DTerm::as_var) {
+            match owner.get(&v) {
+                Some(&j) => {
+                    let (a, b) = (find(&mut parent, i), find(&mut parent, j));
+                    parent[a] = b;
+                }
+                None => {
+                    owner.insert(v, i);
+                }
+            }
+        }
+    }
+    let mut components: std::collections::HashMap<usize, BodyComponent> =
+        std::collections::HashMap::new();
+    for i in 0..n {
+        let root = find(&mut parent, i);
+        let entry = components
+            .entry(root)
+            .or_insert_with(|| BodyComponent { literals: Vec::new(), vars: HashSet::new() });
+        entry.literals.push(i);
+        entry.vars.extend(rule.body[i].terms.iter().filter_map(DTerm::as_var));
+    }
+    let mut out: Vec<BodyComponent> = components.into_values().collect();
+    out.sort_by_key(|c| c.literals[0]);
+    out
+}
+
+/// Enumerates all satisfying assignments of the selected body literals;
+/// `on_match` returns `false` to stop.
+fn enumerate_subset(
+    rule: &Rule,
+    subset: &[usize],
+    facts: &FactStore,
+    on_match: &mut dyn FnMut(&[Option<Value>]) -> bool,
+) {
+    let mut binding: Vec<Option<Value>> = vec![None; rule.var_names.len()];
+    enumerate_search(rule, subset, facts, 0, &mut binding, on_match);
+}
+
+fn enumerate_search(
+    rule: &Rule,
+    subset: &[usize],
+    facts: &FactStore,
+    depth: usize,
+    binding: &mut Vec<Option<Value>>,
+    on_match: &mut dyn FnMut(&[Option<Value>]) -> bool,
+) -> bool {
+    let Some(&lit_idx) = subset.get(depth) else {
+        return on_match(binding);
+    };
+    let lit = &rule.body[lit_idx];
+    let bound_col = lit.terms.iter().enumerate().find_map(|(col, t)| match t {
+        DTerm::Const(c) => Some((col, c.clone())),
+        DTerm::Var(v) => binding[*v as usize].clone().map(|val| (col, val)),
+    });
+    let candidates: Vec<usize> = match &bound_col {
+        Some((col, value)) => facts.matching(lit.pred, *col, value),
+        None => (0..facts.len(lit.pred)).collect(),
+    };
+    'cand: for pos in candidates {
+        let tuple = &facts.tuples(lit.pred)[pos];
+        let mut newly_bound: Vec<u32> = Vec::new();
+        for (t, v) in lit.terms.iter().zip(tuple.values()) {
+            match t {
+                DTerm::Const(c) => {
+                    if c != v {
+                        unbind(binding, &newly_bound);
+                        continue 'cand;
+                    }
+                }
+                DTerm::Var(var) => match &binding[*var as usize] {
+                    Some(bound) => {
+                        if bound != v {
+                            unbind(binding, &newly_bound);
+                            continue 'cand;
+                        }
+                    }
+                    None => {
+                        binding[*var as usize] = Some(v.clone());
+                        newly_bound.push(*var);
+                    }
+                },
+            }
+        }
+        let keep = enumerate_search(rule, subset, facts, depth + 1, binding, on_match);
+        unbind(binding, &newly_bound);
+        if !keep {
+            return false;
+        }
+    }
+    true
+}
+
+/// Evaluates a single rule with body literal `pinned_idx` restricted to the
+/// tuples in `pinned` (all other literals range over `facts`). This is the
+/// delta step of incremental answer computation: when a cache gains
+/// `pinned` new tuples, the new answers are exactly the head instances
+/// derivable through them.
+pub fn rule_head_instances_pinned(
+    rule: &Rule,
+    facts: &FactStore,
+    pinned_idx: usize,
+    pinned: &FactStore,
+) -> Vec<Tuple> {
+    let mut stats = EvalStats::default();
+    let mut out = Vec::new();
+    apply_rule(
+        rule,
+        |i| if i == pinned_idx { Source::Delta } else { Source::Edb },
+        facts,
+        facts,
+        pinned,
+        &mut out,
+        &mut stats,
+    );
+    out
+}
+
+/// `true` when the conjunction of the body literals selected by `subset`
+/// (indexes into `rule.body`) is satisfiable over `facts` — the §IV early
+/// non-emptiness test. An empty subset is trivially satisfiable. Stops at
+/// the first witness.
+///
+/// Variable-disconnected parts of the subset are checked independently, so
+/// an unsatisfiable component is discovered without iterating the others.
+pub fn rule_body_satisfiable(rule: &Rule, subset: &[usize], facts: &FactStore) -> bool {
+    if subset.is_empty() {
+        return true;
+    }
+    let in_subset: HashSet<usize> = subset.iter().copied().collect();
+    for component in body_components(rule) {
+        let part: Vec<usize> = component
+            .literals
+            .iter()
+            .copied()
+            .filter(|i| in_subset.contains(i))
+            .collect();
+        if part.is_empty() {
+            continue;
+        }
+        let mut binding: Vec<Option<Value>> = vec![None; rule.var_names.len()];
+        if !satisfiable_search(rule, &part, facts, 0, &mut binding) {
+            return false;
+        }
+    }
+    true
+}
+
+fn satisfiable_search(
+    rule: &Rule,
+    subset: &[usize],
+    facts: &FactStore,
+    depth: usize,
+    binding: &mut Vec<Option<Value>>,
+) -> bool {
+    let Some(&lit_idx) = subset.get(depth) else {
+        return true;
+    };
+    let lit = &rule.body[lit_idx];
+    let bound_col = lit.terms.iter().enumerate().find_map(|(col, t)| match t {
+        DTerm::Const(c) => Some((col, c.clone())),
+        DTerm::Var(v) => binding[*v as usize].clone().map(|val| (col, val)),
+    });
+    let candidates: Vec<usize> = match &bound_col {
+        Some((col, value)) => facts.matching(lit.pred, *col, value),
+        None => (0..facts.len(lit.pred)).collect(),
+    };
+    'cand: for pos in candidates {
+        let tuple = &facts.tuples(lit.pred)[pos];
+        let mut newly_bound: Vec<u32> = Vec::new();
+        for (t, v) in lit.terms.iter().zip(tuple.values()) {
+            match t {
+                DTerm::Const(c) => {
+                    if c != v {
+                        unbind(binding, &newly_bound);
+                        continue 'cand;
+                    }
+                }
+                DTerm::Var(var) => match &binding[*var as usize] {
+                    Some(bound) => {
+                        if bound != v {
+                            unbind(binding, &newly_bound);
+                            continue 'cand;
+                        }
+                    }
+                    None => {
+                        binding[*var as usize] = Some(v.clone());
+                        newly_bound.push(*var);
+                    }
+                },
+            }
+        }
+        if satisfiable_search(rule, subset, facts, depth + 1, binding) {
+            unbind(binding, &newly_bound);
+            return true;
+        }
+        unbind(binding, &newly_bound);
+    }
+    false
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Source {
+    Edb,
+    Total,
+    Delta,
+}
+
+/// Enumerates all satisfactions of `rule`'s body and collects the resulting
+/// head tuples into `out`. `source_of(i)` selects which store body literal
+/// `i` ranges over.
+fn apply_rule(
+    rule: &Rule,
+    source_of: impl Fn(usize) -> Source,
+    edb: &FactStore,
+    total: &FactStore,
+    delta: &FactStore,
+    out: &mut Vec<Tuple>,
+    stats: &mut EvalStats,
+) {
+    let mut binding: Vec<Option<Value>> = vec![None; rule.var_names.len()];
+    search_body(rule, &source_of, edb, total, delta, 0, &mut binding, out, stats);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn search_body(
+    rule: &Rule,
+    source_of: &impl Fn(usize) -> Source,
+    edb: &FactStore,
+    total: &FactStore,
+    delta: &FactStore,
+    depth: usize,
+    binding: &mut Vec<Option<Value>>,
+    out: &mut Vec<Tuple>,
+    stats: &mut EvalStats,
+) {
+    if depth == rule.body.len() {
+        stats.derivations += 1;
+        out.push(instantiate(&rule.head, binding));
+        return;
+    }
+    let lit = &rule.body[depth];
+    let store = match source_of(depth) {
+        Source::Edb => edb,
+        Source::Total => total,
+        Source::Delta => delta,
+    };
+
+    // Find a bound column to drive an index lookup, if any.
+    let bound_col = lit.terms.iter().enumerate().find_map(|(col, t)| match t {
+        DTerm::Const(c) => Some((col, c.clone())),
+        DTerm::Var(v) => binding[*v as usize].clone().map(|val| (col, val)),
+    });
+
+    let candidates: Vec<usize> = match &bound_col {
+        Some((col, value)) => store.matching(lit.pred, *col, value),
+        None => (0..store.len(lit.pred)).collect(),
+    };
+
+    'cand: for pos in candidates {
+        let tuple = &store.tuples(lit.pred)[pos];
+        let mut newly_bound: Vec<u32> = Vec::new();
+        for (t, v) in lit.terms.iter().zip(tuple.values()) {
+            match t {
+                DTerm::Const(c) => {
+                    if c != v {
+                        unbind(binding, &newly_bound);
+                        continue 'cand;
+                    }
+                }
+                DTerm::Var(var) => match &binding[*var as usize] {
+                    Some(bound) => {
+                        if bound != v {
+                            unbind(binding, &newly_bound);
+                            continue 'cand;
+                        }
+                    }
+                    None => {
+                        binding[*var as usize] = Some(v.clone());
+                        newly_bound.push(*var);
+                    }
+                },
+            }
+        }
+        search_body(rule, source_of, edb, total, delta, depth + 1, binding, out, stats);
+        unbind(binding, &newly_bound);
+    }
+}
+
+fn unbind(binding: &mut [Option<Value>], vars: &[u32]) {
+    for v in vars {
+        binding[*v as usize] = None;
+    }
+}
+
+fn instantiate(head: &Literal, binding: &[Option<Value>]) -> Tuple {
+    head.terms
+        .iter()
+        .map(|t| match t {
+            DTerm::Const(c) => c.clone(),
+            DTerm::Var(v) => binding[*v as usize]
+                .clone()
+                .expect("range restriction guarantees head variables are bound"),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use toorjah_catalog::tuple;
+
+    fn v(i: u32) -> DTerm {
+        DTerm::Var(i)
+    }
+
+    fn transitive_closure() -> (Program, PredId, PredId) {
+        let mut p = Program::new();
+        let edge = p.predicate("edge", 2).unwrap();
+        let path = p.predicate("path", 2).unwrap();
+        p.add_rule(Rule::new(
+            Literal::new(path, vec![v(0), v(1)]),
+            vec![Literal::new(edge, vec![v(0), v(1)])],
+            vec!["X".into(), "Y".into()],
+        ))
+        .unwrap();
+        p.add_rule(Rule::new(
+            Literal::new(path, vec![v(0), v(2)]),
+            vec![
+                Literal::new(edge, vec![v(0), v(1)]),
+                Literal::new(path, vec![v(1), v(2)]),
+            ],
+            vec!["X".into(), "Y".into(), "Z".into()],
+        ))
+        .unwrap();
+        (p, edge, path)
+    }
+
+    #[test]
+    fn chain_closure() {
+        let (p, edge, path) = transitive_closure();
+        let mut edb = FactStore::new();
+        edb.extend(edge, (1..5).map(|i| tuple![i, i + 1]));
+        let (idb, stats) = evaluate(&p, &edb);
+        // 4+3+2+1 = 10 pairs.
+        assert_eq!(idb.len(path), 10);
+        assert!(idb.contains(path, &tuple![1, 5]));
+        assert!(!idb.contains(path, &tuple![5, 1]));
+        assert_eq!(stats.derived, 10);
+        assert!(stats.rounds >= 4);
+    }
+
+    #[test]
+    fn cycle_closure_terminates() {
+        let (p, edge, path) = transitive_closure();
+        let mut edb = FactStore::new();
+        edb.extend(edge, [tuple![1, 2], tuple![2, 3], tuple![3, 1]]);
+        let (idb, _) = evaluate(&p, &edb);
+        // All 9 ordered pairs over {1,2,3}.
+        assert_eq!(idb.len(path), 9);
+    }
+
+    #[test]
+    fn facts_seed_the_fixpoint() {
+        let mut p = Program::new();
+        let ra = p.predicate("ra", 1).unwrap();
+        let q = p.predicate("q", 1).unwrap();
+        p.add_rule(Rule::new(
+            Literal::new(ra, vec![DTerm::Const(Value::from("a"))]),
+            vec![],
+            vec![],
+        ))
+        .unwrap();
+        p.add_rule(Rule::new(
+            Literal::new(q, vec![v(0)]),
+            vec![Literal::new(ra, vec![v(0)])],
+            vec!["X".into()],
+        ))
+        .unwrap();
+        let (idb, _) = evaluate(&p, &FactStore::new());
+        assert_eq!(idb.tuples(q), &[tuple!["a"]]);
+    }
+
+    #[test]
+    fn constants_in_bodies_filter() {
+        let mut p = Program::new();
+        let r = p.predicate("r", 2).unwrap();
+        let q = p.predicate("q", 1).unwrap();
+        // q(X) ← r(X, 'keep')
+        p.add_rule(Rule::new(
+            Literal::new(q, vec![v(0)]),
+            vec![Literal::new(r, vec![v(0), DTerm::Const(Value::from("keep"))])],
+            vec!["X".into()],
+        ))
+        .unwrap();
+        let mut edb = FactStore::new();
+        edb.extend(r, [tuple![1, "keep"], tuple![2, "drop"], tuple![3, "keep"]]);
+        let (idb, _) = evaluate(&p, &edb);
+        assert_eq!(idb.len(q), 2);
+        assert!(idb.contains(q, &tuple![1]));
+        assert!(idb.contains(q, &tuple![3]));
+    }
+
+    #[test]
+    fn join_through_shared_variable() {
+        let mut p = Program::new();
+        let r = p.predicate("r", 2).unwrap();
+        let s = p.predicate("s", 2).unwrap();
+        let q = p.predicate("q", 2).unwrap();
+        // q(X,Z) ← r(X,Y), s(Y,Z)
+        p.add_rule(Rule::new(
+            Literal::new(q, vec![v(0), v(2)]),
+            vec![
+                Literal::new(r, vec![v(0), v(1)]),
+                Literal::new(s, vec![v(1), v(2)]),
+            ],
+            vec!["X".into(), "Y".into(), "Z".into()],
+        ))
+        .unwrap();
+        let mut edb = FactStore::new();
+        edb.extend(r, [tuple![1, 10], tuple![2, 20]]);
+        edb.extend(s, [tuple![10, 100], tuple![10, 101], tuple![30, 300]]);
+        let (idb, _) = evaluate(&p, &edb);
+        assert_eq!(idb.len(q), 2);
+        assert!(idb.contains(q, &tuple![1, 100]));
+        assert!(idb.contains(q, &tuple![1, 101]));
+    }
+
+    #[test]
+    fn empty_edb_derives_nothing_but_facts() {
+        let (p, _, path) = transitive_closure();
+        let (idb, stats) = evaluate(&p, &FactStore::new());
+        assert_eq!(idb.len(path), 0);
+        assert_eq!(stats.derived, 0);
+        assert_eq!(stats.rounds, 1);
+    }
+
+    #[test]
+    fn repeated_variable_in_literal_requires_equality() {
+        let mut p = Program::new();
+        let r = p.predicate("r", 2).unwrap();
+        let q = p.predicate("q", 1).unwrap();
+        // q(X) ← r(X, X)
+        p.add_rule(Rule::new(
+            Literal::new(q, vec![v(0)]),
+            vec![Literal::new(r, vec![v(0), v(0)])],
+            vec!["X".into()],
+        ))
+        .unwrap();
+        let mut edb = FactStore::new();
+        edb.extend(r, [tuple![1, 1], tuple![1, 2], tuple![3, 3]]);
+        let (idb, _) = evaluate(&p, &edb);
+        assert_eq!(idb.len(q), 2);
+    }
+
+    #[test]
+    fn mutually_recursive_predicates() {
+        let mut p = Program::new();
+        let e = p.predicate("e", 1).unwrap();
+        let odd = p.predicate("odd", 1).unwrap();
+        let even = p.predicate("even", 1).unwrap();
+        let succ = p.predicate("succ", 2).unwrap();
+        // even(X) ← e(X); odd(Y) ← even(X), succ(X,Y); even(Y) ← odd(X), succ(X,Y)
+        p.add_rule(Rule::new(
+            Literal::new(even, vec![v(0)]),
+            vec![Literal::new(e, vec![v(0)])],
+            vec!["X".into()],
+        ))
+        .unwrap();
+        p.add_rule(Rule::new(
+            Literal::new(odd, vec![v(1)]),
+            vec![Literal::new(even, vec![v(0)]), Literal::new(succ, vec![v(0), v(1)])],
+            vec!["X".into(), "Y".into()],
+        ))
+        .unwrap();
+        p.add_rule(Rule::new(
+            Literal::new(even, vec![v(1)]),
+            vec![Literal::new(odd, vec![v(0)]), Literal::new(succ, vec![v(0), v(1)])],
+            vec!["X".into(), "Y".into()],
+        ))
+        .unwrap();
+        let mut edb = FactStore::new();
+        edb.insert(e, tuple![0]);
+        edb.extend(succ, (0..6).map(|i| tuple![i, i + 1]));
+        let (idb, _) = evaluate(&p, &edb);
+        assert_eq!(idb.len(even), 4); // 0, 2, 4, 6
+        assert_eq!(idb.len(odd), 3); // 1, 3, 5
+    }
+}
+
+#[cfg(test)]
+mod rule_helper_tests {
+    use super::*;
+    use toorjah_catalog::tuple;
+
+    fn v(i: u32) -> DTerm {
+        DTerm::Var(i)
+    }
+
+    fn setup() -> (Program, PredId, PredId, PredId, FactStore) {
+        let mut p = Program::new();
+        let r = p.predicate("r", 2).unwrap();
+        let s = p.predicate("s", 2).unwrap();
+        let q = p.predicate("q", 2).unwrap();
+        p.add_rule(Rule::new(
+            Literal::new(q, vec![v(0), v(2)]),
+            vec![
+                Literal::new(r, vec![v(0), v(1)]),
+                Literal::new(s, vec![v(1), v(2)]),
+            ],
+            vec!["X".into(), "Y".into(), "Z".into()],
+        ))
+        .unwrap();
+        let mut facts = FactStore::new();
+        facts.extend(r, [tuple![1, 10], tuple![2, 20]]);
+        facts.extend(s, [tuple![10, 100], tuple![30, 300]]);
+        (p, r, s, q, facts)
+    }
+
+    #[test]
+    fn rule_head_instances_joins() {
+        let (p, _, _, _, facts) = setup();
+        let heads = rule_head_instances(&p.rules()[0], &facts);
+        assert_eq!(heads, vec![tuple![1, 100]]);
+    }
+
+    #[test]
+    fn body_satisfiability_subsets() {
+        let (p, _, _, _, facts) = setup();
+        let rule = &p.rules()[0];
+        assert!(rule_body_satisfiable(rule, &[], &facts));
+        assert!(rule_body_satisfiable(rule, &[0], &facts));
+        assert!(rule_body_satisfiable(rule, &[1], &facts));
+        assert!(rule_body_satisfiable(rule, &[0, 1], &facts));
+    }
+
+    #[test]
+    fn body_unsatisfiable_when_join_fails() {
+        let (p, r, s, _, _) = setup();
+        let rule = &p.rules()[0];
+        let mut facts = FactStore::new();
+        facts.insert(r, tuple![1, 10]);
+        facts.insert(s, tuple![11, 100]);
+        assert!(rule_body_satisfiable(rule, &[0], &facts));
+        assert!(!rule_body_satisfiable(rule, &[0, 1], &facts));
+    }
+
+    #[test]
+    fn empty_store_unsatisfiable() {
+        let (p, _, _, _, _) = setup();
+        let rule = &p.rules()[0];
+        assert!(!rule_body_satisfiable(rule, &[0], &FactStore::new()));
+        assert!(rule_head_instances(rule, &FactStore::new()).is_empty());
+    }
+}

@@ -1,0 +1,202 @@
+//! Fact storage with lazy single-column hash indexes.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+
+use toorjah_catalog::{Tuple, Value};
+
+use crate::PredId;
+
+/// Facts for one predicate: a deduplicated tuple list with lazily built
+/// single-column indexes (column value → tuple positions).
+///
+/// Indexes live behind a `RefCell` so lookups work through `&self`; the
+/// store is therefore not `Sync`, which is fine for the single-threaded
+/// bottom-up evaluator (the parallel executor in `toorjah-system` uses its
+/// own lock-protected structures).
+#[derive(Clone, Default, Debug)]
+struct PredFacts {
+    tuples: Vec<Tuple>,
+    seen: HashSet<Tuple>,
+    /// `indexes[col]` maps a value to the positions of tuples carrying it at
+    /// column `col`. Built on first use, extended on insert thereafter.
+    indexes: RefCell<HashMap<usize, HashMap<Value, Vec<usize>>>>,
+}
+
+impl PredFacts {
+    fn insert(&mut self, t: Tuple) -> bool {
+        if !self.seen.insert(t.clone()) {
+            return false;
+        }
+        let pos = self.tuples.len();
+        for (&col, index) in self.indexes.get_mut().iter_mut() {
+            index.entry(t[col].clone()).or_default().push(pos);
+        }
+        self.tuples.push(t);
+        true
+    }
+
+    fn matching(&self, col: usize, value: &Value) -> Vec<usize> {
+        let mut indexes = self.indexes.borrow_mut();
+        let index = indexes.entry(col).or_insert_with(|| {
+            let mut index: HashMap<Value, Vec<usize>> = HashMap::new();
+            for (pos, t) in self.tuples.iter().enumerate() {
+                index.entry(t[col].clone()).or_default().push(pos);
+            }
+            index
+        });
+        index.get(value).cloned().unwrap_or_default()
+    }
+}
+
+/// A set of facts per predicate, the input/output format of
+/// [`crate::evaluate`].
+///
+/// Insertion order is preserved per predicate, making iteration — and hence
+/// evaluation traces and test expectations — deterministic.
+#[derive(Clone, Default, Debug)]
+pub struct FactStore {
+    facts: HashMap<PredId, PredFacts>,
+}
+
+impl FactStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a fact; returns `true` if it was new.
+    pub fn insert(&mut self, pred: PredId, tuple: Tuple) -> bool {
+        self.facts.entry(pred).or_default().insert(tuple)
+    }
+
+    /// Inserts many facts.
+    pub fn extend(&mut self, pred: PredId, tuples: impl IntoIterator<Item = Tuple>) {
+        let facts = self.facts.entry(pred).or_default();
+        for t in tuples {
+            facts.insert(t);
+        }
+    }
+
+    /// All facts for a predicate, in insertion order.
+    pub fn tuples(&self, pred: PredId) -> &[Tuple] {
+        self.facts.get(&pred).map_or(&[], |f| &f.tuples)
+    }
+
+    /// Whether the predicate has any fact.
+    pub fn is_empty(&self, pred: PredId) -> bool {
+        self.tuples(pred).is_empty()
+    }
+
+    /// Number of facts for a predicate.
+    pub fn len(&self, pred: PredId) -> usize {
+        self.tuples(pred).len()
+    }
+
+    /// Total number of facts across predicates.
+    pub fn total(&self) -> usize {
+        self.facts.values().map(|f| f.tuples.len()).sum()
+    }
+
+    /// Whether a specific fact is present.
+    pub fn contains(&self, pred: PredId, tuple: &Tuple) -> bool {
+        self.facts.get(&pred).is_some_and(|f| f.seen.contains(tuple))
+    }
+
+    /// Positions (into [`FactStore::tuples`]) of facts matching `value` at
+    /// `col`, using (and building on demand) a hash index.
+    pub fn matching(&self, pred: PredId, col: usize, value: &Value) -> Vec<usize> {
+        self.facts
+            .get(&pred)
+            .map_or_else(Vec::new, |f| f.matching(col, value))
+    }
+
+    /// Merges all facts of `other` into `self`.
+    pub fn absorb(&mut self, other: &FactStore) {
+        for (&pred, facts) in &other.facts {
+            let target = self.facts.entry(pred).or_default();
+            for t in &facts.tuples {
+                target.insert(t.clone());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use toorjah_catalog::tuple;
+
+    #[test]
+    fn insert_dedups() {
+        let mut s = FactStore::new();
+        let p = PredId(0);
+        assert!(s.insert(p, tuple!["a", 1]));
+        assert!(!s.insert(p, tuple!["a", 1]));
+        assert_eq!(s.len(p), 1);
+        assert!(s.contains(p, &tuple!["a", 1]));
+        assert!(!s.contains(p, &tuple!["a", 2]));
+    }
+
+    #[test]
+    fn missing_predicate_is_empty() {
+        let s = FactStore::new();
+        assert!(s.is_empty(PredId(7)));
+        assert_eq!(s.tuples(PredId(7)), &[]);
+        assert!(s.matching(PredId(7), 0, &Value::from(1)).is_empty());
+    }
+
+    #[test]
+    fn index_lookup_finds_positions() {
+        let mut s = FactStore::new();
+        let p = PredId(0);
+        s.extend(p, [tuple!["a", 1], tuple!["b", 2], tuple!["a", 3]]);
+        let pos = s.matching(p, 0, &Value::from("a"));
+        assert_eq!(pos, vec![0, 2]);
+        assert!(s.matching(p, 0, &Value::from("zz")).is_empty());
+    }
+
+    #[test]
+    fn index_extends_after_inserts() {
+        let mut s = FactStore::new();
+        let p = PredId(0);
+        s.insert(p, tuple!["a", 1]);
+        // Build the index, then insert more.
+        assert_eq!(s.matching(p, 0, &Value::from("a")).len(), 1);
+        s.insert(p, tuple!["a", 2]);
+        assert_eq!(s.matching(p, 0, &Value::from("a")).len(), 2);
+    }
+
+    #[test]
+    fn absorb_merges() {
+        let mut a = FactStore::new();
+        let mut b = FactStore::new();
+        let p = PredId(0);
+        a.insert(p, tuple![1]);
+        b.insert(p, tuple![1]);
+        b.insert(p, tuple![2]);
+        a.absorb(&b);
+        assert_eq!(a.len(p), 2);
+        assert_eq!(a.total(), 2);
+    }
+
+    #[test]
+    fn insertion_order_preserved() {
+        let mut s = FactStore::new();
+        let p = PredId(0);
+        s.extend(p, [tuple![3], tuple![1], tuple![2]]);
+        let order: Vec<_> = s.tuples(p).to_vec();
+        assert_eq!(order, vec![tuple![3], tuple![1], tuple![2]]);
+    }
+
+    #[test]
+    fn clone_keeps_indexes_independent() {
+        let mut s = FactStore::new();
+        let p = PredId(0);
+        s.insert(p, tuple!["a", 1]);
+        let c = s.clone();
+        s.insert(p, tuple!["a", 2]);
+        assert_eq!(c.matching(p, 0, &Value::from("a")).len(), 1);
+        assert_eq!(s.matching(p, 0, &Value::from("a")).len(), 2);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests of the Datalog evaluator: the semi-naive engine is
+//! compared against a naive reference (repeated whole-rule application until
+//! fixpoint), and monotonicity of the least fixpoint is checked.
+
+use proptest::prelude::*;
+use toorjah_catalog::{Tuple, Value};
+use toorjah_datalog::{
+    evaluate, rule_head_instances, DTerm, FactStore, Literal, PredId, Program, Rule,
+};
+
+/// Naive reference evaluator: apply every rule to (EDB ∪ IDB) until nothing
+/// new is derived.
+fn naive_reference(program: &Program, edb: &FactStore) -> FactStore {
+    let mut everything = edb.clone();
+    let mut idb = FactStore::new();
+    loop {
+        let mut changed = false;
+        for rule in program.rules() {
+            for head in rule_head_instances(rule, &everything) {
+                if idb.insert(rule.head.pred, head.clone()) {
+                    everything.insert(rule.head.pred, head);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return idb;
+        }
+    }
+}
+
+/// A random linear-rule program over binary predicates p0..p3 plus an EDB
+/// predicate e, generated from a seed.
+fn random_program(seed: u64) -> (Program, PredId, Vec<PredId>) {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut program = Program::new();
+    let e = program.predicate("e", 2).unwrap();
+    let preds: Vec<PredId> =
+        (0..3).map(|i| program.predicate(&format!("p{i}"), 2).unwrap()).collect();
+    let rule_count = rng.gen_range(1..=5);
+    for _ in 0..rule_count {
+        let head = preds[rng.gen_range(0..preds.len())];
+        let body_len = rng.gen_range(1..=2);
+        let mut body = Vec::new();
+        // Chain pattern: head(X0, Xn) ← b1(X0, X1), b2(X1, X2)…
+        for j in 0..body_len {
+            let pred = if rng.gen_bool(0.5) { e } else { preds[rng.gen_range(0..preds.len())] };
+            body.push(Literal::new(pred, vec![DTerm::Var(j as u32), DTerm::Var(j as u32 + 1)]));
+        }
+        let head_lit = Literal::new(head, vec![DTerm::Var(0), DTerm::Var(body_len as u32)]);
+        let var_names = (0..=body_len).map(|i| format!("X{i}")).collect();
+        program.add_rule(Rule::new(head_lit, body, var_names)).unwrap();
+    }
+    (program, e, preds)
+}
+
+fn random_edb(seed: u64, e: PredId) -> FactStore {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xDEAD_BEEF);
+    let mut edb = FactStore::new();
+    let n = rng.gen_range(0..12);
+    for _ in 0..n {
+        let a = Value::from(rng.gen_range(0..6i64));
+        let b = Value::from(rng.gen_range(0..6i64));
+        edb.insert(e, Tuple::new(vec![a, b]));
+    }
+    edb
+}
+
+fn sorted(mut v: Vec<Tuple>) -> Vec<Tuple> {
+    v.sort();
+    v
+}
+
+proptest! {
+    /// Semi-naive and naive evaluation agree on every predicate.
+    #[test]
+    fn semi_naive_equals_naive(seed in 0u64..50_000) {
+        let (program, e, preds) = random_program(seed);
+        let edb = random_edb(seed, e);
+        let (semi, _) = evaluate(&program, &edb);
+        let reference = naive_reference(&program, &edb);
+        for &p in &preds {
+            prop_assert_eq!(
+                sorted(semi.tuples(p).to_vec()),
+                sorted(reference.tuples(p).to_vec()),
+                "predicate {:?} differs on seed {}", p, seed
+            );
+        }
+    }
+
+    /// Monotonicity: adding EDB facts never removes IDB facts.
+    #[test]
+    fn evaluation_is_monotone(seed in 0u64..50_000) {
+        let (program, e, preds) = random_program(seed);
+        let edb_small = random_edb(seed, e);
+        let mut edb_big = edb_small.clone();
+        edb_big.insert(e, Tuple::new(vec![Value::from(0), Value::from(1)]));
+        edb_big.insert(e, Tuple::new(vec![Value::from(1), Value::from(2)]));
+        let (small, _) = evaluate(&program, &edb_small);
+        let (big, _) = evaluate(&program, &edb_big);
+        for &p in &preds {
+            for t in small.tuples(p) {
+                prop_assert!(big.contains(p, t), "lost fact {} on seed {}", t, seed);
+            }
+        }
+    }
+
+    /// Every derived fact is supported by some rule body over the final
+    /// state (soundness of derivation).
+    #[test]
+    fn derived_facts_are_supported(seed in 0u64..50_000) {
+        let (program, e, preds) = random_program(seed);
+        let edb = random_edb(seed, e);
+        let (idb, _) = evaluate(&program, &edb);
+        let mut everything = edb.clone();
+        everything.absorb(&idb);
+        for &p in &preds {
+            for fact in idb.tuples(p) {
+                let supported = program.rules_for(p).any(|rule| {
+                    rule_head_instances(rule, &everything).contains(fact)
+                });
+                prop_assert!(supported, "unsupported fact {} on seed {}", fact, seed);
+            }
+        }
+    }
+}

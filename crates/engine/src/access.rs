@@ -1,0 +1,175 @@
+//! Access accounting: the paper's cost metric.
+//!
+//! An *access* is the evaluation of a single-atom CQ over one relation with
+//! all input attributes selected by constants (§II). `Acc(D, Π)` — the set
+//! of accesses a plan executes on an instance — is the quantity both
+//! minimality notions of §IV compare, and the quantity Figures 6 and 10
+//! report. The log therefore stores accesses as a *set* keyed by
+//! `(relation, binding)`.
+
+use std::collections::{HashMap, HashSet};
+
+use toorjah_catalog::{RelationId, Schema, Tuple};
+
+/// A deduplicating log of performed accesses with per-relation counters.
+#[derive(Clone, Default, Debug)]
+pub struct AccessLog {
+    performed: HashSet<(RelationId, Tuple)>,
+    sequence: Vec<(RelationId, Tuple)>,
+    accesses_per_relation: HashMap<RelationId, usize>,
+    extracted_per_relation: HashMap<RelationId, HashSet<Tuple>>,
+}
+
+impl AccessLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an access; returns `true` if it was new (i.e. it actually
+    /// costs something under the set semantics).
+    pub fn record(&mut self, relation: RelationId, binding: Tuple) -> bool {
+        if !self.performed.insert((relation, binding.clone())) {
+            return false;
+        }
+        self.sequence.push((relation, binding));
+        *self.accesses_per_relation.entry(relation).or_insert(0) += 1;
+        true
+    }
+
+    /// The accesses in the order they were performed — an execution trace
+    /// useful for debugging plans and asserting scheduling properties.
+    pub fn sequence(&self) -> &[(RelationId, Tuple)] {
+        &self.sequence
+    }
+
+    /// Records the tuples extracted by an access.
+    pub fn record_extracted<'a>(
+        &mut self,
+        relation: RelationId,
+        tuples: impl IntoIterator<Item = &'a Tuple>,
+    ) {
+        let set = self.extracted_per_relation.entry(relation).or_default();
+        for t in tuples {
+            set.insert(t.clone());
+        }
+    }
+
+    /// Whether an access was already performed.
+    pub fn contains(&self, relation: RelationId, binding: &Tuple) -> bool {
+        self.performed.contains(&(relation, binding.clone()))
+    }
+
+    /// Total number of distinct accesses.
+    pub fn total(&self) -> usize {
+        self.performed.len()
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> AccessStats {
+        AccessStats {
+            total_accesses: self.performed.len(),
+            accesses: self.accesses_per_relation.clone(),
+            extracted: self
+                .extracted_per_relation
+                .iter()
+                .map(|(&r, set)| (r, set.len()))
+                .collect(),
+        }
+    }
+}
+
+/// Immutable access counters (the rows of the paper's Fig. 6).
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct AccessStats {
+    /// Total distinct accesses across all relations.
+    pub total_accesses: usize,
+    /// Distinct accesses per relation.
+    pub accesses: HashMap<RelationId, usize>,
+    /// Distinct tuples extracted per relation ("returned rows").
+    pub extracted: HashMap<RelationId, usize>,
+}
+
+impl AccessStats {
+    /// Accesses performed on one relation (0 when never accessed).
+    pub fn accesses_to(&self, relation: RelationId) -> usize {
+        self.accesses.get(&relation).copied().unwrap_or(0)
+    }
+
+    /// Distinct tuples extracted from one relation.
+    pub fn extracted_from(&self, relation: RelationId) -> usize {
+        self.extracted.get(&relation).copied().unwrap_or(0)
+    }
+
+    /// Renders a per-relation table in schema order, like Fig. 6's blocks.
+    pub fn table(&self, schema: &Schema) -> String {
+        let mut out = String::new();
+        out.push_str("relation            accesses   extracted\n");
+        for (id, rel) in schema.iter() {
+            let a = self.accesses_to(id);
+            let e = self.extracted_from(id);
+            let (a, e) = if a == 0 && e == 0 {
+                ("-".to_string(), "-".to_string())
+            } else {
+                (a.to_string(), e.to_string())
+            };
+            out.push_str(&format!("{:<20}{:>8}{:>12}\n", rel.name(), a, e));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use toorjah_catalog::tuple;
+
+    #[test]
+    fn set_semantics() {
+        let mut log = AccessLog::new();
+        let r = RelationId(0);
+        assert!(log.record(r, tuple!["a"]));
+        assert!(!log.record(r, tuple!["a"]));
+        assert!(log.record(r, tuple!["b"]));
+        assert_eq!(log.total(), 2);
+        assert!(log.contains(r, &tuple!["a"]));
+        assert!(!log.contains(RelationId(1), &tuple!["a"]));
+    }
+
+    #[test]
+    fn sequence_preserves_order() {
+        let mut log = AccessLog::new();
+        log.record(RelationId(1), tuple!["b"]);
+        log.record(RelationId(0), tuple!["a"]);
+        log.record(RelationId(1), tuple!["b"]); // duplicate: not re-recorded
+        let seq = log.sequence();
+        assert_eq!(seq.len(), 2);
+        assert_eq!(seq[0], (RelationId(1), tuple!["b"]));
+        assert_eq!(seq[1], (RelationId(0), tuple!["a"]));
+    }
+
+    #[test]
+    fn per_relation_counters() {
+        let mut log = AccessLog::new();
+        log.record(RelationId(0), tuple!["a"]);
+        log.record(RelationId(1), Tuple::empty());
+        log.record_extracted(RelationId(0), &[tuple!["a", 1], tuple!["a", 2]]);
+        log.record_extracted(RelationId(0), &[tuple!["a", 1]]);
+        let stats = log.stats();
+        assert_eq!(stats.accesses_to(RelationId(0)), 1);
+        assert_eq!(stats.accesses_to(RelationId(1)), 1);
+        assert_eq!(stats.extracted_from(RelationId(0)), 2);
+        assert_eq!(stats.extracted_from(RelationId(2)), 0);
+        assert_eq!(stats.total_accesses, 2);
+    }
+
+    #[test]
+    fn table_renders_dashes_for_untouched_relations() {
+        let schema = toorjah_catalog::Schema::parse("a^o(X) b^o(Y)").unwrap();
+        let mut log = AccessLog::new();
+        log.record(RelationId(0), Tuple::empty());
+        let text = log.stats().table(&schema);
+        assert!(text.contains('a'));
+        assert!(text.contains('-'));
+    }
+}

@@ -1,0 +1,186 @@
+//! Randomized refutation of containment **under access limitations** — a
+//! testing tool for the paper's stated future work (§VII: "algorithms for
+//! checking query containment under access limitations").
+//!
+//! Two queries may be classically equivalent yet have different *obtainable*
+//! answers: obtainability depends on the constants each query contributes as
+//! extraction seeds. Deciding obtainable-answer containment is the open
+//! problem; this module provides the pragmatic counterpart used while
+//! developing such algorithms — a randomized search for counterexample
+//! instances:
+//!
+//! * [`refute_obtainable_containment`] generates seeded random instances and
+//!   returns the first on which some obtainable answer of `q1` is not an
+//!   obtainable answer of `q2`;
+//! * exhausting the budget without a witness is *evidence*, not proof, of
+//!   containment.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use toorjah_catalog::{Instance, Schema, Tuple, Value};
+use toorjah_query::ConjunctiveQuery;
+
+use crate::{naive_evaluate, EngineError, InstanceSource, NaiveOptions};
+
+/// A counterexample to obtainable-answer containment `q1 ⊑ q2`.
+#[derive(Clone, Debug)]
+pub struct ContainmentCounterexample {
+    /// The witness instance.
+    pub instance: Instance,
+    /// An obtainable answer of `q1` on it that `q2` does not obtain.
+    pub witness: Tuple,
+    /// The RNG seed that produced the instance (for reproduction).
+    pub seed: u64,
+}
+
+/// Options for the randomized search.
+#[derive(Clone, Copy, Debug)]
+pub struct RefutationOptions {
+    /// Number of random instances to try.
+    pub tries: usize,
+    /// Values per abstract domain in the generated instances.
+    pub pool_size: usize,
+    /// Maximum tuples per relation.
+    pub max_tuples: usize,
+    /// Base seed.
+    pub seed: u64,
+    /// Access budget per evaluation.
+    pub max_accesses: usize,
+}
+
+impl Default for RefutationOptions {
+    fn default() -> Self {
+        RefutationOptions {
+            tries: 200,
+            pool_size: 4,
+            max_tuples: 12,
+            seed: 0x5EED,
+            max_accesses: 100_000,
+        }
+    }
+}
+
+/// Searches for an instance on which the obtainable answers of `q1` are not
+/// contained in those of `q2`. Both queries must share the head arity.
+///
+/// Returns `Ok(Some(counterexample))` when containment is refuted,
+/// `Ok(None)` when the budget is exhausted without a witness.
+pub fn refute_obtainable_containment(
+    q1: &ConjunctiveQuery,
+    q2: &ConjunctiveQuery,
+    schema: &Schema,
+    options: RefutationOptions,
+) -> Result<Option<ContainmentCounterexample>, EngineError> {
+    // Seed pools with the queries' own constants plus fresh values, so the
+    // instances exercise both selection matches and misses.
+    let mut pools: Vec<Vec<Value>> = (0..schema.domains().len())
+        .map(|d| {
+            (0..options.pool_size)
+                .map(|i| Value::str(format!("d{d}x{i}")))
+                .collect()
+        })
+        .collect();
+    for q in [q1, q2] {
+        for (value, domain) in q.constants(schema) {
+            if !pools[domain.index()].contains(&value) {
+                pools[domain.index()].push(value);
+            }
+        }
+    }
+
+    for attempt in 0..options.tries {
+        let seed = options.seed.wrapping_add(attempt as u64);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut db = Instance::new(schema);
+        for (id, rel) in schema.iter() {
+            let n = rng.gen_range(0..=options.max_tuples);
+            for _ in 0..n {
+                let tuple: Tuple = (0..rel.arity())
+                    .map(|k| {
+                        let pool = &pools[rel.domain(k).index()];
+                        pool[rng.gen_range(0..pool.len())].clone()
+                    })
+                    .collect();
+                let _ = db.insert_by_id(id, tuple);
+            }
+        }
+        let src = InstanceSource::new(schema.clone(), db);
+        let opts = NaiveOptions { max_accesses: options.max_accesses };
+        let a1 = naive_evaluate(q1, schema, &src, opts)?;
+        let a2 = naive_evaluate(q2, schema, &src, opts)?;
+        if let Some(witness) = a1.answers.iter().find(|t| !a2.answers.contains(t)) {
+            return Ok(Some(ContainmentCounterexample {
+                instance: src.instance().clone(),
+                witness: witness.clone(),
+                seed,
+            }));
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use toorjah_query::parse_query;
+
+    #[test]
+    fn classical_containment_can_fail_under_access_limitations() {
+        // q1 carries the seed constant 'a'; q2 is the classically MORE
+        // general query but, lacking any way to reach values of domain A,
+        // obtains nothing. Classically q1 ⊆ q2; obtainably it is refuted.
+        let schema = Schema::parse("r^io(A, B)").unwrap();
+        let q1 = parse_query("q(Y) <- r('d0x0', Y)", &schema).unwrap();
+        let q2 = parse_query("q(Y) <- r(X, Y)", &schema).unwrap();
+        assert!(toorjah_query::is_contained_in(&q1, &q2), "classical containment holds");
+        let cex = refute_obtainable_containment(&q1, &q2, &schema, RefutationOptions::default())
+            .unwrap()
+            .expect("a counterexample instance exists");
+        // The witness is an obtainable q1-answer the more general query
+        // cannot obtain.
+        assert!(!cex.witness.is_empty());
+    }
+
+    #[test]
+    fn equal_queries_are_never_refuted() {
+        let schema = Schema::parse("r^io(A, B) f^o(A)").unwrap();
+        let q = parse_query("q(Y) <- f(X), r(X, Y)", &schema).unwrap();
+        let out = refute_obtainable_containment(
+            &q,
+            &q,
+            &schema,
+            RefutationOptions { tries: 50, ..RefutationOptions::default() },
+        )
+        .unwrap();
+        assert!(out.is_none());
+    }
+
+    #[test]
+    fn subset_bodies_still_contain() {
+        // q1 has an extra atom: obtainable(q1) ⊆ obtainable(q2) should hold
+        // (more constraints, same seeds) — the search must find nothing.
+        let schema = Schema::parse("r^oo(A, B) s^oo(B, C)").unwrap();
+        let q1 = parse_query("q(X) <- r(X, Y), s(Y, Z)", &schema).unwrap();
+        let q2 = parse_query("q(X) <- r(X, Y)", &schema).unwrap();
+        let out = refute_obtainable_containment(
+            &q1,
+            &q2,
+            &schema,
+            RefutationOptions { tries: 60, ..RefutationOptions::default() },
+        )
+        .unwrap();
+        assert!(out.is_none());
+    }
+
+    #[test]
+    fn reproducible_by_seed() {
+        let schema = Schema::parse("r^io(A, B)").unwrap();
+        let q1 = parse_query("q(Y) <- r('d0x0', Y)", &schema).unwrap();
+        let q2 = parse_query("q(Y) <- r(X, Y)", &schema).unwrap();
+        let opts = RefutationOptions::default();
+        let first = refute_obtainable_containment(&q1, &q2, &schema, opts).unwrap().unwrap();
+        let again = refute_obtainable_containment(&q1, &q2, &schema, opts).unwrap().unwrap();
+        assert_eq!(first.seed, again.seed);
+        assert_eq!(first.witness, again.witness);
+    }
+}

@@ -1,0 +1,663 @@
+//! The fast-failing plan executor (§IV).
+//!
+//! Interprets a [`QueryPlan`] against a [`SourceProvider`]:
+//!
+//! 1. caches are populated by increasing ordering position; for every
+//!    position the group of caches is iterated to a local fixpoint (groups
+//!    contain cyclic d-paths, so a cache may feed itself or a sibling);
+//! 2. before populating position `i`, the subquery over the already fully
+//!    populated caches is tested for satisfiability; on failure the
+//!    execution stops and reports the empty answer (*fast failing*);
+//! 3. the per-relation [`MetaCache`] guarantees no access is ever repeated,
+//!    even across different occurrences of one relation;
+//! 4. a relation is accessed only with bindings produced by its domain
+//!    predicates ("the relation is accessed only if all the other
+//!    conditions succeed");
+//! 5. finally the rewritten query is evaluated over the caches.
+//!
+//! The paper proves the strategy computes the same answer as the plain
+//! least-fixpoint semantics of the plan's Datalog program while never
+//! repeating an access and stopping as early as possible — together a
+//! ⊂-minimal plan. The engine's tests check the answer equivalence against
+//! [`toorjah_datalog::evaluate`].
+
+use std::collections::HashSet;
+
+use toorjah_catalog::{RelationId, Tuple, Value};
+use toorjah_core::{DomainMode, QueryPlan};
+use toorjah_datalog::{rule_body_satisfiable, rule_head_instances, FactStore, Rule};
+
+use crate::{AccessLog, AccessStats, EngineError, MetaCache, SourceProvider};
+
+/// Options for plan execution.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecOptions {
+    /// Hard cap on distinct accesses.
+    pub max_accesses: usize,
+    /// Run the early non-emptiness checks (disable to compare against the
+    /// plain fixpoint execution; the answer is unaffected).
+    pub fail_fast: bool,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions { max_accesses: 10_000_000, fail_fast: true }
+    }
+}
+
+/// Result of executing a plan.
+#[derive(Clone, Debug)]
+pub struct ExecutionReport {
+    /// The distinct answers.
+    pub answers: Vec<Tuple>,
+    /// Access counters (the "optimized" columns of Fig. 6).
+    pub stats: AccessStats,
+    /// When the fast-failing check cut execution short: the 1-based position
+    /// whose check failed.
+    pub failed_at_position: Option<usize>,
+    /// Number of ordering positions whose caches were (fully) populated.
+    pub positions_executed: usize,
+    /// Final cache sizes, aligned with [`QueryPlan::caches`].
+    pub cache_sizes: Vec<usize>,
+}
+
+/// Executes `plan` against `provider` under the fast-failing strategy.
+///
+/// The provider's schema must contain every non-artificial relation of the
+/// plan (matched by name, arity-checked) — artificial constant relations are
+/// served locally from the plan's facts at zero access cost.
+///
+/// ```
+/// use toorjah_catalog::{tuple, Instance, Schema};
+/// use toorjah_core::plan_query;
+/// use toorjah_engine::{execute_plan, ExecOptions, InstanceSource};
+/// use toorjah_query::parse_query;
+///
+/// // Example 5: the optimized plan never touches the irrelevant r3.
+/// let schema = Schema::parse("r1^io(A, B) r2^io(B, C) r3^io(C, A)").unwrap();
+/// let db = Instance::with_data(&schema, [
+///     ("r1", vec![tuple!["a", "b1"]]),
+///     ("r2", vec![tuple!["b1", "c1"]]),
+///     ("r3", vec![tuple!["c1", "a"]]),
+/// ]).unwrap();
+/// let src = InstanceSource::new(schema.clone(), db);
+/// let q = parse_query("q(C) <- r1('a', B), r2(B, C)", &schema).unwrap();
+/// let planned = plan_query(&q, &schema).unwrap();
+///
+/// let report = execute_plan(&planned.plan, &src, ExecOptions::default()).unwrap();
+/// assert_eq!(report.answers, vec![tuple!["c1"]]);
+/// let r3 = schema.relation_id("r3").unwrap();
+/// assert_eq!(report.stats.accesses_to(r3), 0);
+/// ```
+pub fn execute_plan(
+    plan: &QueryPlan,
+    provider: &dyn SourceProvider,
+    options: ExecOptions,
+) -> Result<ExecutionReport, EngineError> {
+    let mut meta = MetaCache::new();
+    let mut log = AccessLog::new();
+    execute_plan_with(plan, provider, options, &mut meta, &mut log)
+}
+
+/// [`execute_plan`] with caller-provided meta-cache and access log, so that
+/// several plans — e.g. the disjuncts of a union of conjunctive queries —
+/// share extraction results and never repeat an access across plans.
+pub fn execute_plan_with(
+    plan: &QueryPlan,
+    provider: &dyn SourceProvider,
+    options: ExecOptions,
+    meta: &mut MetaCache,
+    log: &mut AccessLog,
+) -> Result<ExecutionReport, EngineError> {
+    // Resolve each cache's relation inside the provider's schema.
+    let provider_schema = provider.schema();
+    let mut provider_rel: Vec<Option<RelationId>> = Vec::with_capacity(plan.caches.len());
+    for cache in &plan.caches {
+        if cache.is_constant_source {
+            provider_rel.push(None);
+            continue;
+        }
+        let name = plan.schema.relation(cache.relation).name();
+        let id = provider_schema.relation_id(name).ok_or_else(|| {
+            EngineError::PlanMismatch(format!("provider lacks relation {name}"))
+        })?;
+        if provider_schema.relation(id).arity() != plan.schema.relation(cache.relation).arity()
+        {
+            return Err(EngineError::PlanMismatch(format!(
+                "relation {name} has different arities in plan and provider"
+            )));
+        }
+        provider_rel.push(Some(id));
+    }
+
+    let answer_rule = plan
+        .program
+        .rules_for(plan.answer_pred)
+        .next()
+        .cloned()
+        .ok_or_else(|| EngineError::PlanMismatch("plan has no answer rule".to_string()))?;
+
+    let mut facts = FactStore::new();
+    let mut failed_at_position = None;
+    let mut positions_executed = 0usize;
+    // Semi-naive frontier per cache and input position: the values already
+    // used in bindings for that position. A population pass enumerates only
+    // binding combinations containing at least one *new* value, so every
+    // binding is generated exactly once per cache across the whole run.
+    let mut frontiers: Vec<Vec<PoolFrontier>> = plan
+        .caches
+        .iter()
+        .map(|c| c.input_domains.iter().map(|_| PoolFrontier::default()).collect())
+        .collect();
+
+    'positions: for position in 1..=plan.k {
+        // Fast-failing check over the fully populated query-atom caches.
+        if options.fail_fast
+            && !subquery_satisfiable(plan, &answer_rule, position, &facts)
+        {
+            failed_at_position = Some(position);
+            break 'positions;
+        }
+
+        // Populate the group at this position to a fixpoint.
+        let group = plan.caches_at_position(position);
+        loop {
+            let mut changed = false;
+            for &cache_idx in &group {
+                changed |= populate_cache(
+                    plan,
+                    cache_idx,
+                    provider,
+                    provider_rel[cache_idx],
+                    &mut facts,
+                    meta,
+                    log,
+                    &mut frontiers[cache_idx],
+                    options.max_accesses,
+                )?;
+            }
+            if !changed {
+                break;
+            }
+        }
+        positions_executed += 1;
+    }
+
+    // Final answer: evaluate the rewritten query over the caches (empty when
+    // the fast-failing check tripped — the paper's guarantee makes skipping
+    // the remaining accesses sound).
+    let answers = if failed_at_position.is_some() {
+        Vec::new()
+    } else {
+        let mut seen: HashSet<Tuple> = HashSet::new();
+        rule_head_instances(&answer_rule, &facts)
+            .into_iter()
+            .filter(|t| seen.insert(t.clone()))
+            .collect()
+    };
+
+    let cache_sizes = plan.caches.iter().map(|c| facts.len(c.cache_pred)).collect();
+
+    Ok(ExecutionReport {
+        answers,
+        stats: log.stats(),
+        failed_at_position,
+        positions_executed,
+        cache_sizes,
+    })
+}
+
+/// The §IV early test: the conjunction of the answer-rule literals whose
+/// caches are fully populated (position < `position`) must be satisfiable.
+fn subquery_satisfiable(
+    plan: &QueryPlan,
+    answer_rule: &Rule,
+    position: usize,
+    facts: &FactStore,
+) -> bool {
+    let ready: Vec<usize> = answer_rule
+        .body
+        .iter()
+        .enumerate()
+        .filter(|(_, lit)| {
+            plan.caches
+                .iter()
+                .any(|c| c.cache_pred == lit.pred && c.position < position)
+        })
+        .map(|(i, _)| i)
+        .collect();
+    rule_body_satisfiable(answer_rule, &ready, facts)
+}
+
+/// Per-input-position enumeration frontier: the values already used in
+/// bindings, as a stable list plus membership set.
+#[derive(Clone, Default, Debug)]
+struct PoolFrontier {
+    old: Vec<Value>,
+    seen: HashSet<Value>,
+}
+
+/// Populates one cache from the current domain-predicate values; returns
+/// `true` when new tuples were added.
+#[allow(clippy::too_many_arguments)]
+fn populate_cache(
+    plan: &QueryPlan,
+    cache_idx: usize,
+    provider: &dyn SourceProvider,
+    provider_rel: Option<RelationId>,
+    facts: &mut FactStore,
+    meta: &mut MetaCache,
+    log: &mut AccessLog,
+    frontier: &mut [PoolFrontier],
+    max_accesses: usize,
+) -> Result<bool, EngineError> {
+    let cache = &plan.caches[cache_idx];
+    let mut changed = false;
+
+    // Artificial constant relations are local facts: copy them into the
+    // cache once, at zero access cost.
+    if cache.is_constant_source {
+        for (rel, _pred, value) in &plan.constant_facts {
+            if *rel == cache.relation {
+                changed |= facts.insert(cache.cache_pred, Tuple::new(vec![value.clone()]));
+            }
+        }
+        return Ok(changed);
+    }
+
+    let relation = provider_rel
+        .ok_or_else(|| EngineError::PlanMismatch("unresolved provider relation".into()))?;
+
+    // New value per input position = current domain-predicate extension
+    // minus the frontier. Both union and join (intersection) extensions are
+    // monotone, so values never leave a pool.
+    let mut news: Vec<Vec<Value>> = Vec::with_capacity(cache.input_domains.len());
+    for (dp, fr) in cache.input_domains.iter().zip(frontier.iter()) {
+        let pool = domain_values(plan, dp, facts);
+        news.push(pool.into_iter().filter(|v| !fr.seen.contains(v)).collect());
+    }
+    // Any empty (old ∪ new) pool means the cache cannot be accessed yet.
+    if cache
+        .input_domains
+        .iter()
+        .zip(frontier.iter())
+        .zip(news.iter())
+        .any(|((_, fr), new)| fr.old.is_empty() && new.is_empty())
+    {
+        return Ok(false);
+    }
+
+    let arity = cache.input_domains.len();
+    if arity == 0 {
+        // Free relation: a single access with the empty binding (the
+        // meta-cache makes repeats free).
+        if !meta.contains(relation, &Tuple::empty()) && log.total() >= max_accesses {
+            return Err(EngineError::AccessBudgetExceeded { limit: max_accesses });
+        }
+        let tuples = meta.access(provider, log, relation, &Tuple::empty())?.to_vec();
+        for t in tuples {
+            changed |= facts.insert(cache.cache_pred, t);
+        }
+        return Ok(changed);
+    }
+
+    // Pivot decomposition: positions before the pivot take old values, the
+    // pivot takes new values, positions after take old ∪ new — every fresh
+    // combination exactly once ("the relation is accessed only if all the
+    // other conditions succeed"); the meta-cache dedups across caches.
+    for pivot in 0..arity {
+        let counts: Vec<usize> = (0..arity)
+            .map(|p| match p.cmp(&pivot) {
+                std::cmp::Ordering::Less => frontier[p].old.len(),
+                std::cmp::Ordering::Equal => news[p].len(),
+                std::cmp::Ordering::Greater => frontier[p].old.len() + news[p].len(),
+            })
+            .collect();
+        if counts.contains(&0) {
+            continue;
+        }
+        let value_at = |p: usize, i: usize| -> &Value {
+            match p.cmp(&pivot) {
+                std::cmp::Ordering::Less => &frontier[p].old[i],
+                std::cmp::Ordering::Equal => &news[p][i],
+                std::cmp::Ordering::Greater => {
+                    if i < frontier[p].old.len() {
+                        &frontier[p].old[i]
+                    } else {
+                        &news[p][i - frontier[p].old.len()]
+                    }
+                }
+            }
+        };
+        let mut odometer = vec![0usize; arity];
+        loop {
+            let binding: Tuple = (0..arity).map(|p| value_at(p, odometer[p]).clone()).collect();
+            if !meta.contains(relation, &binding) && log.total() >= max_accesses {
+                return Err(EngineError::AccessBudgetExceeded { limit: max_accesses });
+            }
+            let tuples = meta.access(provider, log, relation, &binding)?.to_vec();
+            for t in tuples {
+                changed |= facts.insert(cache.cache_pred, t);
+            }
+            let mut pos = 0;
+            loop {
+                if pos == arity {
+                    break;
+                }
+                odometer[pos] += 1;
+                if odometer[pos] < counts[pos] {
+                    break;
+                }
+                odometer[pos] = 0;
+                pos += 1;
+            }
+            if pos == arity {
+                break;
+            }
+        }
+    }
+
+    // Advance the frontier.
+    for (fr, new) in frontier.iter_mut().zip(news) {
+        for v in new {
+            if fr.seen.insert(v.clone()) {
+                fr.old.push(v);
+            }
+        }
+    }
+    Ok(changed)
+}
+
+
+/// The current extension of a domain predicate: the union (weak arcs) or
+/// intersection (strong arcs — a join on a single shared variable) of the
+/// providers' column projections.
+fn domain_values(
+    plan: &QueryPlan,
+    dp: &toorjah_core::DomainPredInfo,
+    facts: &FactStore,
+) -> Vec<Value> {
+    let project = |provider: &toorjah_core::Provider| -> Vec<Value> {
+        let cache = &plan.caches[provider.cache];
+        let mut seen = HashSet::new();
+        facts
+            .tuples(cache.cache_pred)
+            .iter()
+            .map(|t| t[provider.column].clone())
+            .filter(|v| seen.insert(v.clone()))
+            .collect()
+    };
+    match dp.mode {
+        DomainMode::Union => {
+            let mut seen = HashSet::new();
+            let mut out = Vec::new();
+            for p in &dp.providers {
+                for v in project(p) {
+                    if seen.insert(v.clone()) {
+                        out.push(v);
+                    }
+                }
+            }
+            out
+        }
+        DomainMode::Join => {
+            let mut iter = dp.providers.iter();
+            let Some(first) = iter.next() else { return Vec::new() };
+            let mut out = project(first);
+            for p in iter {
+                let other: HashSet<Value> = project(p).into_iter().collect();
+                out.retain(|v| other.contains(v));
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{naive_evaluate, InstanceSource, NaiveOptions};
+    use toorjah_catalog::{tuple, Instance, Schema};
+    use toorjah_core::plan_query;
+    use toorjah_datalog::evaluate;
+    use toorjah_query::parse_query;
+
+    fn example2_source() -> (Schema, InstanceSource) {
+        let schema = Schema::parse("r1^io(A, C) r2^io(B, C) r3^io(C, B)").unwrap();
+        let db = Instance::with_data(
+            &schema,
+            [
+                ("r1", vec![tuple!["a1", "c1"], tuple!["a1", "c3"]]),
+                ("r2", vec![tuple!["b1", "c1"], tuple!["b2", "c2"], tuple!["b3", "c3"]]),
+                ("r3", vec![tuple!["c1", "b2"], tuple!["c2", "b1"]]),
+            ],
+        )
+        .unwrap();
+        (schema.clone(), InstanceSource::new(schema, db))
+    }
+
+    /// Oracle: evaluate the plan's Datalog program under plain fixpoint
+    /// semantics with the full relations as EDB.
+    fn fixpoint_answers(
+        plan: &QueryPlan,
+        provider: &InstanceSource,
+    ) -> Vec<Tuple> {
+        let mut edb = FactStore::new();
+        for cache in &plan.caches {
+            if cache.is_constant_source {
+                continue;
+            }
+            let name = plan.schema.relation(cache.relation).name();
+            let rel = provider.schema().relation_id(name).unwrap();
+            edb.extend(
+                cache.edb_pred,
+                provider.instance().full_extension(rel).iter().cloned(),
+            );
+        }
+        let (idb, _) = evaluate(&plan.program, &edb);
+        idb.tuples(plan.answer_pred).to_vec()
+    }
+
+    #[test]
+    fn example2_plan_matches_naive_and_fixpoint() {
+        let (schema, src) = example2_source();
+        let q = parse_query("q1(B) <- r1('a1', C), r2(B, C)", &schema).unwrap();
+        let planned = plan_query(&q, &schema).unwrap();
+        let report = execute_plan(&planned.plan, &src, ExecOptions::default()).unwrap();
+        assert_eq!(report.answers, vec![tuple!["b1"]]);
+
+        let naive = naive_evaluate(&q, &schema, &src, NaiveOptions::default()).unwrap();
+        let mut a = report.answers.clone();
+        let mut b = naive.answers.clone();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "optimized and naive answers must agree");
+
+        let mut oracle = fixpoint_answers(&planned.plan, &src);
+        oracle.sort();
+        assert_eq!(a, oracle, "fast-failing equals fixpoint semantics");
+    }
+
+    #[test]
+    fn example5_plan_skips_irrelevant_relation() {
+        let schema = Schema::parse("r1^io(A, B) r2^io(B, C) r3^io(C, A)").unwrap();
+        let db = Instance::with_data(
+            &schema,
+            [
+                ("r1", vec![tuple!["a", "b1"], tuple!["z", "b9"]]),
+                ("r2", vec![tuple!["b1", "c1"], tuple!["b9", "c9"]]),
+                ("r3", vec![tuple!["c1", "z"], tuple!["c9", "a"]]),
+            ],
+        )
+        .unwrap();
+        let src = InstanceSource::new(schema.clone(), db);
+        let q = parse_query("q(C) <- r1('a', B), r2(B, C)", &schema).unwrap();
+        let planned = plan_query(&q, &schema).unwrap();
+        let report = execute_plan(&planned.plan, &src, ExecOptions::default()).unwrap();
+        // r3 is irrelevant: never accessed by the optimized plan.
+        let r3 = schema.relation_id("r3").unwrap();
+        assert_eq!(report.stats.accesses_to(r3), 0);
+        // Answers still complete: r1(a, b1), r2(b1, c1) → c1.
+        assert_eq!(report.answers, vec![tuple!["c1"]]);
+        // The naive approach pays for r3 (and for the extra r1 value z it
+        // provides) but finds the same answers.
+        let naive = naive_evaluate(&q, &schema, &src, NaiveOptions::default()).unwrap();
+        assert!(naive.stats.accesses_to(r3) > 0);
+        assert_eq!(naive.answers, report.answers);
+        assert!(report.stats.total_accesses < naive.stats.total_accesses);
+    }
+
+    #[test]
+    fn fast_fail_stops_on_empty_cache() {
+        // r1 has nothing for 'a': the position-2 check fails before r2 is
+        // ever accessed.
+        let schema = Schema::parse("r1^io(A, B) r2^io(B, C)").unwrap();
+        let db = Instance::with_data(
+            &schema,
+            [
+                ("r1", vec![tuple!["other", "b1"]]),
+                ("r2", vec![tuple!["b1", "c1"]]),
+            ],
+        )
+        .unwrap();
+        let src = InstanceSource::new(schema.clone(), db);
+        let q = parse_query("q(C) <- r1('a', B), r2(B, C)", &schema).unwrap();
+        let planned = plan_query(&q, &schema).unwrap();
+        let report = execute_plan(&planned.plan, &src, ExecOptions::default()).unwrap();
+        assert!(report.answers.is_empty());
+        assert!(report.failed_at_position.is_some());
+        let r2 = schema.relation_id("r2").unwrap();
+        assert_eq!(report.stats.accesses_to(r2), 0, "r2 must not be probed");
+        // Without fail-fast the same (empty) answer is computed, with at
+        // least as many accesses.
+        let slow = execute_plan(
+            &planned.plan,
+            &src,
+            ExecOptions { fail_fast: false, ..ExecOptions::default() },
+        )
+        .unwrap();
+        assert!(slow.answers.is_empty());
+        assert!(slow.stats.total_accesses >= report.stats.total_accesses);
+    }
+
+    #[test]
+    fn meta_cache_dedups_across_occurrences() {
+        // pub1 appears twice; accesses with equal bindings are shared.
+        let schema = Schema::parse(
+            "pub1^io(Paper, Person) conf^ooo(Paper, C, Y) sub^oi(Paper, Person)",
+        )
+        .unwrap();
+        let db = Instance::with_data(
+            &schema,
+            [
+                ("pub1", vec![tuple!["p1", "alice"], tuple!["p2", "bob"]]),
+                ("conf", vec![tuple!["p1", "icde", 2008], tuple!["p2", "icde", 2008]]),
+                ("sub", vec![tuple!["p1", "alice"]]),
+            ],
+        )
+        .unwrap();
+        let src = InstanceSource::new(schema.clone(), db);
+        let q = parse_query(
+            "q(R, A) <- pub1(P, R), pub1(P2, A), conf(P, C, Y), conf(P2, C2, Y2)",
+            &schema,
+        )
+        .unwrap();
+        let planned = plan_query(&q, &schema).unwrap();
+        let report = execute_plan(&planned.plan, &src, ExecOptions::default()).unwrap();
+        let pub1 = schema.relation_id("pub1").unwrap();
+        // Both occurrences need p1 and p2: 2 distinct accesses, not 4.
+        assert_eq!(report.stats.accesses_to(pub1), 2);
+        assert!(report.answers.contains(&tuple!["alice", "bob"]));
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let (schema, src) = example2_source();
+        let q = parse_query("q1(B) <- r1('a1', C), r2(B, C)", &schema).unwrap();
+        let planned = plan_query(&q, &schema).unwrap();
+        let err = execute_plan(
+            &planned.plan,
+            &src,
+            ExecOptions { max_accesses: 1, ..ExecOptions::default() },
+        )
+        .unwrap_err();
+        assert!(matches!(err, EngineError::AccessBudgetExceeded { limit: 1 }));
+    }
+
+    #[test]
+    fn constant_relations_cost_nothing() {
+        let schema = Schema::parse("r^io(A, B)").unwrap();
+        let db = Instance::with_data(&schema, [("r", vec![tuple!["a", "b"]])]).unwrap();
+        let src = InstanceSource::new(schema.clone(), db);
+        let q = parse_query("q(B) <- r('a', B)", &schema).unwrap();
+        let planned = plan_query(&q, &schema).unwrap();
+        let report = execute_plan(&planned.plan, &src, ExecOptions::default()).unwrap();
+        // Only the single access to r; the artificial r_a is free.
+        assert_eq!(report.stats.total_accesses, 1);
+        assert_eq!(report.answers, vec![tuple!["b"]]);
+    }
+
+    #[test]
+    fn cyclic_group_reaches_fixpoint() {
+        // r1 → r2 → r3 → r1 weak cycle must pump values to a fixpoint.
+        let schema = Schema::parse("r1^io(A, B) r2^io(B, C) r3^io(C, A) seed^o(A)").unwrap();
+        let db = Instance::with_data(
+            &schema,
+            [
+                ("seed", vec![tuple!["a1"]]),
+                ("r1", vec![tuple!["a1", "b1"], tuple!["a2", "b2"]]),
+                ("r2", vec![tuple!["b1", "c1"], tuple!["b2", "c2"]]),
+                ("r3", vec![tuple!["c1", "a2"], tuple!["c2", "a1"]]),
+            ],
+        )
+        .unwrap();
+        let src = InstanceSource::new(schema.clone(), db);
+        let q = parse_query("q(A) <- r1(A, B), r2(B, C), r3(C, A), seed(A2)", &schema).unwrap();
+        let planned = plan_query(&q, &schema).unwrap();
+        let report = execute_plan(&planned.plan, &src, ExecOptions::default()).unwrap();
+        // Chain: a1 → b1 → c1 → a2 → b2 → c2 → a1; cycle closes. The query
+        // asks for A with r1(A,B), r2(B,C), r3(C,A): a1→b1→c1→a2? r3(c1,a2)
+        // means q(A)=a1 requires r3(C, a1): c2. a1→b1→c1 gives r3(c1,a2):
+        // no. But a2→b2→c2→a1: r3(c2, a1) ≠ a2. Hmm: no tuple satisfies the
+        // cycle... verify against the naive evaluation instead of guessing.
+        let naive = naive_evaluate(&q, &schema, &src, NaiveOptions::default()).unwrap();
+        let mut a = report.answers.clone();
+        let mut b = naive.answers.clone();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        // The cycle pumped everything reachable: r1 saw both a1 and a2.
+        let r1 = schema.relation_id("r1").unwrap();
+        assert_eq!(report.stats.accesses_to(r1), 2);
+    }
+
+    #[test]
+    fn plan_mismatch_detected() {
+        let (schema, _) = example2_source();
+        let q = parse_query("q1(B) <- r1('a1', C), r2(B, C)", &schema).unwrap();
+        let planned = plan_query(&q, &schema).unwrap();
+        // A provider over a different schema lacking r1.
+        let other_schema = Schema::parse("zz^oo(A, B)").unwrap();
+        let other = InstanceSource::new(other_schema.clone(), Instance::new(&other_schema));
+        assert!(matches!(
+            execute_plan(&planned.plan, &other, ExecOptions::default()),
+            Err(EngineError::PlanMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn boolean_query_over_free_relations() {
+        let schema = Schema::parse("r^oo(A, B) s^oo(B, C)").unwrap();
+        let db = Instance::with_data(
+            &schema,
+            [("r", vec![tuple!["a", "b"]]), ("s", vec![tuple!["b", "c"]])],
+        )
+        .unwrap();
+        let src = InstanceSource::new(schema.clone(), db);
+        let q = parse_query("q() <- r(X, Y), s(Y, Z)", &schema).unwrap();
+        let planned = plan_query(&q, &schema).unwrap();
+        let report = execute_plan(&planned.plan, &src, ExecOptions::default()).unwrap();
+        assert_eq!(report.answers, vec![Tuple::empty()]);
+        assert_eq!(report.stats.total_accesses, 2);
+    }
+}

@@ -1,0 +1,462 @@
+//! Conjunctive-query evaluation over extracted caches.
+//!
+//! Both the naive algorithm ("evaluate the query over the cache", Fig. 1)
+//! and the fast-failing executor (early non-emptiness checks, final answer
+//! computation) evaluate a CQ against per-atom tuple collections. The
+//! evaluator is an index-assisted backtracking join: atoms are reordered
+//! greedily so joins stay bound, and per-column hash indexes are built
+//! lazily per call.
+
+use std::collections::{HashMap, HashSet};
+
+use toorjah_catalog::{Tuple, Value};
+use toorjah_query::{ConjunctiveQuery, Term};
+
+/// Evaluates `query` over per-atom extensions, returning the distinct
+/// answer tuples (projections onto the head).
+///
+/// `tuples_for_atom(i)` supplies the tuples the `i`-th body atom ranges
+/// over (for the naive algorithm: the cache of the atom's relation).
+///
+/// The body is decomposed into variable-connected components: components
+/// binding no head variable reduce to satisfiability checks, and the head
+/// components are enumerated independently and combined — so a disconnected
+/// guard atom multiplies nothing.
+pub fn evaluate_cq(
+    query: &ConjunctiveQuery,
+    tuples_for_atom: &dyn Fn(usize) -> Vec<Tuple>,
+) -> Vec<Tuple> {
+    let components = atom_components(query);
+    let head_vars: HashSet<u32> = query.head().iter().map(|v| v.0).collect();
+
+    let mut head_components: Vec<&AtomComponent> = Vec::new();
+    for component in &components {
+        if component.vars.is_disjoint(&head_vars) {
+            if !cq_satisfiable(query, &component.atoms, tuples_for_atom) {
+                return Vec::new();
+            }
+        } else {
+            head_components.push(component);
+        }
+    }
+
+    // Per-component projections onto the head variables it binds.
+    let mut projections: Vec<Vec<Vec<(u32, Value)>>> = Vec::new();
+    for component in &head_components {
+        let relevant: Vec<u32> = component.vars.intersection(&head_vars).copied().collect();
+        let mut seen: HashSet<Vec<(u32, Value)>> = HashSet::new();
+        let mut rows = Vec::new();
+        enumerate(query, &component.atoms, tuples_for_atom, &mut |binding| {
+            let mut row: Vec<(u32, Value)> = relevant
+                .iter()
+                .map(|&v| {
+                    (v, binding[v as usize].clone().expect("component vars are bound"))
+                })
+                .collect();
+            row.sort_by_key(|(v, _)| *v);
+            if seen.insert(row.clone()) {
+                rows.push(row);
+            }
+            true
+        });
+        if rows.is_empty() {
+            return Vec::new();
+        }
+        projections.push(rows);
+    }
+
+    // Combine projections into head tuples.
+    let mut answers: Vec<Tuple> = Vec::new();
+    let mut seen: HashSet<Tuple> = HashSet::new();
+    let mut choice = vec![0usize; projections.len()];
+    loop {
+        let mut assignment: Vec<Option<Value>> = vec![None; query.var_count()];
+        for (c, rows) in projections.iter().enumerate() {
+            for (v, value) in &rows[choice[c]] {
+                assignment[*v as usize] = Some(value.clone());
+            }
+        }
+        let answer: Tuple = query
+            .head()
+            .iter()
+            .map(|v| {
+                assignment[v.index()]
+                    .clone()
+                    .expect("safety guarantees head variables are bound")
+            })
+            .collect();
+        if seen.insert(answer.clone()) {
+            answers.push(answer);
+        }
+        let mut pos = 0;
+        loop {
+            if pos == choice.len() {
+                return answers;
+            }
+            choice[pos] += 1;
+            if choice[pos] < projections[pos].len() {
+                break;
+            }
+            choice[pos] = 0;
+            pos += 1;
+        }
+    }
+}
+
+/// A variable-connected group of body atoms.
+struct AtomComponent {
+    atoms: Vec<usize>,
+    vars: HashSet<u32>,
+}
+
+/// Splits a query body into variable-connected components.
+fn atom_components(query: &ConjunctiveQuery) -> Vec<AtomComponent> {
+    let n = query.atoms().len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+        if parent[i] != i {
+            let root = find(parent, parent[i]);
+            parent[i] = root;
+        }
+        parent[i]
+    }
+    let mut owner: HashMap<u32, usize> = HashMap::new();
+    for (i, atom) in query.atoms().iter().enumerate() {
+        for v in atom.variables() {
+            match owner.get(&v.0) {
+                Some(&j) => {
+                    let (a, b) = (find(&mut parent, i), find(&mut parent, j));
+                    parent[a] = b;
+                }
+                None => {
+                    owner.insert(v.0, i);
+                }
+            }
+        }
+    }
+    let mut components: HashMap<usize, AtomComponent> = HashMap::new();
+    for i in 0..n {
+        let root = find(&mut parent, i);
+        let entry = components
+            .entry(root)
+            .or_insert_with(|| AtomComponent { atoms: Vec::new(), vars: HashSet::new() });
+        entry.atoms.push(i);
+        entry.vars.extend(query.atoms()[i].variables().map(|v| v.0));
+    }
+    let mut out: Vec<AtomComponent> = components.into_values().collect();
+    out.sort_by_key(|c| c.atoms[0]);
+    out
+}
+
+/// Evaluates the restriction of `query` to the body atoms in `atoms` and
+/// returns all satisfying assignments projected onto the variables bound by
+/// those atoms (deduplicated, as full binding vectors aligned with
+/// [`ConjunctiveQuery::var_names`]).
+pub fn evaluate_cq_subset(
+    query: &ConjunctiveQuery,
+    atoms: &[usize],
+    tuples_for_atom: &dyn Fn(usize) -> Vec<Tuple>,
+) -> Vec<Vec<Option<Value>>> {
+    let mut out = Vec::new();
+    let mut seen: HashSet<Vec<Option<Value>>> = HashSet::new();
+    enumerate(query, atoms, tuples_for_atom, &mut |binding| {
+        if seen.insert(binding.to_vec()) {
+            out.push(binding.to_vec());
+        }
+        true
+    });
+    out
+}
+
+/// `true` when the restriction of `query` to `atoms` has at least one
+/// satisfying assignment — the §IV early non-emptiness test. Stops at the
+/// first witness per variable-connected component (disconnected components
+/// are checked independently, so a failing one is found without iterating
+/// the others).
+pub fn cq_satisfiable(
+    query: &ConjunctiveQuery,
+    atoms: &[usize],
+    tuples_for_atom: &dyn Fn(usize) -> Vec<Tuple>,
+) -> bool {
+    if atoms.is_empty() {
+        return true;
+    }
+    let selected: HashSet<usize> = atoms.iter().copied().collect();
+    for component in atom_components(query) {
+        let part: Vec<usize> =
+            component.atoms.iter().copied().filter(|i| selected.contains(i)).collect();
+        if part.is_empty() {
+            continue;
+        }
+        let mut found = false;
+        enumerate(query, &part, tuples_for_atom, &mut |_| {
+            found = true;
+            false // stop at the first satisfying assignment
+        });
+        if !found {
+            return false;
+        }
+    }
+    true
+}
+
+/// Backtracking enumeration of all satisfying assignments; `on_match`
+/// returns `false` to stop early.
+fn enumerate(
+    query: &ConjunctiveQuery,
+    atoms: &[usize],
+    tuples_for_atom: &dyn Fn(usize) -> Vec<Tuple>,
+    on_match: &mut dyn FnMut(&[Option<Value>]) -> bool,
+) {
+    if atoms.is_empty() {
+        let binding = vec![None; query.var_count()];
+        on_match(&binding);
+        return;
+    }
+
+    // Materialize extensions once per call.
+    let extensions: HashMap<usize, Vec<Tuple>> =
+        atoms.iter().map(|&i| (i, tuples_for_atom(i))).collect();
+
+    // Greedy ordering: most-constrained atom first (constants, small
+    // extensions), then atoms sharing variables with the bound set.
+    let order = plan_order(query, atoms, &extensions);
+
+    let mut indexes: HashMap<(usize, usize), HashMap<Value, Vec<usize>>> = HashMap::new();
+    let mut binding: Vec<Option<Value>> = vec![None; query.var_count()];
+    search(query, &order, &extensions, &mut indexes, 0, &mut binding, on_match);
+}
+
+fn plan_order(
+    query: &ConjunctiveQuery,
+    atoms: &[usize],
+    extensions: &HashMap<usize, Vec<Tuple>>,
+) -> Vec<usize> {
+    let mut remaining: Vec<usize> = atoms.to_vec();
+    let mut order = Vec::with_capacity(atoms.len());
+    let mut bound_vars: HashSet<u32> = HashSet::new();
+    while !remaining.is_empty() {
+        let (pos, &best) = remaining
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &i)| {
+                let atom = &query.atoms()[i];
+                let bound = atom
+                    .terms()
+                    .iter()
+                    .filter(|t| match t {
+                        Term::Const(_) => true,
+                        Term::Var(v) => bound_vars.contains(&v.0),
+                    })
+                    .count();
+                let size = extensions.get(&i).map_or(0, Vec::len);
+                // Prefer bound atoms; tie-break toward small extensions and
+                // stable order.
+                (bound, usize::MAX - size, usize::MAX - i)
+            })
+            .expect("remaining is non-empty");
+        order.push(best);
+        for v in query.atoms()[best].variables() {
+            bound_vars.insert(v.0);
+        }
+        remaining.remove(pos);
+    }
+    order
+}
+
+#[allow(clippy::too_many_arguments)]
+fn search(
+    query: &ConjunctiveQuery,
+    order: &[usize],
+    extensions: &HashMap<usize, Vec<Tuple>>,
+    indexes: &mut HashMap<(usize, usize), HashMap<Value, Vec<usize>>>,
+    depth: usize,
+    binding: &mut Vec<Option<Value>>,
+    on_match: &mut dyn FnMut(&[Option<Value>]) -> bool,
+) -> bool {
+    let Some(&atom_idx) = order.get(depth) else {
+        return on_match(binding);
+    };
+    let atom = &query.atoms()[atom_idx];
+    let tuples = &extensions[&atom_idx];
+
+    // Pick a bound column to drive an index lookup.
+    let bound_col = atom.terms().iter().enumerate().find_map(|(col, t)| match t {
+        Term::Const(c) => Some((col, c.clone())),
+        Term::Var(v) => binding[v.index()].clone().map(|val| (col, val)),
+    });
+
+    let candidates: Vec<usize> = match &bound_col {
+        Some((col, value)) => {
+            let index = indexes.entry((atom_idx, *col)).or_insert_with(|| {
+                let mut ix: HashMap<Value, Vec<usize>> = HashMap::new();
+                for (pos, t) in tuples.iter().enumerate() {
+                    ix.entry(t[*col].clone()).or_default().push(pos);
+                }
+                ix
+            });
+            index.get(value).cloned().unwrap_or_default()
+        }
+        None => (0..tuples.len()).collect(),
+    };
+
+    'cand: for pos in candidates {
+        let tuple = &tuples[pos];
+        let mut newly_bound: Vec<usize> = Vec::new();
+        for (term, value) in atom.terms().iter().zip(tuple.values()) {
+            match term {
+                Term::Const(c) => {
+                    if c != value {
+                        unbind(binding, &newly_bound);
+                        continue 'cand;
+                    }
+                }
+                Term::Var(v) => match &binding[v.index()] {
+                    Some(bound) => {
+                        if bound != value {
+                            unbind(binding, &newly_bound);
+                            continue 'cand;
+                        }
+                    }
+                    None => {
+                        binding[v.index()] = Some(value.clone());
+                        newly_bound.push(v.index());
+                    }
+                },
+            }
+        }
+        let keep_going =
+            search(query, order, extensions, indexes, depth + 1, binding, on_match);
+        unbind(binding, &newly_bound);
+        if !keep_going {
+            return false;
+        }
+    }
+    true
+}
+
+fn unbind(binding: &mut [Option<Value>], vars: &[usize]) {
+    for &v in vars {
+        binding[v] = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use toorjah_catalog::{tuple, Schema};
+    use toorjah_query::parse_query;
+
+    fn fixtures() -> (Schema, ConjunctiveQuery, HashMap<usize, Vec<Tuple>>) {
+        let schema = Schema::parse("r^oo(A, B) s^oo(B, C)").unwrap();
+        let q = parse_query("q(X, Z) <- r(X, Y), s(Y, Z)", &schema).unwrap();
+        let mut data = HashMap::new();
+        data.insert(0, vec![tuple!["a1", "b1"], tuple!["a2", "b2"], tuple!["a3", "b1"]]);
+        data.insert(1, vec![tuple!["b1", "c1"], tuple!["b2", "c2"], tuple!["b9", "c9"]]);
+        (schema, q, data)
+    }
+
+    #[test]
+    fn chain_join() {
+        let (_, q, data) = fixtures();
+        let answers = evaluate_cq(&q, &|i| data[&i].clone());
+        assert_eq!(answers.len(), 3);
+        assert!(answers.contains(&tuple!["a1", "c1"]));
+        assert!(answers.contains(&tuple!["a3", "c1"]));
+        assert!(answers.contains(&tuple!["a2", "c2"]));
+    }
+
+    #[test]
+    fn constants_filter() {
+        let schema = Schema::parse("r^oo(A, B)").unwrap();
+        let q = parse_query("q(X) <- r(X, 'b1')", &schema).unwrap();
+        let data = vec![tuple!["a1", "b1"], tuple!["a2", "b2"]];
+        let answers = evaluate_cq(&q, &|_| data.clone());
+        assert_eq!(answers, vec![tuple!["a1"]]);
+    }
+
+    #[test]
+    fn duplicate_answers_are_deduplicated() {
+        let schema = Schema::parse("r^oo(A, B)").unwrap();
+        let q = parse_query("q(X) <- r(X, Y)", &schema).unwrap();
+        let data = vec![tuple!["a", "b1"], tuple!["a", "b2"]];
+        let answers = evaluate_cq(&q, &|_| data.clone());
+        assert_eq!(answers, vec![tuple!["a"]]);
+    }
+
+    #[test]
+    fn boolean_query_yields_empty_tuple() {
+        let schema = Schema::parse("r^oo(A, B)").unwrap();
+        let q = parse_query("q() <- r(X, Y)", &schema).unwrap();
+        let answers = evaluate_cq(&q, &|_| vec![tuple!["a", "b"]]);
+        assert_eq!(answers, vec![Tuple::empty()]);
+        let none = evaluate_cq(&q, &|_| vec![]);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn satisfiability_stops_early() {
+        let (_, q, data) = fixtures();
+        assert!(cq_satisfiable(&q, &[0, 1], &|i| data[&i].clone()));
+        assert!(cq_satisfiable(&q, &[0], &|i| data[&i].clone()));
+        // Empty subset: trivially satisfiable.
+        assert!(cq_satisfiable(&q, &[], &|i| data[&i].clone()));
+        // Empty extension: unsatisfiable.
+        assert!(!cq_satisfiable(&q, &[0, 1], &|i| if i == 0 {
+            vec![]
+        } else {
+            data[&i].clone()
+        }));
+    }
+
+    #[test]
+    fn failing_join_is_unsatisfiable() {
+        let (_, q, _) = fixtures();
+        let data_r = vec![tuple!["a1", "b7"]];
+        let data_s = vec![tuple!["b8", "c1"]];
+        assert!(!cq_satisfiable(&q, &[0, 1], &|i| if i == 0 {
+            data_r.clone()
+        } else {
+            data_s.clone()
+        }));
+    }
+
+    #[test]
+    fn subset_bindings_are_partial() {
+        let (_, q, data) = fixtures();
+        let rows = evaluate_cq_subset(&q, &[0], &|i| data[&i].clone());
+        assert_eq!(rows.len(), 3);
+        // Variable Z (index of Z in q) is unbound in every row.
+        let z = q.var_names().iter().position(|n| n == "Z").unwrap();
+        assert!(rows.iter().all(|r| r[z].is_none()));
+    }
+
+    #[test]
+    fn self_join_on_same_atom_extension() {
+        let schema = Schema::parse("e^oo(V, V)").unwrap();
+        let q = parse_query("q(X, Z) <- e(X, Y), e(Y, Z)", &schema).unwrap();
+        let data = vec![tuple![1, 2], tuple![2, 3]];
+        let answers = evaluate_cq(&q, &|_| data.clone());
+        assert_eq!(answers, vec![tuple![1, 3]]);
+    }
+
+    #[test]
+    fn repeated_variable_inside_atom() {
+        let schema = Schema::parse("e^oo(V, V)").unwrap();
+        let q = parse_query("q(X) <- e(X, X)", &schema).unwrap();
+        let data = vec![tuple![1, 1], tuple![1, 2], tuple![3, 3]];
+        let answers = evaluate_cq(&q, &|_| data.clone());
+        assert_eq!(answers.len(), 2);
+    }
+
+    #[test]
+    fn larger_join_uses_indexes() {
+        // 1000×1000 chain join completes instantly only if indexed.
+        let schema = Schema::parse("r^oo(A, B) s^oo(B, C)").unwrap();
+        let q = parse_query("q(X, Z) <- r(X, Y), s(Y, Z)", &schema).unwrap();
+        let r: Vec<Tuple> = (0..1000).map(|i| tuple![i, i + 1000]).collect();
+        let s: Vec<Tuple> = (0..1000).map(|i| tuple![i + 1000, i + 2000]).collect();
+        let answers = evaluate_cq(&q, &|i| if i == 0 { r.clone() } else { s.clone() });
+        assert_eq!(answers.len(), 1000);
+    }
+}

@@ -1,0 +1,125 @@
+//! The per-relation meta-cache (§IV).
+//!
+//! > *"Since there may be several sources for the same relation, we have to
+//! > make sure to not repeat any access to a relation. For this purpose, we
+//! > keep track of all access tuples used to access relations […] Toorjah
+//! > uses, for each relation, a sort of 'meta-cache' […] Then, before
+//! > accessing a relation for the evaluation of a cache rule, we check
+//! > whether the access was already made by consulting its meta-cache. If
+//! > so, we read the extraction from the corresponding cache; else we make
+//! > the access proper."*
+//!
+//! The meta-cache stores the full extraction per `(relation, binding)`, so
+//! repeated accesses (e.g. from two occurrences of one relation) are served
+//! locally at zero cost.
+
+use std::collections::HashMap;
+
+use toorjah_catalog::{RelationId, Tuple};
+
+use crate::{AccessLog, EngineError, SourceProvider};
+
+/// Extraction results keyed by `(relation, access binding)`, consulted
+/// before every access.
+#[derive(Clone, Default, Debug)]
+pub struct MetaCache {
+    extractions: HashMap<(RelationId, Tuple), Vec<Tuple>>,
+}
+
+impl MetaCache {
+    /// Creates an empty meta-cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Serves an access from the meta-cache, or performs it against
+    /// `provider` (recording it in `log`) and memoizes the extraction.
+    /// Returns the extracted tuples.
+    pub fn access(
+        &mut self,
+        provider: &dyn SourceProvider,
+        log: &mut AccessLog,
+        relation: RelationId,
+        binding: &Tuple,
+    ) -> Result<&[Tuple], EngineError> {
+        let key = (relation, binding.clone());
+        // (Entry API would hold the borrow across the provider call; a
+        // contains_key probe keeps the fallible path simple.)
+        if !self.extractions.contains_key(&key) {
+            let tuples = provider.access(relation, binding)?;
+            log.record(relation, binding.clone());
+            log.record_extracted(relation, tuples.iter());
+            self.extractions.insert(key.clone(), tuples);
+        }
+        Ok(self.extractions.get(&key).expect("just inserted").as_slice())
+    }
+
+    /// Whether the access has been performed already.
+    pub fn contains(&self, relation: RelationId, binding: &Tuple) -> bool {
+        self.extractions.contains_key(&(relation, binding.clone()))
+    }
+
+    /// Number of memoized accesses.
+    pub fn len(&self) -> usize {
+        self.extractions.len()
+    }
+
+    /// Whether the meta-cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.extractions.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::InstanceSource;
+    use toorjah_catalog::{tuple, Instance, Schema};
+
+    fn provider() -> InstanceSource {
+        let schema = Schema::parse("r^io(A, B)").unwrap();
+        let mut db = Instance::new(&schema);
+        db.insert("r", tuple!["a", "b1"]).unwrap();
+        InstanceSource::new(schema, db)
+    }
+
+    #[test]
+    fn access_is_memoized() {
+        let src = provider();
+        let r = src.schema().relation_id("r").unwrap();
+        let mut meta = MetaCache::new();
+        let mut log = AccessLog::new();
+        let first = meta.access(&src, &mut log, r, &tuple!["a"]).unwrap().to_vec();
+        assert_eq!(first.len(), 1);
+        assert_eq!(log.total(), 1);
+        // Second identical access is served locally: no new log entry.
+        let second = meta.access(&src, &mut log, r, &tuple!["a"]).unwrap().to_vec();
+        assert_eq!(second, first);
+        assert_eq!(log.total(), 1);
+        assert_eq!(meta.len(), 1);
+        assert!(meta.contains(r, &tuple!["a"]));
+        assert!(!meta.contains(r, &tuple!["b"]));
+    }
+
+    #[test]
+    fn failed_accesses_are_not_memoized() {
+        let src = crate::FlakySource::new(provider(), 1); // always fails
+        let r = src.schema().relation_id("r").unwrap();
+        let mut meta = MetaCache::new();
+        let mut log = AccessLog::new();
+        assert!(meta.access(&src, &mut log, r, &tuple!["a"]).is_err());
+        assert!(meta.is_empty());
+        assert_eq!(log.total(), 0);
+    }
+
+    #[test]
+    fn distinct_bindings_are_distinct_accesses() {
+        let src = provider();
+        let r = src.schema().relation_id("r").unwrap();
+        let mut meta = MetaCache::new();
+        let mut log = AccessLog::new();
+        meta.access(&src, &mut log, r, &tuple!["a"]).unwrap();
+        meta.access(&src, &mut log, r, &tuple!["b"]).unwrap();
+        assert_eq!(log.total(), 2);
+    }
+}

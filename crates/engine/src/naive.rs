@@ -1,0 +1,419 @@
+//! The naive evaluation algorithm (Fig. 1 of the paper, after
+//! [Li & Chang, ICDE 2000]).
+//!
+//! ```text
+//! 1) Initialize B with the set of constants in the query
+//! 2) while accesses can be made with new values
+//!    a) Access all possible relations, according to their access patterns,
+//!       using values in B
+//!    b) Put the obtained tuples in the cache
+//!    c) Put the obtained constants in B
+//! 3) Evaluate the query over the cache
+//! ```
+//!
+//! The binding set `B` is partitioned by abstract domain (a value extracted
+//! from a `Year` position never binds a `Person` input). The algorithm
+//! accesses *every* relation of the schema — including relations irrelevant
+//! to the query — with *every* domain-compatible combination of known
+//! values, which is exactly the waste §III's relevance pruning eliminates.
+//! Accesses are deduplicated (the metric is a set, §IV), so the algorithm
+//! terminates: the value universe is bounded by the instance.
+
+use std::collections::{HashMap, HashSet};
+
+use toorjah_catalog::{DomainId, Schema, Tuple, Value};
+use toorjah_query::ConjunctiveQuery;
+
+use crate::{evaluate_cq, AccessLog, AccessStats, EngineError, MetaCache, SourceProvider};
+
+/// Options for the naive evaluator.
+#[derive(Clone, Copy, Debug)]
+pub struct NaiveOptions {
+    /// Hard cap on the number of (distinct) accesses; exceeded ⇒
+    /// [`EngineError::AccessBudgetExceeded`]. Guards against combinatorial
+    /// blow-ups on relations with many input positions.
+    pub max_accesses: usize,
+}
+
+impl Default for NaiveOptions {
+    fn default() -> Self {
+        NaiveOptions { max_accesses: 10_000_000 }
+    }
+}
+
+/// Result of a naive evaluation.
+#[derive(Clone, Debug)]
+pub struct NaiveResult {
+    /// The distinct answers to the query.
+    pub answers: Vec<Tuple>,
+    /// Access counters (the "naive" columns of Fig. 6).
+    pub stats: AccessStats,
+    /// Number of fixpoint rounds.
+    pub rounds: usize,
+    /// Total distinct values accumulated in the binding set `B`.
+    pub binding_values: usize,
+}
+
+/// Runs the Fig. 1 algorithm for `query` over the relations served by
+/// `provider` (whose schema must be the one the query was parsed against).
+///
+/// ```
+/// use toorjah_catalog::{tuple, Instance, Schema};
+/// use toorjah_engine::{naive_evaluate, InstanceSource, NaiveOptions};
+/// use toorjah_query::parse_query;
+///
+/// // Example 2 of the paper.
+/// let schema = Schema::parse("r1^io(A, C) r2^io(B, C) r3^io(C, B)").unwrap();
+/// let db = Instance::with_data(&schema, [
+///     ("r1", vec![tuple!["a1", "c1"], tuple!["a1", "c3"]]),
+///     ("r2", vec![tuple!["b1", "c1"], tuple!["b2", "c2"], tuple!["b3", "c3"]]),
+///     ("r3", vec![tuple!["c1", "b2"], tuple!["c2", "b1"]]),
+/// ]).unwrap();
+/// let src = InstanceSource::new(schema.clone(), db);
+/// let q = parse_query("q1(B) <- r1('a1', C), r2(B, C)", &schema).unwrap();
+///
+/// let result = naive_evaluate(&q, &schema, &src, NaiveOptions::default()).unwrap();
+/// // ⟨b3⟩ is not obtainable under the access limitations.
+/// assert_eq!(result.answers, vec![tuple!["b1"]]);
+/// ```
+pub fn naive_evaluate(
+    query: &ConjunctiveQuery,
+    schema: &Schema,
+    provider: &dyn SourceProvider,
+    options: NaiveOptions,
+) -> Result<NaiveResult, EngineError> {
+    // B: per-domain value sets, with deterministic iteration order.
+    let mut b_vec: HashMap<DomainId, Vec<Value>> = HashMap::new();
+    let mut b_set: HashMap<DomainId, HashSet<Value>> = HashMap::new();
+    let add_value = |b_vec: &mut HashMap<DomainId, Vec<Value>>,
+                         b_set: &mut HashMap<DomainId, HashSet<Value>>,
+                         d: DomainId,
+                         v: Value| {
+        if b_set.entry(d).or_default().insert(v.clone()) {
+            b_vec.entry(d).or_default().push(v);
+        }
+    };
+
+    // 1) Seed with the query's constants.
+    for (value, domain) in query.constants(schema) {
+        add_value(&mut b_vec, &mut b_set, domain, value);
+    }
+
+    // Cache: one tuple list per relation (deduplicated).
+    let mut cache: Vec<Vec<Tuple>> = vec![Vec::new(); schema.relation_count()];
+    let mut cache_seen: Vec<HashSet<Tuple>> = vec![HashSet::new(); schema.relation_count()];
+
+    let mut meta = MetaCache::new();
+    let mut log = AccessLog::new();
+    let mut rounds = 0usize;
+
+    // Per-relation, per-input-position pool length already enumerated (the
+    // semi-naive frontier): a round only enumerates combinations with at
+    // least one value that is *new* since the relation's previous round,
+    // using the standard pivot decomposition (positions before the pivot
+    // take old values, the pivot takes new values, positions after take
+    // all). Every binding is therefore generated exactly once across the
+    // whole run, keeping the fixpoint linear in the number of accesses.
+    let mut frontier: Vec<Vec<usize>> = schema
+        .iter()
+        .map(|(_, rel)| vec![0usize; rel.pattern().input_count()])
+        .collect();
+
+    // 2) Fixpoint over accesses.
+    loop {
+        rounds += 1;
+        let mut new_access = false;
+        // Snapshot B so a round uses a consistent value set.
+        let snapshot: HashMap<DomainId, Vec<Value>> = b_vec.clone();
+        for (rel_id, rel) in schema.iter() {
+            let input_domains: Vec<DomainId> = rel
+                .pattern()
+                .input_positions()
+                .map(|k| rel.domain(k))
+                .collect();
+            let pools: Vec<&[Value]> = input_domains
+                .iter()
+                .map(|d| snapshot.get(d).map_or(&[][..], Vec::as_slice))
+                .collect();
+            let old = frontier[rel_id.index()].clone();
+            if pools.is_empty() {
+                // Free relation: a single access, in the first round only.
+                if rounds == 1 {
+                    perform_access(
+                        provider,
+                        &mut meta,
+                        &mut log,
+                        rel_id,
+                        Tuple::empty(),
+                        rel,
+                        &mut cache,
+                        &mut cache_seen,
+                        &mut b_vec,
+                        &mut b_set,
+                        &add_value,
+                        options.max_accesses,
+                    )?;
+                    new_access = true;
+                }
+                continue;
+            }
+            if pools.iter().any(|p| p.is_empty()) {
+                continue; // some input domain has no known values yet
+            }
+            for pivot in 0..pools.len() {
+                // Ranges: before the pivot old values, at the pivot new
+                // values, after the pivot all values.
+                let ranges: Vec<std::ops::Range<usize>> = (0..pools.len())
+                    .map(|p| match p.cmp(&pivot) {
+                        std::cmp::Ordering::Less => 0..old[p],
+                        std::cmp::Ordering::Equal => old[p]..pools[p].len(),
+                        std::cmp::Ordering::Greater => 0..pools[p].len(),
+                    })
+                    .collect();
+                if ranges.iter().any(|r| r.is_empty()) {
+                    continue;
+                }
+                let mut odometer: Vec<usize> = ranges.iter().map(|r| r.start).collect();
+                loop {
+                    let binding: Tuple =
+                        odometer.iter().zip(&pools).map(|(&i, p)| p[i].clone()).collect();
+                    debug_assert!(!log.contains(rel_id, &binding));
+                    perform_access(
+                        provider,
+                        &mut meta,
+                        &mut log,
+                        rel_id,
+                        binding,
+                        rel,
+                        &mut cache,
+                        &mut cache_seen,
+                        &mut b_vec,
+                        &mut b_set,
+                        &add_value,
+                        options.max_accesses,
+                    )?;
+                    new_access = true;
+                    // Advance within the ranges.
+                    let mut pos = 0;
+                    loop {
+                        if pos == odometer.len() {
+                            break;
+                        }
+                        odometer[pos] += 1;
+                        if odometer[pos] < ranges[pos].end {
+                            break;
+                        }
+                        odometer[pos] = ranges[pos].start;
+                        pos += 1;
+                    }
+                    if pos == odometer.len() {
+                        break;
+                    }
+                }
+            }
+            // The frontier advances to the snapshot sizes just enumerated.
+            for (p, pool) in pools.iter().enumerate() {
+                frontier[rel_id.index()][p] = pool.len();
+            }
+        }
+        if !new_access {
+            break;
+        }
+    }
+
+    // 3) Evaluate the query over the cache.
+    let answers = evaluate_cq(query, &|atom_idx| {
+        cache[query.atoms()[atom_idx].relation().index()].clone()
+    });
+
+    Ok(NaiveResult {
+        answers,
+        stats: log.stats(),
+        rounds,
+        binding_values: b_vec.values().map(Vec::len).sum(),
+    })
+}
+
+/// Performs one (guaranteed fresh) access and folds the extraction into the
+/// cache and the binding set.
+#[allow(clippy::too_many_arguments)]
+fn perform_access(
+    provider: &dyn SourceProvider,
+    meta: &mut MetaCache,
+    log: &mut AccessLog,
+    rel_id: toorjah_catalog::RelationId,
+    binding: Tuple,
+    rel: &toorjah_catalog::RelationSchema,
+    cache: &mut [Vec<Tuple>],
+    cache_seen: &mut [HashSet<Tuple>],
+    b_vec: &mut HashMap<DomainId, Vec<Value>>,
+    b_set: &mut HashMap<DomainId, HashSet<Value>>,
+    add_value: &impl Fn(
+        &mut HashMap<DomainId, Vec<Value>>,
+        &mut HashMap<DomainId, HashSet<Value>>,
+        DomainId,
+        Value,
+    ),
+    max_accesses: usize,
+) -> Result<(), EngineError> {
+    if log.total() >= max_accesses {
+        return Err(EngineError::AccessBudgetExceeded { limit: max_accesses });
+    }
+    let tuples = meta.access(provider, log, rel_id, &binding)?.to_vec();
+    for t in tuples {
+        if cache_seen[rel_id.index()].insert(t.clone()) {
+            for (k, v) in t.values().iter().enumerate() {
+                add_value(b_vec, b_set, rel.domain(k), v.clone());
+            }
+            cache[rel_id.index()].push(t);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::InstanceSource;
+    use toorjah_catalog::{tuple, Instance};
+    use toorjah_query::parse_query;
+
+    /// Example 2 of the paper, reproduced exactly.
+    fn example2() -> (Schema, InstanceSource) {
+        let schema = Schema::parse("r1^io(A, C) r2^io(B, C) r3^io(C, B)").unwrap();
+        let db = Instance::with_data(
+            &schema,
+            [
+                ("r1", vec![tuple!["a1", "c1"], tuple!["a1", "c3"]]),
+                ("r2", vec![tuple!["b1", "c1"], tuple!["b2", "c2"], tuple!["b3", "c3"]]),
+                ("r3", vec![tuple!["c1", "b2"], tuple!["c2", "b1"]]),
+            ],
+        )
+        .unwrap();
+        (schema.clone(), InstanceSource::new(schema, db))
+    }
+
+    #[test]
+    fn example2_obtainable_answer() {
+        // q1(B) ← r1(a1, C), r2(B, C): the paper walks the extraction chain
+        // a1 → r1 → {c1, c3} → r3 → b2 → r2 → c2 → r3 → b1 → r2 → ⟨b1, c1⟩,
+        // giving answer {b1}; ⟨b3⟩ is not obtainable.
+        let (schema, src) = example2();
+        let q = parse_query("q1(B) <- r1('a1', C), r2(B, C)", &schema).unwrap();
+        let result = naive_evaluate(&q, &schema, &src, NaiveOptions::default()).unwrap();
+        assert_eq!(result.answers, vec![tuple!["b1"]]);
+        // b3 was never extracted from r2.
+        let r2 = schema.relation_id("r2").unwrap();
+        assert_eq!(result.stats.extracted_from(r2), 2); // ⟨b2,c2⟩ and ⟨b1,c1⟩
+    }
+
+    #[test]
+    fn accesses_are_deduplicated_and_counted() {
+        let (schema, src) = example2();
+        let q = parse_query("q1(B) <- r1('a1', C), r2(B, C)", &schema).unwrap();
+        let result = naive_evaluate(&q, &schema, &src, NaiveOptions::default()).unwrap();
+        // Accesses: r1 with every A-value (only a1): 1. r2 with every
+        // B-value (b2, b1 extracted): 2. r3 with every C-value
+        // (c1, c3, c2): 3.
+        let r1 = schema.relation_id("r1").unwrap();
+        let r2 = schema.relation_id("r2").unwrap();
+        let r3 = schema.relation_id("r3").unwrap();
+        assert_eq!(result.stats.accesses_to(r1), 1);
+        assert_eq!(result.stats.accesses_to(r2), 2);
+        assert_eq!(result.stats.accesses_to(r3), 3);
+        assert_eq!(result.stats.total_accesses, 6);
+        assert!(result.rounds >= 3);
+    }
+
+    #[test]
+    fn free_relations_accessed_once() {
+        let schema = Schema::parse("free^oo(A, B)").unwrap();
+        let mut db = Instance::new(&schema);
+        db.insert("free", tuple!["a", "b"]).unwrap();
+        let src = InstanceSource::new(schema.clone(), db);
+        let q = parse_query("q(X) <- free(X, Y)", &schema).unwrap();
+        let result = naive_evaluate(&q, &schema, &src, NaiveOptions::default()).unwrap();
+        assert_eq!(result.stats.total_accesses, 1);
+        assert_eq!(result.answers, vec![tuple!["a"]]);
+    }
+
+    #[test]
+    fn irrelevant_relations_are_accessed_by_naive() {
+        // The naive algorithm pays for the irrelevant relation r3
+        // (Example 3's point).
+        let schema = Schema::parse("r1^io(A, B) r2^io(B, C) r3^io(C, A)").unwrap();
+        let db = Instance::with_data(
+            &schema,
+            [
+                ("r1", vec![tuple!["a", "b1"]]),
+                ("r2", vec![tuple!["b1", "c1"]]),
+                ("r3", vec![tuple!["c1", "a"]]),
+            ],
+        )
+        .unwrap();
+        let src = InstanceSource::new(schema.clone(), db);
+        let q = parse_query("q(C) <- r1('a', B), r2(B, C)", &schema).unwrap();
+        let result = naive_evaluate(&q, &schema, &src, NaiveOptions::default()).unwrap();
+        let r3 = schema.relation_id("r3").unwrap();
+        assert!(result.stats.accesses_to(r3) > 0);
+        assert_eq!(result.answers, vec![tuple!["c1"]]);
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let (schema, src) = example2();
+        let q = parse_query("q1(B) <- r1('a1', C), r2(B, C)", &schema).unwrap();
+        let err = naive_evaluate(&q, &schema, &src, NaiveOptions { max_accesses: 2 })
+            .unwrap_err();
+        assert!(matches!(err, EngineError::AccessBudgetExceeded { limit: 2 }));
+    }
+
+    #[test]
+    fn no_constants_and_no_free_relations_means_no_accesses() {
+        let schema = Schema::parse("r^io(A, B)").unwrap();
+        let mut db = Instance::new(&schema);
+        db.insert("r", tuple!["a", "b"]).unwrap();
+        let src = InstanceSource::new(schema.clone(), db);
+        let q = parse_query("q(Y) <- r(X, Y)", &schema).unwrap();
+        let result = naive_evaluate(&q, &schema, &src, NaiveOptions::default()).unwrap();
+        assert_eq!(result.stats.total_accesses, 0);
+        assert!(result.answers.is_empty());
+    }
+
+    #[test]
+    fn multi_input_relations_get_cartesian_bindings() {
+        let schema = Schema::parse("pair^iio(A, B, C) fa^o(A) fb^o(B)").unwrap();
+        let db = Instance::with_data(
+            &schema,
+            [
+                ("pair", vec![tuple!["a1", "b1", "c1"]]),
+                ("fa", vec![tuple!["a1"], tuple!["a2"]]),
+                ("fb", vec![tuple!["b1"], tuple!["b2"], tuple!["b3"]]),
+            ],
+        )
+        .unwrap();
+        let src = InstanceSource::new(schema.clone(), db);
+        let q = parse_query("q(C) <- pair(X, Y, C)", &schema).unwrap();
+        let result = naive_evaluate(&q, &schema, &src, NaiveOptions::default()).unwrap();
+        let pair = schema.relation_id("pair").unwrap();
+        // 2 × 3 combinations.
+        assert_eq!(result.stats.accesses_to(pair), 6);
+        assert_eq!(result.answers, vec![tuple!["c1"]]);
+    }
+
+    #[test]
+    fn nullary_free_relation() {
+        let schema = Schema::parse("flag^() r^oo(A, B)").unwrap();
+        let db = Instance::with_data(
+            &schema,
+            [("flag", vec![Tuple::empty()]), ("r", vec![tuple!["a", "b"]])],
+        )
+        .unwrap();
+        let src = InstanceSource::new(schema.clone(), db);
+        let q = parse_query("q(X) <- r(X, Y), flag()", &schema).unwrap();
+        let result = naive_evaluate(&q, &schema, &src, NaiveOptions::default()).unwrap();
+        assert_eq!(result.answers, vec![tuple!["a"]]);
+        let flag = schema.relation_id("flag").unwrap();
+        assert_eq!(result.stats.accesses_to(flag), 1);
+    }
+}

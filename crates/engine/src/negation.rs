@@ -1,0 +1,307 @@
+//! Execution of conjunctive queries with safe negation (the §VII / [18]
+//! extension).
+//!
+//! Strategy:
+//!
+//! 1. plan and execute the **positive part** with an *extended head* that
+//!    additionally exposes every variable the negated atoms mention, so
+//!    each answer comes with a full enough assignment;
+//! 2. for each candidate assignment `θ` and each negated atom `¬r(t̄)`,
+//!    access `r` with the (fully bound, by access-safety) input values
+//!    `θ(t̄|inputs)` — through the same meta-cache, so repeated checks are
+//!    free — and reject the candidate iff some returned tuple matches
+//!    `θ(t̄)` on every position;
+//! 3. project the survivors onto the original head.
+//!
+//! Because the access retrieves *all* source tuples with those input
+//! values, step 2 decides the negated atom exactly (not merely "absent
+//! from the extracted data"), so the computed answers are certain.
+
+use std::collections::HashSet;
+
+use toorjah_catalog::{RelationId, Schema, Tuple};
+use toorjah_core::{CoreError, Planner};
+use toorjah_query::{ConjunctiveQuery, NegatedQuery, Term, VarId};
+
+use crate::{
+    execute_plan_with, AccessLog, AccessStats, EngineError, ExecOptions, MetaCache,
+    SourceProvider,
+};
+
+/// Result of executing a negated query.
+#[derive(Clone, Debug)]
+pub struct NegationReport {
+    /// The certain answers of `positive ∧ ¬n1 ∧ … ∧ ¬nk`.
+    pub answers: Vec<Tuple>,
+    /// Combined access counters (positive plan + negation checks, shared
+    /// meta-cache).
+    pub stats: AccessStats,
+    /// How many candidate assignments the negation checks rejected.
+    pub rejected: usize,
+}
+
+/// Errors from [`execute_negated`].
+#[derive(Clone, Debug)]
+pub enum NegationError {
+    /// Planning the positive part failed.
+    Planning(CoreError),
+    /// Execution failed.
+    Execution(EngineError),
+    /// Internal invariant violated while rewriting the head.
+    Internal(String),
+}
+
+impl std::fmt::Display for NegationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NegationError::Planning(e) => write!(f, "planning error: {e}"),
+            NegationError::Execution(e) => write!(f, "execution error: {e}"),
+            NegationError::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NegationError {}
+
+/// Executes a negated query against `provider`, returning certain answers.
+pub fn execute_negated(
+    query: &NegatedQuery,
+    schema: &Schema,
+    provider: &dyn SourceProvider,
+    options: ExecOptions,
+) -> Result<NegationReport, NegationError> {
+    let positive = query.positive();
+
+    // Extended head: original head followed by the negation variables that
+    // are not already in it.
+    let mut extended_head: Vec<VarId> = positive.head().to_vec();
+    for v in query.negation_variables() {
+        if !extended_head.contains(&v) {
+            extended_head.push(v);
+        }
+    }
+    let extended = ConjunctiveQuery::from_parts(
+        schema,
+        positive.head_name(),
+        extended_head.clone(),
+        positive.atoms().to_vec(),
+        positive.var_names().to_vec(),
+    )
+    .map_err(|e| NegationError::Internal(format!("extended head rewrite failed: {e}")))?;
+
+    // Plan + execute the positive part. Minimization must be disabled: it
+    // could fold atoms that the negated atoms depend on for their variable
+    // bindings... (it cannot — negation variables are in the head now, so
+    // minimization preserves them — but the default planner is kept simple
+    // and explicit here).
+    let planner = Planner::default();
+    let planned = planner.plan(&extended, schema).map_err(NegationError::Planning)?;
+    let mut meta = MetaCache::new();
+    let mut log = AccessLog::new();
+    let report = execute_plan_with(&planned.plan, provider, options, &mut meta, &mut log)
+        .map_err(NegationError::Execution)?;
+
+    // Resolve negated relations inside the provider's schema by name.
+    let mut negated_rels: Vec<RelationId> = Vec::with_capacity(query.negated().len());
+    for atom in query.negated() {
+        let name = schema.relation(atom.relation()).name();
+        let id = provider.schema().relation_id(name).ok_or_else(|| {
+            NegationError::Execution(EngineError::PlanMismatch(format!(
+                "provider lacks negated relation {name}"
+            )))
+        })?;
+        negated_rels.push(id);
+    }
+
+    // Negation checks per candidate.
+    let var_slot: std::collections::HashMap<VarId, usize> =
+        extended_head.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let original_arity = positive.head().len();
+    let mut answers = Vec::new();
+    let mut seen: HashSet<Tuple> = HashSet::new();
+    let mut rejected = 0usize;
+    'candidates: for candidate in &report.answers {
+        for (atom, &rel) in query.negated().iter().zip(&negated_rels) {
+            let rel_schema = schema.relation(atom.relation());
+            // Bind the atom's terms under the candidate.
+            let bound: Vec<toorjah_catalog::Value> = atom
+                .terms()
+                .iter()
+                .map(|t| match t {
+                    Term::Const(c) => Ok(c.clone()),
+                    Term::Var(v) => var_slot
+                        .get(v)
+                        .map(|&slot| candidate[slot].clone())
+                        .ok_or_else(|| {
+                            NegationError::Internal("unbound negation variable".to_string())
+                        }),
+                })
+                .collect::<Result<_, _>>()?;
+            let binding: Tuple = rel_schema
+                .pattern()
+                .input_positions()
+                .map(|k| bound[k].clone())
+                .collect();
+            if !meta.contains(rel, &binding) && log.total() >= options.max_accesses {
+                return Err(NegationError::Execution(EngineError::AccessBudgetExceeded {
+                    limit: options.max_accesses,
+                }));
+            }
+            let extraction = meta
+                .access(provider, &mut log, rel, &binding)
+                .map_err(NegationError::Execution)?;
+            let witness = extraction.iter().any(|t| t.values() == bound.as_slice());
+            if witness {
+                rejected += 1;
+                continue 'candidates;
+            }
+        }
+        let answer: Tuple = (0..original_arity).map(|i| candidate[i].clone()).collect();
+        if seen.insert(answer.clone()) {
+            answers.push(answer);
+        }
+    }
+
+    Ok(NegationReport { answers, stats: log.stats(), rejected })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::InstanceSource;
+    use toorjah_catalog::{tuple, Instance};
+    use toorjah_query::{parse_query, Atom};
+
+    fn setup() -> (Schema, InstanceSource) {
+        let schema = Schema::parse("works^oo(Person, City) banned^io(Person, City)").unwrap();
+        let db = Instance::with_data(
+            &schema,
+            [
+                (
+                    "works",
+                    vec![
+                        tuple!["ann", "rome"],
+                        tuple!["bob", "milan"],
+                        tuple!["cal", "rome"],
+                    ],
+                ),
+                ("banned", vec![tuple!["bob", "milan"], tuple!["cal", "paris"]]),
+            ],
+        )
+        .unwrap();
+        (schema.clone(), InstanceSource::new(schema, db))
+    }
+
+    fn negated_atom(schema: &Schema, q: &ConjunctiveQuery, rel: &str, vars: &[&str]) -> Atom {
+        let id = schema.relation_id(rel).unwrap();
+        let terms = vars
+            .iter()
+            .map(|name| {
+                let v = q.var_names().iter().position(|n| n == name).unwrap();
+                Term::Var(VarId(v as u32))
+            })
+            .collect();
+        Atom::new(id, terms)
+    }
+
+    #[test]
+    fn negation_filters_witnessed_candidates() {
+        let (schema, src) = setup();
+        let q = parse_query("q(P) <- works(P, C)", &schema).unwrap();
+        let neg = negated_atom(&schema, &q, "banned", &["P", "C"]);
+        let nq = NegatedQuery::new(q, vec![neg], &schema).unwrap();
+        let report = execute_negated(&nq, &schema, &src, ExecOptions::default()).unwrap();
+        let mut answers = report.answers.clone();
+        answers.sort();
+        // bob is banned in milan (rejected); cal is banned in *paris* only,
+        // so cal in rome survives; ann survives.
+        assert_eq!(answers, vec![tuple!["ann"], tuple!["cal"]]);
+        assert_eq!(report.rejected, 1);
+    }
+
+    #[test]
+    fn negation_accesses_are_counted_and_deduplicated() {
+        let (schema, src) = setup();
+        let q = parse_query("q(P) <- works(P, C)", &schema).unwrap();
+        let neg = negated_atom(&schema, &q, "banned", &["P", "C"]);
+        let nq = NegatedQuery::new(q, vec![neg], &schema).unwrap();
+        let report = execute_negated(&nq, &schema, &src, ExecOptions::default()).unwrap();
+        let banned = schema.relation_id("banned").unwrap();
+        // One access per distinct Person bound in a candidate: ann, bob, cal.
+        assert_eq!(report.stats.accesses_to(banned), 3);
+    }
+
+    #[test]
+    fn no_negated_atoms_is_plain_execution() {
+        let (schema, src) = setup();
+        let q = parse_query("q(P) <- works(P, C)", &schema).unwrap();
+        let nq = NegatedQuery::new(q.clone(), vec![], &schema).unwrap();
+        let report = execute_negated(&nq, &schema, &src, ExecOptions::default()).unwrap();
+        assert_eq!(report.answers.len(), 3);
+        assert_eq!(report.rejected, 0);
+    }
+
+    #[test]
+    fn constant_in_negated_atom() {
+        let (schema, src) = setup();
+        let q = parse_query("q(P) <- works(P, C)", &schema).unwrap();
+        // ¬banned(P, 'milan'): only bob/milan is a witness, and only when P
+        // binds to bob.
+        let banned = schema.relation_id("banned").unwrap();
+        let p = q.var_names().iter().position(|n| n == "P").unwrap();
+        let neg = Atom::new(
+            banned,
+            vec![Term::Var(VarId(p as u32)), Term::Const("milan".into())],
+        );
+        let nq = NegatedQuery::new(q, vec![neg], &schema).unwrap();
+        let report = execute_negated(&nq, &schema, &src, ExecOptions::default()).unwrap();
+        let mut answers = report.answers.clone();
+        answers.sort();
+        assert_eq!(answers, vec![tuple!["ann"], tuple!["cal"]]);
+    }
+
+    #[test]
+    fn negation_against_oracle() {
+        // Cross-check against a full-scan anti-join for several instances.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for seed in 0..20 {
+            let schema =
+                Schema::parse("works^oo(Person, City) banned^io(Person, City)").unwrap();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut db = Instance::new(&schema);
+            for _ in 0..rng.gen_range(0..20) {
+                let p = format!("p{}", rng.gen_range(0..5));
+                let c = format!("c{}", rng.gen_range(0..4));
+                let _ = db.insert("works", tuple![p, c]);
+            }
+            for _ in 0..rng.gen_range(0..15) {
+                let p = format!("p{}", rng.gen_range(0..5));
+                let c = format!("c{}", rng.gen_range(0..4));
+                let _ = db.insert("banned", tuple![p, c]);
+            }
+            let src = InstanceSource::new(schema.clone(), db);
+            let q = parse_query("q(P, C) <- works(P, C)", &schema).unwrap();
+            let neg = negated_atom(&schema, &q, "banned", &["P", "C"]);
+            let nq = NegatedQuery::new(q, vec![neg], &schema).unwrap();
+            let report =
+                execute_negated(&nq, &schema, &src, ExecOptions::default()).unwrap();
+            // Oracle: full anti-join.
+            let works = schema.relation_id("works").unwrap();
+            let banned = schema.relation_id("banned").unwrap();
+            let banned_set: HashSet<Tuple> =
+                src.instance().full_extension(banned).iter().cloned().collect();
+            let mut oracle: Vec<Tuple> = src
+                .instance()
+                .full_extension(works)
+                .iter()
+                .filter(|t| !banned_set.contains(*t))
+                .cloned()
+                .collect();
+            oracle.sort();
+            let mut got = report.answers.clone();
+            got.sort();
+            assert_eq!(got, oracle, "seed {seed}");
+        }
+    }
+}

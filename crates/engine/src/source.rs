@@ -1,0 +1,208 @@
+//! Source providers: the remote-source abstraction.
+//!
+//! The paper's Toorjah accesses remote web/legacy sources through wrappers
+//! (§V, Fig. 5); here a [`SourceProvider`] answers accesses from an
+//! in-memory instance, optionally accounting a per-access latency
+//! ([`LatencySource`], simulating the slow sources that make access count
+//! the dominant cost) or injecting failures ([`FlakySource`], for tests).
+//! The substitution of real remote sources by indexed in-memory relations is
+//! documented in DESIGN.md: every reported metric is an access count, which
+//! is invariant under this substitution.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+use toorjah_catalog::{Instance, RelationId, Schema, Tuple};
+
+use crate::EngineError;
+
+/// Answers accesses (single-atom CQs with bound input attributes) against
+/// relations with access limitations.
+pub trait SourceProvider: Send + Sync {
+    /// The schema of the provided relations.
+    fn schema(&self) -> &Schema;
+
+    /// Performs an access: returns all tuples of `relation` whose input
+    /// positions equal `binding` (one value per input position, in order).
+    fn access(&self, relation: RelationId, binding: &Tuple) -> Result<Vec<Tuple>, EngineError>;
+
+    /// The full extension of a relation, bypassing the access pattern — the
+    /// oracle used by completeness checking ([Li, VLDB J. 2003] *stability*).
+    /// Remote sources cannot support this; the default returns `None`.
+    fn full_scan(&self, relation: RelationId) -> Option<Vec<Tuple>> {
+        let _ = relation;
+        None
+    }
+}
+
+/// An in-memory provider over a [`toorjah_catalog::Instance`].
+#[derive(Clone, Debug)]
+pub struct InstanceSource {
+    schema: Schema,
+    instance: Instance,
+}
+
+impl InstanceSource {
+    /// Wraps a schema and an instance of it.
+    pub fn new(schema: Schema, instance: Instance) -> Self {
+        InstanceSource { schema, instance }
+    }
+
+    /// The wrapped instance.
+    pub fn instance(&self) -> &Instance {
+        &self.instance
+    }
+}
+
+impl SourceProvider for InstanceSource {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn access(&self, relation: RelationId, binding: &Tuple) -> Result<Vec<Tuple>, EngineError> {
+        Ok(self.instance.access(relation, binding)?)
+    }
+
+    fn full_scan(&self, relation: RelationId) -> Option<Vec<Tuple>> {
+        Some(self.instance.full_extension(relation).to_vec())
+    }
+}
+
+/// A wrapper accounting a fixed latency per access.
+///
+/// Latency is *virtual* by default: it accumulates into a counter readable
+/// via [`LatencySource::simulated_cost`], so experiments over hundreds of
+/// thousands of accesses finish quickly while still reporting realistic
+/// shapes (Fig. 11). With [`LatencySource::with_real_sleep`] the wrapper
+/// additionally sleeps, which the distillation demo uses to make
+/// time-to-first-answer observable.
+pub struct LatencySource<S> {
+    inner: S,
+    latency: Duration,
+    sleep: bool,
+    accumulated_nanos: AtomicU64,
+}
+
+impl<S: SourceProvider> LatencySource<S> {
+    /// Wraps `inner` with a per-access virtual latency.
+    pub fn new(inner: S, latency: Duration) -> Self {
+        LatencySource { inner, latency, sleep: false, accumulated_nanos: AtomicU64::new(0) }
+    }
+
+    /// Makes every access actually sleep for the configured latency.
+    pub fn with_real_sleep(mut self) -> Self {
+        self.sleep = true;
+        self
+    }
+
+    /// Total simulated time spent in accesses so far.
+    pub fn simulated_cost(&self) -> Duration {
+        Duration::from_nanos(self.accumulated_nanos.load(Ordering::Relaxed))
+    }
+
+    /// Resets the simulated-cost accumulator.
+    pub fn reset_cost(&self) {
+        self.accumulated_nanos.store(0, Ordering::Relaxed);
+    }
+}
+
+impl<S: SourceProvider> SourceProvider for LatencySource<S> {
+    fn schema(&self) -> &Schema {
+        self.inner.schema()
+    }
+
+    fn access(&self, relation: RelationId, binding: &Tuple) -> Result<Vec<Tuple>, EngineError> {
+        self.accumulated_nanos
+            .fetch_add(self.latency.as_nanos() as u64, Ordering::Relaxed);
+        if self.sleep {
+            std::thread::sleep(self.latency);
+        }
+        self.inner.access(relation, binding)
+    }
+
+    fn full_scan(&self, relation: RelationId) -> Option<Vec<Tuple>> {
+        self.inner.full_scan(relation)
+    }
+}
+
+/// A wrapper that fails every `n`-th access (1-based), for failure-injection
+/// tests of executor error paths.
+pub struct FlakySource<S> {
+    inner: S,
+    fail_every: usize,
+    counter: AtomicUsize,
+}
+
+impl<S: SourceProvider> FlakySource<S> {
+    /// Fails accesses number `fail_every`, `2·fail_every`, … (1-based).
+    pub fn new(inner: S, fail_every: usize) -> Self {
+        assert!(fail_every > 0, "fail_every must be positive");
+        FlakySource { inner, fail_every, counter: AtomicUsize::new(0) }
+    }
+}
+
+impl<S: SourceProvider> SourceProvider for FlakySource<S> {
+    fn schema(&self) -> &Schema {
+        self.inner.schema()
+    }
+
+    fn access(&self, relation: RelationId, binding: &Tuple) -> Result<Vec<Tuple>, EngineError> {
+        let n = self.counter.fetch_add(1, Ordering::Relaxed) + 1;
+        if n.is_multiple_of(self.fail_every) {
+            return Err(EngineError::SourceFailure {
+                relation: self.inner.schema().relation(relation).name().to_string(),
+                detail: format!("injected failure on access #{n}"),
+            });
+        }
+        self.inner.access(relation, binding)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use toorjah_catalog::tuple;
+
+    fn sample() -> InstanceSource {
+        let schema = Schema::parse("r^io(A, B)").unwrap();
+        let mut db = Instance::new(&schema);
+        db.insert("r", tuple!["a", "b1"]).unwrap();
+        db.insert("r", tuple!["a", "b2"]).unwrap();
+        InstanceSource::new(schema, db)
+    }
+
+    #[test]
+    fn instance_source_answers_accesses() {
+        let src = sample();
+        let r = src.schema().relation_id("r").unwrap();
+        assert_eq!(src.access(r, &tuple!["a"]).unwrap().len(), 2);
+        assert!(src.access(r, &tuple!["zz"]).unwrap().is_empty());
+        assert!(src.access(r, &Tuple::empty()).is_err());
+    }
+
+    #[test]
+    fn latency_source_accumulates_virtual_time() {
+        let src = LatencySource::new(sample(), Duration::from_millis(5));
+        let r = src.schema().relation_id("r").unwrap();
+        src.access(r, &tuple!["a"]).unwrap();
+        src.access(r, &tuple!["b"]).unwrap();
+        assert_eq!(src.simulated_cost(), Duration::from_millis(10));
+        src.reset_cost();
+        assert_eq!(src.simulated_cost(), Duration::ZERO);
+    }
+
+    #[test]
+    fn flaky_source_fails_periodically() {
+        let src = FlakySource::new(sample(), 2);
+        let r = src.schema().relation_id("r").unwrap();
+        assert!(src.access(r, &tuple!["a"]).is_ok());
+        assert!(src.access(r, &tuple!["a"]).is_err());
+        assert!(src.access(r, &tuple!["a"]).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn flaky_zero_is_rejected() {
+        let _ = FlakySource::new(sample(), 0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Union-of-conjunctive-queries execution (§II UCQs; the §VII extension).
+//!
+//! A UCQ is answered by executing one ⊂-minimal plan per disjunct; the
+//! disjuncts **share the per-relation meta-cache and the access log**, so an
+//! access performed for one disjunct is free for every other — the natural
+//! generalization of the paper's "never repeat an access" discipline.
+
+use std::collections::HashSet;
+
+use toorjah_catalog::Tuple;
+use toorjah_core::QueryPlan;
+
+use crate::{
+    execute_plan_with, AccessLog, AccessStats, EngineError, ExecOptions, ExecutionReport,
+    MetaCache, SourceProvider,
+};
+
+/// Result of executing a union of plans.
+#[derive(Clone, Debug)]
+pub struct UnionReport {
+    /// Distinct answers across all disjuncts, in production order.
+    pub answers: Vec<Tuple>,
+    /// Combined access counters (shared across disjuncts).
+    pub stats: AccessStats,
+    /// Per-disjunct reports (their `stats` fields are snapshots of the
+    /// shared log *after* the disjunct ran).
+    pub per_disjunct: Vec<ExecutionReport>,
+}
+
+/// Executes the plans of a UCQ's disjuncts with a shared meta-cache.
+///
+/// All plans must share one head arity (guaranteed when they come from a
+/// validated [`toorjah_query::UnionQuery`]).
+pub fn execute_union(
+    plans: &[&QueryPlan],
+    provider: &dyn SourceProvider,
+    options: ExecOptions,
+) -> Result<UnionReport, EngineError> {
+    let mut meta = MetaCache::new();
+    let mut log = AccessLog::new();
+    let mut answers = Vec::new();
+    let mut seen: HashSet<Tuple> = HashSet::new();
+    let mut per_disjunct = Vec::with_capacity(plans.len());
+    for plan in plans {
+        let report = execute_plan_with(plan, provider, options, &mut meta, &mut log)?;
+        for t in &report.answers {
+            if seen.insert(t.clone()) {
+                answers.push(t.clone());
+            }
+        }
+        per_disjunct.push(report);
+    }
+    Ok(UnionReport { answers, stats: log.stats(), per_disjunct })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{execute_plan, InstanceSource};
+    use toorjah_catalog::{tuple, Instance, Schema};
+    use toorjah_core::plan_query;
+    use toorjah_query::parse_query;
+
+    fn setup() -> (Schema, InstanceSource) {
+        let schema = Schema::parse("r^io(A, B) s^io(A, B) f^o(A)").unwrap();
+        let db = Instance::with_data(
+            &schema,
+            [
+                ("r", vec![tuple!["a", "rb"], tuple!["c", "shared"]]),
+                ("s", vec![tuple!["a", "sb"], tuple!["c", "shared"]]),
+                ("f", vec![tuple!["a"], tuple!["c"]]),
+            ],
+        )
+        .unwrap();
+        (schema.clone(), InstanceSource::new(schema, db))
+    }
+
+    #[test]
+    fn union_answers_are_the_union() {
+        let (schema, src) = setup();
+        let q1 = parse_query("q(B) <- f(X), r(X, B)", &schema).unwrap();
+        let q2 = parse_query("q(B) <- f(X), s(X, B)", &schema).unwrap();
+        let p1 = plan_query(&q1, &schema).unwrap();
+        let p2 = plan_query(&q2, &schema).unwrap();
+        let report =
+            execute_union(&[&p1.plan, &p2.plan], &src, ExecOptions::default()).unwrap();
+        let mut answers = report.answers.clone();
+        answers.sort();
+        assert_eq!(answers, vec![tuple!["rb"], tuple!["sb"], tuple!["shared"]]);
+    }
+
+    #[test]
+    fn shared_meta_cache_dedups_across_disjuncts() {
+        let (schema, src) = setup();
+        // Both disjuncts access f (and therefore share its single access).
+        let q1 = parse_query("q(B) <- f(X), r(X, B)", &schema).unwrap();
+        let q2 = parse_query("q(B) <- f(X), s(X, B)", &schema).unwrap();
+        let p1 = plan_query(&q1, &schema).unwrap();
+        let p2 = plan_query(&q2, &schema).unwrap();
+        let union =
+            execute_union(&[&p1.plan, &p2.plan], &src, ExecOptions::default()).unwrap();
+        let solo1 = execute_plan(&p1.plan, &src, ExecOptions::default()).unwrap();
+        let solo2 = execute_plan(&p2.plan, &src, ExecOptions::default()).unwrap();
+        let f = schema.relation_id("f").unwrap();
+        assert_eq!(solo1.stats.accesses_to(f), 1);
+        assert_eq!(solo2.stats.accesses_to(f), 1);
+        // Shared: one access to f total, not two.
+        assert_eq!(union.stats.accesses_to(f), 1);
+        assert!(
+            union.stats.total_accesses
+                < solo1.stats.total_accesses + solo2.stats.total_accesses
+        );
+    }
+
+    #[test]
+    fn single_disjunct_matches_plain_execution() {
+        let (schema, src) = setup();
+        let q = parse_query("q(B) <- f(X), r(X, B)", &schema).unwrap();
+        let p = plan_query(&q, &schema).unwrap();
+        let union = execute_union(&[&p.plan], &src, ExecOptions::default()).unwrap();
+        let solo = execute_plan(&p.plan, &src, ExecOptions::default()).unwrap();
+        let mut a = union.answers.clone();
+        let mut b = solo.answers;
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        assert_eq!(union.stats.total_accesses, solo.stats.total_accesses);
+        assert_eq!(union.per_disjunct.len(), 1);
+    }
+
+    #[test]
+    fn empty_plan_list() {
+        let (_, src) = setup();
+        let report = execute_union(&[], &src, ExecOptions::default()).unwrap();
+        assert!(report.answers.is_empty());
+        assert_eq!(report.stats.total_accesses, 0);
+    }
+}

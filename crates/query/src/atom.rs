@@ -1,0 +1,101 @@
+//! Body atoms of conjunctive queries.
+
+use toorjah_catalog::{RelationId, Schema};
+
+use crate::{Term, VarId};
+
+/// A body atom `r(t1,…,tn)` with the relation resolved against a schema.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Atom {
+    relation: RelationId,
+    terms: Vec<Term>,
+}
+
+impl Atom {
+    /// Creates an atom; arity validation happens in
+    /// [`crate::ConjunctiveQuery::from_parts`].
+    pub fn new(relation: RelationId, terms: Vec<Term>) -> Self {
+        Atom { relation, terms }
+    }
+
+    /// The relation this atom ranges over.
+    pub fn relation(&self) -> RelationId {
+        self.relation
+    }
+
+    /// The terms, in positional order.
+    pub fn terms(&self) -> &[Term] {
+        &self.terms
+    }
+
+    /// The term at position `k` (0-based).
+    ///
+    /// # Panics
+    /// Panics if `k` is out of range.
+    pub fn term(&self, k: usize) -> &Term {
+        &self.terms[k]
+    }
+
+    /// Number of terms (the relation's arity for validated atoms).
+    pub fn arity(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Variables occurring in the atom, with duplicates.
+    pub fn variables(&self) -> impl Iterator<Item = VarId> + '_ {
+        self.terms.iter().filter_map(Term::as_var)
+    }
+
+    /// 0-based positions at which the given variable occurs.
+    pub fn positions_of(&self, var: VarId) -> impl Iterator<Item = usize> + '_ {
+        self.terms
+            .iter()
+            .enumerate()
+            .filter(move |(_, t)| t.as_var() == Some(var))
+            .map(|(k, _)| k)
+    }
+
+    /// Whether any term is a constant.
+    pub fn has_constants(&self) -> bool {
+        self.terms.iter().any(Term::is_const)
+    }
+
+    /// Renders the atom with variable names drawn from `var_names`.
+    pub(crate) fn render(&self, schema: &Schema, var_names: &[String]) -> String {
+        let mut s = String::new();
+        s.push_str(schema.relation(self.relation).name());
+        s.push('(');
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            match t {
+                Term::Var(v) => s.push_str(&var_names[v.index()]),
+                Term::Const(c) => s.push_str(&c.to_string()),
+            }
+        }
+        s.push(')');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use toorjah_catalog::Value;
+
+    #[test]
+    fn accessors() {
+        let a = Atom::new(
+            RelationId(0),
+            vec![Term::Var(VarId(0)), Term::Const(Value::from("volare")), Term::Var(VarId(0))],
+        );
+        assert_eq!(a.arity(), 3);
+        assert_eq!(a.relation(), RelationId(0));
+        assert!(a.has_constants());
+        assert_eq!(a.variables().collect::<Vec<_>>(), vec![VarId(0), VarId(0)]);
+        assert_eq!(a.positions_of(VarId(0)).collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(a.positions_of(VarId(9)).count(), 0);
+        assert_eq!(a.term(1).as_const(), Some(&Value::from("volare")));
+    }
+}

@@ -1,0 +1,123 @@
+//! The §VI *connection query* classifier.
+//!
+//! Prior optimization work ([Li & Chang 2001] and related) handles only
+//! *connection queries*, a proper subset of UCQs:
+//!
+//! > *"In a connection query, the attributes with the same abstract domain
+//! > must be all in join, and they must also be either all selected (with a
+//! > constant) or all non-selected."*
+//!
+//! Concretely: for every abstract domain occurring in the query body, all
+//! positions of that domain must carry **one and the same term** — a single
+//! shared variable (all in join, non-selected) or a single shared constant
+//! (all selected). The paper reports that ≈70% of its 10,000 synthetic
+//! queries — and the hand-written query `q3` — are *not* connection queries,
+//! motivating the CQ-general technique.
+
+use std::collections::HashMap;
+
+use toorjah_catalog::{DomainId, Schema};
+
+use crate::{ConjunctiveQuery, Term};
+
+/// `true` when `query` is a connection query (see module docs).
+pub fn is_connection_query(query: &ConjunctiveQuery, schema: &Schema) -> bool {
+    connection_violations(query, schema).is_empty()
+}
+
+/// The abstract domains witnessing that `query` is *not* a connection query:
+/// domains whose positions carry two or more distinct terms.
+pub fn connection_violations(query: &ConjunctiveQuery, schema: &Schema) -> Vec<DomainId> {
+    let mut term_of_domain: HashMap<DomainId, &Term> = HashMap::new();
+    let mut violations: Vec<DomainId> = Vec::new();
+    for atom in query.atoms() {
+        let rel = schema.relation(atom.relation());
+        for (k, t) in atom.terms().iter().enumerate() {
+            let d = rel.domain(k);
+            match term_of_domain.get(&d) {
+                None => {
+                    term_of_domain.insert(d, t);
+                }
+                Some(prev) if *prev == t => {}
+                Some(_) => {
+                    if !violations.contains(&d) {
+                        violations.push(d);
+                    }
+                }
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_query;
+
+    #[test]
+    fn parent_self_join_is_connection() {
+        let sc = Schema::parse("parent^oo(Person, Person)").unwrap();
+        let q = parse_query("q(X) <- parent(X, X)", &sc).unwrap();
+        assert!(is_connection_query(&q, &sc));
+    }
+
+    #[test]
+    fn parent_child_is_not_connection() {
+        // Asking for parent-child pairs uses two distinct Person variables.
+        let sc = Schema::parse("parent^oo(Person, Person)").unwrap();
+        let q = parse_query("q(X, Y) <- parent(X, Y)", &sc).unwrap();
+        assert!(!is_connection_query(&q, &sc));
+        assert_eq!(connection_violations(&q, &sc).len(), 1);
+    }
+
+    #[test]
+    fn ground_connection_query() {
+        let sc = Schema::parse("parent^oo(Person, Person)").unwrap();
+        let q = parse_query("q() <- parent('ann', 'ann')", &sc).unwrap();
+        assert!(is_connection_query(&q, &sc));
+    }
+
+    #[test]
+    fn mixed_constant_and_variable_violates() {
+        let sc = Schema::parse("parent^oo(Person, Person)").unwrap();
+        let q = parse_query("q(X) <- parent(X, 'ann')", &sc).unwrap();
+        assert!(!is_connection_query(&q, &sc));
+    }
+
+    #[test]
+    fn all_domains_joined_is_connection() {
+        let sc = Schema::parse("r^oo(A, B) s^oo(B, A)").unwrap();
+        let q = parse_query("q(X) <- r(X, Y), s(Y, X)", &sc).unwrap();
+        assert!(is_connection_query(&q, &sc));
+    }
+
+    #[test]
+    fn paper_q3_is_not_a_connection_query() {
+        let sc = Schema::parse(
+            "pub1^io(Paper, Person)
+             conf^ooo(Paper, ConfName, Year)
+             rev^ooi(Person, ConfName, Year)
+             rev_icde^iio(Person, Paper, Eval)
+             sub^oi(Paper, Person)",
+        )
+        .unwrap();
+        let q3 = parse_query(
+            "q3(R) <- rev_icde(R, S, acc), sub(S, A), pub1(P, R), pub1(P, A), \
+             rev(R, icde, 2008), conf(P, icde, Y)",
+            &sc,
+        )
+        .unwrap();
+        assert!(!is_connection_query(&q3, &sc));
+        // Several domains are violated: Person carries R and A, Paper carries
+        // S and P, Year carries 2008 and Y.
+        assert!(connection_violations(&q3, &sc).len() >= 3);
+    }
+
+    #[test]
+    fn distinct_domains_never_interact() {
+        let sc = Schema::parse("r^oo(A, B) s^oo(C, D)").unwrap();
+        let q = parse_query("q(X) <- r(X, Y), s(Z, W)", &sc).unwrap();
+        assert!(is_connection_query(&q, &sc));
+    }
+}

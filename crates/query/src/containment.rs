@@ -1,0 +1,70 @@
+//! CQ containment and equivalence via the Chandra–Merlin theorem.
+
+use crate::{find_homomorphism, ConjunctiveQuery};
+
+/// `true` when `q1 ⊆ q2`: for every database `D`, `q1(D) ⊆ q2(D)`.
+///
+/// By Chandra–Merlin, this holds iff there is a homomorphism from `q2` onto
+/// `q1` (a *containment mapping*). Both queries must range over the same
+/// schema for the relation ids to be comparable.
+pub fn is_contained_in(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery) -> bool {
+    find_homomorphism(q2, q1).is_some()
+}
+
+/// `true` when `q1 ≡ q2` (containment in both directions).
+pub fn is_equivalent_to(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery) -> bool {
+    is_contained_in(q1, q2) && is_contained_in(q2, q1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_query;
+    use toorjah_catalog::Schema;
+
+    fn schema() -> Schema {
+        Schema::parse("r^oo(A, B) s^oo(B, C)").unwrap()
+    }
+
+    #[test]
+    fn adding_atoms_restricts() {
+        let sc = schema();
+        let small = parse_query("q(X) <- r(X, Y)", &sc).unwrap();
+        let big = parse_query("q(X) <- r(X, Y), s(Y, Z)", &sc).unwrap();
+        assert!(is_contained_in(&big, &small));
+        assert!(!is_contained_in(&small, &big));
+        assert!(!is_equivalent_to(&small, &big));
+    }
+
+    #[test]
+    fn redundant_atom_is_equivalent() {
+        let sc = schema();
+        let q1 = parse_query("q(X) <- r(X, Y), r(X, Y2)", &sc).unwrap();
+        let q2 = parse_query("q(X) <- r(X, Y)", &sc).unwrap();
+        assert!(is_equivalent_to(&q1, &q2));
+    }
+
+    #[test]
+    fn constant_specializes() {
+        let sc = schema();
+        let general = parse_query("q(X) <- r(X, Y)", &sc).unwrap();
+        let specific = parse_query("q(X) <- r(X, 'b')", &sc).unwrap();
+        assert!(is_contained_in(&specific, &general));
+        assert!(!is_contained_in(&general, &specific));
+    }
+
+    #[test]
+    fn reflexive() {
+        let sc = schema();
+        let q = parse_query("q(X) <- r(X, Y), s(Y, Z)", &sc).unwrap();
+        assert!(is_equivalent_to(&q, &q));
+    }
+
+    #[test]
+    fn renamed_variables_are_equivalent() {
+        let sc = schema();
+        let q1 = parse_query("q(X) <- r(X, Y), s(Y, Z)", &sc).unwrap();
+        let q2 = parse_query("q(U) <- r(U, V), s(V, W)", &sc).unwrap();
+        assert!(is_equivalent_to(&q1, &q2));
+    }
+}

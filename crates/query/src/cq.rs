@@ -1,0 +1,488 @@
+//! Conjunctive queries `q(X̄) ← conj(X̄, Ȳ)` (§II of the paper).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use toorjah_catalog::{DomainId, RelationId, Schema, Value};
+
+use crate::{Atom, QueryError, Term, VarId};
+
+/// A conjunctive query resolved against a schema.
+///
+/// Invariants (validated at construction):
+/// * every atom's term count equals its relation's arity;
+/// * the body is non-empty;
+/// * every head variable occurs in the body (*safety*);
+/// * every variable occurs only at positions with one abstract domain.
+///
+/// ```
+/// use toorjah_catalog::Schema;
+/// use toorjah_query::parse_query;
+///
+/// let schema = Schema::parse(
+///     "r1^ioo(Artist, Nation, Year) r2^oio(Title, Year, Artist)").unwrap();
+/// let q = parse_query("q(N) <- r1(A, N, Y1), r2('volare', Y2, A)", &schema).unwrap();
+/// assert_eq!(q.head().len(), 1);
+/// assert_eq!(q.atoms().len(), 2);
+/// assert_eq!(
+///     q.display(&schema).to_string(),
+///     "q(N) ← r1(A, N, Y1), r2('volare', Y2, A)",
+/// );
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ConjunctiveQuery {
+    head_name: String,
+    head: Vec<VarId>,
+    atoms: Vec<Atom>,
+    var_names: Vec<String>,
+}
+
+impl ConjunctiveQuery {
+    /// Builds and validates a CQ from raw parts.
+    ///
+    /// `var_names[i]` is the name of `VarId(i)`; every `VarId` mentioned in
+    /// `head` or `atoms` must index into `var_names`.
+    pub fn from_parts(
+        schema: &Schema,
+        head_name: impl Into<String>,
+        head: Vec<VarId>,
+        atoms: Vec<Atom>,
+        var_names: Vec<String>,
+    ) -> Result<Self, QueryError> {
+        let q = ConjunctiveQuery { head_name: head_name.into(), head, atoms, var_names };
+        q.validate(schema)?;
+        Ok(q)
+    }
+
+    fn validate(&self, schema: &Schema) -> Result<(), QueryError> {
+        if self.atoms.is_empty() {
+            return Err(QueryError::EmptyBody);
+        }
+        // Arity of every atom.
+        for atom in &self.atoms {
+            let rel = schema.relation(atom.relation());
+            if atom.arity() != rel.arity() {
+                return Err(QueryError::AtomArity {
+                    relation: rel.name().to_string(),
+                    expected: rel.arity(),
+                    got: atom.arity(),
+                });
+            }
+        }
+        // Safety: head variables occur in the body.
+        for &h in &self.head {
+            let occurs = self.atoms.iter().any(|a| a.variables().any(|v| v == h));
+            if !occurs {
+                return Err(QueryError::UnsafeHead { variable: self.var_name(h).to_string() });
+            }
+        }
+        // Abstract-domain consistency per variable.
+        let mut domain_of: HashMap<VarId, DomainId> = HashMap::new();
+        for atom in &self.atoms {
+            let rel = schema.relation(atom.relation());
+            for (k, t) in atom.terms().iter().enumerate() {
+                if let Some(v) = t.as_var() {
+                    let d = rel.domain(k);
+                    match domain_of.get(&v) {
+                        None => {
+                            domain_of.insert(v, d);
+                        }
+                        Some(&prev) if prev == d => {}
+                        Some(&prev) => {
+                            return Err(QueryError::DomainConflict {
+                                variable: self.var_name(v).to_string(),
+                                first: schema.domains().name(prev).to_string(),
+                                second: schema.domains().name(d).to_string(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The head predicate name (usually `q`).
+    pub fn head_name(&self) -> &str {
+        &self.head_name
+    }
+
+    /// The head variables `X̄`.
+    pub fn head(&self) -> &[VarId] {
+        &self.head
+    }
+
+    /// The body atoms in order; the index of an atom is its *occurrence*.
+    pub fn atoms(&self) -> &[Atom] {
+        &self.atoms
+    }
+
+    /// Number of distinct variables.
+    pub fn var_count(&self) -> usize {
+        self.var_names.len()
+    }
+
+    /// The name of a variable.
+    ///
+    /// # Panics
+    /// Panics if `v` does not belong to this query.
+    pub fn var_name(&self, v: VarId) -> &str {
+        &self.var_names[v.index()]
+    }
+
+    /// All variable names, indexed by [`VarId`].
+    pub fn var_names(&self) -> &[String] {
+        &self.var_names
+    }
+
+    /// The abstract domain of each variable (`None` for variables that do
+    /// not occur in the body, which validation rules out for head variables).
+    pub fn var_domains(&self, schema: &Schema) -> Vec<Option<DomainId>> {
+        let mut out = vec![None; self.var_names.len()];
+        for atom in &self.atoms {
+            let rel = schema.relation(atom.relation());
+            for (k, t) in atom.terms().iter().enumerate() {
+                if let Some(v) = t.as_var() {
+                    out[v.index()] = Some(rel.domain(k));
+                }
+            }
+        }
+        out
+    }
+
+    /// Distinct constants occurring in the body, each with the abstract
+    /// domain of (one of) the positions it occurs at.
+    ///
+    /// A constant may occur at positions of several domains; one entry is
+    /// returned per distinct `(value, domain)` pair, in first-occurrence
+    /// order.
+    pub fn constants(&self, schema: &Schema) -> Vec<(Value, DomainId)> {
+        let mut seen = Vec::new();
+        for atom in &self.atoms {
+            let rel = schema.relation(atom.relation());
+            for (k, t) in atom.terms().iter().enumerate() {
+                if let Some(c) = t.as_const() {
+                    let entry = (c.clone(), rel.domain(k));
+                    if !seen.contains(&entry) {
+                        seen.push(entry);
+                    }
+                }
+            }
+        }
+        seen
+    }
+
+    /// `true` when no constant occurs in the body.
+    pub fn is_constant_free(&self) -> bool {
+        self.atoms.iter().all(|a| !a.has_constants())
+    }
+
+    /// Positions `(occurrence, position)` at which `v` occurs.
+    pub fn positions_of_var(&self, v: VarId) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for (i, atom) in self.atoms.iter().enumerate() {
+            for k in atom.positions_of(v) {
+                out.push((i, k));
+            }
+        }
+        out
+    }
+
+    /// Variables that occur at two or more positions (join variables).
+    pub fn join_variables(&self) -> Vec<VarId> {
+        (0..self.var_names.len() as u32)
+            .map(VarId)
+            .filter(|&v| self.positions_of_var(v).len() >= 2)
+            .collect()
+    }
+
+    /// Whether the query contains at least one join (a variable shared by
+    /// two positions). Used by the §V workload filter ("contains at least
+    /// one join").
+    pub fn has_join(&self) -> bool {
+        !self.join_variables().is_empty()
+    }
+
+    /// Number of occurrences of `rel` in the body.
+    pub fn occurrences_of(&self, rel: RelationId) -> usize {
+        self.atoms.iter().filter(|a| a.relation() == rel).count()
+    }
+
+    /// Distinct relations occurring in the body.
+    pub fn relations(&self) -> Vec<RelationId> {
+        let mut out: Vec<RelationId> = Vec::new();
+        for a in &self.atoms {
+            if !out.contains(&a.relation()) {
+                out.push(a.relation());
+            }
+        }
+        out
+    }
+
+    /// A copy of the query keeping only the atoms at `kept` (indices into
+    /// [`ConjunctiveQuery::atoms`]). Head and variable table are preserved;
+    /// the caller must ensure the result is still safe before using it as a
+    /// standalone query (minimization checks candidate removals itself).
+    pub fn with_atoms(&self, kept: &[usize]) -> ConjunctiveQuery {
+        ConjunctiveQuery {
+            head_name: self.head_name.clone(),
+            head: self.head.clone(),
+            atoms: kept.iter().map(|&i| self.atoms[i].clone()).collect(),
+            var_names: self.var_names.clone(),
+        }
+    }
+
+    /// Renders the query in the paper's notation, e.g.
+    /// `q(C) ← r1('a', B), r2(B, C)`.
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> impl fmt::Display + 'a {
+        DisplayCq { q: self, schema }
+    }
+}
+
+struct DisplayCq<'a> {
+    q: &'a ConjunctiveQuery,
+    schema: &'a Schema,
+}
+
+impl fmt::Display for DisplayCq<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.q.head_name)?;
+        for (i, v) in self.q.head.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            f.write_str(self.q.var_name(*v))?;
+        }
+        f.write_str(") ← ")?;
+        for (i, atom) in self.q.atoms.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            f.write_str(&atom.render(self.schema, &self.q.var_names))?;
+        }
+        Ok(())
+    }
+}
+
+/// Convenience builder for constructing CQs programmatically.
+///
+/// ```
+/// use toorjah_catalog::{Schema, Value};
+/// use toorjah_query::CqBuilder;
+///
+/// let schema = Schema::parse("r1^io(A, B) r2^io(B, C)").unwrap();
+/// let q = CqBuilder::new(&schema, "q")
+///     .head_var("C")
+///     .atom("r1", |t| vec![t.constant(Value::from("a")), t.var("B")]).unwrap()
+///     .atom("r2", |t| vec![t.var("B"), t.var("C")]).unwrap()
+///     .finish().unwrap();
+/// assert_eq!(q.display(&schema).to_string(), "q(C) ← r1('a', B), r2(B, C)");
+/// ```
+pub struct CqBuilder<'s> {
+    schema: &'s Schema,
+    head_name: String,
+    head_names: Vec<String>,
+    var_names: Vec<String>,
+    by_name: HashMap<String, VarId>,
+    atoms: Vec<Atom>,
+    error: Option<QueryError>,
+}
+
+/// Term factory handed to [`CqBuilder::atom`] closures.
+pub struct TermFactory<'b> {
+    var_names: &'b mut Vec<String>,
+    by_name: &'b mut HashMap<String, VarId>,
+}
+
+impl TermFactory<'_> {
+    /// A variable term, interning the name.
+    pub fn var(&mut self, name: &str) -> Term {
+        if let Some(&v) = self.by_name.get(name) {
+            return Term::Var(v);
+        }
+        let v = VarId(self.var_names.len() as u32);
+        self.var_names.push(name.to_string());
+        self.by_name.insert(name.to_string(), v);
+        Term::Var(v)
+    }
+
+    /// A constant term.
+    pub fn constant(&mut self, value: Value) -> Term {
+        Term::Const(value)
+    }
+}
+
+impl<'s> CqBuilder<'s> {
+    /// Starts a query with the given head predicate name.
+    pub fn new(schema: &'s Schema, head_name: &str) -> Self {
+        CqBuilder {
+            schema,
+            head_name: head_name.to_string(),
+            head_names: Vec::new(),
+            var_names: Vec::new(),
+            by_name: HashMap::new(),
+            atoms: Vec::new(),
+            error: None,
+        }
+    }
+
+    /// Appends a head variable (by name); chainable.
+    pub fn head_var(mut self, name: &str) -> Self {
+        self.head_names.push(name.to_string());
+        self
+    }
+
+    /// Appends a body atom. The closure receives a [`TermFactory`] for
+    /// creating variable/constant terms.
+    pub fn atom(
+        mut self,
+        relation: &str,
+        f: impl FnOnce(&mut TermFactory<'_>) -> Vec<Term>,
+    ) -> Result<Self, QueryError> {
+        let rel = self
+            .schema
+            .relation_id(relation)
+            .ok_or_else(|| QueryError::UnknownRelation(relation.to_string()))?;
+        let mut factory =
+            TermFactory { var_names: &mut self.var_names, by_name: &mut self.by_name };
+        let terms = f(&mut factory);
+        self.atoms.push(Atom::new(rel, terms));
+        Ok(self)
+    }
+
+    /// Validates and returns the query.
+    pub fn finish(mut self) -> Result<ConjunctiveQuery, QueryError> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        let mut head = Vec::with_capacity(self.head_names.len());
+        for name in &self.head_names {
+            match self.by_name.get(name) {
+                Some(&v) => head.push(v),
+                None => return Err(QueryError::UnsafeHead { variable: name.clone() }),
+            }
+        }
+        ConjunctiveQuery::from_parts(
+            self.schema,
+            self.head_name,
+            head,
+            self.atoms,
+            self.var_names,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_query;
+
+    fn schema() -> Schema {
+        Schema::parse("r1^io(A, B) r2^io(B, C) r3^io(C, A)").unwrap()
+    }
+
+    #[test]
+    fn example3_query_builds() {
+        // q(C) ← r1(a, B), r2(B, C) from Example 3.
+        let s = schema();
+        let q = parse_query("q(C) <- r1('a', B), r2(B, C)", &s).unwrap();
+        assert_eq!(q.head().len(), 1);
+        assert!(!q.is_constant_free());
+        assert_eq!(q.constants(&s).len(), 1);
+        assert_eq!(q.relations().len(), 2);
+    }
+
+    #[test]
+    fn join_variables_detected() {
+        let s = schema();
+        let q = parse_query("q(C) <- r1('a', B), r2(B, C)", &s).unwrap();
+        let joins = q.join_variables();
+        assert_eq!(joins.len(), 1);
+        assert_eq!(q.var_name(joins[0]), "B");
+        assert!(q.has_join());
+    }
+
+    #[test]
+    fn no_join_query() {
+        let s = Schema::parse("r1^o(A) r2^o(B)").unwrap();
+        let q = parse_query("q(X) <- r1(X), r2(Y)", &s).unwrap();
+        assert!(!q.has_join());
+    }
+
+    #[test]
+    fn unsafe_head_rejected() {
+        let s = schema();
+        let err = parse_query("q(Z) <- r1('a', B)", &s).unwrap_err();
+        assert!(matches!(err, QueryError::UnsafeHead { .. }));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let s = schema();
+        let err = parse_query("q(B) <- r1('a', B, C)", &s).unwrap_err();
+        assert!(matches!(err, QueryError::AtomArity { .. }));
+    }
+
+    #[test]
+    fn domain_conflict_rejected() {
+        // X would have to be both A (r1 pos 0) and B (r1 pos 1).
+        let s = schema();
+        let err = parse_query("q(X) <- r1(X, X)", &s).unwrap_err();
+        assert!(matches!(err, QueryError::DomainConflict { .. }));
+    }
+
+    #[test]
+    fn same_domain_self_join_allowed() {
+        let s = Schema::parse("parent^oo(Person, Person)").unwrap();
+        let q = parse_query("q(X) <- parent(X, X)", &s).unwrap();
+        assert_eq!(q.positions_of_var(q.head()[0]).len(), 2);
+    }
+
+    #[test]
+    fn empty_body_rejected() {
+        let s = schema();
+        let err = ConjunctiveQuery::from_parts(&s, "q", vec![], vec![], vec![]).unwrap_err();
+        assert!(matches!(err, QueryError::EmptyBody));
+    }
+
+    #[test]
+    fn with_atoms_projects_body() {
+        let s = schema();
+        let q = parse_query("q(C) <- r1('a', B), r2(B, C), r3(C, A)", &s).unwrap();
+        let sub = q.with_atoms(&[0, 1]);
+        assert_eq!(sub.atoms().len(), 2);
+        assert_eq!(sub.head(), q.head());
+    }
+
+    #[test]
+    fn occurrences_counted_per_atom() {
+        let s = Schema::parse("pub1^io(Paper, Person) sub^oi(Paper, Person)").unwrap();
+        let q = parse_query("q(R) <- pub1(P, R), pub1(P, A), sub(S, A)", &s).unwrap();
+        let pub1 = s.relation_id("pub1").unwrap();
+        assert_eq!(q.occurrences_of(pub1), 2);
+        assert_eq!(q.relations().len(), 2);
+    }
+
+    #[test]
+    fn var_domains_resolved() {
+        let s = schema();
+        let q = parse_query("q(C) <- r1('a', B), r2(B, C)", &s).unwrap();
+        let doms = q.var_domains(&s);
+        let b = q.var_names().iter().position(|n| n == "B").unwrap();
+        assert_eq!(doms[b], Some(s.domains().lookup("B").unwrap()));
+    }
+
+    #[test]
+    fn builder_rejects_unknown_relation() {
+        let s = schema();
+        let res = CqBuilder::new(&s, "q").atom("nope", |t| vec![t.var("X")]);
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let s = schema();
+        let q = parse_query("q(C)<-r1('a',B),r2(B,C)", &s).unwrap();
+        assert_eq!(q.display(&s).to_string(), "q(C) ← r1('a', B), r2(B, C)");
+    }
+}

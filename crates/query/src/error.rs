@@ -1,0 +1,139 @@
+//! Error type for query construction, parsing and preprocessing.
+
+use std::error::Error;
+use std::fmt;
+
+use toorjah_catalog::CatalogError;
+
+/// Errors raised while building, parsing or transforming queries.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum QueryError {
+    /// A body atom refers to a relation not in the schema.
+    UnknownRelation(String),
+    /// A body atom's term count differs from the relation's arity.
+    AtomArity {
+        /// Relation name.
+        relation: String,
+        /// Declared arity.
+        expected: usize,
+        /// Number of terms in the atom.
+        got: usize,
+    },
+    /// A head variable does not occur in the body (unsafe query).
+    UnsafeHead {
+        /// The offending variable's name.
+        variable: String,
+    },
+    /// A variable occurs at positions with different abstract domains.
+    DomainConflict {
+        /// The offending variable's name.
+        variable: String,
+        /// Name of the first domain it was seen at.
+        first: String,
+        /// Name of the conflicting domain.
+        second: String,
+    },
+    /// The query text could not be parsed.
+    Parse {
+        /// Offending fragment (possibly the whole text).
+        fragment: String,
+        /// Why parsing failed.
+        reason: String,
+    },
+    /// Head terms must be variables.
+    ConstantInHead,
+    /// The query has no body atoms.
+    EmptyBody,
+    /// A negated atom uses a variable that has no positive occurrence.
+    UnsafeNegation {
+        /// The offending variable's name.
+        variable: String,
+        /// The negated atom's relation.
+        relation: String,
+    },
+    /// A UCQ mixes CQs with different head arities.
+    MixedHeadArity {
+        /// Arity of the first CQ.
+        expected: usize,
+        /// Arity of the offending CQ.
+        got: usize,
+    },
+    /// An underlying catalog error (e.g. while extending the schema during
+    /// preprocessing).
+    Catalog(CatalogError),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::UnknownRelation(name) => {
+                write!(f, "query mentions unknown relation {name}")
+            }
+            QueryError::AtomArity { relation, expected, got } => write!(
+                f,
+                "atom over {relation} has {got} term(s) but the relation has arity {expected}"
+            ),
+            QueryError::UnsafeHead { variable } => write!(
+                f,
+                "head variable {variable} does not occur in the body (query is unsafe)"
+            ),
+            QueryError::DomainConflict { variable, first, second } => write!(
+                f,
+                "variable {variable} occurs at positions of different abstract domains ({first} vs {second})"
+            ),
+            QueryError::Parse { fragment, reason } => {
+                write!(f, "cannot parse query fragment {fragment:?}: {reason}")
+            }
+            QueryError::ConstantInHead => f.write_str("head terms must be variables"),
+            QueryError::EmptyBody => f.write_str("query body must contain at least one atom"),
+            QueryError::UnsafeNegation { variable, relation } => write!(
+                f,
+                "negated atom over {relation} uses variable {variable} with no positive occurrence (unsafe negation)"
+            ),
+            QueryError::MixedHeadArity { expected, got } => write!(
+                f,
+                "all CQs of a union must share the head arity (expected {expected}, got {got})"
+            ),
+            QueryError::Catalog(e) => write!(f, "catalog error: {e}"),
+        }
+    }
+}
+
+impl Error for QueryError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            QueryError::Catalog(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CatalogError> for QueryError {
+    fn from(e: CatalogError) -> Self {
+        QueryError::Catalog(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_offenders() {
+        let e = QueryError::AtomArity { relation: "rev".into(), expected: 3, got: 2 };
+        assert!(e.to_string().contains("rev"));
+        let e = QueryError::DomainConflict {
+            variable: "X".into(),
+            first: "Paper".into(),
+            second: "Person".into(),
+        };
+        assert!(e.to_string().contains("Paper") && e.to_string().contains("Person"));
+    }
+
+    #[test]
+    fn catalog_errors_are_wrapped() {
+        let e: QueryError = CatalogError::UnknownRelation("r".into()).into();
+        assert!(matches!(e, QueryError::Catalog(_)));
+        assert!(Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,210 @@
+//! Homomorphisms between conjunctive queries (Chandra–Merlin machinery).
+
+use std::collections::HashMap;
+
+use crate::{ConjunctiveQuery, Term, VarId};
+
+/// A homomorphism: a substitution from the variables of one query to terms
+/// of another.
+pub type Homomorphism = HashMap<VarId, Term>;
+
+/// Finds a homomorphism `h` from `from` onto `onto`, i.e. a variable
+/// substitution such that
+///
+/// * `h` is the identity on constants,
+/// * `h` maps the head of `from` elementwise onto the head of `onto`, and
+/// * for every body atom `r(t̄)` of `from`, `r(h(t̄))` is a body atom of
+///   `onto`.
+///
+/// Returns `None` when the head shapes are incompatible or no mapping exists.
+/// By the Chandra–Merlin theorem, `onto ⊆ from` holds exactly when such a
+/// homomorphism exists (see [`crate::is_contained_in`]).
+pub fn find_homomorphism(
+    from: &ConjunctiveQuery,
+    onto: &ConjunctiveQuery,
+) -> Option<Homomorphism> {
+    if from.head().len() != onto.head().len() {
+        return None;
+    }
+    // Seed with the head mapping; repeated head variables must be consistent.
+    let mut subst: Homomorphism = HashMap::new();
+    for (&f, &o) in from.head().iter().zip(onto.head().iter()) {
+        match subst.get(&f) {
+            None => {
+                subst.insert(f, Term::Var(o));
+            }
+            Some(Term::Var(prev)) if *prev == o => {}
+            _ => return None,
+        }
+    }
+
+    // Pre-index target atoms by relation to cut the branching factor.
+    let mut by_relation: HashMap<_, Vec<usize>> = HashMap::new();
+    for (i, atom) in onto.atoms().iter().enumerate() {
+        by_relation.entry(atom.relation()).or_default().push(i);
+    }
+
+    // Order source atoms so that highly-constrained ones (more constants,
+    // fewer candidate targets) are matched first.
+    let mut order: Vec<usize> = (0..from.atoms().len()).collect();
+    order.sort_by_key(|&i| {
+        let atom = &from.atoms()[i];
+        let candidates = by_relation.get(&atom.relation()).map_or(0, Vec::len);
+        let constants = atom.terms().iter().filter(|t| t.is_const()).count();
+        (candidates, usize::MAX - constants)
+    });
+
+    if search(from, onto, &by_relation, &order, 0, &mut subst) {
+        Some(subst)
+    } else {
+        None
+    }
+}
+
+fn search(
+    from: &ConjunctiveQuery,
+    onto: &ConjunctiveQuery,
+    by_relation: &HashMap<toorjah_catalog::RelationId, Vec<usize>>,
+    order: &[usize],
+    depth: usize,
+    subst: &mut Homomorphism,
+) -> bool {
+    let Some(&atom_idx) = order.get(depth) else {
+        return true;
+    };
+    let atom = &from.atoms()[atom_idx];
+    let Some(candidates) = by_relation.get(&atom.relation()) else {
+        return false;
+    };
+    'candidates: for &cand in candidates {
+        let target = &onto.atoms()[cand];
+        let mut added: Vec<VarId> = Vec::new();
+        for (t, u) in atom.terms().iter().zip(target.terms().iter()) {
+            match t {
+                Term::Const(c) => {
+                    // Constants map to themselves.
+                    if u.as_const() != Some(c) {
+                        undo(subst, &added);
+                        continue 'candidates;
+                    }
+                }
+                Term::Var(v) => match subst.get(v) {
+                    Some(mapped) => {
+                        if mapped != u {
+                            undo(subst, &added);
+                            continue 'candidates;
+                        }
+                    }
+                    None => {
+                        subst.insert(*v, u.clone());
+                        added.push(*v);
+                    }
+                },
+            }
+        }
+        if search(from, onto, by_relation, order, depth + 1, subst) {
+            return true;
+        }
+        undo(subst, &added);
+    }
+    false
+}
+
+fn undo(subst: &mut Homomorphism, added: &[VarId]) {
+    for v in added {
+        subst.remove(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_query;
+    use toorjah_catalog::Schema;
+
+    fn schema() -> Schema {
+        Schema::parse("r^oo(A, B) s^oo(B, C) t^oo(A, A)").unwrap()
+    }
+
+    #[test]
+    fn identity_homomorphism_exists() {
+        let sc = schema();
+        let q = parse_query("q(X) <- r(X, Y), s(Y, Z)", &sc).unwrap();
+        assert!(find_homomorphism(&q, &q).is_some());
+    }
+
+    #[test]
+    fn folding_onto_smaller_query() {
+        let sc = schema();
+        // q1 has a redundant second r-atom that folds onto the first.
+        let q1 = parse_query("q(X) <- r(X, Y), r(X, Y2)", &sc).unwrap();
+        let q2 = parse_query("q(X) <- r(X, Y)", &sc).unwrap();
+        let h = find_homomorphism(&q1, &q2).unwrap();
+        // Both Y and Y2 map to q2's Y.
+        assert_eq!(h.len(), 3);
+        assert!(find_homomorphism(&q2, &q1).is_some());
+    }
+
+    #[test]
+    fn constants_block_mapping() {
+        let sc = schema();
+        let q1 = parse_query("q(X) <- r(X, 'b')", &sc).unwrap();
+        let q2 = parse_query("q(X) <- r(X, 'c')", &sc).unwrap();
+        assert!(find_homomorphism(&q1, &q2).is_none());
+        assert!(find_homomorphism(&q2, &q1).is_none());
+        // Variable can map onto a constant, though:
+        let q3 = parse_query("q(X) <- r(X, Y)", &sc).unwrap();
+        assert!(find_homomorphism(&q3, &q1).is_some());
+        assert!(find_homomorphism(&q1, &q3).is_none());
+    }
+
+    #[test]
+    fn head_must_be_preserved() {
+        let sc = schema();
+        let q1 = parse_query("q(X) <- r(X, Y)", &sc).unwrap();
+        let q2 = parse_query("q(Y) <- r(X, Y)", &sc).unwrap();
+        // Head of q1 (an A-position var) cannot map to q2's head (a B-position
+        // var) because the atoms wouldn't align.
+        assert!(find_homomorphism(&q1, &q2).is_none());
+    }
+
+    #[test]
+    fn head_arity_mismatch() {
+        let sc = schema();
+        let q1 = parse_query("q(X) <- r(X, Y)", &sc).unwrap();
+        let q2 = parse_query("q(X, Y) <- r(X, Y)", &sc).unwrap();
+        assert!(find_homomorphism(&q1, &q2).is_none());
+    }
+
+    #[test]
+    fn repeated_head_variable_consistency() {
+        let sc = schema();
+        let q1 = parse_query("q(X, X) <- t(X, X)", &sc).unwrap();
+        let q2 = parse_query("q(X, Y) <- t(X, Y)", &sc).unwrap();
+        // q1's repeated head cannot map onto q2's distinct head pair.
+        assert!(find_homomorphism(&q1, &q2).is_none());
+        // But the converse direction maps both X and Y to q1's X.
+        assert!(find_homomorphism(&q2, &q1).is_some());
+    }
+
+    #[test]
+    fn missing_relation_in_target() {
+        let sc = schema();
+        let q1 = parse_query("q(X) <- r(X, Y), s(Y, Z)", &sc).unwrap();
+        let q2 = parse_query("q(X) <- r(X, Y)", &sc).unwrap();
+        assert!(find_homomorphism(&q1, &q2).is_none());
+    }
+
+    #[test]
+    fn path_folds_onto_shorter_path_without_head() {
+        let sc = Schema::parse("e^oo(V, V)").unwrap();
+        // Boolean queries: a 2-path maps onto a 1-cycle... no cycle here, but
+        // a 2-path maps onto itself reversed? Relations are directed, so no.
+        let two = parse_query("q() <- e(X, Y), e(Y, Z)", &sc).unwrap();
+        let one = parse_query("q() <- e(X, X)", &sc).unwrap();
+        // 2-path folds onto the self-loop.
+        assert!(find_homomorphism(&two, &one).is_some());
+        // Self-loop does not fold onto the plain 2-path.
+        assert!(find_homomorphism(&one, &two).is_none());
+    }
+}

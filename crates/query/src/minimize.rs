@@ -1,0 +1,135 @@
+//! CQ minimization (core computation).
+//!
+//! §IV of the paper assumes plans are generated from a *minimal* CQ: one with
+//! no equivalent query over a strict subset of its body atoms. Finding the
+//! minimal equivalent of a CQ is NP-complete (Chandra & Merlin, STOC'77); the
+//! standard core-computation below is exact and fast for the small queries
+//! (2–6 atoms) of the paper's workloads.
+
+use crate::{find_homomorphism, ConjunctiveQuery};
+
+/// Returns the minimal equivalent of `query` (its *core*): atoms are removed
+/// greedily while an endomorphism onto the remaining atoms exists. The result
+/// is unique up to isomorphism.
+pub fn minimize(query: &ConjunctiveQuery) -> ConjunctiveQuery {
+    let mut current = query.clone();
+    loop {
+        let n = current.atoms().len();
+        if n <= 1 {
+            return current;
+        }
+        let mut reduced = None;
+        for drop in 0..n {
+            let kept: Vec<usize> = (0..n).filter(|&i| i != drop).collect();
+            let candidate = current.with_atoms(&kept);
+            if !is_safe(&candidate) {
+                continue;
+            }
+            // `candidate` (fewer atoms) is more general: current ⊆ candidate
+            // always. Equivalence needs candidate ⊆ current, i.e. a
+            // homomorphism from `current` onto `candidate`.
+            if find_homomorphism(&current, &candidate).is_some() {
+                reduced = Some(candidate);
+                break;
+            }
+        }
+        match reduced {
+            Some(c) => current = c,
+            None => return current,
+        }
+    }
+}
+
+/// `true` when no single atom can be dropped while preserving equivalence.
+pub fn is_minimal(query: &ConjunctiveQuery) -> bool {
+    minimize(query).atoms().len() == query.atoms().len()
+}
+
+/// All head variables occur in the body.
+fn is_safe(query: &ConjunctiveQuery) -> bool {
+    query
+        .head()
+        .iter()
+        .all(|&h| query.atoms().iter().any(|a| a.variables().any(|v| v == h)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{is_equivalent_to, parse_query};
+    use toorjah_catalog::Schema;
+
+    fn schema() -> Schema {
+        Schema::parse("r^oo(A, B) s^oo(B, C) e^oo(V, V)").unwrap()
+    }
+
+    #[test]
+    fn already_minimal_query_is_kept() {
+        let sc = schema();
+        let q = parse_query("q(X) <- r(X, Y), s(Y, Z)", &sc).unwrap();
+        let m = minimize(&q);
+        assert_eq!(m.atoms().len(), 2);
+        assert!(is_minimal(&q));
+    }
+
+    #[test]
+    fn redundant_atom_removed() {
+        let sc = schema();
+        let q = parse_query("q(X) <- r(X, Y), r(X, Y2)", &sc).unwrap();
+        let m = minimize(&q);
+        assert_eq!(m.atoms().len(), 1);
+        assert!(is_equivalent_to(&m, &q));
+        assert!(!is_minimal(&q));
+    }
+
+    #[test]
+    fn head_variables_protect_atoms() {
+        let sc = schema();
+        // Both atoms bind head variables in incompatible ways: nothing to drop.
+        let q = parse_query("q(X, Z) <- r(X, Y), s(Y, Z)", &sc).unwrap();
+        assert!(is_minimal(&q));
+    }
+
+    #[test]
+    fn chain_folds_onto_self_loop() {
+        let sc = schema();
+        // Boolean: a 3-path plus a self-loop; everything folds onto the loop.
+        let q = parse_query("q() <- e(X, Y), e(Y, Z), e(W, W)", &sc).unwrap();
+        let m = minimize(&q);
+        assert_eq!(m.atoms().len(), 1);
+        assert!(is_equivalent_to(&m, &q));
+    }
+
+    #[test]
+    fn constants_prevent_folding() {
+        let sc = schema();
+        let q = parse_query("q(X) <- r(X, 'b'), r(X, Y)", &sc).unwrap();
+        let m = minimize(&q);
+        // r(X, Y) folds onto r(X, 'b'); the constant atom must remain.
+        assert_eq!(m.atoms().len(), 1);
+        assert!(!m.is_constant_free());
+    }
+
+    #[test]
+    fn distinct_constants_both_remain() {
+        let sc = schema();
+        let q = parse_query("q(X) <- r(X, 'b'), r(X, 'c')", &sc).unwrap();
+        assert!(is_minimal(&q));
+    }
+
+    #[test]
+    fn minimization_is_idempotent() {
+        let sc = schema();
+        let q = parse_query("q() <- e(X, Y), e(Y, Z), e(Z, W), e(V, V)", &sc).unwrap();
+        let m1 = minimize(&q);
+        let m2 = minimize(&m1);
+        assert_eq!(m1.atoms().len(), m2.atoms().len());
+    }
+
+    #[test]
+    fn single_atom_is_trivially_minimal() {
+        let sc = schema();
+        let q = parse_query("q(X) <- r(X, Y)", &sc).unwrap();
+        assert!(is_minimal(&q));
+    }
+}

@@ -1,0 +1,359 @@
+//! Text parser for the paper's query notation.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! query  := head ("<-" | ":-" | "←") body
+//! head   := ident "(" [ variable { "," variable } ] ")"
+//! body   := atom { "," atom }
+//! atom   := ident "(" [ term { "," term } ] ")"
+//! term   := variable | constant
+//! ```
+//!
+//! Identifiers starting with an uppercase letter (or `_`) are **variables**;
+//! `_` alone is an anonymous variable (fresh per occurrence). Constants are
+//! single-quoted strings (`'volare'`), integers (`2008`), or
+//! lowercase-initial identifiers (`rej`, `icde` — the paper's style).
+
+use std::collections::HashMap;
+
+use toorjah_catalog::{Schema, Value};
+
+use crate::{Atom, ConjunctiveQuery, QueryError, Term, VarId};
+
+/// Parses a conjunctive query against a schema.
+///
+/// ```
+/// use toorjah_catalog::Schema;
+/// use toorjah_query::parse_query;
+///
+/// let schema = Schema::parse(
+///     "rev_icde^iio(Person, Paper, Eval)
+///      conf^ooo(Paper, ConfName, Year)
+///      rev^ooi(Person, ConfName, Year)").unwrap();
+/// let q2 = parse_query(
+///     "q2(R) <- rev_icde(R, P, rej), conf(P, C, Y), rev(R, C, Y)",
+///     &schema,
+/// ).unwrap();
+/// assert_eq!(q2.atoms().len(), 3);
+/// ```
+pub fn parse_query(text: &str, schema: &Schema) -> Result<ConjunctiveQuery, QueryError> {
+    Parser::new(text).parse(schema)
+}
+
+struct Parser<'t> {
+    text: &'t str,
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl<'t> Parser<'t> {
+    fn new(text: &'t str) -> Self {
+        Parser { text, chars: text.chars().collect(), pos: 0 }
+    }
+
+    fn error(&self, reason: impl Into<String>) -> QueryError {
+        QueryError::Parse { fragment: self.text.to_string(), reason: reason.into() }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.chars.len() && self.chars[self.pos].is_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), QueryError> {
+        self.skip_ws();
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {c:?} at offset {}", self.pos)))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, QueryError> {
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || c == '_' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.error(format!("expected an identifier at offset {start}")));
+        }
+        Ok(self.chars[start..self.pos].iter().collect())
+    }
+
+    fn arrow(&mut self) -> Result<(), QueryError> {
+        self.skip_ws();
+        if self.eat('←') {
+            return Ok(());
+        }
+        if self.eat('<') && self.eat('-') {
+            return Ok(());
+        }
+        if self.eat(':') && self.eat('-') {
+            return Ok(());
+        }
+        Err(self.error("expected '<-', ':-' or '←' after the head"))
+    }
+
+    fn parse(mut self, schema: &Schema) -> Result<ConjunctiveQuery, QueryError> {
+        let mut vars = VarTable::default();
+
+        // Head.
+        let head_name = self.ident()?;
+        self.expect('(')?;
+        let mut head = Vec::new();
+        self.skip_ws();
+        if !self.eat(')') {
+            loop {
+                let term = self.term(&mut vars)?;
+                match term {
+                    Term::Var(v) => head.push(v),
+                    Term::Const(_) => return Err(QueryError::ConstantInHead),
+                }
+                self.skip_ws();
+                if self.eat(')') {
+                    break;
+                }
+                self.expect(',')?;
+            }
+        }
+        self.arrow()?;
+
+        // Body.
+        let mut atoms = Vec::new();
+        loop {
+            let name = self.ident()?;
+            let rel = schema
+                .relation_id(&name)
+                .ok_or_else(|| QueryError::UnknownRelation(name.clone()))?;
+            self.expect('(')?;
+            let mut terms = Vec::new();
+            self.skip_ws();
+            if !self.eat(')') {
+                loop {
+                    terms.push(self.term(&mut vars)?);
+                    self.skip_ws();
+                    if self.eat(')') {
+                        break;
+                    }
+                    self.expect(',')?;
+                }
+            }
+            atoms.push(Atom::new(rel, terms));
+            self.skip_ws();
+            if !self.eat(',') {
+                break;
+            }
+        }
+        self.skip_ws();
+        if self.pos != self.chars.len() {
+            return Err(self.error(format!("trailing input at offset {}", self.pos)));
+        }
+
+        ConjunctiveQuery::from_parts(schema, head_name, head, atoms, vars.names)
+    }
+
+    fn term(&mut self, vars: &mut VarTable) -> Result<Term, QueryError> {
+        self.skip_ws();
+        match self.peek() {
+            Some('\'') => {
+                self.pos += 1;
+                let start = self.pos;
+                while let Some(c) = self.peek() {
+                    if c == '\'' {
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                if self.peek() != Some('\'') {
+                    return Err(self.error("unterminated string constant"));
+                }
+                let s: String = self.chars[start..self.pos].iter().collect();
+                self.pos += 1;
+                Ok(Term::Const(Value::str(s)))
+            }
+            Some(c) if c.is_ascii_digit() || c == '-' => {
+                let start = self.pos;
+                if c == '-' {
+                    self.pos += 1;
+                }
+                while matches!(self.peek(), Some(d) if d.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+                let s: String = self.chars[start..self.pos].iter().collect();
+                let n: i64 = s
+                    .parse()
+                    .map_err(|_| self.error(format!("invalid integer constant {s:?}")))?;
+                Ok(Term::Const(Value::int(n)))
+            }
+            Some(c) if c.is_alphabetic() || c == '_' => {
+                let name = self.ident()?;
+                if name == "_" {
+                    Ok(Term::Var(vars.fresh_anonymous()))
+                } else if name.starts_with(|c: char| c.is_uppercase() || c == '_') {
+                    Ok(Term::Var(vars.intern(&name)))
+                } else {
+                    Ok(Term::Const(Value::str(name)))
+                }
+            }
+            other => Err(self.error(format!("expected a term, found {other:?}"))),
+        }
+    }
+}
+
+#[derive(Default)]
+struct VarTable {
+    names: Vec<String>,
+    by_name: HashMap<String, VarId>,
+    anon_count: usize,
+}
+
+impl VarTable {
+    fn intern(&mut self, name: &str) -> VarId {
+        if let Some(&v) = self.by_name.get(name) {
+            return v;
+        }
+        let v = VarId(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.by_name.insert(name.to_string(), v);
+        v
+    }
+
+    fn fresh_anonymous(&mut self) -> VarId {
+        let v = VarId(self.names.len() as u32);
+        self.anon_count += 1;
+        self.names.push(format!("_{}", self.anon_count));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::parse(
+            "pub1^io(Paper, Person)
+             conf^ooo(Paper, ConfName, Year)
+             rev^ooi(Person, ConfName, Year)
+             rev_icde^iio(Person, Paper, Eval)
+             sub^oi(Paper, Person)",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn parses_paper_q1() {
+        let s = schema();
+        let q = parse_query("q1(R) <- pub1(P, R), conf(P, C, Y), rev(R, C, Y)", &s).unwrap();
+        assert_eq!(q.atoms().len(), 3);
+        assert_eq!(q.head().len(), 1);
+        assert!(q.is_constant_free());
+    }
+
+    #[test]
+    fn parses_paper_q3_with_constants() {
+        let s = schema();
+        let q = parse_query(
+            "q3(R) <- rev_icde(R, S, acc), sub(S, A), pub1(P, R), pub1(P, A), \
+             rev(R, icde, 2008), conf(P, icde, Y)",
+            &s,
+        )
+        .unwrap();
+        assert_eq!(q.atoms().len(), 6);
+        // Constants: acc (Eval), icde (ConfName), 2008 (Year).
+        assert_eq!(q.constants(&s).len(), 3);
+    }
+
+    #[test]
+    fn lowercase_identifiers_are_string_constants() {
+        let s = schema();
+        let q = parse_query("q(R) <- rev_icde(R, P, rej), pub1(P, R)", &s).unwrap();
+        let c = &q.constants(&s)[0];
+        assert_eq!(c.0, Value::from("rej"));
+    }
+
+    #[test]
+    fn integers_parse_signed() {
+        let s = Schema::parse("r^oo(A, N)").unwrap();
+        let q = parse_query("q(X) <- r(X, -5)", &s).unwrap();
+        assert_eq!(q.constants(&s)[0].0, Value::from(-5));
+    }
+
+    #[test]
+    fn anonymous_variables_are_fresh() {
+        let s = schema();
+        let q = parse_query("q(R) <- pub1(_, R), pub1(_, R)", &s).unwrap();
+        // The two `_` must not join.
+        assert_eq!(q.join_variables().len(), 1); // only R
+        assert_eq!(q.var_count(), 3);
+    }
+
+    #[test]
+    fn alternative_arrows() {
+        let s = schema();
+        for arrow in ["<-", ":-", "←"] {
+            let text = format!("q(R) {arrow} pub1(P, R)");
+            assert!(parse_query(&text, &s).is_ok(), "arrow {arrow}");
+        }
+    }
+
+    #[test]
+    fn boolean_query_allowed() {
+        let s = schema();
+        let q = parse_query("q() <- conf(P, C, Y)", &s).unwrap();
+        assert!(q.head().is_empty());
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let s = schema();
+        assert!(matches!(
+            parse_query("q(R) <- nope(R)", &s),
+            Err(QueryError::UnknownRelation(_))
+        ));
+        assert!(matches!(
+            parse_query("q('c') <- pub1(P, R)", &s),
+            Err(QueryError::ConstantInHead)
+        ));
+        assert!(parse_query("q(R) pub1(P, R)", &s).is_err()); // missing arrow
+        assert!(parse_query("q(R) <- pub1(P, R", &s).is_err()); // missing paren
+        assert!(parse_query("q(R) <- pub1(P, R) garbage", &s).is_err());
+        assert!(parse_query("q(R) <- pub1('unterminated, R)", &s).is_err());
+    }
+
+    #[test]
+    fn whitespace_insensitive() {
+        let s = schema();
+        let q1 = parse_query("q(R)<-pub1(P,R),conf(P,C,Y)", &s).unwrap();
+        let q2 = parse_query("  q ( R )  <-  pub1 ( P , R ) , conf ( P , C , Y ) ", &s).unwrap();
+        assert_eq!(q1, q2);
+    }
+
+    #[test]
+    fn repeated_variable_in_head() {
+        let s = Schema::parse("r^oo(A, A2)").unwrap();
+        let q = parse_query("q(X, X) <- r(X, Y)", &s).unwrap();
+        assert_eq!(q.head().len(), 2);
+        assert_eq!(q.head()[0], q.head()[1]);
+    }
+}

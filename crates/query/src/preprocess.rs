@@ -1,0 +1,314 @@
+//! Constant elimination (§III of the paper).
+//!
+//! > *"Every constant `a` in the query acts as an artificial relation `ℓa`,
+//! > with a single attribute that is an output attribute, whose content is
+//! > exactly the tuple ⟨a⟩. A constant-free query equivalent to the original
+//! > one is easily obtained: for example, the query `q(Y) ← r(a, Y)` can be
+//! > replaced by `q(Y) ← r(X, Y), ℓa(X)`."*
+//!
+//! One artificial relation is created per distinct `(constant, abstract
+//! domain)` pair (a constant may in principle occur at positions of different
+//! domains, which need distinct — differently typed — artificial relations).
+//! All occurrences of the same pair share one fresh variable, so the
+//! artificial atom appears once and the equality is preserved through the
+//! join.
+
+use std::collections::HashMap;
+
+use toorjah_catalog::{AccessPattern, DomainId, RelationId, Schema, Value};
+
+use crate::{Atom, ConjunctiveQuery, QueryError, Term, VarId};
+
+/// An artificial relation `ℓa` introduced for a constant.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ConstantRelation {
+    /// Id of the artificial relation in the *extended* schema.
+    pub relation: RelationId,
+    /// Its generated name (e.g. `r_rej`).
+    pub name: String,
+    /// The eliminated constant; the relation's extension is exactly `⟨value⟩`.
+    pub value: Value,
+    /// The abstract domain of the positions the constant occurred at.
+    pub domain: DomainId,
+    /// The fresh variable replacing the constant in the rewritten query.
+    pub variable: VarId,
+}
+
+/// Result of [`preprocess`]: a constant-free query over an extended schema.
+#[derive(Clone, Debug)]
+pub struct PreprocessedQuery {
+    /// The original schema extended with one free unary relation per
+    /// eliminated constant. When the query was already constant-free this is
+    /// a plain clone of the input schema.
+    pub schema: Schema,
+    /// The equivalent constant-free query. Atoms `0..original_atom_count`
+    /// correspond positionally to the original query's atoms; the artificial
+    /// atoms follow.
+    pub query: ConjunctiveQuery,
+    /// The artificial relations, in introduction order.
+    pub constant_relations: Vec<ConstantRelation>,
+    /// Number of atoms of the original query.
+    pub original_atom_count: usize,
+}
+
+impl PreprocessedQuery {
+    /// `true` when the atom at `index` is an artificial constant atom.
+    pub fn is_constant_atom(&self, index: usize) -> bool {
+        index >= self.original_atom_count
+    }
+
+    /// The constant relation for a relation id, if it is artificial.
+    pub fn constant_relation(&self, id: RelationId) -> Option<&ConstantRelation> {
+        self.constant_relations.iter().find(|c| c.relation == id)
+    }
+}
+
+/// Eliminates constants from `query`, extending `schema` with artificial
+/// free unary relations (§III preprocessing step).
+///
+/// ```
+/// use toorjah_catalog::Schema;
+/// use toorjah_query::{parse_query, preprocess};
+///
+/// let schema = Schema::parse("r1^io(A, B) r2^io(B, C) r3^io(C, A)").unwrap();
+/// let q = parse_query("q(C) <- r1('a', B), r2(B, C)", &schema).unwrap();
+/// let pre = preprocess(&q, &schema).unwrap();
+/// assert!(pre.query.is_constant_free());
+/// assert_eq!(pre.constant_relations.len(), 1);
+/// assert_eq!(
+///     pre.query.display(&pre.schema).to_string(),
+///     "q(C) ← r1(K_a, B), r2(B, C), r_a(K_a)",
+/// );
+/// ```
+pub fn preprocess(
+    query: &ConjunctiveQuery,
+    schema: &Schema,
+) -> Result<PreprocessedQuery, QueryError> {
+    let constants = query.constants(schema);
+    if constants.is_empty() {
+        return Ok(PreprocessedQuery {
+            schema: schema.clone(),
+            query: query.clone(),
+            constant_relations: Vec::new(),
+            original_atom_count: query.atoms().len(),
+        });
+    }
+
+    // Allocate fresh variables and relation names per (constant, domain).
+    let mut var_names: Vec<String> = query.var_names().to_vec();
+    let mut fresh_specs: Vec<(Value, DomainId, VarId, String)> = Vec::new();
+    let mut used_names: Vec<String> = Vec::new();
+    for (value, domain) in &constants {
+        let var = VarId(var_names.len() as u32);
+        let var_name = fresh_name(&var_names, &format!("K_{}", sanitize(value)));
+        var_names.push(var_name);
+        let rel_name = fresh_relation_name(schema, &used_names, value, *domain);
+        used_names.push(rel_name.clone());
+        fresh_specs.push((value.clone(), *domain, var, rel_name));
+    }
+
+    // Extend the schema.
+    let extended = schema.extend(
+        fresh_specs
+            .iter()
+            .map(|(_, d, _, name)| (name.clone(), AccessPattern::all_output(1), vec![*d])),
+    )?;
+
+    let lookup: HashMap<(Value, DomainId), VarId> = fresh_specs
+        .iter()
+        .map(|(v, d, var, _)| ((v.clone(), *d), *var))
+        .collect();
+
+    // Rewrite the body, replacing constants by the fresh variables.
+    let mut atoms = Vec::with_capacity(query.atoms().len() + fresh_specs.len());
+    for atom in query.atoms() {
+        let rel = schema.relation(atom.relation());
+        let terms = atom
+            .terms()
+            .iter()
+            .enumerate()
+            .map(|(k, t)| match t {
+                Term::Const(c) => Term::Var(lookup[&(c.clone(), rel.domain(k))]),
+                Term::Var(v) => Term::Var(*v),
+            })
+            .collect();
+        atoms.push(Atom::new(atom.relation(), terms));
+    }
+    // Append the artificial atoms.
+    let mut constant_relations = Vec::with_capacity(fresh_specs.len());
+    for (value, domain, var, name) in fresh_specs {
+        let rel = extended
+            .relation_id(&name)
+            .expect("artificial relation was just added");
+        atoms.push(Atom::new(rel, vec![Term::Var(var)]));
+        constant_relations.push(ConstantRelation { relation: rel, name, value, domain, variable: var });
+    }
+
+    let rewritten = ConjunctiveQuery::from_parts(
+        &extended,
+        query.head_name(),
+        query.head().to_vec(),
+        atoms,
+        var_names,
+    )?;
+
+    Ok(PreprocessedQuery {
+        schema: extended,
+        query: rewritten,
+        constant_relations,
+        original_atom_count: query.atoms().len(),
+    })
+}
+
+/// ASCII-sanitizes a constant for use inside generated identifiers.
+fn sanitize(value: &Value) -> String {
+    match value {
+        Value::Int(i) if *i < 0 => format!("m{}", -i),
+        Value::Int(i) => i.to_string(),
+        Value::Str(s) => {
+            let cleaned: String = s
+                .chars()
+                .map(|c| if c.is_alphanumeric() { c } else { '_' })
+                .collect();
+            if cleaned.is_empty() {
+                "const".to_string()
+            } else {
+                cleaned
+            }
+        }
+    }
+}
+
+fn fresh_name(existing: &[String], base: &str) -> String {
+    if !existing.iter().any(|n| n == base) {
+        return base.to_string();
+    }
+    for i in 2.. {
+        let candidate = format!("{base}_{i}");
+        if !existing.iter().any(|n| n == &candidate) {
+            return candidate;
+        }
+    }
+    unreachable!()
+}
+
+fn fresh_relation_name(
+    schema: &Schema,
+    used: &[String],
+    value: &Value,
+    _domain: DomainId,
+) -> String {
+    let base = format!("r_{}", sanitize(value));
+    let taken = |name: &str| schema.relation_id(name).is_some() || used.iter().any(|u| u == name);
+    if !taken(&base) {
+        return base;
+    }
+    for i in 2.. {
+        let candidate = format!("{base}_{i}");
+        if !taken(&candidate) {
+            return candidate;
+        }
+    }
+    unreachable!()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_query;
+
+    #[test]
+    fn constant_free_query_is_untouched() {
+        let schema = Schema::parse("r1^io(A, B) r2^io(B, C)").unwrap();
+        let q = parse_query("q(C) <- r1(A, B), r2(B, C)", &schema).unwrap();
+        let pre = preprocess(&q, &schema).unwrap();
+        assert_eq!(pre.query, q);
+        assert!(pre.constant_relations.is_empty());
+        assert_eq!(pre.schema.relation_count(), 2);
+    }
+
+    #[test]
+    fn example4_preprocessing() {
+        // Example 4: q(C) ← r1(a, B), r2(B, C) becomes
+        //            q(C) ← ra(A), r1(A, B), r2(B, C).
+        let schema = Schema::parse("r1^io(A, B) r2^io(B, C) r3^io(C, A)").unwrap();
+        let q = parse_query("q(C) <- r1('a', B), r2(B, C)", &schema).unwrap();
+        let pre = preprocess(&q, &schema).unwrap();
+        assert!(pre.query.is_constant_free());
+        assert_eq!(pre.query.atoms().len(), 3);
+        assert_eq!(pre.original_atom_count, 2);
+        assert!(pre.is_constant_atom(2));
+        assert!(!pre.is_constant_atom(0));
+        let cr = &pre.constant_relations[0];
+        assert_eq!(cr.value, Value::from("a"));
+        assert_eq!(pre.schema.domains().name(cr.domain), "A");
+        assert_eq!(pre.schema.relation(cr.relation).name(), "r_a");
+        assert!(pre.schema.relation(cr.relation).is_free());
+        assert!(pre.constant_relation(cr.relation).is_some());
+    }
+
+    #[test]
+    fn repeated_constant_shares_one_relation() {
+        // q3-style: 'icde' occurs twice at ConfName positions.
+        let schema = Schema::parse(
+            "rev^ooi(Person, ConfName, Year) conf^ooo(Paper, ConfName, Year)",
+        )
+        .unwrap();
+        let q = parse_query("q(R) <- rev(R, icde, Y), conf(P, icde, Y)", &schema).unwrap();
+        let pre = preprocess(&q, &schema).unwrap();
+        assert_eq!(pre.constant_relations.len(), 1);
+        // Both occurrences now share the fresh variable → still joined.
+        let v = pre.constant_relations[0].variable;
+        assert_eq!(pre.query.positions_of_var(v).len(), 3); // 2 original + ℓ atom
+    }
+
+    #[test]
+    fn same_constant_in_two_domains_gets_two_relations() {
+        let schema = Schema::parse("r^oo(A, B)").unwrap();
+        let q = parse_query("q(X) <- r(X, Y), r(Z, W), r(X, V)", &schema).unwrap();
+        // Build a query with the same constant at A- and B-positions.
+        let q = {
+            let _ = q;
+            parse_query("q(Y) <- r(c, Y), r(Z, c)", &schema).unwrap()
+        };
+        let pre = preprocess(&q, &schema).unwrap();
+        assert_eq!(pre.constant_relations.len(), 2);
+        let names: Vec<_> = pre.constant_relations.iter().map(|c| c.name.clone()).collect();
+        assert_eq!(names[0], "r_c");
+        assert_eq!(names[1], "r_c_2");
+    }
+
+    #[test]
+    fn name_collisions_with_schema_relations_avoided() {
+        let schema = Schema::parse("r_a^oo(A, B) r^io(A, B)").unwrap();
+        let q = parse_query("q(Y) <- r('a', Y)", &schema).unwrap();
+        let pre = preprocess(&q, &schema).unwrap();
+        assert_eq!(pre.constant_relations[0].name, "r_a_2");
+    }
+
+    #[test]
+    fn integer_and_odd_constants_sanitized() {
+        let schema = Schema::parse("r^ioo(Y, A, B) s^oi(A, N)").unwrap();
+        let q = parse_query("q(B) <- r(2008, A, B), s(A, -3)", &schema).unwrap();
+        let pre = preprocess(&q, &schema).unwrap();
+        let names: Vec<_> = pre.constant_relations.iter().map(|c| c.name.clone()).collect();
+        assert!(names.contains(&"r_2008".to_string()));
+        assert!(names.contains(&"r_m3".to_string()));
+    }
+
+    #[test]
+    fn head_is_preserved() {
+        let schema = Schema::parse("r1^io(A, B)").unwrap();
+        let q = parse_query("q(B) <- r1('a', B)", &schema).unwrap();
+        let pre = preprocess(&q, &schema).unwrap();
+        assert_eq!(pre.query.head(), q.head());
+        assert_eq!(pre.query.head_name(), "q");
+    }
+
+    #[test]
+    fn string_sanitization_handles_specials() {
+        assert_eq!(sanitize(&Value::from("hello world!")), "hello_world_");
+        assert_eq!(sanitize(&Value::from("")), "const");
+        assert_eq!(sanitize(&Value::from(-17)), "m17");
+    }
+}

@@ -1,0 +1,108 @@
+//! Terms of conjunctive queries: variables and constants.
+
+use std::fmt;
+
+use toorjah_catalog::Value;
+
+/// Identifier of a variable inside one [`crate::ConjunctiveQuery`].
+///
+/// Variables are interned per query; ids are dense indexes into the query's
+/// variable-name table.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// The id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A term: a variable or a constant.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Term {
+    /// A variable, e.g. `X`.
+    Var(VarId),
+    /// A constant, e.g. `'volare'` or `2008`.
+    Const(Value),
+}
+
+impl Term {
+    /// `true` when the term is a variable.
+    pub fn is_var(&self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+
+    /// `true` when the term is a constant.
+    pub fn is_const(&self) -> bool {
+        matches!(self, Term::Const(_))
+    }
+
+    /// The variable id, if this is a variable.
+    pub fn as_var(&self) -> Option<VarId> {
+        match self {
+            Term::Var(v) => Some(*v),
+            Term::Const(_) => None,
+        }
+    }
+
+    /// The constant value, if this is a constant.
+    pub fn as_const(&self) -> Option<&Value> {
+        match self {
+            Term::Var(_) => None,
+            Term::Const(c) => Some(c),
+        }
+    }
+}
+
+impl From<Value> for Term {
+    fn from(v: Value) -> Self {
+        Term::Const(v)
+    }
+}
+
+impl From<VarId> for Term {
+    fn from(v: VarId) -> Self {
+        Term::Var(v)
+    }
+}
+
+impl fmt::Display for Term {
+    /// Renders constants with [`Value`]'s notation and variables as `?n`;
+    /// [`crate::ConjunctiveQuery`] renders variables with their names instead.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "?{}", v.0),
+            Term::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let v = Term::Var(VarId(3));
+        let c = Term::Const(Value::from(2008));
+        assert!(v.is_var() && !v.is_const());
+        assert!(c.is_const() && !c.is_var());
+        assert_eq!(v.as_var(), Some(VarId(3)));
+        assert_eq!(c.as_const(), Some(&Value::from(2008)));
+        assert_eq!(v.as_const(), None);
+        assert_eq!(c.as_var(), None);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Term::from(Value::from("x")), Term::Const(Value::from("x")));
+        assert_eq!(Term::from(VarId(0)), Term::Var(VarId(0)));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Term::Var(VarId(2)).to_string(), "?2");
+        assert_eq!(Term::Const(Value::from("a")).to_string(), "'a'");
+    }
+}

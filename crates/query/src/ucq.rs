@@ -1,0 +1,125 @@
+//! Unions of conjunctive queries (§II).
+//!
+//! A UCQ of arity *n* is a set of CQs with the same head predicate and arity;
+//! its answer over a database is the union of the member answers. The paper's
+//! optimization is defined for CQs; UCQ support plans each disjunct
+//! independently and unions the answers (the extension mentioned in §VII).
+
+use std::fmt;
+
+use toorjah_catalog::Schema;
+
+use crate::{ConjunctiveQuery, QueryError};
+
+/// A union of conjunctive queries with a common head arity.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct UnionQuery {
+    cqs: Vec<ConjunctiveQuery>,
+}
+
+impl UnionQuery {
+    /// Builds a UCQ, validating that all members share one head arity.
+    pub fn new(cqs: Vec<ConjunctiveQuery>) -> Result<Self, QueryError> {
+        if cqs.is_empty() {
+            return Err(QueryError::EmptyBody);
+        }
+        let arity = cqs[0].head().len();
+        for cq in &cqs[1..] {
+            if cq.head().len() != arity {
+                return Err(QueryError::MixedHeadArity { expected: arity, got: cq.head().len() });
+            }
+        }
+        Ok(UnionQuery { cqs })
+    }
+
+    /// The member CQs.
+    pub fn cqs(&self) -> &[ConjunctiveQuery] {
+        &self.cqs
+    }
+
+    /// Head arity shared by all members.
+    pub fn arity(&self) -> usize {
+        self.cqs[0].head().len()
+    }
+
+    /// Number of disjuncts.
+    pub fn len(&self) -> usize {
+        self.cqs.len()
+    }
+
+    /// Whether the union is empty (never true for validated values).
+    pub fn is_empty(&self) -> bool {
+        self.cqs.is_empty()
+    }
+
+    /// Renders all disjuncts, one per line.
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> impl fmt::Display + 'a {
+        DisplayUcq { q: self, schema }
+    }
+}
+
+impl From<ConjunctiveQuery> for UnionQuery {
+    fn from(cq: ConjunctiveQuery) -> Self {
+        UnionQuery { cqs: vec![cq] }
+    }
+}
+
+struct DisplayUcq<'a> {
+    q: &'a UnionQuery,
+    schema: &'a Schema,
+}
+
+impl fmt::Display for DisplayUcq<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, cq) in self.q.cqs.iter().enumerate() {
+            if i > 0 {
+                f.write_str("\n")?;
+            }
+            write!(f, "{}", cq.display(self.schema))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_query;
+
+    #[test]
+    fn union_of_two() {
+        let sc = Schema::parse("r^oo(A, B) s^oo(A, B)").unwrap();
+        let q1 = parse_query("q(X) <- r(X, Y)", &sc).unwrap();
+        let q2 = parse_query("q(X) <- s(X, Y)", &sc).unwrap();
+        let u = UnionQuery::new(vec![q1, q2]).unwrap();
+        assert_eq!(u.len(), 2);
+        assert_eq!(u.arity(), 1);
+        assert!(!u.is_empty());
+        let text = u.display(&sc).to_string();
+        assert!(text.contains("r(X, Y)") && text.contains("s(X, Y)"));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let sc = Schema::parse("r^oo(A, B)").unwrap();
+        let q1 = parse_query("q(X) <- r(X, Y)", &sc).unwrap();
+        let q2 = parse_query("q(X, Y) <- r(X, Y)", &sc).unwrap();
+        assert!(matches!(
+            UnionQuery::new(vec![q1, q2]),
+            Err(QueryError::MixedHeadArity { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_union_rejected() {
+        assert!(UnionQuery::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn from_single_cq() {
+        let sc = Schema::parse("r^oo(A, B)").unwrap();
+        let q = parse_query("q(X) <- r(X, Y)", &sc).unwrap();
+        let u: UnionQuery = q.into();
+        assert_eq!(u.len(), 1);
+    }
+}

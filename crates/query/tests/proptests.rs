@@ -1,0 +1,148 @@
+//! Property-based tests of the query machinery: minimization correctness,
+//! containment laws, preprocessing invariants.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use toorjah_catalog::{Schema, Value};
+use toorjah_query::{
+    find_homomorphism, is_contained_in, is_equivalent_to, is_minimal, minimize, parse_query,
+    preprocess, ConjunctiveQuery,
+};
+
+/// A small fixed schema rich enough for interesting joins.
+fn schema() -> Schema {
+    Schema::parse("r^oo(A, B) s^oo(B, A) e^oo(A, A) u^o(B)").unwrap()
+}
+
+/// Generates a random query over the fixed schema from a seed.
+fn random_query(seed: u64) -> Option<ConjunctiveQuery> {
+    let schema = schema();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let atom_count = rng.gen_range(1..=4);
+    let mut text = String::new();
+    let relations = ["r", "s", "e", "u"];
+    let arities = [2usize, 2, 2, 1];
+    // Variables per domain to respect abstract-domain typing: A-vars and
+    // B-vars are disjoint name pools.
+    let var_a = ["X", "Y", "Z"];
+    let var_b = ["P", "Q", "W"];
+    let mut used_a: Vec<&str> = Vec::new();
+    for i in 0..atom_count {
+        if i > 0 {
+            text.push_str(", ");
+        }
+        let r = rng.gen_range(0..relations.len());
+        text.push_str(relations[r]);
+        text.push('(');
+        for k in 0..arities[r] {
+            if k > 0 {
+                text.push_str(", ");
+            }
+            // Domain of (relation, position).
+            let is_a = matches!((r, k), (0, 0) | (1, 1) | (2, _));
+            let pool: &[&str] = if is_a { &var_a } else { &var_b };
+            if rng.gen_bool(0.15) {
+                text.push_str(&format!("'c{}'", rng.gen_range(0..3)));
+            } else {
+                let v = pool[rng.gen_range(0..pool.len())];
+                if is_a && !used_a.contains(&v) {
+                    used_a.push(v);
+                }
+                text.push_str(v);
+            }
+        }
+        text.push(')');
+    }
+    if used_a.is_empty() {
+        return None;
+    }
+    let head = used_a[0];
+    let q = format!("q({head}) <- {text}");
+    parse_query(&q, &schema).ok()
+}
+
+proptest! {
+    /// The minimized query is equivalent to the original and itself minimal.
+    #[test]
+    fn minimize_preserves_equivalence(seed in 0u64..40_000) {
+        if let Some(q) = random_query(seed) {
+            let m = minimize(&q);
+            prop_assert!(m.atoms().len() <= q.atoms().len());
+            prop_assert!(is_equivalent_to(&m, &q));
+            prop_assert!(is_minimal(&m));
+        }
+    }
+
+    /// Containment is reflexive, and equivalence implies mutual containment.
+    #[test]
+    fn containment_laws(seed in 0u64..40_000) {
+        if let Some(q) = random_query(seed) {
+            prop_assert!(is_contained_in(&q, &q));
+            let m = minimize(&q);
+            prop_assert!(is_contained_in(&q, &m) && is_contained_in(&m, &q));
+        }
+    }
+
+    /// A homomorphism found between two queries maps constants to
+    /// themselves and covers every variable of the source query's head.
+    #[test]
+    fn homomorphism_shape(seed in 0u64..20_000) {
+        let (Some(q1), Some(q2)) = (random_query(seed), random_query(seed.wrapping_add(1)))
+        else { return Ok(()); };
+        if let Some(h) = find_homomorphism(&q1, &q2) {
+            for &v in q1.head() {
+                prop_assert!(h.contains_key(&v), "head variable must be mapped");
+            }
+        }
+    }
+
+    /// Preprocessing yields a constant-free query whose artificial atoms
+    /// correspond one-to-one to the distinct (constant, domain) pairs.
+    #[test]
+    fn preprocess_invariants(seed in 0u64..40_000) {
+        if let Some(q) = random_query(seed) {
+            let schema = schema();
+            let pre = preprocess(&q, &schema).unwrap();
+            prop_assert!(pre.query.is_constant_free());
+            prop_assert_eq!(pre.original_atom_count, q.atoms().len());
+            prop_assert_eq!(
+                pre.query.atoms().len(),
+                q.atoms().len() + pre.constant_relations.len()
+            );
+            prop_assert_eq!(pre.constant_relations.len(), q.constants(&schema).len());
+            prop_assert_eq!(pre.query.head(), q.head());
+            // Each artificial relation is free, unary, and typed with the
+            // constant's domain.
+            for cr in &pre.constant_relations {
+                let rel = pre.schema.relation(cr.relation);
+                prop_assert!(rel.is_free());
+                prop_assert_eq!(rel.arity(), 1);
+                prop_assert_eq!(rel.domain(0), cr.domain);
+            }
+            // No constant survives as a value anywhere in the rewritten body.
+            for atom in pre.query.atoms() {
+                prop_assert!(!atom.has_constants());
+            }
+        }
+    }
+
+    /// Constants of a query are reported with correct multiplicity-free
+    /// (value, domain) pairs.
+    #[test]
+    fn constants_are_distinct(seed in 0u64..20_000) {
+        if let Some(q) = random_query(seed) {
+            let schema = schema();
+            let cs = q.constants(&schema);
+            for i in 0..cs.len() {
+                for j in (i + 1)..cs.len() {
+                    prop_assert_ne!(&cs[i], &cs[j]);
+                }
+            }
+            for (v, _) in &cs {
+                // All generated constants look like c0..c2.
+                prop_assert!(matches!(v, Value::Str(s) if s.starts_with('c')));
+            }
+        }
+    }
+}

@@ -1,0 +1,408 @@
+//! The `Toorjah` facade: parse → plan → execute.
+
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+
+use toorjah_catalog::{Schema, Tuple};
+use toorjah_core::{plan_query, CoreError, Planned, Planner};
+use toorjah_engine::{
+    execute_plan, AccessStats, EngineError, ExecOptions, ExecutionReport, SourceProvider,
+};
+use toorjah_query::{parse_query, ConjunctiveQuery, QueryError};
+
+use crate::{run_distillation, AnswerStream, DistillationOptions};
+
+/// Configuration of a [`Toorjah`] instance.
+#[derive(Clone, Debug)]
+#[derive(Default)]
+pub struct ToorjahConfig {
+    /// Planner settings (CQ minimization, ordering heuristic).
+    pub planner: Planner,
+    /// Sequential execution settings.
+    pub exec: ExecOptions,
+    /// Distillation (parallel) settings.
+    pub distillation: DistillationOptions,
+}
+
+
+/// Errors surfaced by the facade.
+#[derive(Clone, Debug)]
+pub enum ToorjahError {
+    /// Query parsing/validation failed.
+    Query(QueryError),
+    /// Planning failed (e.g. the query is not answerable).
+    Planning(CoreError),
+    /// Execution failed.
+    Execution(EngineError),
+}
+
+impl fmt::Display for ToorjahError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ToorjahError::Query(e) => write!(f, "query error: {e}"),
+            ToorjahError::Planning(e) => write!(f, "planning error: {e}"),
+            ToorjahError::Execution(e) => write!(f, "execution error: {e}"),
+        }
+    }
+}
+
+impl Error for ToorjahError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ToorjahError::Query(e) => Some(e),
+            ToorjahError::Planning(e) => Some(e),
+            ToorjahError::Execution(e) => Some(e),
+        }
+    }
+}
+
+impl From<QueryError> for ToorjahError {
+    fn from(e: QueryError) -> Self {
+        ToorjahError::Query(e)
+    }
+}
+
+impl From<CoreError> for ToorjahError {
+    fn from(e: CoreError) -> Self {
+        ToorjahError::Planning(e)
+    }
+}
+
+impl From<EngineError> for ToorjahError {
+    fn from(e: EngineError) -> Self {
+        ToorjahError::Execution(e)
+    }
+}
+
+/// The outcome of [`Toorjah::ask`].
+#[derive(Clone, Debug)]
+pub struct AskResult {
+    /// The distinct answers.
+    pub answers: Vec<Tuple>,
+    /// Access counters.
+    pub stats: AccessStats,
+    /// The full execution report.
+    pub report: ExecutionReport,
+    /// Everything the planner produced (d-graph, ordering, program, …).
+    pub planned: Planned,
+}
+
+/// The Toorjah system: a source provider plus the planner/executor pipeline.
+pub struct Toorjah {
+    provider: Arc<dyn SourceProvider>,
+    config: ToorjahConfig,
+}
+
+impl Toorjah {
+    /// Wraps a source provider with the default configuration.
+    pub fn new(provider: impl SourceProvider + 'static) -> Self {
+        Toorjah { provider: Arc::new(provider), config: ToorjahConfig::default() }
+    }
+
+    /// Wraps an already-shared provider.
+    pub fn from_arc(provider: Arc<dyn SourceProvider>) -> Self {
+        Toorjah { provider, config: ToorjahConfig::default() }
+    }
+
+    /// Replaces the configuration.
+    pub fn with_config(mut self, config: ToorjahConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The schema of the underlying sources.
+    pub fn schema(&self) -> &Schema {
+        self.provider.schema()
+    }
+
+    /// Parses, plans and executes a query given in the paper's textual
+    /// notation (e.g. `q(C) <- r1('a', B), r2(B, C)`), returning all
+    /// obtainable answers with access statistics.
+    pub fn ask(&self, query_text: &str) -> Result<AskResult, ToorjahError> {
+        let query = parse_query(query_text, self.provider.schema())?;
+        self.ask_query(&query)
+    }
+
+    /// [`Toorjah::ask`] for an already parsed query.
+    pub fn ask_query(&self, query: &ConjunctiveQuery) -> Result<AskResult, ToorjahError> {
+        let planned = self.config.planner.plan(query, self.provider.schema())?;
+        let report = execute_plan(&planned.plan, self.provider.as_ref(), self.config.exec)?;
+        Ok(AskResult {
+            answers: report.answers.clone(),
+            stats: report.stats.clone(),
+            report,
+            planned,
+        })
+    }
+
+    /// Plans a query without executing it.
+    pub fn plan(&self, query_text: &str) -> Result<Planned, ToorjahError> {
+        let query = parse_query(query_text, self.provider.schema())?;
+        Ok(plan_query(&query, self.provider.schema())?)
+    }
+
+    /// Answers a union of conjunctive queries (§II): each disjunct gets its
+    /// own ⊂-minimal plan, all disjuncts share one meta-cache (no access is
+    /// repeated across them), and the answers are unioned. Non-answerable
+    /// disjuncts contribute nothing and are skipped (their indexes are
+    /// returned).
+    pub fn ask_union(
+        &self,
+        query_texts: &[&str],
+    ) -> Result<(toorjah_engine::UnionReport, Vec<usize>), ToorjahError> {
+        let schema = self.provider.schema();
+        let queries = query_texts
+            .iter()
+            .map(|t| parse_query(t, schema))
+            .collect::<Result<Vec<_>, _>>()?;
+        let union = toorjah_query::UnionQuery::new(queries)?;
+        let mut planned = Vec::new();
+        let mut skipped = Vec::new();
+        for (i, cq) in union.cqs().iter().enumerate() {
+            match self.config.planner.plan(cq, schema) {
+                Ok(p) => planned.push(p),
+                Err(CoreError::NotAnswerable { .. }) => skipped.push(i),
+                Err(e) => return Err(e.into()),
+            }
+        }
+        let plans: Vec<&toorjah_core::QueryPlan> = planned.iter().map(|p| &p.plan).collect();
+        let report =
+            toorjah_engine::execute_union(&plans, self.provider.as_ref(), self.config.exec)?;
+        Ok((report, skipped))
+    }
+
+    /// Answers a conjunctive query with safe negation (§VII / reference
+    /// \[18\]): the
+    /// positive part runs through the optimized plan, and each negated atom
+    /// is decided exactly by accessing its relation with the candidate's
+    /// bound input values (meta-cached, so repeats are free).
+    pub fn ask_negated(
+        &self,
+        query: &toorjah_query::NegatedQuery,
+    ) -> Result<toorjah_engine::NegationReport, ToorjahError> {
+        toorjah_engine::execute_negated(
+            query,
+            self.provider.schema(),
+            self.provider.as_ref(),
+            self.config.exec,
+        )
+        .map_err(|e| match e {
+            toorjah_engine::NegationError::Planning(e) => ToorjahError::Planning(e),
+            toorjah_engine::NegationError::Execution(e) => ToorjahError::Execution(e),
+            toorjah_engine::NegationError::Internal(msg) => {
+                ToorjahError::Planning(CoreError::Internal(msg))
+            }
+        })
+    }
+
+    /// Parses, plans and executes a query with the §V distillation strategy:
+    /// wrapper threads access the sources in parallel and answers stream out
+    /// as soon as they are computed.
+    pub fn ask_streaming(&self, query_text: &str) -> Result<AnswerStream, ToorjahError> {
+        let query = parse_query(query_text, self.provider.schema())?;
+        let planned = self.config.planner.plan(&query, self.provider.schema())?;
+        Ok(run_distillation(
+            planned.plan.clone(),
+            Arc::clone(&self.provider),
+            self.config.distillation,
+        ))
+    }
+
+    /// A human-readable explanation of the plan: the minimized query, the
+    /// relevant sources with their ordering positions, ∀-minimality, and the
+    /// generated Datalog program.
+    pub fn explain(&self, query_text: &str) -> Result<String, ToorjahError> {
+        let planned = self.plan(query_text)?;
+        let schema = &planned.plan.schema;
+        let mut out = String::new();
+        out.push_str(&format!(
+            "query (minimized): {}\n",
+            planned.minimized.display(self.provider.schema())
+        ));
+        out.push_str(&format!(
+            "d-graph: {} sources, {} arcs ({} strong, {} weak, {} deleted after GFP)\n",
+            planned.optimized.graph().sources().len(),
+            planned.optimized.graph().arcs().len(),
+            planned.optimized.strong_count(),
+            planned.optimized.weak_count(),
+            planned.optimized.deleted_count(),
+        ));
+        out.push_str("relevant sources (by position):\n");
+        for cache in &planned.plan.caches {
+            out.push_str(&format!(
+                "  {}. {} over {}\n",
+                cache.position,
+                cache.label,
+                schema.relation(cache.relation).name(),
+            ));
+        }
+        out.push_str(&format!(
+            "forall-minimal: {}\n",
+            if planned.minimality.forall_minimal { "yes" } else { "no" }
+        ));
+        out.push_str("datalog program:\n");
+        for rule in planned.plan.program.rules() {
+            out.push_str(&format!("  {}\n", planned.plan.program.render_rule(rule)));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use toorjah_catalog::{tuple, Instance};
+    use toorjah_engine::InstanceSource;
+
+    fn example_system() -> Toorjah {
+        let schema = Schema::parse("r1^io(A, B) r2^io(B, C) r3^io(C, A)").unwrap();
+        let db = Instance::with_data(
+            &schema,
+            [
+                ("r1", vec![tuple!["a", "b1"]]),
+                ("r2", vec![tuple!["b1", "c1"]]),
+                ("r3", vec![tuple!["c1", "a"]]),
+            ],
+        )
+        .unwrap();
+        Toorjah::new(InstanceSource::new(schema, db))
+    }
+
+    #[test]
+    fn ask_end_to_end() {
+        let system = example_system();
+        let result = system.ask("q(C) <- r1('a', B), r2(B, C)").unwrap();
+        assert_eq!(result.answers, vec![tuple!["c1"]]);
+        assert_eq!(result.stats.total_accesses, 2);
+        assert!(result.planned.minimality.forall_minimal);
+    }
+
+    #[test]
+    fn parse_errors_are_surfaced() {
+        let system = example_system();
+        assert!(matches!(
+            system.ask("q(C) <- nope(C)"),
+            Err(ToorjahError::Query(_))
+        ));
+    }
+
+    #[test]
+    fn non_answerable_queries_fail_at_planning() {
+        let schema = Schema::parse("r1^io(A, C) r2^io(B, C)").unwrap();
+        let system = Toorjah::new(InstanceSource::new(schema.clone(), Instance::new(&schema)));
+        assert!(matches!(
+            system.ask("q(C) <- r1(X, C)"),
+            Err(ToorjahError::Planning(CoreError::NotAnswerable { .. }))
+        ));
+    }
+
+    #[test]
+    fn explain_mentions_program_and_relevance() {
+        let system = example_system();
+        let text = system.explain("q(C) <- r1('a', B), r2(B, C)").unwrap();
+        assert!(text.contains("datalog program"));
+        assert!(text.contains("r1_hat1"));
+        assert!(!text.contains("r3_hat"), "irrelevant r3 must not be cached:\n{text}");
+        assert!(text.contains("forall-minimal: yes"));
+    }
+
+    #[test]
+    fn schema_accessor() {
+        let system = example_system();
+        assert_eq!(system.schema().relation_count(), 3);
+    }
+}
+
+#[cfg(test)]
+mod union_tests {
+    use super::*;
+    use toorjah_catalog::{tuple, Instance};
+    use toorjah_engine::InstanceSource;
+
+    #[test]
+    fn ask_union_merges_and_skips() {
+        let schema = Schema::parse("r^io(A, B) s^io(A, B) f^o(A) dead^io(Z, B)").unwrap();
+        let db = Instance::with_data(
+            &schema,
+            [
+                ("r", vec![tuple!["a", "rb"]]),
+                ("s", vec![tuple!["a", "sb"]]),
+                ("f", vec![tuple!["a"]]),
+            ],
+        )
+        .unwrap();
+        let system = Toorjah::new(InstanceSource::new(schema, db));
+        let (report, skipped) = system
+            .ask_union(&[
+                "q(B) <- f(X), r(X, B)",
+                "q(B) <- f(X), s(X, B)",
+                // Not answerable: `dead` needs domain Z that nothing yields.
+                "q(B) <- dead(Z, B)",
+            ])
+            .unwrap();
+        let mut answers = report.answers.clone();
+        answers.sort();
+        assert_eq!(answers, vec![tuple!["rb"], tuple!["sb"]]);
+        assert_eq!(skipped, vec![2]);
+        // f accessed once for both disjuncts.
+        let f = system.schema().relation_id("f").unwrap();
+        assert_eq!(report.stats.accesses_to(f), 1);
+    }
+
+    #[test]
+    fn ask_union_rejects_mixed_arity() {
+        let schema = Schema::parse("r^oo(A, B)").unwrap();
+        let db = Instance::new(&schema);
+        let system = Toorjah::new(InstanceSource::new(schema, db));
+        assert!(system
+            .ask_union(&["q(X) <- r(X, Y)", "q(X, Y) <- r(X, Y)"])
+            .is_err());
+    }
+}
+
+#[cfg(test)]
+mod streaming_tests {
+    use super::*;
+    use crate::StreamEvent;
+    use toorjah_catalog::{tuple, Instance};
+    use toorjah_engine::InstanceSource;
+
+    fn system() -> Toorjah {
+        let schema = Schema::parse("f^oo(A, B) g^io(B, C)").unwrap();
+        let db = Instance::with_data(
+            &schema,
+            [
+                ("f", vec![tuple!["a1", "b1"], tuple!["a2", "b2"]]),
+                ("g", vec![tuple!["b1", "c1"], tuple!["b2", "c2"]]),
+            ],
+        )
+        .unwrap();
+        Toorjah::new(InstanceSource::new(schema, db))
+    }
+
+    #[test]
+    fn streaming_answers_iterator() {
+        let stream = system().ask_streaming("q(C) <- f(A, B), g(B, C)").unwrap();
+        let mut answers: Vec<_> = stream.answers().collect();
+        answers.sort();
+        assert_eq!(answers, vec![tuple!["c1"], tuple!["c2"]]);
+    }
+
+    #[test]
+    fn streaming_events_are_timestamped_and_terminated() {
+        let stream = system().ask_streaming("q(C) <- f(A, B), g(B, C)").unwrap();
+        let mut saw_done = false;
+        while let Some(event) = stream.next_event() {
+            match event {
+                StreamEvent::Answer { at, .. } => assert!(at.as_nanos() > 0),
+                StreamEvent::Done(report) => {
+                    saw_done = true;
+                    assert_eq!(report.answers.len(), 2);
+                }
+                StreamEvent::Failed(e) => panic!("unexpected failure: {e}"),
+            }
+        }
+        assert!(saw_done);
+    }
+}

@@ -1,0 +1,44 @@
+//! # toorjah-system
+//!
+//! The **Toorjah** system facade (§V of *"Querying Data under Access
+//! Limitations"*, Calì & Martinenghi, ICDE 2008): a prototype that answers
+//! conjunctive queries over sources with access limitations by means of
+//! access-minimal query plans.
+//!
+//! ```
+//! use toorjah_catalog::{Instance, Schema, tuple};
+//! use toorjah_engine::InstanceSource;
+//! use toorjah_system::Toorjah;
+//!
+//! let schema = Schema::parse("r1^io(A, B) r2^io(B, C) r3^io(C, A)").unwrap();
+//! let db = Instance::with_data(&schema, [
+//!     ("r1", vec![tuple!["a", "b1"]]),
+//!     ("r2", vec![tuple!["b1", "c1"]]),
+//!     ("r3", vec![tuple!["c1", "a"]]),
+//! ]).unwrap();
+//! let system = Toorjah::new(InstanceSource::new(schema, db));
+//!
+//! let result = system.ask("q(C) <- r1('a', B), r2(B, C)").unwrap();
+//! assert_eq!(result.answers, vec![tuple!["c1"]]);
+//! // r3 is irrelevant: the optimized plan never touches it.
+//! assert_eq!(result.stats.total_accesses, 2);
+//! ```
+//!
+//! Besides the sequential fast-failing execution ([`Toorjah::ask`]), the
+//! facade offers the paper's **distillation** strategy
+//! ([`Toorjah::ask_streaming`]): per-relation wrapper threads with bounded
+//! queues receive access tuples as soon as they can be generated from the
+//! cache database, and answers are delivered incrementally as they are
+//! computed — "the system retrieves tuples that are significant for the
+//! answer in a time that is usually very short, compared to the total
+//! execution time".
+
+#![warn(missing_docs)]
+
+mod answers;
+mod facade;
+mod parallel;
+
+pub use answers::{AnswerStream, StreamEvent, StreamReport};
+pub use facade::{AskResult, Toorjah, ToorjahConfig, ToorjahError};
+pub use parallel::{run_distillation, DistillationOptions};

@@ -1,0 +1,25 @@
+//! # toorjah-workload
+//!
+//! Workload substrate for the Toorjah reproduction of *"Querying Data under
+//! Access Limitations"* (Calì & Martinenghi, ICDE 2008):
+//!
+//! * [`publications`]: the fixed §V schema (`pub1`, `pub2`, `conf`, `rev`,
+//!   `sub`, `rev_icde`), its seeded synthetic instance generator, and the
+//!   three hand-written queries `q1`–`q3` of Fig. 6;
+//! * [`random`]: the synthetic workload of Figs. 10/11 — random schemata
+//!   (5–10 relations of arity 1–5 with random access patterns), random CQs
+//!   (2–6 atoms, at least one join), and random instances (10–10,000 tuples
+//!   per relation drawn from per-domain value pools of 100–1,000 values).
+//!
+//! All generators are deterministic given a seed, so experiments and tests
+//! are reproducible.
+
+#![warn(missing_docs)]
+
+pub mod publications;
+pub mod random;
+
+pub use publications::{
+    paper_queries, publication_instance, publication_schema, PublicationConfig,
+};
+pub use random::{random_instance, random_query, random_schema, GeneratedSchema, RandomParams};

@@ -1,0 +1,312 @@
+//! The random workload of Figs. 10 and 11.
+//!
+//! §V: *"We also tested our approach on randomly generated schemata and
+//! queries, with a total of 100 schemata and 100 queries per schema. Each
+//! schema comprises 5 to 10 relations; each relation has between 1 and 5
+//! attributes (some of which may have input mode); each of the 10,000
+//! queries has between 2 to 6 atoms and contains at least one join. We
+//! considered 100 different database instances in which each relation has
+//! between 10 and 10,000 tuples."*
+//!
+//! The generators below realize exactly that distribution (every knob is a
+//! [`RandomParams`] field so tests can scale it down), plus the two
+//! exclusions the paper applies: non-answerable queries and queries over
+//! free relations only — both checked by the benchmark harness, since they
+//! need the planner.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use toorjah_catalog::{Instance, Schema, SchemaBuilder, Tuple, Value};
+use toorjah_query::{Atom, ConjunctiveQuery, Term, VarId};
+
+/// Distribution knobs for the random workload. Defaults follow §V.
+#[derive(Clone, Debug)]
+pub struct RandomParams {
+    /// Relations per schema (inclusive bounds). Paper: 5–10.
+    pub relations: (usize, usize),
+    /// Arity per relation (inclusive). Paper: 1–5.
+    pub arity: (usize, usize),
+    /// Number of abstract domains to draw positions from.
+    pub domains: usize,
+    /// Probability that a position has input mode.
+    pub input_probability: f64,
+    /// Values per abstract domain (inclusive). Paper: 100–1,000.
+    pub domain_values: (usize, usize),
+    /// Atoms per query (inclusive). Paper: 2–6.
+    pub atoms: (usize, usize),
+    /// Probability that an argument reuses an existing same-domain variable
+    /// (creating joins).
+    pub join_probability: f64,
+    /// Probability that an argument is a constant.
+    pub constant_probability: f64,
+    /// Tuples per relation (inclusive). Paper: 10–10,000.
+    pub tuples: (usize, usize),
+}
+
+impl Default for RandomParams {
+    fn default() -> Self {
+        RandomParams::paper()
+    }
+}
+
+impl RandomParams {
+    /// The §V distribution.
+    pub fn paper() -> Self {
+        RandomParams {
+            relations: (5, 10),
+            arity: (1, 5),
+            domains: 6,
+            input_probability: 0.3,
+            domain_values: (100, 1000),
+            atoms: (2, 6),
+            join_probability: 0.5,
+            constant_probability: 0.15,
+            tuples: (10, 10_000),
+        }
+    }
+
+    /// A scaled-down distribution for fast tests and property testing.
+    pub fn small() -> Self {
+        RandomParams {
+            relations: (3, 6),
+            arity: (1, 3),
+            domains: 4,
+            input_probability: 0.35,
+            domain_values: (5, 12),
+            atoms: (1, 4),
+            join_probability: 0.5,
+            constant_probability: 0.25,
+            tuples: (0, 15),
+        }
+    }
+}
+
+/// A generated schema together with the per-domain value pools that queries
+/// (constants) and instances draw from.
+#[derive(Clone, Debug)]
+pub struct GeneratedSchema {
+    /// The schema.
+    pub schema: Schema,
+    /// `pools[d]` holds the values of `DomainId(d)`.
+    pub pools: Vec<Vec<Value>>,
+}
+
+/// Generates a random schema and its value pools.
+pub fn random_schema(rng: &mut StdRng, params: &RandomParams) -> GeneratedSchema {
+    let relation_count = rng.gen_range(params.relations.0..=params.relations.1);
+    let mut builder = SchemaBuilder::new();
+    let domain_names: Vec<String> = (0..params.domains).map(|d| format!("D{d}")).collect();
+    for r in 0..relation_count {
+        let arity = rng.gen_range(params.arity.0..=params.arity.1);
+        let pattern: String = (0..arity)
+            .map(|_| if rng.gen_bool(params.input_probability) { 'i' } else { 'o' })
+            .collect();
+        let domains: Vec<&str> = (0..arity)
+            .map(|_| domain_names[rng.gen_range(0..params.domains)].as_str())
+            .collect();
+        builder = builder
+            .relation(&format!("r{r}"), &pattern, &domains)
+            .expect("generated names are unique and arities consistent");
+    }
+    let schema = builder.finish().expect("generated schema is valid");
+    let pool_size = rng.gen_range(params.domain_values.0..=params.domain_values.1.max(1));
+    let pools = (0..schema.domains().len())
+        .map(|d| {
+            (0..pool_size.max(1))
+                .map(|i| Value::str(format!("d{d}v{i}")))
+                .collect()
+        })
+        .collect();
+    GeneratedSchema { schema, pools }
+}
+
+/// Generates a random conjunctive query over `generated`, retrying until the
+/// §V shape constraints hold (the requested atom count and, for queries of
+/// two or more atoms, at least one join). Returns `None` when no such query
+/// is found within a bounded number of attempts (e.g. a one-relation,
+/// one-domain schema may admit no join).
+pub fn random_query(
+    rng: &mut StdRng,
+    generated: &GeneratedSchema,
+    params: &RandomParams,
+) -> Option<ConjunctiveQuery> {
+    for _ in 0..200 {
+        if let Some(q) = try_random_query(rng, generated, params) {
+            return Some(q);
+        }
+    }
+    None
+}
+
+fn try_random_query(
+    rng: &mut StdRng,
+    generated: &GeneratedSchema,
+    params: &RandomParams,
+) -> Option<ConjunctiveQuery> {
+    let schema = &generated.schema;
+    let atom_count = rng.gen_range(params.atoms.0..=params.atoms.1);
+    let mut var_names: Vec<String> = Vec::new();
+    // Variables grouped by domain for join reuse: (domain index, var).
+    let mut vars_by_domain: Vec<(usize, VarId)> = Vec::new();
+    let mut atoms = Vec::with_capacity(atom_count);
+    for _ in 0..atom_count {
+        let rel_id = toorjah_catalog::RelationId(
+            rng.gen_range(0..schema.relation_count()) as u32,
+        );
+        let rel = schema.relation(rel_id);
+        let mut terms = Vec::with_capacity(rel.arity());
+        for k in 0..rel.arity() {
+            let domain = rel.domain(k).index();
+            let same_domain: Vec<VarId> = vars_by_domain
+                .iter()
+                .filter(|(d, _)| *d == domain)
+                .map(|(_, v)| *v)
+                .collect();
+            let term = if !same_domain.is_empty() && rng.gen_bool(params.join_probability) {
+                Term::Var(same_domain[rng.gen_range(0..same_domain.len())])
+            } else if rng.gen_bool(params.constant_probability) {
+                let pool = &generated.pools[domain];
+                Term::Const(pool[rng.gen_range(0..pool.len())].clone())
+            } else {
+                let v = VarId(var_names.len() as u32);
+                var_names.push(format!("V{}", var_names.len()));
+                vars_by_domain.push((domain, v));
+                Term::Var(v)
+            };
+            terms.push(term);
+        }
+        atoms.push(Atom::new(rel_id, terms));
+    }
+    if vars_by_domain.is_empty() {
+        return None; // fully ground query: no legal head variable
+    }
+    // Head: one or two distinct body variables.
+    let head_count = 1 + usize::from(rng.gen_bool(0.3) && vars_by_domain.len() > 1);
+    let mut head: Vec<VarId> = Vec::new();
+    while head.len() < head_count {
+        let v = vars_by_domain[rng.gen_range(0..vars_by_domain.len())].1;
+        if !head.contains(&v) {
+            head.push(v);
+        }
+    }
+    let query =
+        ConjunctiveQuery::from_parts(schema, "q", head, atoms, var_names).ok()?;
+    // §V: queries of 2+ atoms contain at least one join.
+    if query.atoms().len() >= 2 && !query.has_join() {
+        return None;
+    }
+    Some(query)
+}
+
+/// Generates a random instance drawing values from the schema's pools.
+pub fn random_instance(
+    rng: &mut StdRng,
+    generated: &GeneratedSchema,
+    params: &RandomParams,
+) -> Instance {
+    let schema = &generated.schema;
+    let mut db = Instance::new(schema);
+    for (id, rel) in schema.iter() {
+        let tuples = rng.gen_range(params.tuples.0..=params.tuples.1);
+        for _ in 0..tuples {
+            let tuple: Tuple = (0..rel.arity())
+                .map(|k| {
+                    let pool = &generated.pools[rel.domain(k).index()];
+                    pool[rng.gen_range(0..pool.len())].clone()
+                })
+                .collect();
+            let _ = db.insert_by_id(id, tuple);
+        }
+    }
+    db
+}
+
+/// Convenience: a seeded RNG for the workload generators.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_respects_bounds() {
+        let params = RandomParams::paper();
+        for seed in 0..20 {
+            let mut rng = seeded_rng(seed);
+            let g = random_schema(&mut rng, &params);
+            let n = g.schema.relation_count();
+            assert!((5..=10).contains(&n));
+            for (_, rel) in g.schema.iter() {
+                assert!((1..=5).contains(&rel.arity()));
+            }
+            assert_eq!(g.pools.len(), g.schema.domains().len());
+            for pool in &g.pools {
+                assert!((100..=1000).contains(&pool.len()));
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let params = RandomParams::small();
+        let g1 = random_schema(&mut seeded_rng(42), &params);
+        let g2 = random_schema(&mut seeded_rng(42), &params);
+        assert_eq!(g1.schema.to_string(), g2.schema.to_string());
+        let q1 = random_query(&mut seeded_rng(43), &g1, &params);
+        let q2 = random_query(&mut seeded_rng(43), &g2, &params);
+        assert_eq!(q1.is_some(), q2.is_some());
+        if let (Some(q1), Some(q2)) = (q1, q2) {
+            assert_eq!(
+                q1.display(&g1.schema).to_string(),
+                q2.display(&g2.schema).to_string()
+            );
+        }
+    }
+
+    #[test]
+    fn queries_have_joins_when_multi_atom() {
+        let params = RandomParams::paper();
+        let mut rng = seeded_rng(7);
+        let g = random_schema(&mut rng, &params);
+        let mut produced = 0;
+        for _ in 0..50 {
+            if let Some(q) = random_query(&mut rng, &g, &params) {
+                produced += 1;
+                assert!((2..=6).contains(&q.atoms().len()));
+                assert!(q.has_join());
+                assert!(!q.head().is_empty());
+            }
+        }
+        assert!(produced > 0, "the generator must produce some queries");
+    }
+
+    #[test]
+    fn instances_respect_tuple_bounds() {
+        let params = RandomParams::small();
+        let mut rng = seeded_rng(11);
+        let g = random_schema(&mut rng, &params);
+        let db = random_instance(&mut rng, &g, &params);
+        for (id, _) in g.schema.iter() {
+            assert!(db.relation_len(id) <= params.tuples.1);
+        }
+    }
+
+    #[test]
+    fn constants_come_from_pools() {
+        let params = RandomParams { constant_probability: 0.9, ..RandomParams::small() };
+        let mut rng = seeded_rng(3);
+        let g = random_schema(&mut rng, &params);
+        for _ in 0..20 {
+            if let Some(q) = random_query(&mut rng, &g, &params) {
+                for (value, domain) in q.constants(&g.schema) {
+                    assert!(
+                        g.pools[domain.index()].contains(&value),
+                        "constant {value} not from pool of {domain:?}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests of the workload generators: distribution bounds,
+//! determinism and structural guarantees that the §V experiments rely on.
+
+use proptest::prelude::*;
+use toorjah_workload::random::seeded_rng;
+use toorjah_workload::{
+    paper_queries, publication_instance, publication_schema, random_instance, random_query,
+    random_schema, PublicationConfig, RandomParams,
+};
+
+proptest! {
+    /// Generated schemas respect the paper's bounds and every pool is
+    /// non-empty.
+    #[test]
+    fn schema_bounds(seed in 0u64..100_000) {
+        let params = RandomParams::paper();
+        let mut rng = seeded_rng(seed);
+        let g = random_schema(&mut rng, &params);
+        let n = g.schema.relation_count();
+        prop_assert!((params.relations.0..=params.relations.1).contains(&n));
+        for (_, rel) in g.schema.iter() {
+            prop_assert!((params.arity.0..=params.arity.1).contains(&rel.arity()));
+        }
+        for pool in &g.pools {
+            prop_assert!(!pool.is_empty());
+        }
+    }
+
+    /// Generated queries satisfy the §V shape constraints: atom counts in
+    /// range, joins present for multi-atom queries, heads non-empty and
+    /// safe, constants drawn from the pools.
+    #[test]
+    fn query_shape(seed in 0u64..100_000) {
+        let params = RandomParams::paper();
+        let mut rng = seeded_rng(seed);
+        let g = random_schema(&mut rng, &params);
+        if let Some(q) = random_query(&mut rng, &g, &params) {
+            prop_assert!((params.atoms.0..=params.atoms.1).contains(&q.atoms().len()));
+            if q.atoms().len() >= 2 {
+                prop_assert!(q.has_join());
+            }
+            prop_assert!(!q.head().is_empty());
+            for (value, domain) in q.constants(&g.schema) {
+                prop_assert!(g.pools[domain.index()].contains(&value));
+            }
+        }
+    }
+
+    /// Instances stay within the configured tuple bounds and draw only pool
+    /// values.
+    #[test]
+    fn instance_bounds(seed in 0u64..50_000) {
+        let params = RandomParams::small();
+        let mut rng = seeded_rng(seed);
+        let g = random_schema(&mut rng, &params);
+        let db = random_instance(&mut rng, &g, &params);
+        for (id, rel) in g.schema.iter() {
+            prop_assert!(db.relation_len(id) <= params.tuples.1);
+            for k in 0..rel.arity() {
+                for v in db.values_at(id, k) {
+                    prop_assert!(g.pools[rel.domain(k).index()].contains(&v));
+                }
+            }
+        }
+    }
+
+    /// The whole generation pipeline is a pure function of the seed.
+    #[test]
+    fn generation_determinism(seed in 0u64..50_000) {
+        let params = RandomParams::small();
+        let run = || {
+            let mut rng = seeded_rng(seed);
+            let g = random_schema(&mut rng, &params);
+            let q = random_query(&mut rng, &g, &params)
+                .map(|q| q.display(&g.schema).to_string());
+            let db = random_instance(&mut rng, &g, &params);
+            (g.schema.to_string(), q, db.total_tuples())
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Publication instances are deterministic in the seed and always
+    /// contain the fixed points q3 depends on (icde, 2008).
+    #[test]
+    fn publication_fixed_points(seed in 0u64..2_000) {
+        let schema = publication_schema();
+        let config = PublicationConfig { seed, ..PublicationConfig::small() };
+        let db = publication_instance(&schema, &config);
+        let conf = schema.relation_id("conf").unwrap();
+        prop_assert!(db.relation_len(conf) > 0);
+        // The three paper queries always parse against the schema.
+        prop_assert_eq!(paper_queries(&schema).len(), 3);
+    }
+}

@@ -1,0 +1,84 @@
+//! Compliance screening with the extended query classes: safe negation
+//! (§VII / [18]), answer-completeness checking ([Li 2003] stability), and
+//! orderability ([Yang–Kifer–Chaudhri 2006]).
+//!
+//! Scenario: an integrator screens contractors against a sanctions source.
+//! `contracts` is free; `sanctions` requires the person to be given (a
+//! typical lookup form); `registry` requires a company.
+//!
+//! Run with: `cargo run --example compliance`
+
+use toorjah::catalog::{tuple, Instance, Schema};
+use toorjah::core::{is_feasible, is_orderable};
+use toorjah::engine::{check_completeness, ExecOptions, InstanceSource};
+use toorjah::query::{parse_query, Atom, NegatedQuery, Term, VarId};
+use toorjah::system::Toorjah;
+
+fn main() {
+    let schema = Schema::parse(
+        "contracts^oo(Company, Person)
+         sanctions^io(Person, Authority)
+         registry^io(Company, Country)",
+    )
+    .expect("schema parses");
+
+    let db = Instance::with_data(
+        &schema,
+        [
+            (
+                "contracts",
+                vec![
+                    tuple!["acme", "ann"],
+                    tuple!["acme", "bob"],
+                    tuple!["globex", "cal"],
+                ],
+            ),
+            ("sanctions", vec![tuple!["bob", "ofac"]]),
+            ("registry", vec![tuple!["acme", "it"], tuple!["globex", "de"]]),
+        ],
+    )
+    .expect("instance valid");
+    let provider = InstanceSource::new(schema.clone(), db);
+    let system = Toorjah::new(provider.clone());
+
+    // 1. Positive query: who works on contracts, and where is the company
+    //    registered?
+    let q_text = "q(P, Country) <- contracts(Co, P), registry(Co, Country)";
+    let q = parse_query(q_text, &schema).expect("query parses");
+    println!("query: {}", q.display(&schema));
+    println!(
+        "orderable: {}; feasible: {} (executable left-to-right, no recursion needed)",
+        is_orderable(&q, &schema),
+        is_feasible(&q, &schema),
+    );
+
+    // 2. Completeness: is the obtainable answer the complete one here?
+    let completeness =
+        check_completeness(&q, &schema, &provider, ExecOptions::default()).expect("runs");
+    println!(
+        "obtainable answers: {}; complete on this instance: {:?}; statically stable: {}",
+        completeness.obtainable.len(),
+        completeness.is_complete_here,
+        completeness.statically_stable,
+    );
+
+    // 3. Safe negation: screened = contracted people NOT on the sanctions
+    //    list (¬sanctions(P, A) is decided exactly by a per-person lookup).
+    let p = q.var_names().iter().position(|n| n == "P").unwrap();
+    let sanctions = schema.relation_id("sanctions").unwrap();
+    // ¬sanctions(P, 'ofac')
+    let negated = Atom::new(
+        sanctions,
+        vec![Term::Var(VarId(p as u32)), Term::Const("ofac".into())],
+    );
+    let nq = NegatedQuery::new(q, vec![negated], &schema).expect("safe negation");
+    let report = system.ask_negated(&nq).expect("negated query runs");
+    println!("\ncleared contractors (not OFAC-sanctioned):");
+    for answer in &report.answers {
+        println!("  {answer}");
+    }
+    println!(
+        "{} candidate(s) rejected by the sanction check; {} total accesses",
+        report.rejected, report.stats.total_accesses,
+    );
+}

@@ -1,0 +1,351 @@
+//! `toorjah` — command-line interface to the Toorjah system.
+//!
+//! Load a *source file* describing a schema with access limitations and its
+//! data, then answer queries with access-minimal plans:
+//!
+//! ```console
+//! $ toorjah examples/music.toorjah --query "q(N) <- r1(A, N, Y1), r2('volare', Y2, A)"
+//! $ toorjah examples/music.toorjah --explain "q(N) <- ..."
+//! $ toorjah examples/music.toorjah          # interactive REPL
+//! ```
+//!
+//! Source-file format (`#` comments; one statement per line):
+//!
+//! ```text
+//! # relations, paper notation
+//! relation r1^ioo(Artist, Nation, Year)
+//! relation r3^oo(Artist, Album)
+//! # tuples: relation(value, ...); numbers are ints, anything else a string
+//! r1(modugno, italy, 1928)
+//! r3(modugno, "nel blu dipinto di blu")
+//! ```
+//!
+//! REPL commands: a query (`q(X) <- ...`), `:explain <query>`, `:schema`,
+//! `:naive <query>` (run the Fig. 1 baseline and compare), `:help`, `:quit`.
+
+use std::io::{BufRead, Write};
+use std::process::ExitCode;
+
+use toorjah::catalog::{Instance, Schema, Tuple, Value};
+use toorjah::engine::{naive_evaluate, InstanceSource, NaiveOptions};
+use toorjah::query::parse_query;
+use toorjah::system::Toorjah;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: toorjah <source-file> [--query <q> | --explain <q>]");
+        return ExitCode::from(2);
+    };
+    if path == "--help" || path == "-h" {
+        eprintln!("usage: toorjah <source-file> [--query <q> | --explain <q>]");
+        eprintln!("With no flags, starts an interactive REPL; see :help inside.");
+        return ExitCode::SUCCESS;
+    }
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (schema, instance) = match load_source(&text) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("cannot load {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "loaded {} relations, {} tuples from {path}",
+        schema.relation_count(),
+        instance.total_tuples()
+    );
+    let provider = InstanceSource::new(schema.clone(), instance);
+    let system = Toorjah::new(provider.clone());
+
+    // One-shot modes.
+    let mut mode: Option<(String, String)> = None;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--query" | "--explain" | "--naive" => {
+                let Some(q) = args.next() else {
+                    eprintln!("{flag} needs a query argument");
+                    return ExitCode::from(2);
+                };
+                mode = Some((flag, q));
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if let Some((flag, q)) = mode {
+        return match flag.as_str() {
+            "--query" => run_query(&system, &q),
+            "--explain" => run_explain(&system, &q),
+            "--naive" => run_naive(&system, &provider, &schema, &q),
+            _ => unreachable!(),
+        };
+    }
+
+    // REPL.
+    eprintln!("toorjah repl — :help for commands");
+    let stdin = std::io::stdin();
+    loop {
+        eprint!("toorjah> ");
+        let _ = std::io::stderr().flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => return ExitCode::SUCCESS, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match line {
+            ":quit" | ":q" | ":exit" => return ExitCode::SUCCESS,
+            ":schema" => println!("{schema}"),
+            ":help" => {
+                println!(
+                    ":schema            show the loaded schema\n\
+                     :explain <query>   show the optimized plan\n\
+                     :naive <query>     run the Fig. 1 baseline and compare accesses\n\
+                     :quit              exit\n\
+                     <query>            e.g. q(X) <- r(X, Y)"
+                );
+            }
+            _ if line.starts_with(":explain ") => {
+                let _ = run_explain(&system, line.trim_start_matches(":explain "));
+            }
+            _ if line.starts_with(":naive ") => {
+                let _ = run_naive(&system, &provider, &schema, line.trim_start_matches(":naive "));
+            }
+            _ if line.starts_with(':') => eprintln!("unknown command; :help"),
+            query => {
+                let _ = run_query(&system, query);
+            }
+        }
+    }
+}
+
+fn run_query(system: &Toorjah, q: &str) -> ExitCode {
+    match system.ask(q) {
+        Ok(result) => {
+            for answer in &result.answers {
+                println!("{answer}");
+            }
+            eprintln!(
+                "{} answer(s), {} access(es)",
+                result.answers.len(),
+                result.stats.total_accesses
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_explain(system: &Toorjah, q: &str) -> ExitCode {
+    match system.explain(q) {
+        Ok(text) => {
+            println!("{text}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_naive(
+    system: &Toorjah,
+    provider: &InstanceSource,
+    schema: &Schema,
+    q: &str,
+) -> ExitCode {
+    let query = match parse_query(q, schema) {
+        Ok(q) => q,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let naive = match naive_evaluate(&query, schema, provider, NaiveOptions::default()) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("naive evaluation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match system.ask_query(&query) {
+        Ok(optimized) => {
+            println!(
+                "naive: {} accesses; optimized: {} accesses ({:.1}% saved); {} answer(s)",
+                naive.stats.total_accesses,
+                optimized.stats.total_accesses,
+                100.0 * (1.0
+                    - optimized.stats.total_accesses as f64
+                        / naive.stats.total_accesses.max(1) as f64),
+                optimized.answers.len(),
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parses a source file into a schema and instance.
+fn load_source(text: &str) -> Result<(Schema, Instance), String> {
+    let mut schema_decls = String::new();
+    let mut data_lines: Vec<(usize, &str)> = Vec::new();
+    for (no, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("relation ") {
+            schema_decls.push_str(rest.trim());
+            schema_decls.push('\n');
+        } else {
+            data_lines.push((no + 1, line));
+        }
+    }
+    let schema = Schema::parse(&schema_decls).map_err(|e| format!("schema error: {e}"))?;
+    let mut instance = Instance::new(&schema);
+    for (no, line) in data_lines {
+        let (name, tuple) =
+            parse_fact(line).map_err(|e| format!("line {no}: {e} in {line:?}"))?;
+        instance
+            .insert(&name, tuple)
+            .map_err(|e| format!("line {no}: {e}"))?;
+    }
+    Ok((schema, instance))
+}
+
+/// Parses `relname(v1, v2, ...)`; numbers become ints, quoted or bare words
+/// become strings.
+fn parse_fact(line: &str) -> Result<(String, Tuple), String> {
+    let open = line.find('(').ok_or("missing '('")?;
+    if !line.ends_with(')') {
+        return Err("missing trailing ')'".to_string());
+    }
+    let name = line[..open].trim().to_string();
+    if name.is_empty() {
+        return Err("empty relation name".to_string());
+    }
+    let body = &line[open + 1..line.len() - 1];
+    let mut values = Vec::new();
+    if !body.trim().is_empty() {
+        for part in split_values(body)? {
+            values.push(parse_value(&part)?);
+        }
+    }
+    Ok((name, Tuple::new(values)))
+}
+
+/// Splits on commas outside quotes.
+fn split_values(body: &str) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    let mut current = String::new();
+    let mut in_quotes = false;
+    for c in body.chars() {
+        match c {
+            '"' => {
+                in_quotes = !in_quotes;
+                current.push(c);
+            }
+            ',' if !in_quotes => {
+                out.push(current.trim().to_string());
+                current.clear();
+            }
+            _ => current.push(c),
+        }
+    }
+    if in_quotes {
+        return Err("unterminated quote".to_string());
+    }
+    out.push(current.trim().to_string());
+    Ok(out)
+}
+
+fn parse_value(s: &str) -> Result<Value, String> {
+    if s.is_empty() {
+        return Err("empty value".to_string());
+    }
+    if let Some(stripped) = s.strip_prefix('"') {
+        let inner = stripped.strip_suffix('"').ok_or("unterminated quote")?;
+        return Ok(Value::str(inner));
+    }
+    if let Ok(n) = s.parse::<i64>() {
+        return Ok(Value::int(n));
+    }
+    Ok(Value::str(s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# music sources
+relation r1^ioo(Artist, Nation, Year)
+relation r3^oo(Artist, Album)
+
+r1(modugno, italy, 1928)
+r3(modugno, "nel blu dipinto di blu")  # quoted string
+"#;
+
+    #[test]
+    fn load_sample_source() {
+        let (schema, db) = load_source(SAMPLE).unwrap();
+        assert_eq!(schema.relation_count(), 2);
+        assert_eq!(db.total_tuples(), 2);
+        let r1 = schema.relation_id("r1").unwrap();
+        let row = &db.full_extension(r1)[0];
+        assert_eq!(row[2], Value::int(1928));
+    }
+
+    #[test]
+    fn quoted_strings_keep_commas_out() {
+        let vals = split_values(r#"a, "b, c", 3"#).unwrap();
+        assert_eq!(vals, vec!["a", r#""b, c""#, "3"]);
+        assert_eq!(parse_value(r#""b, c""#).unwrap(), Value::str("b, c"));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let bad = "relation r^o(A)\nr(1, 2)\n";
+        let err = load_source(bad).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn fact_parse_errors() {
+        assert!(parse_fact("r(1, 2").is_err());
+        assert!(parse_fact("(1)").is_err());
+        assert!(parse_fact("r 1, 2)").is_err());
+        assert!(split_values(r#""unterminated"#).is_err());
+    }
+
+    #[test]
+    fn nullary_fact() {
+        let (name, t) = parse_fact("flag()").unwrap();
+        assert_eq!(name, "flag");
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,144 @@
+//! End-to-end tests of the `toorjah` CLI binary: one-shot queries, plan
+//! explanation, the naive comparison, the REPL loop, and error paths.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+const BIN: &str = env!("CARGO_BIN_EXE_toorjah");
+
+fn sample_file() -> tempfile::NamedFile {
+    tempfile::NamedFile::new(
+        "relation r1^ioo(Artist, Nation, Year)\n\
+         relation r2^oio(Title, Year, Artist)\n\
+         relation r3^oo(Artist, Album)\n\
+         r1(modugno, italy, 1928)\n\
+         r1(mina, italy, 1958)\n\
+         r2(volare, 1958, modugno)\n\
+         r3(modugno, \"nel blu\")\n\
+         r3(mina, \"studio uno\")\n",
+    )
+}
+
+/// Minimal self-cleaning temp file (no external crates).
+mod tempfile {
+    use std::path::PathBuf;
+
+    pub struct NamedFile {
+        path: PathBuf,
+    }
+
+    impl NamedFile {
+        pub fn new(contents: &str) -> Self {
+            let path = std::env::temp_dir().join(format!(
+                "toorjah-cli-test-{}-{:?}.toorjah",
+                std::process::id(),
+                std::thread::current().id(),
+            ));
+            std::fs::write(&path, contents).expect("temp file written");
+            NamedFile { path }
+        }
+
+        pub fn path(&self) -> &std::path::Path {
+            &self.path
+        }
+    }
+
+    impl Drop for NamedFile {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.path);
+        }
+    }
+}
+
+#[test]
+fn one_shot_query() {
+    let file = sample_file();
+    let out = Command::new(BIN)
+        .arg(file.path())
+        .args(["--query", "q(N) <- r1(A, N, Y1), r2('volare', Y2, A)"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("italy"), "{stdout}");
+}
+
+#[test]
+fn explain_shows_the_program() {
+    let file = sample_file();
+    let out = Command::new(BIN)
+        .arg(file.path())
+        .args(["--explain", "q(N) <- r1(A, N, Y1), r2('volare', Y2, A)"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("datalog program"), "{stdout}");
+    assert!(stdout.contains("r1_hat1"), "{stdout}");
+}
+
+#[test]
+fn naive_comparison() {
+    let file = sample_file();
+    let out = Command::new(BIN)
+        .arg(file.path())
+        .args(["--naive", "q(N) <- r1(A, N, Y1), r2('volare', Y2, A)"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("naive:") && stdout.contains("optimized:"), "{stdout}");
+}
+
+#[test]
+fn repl_session() {
+    let file = sample_file();
+    let mut child = Command::new(BIN)
+        .arg(file.path())
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("repl starts");
+    let mut stdin = child.stdin.take().unwrap();
+    writeln!(stdin, ":schema").unwrap();
+    writeln!(stdin, "q(A) <- r3(A, B)").unwrap();
+    writeln!(stdin, ":quit").unwrap();
+    drop(stdin);
+    let out = child.wait_with_output().expect("repl exits");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("r1^ioo"), "schema shown: {stdout}");
+    assert!(stdout.contains("modugno") && stdout.contains("mina"), "{stdout}");
+}
+
+#[test]
+fn bad_query_fails_cleanly() {
+    let file = sample_file();
+    let out = Command::new(BIN)
+        .arg(file.path())
+        .args(["--query", "q(N) <- nope(N)"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown relation"), "{stderr}");
+}
+
+#[test]
+fn missing_file_fails_cleanly() {
+    let out = Command::new(BIN)
+        .arg("/definitely/not/a/file.toorjah")
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn malformed_source_reports_line() {
+    let file = tempfile::NamedFile::new("relation r^o(A)\nr(1, 2)\n");
+    let out = Command::new(BIN).arg(file.path()).output().expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("line 2"), "{stderr}");
+}

@@ -1,0 +1,156 @@
+//! Edge cases across the full pipeline: degenerate schemas, all-input
+//! relations, nullary relations, constant-only seeding, self-joins and
+//! self-feeding relations.
+
+use toorjah::catalog::{tuple, Instance, Schema, Tuple};
+use toorjah::core::plan_query;
+use toorjah::engine::{
+    execute_plan, naive_evaluate, ExecOptions, InstanceSource, NaiveOptions,
+};
+use toorjah::query::parse_query;
+
+fn run_both(
+    schema_text: &str,
+    data: Vec<(&str, Vec<Tuple>)>,
+    query_text: &str,
+) -> (Vec<Tuple>, Vec<Tuple>) {
+    let schema = Schema::parse(schema_text).unwrap();
+    let db = Instance::with_data(&schema, data).unwrap();
+    let src = InstanceSource::new(schema.clone(), db);
+    let q = parse_query(query_text, &schema).unwrap();
+    let naive = naive_evaluate(&q, &schema, &src, NaiveOptions::default()).unwrap();
+    let planned = plan_query(&q, &schema).unwrap();
+    let opt = execute_plan(&planned.plan, &src, ExecOptions::default()).unwrap();
+    let mut a = naive.answers;
+    let mut b = opt.answers;
+    a.sort();
+    b.sort();
+    assert_eq!(a, b, "naive and optimized must agree");
+    (a, b)
+}
+
+#[test]
+fn single_nullary_atom() {
+    let (answers, _) = run_both("flag^()", vec![("flag", vec![Tuple::empty()])], "q() <- flag()");
+    assert_eq!(answers, vec![Tuple::empty()]);
+    let (answers, _) = run_both("flag^()", vec![("flag", vec![])], "q() <- flag()");
+    assert!(answers.is_empty());
+}
+
+#[test]
+fn all_input_relation_with_constant_cover() {
+    // sink^ii can only ever be probed with both positions bound; the query
+    // binds one by constant and one through f.
+    let (answers, _) = run_both(
+        "sink^ii(A, B) f^o(B)",
+        vec![
+            ("sink", vec![tuple!["k", "b1"], tuple!["k", "b9"]]),
+            ("f", vec![tuple!["b1"], tuple!["b2"]]),
+        ],
+        "q(Y) <- sink('k', Y), f(Y)",
+    );
+    assert_eq!(answers, vec![tuple!["b1"]]);
+}
+
+#[test]
+fn constant_is_the_only_seed() {
+    let (answers, _) = run_both(
+        "r^io(A, B)",
+        vec![("r", vec![tuple!["a", "b"], tuple!["z", "y"]])],
+        "q(B) <- r('a', B)",
+    );
+    assert_eq!(answers, vec![tuple!["b"]]);
+}
+
+#[test]
+fn self_feeding_relation_closure() {
+    // r(A^i, A^o) reachable from a seed: the plan must pump the chain
+    // a0 → a1 → a2 → a3 to the fixpoint.
+    let (answers, _) = run_both(
+        "r^io(A, A) seed^o(A)",
+        vec![
+            ("seed", vec![tuple!["a0"]]),
+            (
+                "r",
+                vec![tuple!["a0", "a1"], tuple!["a1", "a2"], tuple!["a2", "a3"], tuple!["x", "y"]],
+            ),
+        ],
+        "q(Y) <- r(X, Y)",
+    );
+    assert_eq!(answers, vec![tuple!["a1"], tuple!["a2"], tuple!["a3"]]);
+}
+
+#[test]
+fn self_join_same_relation_three_times() {
+    let (answers, _) = run_both(
+        "e^oo(V, V)",
+        vec![("e", vec![tuple![1, 2], tuple![2, 3], tuple![3, 4]])],
+        "q(A, D) <- e(A, B), e(B, C), e(C, D)",
+    );
+    assert_eq!(answers, vec![tuple![1, 4]]);
+}
+
+#[test]
+fn repeated_answer_variable() {
+    let (answers, _) = run_both(
+        "e^oo(V, V)",
+        vec![("e", vec![tuple![1, 1], tuple![1, 2]])],
+        "q(X, X) <- e(X, X)",
+    );
+    assert_eq!(answers, vec![tuple![1, 1]]);
+}
+
+#[test]
+fn empty_instance_everywhere() {
+    let (answers, _) = run_both(
+        "r^io(A, B) f^o(A)",
+        vec![("r", vec![]), ("f", vec![])],
+        "q(B) <- f(X), r(X, B)",
+    );
+    assert!(answers.is_empty());
+}
+
+#[test]
+fn two_constants_same_domain() {
+    let (answers, _) = run_both(
+        "r^io(A, B) s^io(A, B)",
+        vec![
+            ("r", vec![tuple!["k1", "u"]]),
+            ("s", vec![tuple!["k2", "u"], tuple!["k2", "v"]]),
+        ],
+        "q(X) <- r('k1', X), s('k2', X)",
+    );
+    assert_eq!(answers, vec![tuple!["u"]]);
+}
+
+#[test]
+fn plan_metadata_for_trivial_query() {
+    let schema = Schema::parse("flag^()").unwrap();
+    let q = parse_query("q() <- flag()", &schema).unwrap();
+    let planned = plan_query(&q, &schema).unwrap();
+    assert_eq!(planned.plan.caches.len(), 1);
+    assert_eq!(planned.plan.k, 1);
+    assert!(planned.minimality.forall_minimal);
+    assert!(planned.optimized.graph().arcs().is_empty());
+}
+
+#[test]
+fn wide_relation_partial_inputs() {
+    // 5-ary relation with inputs at positions 1 and 3.
+    let (answers, _) = run_both(
+        "wide^oioio(A, B, C, D, E) fb^o(B) fd^o(D)",
+        vec![
+            (
+                "wide",
+                vec![
+                    tuple!["a1", "b1", "c1", "d1", "e1"],
+                    tuple!["a2", "b1", "c2", "d2", "e2"],
+                ],
+            ),
+            ("fb", vec![tuple!["b1"]]),
+            ("fd", vec![tuple!["d1"], tuple!["d2"]]),
+        ],
+        "q(A, E) <- wide(A, B, C, D, E), fb(B), fd(D)",
+    );
+    assert_eq!(answers.len(), 2);
+}

@@ -1,0 +1,93 @@
+//! The parallel distillation executor computes exactly the sequential
+//! executor's answers on random workloads, and its access set equals the
+//! sequential one whenever fast-failing did not cut the sequential run
+//! short (distillation optimizes for early answers, not early failure).
+
+use std::sync::Arc;
+
+use toorjah::catalog::Tuple;
+use toorjah::core::{plan_query, CoreError};
+use toorjah::engine::{execute_plan, ExecOptions, InstanceSource};
+use toorjah::system::{run_distillation, DistillationOptions};
+use toorjah::workload::random::seeded_rng;
+use toorjah::workload::{random_instance, random_query, random_schema, RandomParams};
+
+fn sorted(mut v: Vec<Tuple>) -> Vec<Tuple> {
+    v.sort();
+    v
+}
+
+#[test]
+fn distillation_equals_sequential_on_random_workloads() {
+    let params = RandomParams::small();
+    let mut checked = 0;
+    for seed in 0..60 {
+        let mut rng = seeded_rng(seed);
+        let generated = random_schema(&mut rng, &params);
+        let Some(query) = random_query(&mut rng, &generated, &params) else { continue };
+        let instance = random_instance(&mut rng, &generated, &params);
+        let provider = Arc::new(InstanceSource::new(generated.schema.clone(), instance));
+
+        let planned = match plan_query(&query, &generated.schema) {
+            Ok(p) => p,
+            Err(CoreError::NotAnswerable { .. }) => continue,
+            Err(e) => panic!("planning failed: {e}"),
+        };
+
+        let sequential =
+            execute_plan(&planned.plan, provider.as_ref(), ExecOptions::default())
+                .expect("sequential runs");
+        let stream = run_distillation(
+            planned.plan.clone(),
+            Arc::clone(&provider) as Arc<dyn toorjah::engine::SourceProvider>,
+            DistillationOptions::default(),
+        );
+        let parallel = stream.wait().expect("distillation runs");
+
+        assert_eq!(
+            sorted(parallel.answers.clone()),
+            sorted(sequential.answers.clone()),
+            "answers differ on seed {seed} for {}",
+            query.display(&generated.schema),
+        );
+        if sequential.failed_at_position.is_none() {
+            assert_eq!(
+                parallel.stats.total_accesses, sequential.stats.total_accesses,
+                "access counts differ on seed {seed}",
+            );
+        } else {
+            assert!(
+                sequential.stats.total_accesses <= parallel.stats.total_accesses,
+                "fast-failing must not access more on seed {seed}",
+            );
+        }
+        checked += 1;
+    }
+    assert!(checked > 20, "enough workloads were checked ({checked}/60)");
+}
+
+#[test]
+fn distillation_time_to_first_answer_is_populated() {
+    let params = RandomParams::small();
+    for seed in 0..40 {
+        let mut rng = seeded_rng(seed);
+        let generated = random_schema(&mut rng, &params);
+        let Some(query) = random_query(&mut rng, &generated, &params) else { continue };
+        let instance = random_instance(&mut rng, &generated, &params);
+        let provider = Arc::new(InstanceSource::new(generated.schema.clone(), instance));
+        let Ok(planned) = plan_query(&query, &generated.schema) else { continue };
+        let stream = run_distillation(
+            planned.plan,
+            provider as Arc<dyn toorjah::engine::SourceProvider>,
+            DistillationOptions::default(),
+        );
+        let report = stream.wait().expect("runs");
+        match report.answers.len() {
+            0 => assert!(report.time_to_first_answer.is_none()),
+            _ => {
+                let first = report.time_to_first_answer.expect("first answer stamped");
+                assert!(first <= report.total_time);
+            }
+        }
+    }
+}

@@ -7,11 +7,11 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use toorjah_catalog::tuple;
 use toorjah_core::plan_query;
 use toorjah_datalog::{evaluate, DTerm, FactStore, Literal, Program, Rule};
-use toorjah_engine::{
-    execute_plan, naive_evaluate, ExecOptions, InstanceSource, NaiveOptions,
-};
+use toorjah_engine::{execute_plan, naive_evaluate, ExecOptions, InstanceSource, NaiveOptions};
 use toorjah_query::{minimize, parse_query};
-use toorjah_workload::{paper_queries, publication_instance, publication_schema, PublicationConfig};
+use toorjah_workload::{
+    paper_queries, publication_instance, publication_schema, PublicationConfig,
+};
 
 fn naive_vs_optimized(c: &mut Criterion) {
     let schema = publication_schema();
@@ -41,8 +41,12 @@ fn naive_vs_optimized(c: &mut Criterion) {
         });
         c.bench_function(&format!("optimized_{name}"), |b| {
             b.iter(|| {
-                execute_plan(std::hint::black_box(&planned.plan), &provider, ExecOptions::default())
-                    .unwrap()
+                execute_plan(
+                    std::hint::black_box(&planned.plan),
+                    &provider,
+                    ExecOptions::default(),
+                )
+                .unwrap()
             })
         });
     }
@@ -74,7 +78,10 @@ fn datalog_closure(c: &mut Criterion) {
     .unwrap();
     p.add_rule(Rule::new(
         Literal::new(path, vec![v(0), v(2)]),
-        vec![Literal::new(edge, vec![v(0), v(1)]), Literal::new(path, vec![v(1), v(2)])],
+        vec![
+            Literal::new(edge, vec![v(0), v(1)]),
+            Literal::new(path, vec![v(1), v(2)]),
+        ],
         vec!["X".into(), "Y".into(), "Z".into()],
     ))
     .unwrap();

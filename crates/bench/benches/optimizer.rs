@@ -28,7 +28,9 @@ fn paper_q3_pipeline(c: &mut Criterion) {
     let (solution, _) = gfp(&graph);
     let opt = OptimizedDGraph::new(graph.clone(), solution);
     c.bench_function("ordering_q3", |b| {
-        b.iter(|| order_sources(std::hint::black_box(&opt), OrderingHeuristic::JoinCountDesc).unwrap())
+        b.iter(|| {
+            order_sources(std::hint::black_box(&opt), OrderingHeuristic::JoinCountDesc).unwrap()
+        })
     });
 
     c.bench_function("plan_query_q3_end_to_end", |b| {
@@ -46,9 +48,15 @@ fn gfp_scaling(c: &mut Criterion) {
         };
         let mut rng = seeded_rng(relations as u64);
         let generated = random_schema(&mut rng, &params);
-        let Some(query) = random_query(&mut rng, &generated, &params) else { continue };
-        let Ok(pre) = preprocess(&query, &generated.schema) else { continue };
-        let Ok(graph) = DGraph::build(&pre) else { continue };
+        let Some(query) = random_query(&mut rng, &generated, &params) else {
+            continue;
+        };
+        let Ok(pre) = preprocess(&query, &generated.schema) else {
+            continue;
+        };
+        let Ok(graph) = DGraph::build(&pre) else {
+            continue;
+        };
         group.bench_with_input(
             BenchmarkId::from_parameter(relations),
             &graph,

@@ -10,7 +10,9 @@
 use toorjah_bench::Cli;
 use toorjah_query::is_connection_query;
 use toorjah_workload::random::seeded_rng;
-use toorjah_workload::{paper_queries, publication_schema, random_query, random_schema, RandomParams};
+use toorjah_workload::{
+    paper_queries, publication_schema, random_query, random_schema, RandomParams,
+};
 
 fn main() {
     let cli = Cli::parse();
@@ -27,7 +29,9 @@ fn main() {
         let mut rng = seeded_rng(cli.seed ^ (schema_idx as u64).wrapping_mul(0x8525_29C5));
         let generated = random_schema(&mut rng, &params);
         for _ in 0..query_count {
-            let Some(query) = random_query(&mut rng, &generated, &params) else { break };
+            let Some(query) = random_query(&mut rng, &generated, &params) else {
+                break;
+            };
             total += 1;
             if is_connection_query(&query, &generated.schema) {
                 connection += 1;
@@ -49,7 +53,11 @@ fn main() {
     for (name, q) in paper_queries(&schema) {
         println!(
             "{name} is {}a connection query (paper: q3 is not)",
-            if is_connection_query(&q, &schema) { "" } else { "not " }
+            if is_connection_query(&q, &schema) {
+                ""
+            } else {
+                "not "
+            }
         );
     }
 }

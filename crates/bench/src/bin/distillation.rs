@@ -14,7 +14,9 @@ use toorjah_bench::{fmt_ms, Cli};
 use toorjah_core::plan_query;
 use toorjah_engine::{InstanceSource, LatencySource};
 use toorjah_system::{run_distillation, DistillationOptions};
-use toorjah_workload::{paper_queries, publication_instance, publication_schema, PublicationConfig};
+use toorjah_workload::{
+    paper_queries, publication_instance, publication_schema, PublicationConfig,
+};
 
 fn main() {
     let cli = Cli::parse();

@@ -14,9 +14,7 @@
 
 use toorjah_bench::{Cli, MinMaxAvg};
 use toorjah_core::{plan_query, CoreError, Planner};
-use toorjah_engine::{
-    execute_plan, naive_evaluate, ExecOptions, InstanceSource, NaiveOptions,
-};
+use toorjah_engine::{execute_plan, naive_evaluate, ExecOptions, InstanceSource, NaiveOptions};
 use toorjah_workload::random::seeded_rng;
 use toorjah_workload::{random_instance, random_query, random_schema, RandomParams};
 
@@ -26,7 +24,10 @@ fn main() {
         (
             cli.schemas.unwrap_or(100),
             cli.queries.unwrap_or(100),
-            RandomParams { domains: 10, ..RandomParams::paper() },
+            RandomParams {
+                domains: 10,
+                ..RandomParams::paper()
+            },
             1_000_000usize,
         )
     } else {
@@ -66,7 +67,9 @@ fn main() {
 
         let mut produced = 0;
         while produced < query_count {
-            let Some(query) = random_query(&mut rng, &generated, &params) else { break };
+            let Some(query) = random_query(&mut rng, &generated, &params) else {
+                break;
+            };
             produced += 1;
 
             // Exclusion 1: queries over free relations only.
@@ -92,11 +95,19 @@ fn main() {
             deleted.push(planned.optimized.deleted_count() as f64);
             strong.push(planned.optimized.strong_count() as f64);
 
-            let naive_opts = NaiveOptions { max_accesses: budget };
-            let exec_opts = ExecOptions { max_accesses: budget, ..ExecOptions::default() };
+            let naive_opts = NaiveOptions {
+                max_accesses: budget,
+            };
+            let exec_opts = ExecOptions {
+                max_accesses: budget,
+                ..ExecOptions::default()
+            };
             let naive = naive_evaluate(&query, &generated.schema, &provider, naive_opts);
             let optimized = execute_plan(&planned.plan, &provider, exec_opts);
-            let ablated_planner = Planner { strong_arcs: false, ..Planner::default() };
+            let ablated_planner = Planner {
+                strong_arcs: false,
+                ..Planner::default()
+            };
             let ablated = ablated_planner
                 .plan(&query, &generated.schema)
                 .ok()
@@ -127,7 +138,10 @@ fn main() {
     }
     eprintln!();
 
-    println!("Fig. 10 — experiments on synthetic queries ({} queries measured;", arcs.count());
+    println!(
+        "Fig. 10 — experiments on synthetic queries ({} queries measured;",
+        arcs.count()
+    );
     println!(
         "excluded: {skipped_non_answerable} non-answerable, {skipped_free_only} free-only, {skipped_budget} over the {budget}-access budget)\n"
     );

@@ -33,7 +33,10 @@ fn main() {
         (
             cli.schemas.unwrap_or(50),
             cli.queries.unwrap_or(40),
-            RandomParams { domains: 10, ..RandomParams::paper() },
+            RandomParams {
+                domains: 10,
+                ..RandomParams::paper()
+            },
             1_000_000usize,
         )
     } else {
@@ -64,7 +67,9 @@ fn main() {
         );
 
         for _ in 0..queries_per_schema {
-            let Some(query) = random_query(&mut rng, &generated, &params) else { break };
+            let Some(query) = random_query(&mut rng, &generated, &params) else {
+                break;
+            };
             let atoms = query.atoms().len();
             if !(2..=6).contains(&atoms) {
                 continue;
@@ -88,7 +93,9 @@ fn main() {
                 &query,
                 &generated.schema,
                 &provider,
-                NaiveOptions { max_accesses: budget },
+                NaiveOptions {
+                    max_accesses: budget,
+                },
             );
             let naive_time = wall.elapsed() + provider.simulated_cost();
 
@@ -97,7 +104,10 @@ fn main() {
             let optimized = execute_plan(
                 &planned.plan,
                 &provider,
-                ExecOptions { max_accesses: budget, ..ExecOptions::default() },
+                ExecOptions {
+                    max_accesses: budget,
+                    ..ExecOptions::default()
+                },
             );
             let opt_time = wall.elapsed() + provider.simulated_cost();
 
@@ -118,7 +128,13 @@ fn main() {
         "{:<8}{:>14}{:>14}{:>10}    (paper naive → opt)",
         "atoms", "naive", "optimized", "queries"
     );
-    let paper = ["9310 → 684", "12161 → 1732", "10198 → 959", "14879 → 1134", "15474 → 1247"];
+    let paper = [
+        "9310 → 684",
+        "12161 → 1732",
+        "10198 → 959",
+        "14879 → 1134",
+        "15474 → 1247",
+    ];
     for (i, label) in (2..=6).enumerate() {
         println!(
             "{:<8}{:>11.0} ms{:>11.0} ms{:>10}    ({} ms)",

@@ -7,16 +7,22 @@
 //! (default uses the paper-scale configuration already).
 
 use toorjah_bench::Cli;
-use toorjah_engine::{
-    execute_plan, naive_evaluate, ExecOptions, InstanceSource, NaiveOptions,
-};
 use toorjah_core::plan_query;
-use toorjah_workload::{paper_queries, publication_instance, publication_schema, PublicationConfig};
+use toorjah_engine::{execute_plan, naive_evaluate, ExecOptions, InstanceSource, NaiveOptions};
+use toorjah_workload::{
+    paper_queries, publication_instance, publication_schema, PublicationConfig,
+};
 
 /// The paper's published cell values for comparison, as printed in Fig. 6
 /// (naive accesses, optimized accesses, naive rows, optimized rows); `None`
 /// marks cells left blank.
-type Row = (&'static str, Option<u64>, Option<u64>, Option<u64>, Option<u64>);
+type Row = (
+    &'static str,
+    Option<u64>,
+    Option<u64>,
+    Option<u64>,
+    Option<u64>,
+);
 
 fn paper_reference(query: &str) -> Vec<Row> {
     match query {
@@ -34,7 +40,13 @@ fn paper_reference(query: &str) -> Vec<Row> {
             ("conf", Some(4), Some(1), Some(1000), Some(1000)),
             ("rev", Some(20), Some(20), Some(999), Some(999)),
             ("sub", Some(400), None, Some(996), None),
-            ("rev_icde", Some(159_600), Some(133_588), Some(997), Some(818)),
+            (
+                "rev_icde",
+                Some(159_600),
+                Some(133_588),
+                Some(997),
+                Some(818),
+            ),
         ],
         "q3" => vec![
             ("pub1", Some(4), None, Some(996), None),
@@ -42,7 +54,13 @@ fn paper_reference(query: &str) -> Vec<Row> {
             ("conf", Some(4), Some(1), Some(1000), Some(1000)),
             ("rev", Some(20), Some(1), Some(999), Some(56)),
             ("sub", Some(400), Some(357), Some(996), Some(893)),
-            ("rev_icde", Some(159_600), Some(17_184), Some(997), Some(102)),
+            (
+                "rev_icde",
+                Some(159_600),
+                Some(17_184),
+                Some(997),
+                Some(102),
+            ),
         ],
         _ => Vec::new(),
     }
@@ -75,7 +93,15 @@ fn main() {
 
         println!(
             "{:<10}| {:>12} {:>12} | {:>12} {:>12} | {:>11} {:>11} | {:>10} {:>10}",
-            "", "naive acc.", "(paper)", "opt. acc.", "(paper)", "naive rows", "(paper)", "opt. rows", "(paper)"
+            "",
+            "naive acc.",
+            "(paper)",
+            "opt. acc.",
+            "(paper)",
+            "naive rows",
+            "(paper)",
+            "opt. rows",
+            "(paper)"
         );
         let reference = paper_reference(name);
         for (id, rel) in schema.iter() {
@@ -84,7 +110,13 @@ fn main() {
             let oa = optimized.stats.accesses_to(id);
             let nr = naive.stats.extracted_from(id);
             let or = optimized.stats.extracted_from(id);
-            let blank = |n: usize| if n == 0 { "-".to_string() } else { n.to_string() };
+            let blank = |n: usize| {
+                if n == 0 {
+                    "-".to_string()
+                } else {
+                    n.to_string()
+                }
+            };
             println!(
                 "{:<10}| {:>12} {:>12} | {:>12} {:>12} | {:>11} {:>11} | {:>10} {:>10}",
                 rel.name(),
@@ -99,7 +131,8 @@ fn main() {
             );
         }
         let saved = 100.0
-            * (1.0 - optimized.stats.total_accesses as f64 / naive.stats.total_accesses.max(1) as f64);
+            * (1.0
+                - optimized.stats.total_accesses as f64 / naive.stats.total_accesses.max(1) as f64);
         let mut a = naive.answers.clone();
         let mut b = optimized.answers.clone();
         a.sort();

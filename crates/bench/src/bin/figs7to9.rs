@@ -28,8 +28,7 @@ fn main() {
         let graph = opt.graph();
 
         // Full d-graph.
-        let full_sources: Vec<String> =
-            graph.sources().iter().map(|s| s.label.clone()).collect();
+        let full_sources: Vec<String> = graph.sources().iter().map(|s| s.label.clone()).collect();
         println!(
             "  d-graph: sources {{{}}}, {} arcs",
             full_sources.join(", "),
@@ -54,9 +53,7 @@ fn main() {
             .sources()
             .iter()
             .enumerate()
-            .filter(|(i, _)| {
-                !opt.is_relevant_source(toorjah_core::SourceId(*i as u32))
-            })
+            .filter(|(i, _)| !opt.is_relevant_source(toorjah_core::SourceId(*i as u32)))
             .map(|(_, s)| s.label.clone())
             .collect();
         println!("  pruned sources: {{{}}}", pruned.join(", "));
@@ -67,7 +64,11 @@ fn main() {
         let opt_path = out_dir.join(format!("{name}_optimized.dot"));
         fs::write(&full_path, full_dot).expect("write dot");
         fs::write(&opt_path, opt_dot).expect("write dot");
-        println!("  wrote {} and {}\n", full_path.display(), opt_path.display());
+        println!(
+            "  wrote {} and {}\n",
+            full_path.display(),
+            opt_path.display()
+        );
     }
 
     println!("paper reference:");

@@ -41,21 +41,32 @@ fn main() {
         let provider = InstanceSource::new(generated.schema.clone(), instance);
 
         for _ in 0..query_count {
-            let Some(query) = random_query(&mut rng, &generated, &params) else { break };
-            let plans: Vec<_> = [OrderingHeuristic::JoinCountDesc, OrderingHeuristic::SourceIdAsc]
-                .into_iter()
-                .map(|heuristic| {
-                    let planner = Planner { heuristic, ..Planner::default() };
-                    planner.plan(&query, &generated.schema)
-                })
-                .collect();
+            let Some(query) = random_query(&mut rng, &generated, &params) else {
+                break;
+            };
+            let plans: Vec<_> = [
+                OrderingHeuristic::JoinCountDesc,
+                OrderingHeuristic::SourceIdAsc,
+            ]
+            .into_iter()
+            .map(|heuristic| {
+                let planner = Planner {
+                    heuristic,
+                    ..Planner::default()
+                };
+                planner.plan(&query, &generated.schema)
+            })
+            .collect();
             let (Ok(a), Ok(b)) = (&plans[0], &plans[1]) else {
                 if matches!(plans[0], Err(CoreError::NotAnswerable { .. })) {
                     continue;
                 }
                 panic!("planning failed");
             };
-            let opts = ExecOptions { max_accesses: budget, ..ExecOptions::default() };
+            let opts = ExecOptions {
+                max_accesses: budget,
+                ..ExecOptions::default()
+            };
             let (Ok(ra), Ok(rb)) = (
                 execute_plan(&a.plan, &provider, opts),
                 execute_plan(&b.plan, &provider, opts),

@@ -36,7 +36,12 @@ pub struct Cli {
 impl Cli {
     /// Parses `--full`, `--seed <n>`, `--schemas <n>`, `--queries <n>`.
     pub fn parse() -> Cli {
-        let mut cli = Cli { full: false, seed: 2008, schemas: None, queries: None };
+        let mut cli = Cli {
+            full: false,
+            seed: 2008,
+            schemas: None,
+            queries: None,
+        };
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
             match arg.as_str() {
@@ -77,12 +82,21 @@ impl MinMaxAvg {
 
     /// Smallest observation (0 when empty).
     pub fn min(&self) -> f64 {
-        self.values.iter().copied().fold(f64::INFINITY, f64::min).min(f64::MAX)
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().copied().fold(f64::INFINITY, f64::min)
     }
 
     /// Largest observation (0 when empty).
     pub fn max(&self) -> f64 {
-        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max).max(f64::MIN)
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Mean (0 when empty).

@@ -83,7 +83,9 @@ impl DomainRegistry {
             return id;
         }
         let id = DomainId(self.domains.len() as u32);
-        self.domains.push(Domain { name: name.to_string() });
+        self.domains.push(Domain {
+            name: name.to_string(),
+        });
         self.by_name.insert(name.to_string(), id);
         id
     }

@@ -102,7 +102,11 @@ mod tests {
         let msg = e.to_string();
         assert!(msg.contains('r') && msg.contains('2') && msg.contains('3'));
 
-        let e = CatalogError::TupleArity { relation: "s".into(), expected: 1, got: 4 };
+        let e = CatalogError::TupleArity {
+            relation: "s".into(),
+            expected: 1,
+            got: 4,
+        };
         assert!(e.to_string().contains("arity 4"));
     }
 

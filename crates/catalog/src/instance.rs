@@ -102,7 +102,11 @@ impl Instance {
             names.push(rel.name().to_string());
             arities.push(rel.arity());
         }
-        Instance { extents, names, arities }
+        Instance {
+            extents,
+            names,
+            arities,
+        }
     }
 
     /// Creates an instance and populates it from `(relation name, tuples)` pairs.
@@ -239,7 +243,10 @@ mod tests {
             schema,
             [
                 ("r1", vec![tuple!["a1", "c1"], tuple!["a1", "c3"]]),
-                ("r2", vec![tuple!["b1", "c1"], tuple!["b2", "c2"], tuple!["b3", "c3"]]),
+                (
+                    "r2",
+                    vec![tuple!["b1", "c1"], tuple!["b2", "c2"], tuple!["b3", "c3"]],
+                ),
                 ("r3", vec![tuple!["c1", "b2"], tuple!["c2", "b1"]]),
             ],
         )

@@ -70,12 +70,16 @@ impl AccessPattern {
 
     /// An all-output (free) pattern of the given arity.
     pub fn all_output(arity: usize) -> Self {
-        AccessPattern { modes: vec![Mode::Output; arity] }
+        AccessPattern {
+            modes: vec![Mode::Output; arity],
+        }
     }
 
     /// An all-input pattern of the given arity.
     pub fn all_input(arity: usize) -> Self {
-        AccessPattern { modes: vec![Mode::Input; arity] }
+        AccessPattern {
+            modes: vec![Mode::Input; arity],
+        }
     }
 
     /// The number of argument positions.

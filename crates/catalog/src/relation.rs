@@ -40,7 +40,11 @@ impl RelationSchema {
     /// length; this is validated by [`crate::SchemaBuilder`].
     pub(crate) fn new(name: String, domains: Vec<DomainId>, pattern: AccessPattern) -> Self {
         debug_assert_eq!(domains.len(), pattern.arity());
-        RelationSchema { name, domains, pattern }
+        RelationSchema {
+            name,
+            domains,
+            pattern,
+        }
     }
 
     /// The relation name.
@@ -84,7 +88,10 @@ impl RelationSchema {
     /// Renders the schema in the paper's notation with the given registry,
     /// e.g. `rev^ooi(Person, ConfName, Year)`.
     pub fn display<'a>(&'a self, domains: &'a DomainRegistry) -> impl fmt::Display + 'a {
-        DisplaySchema { schema: self, domains }
+        DisplaySchema {
+            schema: self,
+            domains,
+        }
     }
 }
 
@@ -136,7 +143,10 @@ mod tests {
     #[test]
     fn paper_notation_display() {
         let (reg, r) = sample();
-        assert_eq!(r.display(&reg).to_string(), "rev^ooi(Person, ConfName, Year)");
+        assert_eq!(
+            r.display(&reg).to_string(),
+            "rev^ooi(Person, ConfName, Year)"
+        );
     }
 
     #[test]

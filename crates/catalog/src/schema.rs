@@ -118,7 +118,8 @@ impl Schema {
             }
             let id = RelationId(out.relations.len() as u32);
             out.by_name.insert(name.clone(), id);
-            out.relations.push(RelationSchema::new(name, domains, pattern));
+            out.relations
+                .push(RelationSchema::new(name, domains, pattern));
         }
         Ok(out)
     }
@@ -307,7 +308,10 @@ mod tests {
     fn parse_with_semicolons_and_default_free_pattern() {
         let schema = Schema::parse("a^i(X); b(X, Y)").unwrap();
         assert!(schema.relation_by_name("b").unwrap().is_free());
-        assert_eq!(schema.relation_by_name("b").unwrap().pattern().to_string(), "oo");
+        assert_eq!(
+            schema.relation_by_name("b").unwrap().pattern().to_string(),
+            "oo"
+        );
     }
 
     #[test]
@@ -375,11 +379,15 @@ mod tests {
 
     #[test]
     fn display_round_trips_through_parse() {
-        let schema = Schema::parse("pub1^io(Paper, Person) rev^ooi(Person, ConfName, Year)").unwrap();
+        let schema =
+            Schema::parse("pub1^io(Paper, Person) rev^ooi(Person, ConfName, Year)").unwrap();
         let text = schema.to_string();
         let again = Schema::parse(&text).unwrap();
         assert_eq!(again.relation_count(), 2);
-        assert_eq!(text, "pub1^io(Paper, Person)\nrev^ooi(Person, ConfName, Year)");
+        assert_eq!(
+            text,
+            "pub1^io(Paper, Person)\nrev^ooi(Person, ConfName, Year)"
+        );
     }
 
     #[test]

@@ -42,7 +42,12 @@ impl Tuple {
     /// # Panics
     /// Panics if any position is out of range.
     pub fn project(&self, positions: &[usize]) -> Tuple {
-        Tuple::new(positions.iter().map(|&p| self.0[p].clone()).collect::<Vec<_>>())
+        Tuple::new(
+            positions
+                .iter()
+                .map(|&p| self.0[p].clone())
+                .collect::<Vec<_>>(),
+        )
     }
 }
 

@@ -125,7 +125,12 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut vals = [Value::from("b"), Value::from(2), Value::from("a"), Value::from(1)];
+        let mut vals = [
+            Value::from("b"),
+            Value::from(2),
+            Value::from("a"),
+            Value::from(1),
+        ];
         vals.sort();
         // Ints sort before strings under the derived ordering.
         assert_eq!(vals[0], Value::from(1));

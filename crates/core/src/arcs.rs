@@ -97,10 +97,7 @@ mod tests {
             "q(C) <- r1('a', B), r2(B, C)",
         );
         let cand = candidate_strong_arcs(&g);
-        assert_eq!(
-            arc_labels(&g, &cand),
-            ["r1(1)→r2(1)", "r_a(1)→r1(1)"]
-        );
+        assert_eq!(arc_labels(&g, &cand), ["r1(1)→r2(1)", "r_a(1)→r1(1)"]);
         // Neither is cyclic.
         let cycl = cyclic_candidate_arcs(&g, &cand);
         assert!(cycl.is_empty());

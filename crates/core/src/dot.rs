@@ -12,7 +12,10 @@ use crate::{ArcMark, DGraph, OptimizedDGraph, Solution};
 
 /// Renders an unmarked d-graph (all arcs weak).
 pub fn dgraph_to_dot(graph: &DGraph) -> String {
-    render(&OptimizedDGraph::new(graph.clone(), Solution::all_weak()), true)
+    render(
+        &OptimizedDGraph::new(graph.clone(), Solution::all_weak()),
+        true,
+    )
 }
 
 /// Renders an optimized d-graph. With `include_deleted`, deleted arcs and

@@ -65,7 +65,9 @@ mod tests {
 
     #[test]
     fn not_answerable_names_relation() {
-        let e = CoreError::NotAnswerable { relation: "r1".into() };
+        let e = CoreError::NotAnswerable {
+            relation: "r1".into(),
+        };
         assert!(e.to_string().contains("r1"));
     }
 

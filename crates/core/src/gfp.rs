@@ -35,7 +35,10 @@ impl Solution {
     /// The trivial solution marking every arc weak (used to treat an
     /// unoptimized d-graph uniformly as a marked one).
     pub fn all_weak() -> Self {
-        Solution { strong: HashSet::new(), deleted: HashSet::new() }
+        Solution {
+            strong: HashSet::new(),
+            deleted: HashSet::new(),
+        }
     }
 }
 
@@ -76,8 +79,7 @@ fn gfp_with_candidates(graph: &DGraph, cand: HashSet<ArcId>) -> (Solution, GfpSt
     let cycl = cyclic_candidate_arcs(graph, &cand);
 
     let mut strong: HashSet<ArcId> = cand.difference(&cycl).copied().collect();
-    let mut deleted: HashSet<ArcId> =
-        graph.arc_ids().filter(|a| !cand.contains(a)).collect();
+    let mut deleted: HashSet<ArcId> = graph.arc_ids().filter(|a| !cand.contains(a)).collect();
 
     let mut stats = GfpStats {
         iterations: 0,
@@ -262,7 +264,12 @@ mod tests {
         // seed(A) → w1(A^i); w1(B^o) → w2(B^i) and → bridge(B^i);
         // bridge(C^o) → r(C^i). All should stay live (weak).
         let (sol, _) = gfp(&g);
-        for (from, to) in [("seed", "w1"), ("w1", "w2"), ("w1", "bridge"), ("bridge", "r(1)")] {
+        for (from, to) in [
+            ("seed", "w1"),
+            ("w1", "w2"),
+            ("w1", "bridge"),
+            ("bridge", "r(1)"),
+        ] {
             let a = arc_by_sources(&g, from, to);
             assert!(!sol.deleted.contains(&a), "{from}→{to} should stay live");
         }

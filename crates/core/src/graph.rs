@@ -244,7 +244,10 @@ impl DGraph {
                     continue;
                 }
                 let arc_id = ArcId(graph.arcs.len() as u32);
-                graph.arcs.push(DArc { from: NodeId(from), to: NodeId(to) });
+                graph.arcs.push(DArc {
+                    from: NodeId(from),
+                    to: NodeId(to),
+                });
                 graph.out_arcs_of_source[u.source.index()].push(arc_id);
                 graph.in_arcs_of_node[to as usize].push(arc_id);
             }
@@ -439,7 +442,10 @@ mod tests {
             })
             .collect();
         rendered.sort();
-        assert_eq!(rendered, ["r1(1)→r2(1)", "r2(1)→r3", "r3→r1(1)", "r_a(1)→r1(1)"]);
+        assert_eq!(
+            rendered,
+            ["r1(1)→r2(1)", "r2(1)→r3", "r3→r1(1)", "r_a(1)→r1(1)"]
+        );
     }
 
     #[test]

@@ -27,7 +27,6 @@
 #![warn(missing_docs)]
 
 mod arcs;
-mod util;
 mod dot;
 mod error;
 mod gfp;
@@ -38,6 +37,7 @@ mod orderability;
 mod ordering;
 mod plan;
 mod queryability;
+mod util;
 
 pub use arcs::{candidate_strong_arcs, cyclic_candidate_arcs};
 pub use dot::{dgraph_to_dot, optimized_to_dot};
@@ -48,5 +48,7 @@ pub use marked::{ArcMark, OptimizedDGraph};
 pub use minimality::{analyze_minimality, MinimalityReport};
 pub use orderability::{executable_order, is_feasible, is_orderable, ExecutableOrder};
 pub use ordering::{order_sources, OrderingHeuristic, SourceOrdering};
-pub use plan::{plan_query, CacheInfo, DomainMode, DomainPredInfo, Planned, Planner, Provider, QueryPlan};
+pub use plan::{
+    plan_query, CacheInfo, DomainMode, DomainPredInfo, Planned, Planner, Provider, QueryPlan,
+};
 pub use queryability::{is_answerable, Queryability};

@@ -114,12 +114,10 @@ impl OptimizedDGraph {
         if live_out {
             return true;
         }
-        source.nodes.iter().any(|&n| {
-            self.graph
-                .in_arcs(n)
-                .iter()
-                .any(|&a| self.is_live(a))
-        })
+        source
+            .nodes
+            .iter()
+            .any(|&n| self.graph.in_arcs(n).iter().any(|&a| self.is_live(a)))
     }
 
     /// Sources of the optimized d-graph (black first, then surviving white).
@@ -206,7 +204,10 @@ impl OptimizedDGraph {
                 continue;
             }
             let live = self.live_in_arcs(NodeId(idx as u32));
-            let strong = live.iter().filter(|&&a| self.mark(a) == ArcMark::Strong).count();
+            let strong = live
+                .iter()
+                .filter(|&&a| self.mark(a) == ArcMark::Strong)
+                .count();
             if strong > 0 && strong != live.len() {
                 return Err(CoreError::Internal(format!(
                     "input node {idx} mixes strong and weak incoming arcs"
@@ -329,14 +330,19 @@ mod tests {
         // reachable.
         for s in opt.graph().source_ids() {
             for n in opt.graph().input_nodes(s) {
-                assert!(reach.contains(&n), "input of {}", opt.graph().source(s).label);
+                assert!(
+                    reach.contains(&n),
+                    "input of {}",
+                    opt.graph().source(s).label
+                );
             }
         }
-        assert!(opt
+        assert!(opt.graph().sources().iter().all(|s| opt
             .graph()
-            .sources()
-            .iter()
-            .all(|s| opt.graph().schema().relation(s.relation).name() != "r1"));
+            .schema()
+            .relation(s.relation)
+            .name()
+            != "r1"));
     }
 
     #[test]
@@ -370,7 +376,10 @@ mod tests {
         let graph = DGraph::build(&pre).unwrap();
         // Delete every arc: black inputs lose free-reachability.
         let all: std::collections::HashSet<ArcId> = graph.arc_ids().collect();
-        let bad = Solution { strong: HashSet::new(), deleted: all };
+        let bad = Solution {
+            strong: HashSet::new(),
+            deleted: all,
+        };
         let opt = OptimizedDGraph::new(graph, bad);
         assert!(opt.check_invariants().is_err());
     }

@@ -163,10 +163,7 @@ mod tests {
         // pub1(P, R), pub1(P2, R): R joins the two occurrences at the output
         // position... we need a strong arc *between occurrences of the same
         // relation*. Use r^io(A, B) twice joined output→input.
-        let report = analyze(
-            "r^io(A, A) seed^o(A)",
-            "q(Y) <- seed(X), r(X, Y), r(Y, Z)",
-        );
+        let report = analyze("r^io(A, A) seed^o(A)", "q(Y) <- seed(X), r(X, Y), r(Y, Z)");
         // Arc r(1).out → r(2).in is candidate strong (variable Y), and
         // non-cyclic at the source level, so it becomes strong; at the
         // relation level it is a strong self-loop.

@@ -151,8 +151,7 @@ mod tests {
     #[test]
     fn greedy_is_complete_on_a_diamond() {
         // Two independent branches feeding a sink; any greedy choice works.
-        let schema =
-            Schema::parse("a^oo(X, Y) b^oo(X, Z) sink^iio(Y, Z, W)").unwrap();
+        let schema = Schema::parse("a^oo(X, Y) b^oo(X, Z) sink^iio(Y, Z, W)").unwrap();
         let q = parse_query("q(W) <- sink(Y, Z, W), a(X1, Y), b(X2, Z)", &schema).unwrap();
         let order = executable_order(&q, &schema).unwrap();
         assert_eq!(order.order.last(), Some(&0), "sink must come last");

@@ -176,7 +176,11 @@ pub fn order_sources(
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, &c)| {
-                    members[c].iter().map(|&i| relevant[i].0).min().unwrap_or(u32::MAX)
+                    members[c]
+                        .iter()
+                        .map(|&i| relevant[i].0)
+                        .min()
+                        .unwrap_or(u32::MAX)
                 })
                 .map(|(i, _)| i)
                 .expect("ready is non-empty"),
@@ -228,7 +232,8 @@ mod tests {
             .source_ids()
             .find(|&s| opt.graph().source(s).label == label)
             .unwrap_or_else(|| panic!("no source {label}"));
-        ord.position(s).unwrap_or_else(|| panic!("{label} unordered"))
+        ord.position(s)
+            .unwrap_or_else(|| panic!("{label} unordered"))
     }
 
     /// Example 7: the only possible ordering is r_a ≺ r1 ≺ r2.
@@ -307,7 +312,10 @@ mod tests {
             "pub1^io(Paper, Person) conf^ooo(Paper, C, Y) rev^ooi(Person, C, Y)",
             "q(R) <- pub1(P, R), conf(P, C, Y), rev(R, C, Y)",
         );
-        for h in [OrderingHeuristic::JoinCountDesc, OrderingHeuristic::SourceIdAsc] {
+        for h in [
+            OrderingHeuristic::JoinCountDesc,
+            OrderingHeuristic::SourceIdAsc,
+        ] {
             let ord = order_sources(&opt, h).unwrap();
             // Every live arc respects pos(from) <= pos(to); strong arcs are
             // strict.

@@ -25,8 +25,8 @@ use toorjah_datalog::{DTerm, Literal, PredId, Program, Rule};
 use toorjah_query::{minimize, preprocess, ConjunctiveQuery, PreprocessedQuery};
 
 use crate::{
-    analyze_minimality, gfp, order_sources, ArcMark, CoreError, DGraph, GfpStats,
-    MinimalityReport, OptimizedDGraph, OrderingHeuristic, SourceId, SourceKind, SourceOrdering,
+    analyze_minimality, gfp, order_sources, ArcMark, CoreError, DGraph, GfpStats, MinimalityReport,
+    OptimizedDGraph, OrderingHeuristic, SourceId, SourceKind, SourceOrdering,
 };
 
 /// How a domain predicate combines its providers.
@@ -113,7 +113,9 @@ impl QueryPlan {
 
     /// The cache index for a query-atom occurrence, if any.
     pub fn cache_for_occurrence(&self, occurrence: usize) -> Option<usize> {
-        self.caches.iter().position(|c| c.occurrence == Some(occurrence))
+        self.caches
+            .iter()
+            .position(|c| c.occurrence == Some(occurrence))
     }
 
     /// Cache indexes at an ordering position (1-based).
@@ -185,12 +187,12 @@ impl Default for Planner {
 
 impl Planner {
     /// Plans `query` over `schema`, producing all intermediate artifacts.
-    pub fn plan(
-        &self,
-        query: &ConjunctiveQuery,
-        schema: &Schema,
-    ) -> Result<Planned, CoreError> {
-        let minimized = if self.minimize { minimize(query) } else { query.clone() };
+    pub fn plan(&self, query: &ConjunctiveQuery, schema: &Schema) -> Result<Planned, CoreError> {
+        let minimized = if self.minimize {
+            minimize(query)
+        } else {
+            query.clone()
+        };
         let pre = preprocess(&minimized, schema)?;
         let graph = DGraph::build(&pre)?;
         let (solution, gfp_stats) = if self.strong_arcs {
@@ -281,16 +283,13 @@ fn build_plan(
     let answer_pred = program.predicate(pre.query.head_name(), pre.query.head().len())?;
     {
         let var_names: Vec<String> = pre.query.var_names().to_vec();
-        let head_terms: Vec<DTerm> =
-            pre.query.head().iter().map(|v| DTerm::Var(v.0)).collect();
+        let head_terms: Vec<DTerm> = pre.query.head().iter().map(|v| DTerm::Var(v.0)).collect();
         let mut body = Vec::with_capacity(pre.query.atoms().len());
         for (occ, atom) in pre.query.atoms().iter().enumerate() {
             let cache_idx = caches
                 .iter()
                 .position(|c| c.occurrence == Some(occ))
-                .ok_or_else(|| {
-                    CoreError::Internal(format!("query atom {occ} has no cache"))
-                })?;
+                .ok_or_else(|| CoreError::Internal(format!("query atom {occ} has no cache")))?;
             let terms: Vec<DTerm> = atom
                 .terms()
                 .iter()
@@ -302,7 +301,11 @@ fn build_plan(
                 .collect::<Result<_, _>>()?;
             body.push(Literal::new(caches[cache_idx].cache_pred, terms));
         }
-        program.add_rule(Rule::new(Literal::new(answer_pred, head_terms), body, var_names))?;
+        program.add_rule(Rule::new(
+            Literal::new(answer_pred, head_terms),
+            body,
+            var_names,
+        ))?;
     }
 
     // Domain predicates, cache rules and provider rules.
@@ -323,28 +326,39 @@ fn build_plan(
                     node.position, source.label
                 )));
             }
-            let strong = live.iter().filter(|&&a| opt.mark(a) == ArcMark::Strong).count();
+            let strong = live
+                .iter()
+                .filter(|&&a| opt.mark(a) == ArcMark::Strong)
+                .count();
             if strong > 0 && strong != live.len() {
                 return Err(CoreError::Internal(format!(
                     "input position {} of source {} mixes strong and weak arcs",
                     node.position, source.label
                 )));
             }
-            let mode = if strong > 0 { DomainMode::Join } else { DomainMode::Union };
+            let mode = if strong > 0 {
+                DomainMode::Join
+            } else {
+                DomainMode::Union
+            };
             let mut providers = Vec::with_capacity(live.len());
             for &arc in &live {
                 let from = graph.arc(arc).from;
                 let from_node = graph.node(from);
-                let origin = cache_of_source.get(&from_node.source).copied().ok_or_else(
-                    || {
+                let origin = cache_of_source
+                    .get(&from_node.source)
+                    .copied()
+                    .ok_or_else(|| {
                         CoreError::Internal(format!(
                             "provider source {} of {} is not cached",
                             graph.source(from_node.source).label,
                             source.label
                         ))
-                    },
-                )?;
-                providers.push(Provider { cache: origin, column: from_node.position });
+                    })?;
+                providers.push(Provider {
+                    cache: origin,
+                    column: from_node.position,
+                });
             }
             providers.sort_by_key(|p| (p.cache, p.column));
             providers.dedup();
@@ -365,7 +379,10 @@ fn build_plan(
             let terms: Vec<DTerm> = (0..rel.arity() as u32).map(DTerm::Var).collect();
             let mut body = vec![Literal::new(cache.edb_pred, terms.clone())];
             for dp in &input_domains {
-                body.push(Literal::new(dp.pred, vec![DTerm::Var(dp.input_position as u32)]));
+                body.push(Literal::new(
+                    dp.pred,
+                    vec![DTerm::Var(dp.input_position as u32)],
+                ));
             }
             program.add_rule(Rule::new(
                 Literal::new(cache.cache_pred, terms),
@@ -379,8 +396,10 @@ fn build_plan(
 
     // Provider rules for the domain predicates (emitted after all caches are
     // named so rules can reference any cache).
-    let domain_infos: Vec<DomainPredInfo> =
-        caches.iter().flat_map(|c| c.input_domains.clone()).collect();
+    let domain_infos: Vec<DomainPredInfo> = caches
+        .iter()
+        .flat_map(|c| c.input_domains.clone())
+        .collect();
     {
         for dp in domain_infos {
             match dp.mode {
@@ -391,8 +410,7 @@ fn build_plan(
                     }
                 }
                 DomainMode::Join => {
-                    let rule =
-                        provider_rule(&program, dp.pred, &caches, &dp.providers, schema)?;
+                    let rule = provider_rule(&program, dp.pred, &caches, &dp.providers, schema)?;
                     program.add_rule(rule)?;
                 }
             }
@@ -454,7 +472,11 @@ fn provider_rule(
         body.push(Literal::new(cache.cache_pred, terms));
     }
     let _ = program; // names already interned; kept for symmetry of the API
-    Ok(Rule::new(Literal::new(pred, vec![DTerm::Var(0)]), body, var_names))
+    Ok(Rule::new(
+        Literal::new(pred, vec![DTerm::Var(0)]),
+        body,
+        var_names,
+    ))
 }
 
 /// Variable names for a cache rule: the atom's variable names for black
@@ -563,9 +585,11 @@ mod tests {
         // q(C) ← r1_hat1(K_a, B), r2_hat1(B, C), r_a_hat1(K_a)
         assert!(text.contains("q(C) ←"), "{text}");
         // Cache rules reference the source relation plus a domain predicate.
-        assert!(text.contains("r1_hat1(K_a, B) ← r1(K_a, B), s_A(X)")
-            || text.contains("r1_hat1(K_a, B) ← r1(K_a, B), s_A(K_a)"),
-            "{text}");
+        assert!(
+            text.contains("r1_hat1(K_a, B) ← r1(K_a, B), s_A(X)")
+                || text.contains("r1_hat1(K_a, B) ← r1(K_a, B), s_A(K_a)"),
+            "{text}"
+        );
         assert!(text.contains("r2_hat1(B, C) ← r2(B, C), s_B(B)"), "{text}");
         // Domain predicates are defined from the providers.
         assert!(text.contains("s_A(X) ← r_a_hat1(X)"), "{text}");
@@ -575,16 +599,9 @@ mod tests {
     #[test]
     fn weak_arcs_make_union_domains() {
         // r's input A can come from two free providers: union.
-        let planned = plan(
-            "r^io(A, B) w1^oo(A, X) w2^oo(A, Y)",
-            "q(Z) <- r(V, Z)",
-        );
+        let planned = plan("r^io(A, B) w1^oo(A, X) w2^oo(A, Y)", "q(Z) <- r(V, Z)");
         let plan = &planned.plan;
-        let r_cache = plan
-            .caches
-            .iter()
-            .find(|c| c.label == "r(1)")
-            .unwrap();
+        let r_cache = plan.caches.iter().find(|c| c.label == "r(1)").unwrap();
         assert_eq!(r_cache.input_domains[0].mode, DomainMode::Union);
         assert_eq!(r_cache.input_domains[0].providers.len(), 2);
         // Two provider rules for the same domain predicate.
@@ -602,7 +619,11 @@ mod tests {
             "q(E, P, P2) <- pub1(P, R), pub1(P2, R), rev_like(R, E)",
         );
         let plan = &planned.plan;
-        let rev = plan.caches.iter().find(|c| c.label == "rev_like(1)").unwrap();
+        let rev = plan
+            .caches
+            .iter()
+            .find(|c| c.label == "rev_like(1)")
+            .unwrap();
         assert_eq!(rev.input_domains[0].mode, DomainMode::Join);
         assert_eq!(rev.input_domains[0].providers.len(), 2);
         let dp = rev.input_domains[0].pred;
@@ -632,11 +653,17 @@ mod tests {
         // gets its own cache, as the paper's naming scheme requires.
         let schema = Schema::parse("pub1^io(Paper, Person) conf^ooo(Paper, C, Y)").unwrap();
         let q = parse_query("q(R) <- pub1(P, R), pub1(P2, R), conf(P, C, Y)", &schema).unwrap();
-        let planner = Planner { minimize: false, ..Planner::default() };
+        let planner = Planner {
+            minimize: false,
+            ..Planner::default()
+        };
         let planned = planner.plan(&q, &schema).unwrap();
         let plan = &planned.plan;
-        let pub1_caches: Vec<&CacheInfo> =
-            plan.caches.iter().filter(|c| c.label.starts_with("pub1")).collect();
+        let pub1_caches: Vec<&CacheInfo> = plan
+            .caches
+            .iter()
+            .filter(|c| c.label.starts_with("pub1"))
+            .collect();
         assert_eq!(pub1_caches.len(), 2);
         assert_ne!(pub1_caches[0].cache_pred, pub1_caches[1].cache_pred);
         // Both map to the same EDB predicate (same relation → shared
@@ -656,10 +683,7 @@ mod tests {
 
     #[test]
     fn minimization_shrinks_redundant_queries() {
-        let planned = plan(
-            "r^oo(A, B)",
-            "q(X) <- r(X, Y), r(X, Y2)",
-        );
+        let planned = plan("r^oo(A, B)", "q(X) <- r(X, Y), r(X, Y2)");
         assert_eq!(planned.original.atoms().len(), 2);
         assert_eq!(planned.minimized.atoms().len(), 1);
         assert_eq!(planned.plan.caches.len(), 1);
@@ -669,7 +693,10 @@ mod tests {
     fn planner_without_minimization_keeps_atoms() {
         let schema = Schema::parse("r^oo(A, B)").unwrap();
         let q = parse_query("q(X) <- r(X, Y), r(X, Y2)", &schema).unwrap();
-        let planner = Planner { minimize: false, ..Planner::default() };
+        let planner = Planner {
+            minimize: false,
+            ..Planner::default()
+        };
         let planned = planner.plan(&q, &schema).unwrap();
         assert_eq!(planned.minimized.atoms().len(), 2);
         assert_eq!(planned.plan.caches.len(), 2);

@@ -57,7 +57,10 @@ impl Queryability {
                 }
             }
             if !changed {
-                return Queryability { obtainable, queryable };
+                return Queryability {
+                    obtainable,
+                    queryable,
+                };
             }
         }
     }

@@ -72,7 +72,10 @@ mod tests {
     fn singletons_without_edges() {
         let comp = strongly_connected_components(&[vec![], vec![], vec![]]);
         // All distinct components.
-        assert_eq!(comp.iter().collect::<std::collections::HashSet<_>>().len(), 3);
+        assert_eq!(
+            comp.iter().collect::<std::collections::HashSet<_>>().len(),
+            3
+        );
     }
 
     #[test]
@@ -92,8 +95,7 @@ mod tests {
     #[test]
     fn two_cycles_bridged() {
         // 0↔1 → 2↔3
-        let comp =
-            strongly_connected_components(&[vec![1], vec![0, 2], vec![3], vec![2]]);
+        let comp = strongly_connected_components(&[vec![1], vec![0, 2], vec![3], vec![2]]);
         assert_eq!(comp[0], comp[1]);
         assert_eq!(comp[2], comp[3]);
         assert_ne!(comp[0], comp[2]);
@@ -110,8 +112,13 @@ mod tests {
     fn long_path_does_not_overflow() {
         // 10_000-vertex path exercises the iterative DFS.
         let n = 10_000;
-        let adj: Vec<Vec<usize>> = (0..n).map(|i| if i + 1 < n { vec![i + 1] } else { vec![] }).collect();
+        let adj: Vec<Vec<usize>> = (0..n)
+            .map(|i| if i + 1 < n { vec![i + 1] } else { vec![] })
+            .collect();
         let comp = strongly_connected_components(&adj);
-        assert_eq!(comp.iter().collect::<std::collections::HashSet<_>>().len(), n);
+        assert_eq!(
+            comp.iter().collect::<std::collections::HashSet<_>>().len(),
+            n
+        );
     }
 }

@@ -25,11 +25,7 @@ use toorjah_workload::random::seeded_rng;
 use toorjah_workload::{random_query, random_schema, RandomParams};
 
 /// Is `(S, D)` a valid solution for `graph`? (Conditions 1–4 above.)
-fn is_valid_solution(
-    graph: &DGraph,
-    strong: &HashSet<ArcId>,
-    deleted: &HashSet<ArcId>,
-) -> bool {
+fn is_valid_solution(graph: &DGraph, strong: &HashSet<ArcId>, deleted: &HashSet<ArcId>) -> bool {
     let cand = candidate_strong_arcs(graph);
     let cycl = cyclic_candidate_arcs(graph, &cand);
 
@@ -63,7 +59,10 @@ fn is_valid_solution(
                 return false;
             }
         } else {
-            let dead = graph.out_arcs_of_node(v).iter().all(|g| deleted.contains(g));
+            let dead = graph
+                .out_arcs_of_node(v)
+                .iter()
+                .all(|g| deleted.contains(g));
             if !dead {
                 return false;
             }
@@ -72,7 +71,10 @@ fn is_valid_solution(
     // (4) free-reachability preservation.
     let marked = OptimizedDGraph::new(
         graph.clone(),
-        Solution { strong: strong.clone(), deleted: deleted.clone() },
+        Solution {
+            strong: strong.clone(),
+            deleted: deleted.clone(),
+        },
     );
     marked.check_invariants().is_ok()
 }
@@ -82,8 +84,7 @@ fn all_solutions(graph: &DGraph) -> Vec<(HashSet<ArcId>, HashSet<ArcId>)> {
     let cand = candidate_strong_arcs(graph);
     let cycl = cyclic_candidate_arcs(graph, &cand);
     let strong_pool: Vec<ArcId> = cand.difference(&cycl).copied().collect();
-    let deleted_pool: Vec<ArcId> =
-        graph.arc_ids().filter(|a| !cand.contains(a)).collect();
+    let deleted_pool: Vec<ArcId> = graph.arc_ids().filter(|a| !cand.contains(a)).collect();
     let mut out = Vec::new();
     for s_mask in 0u32..(1 << strong_pool.len()) {
         let strong: HashSet<ArcId> = strong_pool
@@ -164,9 +165,14 @@ proptest! {
 fn fixed_seed_maximality_sweep() {
     let mut checked = 0;
     for seed in 0..400 {
-        let Some(graph) = tiny_graph(seed) else { continue };
+        let Some(graph) = tiny_graph(seed) else {
+            continue;
+        };
         let (sol, _) = gfp(&graph);
-        assert!(is_valid_solution(&graph, &sol.strong, &sol.deleted), "seed {seed}");
+        assert!(
+            is_valid_solution(&graph, &sol.strong, &sol.deleted),
+            "seed {seed}"
+        );
         for (s, d) in all_solutions(&graph) {
             assert!(s.is_subset(&sol.strong), "seed {seed}");
             assert!(d.is_subset(&sol.deleted), "seed {seed}");
@@ -184,10 +190,15 @@ fn ordering_respects_arc_constraints_on_random_graphs() {
     use toorjah_core::{gfp, order_sources, ArcMark, OptimizedDGraph, OrderingHeuristic};
     let mut checked = 0;
     for seed in 0..300 {
-        let Some(graph) = tiny_graph(seed) else { continue };
+        let Some(graph) = tiny_graph(seed) else {
+            continue;
+        };
         let (sol, _) = gfp(&graph);
         let opt = OptimizedDGraph::new(graph, sol);
-        for heuristic in [OrderingHeuristic::JoinCountDesc, OrderingHeuristic::SourceIdAsc] {
+        for heuristic in [
+            OrderingHeuristic::JoinCountDesc,
+            OrderingHeuristic::SourceIdAsc,
+        ] {
             let ord = order_sources(&opt, heuristic).expect("ordering succeeds");
             for arc in opt.graph().arc_ids() {
                 if !opt.is_live(arc) {

@@ -86,7 +86,11 @@ pub struct Rule {
 impl Rule {
     /// Creates a rule.
     pub fn new(head: Literal, body: Vec<Literal>, var_names: Vec<String>) -> Self {
-        Rule { head, body, var_names }
+        Rule {
+            head,
+            body,
+            var_names,
+        }
     }
 
     /// `true` when the rule has an empty body.
@@ -139,7 +143,10 @@ impl Program {
             return Ok(id);
         }
         let id = PredId(self.preds.len() as u32);
-        self.preds.push(Predicate { name: name.to_string(), arity });
+        self.preds.push(Predicate {
+            name: name.to_string(),
+            arity,
+        });
         self.by_name.insert(name.to_string(), id);
         Ok(id)
     }
@@ -176,7 +183,9 @@ impl Program {
         }
         if !rule.is_range_restricted() {
             let pred = &self.preds[rule.head.pred.index()];
-            return Err(DatalogError::NotRangeRestricted { predicate: pred.name.clone() });
+            return Err(DatalogError::NotRangeRestricted {
+                predicate: pred.name.clone(),
+            });
         }
         self.rules.push(rule);
         Ok(())
@@ -298,7 +307,10 @@ mod tests {
         let mut p = Program::new();
         let a = p.predicate("p", 2).unwrap();
         assert_eq!(p.predicate("p", 2).unwrap(), a);
-        assert!(matches!(p.predicate("p", 3), Err(DatalogError::ArityConflict { .. })));
+        assert!(matches!(
+            p.predicate("p", 3),
+            Err(DatalogError::ArityConflict { .. })
+        ));
         assert_eq!(p.pred(a).name, "p");
         assert_eq!(p.pred_id("p"), Some(a));
         assert_eq!(p.pred_id("zz"), None);
@@ -316,15 +328,25 @@ mod tests {
         let mut p = Program::new();
         let q = p.predicate("q", 1).unwrap();
         let bad = Rule::new(Literal::new(q, vec![]), vec![], vec![]);
-        assert!(matches!(p.add_rule(bad), Err(DatalogError::LiteralArity { .. })));
+        assert!(matches!(
+            p.add_rule(bad),
+            Err(DatalogError::LiteralArity { .. })
+        ));
     }
 
     #[test]
     fn range_restriction_validated() {
         let mut p = Program::new();
         let q = p.predicate("q", 1).unwrap();
-        let bad = Rule::new(Literal::new(q, vec![DTerm::Var(0)]), vec![], vec!["X".into()]);
-        assert!(matches!(p.add_rule(bad), Err(DatalogError::NotRangeRestricted { .. })));
+        let bad = Rule::new(
+            Literal::new(q, vec![DTerm::Var(0)]),
+            vec![],
+            vec!["X".into()],
+        );
+        assert!(matches!(
+            p.add_rule(bad),
+            Err(DatalogError::NotRangeRestricted { .. })
+        ));
     }
 
     #[test]

@@ -71,7 +71,9 @@ mod tests {
 
     #[test]
     fn messages_name_the_predicate() {
-        let e = DatalogError::NotRangeRestricted { predicate: "q".into() };
+        let e = DatalogError::NotRangeRestricted {
+            predicate: "q".into(),
+        };
         assert!(e.to_string().contains('q'));
     }
 }

@@ -63,13 +63,24 @@ pub fn evaluate(program: &Program, edb: &FactStore) -> (FactStore, EvalStats) {
     let mut delta = FactStore::new();
     // Initialization counts as the first round: facts and rules whose bodies
     // contain no IDB literal fire exactly once, here.
-    let mut stats = EvalStats { rounds: 1, ..EvalStats::default() };
+    let mut stats = EvalStats {
+        rounds: 1,
+        ..EvalStats::default()
+    };
     for rule in program.rules() {
         if rule.body.iter().any(|l| is_idb(l.pred)) {
             continue;
         }
         let mut out = Vec::new();
-        apply_rule(rule, |_| Source::Edb, edb, &total, &delta, &mut out, &mut stats);
+        apply_rule(
+            rule,
+            |_| Source::Edb,
+            edb,
+            &total,
+            &delta,
+            &mut out,
+            &mut stats,
+        );
         for t in out {
             if total.insert(rule.head.pred, t.clone()) {
                 delta.insert(rule.head.pred, t);
@@ -165,8 +176,7 @@ pub fn rule_head_instances(rule: &Rule, facts: &FactStore) -> Vec<Tuple> {
     // Enumerate each head component once, projecting onto its head vars.
     let mut projections: Vec<Vec<Vec<(u32, Value)>>> = Vec::new();
     for component in &head_components {
-        let relevant: Vec<u32> =
-            component.vars.intersection(&head_vars).copied().collect();
+        let relevant: Vec<u32> = component.vars.intersection(&head_vars).copied().collect();
         let mut seen: HashSet<Vec<(u32, Value)>> = HashSet::new();
         let mut rows = Vec::new();
         enumerate_subset(rule, &component.literals, facts, &mut |binding| {
@@ -256,11 +266,14 @@ fn body_components(rule: &Rule) -> Vec<BodyComponent> {
         std::collections::HashMap::new();
     for i in 0..n {
         let root = find(&mut parent, i);
-        let entry = components
-            .entry(root)
-            .or_insert_with(|| BodyComponent { literals: Vec::new(), vars: HashSet::new() });
+        let entry = components.entry(root).or_insert_with(|| BodyComponent {
+            literals: Vec::new(),
+            vars: HashSet::new(),
+        });
         entry.literals.push(i);
-        entry.vars.extend(rule.body[i].terms.iter().filter_map(DTerm::as_var));
+        entry
+            .vars
+            .extend(rule.body[i].terms.iter().filter_map(DTerm::as_var));
     }
     let mut out: Vec<BodyComponent> = components.into_values().collect();
     out.sort_by_key(|c| c.literals[0]);
@@ -348,7 +361,13 @@ pub fn rule_head_instances_pinned(
     let mut out = Vec::new();
     apply_rule(
         rule,
-        |i| if i == pinned_idx { Source::Delta } else { Source::Edb },
+        |i| {
+            if i == pinned_idx {
+                Source::Delta
+            } else {
+                Source::Edb
+            }
+        },
         facts,
         facts,
         pinned,
@@ -461,7 +480,17 @@ fn apply_rule(
     stats: &mut EvalStats,
 ) {
     let mut binding: Vec<Option<Value>> = vec![None; rule.var_names.len()];
-    search_body(rule, &source_of, edb, total, delta, 0, &mut binding, out, stats);
+    search_body(
+        rule,
+        &source_of,
+        edb,
+        total,
+        delta,
+        0,
+        &mut binding,
+        out,
+        stats,
+    );
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -524,7 +553,17 @@ fn search_body(
                 },
             }
         }
-        search_body(rule, source_of, edb, total, delta, depth + 1, binding, out, stats);
+        search_body(
+            rule,
+            source_of,
+            edb,
+            total,
+            delta,
+            depth + 1,
+            binding,
+            out,
+            stats,
+        );
         unbind(binding, &newly_bound);
     }
 }
@@ -631,7 +670,10 @@ mod tests {
         // q(X) ← r(X, 'keep')
         p.add_rule(Rule::new(
             Literal::new(q, vec![v(0)]),
-            vec![Literal::new(r, vec![v(0), DTerm::Const(Value::from("keep"))])],
+            vec![Literal::new(
+                r,
+                vec![v(0), DTerm::Const(Value::from("keep"))],
+            )],
             vec!["X".into()],
         ))
         .unwrap();
@@ -711,13 +753,19 @@ mod tests {
         .unwrap();
         p.add_rule(Rule::new(
             Literal::new(odd, vec![v(1)]),
-            vec![Literal::new(even, vec![v(0)]), Literal::new(succ, vec![v(0), v(1)])],
+            vec![
+                Literal::new(even, vec![v(0)]),
+                Literal::new(succ, vec![v(0), v(1)]),
+            ],
             vec!["X".into(), "Y".into()],
         ))
         .unwrap();
         p.add_rule(Rule::new(
             Literal::new(even, vec![v(1)]),
-            vec![Literal::new(odd, vec![v(0)]), Literal::new(succ, vec![v(0), v(1)])],
+            vec![
+                Literal::new(odd, vec![v(0)]),
+                Literal::new(succ, vec![v(0), v(1)]),
+            ],
             vec!["X".into(), "Y".into()],
         ))
         .unwrap();

@@ -100,7 +100,9 @@ impl FactStore {
 
     /// Whether a specific fact is present.
     pub fn contains(&self, pred: PredId, tuple: &Tuple) -> bool {
-        self.facts.get(&pred).is_some_and(|f| f.seen.contains(tuple))
+        self.facts
+            .get(&pred)
+            .is_some_and(|f| f.seen.contains(tuple))
     }
 
     /// Positions (into [`FactStore::tuples`]) of facts matching `value` at

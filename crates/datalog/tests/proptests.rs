@@ -37,8 +37,9 @@ fn random_program(seed: u64) -> (Program, PredId, Vec<PredId>) {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut program = Program::new();
     let e = program.predicate("e", 2).unwrap();
-    let preds: Vec<PredId> =
-        (0..3).map(|i| program.predicate(&format!("p{i}"), 2).unwrap()).collect();
+    let preds: Vec<PredId> = (0..3)
+        .map(|i| program.predicate(&format!("p{i}"), 2).unwrap())
+        .collect();
     let rule_count = rng.gen_range(1..=5);
     for _ in 0..rule_count {
         let head = preds[rng.gen_range(0..preds.len())];
@@ -46,12 +47,21 @@ fn random_program(seed: u64) -> (Program, PredId, Vec<PredId>) {
         let mut body = Vec::new();
         // Chain pattern: head(X0, Xn) ← b1(X0, X1), b2(X1, X2)…
         for j in 0..body_len {
-            let pred = if rng.gen_bool(0.5) { e } else { preds[rng.gen_range(0..preds.len())] };
-            body.push(Literal::new(pred, vec![DTerm::Var(j as u32), DTerm::Var(j as u32 + 1)]));
+            let pred = if rng.gen_bool(0.5) {
+                e
+            } else {
+                preds[rng.gen_range(0..preds.len())]
+            };
+            body.push(Literal::new(
+                pred,
+                vec![DTerm::Var(j as u32), DTerm::Var(j as u32 + 1)],
+            ));
         }
         let head_lit = Literal::new(head, vec![DTerm::Var(0), DTerm::Var(body_len as u32)]);
         let var_names = (0..=body_len).map(|i| format!("X{i}")).collect();
-        program.add_rule(Rule::new(head_lit, body, var_names)).unwrap();
+        program
+            .add_rule(Rule::new(head_lit, body, var_names))
+            .unwrap();
     }
     (program, e, preds)
 }

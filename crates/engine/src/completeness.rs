@@ -119,7 +119,10 @@ mod tests {
             &schema,
             [
                 ("r1", vec![tuple!["a1", "c1"], tuple!["a1", "c3"]]),
-                ("r2", vec![tuple!["b1", "c1"], tuple!["b2", "c2"], tuple!["b3", "c3"]]),
+                (
+                    "r2",
+                    vec![tuple!["b1", "c1"], tuple!["b2", "c2"], tuple!["b3", "c3"]],
+                ),
                 ("r3", vec![tuple!["c1", "b2"], tuple!["c2", "b1"]]),
             ],
         )
@@ -187,16 +190,21 @@ mod tests {
             for _ in 0..rng.gen_range(0..25) {
                 let _ = db.insert(
                     "r",
-                    tuple![format!("a{}", rng.gen_range(0..5)), format!("b{}", rng.gen_range(0..5))],
+                    tuple![
+                        format!("a{}", rng.gen_range(0..5)),
+                        format!("b{}", rng.gen_range(0..5))
+                    ],
                 );
                 let _ = db.insert(
                     "s",
-                    tuple![format!("b{}", rng.gen_range(0..5)), format!("c{}", rng.gen_range(0..5))],
+                    tuple![
+                        format!("b{}", rng.gen_range(0..5)),
+                        format!("c{}", rng.gen_range(0..5))
+                    ],
                 );
             }
             let src = InstanceSource::new(schema.clone(), db);
-            let report =
-                check_completeness(&q, &schema, &src, ExecOptions::default()).unwrap();
+            let report = check_completeness(&q, &schema, &src, ExecOptions::default()).unwrap();
             assert_eq!(report.is_complete_here, Some(true), "seed {seed}");
         }
     }

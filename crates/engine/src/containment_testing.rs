@@ -105,7 +105,9 @@ pub fn refute_obtainable_containment(
             }
         }
         let src = InstanceSource::new(schema.clone(), db);
-        let opts = NaiveOptions { max_accesses: options.max_accesses };
+        let opts = NaiveOptions {
+            max_accesses: options.max_accesses,
+        };
         let a1 = naive_evaluate(q1, schema, &src, opts)?;
         let a2 = naive_evaluate(q2, schema, &src, opts)?;
         if let Some(witness) = a1.answers.iter().find(|t| !a2.answers.contains(t)) {
@@ -132,7 +134,10 @@ mod tests {
         let schema = Schema::parse("r^io(A, B)").unwrap();
         let q1 = parse_query("q(Y) <- r('d0x0', Y)", &schema).unwrap();
         let q2 = parse_query("q(Y) <- r(X, Y)", &schema).unwrap();
-        assert!(toorjah_query::is_contained_in(&q1, &q2), "classical containment holds");
+        assert!(
+            toorjah_query::is_contained_in(&q1, &q2),
+            "classical containment holds"
+        );
         let cex = refute_obtainable_containment(&q1, &q2, &schema, RefutationOptions::default())
             .unwrap()
             .expect("a counterexample instance exists");
@@ -149,7 +154,10 @@ mod tests {
             &q,
             &q,
             &schema,
-            RefutationOptions { tries: 50, ..RefutationOptions::default() },
+            RefutationOptions {
+                tries: 50,
+                ..RefutationOptions::default()
+            },
         )
         .unwrap();
         assert!(out.is_none());
@@ -166,7 +174,10 @@ mod tests {
             &q1,
             &q2,
             &schema,
-            RefutationOptions { tries: 60, ..RefutationOptions::default() },
+            RefutationOptions {
+                tries: 60,
+                ..RefutationOptions::default()
+            },
         )
         .unwrap();
         assert!(out.is_none());
@@ -178,8 +189,12 @@ mod tests {
         let q1 = parse_query("q(Y) <- r('d0x0', Y)", &schema).unwrap();
         let q2 = parse_query("q(Y) <- r(X, Y)", &schema).unwrap();
         let opts = RefutationOptions::default();
-        let first = refute_obtainable_containment(&q1, &q2, &schema, opts).unwrap().unwrap();
-        let again = refute_obtainable_containment(&q1, &q2, &schema, opts).unwrap().unwrap();
+        let first = refute_obtainable_containment(&q1, &q2, &schema, opts)
+            .unwrap()
+            .unwrap();
+        let again = refute_obtainable_containment(&q1, &q2, &schema, opts)
+            .unwrap()
+            .unwrap();
         assert_eq!(first.seed, again.seed);
         assert_eq!(first.witness, again.witness);
     }

@@ -73,8 +73,13 @@ mod tests {
 
     #[test]
     fn messages() {
-        assert!(EngineError::AccessBudgetExceeded { limit: 7 }.to_string().contains('7'));
-        let e = EngineError::SourceFailure { relation: "r".into(), detail: "down".into() };
+        assert!(EngineError::AccessBudgetExceeded { limit: 7 }
+            .to_string()
+            .contains('7'));
+        let e = EngineError::SourceFailure {
+            relation: "r".into(),
+            detail: "down".into(),
+        };
         assert!(e.to_string().contains("down"));
     }
 

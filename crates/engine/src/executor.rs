@@ -41,7 +41,10 @@ pub struct ExecOptions {
 
 impl Default for ExecOptions {
     fn default() -> Self {
-        ExecOptions { max_accesses: 10_000_000, fail_fast: true }
+        ExecOptions {
+            max_accesses: 10_000_000,
+            fail_fast: true,
+        }
     }
 }
 
@@ -118,11 +121,10 @@ pub fn execute_plan_with(
             continue;
         }
         let name = plan.schema.relation(cache.relation).name();
-        let id = provider_schema.relation_id(name).ok_or_else(|| {
-            EngineError::PlanMismatch(format!("provider lacks relation {name}"))
-        })?;
-        if provider_schema.relation(id).arity() != plan.schema.relation(cache.relation).arity()
-        {
+        let id = provider_schema
+            .relation_id(name)
+            .ok_or_else(|| EngineError::PlanMismatch(format!("provider lacks relation {name}")))?;
+        if provider_schema.relation(id).arity() != plan.schema.relation(cache.relation).arity() {
             return Err(EngineError::PlanMismatch(format!(
                 "relation {name} has different arities in plan and provider"
             )));
@@ -147,14 +149,17 @@ pub fn execute_plan_with(
     let mut frontiers: Vec<Vec<PoolFrontier>> = plan
         .caches
         .iter()
-        .map(|c| c.input_domains.iter().map(|_| PoolFrontier::default()).collect())
+        .map(|c| {
+            c.input_domains
+                .iter()
+                .map(|_| PoolFrontier::default())
+                .collect()
+        })
         .collect();
 
     'positions: for position in 1..=plan.k {
         // Fast-failing check over the fully populated query-atom caches.
-        if options.fail_fast
-            && !subquery_satisfiable(plan, &answer_rule, position, &facts)
-        {
+        if options.fail_fast && !subquery_satisfiable(plan, &answer_rule, position, &facts) {
             failed_at_position = Some(position);
             break 'positions;
         }
@@ -196,7 +201,11 @@ pub fn execute_plan_with(
             .collect()
     };
 
-    let cache_sizes = plan.caches.iter().map(|c| facts.len(c.cache_pred)).collect();
+    let cache_sizes = plan
+        .caches
+        .iter()
+        .map(|c| facts.len(c.cache_pred))
+        .collect();
 
     Ok(ExecutionReport {
         answers,
@@ -292,9 +301,13 @@ fn populate_cache(
         // Free relation: a single access with the empty binding (the
         // meta-cache makes repeats free).
         if !meta.contains(relation, &Tuple::empty()) && log.total() >= max_accesses {
-            return Err(EngineError::AccessBudgetExceeded { limit: max_accesses });
+            return Err(EngineError::AccessBudgetExceeded {
+                limit: max_accesses,
+            });
         }
-        let tuples = meta.access(provider, log, relation, &Tuple::empty())?.to_vec();
+        let tuples = meta
+            .access(provider, log, relation, &Tuple::empty())?
+            .to_vec();
         for t in tuples {
             changed |= facts.insert(cache.cache_pred, t);
         }
@@ -331,9 +344,13 @@ fn populate_cache(
         };
         let mut odometer = vec![0usize; arity];
         loop {
-            let binding: Tuple = (0..arity).map(|p| value_at(p, odometer[p]).clone()).collect();
+            let binding: Tuple = (0..arity)
+                .map(|p| value_at(p, odometer[p]).clone())
+                .collect();
             if !meta.contains(relation, &binding) && log.total() >= max_accesses {
-                return Err(EngineError::AccessBudgetExceeded { limit: max_accesses });
+                return Err(EngineError::AccessBudgetExceeded {
+                    limit: max_accesses,
+                });
             }
             let tuples = meta.access(provider, log, relation, &binding)?.to_vec();
             for t in tuples {
@@ -368,7 +385,6 @@ fn populate_cache(
     Ok(changed)
 }
 
-
 /// The current extension of a domain predicate: the union (weak arcs) or
 /// intersection (strong arcs — a join on a single shared variable) of the
 /// providers' column projections.
@@ -402,7 +418,9 @@ fn domain_values(
         }
         DomainMode::Join => {
             let mut iter = dp.providers.iter();
-            let Some(first) = iter.next() else { return Vec::new() };
+            let Some(first) = iter.next() else {
+                return Vec::new();
+            };
             let mut out = project(first);
             for p in iter {
                 let other: HashSet<Value> = project(p).into_iter().collect();
@@ -428,7 +446,10 @@ mod tests {
             &schema,
             [
                 ("r1", vec![tuple!["a1", "c1"], tuple!["a1", "c3"]]),
-                ("r2", vec![tuple!["b1", "c1"], tuple!["b2", "c2"], tuple!["b3", "c3"]]),
+                (
+                    "r2",
+                    vec![tuple!["b1", "c1"], tuple!["b2", "c2"], tuple!["b3", "c3"]],
+                ),
                 ("r3", vec![tuple!["c1", "b2"], tuple!["c2", "b1"]]),
             ],
         )
@@ -438,10 +459,7 @@ mod tests {
 
     /// Oracle: evaluate the plan's Datalog program under plain fixpoint
     /// semantics with the full relations as EDB.
-    fn fixpoint_answers(
-        plan: &QueryPlan,
-        provider: &InstanceSource,
-    ) -> Vec<Tuple> {
+    fn fixpoint_answers(plan: &QueryPlan, provider: &InstanceSource) -> Vec<Tuple> {
         let mut edb = FactStore::new();
         for cache in &plan.caches {
             if cache.is_constant_source {
@@ -533,7 +551,10 @@ mod tests {
         let slow = execute_plan(
             &planned.plan,
             &src,
-            ExecOptions { fail_fast: false, ..ExecOptions::default() },
+            ExecOptions {
+                fail_fast: false,
+                ..ExecOptions::default()
+            },
         )
         .unwrap();
         assert!(slow.answers.is_empty());
@@ -543,15 +564,17 @@ mod tests {
     #[test]
     fn meta_cache_dedups_across_occurrences() {
         // pub1 appears twice; accesses with equal bindings are shared.
-        let schema = Schema::parse(
-            "pub1^io(Paper, Person) conf^ooo(Paper, C, Y) sub^oi(Paper, Person)",
-        )
-        .unwrap();
+        let schema =
+            Schema::parse("pub1^io(Paper, Person) conf^ooo(Paper, C, Y) sub^oi(Paper, Person)")
+                .unwrap();
         let db = Instance::with_data(
             &schema,
             [
                 ("pub1", vec![tuple!["p1", "alice"], tuple!["p2", "bob"]]),
-                ("conf", vec![tuple!["p1", "icde", 2008], tuple!["p2", "icde", 2008]]),
+                (
+                    "conf",
+                    vec![tuple!["p1", "icde", 2008], tuple!["p2", "icde", 2008]],
+                ),
                 ("sub", vec![tuple!["p1", "alice"]]),
             ],
         )
@@ -578,10 +601,16 @@ mod tests {
         let err = execute_plan(
             &planned.plan,
             &src,
-            ExecOptions { max_accesses: 1, ..ExecOptions::default() },
+            ExecOptions {
+                max_accesses: 1,
+                ..ExecOptions::default()
+            },
         )
         .unwrap_err();
-        assert!(matches!(err, EngineError::AccessBudgetExceeded { limit: 1 }));
+        assert!(matches!(
+            err,
+            EngineError::AccessBudgetExceeded { limit: 1 }
+        ));
     }
 
     #[test]

@@ -50,7 +50,12 @@ pub fn evaluate_cq(
             let mut row: Vec<(u32, Value)> = relevant
                 .iter()
                 .map(|&v| {
-                    (v, binding[v as usize].clone().expect("component vars are bound"))
+                    (
+                        v,
+                        binding[v as usize]
+                            .clone()
+                            .expect("component vars are bound"),
+                    )
                 })
                 .collect();
             row.sort_by_key(|(v, _)| *v);
@@ -137,9 +142,10 @@ fn atom_components(query: &ConjunctiveQuery) -> Vec<AtomComponent> {
     let mut components: HashMap<usize, AtomComponent> = HashMap::new();
     for i in 0..n {
         let root = find(&mut parent, i);
-        let entry = components
-            .entry(root)
-            .or_insert_with(|| AtomComponent { atoms: Vec::new(), vars: HashSet::new() });
+        let entry = components.entry(root).or_insert_with(|| AtomComponent {
+            atoms: Vec::new(),
+            vars: HashSet::new(),
+        });
         entry.atoms.push(i);
         entry.vars.extend(query.atoms()[i].variables().map(|v| v.0));
     }
@@ -183,8 +189,12 @@ pub fn cq_satisfiable(
     }
     let selected: HashSet<usize> = atoms.iter().copied().collect();
     for component in atom_components(query) {
-        let part: Vec<usize> =
-            component.atoms.iter().copied().filter(|i| selected.contains(i)).collect();
+        let part: Vec<usize> = component
+            .atoms
+            .iter()
+            .copied()
+            .filter(|i| selected.contains(i))
+            .collect();
         if part.is_empty() {
             continue;
         }
@@ -224,7 +234,15 @@ fn enumerate(
 
     let mut indexes: HashMap<(usize, usize), HashMap<Value, Vec<usize>>> = HashMap::new();
     let mut binding: Vec<Option<Value>> = vec![None; query.var_count()];
-    search(query, &order, &extensions, &mut indexes, 0, &mut binding, on_match);
+    search(
+        query,
+        &order,
+        &extensions,
+        &mut indexes,
+        0,
+        &mut binding,
+        on_match,
+    );
 }
 
 fn plan_order(
@@ -281,10 +299,14 @@ fn search(
     let tuples = &extensions[&atom_idx];
 
     // Pick a bound column to drive an index lookup.
-    let bound_col = atom.terms().iter().enumerate().find_map(|(col, t)| match t {
-        Term::Const(c) => Some((col, c.clone())),
-        Term::Var(v) => binding[v.index()].clone().map(|val| (col, val)),
-    });
+    let bound_col = atom
+        .terms()
+        .iter()
+        .enumerate()
+        .find_map(|(col, t)| match t {
+            Term::Const(c) => Some((col, c.clone())),
+            Term::Var(v) => binding[v.index()].clone().map(|val| (col, val)),
+        });
 
     let candidates: Vec<usize> = match &bound_col {
         Some((col, value)) => {
@@ -325,8 +347,15 @@ fn search(
                 },
             }
         }
-        let keep_going =
-            search(query, order, extensions, indexes, depth + 1, binding, on_match);
+        let keep_going = search(
+            query,
+            order,
+            extensions,
+            indexes,
+            depth + 1,
+            binding,
+            on_match,
+        );
         unbind(binding, &newly_bound);
         if !keep_going {
             return false;
@@ -351,8 +380,14 @@ mod tests {
         let schema = Schema::parse("r^oo(A, B) s^oo(B, C)").unwrap();
         let q = parse_query("q(X, Z) <- r(X, Y), s(Y, Z)", &schema).unwrap();
         let mut data = HashMap::new();
-        data.insert(0, vec![tuple!["a1", "b1"], tuple!["a2", "b2"], tuple!["a3", "b1"]]);
-        data.insert(1, vec![tuple!["b1", "c1"], tuple!["b2", "c2"], tuple!["b9", "c9"]]);
+        data.insert(
+            0,
+            vec![tuple!["a1", "b1"], tuple!["a2", "b2"], tuple!["a3", "b1"]],
+        );
+        data.insert(
+            1,
+            vec![tuple!["b1", "c1"], tuple!["b2", "c2"], tuple!["b9", "c9"]],
+        );
         (schema, q, data)
     }
 

@@ -42,7 +42,9 @@ mod source;
 mod union;
 
 pub use access::{AccessLog, AccessStats};
-pub use completeness::{check_completeness, complete_answer, CompletenessError, CompletenessReport};
+pub use completeness::{
+    check_completeness, complete_answer, CompletenessError, CompletenessReport,
+};
 pub use containment_testing::{
     refute_obtainable_containment, ContainmentCounterexample, RefutationOptions,
 };

@@ -51,7 +51,11 @@ impl MetaCache {
             log.record_extracted(relation, tuples.iter());
             self.extractions.insert(key.clone(), tuples);
         }
-        Ok(self.extractions.get(&key).expect("just inserted").as_slice())
+        Ok(self
+            .extractions
+            .get(&key)
+            .expect("just inserted")
+            .as_slice())
     }
 
     /// Whether the access has been performed already.
@@ -89,11 +93,17 @@ mod tests {
         let r = src.schema().relation_id("r").unwrap();
         let mut meta = MetaCache::new();
         let mut log = AccessLog::new();
-        let first = meta.access(&src, &mut log, r, &tuple!["a"]).unwrap().to_vec();
+        let first = meta
+            .access(&src, &mut log, r, &tuple!["a"])
+            .unwrap()
+            .to_vec();
         assert_eq!(first.len(), 1);
         assert_eq!(log.total(), 1);
         // Second identical access is served locally: no new log entry.
-        let second = meta.access(&src, &mut log, r, &tuple!["a"]).unwrap().to_vec();
+        let second = meta
+            .access(&src, &mut log, r, &tuple!["a"])
+            .unwrap()
+            .to_vec();
         assert_eq!(second, first);
         assert_eq!(log.total(), 1);
         assert_eq!(meta.len(), 1);

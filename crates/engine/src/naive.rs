@@ -37,7 +37,9 @@ pub struct NaiveOptions {
 
 impl Default for NaiveOptions {
     fn default() -> Self {
-        NaiveOptions { max_accesses: 10_000_000 }
+        NaiveOptions {
+            max_accesses: 10_000_000,
+        }
     }
 }
 
@@ -86,9 +88,9 @@ pub fn naive_evaluate(
     let mut b_vec: HashMap<DomainId, Vec<Value>> = HashMap::new();
     let mut b_set: HashMap<DomainId, HashSet<Value>> = HashMap::new();
     let add_value = |b_vec: &mut HashMap<DomainId, Vec<Value>>,
-                         b_set: &mut HashMap<DomainId, HashSet<Value>>,
-                         d: DomainId,
-                         v: Value| {
+                     b_set: &mut HashMap<DomainId, HashSet<Value>>,
+                     d: DomainId,
+                     v: Value| {
         if b_set.entry(d).or_default().insert(v.clone()) {
             b_vec.entry(d).or_default().push(v);
         }
@@ -175,8 +177,11 @@ pub fn naive_evaluate(
                 }
                 let mut odometer: Vec<usize> = ranges.iter().map(|r| r.start).collect();
                 loop {
-                    let binding: Tuple =
-                        odometer.iter().zip(&pools).map(|(&i, p)| p[i].clone()).collect();
+                    let binding: Tuple = odometer
+                        .iter()
+                        .zip(&pools)
+                        .map(|(&i, p)| p[i].clone())
+                        .collect();
                     debug_assert!(!log.contains(rel_id, &binding));
                     perform_access(
                         provider,
@@ -257,7 +262,9 @@ fn perform_access(
     max_accesses: usize,
 ) -> Result<(), EngineError> {
     if log.total() >= max_accesses {
-        return Err(EngineError::AccessBudgetExceeded { limit: max_accesses });
+        return Err(EngineError::AccessBudgetExceeded {
+            limit: max_accesses,
+        });
     }
     let tuples = meta.access(provider, log, rel_id, &binding)?.to_vec();
     for t in tuples {
@@ -285,7 +292,10 @@ mod tests {
             &schema,
             [
                 ("r1", vec![tuple!["a1", "c1"], tuple!["a1", "c3"]]),
-                ("r2", vec![tuple!["b1", "c1"], tuple!["b2", "c2"], tuple!["b3", "c3"]]),
+                (
+                    "r2",
+                    vec![tuple!["b1", "c1"], tuple!["b2", "c2"], tuple!["b3", "c3"]],
+                ),
                 ("r3", vec![tuple!["c1", "b2"], tuple!["c2", "b1"]]),
             ],
         )
@@ -363,9 +373,11 @@ mod tests {
     fn budget_is_enforced() {
         let (schema, src) = example2();
         let q = parse_query("q1(B) <- r1('a1', C), r2(B, C)", &schema).unwrap();
-        let err = naive_evaluate(&q, &schema, &src, NaiveOptions { max_accesses: 2 })
-            .unwrap_err();
-        assert!(matches!(err, EngineError::AccessBudgetExceeded { limit: 2 }));
+        let err = naive_evaluate(&q, &schema, &src, NaiveOptions { max_accesses: 2 }).unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::AccessBudgetExceeded { limit: 2 }
+        ));
     }
 
     #[test]
@@ -406,7 +418,10 @@ mod tests {
         let schema = Schema::parse("flag^() r^oo(A, B)").unwrap();
         let db = Instance::with_data(
             &schema,
-            [("flag", vec![Tuple::empty()]), ("r", vec![tuple!["a", "b"]])],
+            [
+                ("flag", vec![Tuple::empty()]),
+                ("r", vec![tuple!["a", "b"]]),
+            ],
         )
         .unwrap();
         let src = InstanceSource::new(schema.clone(), db);

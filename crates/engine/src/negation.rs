@@ -24,8 +24,7 @@ use toorjah_core::{CoreError, Planner};
 use toorjah_query::{ConjunctiveQuery, NegatedQuery, Term, VarId};
 
 use crate::{
-    execute_plan_with, AccessLog, AccessStats, EngineError, ExecOptions, MetaCache,
-    SourceProvider,
+    execute_plan_with, AccessLog, AccessStats, EngineError, ExecOptions, MetaCache, SourceProvider,
 };
 
 /// Result of executing a negated query.
@@ -95,7 +94,9 @@ pub fn execute_negated(
     // minimization preserves them — but the default planner is kept simple
     // and explicit here).
     let planner = Planner::default();
-    let planned = planner.plan(&extended, schema).map_err(NegationError::Planning)?;
+    let planned = planner
+        .plan(&extended, schema)
+        .map_err(NegationError::Planning)?;
     let mut meta = MetaCache::new();
     let mut log = AccessLog::new();
     let report = execute_plan_with(&planned.plan, provider, options, &mut meta, &mut log)
@@ -114,8 +115,11 @@ pub fn execute_negated(
     }
 
     // Negation checks per candidate.
-    let var_slot: std::collections::HashMap<VarId, usize> =
-        extended_head.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let var_slot: std::collections::HashMap<VarId, usize> = extended_head
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, i))
+        .collect();
     let original_arity = positive.head().len();
     let mut answers = Vec::new();
     let mut seen: HashSet<Tuple> = HashSet::new();
@@ -143,9 +147,11 @@ pub fn execute_negated(
                 .map(|k| bound[k].clone())
                 .collect();
             if !meta.contains(rel, &binding) && log.total() >= options.max_accesses {
-                return Err(NegationError::Execution(EngineError::AccessBudgetExceeded {
-                    limit: options.max_accesses,
-                }));
+                return Err(NegationError::Execution(
+                    EngineError::AccessBudgetExceeded {
+                        limit: options.max_accesses,
+                    },
+                ));
             }
             let extraction = meta
                 .access(provider, &mut log, rel, &binding)
@@ -162,7 +168,11 @@ pub fn execute_negated(
         }
     }
 
-    Ok(NegationReport { answers, stats: log.stats(), rejected })
+    Ok(NegationReport {
+        answers,
+        stats: log.stats(),
+        rejected,
+    })
 }
 
 #[cfg(test)]
@@ -185,7 +195,10 @@ mod tests {
                         tuple!["cal", "rome"],
                     ],
                 ),
-                ("banned", vec![tuple!["bob", "milan"], tuple!["cal", "paris"]]),
+                (
+                    "banned",
+                    vec![tuple!["bob", "milan"], tuple!["cal", "paris"]],
+                ),
             ],
         )
         .unwrap();
@@ -266,8 +279,7 @@ mod tests {
         use rand::rngs::StdRng;
         use rand::{Rng, SeedableRng};
         for seed in 0..20 {
-            let schema =
-                Schema::parse("works^oo(Person, City) banned^io(Person, City)").unwrap();
+            let schema = Schema::parse("works^oo(Person, City) banned^io(Person, City)").unwrap();
             let mut rng = StdRng::seed_from_u64(seed);
             let mut db = Instance::new(&schema);
             for _ in 0..rng.gen_range(0..20) {
@@ -284,13 +296,16 @@ mod tests {
             let q = parse_query("q(P, C) <- works(P, C)", &schema).unwrap();
             let neg = negated_atom(&schema, &q, "banned", &["P", "C"]);
             let nq = NegatedQuery::new(q, vec![neg], &schema).unwrap();
-            let report =
-                execute_negated(&nq, &schema, &src, ExecOptions::default()).unwrap();
+            let report = execute_negated(&nq, &schema, &src, ExecOptions::default()).unwrap();
             // Oracle: full anti-join.
             let works = schema.relation_id("works").unwrap();
             let banned = schema.relation_id("banned").unwrap();
-            let banned_set: HashSet<Tuple> =
-                src.instance().full_extension(banned).iter().cloned().collect();
+            let banned_set: HashSet<Tuple> = src
+                .instance()
+                .full_extension(banned)
+                .iter()
+                .cloned()
+                .collect();
             let mut oracle: Vec<Tuple> = src
                 .instance()
                 .full_extension(works)

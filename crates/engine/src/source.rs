@@ -86,7 +86,12 @@ pub struct LatencySource<S> {
 impl<S: SourceProvider> LatencySource<S> {
     /// Wraps `inner` with a per-access virtual latency.
     pub fn new(inner: S, latency: Duration) -> Self {
-        LatencySource { inner, latency, sleep: false, accumulated_nanos: AtomicU64::new(0) }
+        LatencySource {
+            inner,
+            latency,
+            sleep: false,
+            accumulated_nanos: AtomicU64::new(0),
+        }
     }
 
     /// Makes every access actually sleep for the configured latency.
@@ -137,7 +142,11 @@ impl<S: SourceProvider> FlakySource<S> {
     /// Fails accesses number `fail_every`, `2·fail_every`, … (1-based).
     pub fn new(inner: S, fail_every: usize) -> Self {
         assert!(fail_every > 0, "fail_every must be positive");
-        FlakySource { inner, fail_every, counter: AtomicUsize::new(0) }
+        FlakySource {
+            inner,
+            fail_every,
+            counter: AtomicUsize::new(0),
+        }
     }
 }
 

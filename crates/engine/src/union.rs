@@ -50,7 +50,11 @@ pub fn execute_union(
         }
         per_disjunct.push(report);
     }
-    Ok(UnionReport { answers, stats: log.stats(), per_disjunct })
+    Ok(UnionReport {
+        answers,
+        stats: log.stats(),
+        per_disjunct,
+    })
 }
 
 #[cfg(test)]
@@ -82,8 +86,7 @@ mod tests {
         let q2 = parse_query("q(B) <- f(X), s(X, B)", &schema).unwrap();
         let p1 = plan_query(&q1, &schema).unwrap();
         let p2 = plan_query(&q2, &schema).unwrap();
-        let report =
-            execute_union(&[&p1.plan, &p2.plan], &src, ExecOptions::default()).unwrap();
+        let report = execute_union(&[&p1.plan, &p2.plan], &src, ExecOptions::default()).unwrap();
         let mut answers = report.answers.clone();
         answers.sort();
         assert_eq!(answers, vec![tuple!["rb"], tuple!["sb"], tuple!["shared"]]);
@@ -97,8 +100,7 @@ mod tests {
         let q2 = parse_query("q(B) <- f(X), s(X, B)", &schema).unwrap();
         let p1 = plan_query(&q1, &schema).unwrap();
         let p2 = plan_query(&q2, &schema).unwrap();
-        let union =
-            execute_union(&[&p1.plan, &p2.plan], &src, ExecOptions::default()).unwrap();
+        let union = execute_union(&[&p1.plan, &p2.plan], &src, ExecOptions::default()).unwrap();
         let solo1 = execute_plan(&p1.plan, &src, ExecOptions::default()).unwrap();
         let solo2 = execute_plan(&p2.plan, &src, ExecOptions::default()).unwrap();
         let f = schema.relation_id("f").unwrap();
@@ -107,8 +109,7 @@ mod tests {
         // Shared: one access to f total, not two.
         assert_eq!(union.stats.accesses_to(f), 1);
         assert!(
-            union.stats.total_accesses
-                < solo1.stats.total_accesses + solo2.stats.total_accesses
+            union.stats.total_accesses < solo1.stats.total_accesses + solo2.stats.total_accesses
         );
     }
 

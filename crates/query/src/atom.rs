@@ -88,7 +88,11 @@ mod tests {
     fn accessors() {
         let a = Atom::new(
             RelationId(0),
-            vec![Term::Var(VarId(0)), Term::Const(Value::from("volare")), Term::Var(VarId(0))],
+            vec![
+                Term::Var(VarId(0)),
+                Term::Const(Value::from("volare")),
+                Term::Var(VarId(0)),
+            ],
         );
         assert_eq!(a.arity(), 3);
         assert_eq!(a.relation(), RelationId(0));

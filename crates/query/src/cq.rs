@@ -49,7 +49,12 @@ impl ConjunctiveQuery {
         atoms: Vec<Atom>,
         var_names: Vec<String>,
     ) -> Result<Self, QueryError> {
-        let q = ConjunctiveQuery { head_name: head_name.into(), head, atoms, var_names };
+        let q = ConjunctiveQuery {
+            head_name: head_name.into(),
+            head,
+            atoms,
+            var_names,
+        };
         q.validate(schema)?;
         Ok(q)
     }
@@ -73,7 +78,9 @@ impl ConjunctiveQuery {
         for &h in &self.head {
             let occurs = self.atoms.iter().any(|a| a.variables().any(|v| v == h));
             if !occurs {
-                return Err(QueryError::UnsafeHead { variable: self.var_name(h).to_string() });
+                return Err(QueryError::UnsafeHead {
+                    variable: self.var_name(h).to_string(),
+                });
             }
         }
         // Abstract-domain consistency per variable.
@@ -343,8 +350,10 @@ impl<'s> CqBuilder<'s> {
             .schema
             .relation_id(relation)
             .ok_or_else(|| QueryError::UnknownRelation(relation.to_string()))?;
-        let mut factory =
-            TermFactory { var_names: &mut self.var_names, by_name: &mut self.by_name };
+        let mut factory = TermFactory {
+            var_names: &mut self.var_names,
+            by_name: &mut self.by_name,
+        };
         let terms = f(&mut factory);
         self.atoms.push(Atom::new(rel, terms));
         Ok(self)
@@ -359,7 +368,11 @@ impl<'s> CqBuilder<'s> {
         for name in &self.head_names {
             match self.by_name.get(name) {
                 Some(&v) => head.push(v),
-                None => return Err(QueryError::UnsafeHead { variable: name.clone() }),
+                None => {
+                    return Err(QueryError::UnsafeHead {
+                        variable: name.clone(),
+                    })
+                }
             }
         }
         ConjunctiveQuery::from_parts(

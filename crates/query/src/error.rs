@@ -120,7 +120,11 @@ mod tests {
 
     #[test]
     fn messages_mention_offenders() {
-        let e = QueryError::AtomArity { relation: "rev".into(), expected: 3, got: 2 };
+        let e = QueryError::AtomArity {
+            relation: "rev".into(),
+            expected: 3,
+            got: 2,
+        };
         assert!(e.to_string().contains("rev"));
         let e = QueryError::DomainConflict {
             variable: "X".into(),

@@ -19,10 +19,7 @@ pub type Homomorphism = HashMap<VarId, Term>;
 /// Returns `None` when the head shapes are incompatible or no mapping exists.
 /// By the Chandra–Merlin theorem, `onto ⊆ from` holds exactly when such a
 /// homomorphism exists (see [`crate::is_contained_in`]).
-pub fn find_homomorphism(
-    from: &ConjunctiveQuery,
-    onto: &ConjunctiveQuery,
-) -> Option<Homomorphism> {
+pub fn find_homomorphism(from: &ConjunctiveQuery, onto: &ConjunctiveQuery) -> Option<Homomorphism> {
     if from.head().len() != onto.head().len() {
         return None;
     }

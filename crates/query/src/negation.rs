@@ -145,7 +145,10 @@ mod tests {
         let q = parse_query("q(X) <- flag(X)", &s).unwrap();
         // Variable W does not occur positively: build it manually.
         let banned = s.relation_id("banned").unwrap();
-        let neg = Atom::new(banned, vec![Term::Var(crate::VarId(0)), Term::Var(crate::VarId(7))]);
+        let neg = Atom::new(
+            banned,
+            vec![Term::Var(crate::VarId(0)), Term::Var(crate::VarId(7))],
+        );
         // VarId(7) is out of the positive query's variable table → treat as
         // a fresh variable. Construction must fail safety.
         let q2 = {

@@ -49,11 +49,18 @@ struct Parser<'t> {
 
 impl<'t> Parser<'t> {
     fn new(text: &'t str) -> Self {
-        Parser { text, chars: text.chars().collect(), pos: 0 }
+        Parser {
+            text,
+            chars: text.chars().collect(),
+            pos: 0,
+        }
     }
 
     fn error(&self, reason: impl Into<String>) -> QueryError {
-        QueryError::Parse { fragment: self.text.to_string(), reason: reason.into() }
+        QueryError::Parse {
+            fragment: self.text.to_string(),
+            reason: reason.into(),
+        }
     }
 
     fn skip_ws(&mut self) {

@@ -141,7 +141,13 @@ pub fn preprocess(
             .relation_id(&name)
             .expect("artificial relation was just added");
         atoms.push(Atom::new(rel, vec![Term::Var(var)]));
-        constant_relations.push(ConstantRelation { relation: rel, name, value, domain, variable: var });
+        constant_relations.push(ConstantRelation {
+            relation: rel,
+            name,
+            value,
+            domain,
+            variable: var,
+        });
     }
 
     let rewritten = ConjunctiveQuery::from_parts(
@@ -250,10 +256,9 @@ mod tests {
     #[test]
     fn repeated_constant_shares_one_relation() {
         // q3-style: 'icde' occurs twice at ConfName positions.
-        let schema = Schema::parse(
-            "rev^ooi(Person, ConfName, Year) conf^ooo(Paper, ConfName, Year)",
-        )
-        .unwrap();
+        let schema =
+            Schema::parse("rev^ooi(Person, ConfName, Year) conf^ooo(Paper, ConfName, Year)")
+                .unwrap();
         let q = parse_query("q(R) <- rev(R, icde, Y), conf(P, icde, Y)", &schema).unwrap();
         let pre = preprocess(&q, &schema).unwrap();
         assert_eq!(pre.constant_relations.len(), 1);
@@ -273,7 +278,11 @@ mod tests {
         };
         let pre = preprocess(&q, &schema).unwrap();
         assert_eq!(pre.constant_relations.len(), 2);
-        let names: Vec<_> = pre.constant_relations.iter().map(|c| c.name.clone()).collect();
+        let names: Vec<_> = pre
+            .constant_relations
+            .iter()
+            .map(|c| c.name.clone())
+            .collect();
         assert_eq!(names[0], "r_c");
         assert_eq!(names[1], "r_c_2");
     }
@@ -291,7 +300,11 @@ mod tests {
         let schema = Schema::parse("r^ioo(Y, A, B) s^oi(A, N)").unwrap();
         let q = parse_query("q(B) <- r(2008, A, B), s(A, -3)", &schema).unwrap();
         let pre = preprocess(&q, &schema).unwrap();
-        let names: Vec<_> = pre.constant_relations.iter().map(|c| c.name.clone()).collect();
+        let names: Vec<_> = pre
+            .constant_relations
+            .iter()
+            .map(|c| c.name.clone())
+            .collect();
         assert!(names.contains(&"r_2008".to_string()));
         assert!(names.contains(&"r_m3".to_string()));
     }

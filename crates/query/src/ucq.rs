@@ -26,7 +26,10 @@ impl UnionQuery {
         let arity = cqs[0].head().len();
         for cq in &cqs[1..] {
             if cq.head().len() != arity {
-                return Err(QueryError::MixedHeadArity { expected: arity, got: cq.head().len() });
+                return Err(QueryError::MixedHeadArity {
+                    expected: arity,
+                    got: cq.head().len(),
+                });
             }
         }
         Ok(UnionQuery { cqs })

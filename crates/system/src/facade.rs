@@ -14,8 +14,7 @@ use toorjah_query::{parse_query, ConjunctiveQuery, QueryError};
 use crate::{run_distillation, AnswerStream, DistillationOptions};
 
 /// Configuration of a [`Toorjah`] instance.
-#[derive(Clone, Debug)]
-#[derive(Default)]
+#[derive(Clone, Debug, Default)]
 pub struct ToorjahConfig {
     /// Planner settings (CQ minimization, ordering heuristic).
     pub planner: Planner,
@@ -24,7 +23,6 @@ pub struct ToorjahConfig {
     /// Distillation (parallel) settings.
     pub distillation: DistillationOptions,
 }
-
 
 /// Errors surfaced by the facade.
 #[derive(Clone, Debug)]
@@ -97,12 +95,18 @@ pub struct Toorjah {
 impl Toorjah {
     /// Wraps a source provider with the default configuration.
     pub fn new(provider: impl SourceProvider + 'static) -> Self {
-        Toorjah { provider: Arc::new(provider), config: ToorjahConfig::default() }
+        Toorjah {
+            provider: Arc::new(provider),
+            config: ToorjahConfig::default(),
+        }
     }
 
     /// Wraps an already-shared provider.
     pub fn from_arc(provider: Arc<dyn SourceProvider>) -> Self {
-        Toorjah { provider, config: ToorjahConfig::default() }
+        Toorjah {
+            provider,
+            config: ToorjahConfig::default(),
+        }
     }
 
     /// Replaces the configuration.
@@ -239,7 +243,11 @@ impl Toorjah {
         }
         out.push_str(&format!(
             "forall-minimal: {}\n",
-            if planned.minimality.forall_minimal { "yes" } else { "no" }
+            if planned.minimality.forall_minimal {
+                "yes"
+            } else {
+                "no"
+            }
         ));
         out.push_str("datalog program:\n");
         for rule in planned.plan.program.rules() {
@@ -303,7 +311,10 @@ mod tests {
         let text = system.explain("q(C) <- r1('a', B), r2(B, C)").unwrap();
         assert!(text.contains("datalog program"));
         assert!(text.contains("r1_hat1"));
-        assert!(!text.contains("r3_hat"), "irrelevant r3 must not be cached:\n{text}");
+        assert!(
+            !text.contains("r3_hat"),
+            "irrelevant r3 must not be cached:\n{text}"
+        );
         assert!(text.contains("forall-minimal: yes"));
     }
 

@@ -41,7 +41,10 @@ pub struct DistillationOptions {
 
 impl Default for DistillationOptions {
     fn default() -> Self {
-        DistillationOptions { queue_capacity: 64, max_accesses: 10_000_000 }
+        DistillationOptions {
+            queue_capacity: 64,
+            max_accesses: 10_000_000,
+        }
     }
 }
 
@@ -69,7 +72,10 @@ pub fn run_distillation(
     let handle = std::thread::spawn(move || {
         coordinate(plan, provider, options, &event_tx);
     });
-    AnswerStream { receiver: event_rx, handle }
+    AnswerStream {
+        receiver: event_rx,
+        handle,
+    }
 }
 
 fn coordinate(
@@ -186,7 +192,9 @@ fn coordinate(
         // Distillation pass: generate every access tuple currently derivable.
         let mut dispatched_or_applied = false;
         for (cache_idx, cache) in plan.caches.iter().enumerate() {
-            let Some(relation) = provider_rel[cache_idx] else { continue };
+            let Some(relation) = provider_rel[cache_idx] else {
+                continue;
+            };
             let pools: Vec<Vec<Value>> = {
                 let facts = facts.lock();
                 cache
@@ -221,16 +229,21 @@ fn coordinate(
                     dispatched_or_applied = true;
                 } else if !requested.contains(&key) {
                     if log.total() >= options.max_accesses {
-                        let _ = events.send(StreamEvent::Failed(
-                            EngineError::AccessBudgetExceeded { limit: options.max_accesses },
-                        ));
+                        let _ =
+                            events.send(StreamEvent::Failed(EngineError::AccessBudgetExceeded {
+                                limit: options.max_accesses,
+                            }));
                         return;
                     }
                     log.record(relation, binding.clone());
                     requested.insert(key);
                     in_flight += 1;
                     dispatched_or_applied = true;
-                    let item = WorkItem { cache_idx, relation, binding };
+                    let item = WorkItem {
+                        cache_idx,
+                        relation,
+                        binding,
+                    };
                     if wrapper_tx[&relation].send(item).is_err() {
                         let _ = events.send(StreamEvent::Failed(EngineError::SourceFailure {
                             relation: plan.schema.relation(cache.relation).name().to_string(),
@@ -400,7 +413,9 @@ fn domain_values(
         }
         DomainMode::Join => {
             let mut iter = dp.providers.iter();
-            let Some(first) = iter.next() else { return Vec::new() };
+            let Some(first) = iter.next() else {
+                return Vec::new();
+            };
             let mut out = project(first);
             for p in iter {
                 let other: HashSet<Value> = project(p).into_iter().collect();
@@ -422,7 +437,11 @@ struct CartesianProduct<'a> {
 impl<'a> CartesianProduct<'a> {
     fn new(pools: &'a [Vec<Value>]) -> Self {
         let done = pools.iter().any(Vec::is_empty) && !pools.is_empty();
-        CartesianProduct { pools, odometer: vec![0; pools.len()], done }
+        CartesianProduct {
+            pools,
+            odometer: vec![0; pools.len()],
+            done,
+        }
     }
 }
 
@@ -484,8 +503,7 @@ mod tests {
     #[test]
     fn distillation_matches_sequential_execution() {
         let (plan, provider) = example_plan_and_source();
-        let sequential =
-            execute_plan(&plan, provider.as_ref(), ExecOptions::default()).unwrap();
+        let sequential = execute_plan(&plan, provider.as_ref(), ExecOptions::default()).unwrap();
         let stream = run_distillation(
             plan.clone(),
             Arc::clone(&provider),
@@ -510,8 +528,10 @@ mod tests {
         while let Some(e) = stream.next_event() {
             events.push(e);
         }
-        let answer_count =
-            events.iter().filter(|e| matches!(e, StreamEvent::Answer { .. })).count();
+        let answer_count = events
+            .iter()
+            .filter(|e| matches!(e, StreamEvent::Answer { .. }))
+            .count();
         assert_eq!(answer_count, 2); // c1 and c2
         assert!(matches!(events.last(), Some(StreamEvent::Done(_))));
     }
@@ -521,8 +541,10 @@ mod tests {
         let schema = Schema::parse("f^oo(A, B) g^io(B, C)").unwrap();
         let mut db = Instance::new(&schema);
         for i in 0..20 {
-            db.insert("f", tuple![format!("a{i}"), format!("b{i}")]).unwrap();
-            db.insert("g", tuple![format!("b{i}"), format!("c{i}")]).unwrap();
+            db.insert("f", tuple![format!("a{i}"), format!("b{i}")])
+                .unwrap();
+            db.insert("g", tuple![format!("b{i}"), format!("c{i}")])
+                .unwrap();
         }
         let src = LatencySource::new(
             InstanceSource::new(schema.clone(), db),
@@ -531,11 +553,7 @@ mod tests {
         .with_real_sleep();
         let q = parse_query("q(C) <- f(A, B), g(B, C)", &schema).unwrap();
         let planned = plan_query(&q, &schema).unwrap();
-        let stream = run_distillation(
-            planned.plan,
-            Arc::new(src),
-            DistillationOptions::default(),
-        );
+        let stream = run_distillation(planned.plan, Arc::new(src), DistillationOptions::default());
         let report = stream.wait().unwrap();
         assert_eq!(report.answers.len(), 20);
         // 21 accesses of ≥2 ms each happen on the wrapper threads; the first
@@ -567,7 +585,10 @@ mod tests {
         let stream = run_distillation(
             plan,
             provider,
-            DistillationOptions { max_accesses: 1, ..DistillationOptions::default() },
+            DistillationOptions {
+                max_accesses: 1,
+                ..DistillationOptions::default()
+            },
         );
         assert!(matches!(
             stream.wait(),

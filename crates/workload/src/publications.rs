@@ -183,14 +183,20 @@ pub fn publication_instance(schema: &Schema, config: &PublicationConfig) -> Inst
         };
         let _ = db.insert("rev", Tuple::new(vec![a, c, y]));
     }
-    let icde_multi_author: Vec<&Event> =
-        events.iter().filter(|e| e.conf == 0 && e.authors.len() >= 2).collect();
+    let icde_multi_author: Vec<&Event> = events
+        .iter()
+        .filter(|e| e.conf == 0 && e.authors.len() >= 2)
+        .collect();
     for e in icde_multi_author.iter().take(8) {
         let reviewer = e.authors[0];
         let coauthor = e.authors[1];
         let _ = db.insert(
             "rev",
-            Tuple::new(vec![Value::str(format!("au{reviewer}")), Value::str("icde"), Value::int(2008)]),
+            Tuple::new(vec![
+                Value::str(format!("au{reviewer}")),
+                Value::str("icde"),
+                Value::int(2008),
+            ]),
         );
         // The reviewer accepted a submission authored by the coauthor.
         let submission = events
@@ -219,11 +225,8 @@ pub fn publication_instance(schema: &Schema, config: &PublicationConfig) -> Inst
 /// The three §V queries, parsed against the publication schema, in the
 /// paper's order: `(name, query)` for `q1`, `q2`, `q3`.
 pub fn paper_queries(schema: &Schema) -> Vec<(&'static str, ConjunctiveQuery)> {
-    let q1 = parse_query(
-        "q1(R) <- pub1(P, R), conf(P, C, Y), rev(R, C, Y)",
-        schema,
-    )
-    .expect("q1 parses");
+    let q1 =
+        parse_query("q1(R) <- pub1(P, R), conf(P, C, Y), rev(R, C, Y)", schema).expect("q1 parses");
     let q2 = parse_query(
         "q2(R) <- rev_icde(R, P, rej), conf(P, C, Y), rev(R, C, Y)",
         schema,
@@ -246,7 +249,14 @@ mod tests {
     fn schema_matches_paper() {
         let schema = publication_schema();
         assert_eq!(schema.relation_count(), 6);
-        assert_eq!(schema.relation_by_name("rev_icde").unwrap().pattern().to_string(), "iio");
+        assert_eq!(
+            schema
+                .relation_by_name("rev_icde")
+                .unwrap()
+                .pattern()
+                .to_string(),
+            "iio"
+        );
         assert!(schema.relation_by_name("pub2").unwrap().is_free());
         assert!(schema.relation_by_name("conf").unwrap().is_free());
         assert_eq!(schema.domains().len(), 5);
@@ -273,7 +283,11 @@ mod tests {
             let len = db.relation_len(id);
             // pub1/pub2 scale with events × authors (1–3 per paper); the
             // topped-up relations land exactly on the target.
-            assert!(len > 0 && len <= 4 * cfg.tuples_per_relation, "{}: {len}", rel.name());
+            assert!(
+                len > 0 && len <= 4 * cfg.tuples_per_relation,
+                "{}: {len}",
+                rel.name()
+            );
         }
         for name in ["conf", "sub", "rev", "rev_icde"] {
             let id = schema.relation_id(name).unwrap();

@@ -99,7 +99,13 @@ pub fn random_schema(rng: &mut StdRng, params: &RandomParams) -> GeneratedSchema
     for r in 0..relation_count {
         let arity = rng.gen_range(params.arity.0..=params.arity.1);
         let pattern: String = (0..arity)
-            .map(|_| if rng.gen_bool(params.input_probability) { 'i' } else { 'o' })
+            .map(|_| {
+                if rng.gen_bool(params.input_probability) {
+                    'i'
+                } else {
+                    'o'
+                }
+            })
             .collect();
         let domains: Vec<&str> = (0..arity)
             .map(|_| domain_names[rng.gen_range(0..params.domains)].as_str())
@@ -150,9 +156,7 @@ fn try_random_query(
     let mut vars_by_domain: Vec<(usize, VarId)> = Vec::new();
     let mut atoms = Vec::with_capacity(atom_count);
     for _ in 0..atom_count {
-        let rel_id = toorjah_catalog::RelationId(
-            rng.gen_range(0..schema.relation_count()) as u32,
-        );
+        let rel_id = toorjah_catalog::RelationId(rng.gen_range(0..schema.relation_count()) as u32);
         let rel = schema.relation(rel_id);
         let mut terms = Vec::with_capacity(rel.arity());
         for k in 0..rel.arity() {
@@ -189,8 +193,7 @@ fn try_random_query(
             head.push(v);
         }
     }
-    let query =
-        ConjunctiveQuery::from_parts(schema, "q", head, atoms, var_names).ok()?;
+    let query = ConjunctiveQuery::from_parts(schema, "q", head, atoms, var_names).ok()?;
     // §V: queries of 2+ atoms contain at least one join.
     if query.atoms().len() >= 2 && !query.has_join() {
         return None;
@@ -295,7 +298,10 @@ mod tests {
 
     #[test]
     fn constants_come_from_pools() {
-        let params = RandomParams { constant_probability: 0.9, ..RandomParams::small() };
+        let params = RandomParams {
+            constant_probability: 0.9,
+            ..RandomParams::small()
+        };
         let mut rng = seeded_rng(3);
         let g = random_schema(&mut rng, &params);
         for _ in 0..20 {

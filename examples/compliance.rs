@@ -34,7 +34,10 @@ fn main() {
                 ],
             ),
             ("sanctions", vec![tuple!["bob", "ofac"]]),
-            ("registry", vec![tuple!["acme", "it"], tuple!["globex", "de"]]),
+            (
+                "registry",
+                vec![tuple!["acme", "it"], tuple!["globex", "de"]],
+            ),
         ],
     )
     .expect("instance valid");

@@ -6,7 +6,9 @@
 
 use toorjah::engine::{naive_evaluate, InstanceSource, NaiveOptions};
 use toorjah::system::Toorjah;
-use toorjah::workload::{paper_queries, publication_instance, publication_schema, PublicationConfig};
+use toorjah::workload::{
+    paper_queries, publication_instance, publication_schema, PublicationConfig,
+};
 
 fn main() {
     let schema = publication_schema();
@@ -23,14 +25,22 @@ fn main() {
         println!("\n=== {name}: {} ===", query.display(&schema));
         let naive = naive_evaluate(&query, &schema, &provider, NaiveOptions::default())
             .expect("naive evaluation succeeds");
-        let optimized = system.ask_query(&query).expect("optimized execution succeeds");
+        let optimized = system
+            .ask_query(&query)
+            .expect("optimized execution succeeds");
 
         println!(
             "{:<12}{:>14}{:>14}{:>12}{:>12}",
             "relation", "naive acc.", "opt. acc.", "naive rows", "opt. rows"
         );
         for (id, rel) in schema.iter() {
-            let fmt = |n: usize| if n == 0 { "-".to_string() } else { n.to_string() };
+            let fmt = |n: usize| {
+                if n == 0 {
+                    "-".to_string()
+                } else {
+                    n.to_string()
+                }
+            };
             println!(
                 "{:<12}{:>14}{:>14}{:>12}{:>12}",
                 rel.name(),
@@ -42,8 +52,7 @@ fn main() {
         }
         let saved = 100.0
             * (1.0
-                - optimized.stats.total_accesses as f64
-                    / naive.stats.total_accesses.max(1) as f64);
+                - optimized.stats.total_accesses as f64 / naive.stats.total_accesses.max(1) as f64);
         println!(
             "answers: {} (identical: {}); accesses {} → {} ({saved:.1}% saved)",
             optimized.answers.len(),

@@ -65,6 +65,10 @@ fn main() {
     println!(
         "\n{} total accesses; forall-minimal plan: {}",
         result.stats.total_accesses,
-        if result.planned.minimality.forall_minimal { "yes" } else { "no" },
+        if result.planned.minimality.forall_minimal {
+            "yes"
+        } else {
+            "no"
+        },
     );
 }

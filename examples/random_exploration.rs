@@ -28,7 +28,9 @@ fn main() {
 
     let mut shown = 0;
     while shown < 5 {
-        let Some(query) = random_query(&mut rng, &generated, &params) else { break };
+        let Some(query) = random_query(&mut rng, &generated, &params) else {
+            break;
+        };
         let planned = match plan_query(&query, &generated.schema) {
             Ok(p) => p,
             Err(_) => continue, // not answerable: §V excludes these
@@ -44,7 +46,12 @@ fn main() {
             planned.plan.caches.len(),
             planned.optimized.graph().sources().len(),
         );
-        let naive = naive_evaluate(&query, &generated.schema, &provider, NaiveOptions::default());
+        let naive = naive_evaluate(
+            &query,
+            &generated.schema,
+            &provider,
+            NaiveOptions::default(),
+        );
         let optimized = execute_plan(&planned.plan, &provider, ExecOptions::default());
         match (naive, optimized) {
             (Ok(n), Ok(o)) => {
@@ -57,7 +64,11 @@ fn main() {
                     o.answers.len(),
                 );
             }
-            (n, o) => println!("  evaluation skipped: naive={:?} opt={:?}\n", n.is_ok(), o.is_ok()),
+            (n, o) => println!(
+                "  evaluation skipped: naive={:?} opt={:?}\n",
+                n.is_ok(),
+                o.is_ok()
+            ),
         }
     }
 }

@@ -26,8 +26,10 @@ fn main() {
     for i in 0..12 {
         db.insert("cities", tuple![city(i), "somewhere"]).unwrap();
         // A ring of flights plus a couple of chords.
-        db.insert("flights", tuple![city(i), city((i + 1) % 12)]).unwrap();
-        db.insert("hotels", tuple![city(i), format!("hotel-{i}")]).unwrap();
+        db.insert("flights", tuple![city(i), city((i + 1) % 12)])
+            .unwrap();
+        db.insert("hotels", tuple![city(i), format!("hotel-{i}")])
+            .unwrap();
     }
 
     // 3 ms per remote access, really slept on the wrapper threads.
@@ -65,7 +67,11 @@ fn main() {
         report.stats.total_accesses,
         report.time_to_first_answer.unwrap_or_default(),
         report.total_time,
-        100.0 * report.time_to_first_answer.unwrap_or_default().as_secs_f64()
+        100.0
+            * report
+                .time_to_first_answer
+                .unwrap_or_default()
+                .as_secs_f64()
             / report.total_time.as_secs_f64().max(1e-9),
     );
 }

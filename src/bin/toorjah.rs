@@ -126,7 +126,12 @@ fn main() -> ExitCode {
                 let _ = run_explain(&system, line.trim_start_matches(":explain "));
             }
             _ if line.starts_with(":naive ") => {
-                let _ = run_naive(&system, &provider, &schema, line.trim_start_matches(":naive "));
+                let _ = run_naive(
+                    &system,
+                    &provider,
+                    &schema,
+                    line.trim_start_matches(":naive "),
+                );
             }
             _ if line.starts_with(':') => eprintln!("unknown command; :help"),
             query => {
@@ -169,12 +174,7 @@ fn run_explain(system: &Toorjah, q: &str) -> ExitCode {
     }
 }
 
-fn run_naive(
-    system: &Toorjah,
-    provider: &InstanceSource,
-    schema: &Schema,
-    q: &str,
-) -> ExitCode {
+fn run_naive(system: &Toorjah, provider: &InstanceSource, schema: &Schema, q: &str) -> ExitCode {
     let query = match parse_query(q, schema) {
         Ok(q) => q,
         Err(e) => {
@@ -195,9 +195,10 @@ fn run_naive(
                 "naive: {} accesses; optimized: {} accesses ({:.1}% saved); {} answer(s)",
                 naive.stats.total_accesses,
                 optimized.stats.total_accesses,
-                100.0 * (1.0
-                    - optimized.stats.total_accesses as f64
-                        / naive.stats.total_accesses.max(1) as f64),
+                100.0
+                    * (1.0
+                        - optimized.stats.total_accesses as f64
+                            / naive.stats.total_accesses.max(1) as f64),
                 optimized.answers.len(),
             );
             ExitCode::SUCCESS
@@ -228,8 +229,7 @@ fn load_source(text: &str) -> Result<(Schema, Instance), String> {
     let schema = Schema::parse(&schema_decls).map_err(|e| format!("schema error: {e}"))?;
     let mut instance = Instance::new(&schema);
     for (no, line) in data_lines {
-        let (name, tuple) =
-            parse_fact(line).map_err(|e| format!("line {no}: {e} in {line:?}"))?;
+        let (name, tuple) = parse_fact(line).map_err(|e| format!("line {no}: {e} in {line:?}"))?;
         instance
             .insert(&name, tuple)
             .map_err(|e| format!("line {no}: {e}"))?;

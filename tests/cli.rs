@@ -58,7 +58,11 @@ fn one_shot_query() {
         .args(["--query", "q(N) <- r1(A, N, Y1), r2('volare', Y2, A)"])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("italy"), "{stdout}");
 }
@@ -87,7 +91,10 @@ fn naive_comparison() {
         .expect("binary runs");
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains("naive:") && stdout.contains("optimized:"), "{stdout}");
+    assert!(
+        stdout.contains("naive:") && stdout.contains("optimized:"),
+        "{stdout}"
+    );
 }
 
 #[test]
@@ -109,7 +116,10 @@ fn repl_session() {
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("r1^ioo"), "schema shown: {stdout}");
-    assert!(stdout.contains("modugno") && stdout.contains("mina"), "{stdout}");
+    assert!(
+        stdout.contains("modugno") && stdout.contains("mina"),
+        "{stdout}"
+    );
 }
 
 #[test]
@@ -137,7 +147,10 @@ fn missing_file_fails_cleanly() {
 #[test]
 fn malformed_source_reports_line() {
     let file = tempfile::NamedFile::new("relation r^o(A)\nr(1, 2)\n");
-    let out = Command::new(BIN).arg(file.path()).output().expect("binary runs");
+    let out = Command::new(BIN)
+        .arg(file.path())
+        .output()
+        .expect("binary runs");
     assert!(!out.status.success());
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("line 2"), "{stderr}");

@@ -4,9 +4,7 @@
 
 use toorjah::catalog::{tuple, Instance, Schema, Tuple};
 use toorjah::core::plan_query;
-use toorjah::engine::{
-    execute_plan, naive_evaluate, ExecOptions, InstanceSource, NaiveOptions,
-};
+use toorjah::engine::{execute_plan, naive_evaluate, ExecOptions, InstanceSource, NaiveOptions};
 use toorjah::query::parse_query;
 
 fn run_both(
@@ -31,7 +29,11 @@ fn run_both(
 
 #[test]
 fn single_nullary_atom() {
-    let (answers, _) = run_both("flag^()", vec![("flag", vec![Tuple::empty()])], "q() <- flag()");
+    let (answers, _) = run_both(
+        "flag^()",
+        vec![("flag", vec![Tuple::empty()])],
+        "q() <- flag()",
+    );
     assert_eq!(answers, vec![Tuple::empty()]);
     let (answers, _) = run_both("flag^()", vec![("flag", vec![])], "q() <- flag()");
     assert!(answers.is_empty());
@@ -72,7 +74,12 @@ fn self_feeding_relation_closure() {
             ("seed", vec![tuple!["a0"]]),
             (
                 "r",
-                vec![tuple!["a0", "a1"], tuple!["a1", "a2"], tuple!["a2", "a3"], tuple!["x", "y"]],
+                vec![
+                    tuple!["a0", "a1"],
+                    tuple!["a1", "a2"],
+                    tuple!["a2", "a3"],
+                    tuple!["x", "y"],
+                ],
             ),
         ],
         "q(Y) <- r(X, Y)",

@@ -41,8 +41,13 @@ fn check_scenario(seed: u64) -> bool {
     let instance = random_instance(&mut rng, &generated, &params);
     let provider = InstanceSource::new(generated.schema.clone(), instance);
 
-    let naive = naive_evaluate(&query, &generated.schema, &provider, NaiveOptions::default())
-        .expect("naive evaluation terminates within budget on small workloads");
+    let naive = naive_evaluate(
+        &query,
+        &generated.schema,
+        &provider,
+        NaiveOptions::default(),
+    )
+    .expect("naive evaluation terminates within budget on small workloads");
 
     match plan_query(&query, &generated.schema) {
         Err(CoreError::NotAnswerable { .. }) => {
@@ -57,7 +62,10 @@ fn check_scenario(seed: u64) -> bool {
         Err(e) => panic!("unexpected planning failure: {e}"),
         Ok(planned) => {
             // Property 4: structural invariants of the marking.
-            planned.optimized.check_invariants().expect("GFP invariants hold");
+            planned
+                .optimized
+                .check_invariants()
+                .expect("GFP invariants hold");
 
             let report = execute_plan(&planned.plan, &provider, ExecOptions::default())
                 .expect("plan executes");
@@ -138,5 +146,8 @@ fn fixed_seed_sweep() {
             usable += 1;
         }
     }
-    assert!(usable > 80, "the generator should produce usable queries ({usable}/160)");
+    assert!(
+        usable > 80,
+        "the generator should produce usable queries ({usable}/160)"
+    );
 }

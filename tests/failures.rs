@@ -67,9 +67,15 @@ fn budget_zero_blocks_the_first_access() {
     let result = execute_plan(
         &planned.plan,
         &src,
-        ExecOptions { max_accesses: 0, ..ExecOptions::default() },
+        ExecOptions {
+            max_accesses: 0,
+            ..ExecOptions::default()
+        },
     );
-    assert!(matches!(result, Err(EngineError::AccessBudgetExceeded { limit: 0 })));
+    assert!(matches!(
+        result,
+        Err(EngineError::AccessBudgetExceeded { limit: 0 })
+    ));
 }
 
 #[test]
@@ -79,8 +85,14 @@ fn access_trace_respects_plan_positions() {
     let planned = plan_query(&q, &schema).unwrap();
     let mut meta = MetaCache::new();
     let mut log = AccessLog::new();
-    execute_plan_with(&planned.plan, &src, ExecOptions::default(), &mut meta, &mut log)
-        .unwrap();
+    execute_plan_with(
+        &planned.plan,
+        &src,
+        ExecOptions::default(),
+        &mut meta,
+        &mut log,
+    )
+    .unwrap();
 
     // Map relations to their cache positions; the trace must be
     // non-decreasing in position (a chain plan: a ≺ b ≺ c).
@@ -94,7 +106,11 @@ fn access_trace_respects_plan_positions() {
             .map(|c| c.position)
             .expect("accessed relations are planned")
     };
-    let positions: Vec<usize> = log.sequence().iter().map(|(r, _)| position_of(*r)).collect();
+    let positions: Vec<usize> = log
+        .sequence()
+        .iter()
+        .map(|(r, _)| position_of(*r))
+        .collect();
     assert!(!positions.is_empty());
     assert!(
         positions.windows(2).all(|w| w[0] <= w[1]),

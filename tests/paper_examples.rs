@@ -3,9 +3,7 @@
 
 use toorjah::catalog::{tuple, Instance, Schema, Tuple};
 use toorjah::core::{plan_query, CoreError, OptimizedDGraph, Solution};
-use toorjah::engine::{
-    execute_plan, naive_evaluate, ExecOptions, InstanceSource, NaiveOptions,
-};
+use toorjah::engine::{execute_plan, naive_evaluate, ExecOptions, InstanceSource, NaiveOptions};
 use toorjah::query::{is_connection_query, parse_query, preprocess};
 use toorjah::system::Toorjah;
 
@@ -24,15 +22,23 @@ fn example1_music_sources() {
         [
             (
                 "r1",
-                vec![tuple!["modugno", "italy", 1928], tuple!["mina", "italy", 1958]],
+                vec![
+                    tuple!["modugno", "italy", 1928],
+                    tuple!["mina", "italy", 1958],
+                ],
             ),
             ("r2", vec![tuple!["volare", 1958, "modugno"]]),
-            ("r3", vec![tuple!["modugno", "nel blu"], tuple!["mina", "studio uno"]]),
+            (
+                "r3",
+                vec![tuple!["modugno", "nel blu"], tuple!["mina", "studio uno"]],
+            ),
         ],
     )
     .unwrap();
     let system = Toorjah::new(InstanceSource::new(schema.clone(), db));
-    let result = system.ask("q(N) <- r1(A, N, Y1), r2('volare', Y2, A)").unwrap();
+    let result = system
+        .ask("q(N) <- r1(A, N, Y1), r2('volare', Y2, A)")
+        .unwrap();
     assert_eq!(result.answers, vec![tuple!["italy"]]);
     // r3 is accessed even though the query does not mention it.
     let r3 = schema.relation_id("r3").unwrap();
@@ -48,7 +54,10 @@ fn example2_obtainable_answers_and_queryability() {
         &schema,
         [
             ("r1", vec![tuple!["a1", "c1"], tuple!["a1", "c3"]]),
-            ("r2", vec![tuple!["b1", "c1"], tuple!["b2", "c2"], tuple!["b3", "c3"]]),
+            (
+                "r2",
+                vec![tuple!["b1", "c1"], tuple!["b2", "c2"], tuple!["b3", "c3"]],
+            ),
             ("r3", vec![tuple!["c1", "b2"], tuple!["c2", "b1"]]),
         ],
     )
@@ -57,7 +66,11 @@ fn example2_obtainable_answers_and_queryability() {
 
     let q1 = parse_query("q1(B) <- r1('a1', C), r2(B, C)", &schema).unwrap();
     let naive = naive_evaluate(&q1, &schema, &src, NaiveOptions::default()).unwrap();
-    assert_eq!(naive.answers, vec![tuple!["b1"]], "answer ⟨b3⟩ is not obtainable");
+    assert_eq!(
+        naive.answers,
+        vec![tuple!["b1"]],
+        "answer ⟨b3⟩ is not obtainable"
+    );
 
     let planned = plan_query(&q1, &schema).unwrap();
     let report = execute_plan(&planned.plan, &src, ExecOptions::default()).unwrap();
@@ -114,10 +127,10 @@ fn example6_no_forall_minimal_plan() {
     // emptiness with 1 access; our fixed plan probes in its chosen order and
     // the fast-failing check saves the second access in one of the two
     // instances.
-    let empty_r2 = Instance::with_data(&schema, [("r1", vec![tuple!["a"]]), ("r2", vec![])])
-        .unwrap();
-    let empty_r1 = Instance::with_data(&schema, [("r1", vec![]), ("r2", vec![tuple!["b"]])])
-        .unwrap();
+    let empty_r2 =
+        Instance::with_data(&schema, [("r1", vec![tuple!["a"]]), ("r2", vec![])]).unwrap();
+    let empty_r1 =
+        Instance::with_data(&schema, [("r1", vec![]), ("r2", vec![tuple!["b"]])]).unwrap();
     let src2 = InstanceSource::new(schema.clone(), empty_r2);
     let src1 = InstanceSource::new(schema.clone(), empty_r1);
     let r2_first = execute_plan(&planned.plan, &src2, ExecOptions::default()).unwrap();
@@ -126,7 +139,11 @@ fn example6_no_forall_minimal_plan() {
     assert!(r1_first.answers.is_empty());
     // Fast-failing saves at least one access on one of the two instances.
     assert!(
-        r2_first.stats.total_accesses.min(r1_first.stats.total_accesses) <= 1,
+        r2_first
+            .stats
+            .total_accesses
+            .min(r1_first.stats.total_accesses)
+            <= 1,
         "fast-failing should avoid the second probe on the failing instance"
     );
 }
@@ -143,7 +160,10 @@ fn example7_generated_program() {
     // The rewritten query over the caches.
     assert!(text.contains("q(C) ←"), "{text}");
     // Cache rules with domain predicates.
-    assert!(text.contains("r1_hat1(K_a, B) ← r1(K_a, B), s_A(K_a)"), "{text}");
+    assert!(
+        text.contains("r1_hat1(K_a, B) ← r1(K_a, B), s_A(K_a)"),
+        "{text}"
+    );
     assert!(text.contains("r2_hat1(B, C) ← r2(B, C), s_B(B)"), "{text}");
     // Support relations defined from the single strong providers.
     assert!(text.contains("s_A(X) ← r_a_hat1(X)"), "{text}");
@@ -185,10 +205,7 @@ fn non_answerable_query_reports_relation() {
 /// source is free-reachable.
 #[test]
 fn queryability_characterizations_agree() {
-    let schema = Schema::parse(
-        "a^o(X) b^io(X, Y) c^io(Y, Z) dead^io(W, X) e^ii(X, Y)",
-    )
-    .unwrap();
+    let schema = Schema::parse("a^o(X) b^io(X, Y) c^io(Y, Z) dead^io(W, X) e^ii(X, Y)").unwrap();
     let q = parse_query("q(Z) <- c(Y, Z)", &schema).unwrap();
     let pre = preprocess(&q, &schema).unwrap();
     let graph = toorjah::core::DGraph::build(&pre).unwrap();

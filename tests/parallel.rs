@@ -24,7 +24,9 @@ fn distillation_equals_sequential_on_random_workloads() {
     for seed in 0..60 {
         let mut rng = seeded_rng(seed);
         let generated = random_schema(&mut rng, &params);
-        let Some(query) = random_query(&mut rng, &generated, &params) else { continue };
+        let Some(query) = random_query(&mut rng, &generated, &params) else {
+            continue;
+        };
         let instance = random_instance(&mut rng, &generated, &params);
         let provider = Arc::new(InstanceSource::new(generated.schema.clone(), instance));
 
@@ -34,9 +36,8 @@ fn distillation_equals_sequential_on_random_workloads() {
             Err(e) => panic!("planning failed: {e}"),
         };
 
-        let sequential =
-            execute_plan(&planned.plan, provider.as_ref(), ExecOptions::default())
-                .expect("sequential runs");
+        let sequential = execute_plan(&planned.plan, provider.as_ref(), ExecOptions::default())
+            .expect("sequential runs");
         let stream = run_distillation(
             planned.plan.clone(),
             Arc::clone(&provider) as Arc<dyn toorjah::engine::SourceProvider>,
@@ -72,10 +73,14 @@ fn distillation_time_to_first_answer_is_populated() {
     for seed in 0..40 {
         let mut rng = seeded_rng(seed);
         let generated = random_schema(&mut rng, &params);
-        let Some(query) = random_query(&mut rng, &generated, &params) else { continue };
+        let Some(query) = random_query(&mut rng, &generated, &params) else {
+            continue;
+        };
         let instance = random_instance(&mut rng, &generated, &params);
         let provider = Arc::new(InstanceSource::new(generated.schema.clone(), instance));
-        let Ok(planned) = plan_query(&query, &generated.schema) else { continue };
+        let Ok(planned) = plan_query(&query, &generated.schema) else {
+            continue;
+        };
         let stream = run_distillation(
             planned.plan,
             provider as Arc<dyn toorjah::engine::SourceProvider>,

@@ -1,0 +1,223 @@
+//! Offline stand-in for the `criterion` crate (bench-harness subset).
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! the slice of `criterion` its benches use: [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`] with [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkId::from_parameter`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Instead of upstream's
+//! statistical analysis it warms each benchmark up briefly, then reports the
+//! mean and minimum wall-clock time per iteration over a fixed measurement
+//! window — enough to compare the naive baseline against the optimized
+//! executor and to track regressions by eye. Set
+//! `CRITERION_MEASURE_MS=<n>` to change the per-benchmark window (default
+//! 500 ms; 0 runs each benchmark exactly once, which keeps `cargo test
+//! --benches` fast).
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a computed value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark driver handed to `criterion_group!` targets.
+pub struct Criterion {
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = std::env::var("CRITERION_MEASURE_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(500);
+        Criterion {
+            measure: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a single benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.measure, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named collection of benchmarks, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(
+            &format!("{}/{}", self.name, id.0),
+            self.criterion.measure,
+            &mut f,
+        );
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(
+            &format!("{}/{}", self.name, id.0),
+            self.criterion.measure,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (upstream finalizes reports here; a no-op for the
+    /// stand-in beyond consuming the group).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier, mirroring `criterion::BenchmarkId`.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds an id from a parameter value, e.g. a problem size.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+
+    /// Builds an id from a function name and a parameter value.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId(name.to_string())
+    }
+}
+
+/// Timer handle passed to each benchmark closure.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+    best: Duration,
+    deadline: Option<Instant>,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly until the measurement window closes,
+    /// timing each call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        loop {
+            let start = Instant::now();
+            black_box(routine());
+            let once = start.elapsed();
+            self.elapsed += once;
+            self.best = self.best.min(once);
+            self.iters_done += 1;
+            match self.deadline {
+                Some(d) if Instant::now() < d => {}
+                _ => break,
+            }
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, measure: Duration, f: &mut F) {
+    // Warm-up: one untimed pass (also a smoke test under a zero window).
+    let mut warm = Bencher {
+        iters_done: 0,
+        elapsed: Duration::ZERO,
+        best: Duration::MAX,
+        deadline: None,
+    };
+    f(&mut warm);
+    if measure.is_zero() {
+        println!("{name}: smoke-ran {} iteration(s)", warm.iters_done);
+        return;
+    }
+    let mut b = Bencher {
+        iters_done: 0,
+        elapsed: Duration::ZERO,
+        best: Duration::MAX,
+        deadline: Some(Instant::now() + measure),
+    };
+    f(&mut b);
+    let mean = b.elapsed / u32::try_from(b.iters_done.max(1)).unwrap_or(u32::MAX);
+    println!(
+        "{name}: mean {mean:?}, min {:?} over {} iterations",
+        b.best, b.iters_done
+    );
+}
+
+/// Declares a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_times() {
+        std::env::set_var("CRITERION_MEASURE_MS", "10");
+        let mut c = Criterion::default();
+        let mut runs = 0u64;
+        c.bench_function("noop", |b| b.iter(|| runs += 1));
+        assert!(runs >= 2, "warm-up plus at least one timed iteration");
+    }
+
+    #[test]
+    fn groups_and_ids_compose() {
+        let mut c = Criterion {
+            measure: Duration::ZERO,
+        };
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::from_parameter(7usize), &7usize, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        group.bench_function("plain", |b| b.iter(|| black_box(1)));
+        group.finish();
+    }
+}

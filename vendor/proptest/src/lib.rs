@@ -1,0 +1,220 @@
+//! Offline stand-in for the `proptest` crate (strategy + macro subset).
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! the slice of `proptest` its property tests use:
+//!
+//! * the [`strategy::Strategy`] trait with `prop_map`, `boxed`, tuple /
+//!   range / [`strategy::Just`] / regex-literal (`"[a-z]{1,4}"`) strategies;
+//! * [`collection::vec`];
+//! * the [`proptest!`], [`prop_oneof!`], [`prop_assert!`],
+//!   [`prop_assert_eq!`] and [`prop_assert_ne!`] macros;
+//! * [`test_runner::ProptestConfig`] with a `cases` knob, honored by the
+//!   `#![proptest_config(..)]` inner attribute.
+//!
+//! Unlike upstream there is **no shrinking**: a failing case panics with the
+//! generated inputs' debug representation instead of a minimized
+//! counterexample. Generation is deterministic per test (seeded from the test
+//! name and case index), so failures are reproducible; set
+//! `PROPTEST_CASES=<n>` to scale the number of cases per test.
+
+#![warn(missing_docs)]
+
+pub mod strategy;
+
+/// Strategies for collections, mirroring `proptest::collection`.
+pub mod collection {
+    use crate::strategy::{Strategy, VecStrategy};
+    use core::ops::Range;
+
+    /// A strategy for `Vec`s of `element` values with a length drawn
+    /// uniformly from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+}
+
+/// Test-runner configuration, mirroring `proptest::test_runner`.
+pub mod test_runner {
+    /// Configuration accepted by `#![proptest_config(..)]`.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+        /// Accepted for upstream compatibility; the stand-in never shrinks.
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(64);
+            ProptestConfig {
+                cases,
+                max_shrink_iters: 0,
+            }
+        }
+    }
+}
+
+/// One-stop imports for property tests, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[doc(hidden)]
+pub mod __rt {
+    pub use rand::rngs::StdRng;
+    pub use rand::SeedableRng;
+
+    /// Deterministic per-(test, case) generator: FNV-1a over the test name,
+    /// mixed with the case index.
+    pub fn case_rng(test_name: &str, case: u64) -> StdRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        StdRng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+}
+
+/// Defines property tests: `proptest! { #[test] fn name(x in strat) { .. } }`.
+///
+/// Each function runs [`test_runner::ProptestConfig::cases`] times with
+/// freshly generated inputs; an optional leading
+/// `#![proptest_config(expr)]` overrides the configuration for the block.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            for __case in 0..u64::from(config.cases) {
+                let mut __rng = $crate::__rt::case_rng(stringify!($name), __case);
+                $(let $arg =
+                    $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                // Mirror upstream: the body runs in a `Result`-returning
+                // closure, so `return Ok(())` skips a case.
+                #[allow(clippy::redundant_closure_call)]
+                let __outcome: ::core::result::Result<(), ::std::string::String> =
+                    (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                if let ::core::result::Result::Err(__msg) = __outcome {
+                    panic!("property {} failed on case {__case}: {__msg}",
+                           stringify!($name));
+                }
+            }
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+/// Builds a strategy choosing uniformly among the given strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property (panics with the condition text).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small_string() -> impl Strategy<Value = String> {
+        crate::collection::vec(prop_oneof![Just('a'), Just('b')], 1..4)
+            .prop_map(|cs| cs.into_iter().collect())
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in -50i64..50, y in 0usize..10) {
+            prop_assert!((-50..50).contains(&x));
+            prop_assert!(y < 10);
+        }
+
+        #[test]
+        fn vec_lengths_respect_size(v in crate::collection::vec(0u8..5, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&b| b < 5));
+        }
+
+        #[test]
+        fn mapped_strings_match_alphabet(s in small_string()) {
+            prop_assert!(!s.is_empty() && s.len() < 4);
+            prop_assert!(s.chars().all(|c| c == 'a' || c == 'b'));
+        }
+
+        #[test]
+        fn regex_literal_strategy(s in "[a-z]{1,4}") {
+            prop_assert!((1..=4).contains(&s.len()));
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+
+        #[test]
+        fn tuples_compose(pair in (0i64..3, "[x-z]{1,1}")) {
+            let (n, s) = pair;
+            prop_assert!((0..3).contains(&n));
+            prop_assert_eq!(s.len(), 1);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 7, ..ProptestConfig::default() })]
+        #[test]
+        fn config_cases_is_honored(_x in 0u8..255) {
+            // Runs exactly 7 times; nothing to assert beyond not panicking.
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let strat = crate::collection::vec(0u32..1000, 3..8);
+        let a = strat.generate(&mut crate::__rt::case_rng("det", 5));
+        let b = strat.generate(&mut crate::__rt::case_rng("det", 5));
+        assert_eq!(a, b);
+    }
+}

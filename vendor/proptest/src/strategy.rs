@@ -1,0 +1,285 @@
+//! The [`Strategy`] trait and the combinators used by the workspace's
+//! property tests. Values are generated directly (no shrinking trees).
+
+use core::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A recipe for generating values of an associated type.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erases the strategy type (used by [`crate::prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The [`Strategy::prop_map`] combinator.
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Chooses uniformly among type-erased strategies; built by
+/// [`crate::prop_oneof!`].
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union over `options`. Panics if `options` is empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(
+            !options.is_empty(),
+            "prop_oneof! needs at least one strategy"
+        );
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let idx = rng.gen_range(0..self.options.len());
+        self.options[idx].generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<char> {
+    type Value = char;
+
+    fn generate(&self, rng: &mut StdRng) -> char {
+        let (lo, hi) = (self.start as u32, self.end as u32);
+        assert!(lo < hi, "cannot sample empty char range");
+        // Rejection-sample the surrogate gap.
+        loop {
+            if let Some(c) = char::from_u32(rng.gen_range(lo..hi)) {
+                return c;
+            }
+        }
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident / $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A/0)
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+}
+
+/// The [`crate::collection::vec`] strategy.
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    pub(crate) element: S,
+    pub(crate) size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.size.clone());
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// String literals act as generation *patterns*, supporting the regex subset
+/// the workspace uses: a sequence of literal characters and character
+/// classes `[a-z...]`, each optionally quantified by `{n}` or `{m,n}`.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let pieces = parse_pattern(self)
+            .unwrap_or_else(|e| panic!("unsupported string pattern {self:?}: {e}"));
+        let mut out = String::new();
+        for (choices, lo, hi) in &pieces {
+            let reps = rng.gen_range(*lo..=*hi);
+            for _ in 0..reps {
+                out.push(choices[rng.gen_range(0..choices.len())]);
+            }
+        }
+        out
+    }
+}
+
+type PatternPiece = (Vec<char>, usize, usize);
+
+/// Parses the `[class]{m,n}` / literal pattern subset.
+fn parse_pattern(pattern: &str) -> Result<Vec<PatternPiece>, String> {
+    let mut pieces: Vec<PatternPiece> = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let choices = match c {
+            '[' => {
+                let mut set = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    match chars.next() {
+                        Some(']') => break,
+                        Some('-') if prev.is_some() && chars.peek() != Some(&']') => {
+                            let lo = prev.take().expect("checked above");
+                            let hi = chars.next().expect("peeked above");
+                            if lo > hi {
+                                return Err(format!("inverted range {lo}-{hi}"));
+                            }
+                            set.extend(lo..=hi);
+                        }
+                        Some(ch) => {
+                            if let Some(p) = prev.replace(ch) {
+                                set.push(p);
+                            }
+                        }
+                        None => return Err("unterminated character class".into()),
+                    }
+                }
+                if let Some(p) = prev {
+                    set.push(p);
+                }
+                if set.is_empty() {
+                    return Err("empty character class".into());
+                }
+                set
+            }
+            '\\' => vec![chars.next().ok_or("dangling backslash")?],
+            '{' | '}' | ']' => return Err(format!("unexpected {c:?}")),
+            _ => vec![c],
+        };
+        let (lo, hi) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            loop {
+                match chars.next() {
+                    Some('}') => break,
+                    Some(ch) => spec.push(ch),
+                    None => return Err("unterminated quantifier".into()),
+                }
+            }
+            let parse = |s: &str| s.trim().parse::<usize>().map_err(|e| e.to_string());
+            match spec.split_once(',') {
+                Some((m, n)) => (parse(m)?, parse(n)?),
+                None => {
+                    let n = parse(&spec)?;
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        if lo > hi {
+            return Err(format!("inverted quantifier {{{lo},{hi}}}"));
+        }
+        pieces.push((choices, lo, hi));
+    }
+    Ok(pieces)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_pattern;
+
+    #[test]
+    fn parses_class_with_quantifier() {
+        let p = parse_pattern("[a-c]{1,4}").unwrap();
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].0, vec!['a', 'b', 'c']);
+        assert_eq!((p[0].1, p[0].2), (1, 4));
+    }
+
+    #[test]
+    fn parses_literals_and_exact_counts() {
+        let p = parse_pattern("x[01]{3}").unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p[0].0, vec!['x']);
+        assert_eq!(p[1].0, vec!['0', '1']);
+        assert_eq!((p[1].1, p[1].2), (3, 3));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_pattern("[a-z").is_err());
+        assert!(parse_pattern("a{2").is_err());
+        assert!(parse_pattern("[z-a]").is_err());
+    }
+}

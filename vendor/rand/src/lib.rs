@@ -1,0 +1,165 @@
+//! Offline stand-in for the `rand` crate (0.8-compatible subset).
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! the tiny slice of `rand` it actually uses: [`rngs::StdRng`] seeded through
+//! [`SeedableRng::seed_from_u64`], and the [`Rng`] extension methods
+//! [`Rng::gen_range`] / [`Rng::gen_bool`]. The generator is xoshiro256++
+//! seeded by SplitMix64 — deterministic, fast, and more than adequate for the
+//! seeded synthetic workloads and property tests in this repository. It is
+//! **not** cryptographically secure and the streams differ from upstream
+//! `rand`'s `StdRng` (ChaCha12), which only matters if exact upstream
+//! reproducibility of seeded runs is required.
+
+#![warn(missing_docs)]
+
+use core::ops::{Range, RangeInclusive};
+
+/// A source of random `u64`s.
+pub trait RngCore {
+    /// Returns the next pseudo-random `u64`.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Extension methods over any [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range`. Panics on an empty range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`. Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} out of range");
+        // 53 uniform mantissa bits in [0, 1).
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// A generator seedable from a `u64`, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a deterministic function of `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Range types that support uniform sampling, mirroring
+/// `rand::distributions::uniform::SampleRange`.
+pub trait SampleRange<T> {
+    /// Samples a single value uniformly from `self`.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128).wrapping_sub(self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                ((self.start as i128) + offset as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128).wrapping_sub(start as i128) as u128 + 1;
+                let offset = (rng.next_u64() as u128) % span;
+                ((start as i128) + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Concrete generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++ seeded
+    /// via SplitMix64. API-compatible with `rand::rngs::StdRng` for the
+    /// subset used here.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut sm = state;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256++
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(-50i64..50);
+            assert!((-50..50).contains(&v));
+            let w = rng.gen_range(3usize..=9);
+            assert!((3..=9).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        let hits = (0..2000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((700..1300).contains(&hits), "p=0.5 gave {hits}/2000");
+    }
+}

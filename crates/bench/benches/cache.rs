@@ -1,0 +1,88 @@
+//! Criterion benchmarks of the shared-cache subsystem on the overlapping
+//! music workload: per-query caches (cold) vs. one shared session cache
+//! (warm) vs. a byte-budgeted LRU cache. Each iteration replays the whole
+//! workload from an empty cache, so the numbers compare end-to-end serving
+//! cost, not steady state.
+//!
+//! Run in smoke mode (CI) with: `cargo bench -p toorjah-bench --bench cache
+//! -- --test`.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use toorjah_cache::{CacheConfig, SharedAccessCache};
+use toorjah_engine::{InstanceSource, SourceProvider};
+use toorjah_system::Toorjah;
+use toorjah_workload::{
+    music_instance, music_schema, overlapping_queries, MusicConfig, OverlapParams,
+};
+
+fn setup() -> (Arc<dyn SourceProvider>, Vec<String>) {
+    let schema = music_schema();
+    let db = music_instance(&schema, &MusicConfig::default());
+    let provider: Arc<dyn SourceProvider> = Arc::new(InstanceSource::new(schema, db));
+    (provider, overlapping_queries(&OverlapParams::default()))
+}
+
+fn run_workload(system: &Toorjah, queries: &[String]) -> usize {
+    queries
+        .iter()
+        .map(|q| {
+            system
+                .ask(std::hint::black_box(q))
+                .expect("workload queries are answerable")
+                .stats
+                .total_accesses
+        })
+        .sum()
+}
+
+fn cache_modes(c: &mut Criterion) {
+    let (provider, queries) = setup();
+    let mut group = c.benchmark_group("cache_workload");
+
+    group.bench_function("cold_per_query", |b| {
+        let system = Toorjah::from_arc(Arc::clone(&provider));
+        b.iter(|| run_workload(&system, &queries))
+    });
+
+    group.bench_function("warm_shared", |b| {
+        b.iter(|| {
+            let system =
+                Toorjah::from_arc(Arc::clone(&provider)).with_cache(SharedAccessCache::unbounded());
+            run_workload(&system, &queries)
+        })
+    });
+
+    group.bench_function("lru_byte_capped", |b| {
+        b.iter(|| {
+            let system = Toorjah::from_arc(Arc::clone(&provider))
+                .with_cache(SharedAccessCache::new(CacheConfig::max_bytes(8 * 1024)));
+            run_workload(&system, &queries)
+        })
+    });
+
+    group.finish();
+}
+
+fn snapshot_roundtrip(c: &mut Criterion) {
+    let (provider, queries) = setup();
+    let schema = music_schema();
+    // Populate once; benchmark the serialize + reload path.
+    let cache = SharedAccessCache::unbounded();
+    let system = Toorjah::from_arc(provider).with_cache(cache.clone());
+    run_workload(&system, &queries);
+    c.bench_function("cache_snapshot_roundtrip", |b| {
+        b.iter(|| {
+            let text = cache.snapshot(&schema);
+            let fresh = SharedAccessCache::unbounded();
+            fresh
+                .load_snapshot(&schema, std::hint::black_box(&text))
+                .expect("own snapshot reloads")
+                .loaded
+        })
+    });
+}
+
+criterion_group!(benches, cache_modes, snapshot_roundtrip);
+criterion_main!(benches);

@@ -1,0 +1,130 @@
+//! Cache configuration: sharding and eviction policy.
+
+/// When (and what) the cache evicts.
+///
+/// Eviction never affects answers: an evicted extraction is simply re-fetched
+/// from the source on the next request, paying one more access. The paper's
+/// "never repeat an access" guarantee therefore degrades gracefully into
+/// "never repeat an access *while the extraction is retained*" — the access
+/// *set semantics* of per-query statistics are unaffected (see DESIGN.md).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum EvictionPolicy {
+    /// Keep every extraction forever (the paper's meta-cache behavior).
+    #[default]
+    Unbounded,
+    /// Keep at most this many extractions, evicting least-recently-used.
+    MaxEntries(usize),
+    /// Keep at most this many bytes of extractions (keys and tuples
+    /// accounted via [`toorjah_catalog::Tuple::estimated_bytes`]), evicting
+    /// least-recently-used.
+    MaxBytes(usize),
+}
+
+/// Configuration of a [`crate::SharedAccessCache`].
+#[derive(Clone, Copy, Debug)]
+pub struct CacheConfig {
+    /// Number of independently locked shards. More shards reduce contention
+    /// between concurrent queries; budgets are split evenly across shards,
+    /// so the configured [`CacheConfig::eviction`] budget is a *total* that
+    /// is never exceeded. The constructor clamps the count so every shard
+    /// gets a non-zero slice of the budget.
+    pub shards: usize,
+    /// The eviction policy.
+    pub eviction: EvictionPolicy,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            shards: 8,
+            eviction: EvictionPolicy::Unbounded,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// An unbounded cache with the default shard count.
+    pub fn unbounded() -> Self {
+        CacheConfig::default()
+    }
+
+    /// An LRU cache keeping at most `entries` extractions in total.
+    pub fn max_entries(entries: usize) -> Self {
+        CacheConfig {
+            eviction: EvictionPolicy::MaxEntries(entries),
+            ..CacheConfig::default()
+        }
+    }
+
+    /// An LRU cache keeping at most `bytes` estimated bytes in total.
+    pub fn max_bytes(bytes: usize) -> Self {
+        CacheConfig {
+            eviction: EvictionPolicy::MaxBytes(bytes),
+            ..CacheConfig::default()
+        }
+    }
+
+    /// Overrides the shard count.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// The effective shard count: clamped so that per-shard budget slices
+    /// stay non-zero (a 10-entry budget over 16 shards would otherwise
+    /// round down to caching nothing).
+    pub(crate) fn effective_shards(&self) -> usize {
+        let wanted = self.shards.max(1);
+        match self.eviction {
+            EvictionPolicy::Unbounded => wanted,
+            EvictionPolicy::MaxEntries(n) => wanted.min(n.max(1)),
+            EvictionPolicy::MaxBytes(b) => wanted.min(b.max(1)),
+        }
+    }
+
+    /// Per-shard (entries, bytes) budget; `usize::MAX` means unlimited.
+    pub(crate) fn shard_budget(&self) -> (usize, usize) {
+        let shards = self.effective_shards();
+        match self.eviction {
+            EvictionPolicy::Unbounded => (usize::MAX, usize::MAX),
+            EvictionPolicy::MaxEntries(n) => (n / shards, usize::MAX),
+            EvictionPolicy::MaxBytes(b) => (usize::MAX, b / shards),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_clamping_keeps_budgets_positive() {
+        let c = CacheConfig::max_entries(3).with_shards(16);
+        assert_eq!(c.effective_shards(), 3);
+        assert_eq!(c.shard_budget(), (1, usize::MAX));
+        let c = CacheConfig::max_bytes(100).with_shards(8);
+        assert_eq!(c.effective_shards(), 8);
+        assert_eq!(c.shard_budget(), (usize::MAX, 12));
+    }
+
+    #[test]
+    fn totals_never_exceed_configured_budget() {
+        // shards × per-shard slice ≤ configured total, for any combination.
+        for total in [1usize, 2, 7, 100, 1000] {
+            for shards in [1usize, 2, 3, 8, 64] {
+                let c = CacheConfig::max_entries(total).with_shards(shards);
+                let (per_shard, _) = c.shard_budget();
+                assert!(c.effective_shards() * per_shard <= total);
+                let c = CacheConfig::max_bytes(total).with_shards(shards);
+                let (_, per_shard) = c.shard_budget();
+                assert!(c.effective_shards() * per_shard <= total);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_shards_is_clamped_to_one() {
+        let c = CacheConfig::unbounded().with_shards(0);
+        assert_eq!(c.effective_shards(), 1);
+    }
+}

@@ -1,0 +1,892 @@
+//! The sharded store: per-shard maps under `parking_lot` locks, single-flight
+//! miss coalescing, and lazy-LRU eviction.
+
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex as StdMutex, PoisonError};
+
+use parking_lot::Mutex;
+use toorjah_catalog::{RelationId, Tuple};
+
+use crate::{CacheConfig, CacheStats, Counters};
+
+/// Cache key: one access in the paper's sense (§II) — a relation plus the
+/// tuple of values bound to its input positions.
+pub(crate) type Key = (RelationId, Tuple);
+
+/// How a lookup was satisfied.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LookupOutcome {
+    /// Served from a retained extraction; the source was not touched.
+    Hit,
+    /// Waited for an identical concurrent access instead of repeating it;
+    /// the source was not touched *by this caller*.
+    CoalescedHit,
+    /// The access was performed against the source by this caller.
+    Loaded,
+}
+
+impl LookupOutcome {
+    /// Whether this caller actually performed the source access — the only
+    /// outcome that costs anything under the paper's access-count metric,
+    /// and the only one per-query [`AccessLog`]s should record.
+    ///
+    /// [`AccessLog`]: https://docs.rs/toorjah-engine
+    pub fn loaded(self) -> bool {
+        matches!(self, LookupOutcome::Loaded)
+    }
+}
+
+/// A satisfied lookup: the extraction (shared, cheap to clone) plus how it
+/// was obtained.
+#[derive(Clone, Debug)]
+pub struct Lookup {
+    /// The extracted tuples.
+    pub tuples: Arc<[Tuple]>,
+    /// How the lookup was satisfied.
+    pub outcome: LookupOutcome,
+}
+
+/// In-flight access shared between the performing thread (the *leader*) and
+/// any threads that requested the same key meanwhile (the *waiters*).
+struct Flight {
+    state: StdMutex<FlightState>,
+    cv: Condvar,
+}
+
+enum FlightState {
+    Running,
+    Ready(Arc<[Tuple]>),
+    Failed,
+}
+
+impl Flight {
+    fn new() -> Arc<Self> {
+        Arc::new(Flight {
+            state: StdMutex::new(FlightState::Running),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Blocks until the leader finishes; `None` means the leader's access
+    /// failed and the caller should retry (becoming a leader itself).
+    fn wait(&self) -> Option<Arc<[Tuple]>> {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            match &*state {
+                FlightState::Running => {
+                    state = self.cv.wait(state).unwrap_or_else(PoisonError::into_inner);
+                }
+                FlightState::Ready(tuples) => return Some(Arc::clone(tuples)),
+                FlightState::Failed => return None,
+            }
+        }
+    }
+
+    fn finish(&self, outcome: Option<Arc<[Tuple]>>) {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        *state = match outcome {
+            Some(tuples) => FlightState::Ready(tuples),
+            None => FlightState::Failed,
+        };
+        drop(state);
+        self.cv.notify_all();
+    }
+}
+
+/// A retained extraction.
+struct Ready {
+    tuples: Arc<[Tuple]>,
+    bytes: usize,
+    last_used: u64,
+}
+
+enum Slot {
+    Ready(Ready),
+    Pending(Arc<Flight>),
+}
+
+/// One independently locked slice of the cache.
+#[derive(Default)]
+pub(crate) struct Shard {
+    map: HashMap<Key, Slot>,
+    /// Lazy recency queue: `(tick, key)` pushed on every touch; stale pairs
+    /// (the entry was touched again, or is gone) are skipped at eviction
+    /// time and dropped wholesale by [`Shard::compact_recency`]. Amortized
+    /// O(1) per touch and per eviction, O(retained entries) in space.
+    recency: VecDeque<(u64, Key)>,
+    /// `false` for unbounded caches: nothing will ever be evicted, so
+    /// recency bookkeeping would only leak memory per lookup.
+    tracks_recency: bool,
+    tick: u64,
+    ready_entries: usize,
+    bytes: usize,
+}
+
+impl Shard {
+    fn new(tracks_recency: bool) -> Self {
+        Shard {
+            tracks_recency,
+            ..Shard::default()
+        }
+    }
+
+    fn touch(&mut self, key: &Key) -> u64 {
+        self.tick += 1;
+        if self.tracks_recency {
+            self.recency.push_back((self.tick, key.clone()));
+            self.compact_recency();
+        }
+        self.tick
+    }
+
+    /// Rebuilds the recency queue from the live entries once stale pairs
+    /// dominate it, so hit-heavy workloads between evictions cannot grow
+    /// the bookkeeping beyond O(retained entries).
+    fn compact_recency(&mut self) {
+        if self.recency.len() < 64 || self.recency.len() < 4 * self.ready_entries {
+            return;
+        }
+        let mut live: Vec<(u64, Key)> = self
+            .map
+            .iter()
+            .filter_map(|(key, slot)| match slot {
+                Slot::Ready(ready) => Some((ready.last_used, key.clone())),
+                Slot::Pending(_) => None,
+            })
+            .collect();
+        live.sort_unstable_by_key(|(last_used, _)| *last_used);
+        self.recency = live.into();
+    }
+
+    /// Evicts least-recently-used ready entries until the shard respects its
+    /// `(max_entries, max_bytes)` slice. Pending entries are never evicted.
+    fn evict_to_budget(&mut self, max_entries: usize, max_bytes: usize, counters: &Counters) {
+        while self.ready_entries > max_entries || self.bytes > max_bytes {
+            let Some((tick, key)) = self.recency.pop_front() else {
+                // Only pending entries remain; nothing evictable.
+                break;
+            };
+            let evict = matches!(
+                self.map.get(&key),
+                Some(Slot::Ready(ready)) if ready.last_used == tick
+            );
+            if !evict {
+                continue; // stale recency pair
+            }
+            if let Some(Slot::Ready(ready)) = self.map.remove(&key) {
+                self.ready_entries -= 1;
+                self.bytes -= ready.bytes;
+                Counters::bump(&counters.evictions);
+            }
+        }
+    }
+}
+
+/// Estimated retained size of one cache entry: the key's binding plus the
+/// extraction, via [`Tuple::estimated_bytes`], plus a fixed per-entry
+/// overhead for the map slot and recency bookkeeping.
+fn entry_bytes(binding: &Tuple, tuples: &[Tuple]) -> usize {
+    const ENTRY_OVERHEAD: usize = 96;
+    ENTRY_OVERHEAD
+        + binding.estimated_bytes()
+        + tuples.iter().map(Tuple::estimated_bytes).sum::<usize>()
+}
+
+/// A shared, concurrency-safe, cross-query access cache.
+///
+/// The cache generalizes the paper's per-query meta-cache (§IV) into a
+/// process-wide structure: extractions are keyed by `(relation, binding)`,
+/// partitioned into independently locked shards, and retained according to a
+/// configurable [`EvictionPolicy`]. Cloning the handle is cheap and shares
+/// the underlying storage, so any number of sessions and threads can serve
+/// overlapping queries without ever repeating a retained access.
+///
+/// Concurrent misses on one key are *coalesced*: the first requester
+/// performs the access while the others block on it and share the result —
+/// a parallel workload never duplicates an access. Failed accesses are not
+/// retained; waiters of a failed access retry it themselves, so transient
+/// source failures stay per-caller events.
+///
+/// [`EvictionPolicy`]: crate::EvictionPolicy
+///
+/// ```
+/// use toorjah_cache::SharedAccessCache;
+/// use toorjah_catalog::{tuple, RelationId, Tuple};
+///
+/// let cache = SharedAccessCache::unbounded();
+/// let r = RelationId(0);
+/// let first = cache
+///     .get_or_load(r, &tuple!["a"], || Ok::<_, ()>(vec![tuple!["a", "b"]]))
+///     .unwrap();
+/// assert!(first.outcome.loaded());
+/// // The identical access is now free — the closure is not called again.
+/// let again = cache
+///     .get_or_load(r, &tuple!["a"], || -> Result<_, ()> {
+///         panic!("must not re-access")
+///     })
+///     .unwrap();
+/// assert!(!again.outcome.loaded());
+/// assert_eq!(again.tuples, first.tuples);
+/// ```
+pub struct SharedAccessCache {
+    inner: Arc<Inner>,
+}
+
+pub(crate) struct Inner {
+    pub(crate) shards: Vec<Mutex<Shard>>,
+    pub(crate) counters: Counters,
+    pub(crate) config: CacheConfig,
+    max_entries_per_shard: usize,
+    max_bytes_per_shard: usize,
+}
+
+impl Clone for SharedAccessCache {
+    fn clone(&self) -> Self {
+        SharedAccessCache {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl Default for SharedAccessCache {
+    fn default() -> Self {
+        SharedAccessCache::unbounded()
+    }
+}
+
+impl std::fmt::Debug for SharedAccessCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedAccessCache")
+            .field("config", &self.inner.config)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl SharedAccessCache {
+    /// Creates a cache with the given configuration.
+    pub fn new(config: CacheConfig) -> Self {
+        let shards = config.effective_shards();
+        let (max_entries_per_shard, max_bytes_per_shard) = config.shard_budget();
+        let tracks_recency =
+            max_entries_per_shard != usize::MAX || max_bytes_per_shard != usize::MAX;
+        SharedAccessCache {
+            inner: Arc::new(Inner {
+                shards: (0..shards)
+                    .map(|_| Mutex::new(Shard::new(tracks_recency)))
+                    .collect(),
+                counters: Counters::default(),
+                config,
+                max_entries_per_shard,
+                max_bytes_per_shard,
+            }),
+        }
+    }
+
+    /// Creates an unbounded cache (the paper's meta-cache semantics).
+    pub fn unbounded() -> Self {
+        SharedAccessCache::new(CacheConfig::unbounded())
+    }
+
+    /// The configuration the cache was created with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.inner.config
+    }
+
+    fn shard_for(&self, key: &Key) -> &Mutex<Shard> {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        let index = (hasher.finish() as usize) % self.inner.shards.len();
+        &self.inner.shards[index]
+    }
+
+    /// Serves the access for `(relation, binding)` from the cache, or
+    /// performs it via `load` and retains the extraction.
+    ///
+    /// Concurrency: if an identical access is already in flight, the caller
+    /// blocks until it completes and shares its result
+    /// ([`LookupOutcome::CoalescedHit`]) instead of duplicating the access.
+    /// A failed `load` retains nothing; its error is returned to the
+    /// performing caller only, and any waiters retry from scratch.
+    pub fn get_or_load<E>(
+        &self,
+        relation: RelationId,
+        binding: &Tuple,
+        load: impl FnOnce() -> Result<Vec<Tuple>, E>,
+    ) -> Result<Lookup, E> {
+        let key: Key = (relation, binding.clone());
+        let counters = &self.inner.counters;
+        let mut load = Some(load);
+        loop {
+            enum Action {
+                Serve(Arc<[Tuple]>),
+                Wait(Arc<Flight>),
+                Lead(Arc<Flight>),
+            }
+            let action = {
+                let mut shard = self.shard_for(&key).lock();
+                // Fast path: the extraction is retained. Clone the Arc first
+                // so the immutable borrow ends before the recency touch.
+                let retained = match shard.map.get(&key) {
+                    Some(Slot::Ready(ready)) => Some(Arc::clone(&ready.tuples)),
+                    _ => None,
+                };
+                if let Some(tuples) = retained {
+                    let tick = shard.touch(&key);
+                    if let Some(Slot::Ready(ready)) = shard.map.get_mut(&key) {
+                        ready.last_used = tick;
+                    }
+                    Action::Serve(tuples)
+                } else {
+                    match shard.map.entry(key.clone()) {
+                        Entry::Occupied(occupied) => match occupied.get() {
+                            Slot::Pending(flight) => Action::Wait(Arc::clone(flight)),
+                            Slot::Ready(_) => unreachable!("handled by the fast path"),
+                        },
+                        Entry::Vacant(vacant) => {
+                            let flight = Flight::new();
+                            vacant.insert(Slot::Pending(Arc::clone(&flight)));
+                            Action::Lead(flight)
+                        }
+                    }
+                }
+            };
+            match action {
+                Action::Serve(tuples) => {
+                    Counters::bump(&counters.hits);
+                    return Ok(Lookup {
+                        tuples,
+                        outcome: LookupOutcome::Hit,
+                    });
+                }
+                Action::Wait(flight) => match flight.wait() {
+                    Some(tuples) => {
+                        Counters::bump(&counters.coalesced_hits);
+                        return Ok(Lookup {
+                            tuples,
+                            outcome: LookupOutcome::CoalescedHit,
+                        });
+                    }
+                    // The leader failed; retry (and possibly lead).
+                    None => continue,
+                },
+                Action::Lead(flight) => {
+                    // Panic safety: if `load` (user code) unwinds, the guard
+                    // clears the pending slot and fails the flight so that
+                    // waiters retry instead of blocking forever on a key
+                    // nobody will ever complete.
+                    struct LeadGuard<'a> {
+                        cache: &'a SharedAccessCache,
+                        key: &'a Key,
+                        flight: &'a Flight,
+                        armed: bool,
+                    }
+                    impl Drop for LeadGuard<'_> {
+                        fn drop(&mut self) {
+                            if self.armed {
+                                self.cache.abort_load(self.key);
+                                self.flight.finish(None);
+                            }
+                        }
+                    }
+                    let mut guard = LeadGuard {
+                        cache: self,
+                        key: &key,
+                        flight: &flight,
+                        armed: true,
+                    };
+                    let result = (load.take().expect("a caller leads at most once"))();
+                    return match result {
+                        Ok(tuples) => {
+                            let tuples: Arc<[Tuple]> = tuples.into();
+                            self.complete_load(&key, Arc::clone(&tuples));
+                            Counters::bump(&counters.misses);
+                            flight.finish(Some(Arc::clone(&tuples)));
+                            guard.armed = false;
+                            Ok(Lookup {
+                                tuples,
+                                outcome: LookupOutcome::Loaded,
+                            })
+                        }
+                        Err(e) => {
+                            guard.armed = false;
+                            self.abort_load(&key);
+                            Counters::bump(&counters.load_failures);
+                            flight.finish(None);
+                            Err(e)
+                        }
+                    };
+                }
+            }
+        }
+    }
+
+    /// Replaces this caller's pending slot with the loaded extraction and
+    /// enforces the shard budget.
+    fn complete_load(&self, key: &Key, tuples: Arc<[Tuple]>) {
+        let bytes = entry_bytes(&key.1, &tuples);
+        let mut shard = self.shard_for(key).lock();
+        if bytes > self.inner.max_bytes_per_shard {
+            // Oversized for its shard's budget slice: hand the extraction
+            // to the caller without retaining it, instead of flushing every
+            // smaller (collectively more useful) entry to make room.
+            if matches!(shard.map.get(key), Some(Slot::Pending(_))) {
+                shard.map.remove(key);
+            }
+            drop(shard);
+            Counters::bump(&self.inner.counters.oversized);
+            return;
+        }
+        let tick = shard.touch(key);
+        shard.map.insert(
+            key.clone(),
+            Slot::Ready(Ready {
+                tuples,
+                bytes,
+                last_used: tick,
+            }),
+        );
+        shard.ready_entries += 1;
+        shard.bytes += bytes;
+        shard.evict_to_budget(
+            self.inner.max_entries_per_shard,
+            self.inner.max_bytes_per_shard,
+            &self.inner.counters,
+        );
+    }
+
+    /// Removes this caller's pending slot after a failed load.
+    fn abort_load(&self, key: &Key) {
+        let mut shard = self.shard_for(key).lock();
+        if matches!(shard.map.get(key), Some(Slot::Pending(_))) {
+            shard.map.remove(key);
+        }
+    }
+
+    /// Non-blocking lookup: the retained extraction, if any. Counts as a hit
+    /// and refreshes recency when present; in-flight accesses return `None`
+    /// (callers that must not block, like the distillation coordinator, keep
+    /// their own dispatch bookkeeping).
+    pub fn try_get(&self, relation: RelationId, binding: &Tuple) -> Option<Arc<[Tuple]>> {
+        let key: Key = (relation, binding.clone());
+        let mut shard = self.shard_for(&key).lock();
+        let tick = {
+            match shard.map.get(&key) {
+                Some(Slot::Ready(_)) => shard.touch(&key),
+                _ => return None,
+            }
+        };
+        let Some(Slot::Ready(ready)) = shard.map.get_mut(&key) else {
+            return None;
+        };
+        ready.last_used = tick;
+        let tuples = Arc::clone(&ready.tuples);
+        drop(shard);
+        Counters::bump(&self.inner.counters.hits);
+        Some(tuples)
+    }
+
+    /// Inserts an extraction directly (warm-start, externally performed
+    /// access). Existing or in-flight entries win: the insert is skipped and
+    /// `false` is returned.
+    pub fn insert(&self, relation: RelationId, binding: &Tuple, tuples: Vec<Tuple>) -> bool {
+        let key: Key = (relation, binding.clone());
+        let bytes = entry_bytes(binding, &tuples);
+        let mut shard = self.shard_for(&key).lock();
+        if shard.map.contains_key(&key) {
+            return false;
+        }
+        if bytes > self.inner.max_bytes_per_shard {
+            drop(shard);
+            Counters::bump(&self.inner.counters.oversized);
+            return false;
+        }
+        let tick = shard.touch(&key);
+        shard.map.insert(
+            key,
+            Slot::Ready(Ready {
+                tuples: tuples.into(),
+                bytes,
+                last_used: tick,
+            }),
+        );
+        shard.ready_entries += 1;
+        shard.bytes += bytes;
+        shard.evict_to_budget(
+            self.inner.max_entries_per_shard,
+            self.inner.max_bytes_per_shard,
+            &self.inner.counters,
+        );
+        drop(shard);
+        Counters::bump(&self.inner.counters.insertions);
+        true
+    }
+
+    /// Whether the access is retained or currently in flight. A `true`
+    /// result means requesting it will not start a *new* source access.
+    pub fn contains(&self, relation: RelationId, binding: &Tuple) -> bool {
+        let key: Key = (relation, binding.clone());
+        self.shard_for(&key).lock().map.contains_key(&key)
+    }
+
+    /// Number of retained extractions (in-flight accesses excluded).
+    pub fn len(&self) -> usize {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.lock().ready_entries)
+            .sum()
+    }
+
+    /// Whether no extraction is retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Estimated retained bytes across all shards.
+    pub fn bytes(&self) -> usize {
+        self.inner.shards.iter().map(|s| s.lock().bytes).sum()
+    }
+
+    /// Drops every retained extraction. Cumulative counters are kept;
+    /// in-flight accesses complete normally and are retained afterwards.
+    pub fn clear(&self) {
+        for shard in &self.inner.shards {
+            let mut shard = shard.lock();
+            shard.map.retain(|_, slot| matches!(slot, Slot::Pending(_)));
+            shard.recency.clear();
+            shard.ready_entries = 0;
+            shard.bytes = 0;
+        }
+    }
+
+    /// A point-in-time snapshot of counters and occupancy.
+    pub fn stats(&self) -> CacheStats {
+        let counters = &self.inner.counters;
+        let (mut entries, mut bytes) = (0usize, 0usize);
+        for shard in &self.inner.shards {
+            let shard = shard.lock();
+            entries += shard.ready_entries;
+            bytes += shard.bytes;
+        }
+        CacheStats {
+            hits: counters.hits.load(Ordering::Relaxed),
+            coalesced_hits: counters.coalesced_hits.load(Ordering::Relaxed),
+            misses: counters.misses.load(Ordering::Relaxed),
+            load_failures: counters.load_failures.load(Ordering::Relaxed),
+            insertions: counters.insertions.load(Ordering::Relaxed),
+            evictions: counters.evictions.load(Ordering::Relaxed),
+            oversized: counters.oversized.load(Ordering::Relaxed),
+            entries,
+            bytes,
+        }
+    }
+
+    /// Iterates the retained extractions, shard by shard (used by the
+    /// snapshot writer; order is unspecified).
+    pub(crate) fn for_each_entry(&self, mut f: impl FnMut(RelationId, &Tuple, &[Tuple])) {
+        for shard in &self.inner.shards {
+            let shard = shard.lock();
+            for ((relation, binding), slot) in &shard.map {
+                if let Slot::Ready(ready) = slot {
+                    f(*relation, binding, &ready.tuples);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use toorjah_catalog::tuple;
+
+    fn k(i: i64) -> Tuple {
+        tuple![i]
+    }
+
+    fn extraction(i: i64) -> Vec<Tuple> {
+        vec![tuple![i, "payload"], tuple![i, "more"]]
+    }
+
+    #[test]
+    fn load_once_then_hit() {
+        let cache = SharedAccessCache::unbounded();
+        let r = RelationId(0);
+        let mut loads = 0;
+        for _ in 0..3 {
+            let lookup = cache
+                .get_or_load(r, &k(1), || {
+                    loads += 1;
+                    Ok::<_, ()>(extraction(1))
+                })
+                .unwrap();
+            assert_eq!(lookup.tuples.len(), 2);
+        }
+        assert_eq!(loads, 1);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.entries, 1);
+        assert!(stats.bytes > 0);
+    }
+
+    #[test]
+    fn failed_loads_retain_nothing() {
+        let cache = SharedAccessCache::unbounded();
+        let r = RelationId(0);
+        let err = cache.get_or_load(r, &k(1), || Err::<Vec<Tuple>, _>("boom"));
+        assert_eq!(err.unwrap_err(), "boom");
+        assert!(cache.is_empty());
+        assert!(!cache.contains(r, &k(1)));
+        assert_eq!(cache.stats().load_failures, 1);
+        // A later attempt loads for real.
+        let ok = cache.get_or_load(r, &k(1), || Ok::<_, &str>(extraction(1)));
+        assert!(ok.unwrap().outcome.loaded());
+    }
+
+    #[test]
+    fn distinct_relations_are_distinct_keys() {
+        let cache = SharedAccessCache::unbounded();
+        cache
+            .get_or_load(RelationId(0), &k(1), || Ok::<_, ()>(extraction(1)))
+            .unwrap();
+        let second = cache
+            .get_or_load(RelationId(1), &k(1), || Ok::<_, ()>(extraction(2)))
+            .unwrap();
+        assert!(second.outcome.loaded());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn lru_entry_cap_is_respected_and_recency_aware() {
+        let cache = SharedAccessCache::new(CacheConfig::max_entries(2).with_shards(1));
+        let r = RelationId(0);
+        for i in 0..2 {
+            cache
+                .get_or_load(r, &k(i), || Ok::<_, ()>(extraction(i)))
+                .unwrap();
+        }
+        // Touch key 0 so key 1 becomes the LRU victim.
+        cache.get_or_load(r, &k(0), || Ok::<_, ()>(vec![])).unwrap();
+        cache
+            .get_or_load(r, &k(2), || Ok::<_, ()>(extraction(2)))
+            .unwrap();
+        assert_eq!(cache.len(), 2);
+        assert!(cache.contains(r, &k(0)), "recently used entry survives");
+        assert!(!cache.contains(r, &k(1)), "LRU entry is evicted");
+        assert!(cache.contains(r, &k(2)));
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn byte_budget_is_never_exceeded() {
+        let budget = 2048usize;
+        let cache = SharedAccessCache::new(CacheConfig::max_bytes(budget).with_shards(2));
+        let r = RelationId(0);
+        for i in 0..200 {
+            cache
+                .get_or_load(r, &k(i), || Ok::<_, ()>(extraction(i)))
+                .unwrap();
+            assert!(
+                cache.bytes() <= budget,
+                "bytes {} exceed budget {budget}",
+                cache.bytes()
+            );
+        }
+        assert!(cache.stats().evictions > 0);
+        assert!(cache.len() < 200);
+    }
+
+    #[test]
+    fn oversized_entries_pass_through_without_flushing_the_shard() {
+        let cache = SharedAccessCache::new(CacheConfig::max_bytes(1000).with_shards(1));
+        let r = RelationId(0);
+        cache
+            .get_or_load(r, &k(1), || Ok::<_, ()>(extraction(1)))
+            .unwrap();
+        assert!(cache.contains(r, &k(1)));
+        let big: Vec<Tuple> = (0..50).map(|i| tuple![i, "some padding text"]).collect();
+        let lookup = cache
+            .get_or_load(r, &k(2), || Ok::<_, ()>(big.clone()))
+            .unwrap();
+        assert_eq!(lookup.tuples.len(), 50, "caller still gets the data");
+        assert!(cache.bytes() <= 1000);
+        assert!(!cache.contains(r, &k(2)), "oversized entry is not retained");
+        assert!(
+            cache.contains(r, &k(1)),
+            "smaller entries survive an oversized pass-through"
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.oversized, 1);
+        assert_eq!(stats.evictions, 0, "pass-through is not an eviction");
+    }
+
+    #[test]
+    fn a_panicking_leader_does_not_wedge_the_key() {
+        let cache = SharedAccessCache::unbounded();
+        let r = RelationId(0);
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = cache.get_or_load(r, &k(1), || -> Result<Vec<Tuple>, ()> {
+                panic!("buggy provider")
+            });
+        }));
+        assert!(unwound.is_err());
+        assert!(!cache.contains(r, &k(1)), "no pending slot is left behind");
+        // The key is immediately usable again.
+        let ok = cache
+            .get_or_load(r, &k(1), || Ok::<_, ()>(extraction(1)))
+            .unwrap();
+        assert!(ok.outcome.loaded());
+    }
+
+    #[test]
+    fn unbounded_caches_keep_no_recency_bookkeeping() {
+        let cache = SharedAccessCache::new(CacheConfig::unbounded().with_shards(1));
+        let r = RelationId(0);
+        cache
+            .get_or_load(r, &k(1), || Ok::<_, ()>(extraction(1)))
+            .unwrap();
+        for _ in 0..10_000 {
+            cache.get_or_load(r, &k(1), || Ok::<_, ()>(vec![])).unwrap();
+        }
+        let recency_len = cache.inner.shards[0].lock().recency.len();
+        assert_eq!(recency_len, 0, "nothing can ever be evicted — no queue");
+    }
+
+    #[test]
+    fn bounded_recency_bookkeeping_is_compacted() {
+        let cache = SharedAccessCache::new(CacheConfig::max_entries(4).with_shards(1));
+        let r = RelationId(0);
+        for i in 0..4 {
+            cache
+                .get_or_load(r, &k(i), || Ok::<_, ()>(extraction(i)))
+                .unwrap();
+        }
+        // A hit-heavy phase with no evictions must not grow the queue
+        // linearly with the lookup count.
+        for _ in 0..10_000 {
+            cache.get_or_load(r, &k(0), || Ok::<_, ()>(vec![])).unwrap();
+        }
+        let recency_len = cache.inner.shards[0].lock().recency.len();
+        assert!(
+            recency_len <= 64,
+            "stale pairs must be compacted, found {recency_len}"
+        );
+        // Recency is still honored after compaction: key 0 is hottest.
+        for i in 4..7 {
+            cache
+                .get_or_load(r, &k(i), || Ok::<_, ()>(extraction(i)))
+                .unwrap();
+        }
+        assert!(cache.contains(r, &k(0)), "hot key survives eviction");
+    }
+
+    #[test]
+    fn concurrent_same_key_loads_are_coalesced() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let cache = SharedAccessCache::unbounded();
+        let loads = AtomicUsize::new(0);
+        let barrier = std::sync::Barrier::new(8);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    barrier.wait();
+                    let lookup = cache
+                        .get_or_load(RelationId(0), &k(7), || {
+                            loads.fetch_add(1, Ordering::SeqCst);
+                            // Widen the race window.
+                            std::thread::sleep(std::time::Duration::from_millis(20));
+                            Ok::<_, ()>(extraction(7))
+                        })
+                        .unwrap();
+                    assert_eq!(lookup.tuples.len(), 2);
+                });
+            }
+        });
+        assert_eq!(loads.load(Ordering::SeqCst), 1, "a single source access");
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits + stats.coalesced_hits, 7);
+    }
+
+    #[test]
+    fn waiters_of_a_failed_leader_retry() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let cache = SharedAccessCache::unbounded();
+        let attempts = AtomicUsize::new(0);
+        let barrier = std::sync::Barrier::new(4);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    barrier.wait();
+                    // First attempt fails; retries succeed. Each thread
+                    // retries its own failures.
+                    for _ in 0..4 {
+                        let result = cache.get_or_load(RelationId(0), &k(9), || {
+                            let n = attempts.fetch_add(1, Ordering::SeqCst);
+                            std::thread::sleep(std::time::Duration::from_millis(5));
+                            if n == 0 {
+                                Err("transient")
+                            } else {
+                                Ok(extraction(9))
+                            }
+                        });
+                        if result.is_ok() {
+                            return;
+                        }
+                    }
+                    panic!("no attempt succeeded");
+                });
+            }
+        });
+        assert!(cache.contains(RelationId(0), &k(9)));
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1, "exactly one successful source access");
+        assert_eq!(stats.load_failures, 1);
+    }
+
+    #[test]
+    fn try_get_and_insert() {
+        let cache = SharedAccessCache::unbounded();
+        let r = RelationId(0);
+        assert!(cache.try_get(r, &k(1)).is_none());
+        assert!(cache.insert(r, &k(1), extraction(1)));
+        assert!(!cache.insert(r, &k(1), vec![]), "existing entry wins");
+        let got = cache.try_get(r, &k(1)).unwrap();
+        assert_eq!(got.len(), 2);
+        let stats = cache.stats();
+        assert_eq!(stats.insertions, 1);
+        assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn clear_keeps_counters() {
+        let cache = SharedAccessCache::unbounded();
+        cache
+            .get_or_load(RelationId(0), &k(1), || Ok::<_, ()>(extraction(1)))
+            .unwrap();
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.bytes(), 0);
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let cache = SharedAccessCache::unbounded();
+        let other = cache.clone();
+        cache
+            .get_or_load(RelationId(0), &k(1), || Ok::<_, ()>(extraction(1)))
+            .unwrap();
+        let lookup = other
+            .get_or_load(RelationId(0), &k(1), || -> Result<_, ()> {
+                panic!("clone must share the entry")
+            })
+            .unwrap();
+        assert_eq!(lookup.outcome, LookupOutcome::Hit);
+    }
+}

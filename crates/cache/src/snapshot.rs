@@ -1,0 +1,365 @@
+//! Snapshot / warm-start: a simple, line-oriented text format for persisting
+//! a cache's retained extractions and reloading them into a fresh process.
+//!
+//! Format (`toorjah-cache v1`): a header line, then one line per retained
+//! access, tab-separated:
+//!
+//! ```text
+//! #toorjah-cache v1
+//! <relation> <n_bind> <bind…> <n_tuples> <arity> <values…>
+//! ```
+//!
+//! where `<relation>` is the relation *name* (stable across processes, unlike
+//! [`RelationId`]s), `<bind…>` is the access binding and `<values…>` the
+//! extraction's tuples flattened row-major. Values are encoded as `i:<int>`
+//! or `s:<string>` with `\\`, `\t`, `\n`, `\r` escaped, so arbitrary string
+//! constants round-trip. Lines are sorted, making snapshots deterministic
+//! and diff-friendly.
+
+use std::fmt;
+
+use toorjah_catalog::{Schema, Tuple, Value};
+
+use crate::SharedAccessCache;
+
+/// Header identifying the snapshot format version.
+const HEADER: &str = "#toorjah-cache v1";
+
+/// Outcome of loading a snapshot.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct SnapshotReport {
+    /// Accesses inserted into the cache.
+    pub loaded: usize,
+    /// Lines skipped because the entry already existed (or was in flight).
+    pub already_present: usize,
+    /// Lines skipped because the schema lacks the relation or the arities
+    /// disagree (a snapshot from another provider).
+    pub incompatible: usize,
+}
+
+/// A malformed snapshot.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SnapshotError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What was wrong with it.
+    pub detail: String,
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "snapshot line {}: {}", self.line, self.detail)
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+fn encode_value(value: &Value, out: &mut String) {
+    match value {
+        Value::Int(i) => {
+            out.push_str("i:");
+            out.push_str(&i.to_string());
+        }
+        Value::Str(s) => {
+            out.push_str("s:");
+            for c in s.chars() {
+                match c {
+                    '\\' => out.push_str("\\\\"),
+                    '\t' => out.push_str("\\t"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    c => out.push(c),
+                }
+            }
+        }
+    }
+}
+
+fn decode_value(field: &str, line: usize) -> Result<Value, SnapshotError> {
+    let bad = |detail: String| SnapshotError { line, detail };
+    if let Some(int) = field.strip_prefix("i:") {
+        return int
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|e| bad(format!("bad integer {int:?}: {e}")));
+    }
+    if let Some(text) = field.strip_prefix("s:") {
+        let mut out = String::with_capacity(text.len());
+        let mut chars = text.chars();
+        while let Some(c) = chars.next() {
+            if c != '\\' {
+                out.push(c);
+                continue;
+            }
+            match chars.next() {
+                Some('\\') => out.push('\\'),
+                Some('t') => out.push('\t'),
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                other => return Err(bad(format!("bad escape {other:?}"))),
+            }
+        }
+        return Ok(Value::str(out));
+    }
+    Err(bad(format!("value {field:?} lacks an i:/s: tag")))
+}
+
+impl SharedAccessCache {
+    /// Serializes every retained extraction to the line format, resolving
+    /// relation ids against `schema` (the provider's schema the cache was
+    /// used with). Entries whose relation is not in `schema` are skipped —
+    /// they could never be reloaded by name.
+    pub fn snapshot(&self, schema: &Schema) -> String {
+        let mut lines: Vec<String> = Vec::new();
+        self.for_each_entry(|relation, binding, tuples| {
+            if relation.index() >= schema.relation_count() {
+                return;
+            }
+            let mut line = String::new();
+            line.push_str(schema.relation(relation).name());
+            line.push('\t');
+            line.push_str(&binding.len().to_string());
+            for v in binding.values() {
+                line.push('\t');
+                encode_value(v, &mut line);
+            }
+            line.push('\t');
+            line.push_str(&tuples.len().to_string());
+            line.push('\t');
+            let arity = tuples.first().map_or(0, |t| t.len());
+            line.push_str(&arity.to_string());
+            for t in tuples {
+                for v in t.values() {
+                    line.push('\t');
+                    encode_value(v, &mut line);
+                }
+            }
+            lines.push(line);
+        });
+        lines.sort_unstable();
+        let mut out = String::from(HEADER);
+        out.push('\n');
+        for line in lines {
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Reloads a snapshot produced by [`SharedAccessCache::snapshot`],
+    /// inserting each access as if it had been performed (eviction budgets
+    /// apply). Relations are resolved by name in `schema`; unknown or
+    /// arity-mismatched lines are counted, not fatal, so a snapshot can
+    /// outlive mild schema evolution.
+    ///
+    /// Loading is all-or-nothing with respect to parsing: the whole text is
+    /// validated before the first insert, so a malformed snapshot returns
+    /// `Err` without warming the cache at all.
+    pub fn load_snapshot(
+        &self,
+        schema: &Schema,
+        text: &str,
+    ) -> Result<SnapshotReport, SnapshotError> {
+        let mut lines = text.lines().enumerate();
+        match lines.next() {
+            Some((_, header)) if header.trim_end() == HEADER => {}
+            Some((_, header)) => {
+                return Err(SnapshotError {
+                    line: 1,
+                    detail: format!("bad header {header:?}, expected {HEADER:?}"),
+                })
+            }
+            None => {
+                return Err(SnapshotError {
+                    line: 1,
+                    detail: "empty snapshot".to_string(),
+                })
+            }
+        }
+        // Phase 1: parse every line (nothing is inserted yet).
+        let mut parsed: Vec<(&str, usize, Tuple, Vec<Tuple>)> = Vec::new();
+        for (index, line) in lines {
+            let line_no = index + 1;
+            if line.is_empty() {
+                continue;
+            }
+            let bad = |detail: String| SnapshotError {
+                line: line_no,
+                detail,
+            };
+            let mut fields = line.split('\t');
+            let mut next = |what: &str| {
+                fields
+                    .next()
+                    .ok_or_else(|| bad(format!("missing field: {what}")))
+            };
+            let name = next("relation")?;
+            let n_bind: usize = next("binding arity")?
+                .parse()
+                .map_err(|e| bad(format!("bad binding arity: {e}")))?;
+            let mut binding = Vec::with_capacity(n_bind);
+            for _ in 0..n_bind {
+                binding.push(decode_value(next("binding value")?, line_no)?);
+            }
+            let n_tuples: usize = next("tuple count")?
+                .parse()
+                .map_err(|e| bad(format!("bad tuple count: {e}")))?;
+            let arity: usize = next("arity")?
+                .parse()
+                .map_err(|e| bad(format!("bad arity: {e}")))?;
+            let mut tuples = Vec::with_capacity(n_tuples);
+            for _ in 0..n_tuples {
+                let mut row = Vec::with_capacity(arity);
+                for _ in 0..arity {
+                    row.push(decode_value(next("tuple value")?, line_no)?);
+                }
+                tuples.push(Tuple::new(row));
+            }
+            if fields.next().is_some() {
+                return Err(bad("trailing fields".to_string()));
+            }
+            parsed.push((name, arity, Tuple::new(binding), tuples));
+        }
+
+        // Phase 2: resolve and insert.
+        let mut report = SnapshotReport::default();
+        for (name, arity, binding, tuples) in parsed {
+            let Some(relation) = schema.relation_id(name) else {
+                report.incompatible += 1;
+                continue;
+            };
+            if !tuples.is_empty() && schema.relation(relation).arity() != arity {
+                report.incompatible += 1;
+                continue;
+            }
+            if self.insert(relation, &binding, tuples) {
+                report.loaded += 1;
+            } else {
+                report.already_present += 1;
+            }
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CacheConfig, SharedAccessCache};
+    use toorjah_catalog::tuple;
+
+    fn schema() -> Schema {
+        Schema::parse("r1^io(A, B) r2^oo(B, C)").unwrap()
+    }
+
+    fn populated() -> (Schema, SharedAccessCache) {
+        let schema = schema();
+        let cache = SharedAccessCache::unbounded();
+        let r1 = schema.relation_id("r1").unwrap();
+        let r2 = schema.relation_id("r2").unwrap();
+        cache
+            .get_or_load(r1, &tuple!["a"], || {
+                Ok::<_, ()>(vec![tuple!["a", "b1"], tuple!["a", "b2"]])
+            })
+            .unwrap();
+        cache
+            .get_or_load(r1, &tuple!["tab\there"], || Ok::<_, ()>(vec![]))
+            .unwrap();
+        cache
+            .get_or_load(r2, &Tuple::empty(), || {
+                Ok::<_, ()>(vec![tuple!["b1", 1958], tuple!["multi\nline", -3]])
+            })
+            .unwrap();
+        (schema, cache)
+    }
+
+    #[test]
+    fn roundtrip_restores_every_entry() {
+        let (schema, cache) = populated();
+        let text = cache.snapshot(&schema);
+        assert!(text.starts_with(HEADER));
+        let fresh = SharedAccessCache::unbounded();
+        let report = fresh.load_snapshot(&schema, &text).unwrap();
+        assert_eq!(report.loaded, 3);
+        assert_eq!(report.incompatible, 0);
+        assert_eq!(fresh.len(), cache.len());
+        // Same contents, including the awkward strings and the empty
+        // extraction.
+        let r1 = schema.relation_id("r1").unwrap();
+        let r2 = schema.relation_id("r2").unwrap();
+        assert_eq!(fresh.try_get(r1, &tuple!["a"]).unwrap().len(), 2);
+        assert_eq!(fresh.try_get(r1, &tuple!["tab\there"]).unwrap().len(), 0);
+        let free = fresh.try_get(r2, &Tuple::empty()).unwrap();
+        assert!(free.contains(&tuple!["multi\nline", -3]));
+        // And the reloaded snapshot is byte-identical (deterministic order).
+        assert_eq!(fresh.snapshot(&schema), text);
+    }
+
+    #[test]
+    fn loading_twice_reports_already_present() {
+        let (schema, cache) = populated();
+        let text = cache.snapshot(&schema);
+        let report = cache.load_snapshot(&schema, &text).unwrap();
+        assert_eq!(report.loaded, 0);
+        assert_eq!(report.already_present, 3);
+    }
+
+    #[test]
+    fn unknown_relations_are_skipped_not_fatal() {
+        let (schema, cache) = populated();
+        let text = cache.snapshot(&schema);
+        let other = Schema::parse("r1^io(A, B) zz^o(Z)").unwrap();
+        let fresh = SharedAccessCache::unbounded();
+        let report = fresh.load_snapshot(&other, &text).unwrap();
+        assert_eq!(report.loaded, 2, "r1 lines load");
+        assert_eq!(report.incompatible, 1, "r2 line is skipped");
+    }
+
+    #[test]
+    fn arity_mismatch_is_skipped() {
+        let (schema, cache) = populated();
+        let text = cache.snapshot(&schema);
+        let other = Schema::parse("r1^io(A, B) r2^ooo(B, C, D)").unwrap();
+        let report = SharedAccessCache::unbounded()
+            .load_snapshot(&other, &text)
+            .unwrap();
+        assert_eq!(report.incompatible, 1);
+    }
+
+    #[test]
+    fn malformed_snapshots_are_rejected_with_line_numbers() {
+        let schema = schema();
+        let cache = SharedAccessCache::unbounded();
+        let err = cache.load_snapshot(&schema, "not a header\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        let err = cache
+            .load_snapshot(&schema, &format!("{HEADER}\nr1\t1\n"))
+            .unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("line 2"));
+        let err = cache
+            .load_snapshot(&schema, &format!("{HEADER}\nr1\t1\tx:9\t0\t0\n"))
+            .unwrap_err();
+        assert!(err.detail.contains("i:/s:"));
+        assert!(cache.is_empty(), "nothing sticks from rejected snapshots");
+        // Atomicity: valid lines *before* the malformed one are not
+        // retained either.
+        let err = cache
+            .load_snapshot(
+                &schema,
+                &format!("{HEADER}\nr1\t1\ts:a\t1\t2\ts:a\ts:b\nr1\t1\n"),
+            )
+            .unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(cache.is_empty(), "rejected snapshots load all-or-nothing");
+    }
+
+    #[test]
+    fn eviction_applies_during_load() {
+        let (schema, cache) = populated();
+        let text = cache.snapshot(&schema);
+        let capped = SharedAccessCache::new(CacheConfig::max_entries(1).with_shards(1));
+        capped.load_snapshot(&schema, &text).unwrap();
+        assert_eq!(capped.len(), 1, "budget holds during warm-start");
+    }
+}

@@ -37,6 +37,17 @@ impl Tuple {
         &self.0
     }
 
+    /// Estimated memory footprint in bytes: the handle, the shared slice
+    /// allocation (values plus the `Arc` reference counts), and every
+    /// value's heap payload. The estimate is what byte-budgeted caches
+    /// account per stored tuple; see [`Value::estimated_bytes`] for the
+    /// sharing caveat.
+    pub fn estimated_bytes(&self) -> usize {
+        std::mem::size_of::<Tuple>()
+            + 2 * std::mem::size_of::<usize>()
+            + self.0.iter().map(Value::estimated_bytes).sum::<usize>()
+    }
+
     /// Projects the tuple onto the given 0-based positions.
     ///
     /// # Panics
@@ -144,6 +155,18 @@ mod tests {
     fn from_iterator() {
         let t: Tuple = (0..3).map(Value::from).collect();
         assert_eq!(t.to_string(), "⟨0, 1, 2⟩");
+    }
+
+    #[test]
+    fn byte_estimates_grow_with_arity_and_payload() {
+        let empty = Tuple::empty();
+        let short = tuple![1, 2];
+        let stringy = tuple!["an artist", "a title", 1958];
+        assert!(empty.estimated_bytes() > 0);
+        assert!(short.estimated_bytes() > empty.estimated_bytes());
+        assert!(stringy.estimated_bytes() > short.estimated_bytes());
+        // The estimate is content-deterministic.
+        assert_eq!(stringy.estimated_bytes(), stringy.clone().estimated_bytes());
     }
 
     #[test]

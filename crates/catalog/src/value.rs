@@ -56,6 +56,19 @@ impl Value {
             Value::Str(s) => Some(s),
         }
     }
+
+    /// Estimated memory footprint in bytes: the inline enum size plus any
+    /// heap payload (string bytes and the `Arc` reference counts). Used by
+    /// byte-budgeted caches; shared `Arc<str>` payloads are counted once per
+    /// holder, which over-approximates but keeps the accounting local.
+    pub fn estimated_bytes(&self) -> usize {
+        let heap = match self {
+            Value::Int(_) => 0,
+            // String payload plus the Arc's strong/weak counters.
+            Value::Str(s) => s.len() + 2 * std::mem::size_of::<usize>(),
+        };
+        std::mem::size_of::<Value>() + heap
+    }
 }
 
 impl From<i64> for Value {
@@ -137,6 +150,16 @@ mod tests {
         assert_eq!(vals[1], Value::from(2));
         assert_eq!(vals[2], Value::from("a"));
         assert_eq!(vals[3], Value::from("b"));
+    }
+
+    #[test]
+    fn byte_estimates_track_payload() {
+        let int = Value::from(2008);
+        let short = Value::from("ab");
+        let long = Value::from("a much longer artist name than the short one");
+        assert_eq!(int.estimated_bytes(), std::mem::size_of::<Value>());
+        assert!(short.estimated_bytes() > int.estimated_bytes());
+        assert!(long.estimated_bytes() > short.estimated_bytes());
     }
 
     #[test]

@@ -18,6 +18,7 @@ pub struct AccessLog {
     sequence: Vec<(RelationId, Tuple)>,
     accesses_per_relation: HashMap<RelationId, usize>,
     extracted_per_relation: HashMap<RelationId, HashSet<Tuple>>,
+    cache_served: usize,
 }
 
 impl AccessLog {
@@ -53,6 +54,19 @@ impl AccessLog {
         for t in tuples {
             set.insert(t.clone());
         }
+    }
+
+    /// Records that an access this execution requested was served from a
+    /// cache at zero cost (a meta-cache repeat or a warm shared-cache
+    /// entry). Kept outside [`AccessStats`]: it is an observability
+    /// counter, not part of the paper's access-set cost.
+    pub fn record_cache_served(&mut self) {
+        self.cache_served += 1;
+    }
+
+    /// How many requested accesses were served from a cache at zero cost.
+    pub fn cache_served(&self) -> usize {
+        self.cache_served
     }
 
     /// Whether an access was already performed.

@@ -15,7 +15,12 @@
 //! * [`AccessLog`] / [`AccessStats`]: per-relation access and extraction
 //!   accounting;
 //! * [`MetaCache`]: the paper's per-relation cache of performed accesses
-//!   ("we keep track of all access tuples used to access relations");
+//!   ("we keep track of all access tuples used to access relations") — since
+//!   the shared-cache subsystem, a thin adapter over
+//!   [`SharedAccessCache`], the sharded cross-query access cache
+//!   (re-exported from [`toorjah_cache`]) that [`execute_plan_cached`],
+//!   [`execute_union_cached`] and [`execute_negated_cached`] thread through
+//!   entire sessions;
 //! * [`naive_evaluate`]: the Fig. 1 algorithm (after [Li & Chang 2000]) that
 //!   accesses *every* relation of the schema with *every* domain-compatible
 //!   binding until fixpoint — the unoptimized baseline of the evaluation;
@@ -49,10 +54,19 @@ pub use containment_testing::{
     refute_obtainable_containment, ContainmentCounterexample, RefutationOptions,
 };
 pub use error::EngineError;
-pub use executor::{execute_plan, execute_plan_with, ExecOptions, ExecutionReport};
+pub use executor::{
+    execute_plan, execute_plan_cached, execute_plan_with, ExecOptions, ExecutionReport,
+};
 pub use join::{cq_satisfiable, evaluate_cq, evaluate_cq_subset};
 pub use metacache::MetaCache;
 pub use naive::{naive_evaluate, NaiveOptions, NaiveResult};
-pub use negation::{execute_negated, NegationError, NegationReport};
+pub use negation::{execute_negated, execute_negated_cached, NegationError, NegationReport};
 pub use source::{FlakySource, InstanceSource, LatencySource, SourceProvider};
-pub use union::{execute_union, UnionReport};
+pub use union::{execute_union, execute_union_cached, UnionReport};
+
+// The shared-cache subsystem, re-exported so engine users configure and
+// share caches without a separate dependency.
+pub use toorjah_cache::{
+    CacheConfig, CacheStats, EvictionPolicy, Lookup, LookupOutcome, SharedAccessCache,
+    SnapshotError, SnapshotReport,
+};

@@ -9,27 +9,61 @@
 //! > so, we read the extraction from the corresponding cache; else we make
 //! > the access proper."*
 //!
-//! The meta-cache stores the full extraction per `(relation, binding)`, so
-//! repeated accesses (e.g. from two occurrences of one relation) are served
-//! locally at zero cost.
+//! Since the shared-cache subsystem landed, [`MetaCache`] is a thin adapter
+//! over a [`SharedAccessCache`]: by default it wraps a private, unbounded
+//! instance (exactly the paper's per-query semantics), but it can be built
+//! over any shared handle so legacy call sites participate in cross-query
+//! caching. The executors themselves work against [`SharedAccessCache`]
+//! directly — see [`crate::execute_plan_cached`].
 
-use std::collections::HashMap;
+use std::sync::Arc;
 
+use toorjah_cache::{CacheConfig, SharedAccessCache};
 use toorjah_catalog::{RelationId, Tuple};
 
 use crate::{AccessLog, EngineError, SourceProvider};
 
 /// Extraction results keyed by `(relation, access binding)`, consulted
 /// before every access.
-#[derive(Clone, Default, Debug)]
+///
+/// Cloning shares the underlying storage (the handle semantics of
+/// [`SharedAccessCache`]); use [`MetaCache::new`] for an independent cache.
+#[derive(Clone, Debug)]
 pub struct MetaCache {
-    extractions: HashMap<(RelationId, Tuple), Vec<Tuple>>,
+    shared: SharedAccessCache,
+    /// The most recent extraction, kept so [`MetaCache::access`] can hand
+    /// out a borrow with the pre-subsystem signature.
+    last: Arc<[Tuple]>,
+}
+
+impl Default for MetaCache {
+    fn default() -> Self {
+        MetaCache::new()
+    }
 }
 
 impl MetaCache {
-    /// Creates an empty meta-cache.
+    /// Creates an empty meta-cache over a private, unbounded store.
     pub fn new() -> Self {
-        Self::default()
+        // A per-query cache sees no cross-thread contention; a single shard
+        // keeps it lean.
+        MetaCache::over(SharedAccessCache::new(
+            CacheConfig::unbounded().with_shards(1),
+        ))
+    }
+
+    /// Wraps an existing shared cache, so accesses served through this
+    /// meta-cache are shared with every other holder of the handle.
+    pub fn over(shared: SharedAccessCache) -> Self {
+        MetaCache {
+            shared,
+            last: Arc::from(Vec::new()),
+        }
+    }
+
+    /// The underlying shared-cache handle.
+    pub fn shared(&self) -> &SharedAccessCache {
+        &self.shared
     }
 
     /// Serves an access from the meta-cache, or performs it against
@@ -42,35 +76,45 @@ impl MetaCache {
         relation: RelationId,
         binding: &Tuple,
     ) -> Result<&[Tuple], EngineError> {
-        let key = (relation, binding.clone());
-        // (Entry API would hold the borrow across the provider call; a
-        // contains_key probe keeps the fallible path simple.)
-        if !self.extractions.contains_key(&key) {
-            let tuples = provider.access(relation, binding)?;
+        let lookup = self
+            .shared
+            .get_or_load(relation, binding, || provider.access(relation, binding))?;
+        if lookup.outcome.loaded() {
             log.record(relation, binding.clone());
-            log.record_extracted(relation, tuples.iter());
-            self.extractions.insert(key.clone(), tuples);
+            log.record_extracted(relation, lookup.tuples.iter());
+        } else {
+            log.record_cache_served();
         }
-        Ok(self
-            .extractions
-            .get(&key)
-            .expect("just inserted")
-            .as_slice())
+        self.last = lookup.tuples;
+        Ok(&self.last)
     }
 
-    /// Whether the access has been performed already.
+    /// Whether the access has been performed already (or is in flight).
     pub fn contains(&self, relation: RelationId, binding: &Tuple) -> bool {
-        self.extractions.contains_key(&(relation, binding.clone()))
+        self.shared.contains(relation, binding)
     }
 
     /// Number of memoized accesses.
     pub fn len(&self) -> usize {
-        self.extractions.len()
+        self.shared.len()
     }
 
     /// Whether the meta-cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.extractions.is_empty()
+        self.shared.is_empty()
+    }
+
+    /// Accesses served from memory (including coalesced waits) since the
+    /// underlying cache was created.
+    pub fn hits(&self) -> u64 {
+        let stats = self.shared.stats();
+        stats.hits + stats.coalesced_hits
+    }
+
+    /// Accesses actually performed against the provider since the
+    /// underlying cache was created.
+    pub fn misses(&self) -> u64 {
+        self.shared.stats().misses
     }
 }
 
@@ -109,6 +153,8 @@ mod tests {
         assert_eq!(meta.len(), 1);
         assert!(meta.contains(r, &tuple!["a"]));
         assert!(!meta.contains(r, &tuple!["b"]));
+        assert_eq!(meta.hits(), 1);
+        assert_eq!(meta.misses(), 1);
     }
 
     #[test]
@@ -120,6 +166,7 @@ mod tests {
         assert!(meta.access(&src, &mut log, r, &tuple!["a"]).is_err());
         assert!(meta.is_empty());
         assert_eq!(log.total(), 0);
+        assert_eq!(meta.misses(), 0, "failures are not misses");
     }
 
     #[test]
@@ -131,5 +178,23 @@ mod tests {
         meta.access(&src, &mut log, r, &tuple!["a"]).unwrap();
         meta.access(&src, &mut log, r, &tuple!["b"]).unwrap();
         assert_eq!(log.total(), 2);
+    }
+
+    #[test]
+    fn over_a_shared_handle_accesses_are_shared() {
+        let src = provider();
+        let r = src.schema().relation_id("r").unwrap();
+        let shared = SharedAccessCache::unbounded();
+        let mut warm_log = AccessLog::new();
+        MetaCache::over(shared.clone())
+            .access(&src, &mut warm_log, r, &tuple!["a"])
+            .unwrap();
+        assert_eq!(warm_log.total(), 1);
+        // A second meta-cache over the same handle sees the extraction.
+        let mut meta = MetaCache::over(shared);
+        let mut log = AccessLog::new();
+        let tuples = meta.access(&src, &mut log, r, &tuple!["a"]).unwrap();
+        assert_eq!(tuples.len(), 1);
+        assert_eq!(log.total(), 0, "warm access is free for this query");
     }
 }

@@ -19,12 +19,14 @@
 
 use std::collections::HashSet;
 
+use toorjah_cache::SharedAccessCache;
 use toorjah_catalog::{RelationId, Schema, Tuple};
 use toorjah_core::{CoreError, Planner};
 use toorjah_query::{ConjunctiveQuery, NegatedQuery, Term, VarId};
 
+use crate::executor::cached_access;
 use crate::{
-    execute_plan_with, AccessLog, AccessStats, EngineError, ExecOptions, MetaCache, SourceProvider,
+    execute_plan_cached, AccessLog, AccessStats, EngineError, ExecOptions, SourceProvider,
 };
 
 /// Result of executing a negated query.
@@ -69,6 +71,26 @@ pub fn execute_negated(
     provider: &dyn SourceProvider,
     options: ExecOptions,
 ) -> Result<NegationReport, NegationError> {
+    execute_negated_cached(
+        query,
+        schema,
+        provider,
+        options,
+        &SharedAccessCache::unbounded(),
+    )
+}
+
+/// [`execute_negated`] against a caller-provided [`SharedAccessCache`]: the
+/// positive plan *and* the per-candidate negation checks all go through the
+/// shared cache, so repeated checks are free within the query (the paper's
+/// meta-cache discipline) and across queries sharing the handle.
+pub fn execute_negated_cached(
+    query: &NegatedQuery,
+    schema: &Schema,
+    provider: &dyn SourceProvider,
+    options: ExecOptions,
+    cache: &SharedAccessCache,
+) -> Result<NegationReport, NegationError> {
     let positive = query.positive();
 
     // Extended head: original head followed by the negation variables that
@@ -97,9 +119,8 @@ pub fn execute_negated(
     let planned = planner
         .plan(&extended, schema)
         .map_err(NegationError::Planning)?;
-    let mut meta = MetaCache::new();
     let mut log = AccessLog::new();
-    let report = execute_plan_with(&planned.plan, provider, options, &mut meta, &mut log)
+    let report = execute_plan_cached(&planned.plan, provider, options, cache, &mut log)
         .map_err(NegationError::Execution)?;
 
     // Resolve negated relations inside the provider's schema by name.
@@ -146,16 +167,15 @@ pub fn execute_negated(
                 .input_positions()
                 .map(|k| bound[k].clone())
                 .collect();
-            if !meta.contains(rel, &binding) && log.total() >= options.max_accesses {
-                return Err(NegationError::Execution(
-                    EngineError::AccessBudgetExceeded {
-                        limit: options.max_accesses,
-                    },
-                ));
-            }
-            let extraction = meta
-                .access(provider, &mut log, rel, &binding)
-                .map_err(NegationError::Execution)?;
+            let extraction = cached_access(
+                cache,
+                provider,
+                &mut log,
+                rel,
+                &binding,
+                options.max_accesses,
+            )
+            .map_err(NegationError::Execution)?;
             let witness = extraction.iter().any(|t| t.values() == bound.as_slice());
             if witness {
                 rejected += 1;

@@ -7,12 +7,13 @@
 
 use std::collections::HashSet;
 
+use toorjah_cache::SharedAccessCache;
 use toorjah_catalog::Tuple;
 use toorjah_core::QueryPlan;
 
 use crate::{
-    execute_plan_with, AccessLog, AccessStats, EngineError, ExecOptions, ExecutionReport,
-    MetaCache, SourceProvider,
+    execute_plan_cached, AccessLog, AccessStats, EngineError, ExecOptions, ExecutionReport,
+    SourceProvider,
 };
 
 /// Result of executing a union of plans.
@@ -36,13 +37,27 @@ pub fn execute_union(
     provider: &dyn SourceProvider,
     options: ExecOptions,
 ) -> Result<UnionReport, EngineError> {
-    let mut meta = MetaCache::new();
+    let cache = SharedAccessCache::unbounded();
     let mut log = AccessLog::new();
+    execute_union_cached(plans, provider, options, &cache, &mut log)
+}
+
+/// [`execute_union`] against a caller-provided [`SharedAccessCache`] and
+/// access log: disjuncts share the cache with each other *and* with any
+/// other query executed over the same handle — the cross-query
+/// generalization of the shared meta-cache discipline.
+pub fn execute_union_cached(
+    plans: &[&QueryPlan],
+    provider: &dyn SourceProvider,
+    options: ExecOptions,
+    cache: &SharedAccessCache,
+    log: &mut AccessLog,
+) -> Result<UnionReport, EngineError> {
     let mut answers = Vec::new();
     let mut seen: HashSet<Tuple> = HashSet::new();
     let mut per_disjunct = Vec::with_capacity(plans.len());
     for plan in plans {
-        let report = execute_plan_with(plan, provider, options, &mut meta, &mut log)?;
+        let report = execute_plan_cached(plan, provider, options, cache, log)?;
         for t in &report.answers {
             if seen.insert(t.clone()) {
                 answers.push(t.clone());

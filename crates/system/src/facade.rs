@@ -4,14 +4,16 @@ use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
 
+use toorjah_cache::{CacheStats, SharedAccessCache};
 use toorjah_catalog::{Schema, Tuple};
 use toorjah_core::{plan_query, CoreError, Planned, Planner};
 use toorjah_engine::{
-    execute_plan, AccessStats, EngineError, ExecOptions, ExecutionReport, SourceProvider,
+    execute_plan_cached, AccessLog, AccessStats, EngineError, ExecOptions, ExecutionReport,
+    SourceProvider,
 };
 use toorjah_query::{parse_query, ConjunctiveQuery, QueryError};
 
-use crate::{run_distillation, AnswerStream, DistillationOptions};
+use crate::{run_distillation_cached, AnswerStream, DistillationOptions};
 
 /// Configuration of a [`Toorjah`] instance.
 #[derive(Clone, Debug, Default)]
@@ -80,6 +82,11 @@ pub struct AskResult {
     pub answers: Vec<Tuple>,
     /// Access counters.
     pub stats: AccessStats,
+    /// Accesses this query drew from the cache (meta-cache dedup within the
+    /// query, plus warm entries when a session cache is configured).
+    pub cache_hits: u64,
+    /// Accesses this query actually performed against the sources.
+    pub cache_misses: u64,
     /// The full execution report.
     pub report: ExecutionReport,
     /// Everything the planner produced (d-graph, ordering, program, …).
@@ -87,9 +94,16 @@ pub struct AskResult {
 }
 
 /// The Toorjah system: a source provider plus the planner/executor pipeline.
+///
+/// By default each query evaluates against a private, unbounded access
+/// cache (the paper's one-shot semantics). Install a session cache with
+/// [`Toorjah::with_cache`] to share extractions across queries — and, since
+/// [`SharedAccessCache`] handles are cheaply cloneable, across any number
+/// of `Toorjah` instances and threads serving the same provider.
 pub struct Toorjah {
     provider: Arc<dyn SourceProvider>,
     config: ToorjahConfig,
+    session_cache: Option<SharedAccessCache>,
 }
 
 impl Toorjah {
@@ -98,6 +112,7 @@ impl Toorjah {
         Toorjah {
             provider: Arc::new(provider),
             config: ToorjahConfig::default(),
+            session_cache: None,
         }
     }
 
@@ -106,6 +121,7 @@ impl Toorjah {
         Toorjah {
             provider,
             config: ToorjahConfig::default(),
+            session_cache: None,
         }
     }
 
@@ -113,6 +129,33 @@ impl Toorjah {
     pub fn with_config(mut self, config: ToorjahConfig) -> Self {
         self.config = config;
         self
+    }
+
+    /// Installs a session cache: consecutive queries (and any other session
+    /// holding a clone of the handle) skip accesses that are already
+    /// retained. Answers are invariant under cache reuse; only the access
+    /// counts drop (see DESIGN.md).
+    pub fn with_cache(mut self, cache: SharedAccessCache) -> Self {
+        self.session_cache = Some(cache);
+        self
+    }
+
+    /// The session cache, when one is installed.
+    pub fn session_cache(&self) -> Option<&SharedAccessCache> {
+        self.session_cache.as_ref()
+    }
+
+    /// Statistics of the session cache, when one is installed.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.session_cache.as_ref().map(SharedAccessCache::stats)
+    }
+
+    /// The cache a query execution should use: the session cache, or a
+    /// fresh private one (the paper's per-query meta-cache semantics).
+    fn execution_cache(&self) -> SharedAccessCache {
+        self.session_cache
+            .clone()
+            .unwrap_or_else(SharedAccessCache::unbounded)
     }
 
     /// The schema of the underlying sources.
@@ -131,10 +174,23 @@ impl Toorjah {
     /// [`Toorjah::ask`] for an already parsed query.
     pub fn ask_query(&self, query: &ConjunctiveQuery) -> Result<AskResult, ToorjahError> {
         let planned = self.config.planner.plan(query, self.provider.schema())?;
-        let report = execute_plan(&planned.plan, self.provider.as_ref(), self.config.exec)?;
+        let cache = self.execution_cache();
+        let mut log = AccessLog::new();
+        let report = execute_plan_cached(
+            &planned.plan,
+            self.provider.as_ref(),
+            self.config.exec,
+            &cache,
+            &mut log,
+        )?;
+        // Attribution comes from this query's own log, so concurrent
+        // sessions sharing the cache handle cannot contaminate each other's
+        // numbers.
         Ok(AskResult {
             answers: report.answers.clone(),
             stats: report.stats.clone(),
+            cache_hits: log.cache_served() as u64,
+            cache_misses: log.total() as u64,
             report,
             planned,
         })
@@ -171,8 +227,14 @@ impl Toorjah {
             }
         }
         let plans: Vec<&toorjah_core::QueryPlan> = planned.iter().map(|p| &p.plan).collect();
-        let report =
-            toorjah_engine::execute_union(&plans, self.provider.as_ref(), self.config.exec)?;
+        let mut log = AccessLog::new();
+        let report = toorjah_engine::execute_union_cached(
+            &plans,
+            self.provider.as_ref(),
+            self.config.exec,
+            &self.execution_cache(),
+            &mut log,
+        )?;
         Ok((report, skipped))
     }
 
@@ -185,11 +247,12 @@ impl Toorjah {
         &self,
         query: &toorjah_query::NegatedQuery,
     ) -> Result<toorjah_engine::NegationReport, ToorjahError> {
-        toorjah_engine::execute_negated(
+        toorjah_engine::execute_negated_cached(
             query,
             self.provider.schema(),
             self.provider.as_ref(),
             self.config.exec,
+            &self.execution_cache(),
         )
         .map_err(|e| match e {
             toorjah_engine::NegationError::Planning(e) => ToorjahError::Planning(e),
@@ -206,10 +269,11 @@ impl Toorjah {
     pub fn ask_streaming(&self, query_text: &str) -> Result<AnswerStream, ToorjahError> {
         let query = parse_query(query_text, self.provider.schema())?;
         let planned = self.config.planner.plan(&query, self.provider.schema())?;
-        Ok(run_distillation(
+        Ok(run_distillation_cached(
             planned.plan.clone(),
             Arc::clone(&self.provider),
             self.config.distillation,
+            self.execution_cache(),
         ))
     }
 
@@ -252,6 +316,9 @@ impl Toorjah {
         out.push_str("datalog program:\n");
         for rule in planned.plan.program.rules() {
             out.push_str(&format!("  {}\n", planned.plan.program.render_rule(rule)));
+        }
+        if let Some(stats) = self.cache_stats() {
+            out.push_str(&format!("session cache: {stats}\n"));
         }
         Ok(out)
     }
@@ -322,6 +389,69 @@ mod tests {
     fn schema_accessor() {
         let system = example_system();
         assert_eq!(system.schema().relation_count(), 3);
+    }
+
+    #[test]
+    fn session_cache_makes_repeat_queries_free() {
+        let system = example_system().with_cache(SharedAccessCache::unbounded());
+        let cold = system.ask("q(C) <- r1('a', B), r2(B, C)").unwrap();
+        assert_eq!(cold.stats.total_accesses, 2);
+        assert_eq!(cold.cache_misses, 2);
+        let warm = system.ask("q(C) <- r1('a', B), r2(B, C)").unwrap();
+        assert_eq!(warm.answers, cold.answers);
+        assert_eq!(warm.stats.total_accesses, 0, "warm query pays nothing");
+        assert_eq!(warm.cache_hits, 2);
+        assert_eq!(warm.cache_misses, 0);
+        let stats = system.cache_stats().unwrap();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.misses, 2);
+    }
+
+    #[test]
+    fn without_session_cache_queries_stay_independent() {
+        let system = example_system();
+        assert!(system.cache_stats().is_none());
+        assert!(system.session_cache().is_none());
+        let first = system.ask("q(C) <- r1('a', B), r2(B, C)").unwrap();
+        let second = system.ask("q(C) <- r1('a', B), r2(B, C)").unwrap();
+        // No sharing: both runs pay the full access count.
+        assert_eq!(first.stats.total_accesses, 2);
+        assert_eq!(second.stats.total_accesses, 2);
+        assert_eq!(second.cache_misses, 2);
+    }
+
+    #[test]
+    fn two_sessions_share_one_cache_handle() {
+        let schema = Schema::parse("r1^io(A, B) r2^io(B, C) r3^io(C, A)").unwrap();
+        let db = Instance::with_data(
+            &schema,
+            [
+                ("r1", vec![tuple!["a", "b1"]]),
+                ("r2", vec![tuple!["b1", "c1"]]),
+                ("r3", vec![tuple!["c1", "a"]]),
+            ],
+        )
+        .unwrap();
+        let provider: Arc<dyn SourceProvider> = Arc::new(InstanceSource::new(schema, db));
+        let cache = SharedAccessCache::unbounded();
+        let one = Toorjah::from_arc(Arc::clone(&provider)).with_cache(cache.clone());
+        let two = Toorjah::from_arc(provider).with_cache(cache);
+        one.ask("q(C) <- r1('a', B), r2(B, C)").unwrap();
+        let warm = two.ask("q(C) <- r1('a', B), r2(B, C)").unwrap();
+        assert_eq!(warm.stats.total_accesses, 0, "cross-session sharing");
+    }
+
+    #[test]
+    fn explain_surfaces_session_cache_stats() {
+        let system = example_system().with_cache(SharedAccessCache::unbounded());
+        system.ask("q(C) <- r1('a', B), r2(B, C)").unwrap();
+        let text = system.explain("q(C) <- r1('a', B), r2(B, C)").unwrap();
+        assert!(text.contains("session cache: 2 entries"), "{text}");
+        // Without a session cache the line is absent.
+        let text = example_system()
+            .explain("q(C) <- r1('a', B), r2(B, C)")
+            .unwrap();
+        assert!(!text.contains("session cache"), "{text}");
     }
 }
 

@@ -32,6 +32,12 @@
 //! computed — "the system retrieves tuples that are significant for the
 //! answer in a time that is usually very short, compared to the total
 //! execution time".
+//!
+//! For serving workloads, [`Toorjah::with_cache`] installs a session-level
+//! [`toorjah_cache::SharedAccessCache`]: consecutive (and concurrent)
+//! queries over the same provider skip accesses that are already retained,
+//! with per-query effectiveness surfaced through [`AskResult`]'s
+//! `cache_hits`/`cache_misses` and [`Toorjah::cache_stats`].
 
 #![warn(missing_docs)]
 
@@ -41,4 +47,4 @@ mod parallel;
 
 pub use answers::{AnswerStream, StreamEvent, StreamReport};
 pub use facade::{AskResult, Toorjah, ToorjahConfig, ToorjahError};
-pub use parallel::{run_distillation, DistillationOptions};
+pub use parallel::{run_distillation, run_distillation_cached, DistillationOptions};

@@ -16,6 +16,12 @@
 //! discipline), so the access set equals the sequential executor's — only
 //! the schedule differs. Answers therefore coincide with
 //! [`toorjah_engine::execute_plan`]; the integration tests assert this.
+//!
+//! The wrappers route their accesses through a [`SharedAccessCache`]
+//! ([`run_distillation_cached`]): a warm session cache turns remote accesses
+//! into local reads, and concurrent distillations over one handle coalesce
+//! identical in-flight accesses instead of duplicating them. The per-run
+//! [`AccessLog`] records only the accesses this run actually performed.
 
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -23,6 +29,7 @@ use std::time::Instant;
 
 use crossbeam::channel::{bounded, unbounded, Sender};
 use parking_lot::Mutex;
+use toorjah_cache::SharedAccessCache;
 use toorjah_catalog::{RelationId, Tuple, Value};
 use toorjah_core::{DomainMode, QueryPlan};
 use toorjah_datalog::{rule_head_instances_pinned, FactStore};
@@ -58,19 +65,36 @@ struct WorkResult {
     cache_idx: usize,
     relation: RelationId,
     binding: Tuple,
-    outcome: Result<Vec<Tuple>, EngineError>,
+    /// The extraction plus whether this run actually performed the access
+    /// (`false`: served or coalesced by the shared cache at zero cost).
+    outcome: Result<(Arc<[Tuple]>, bool), EngineError>,
 }
 
 /// Starts a distillation execution of `plan` on a background coordinator
-/// thread; answers stream through the returned [`AnswerStream`].
+/// thread; answers stream through the returned [`AnswerStream`]. Each run
+/// gets a private access cache — use [`run_distillation_cached`] to share
+/// one across runs and sessions.
 pub fn run_distillation(
     plan: QueryPlan,
     provider: Arc<dyn SourceProvider>,
     options: DistillationOptions,
 ) -> AnswerStream {
+    run_distillation_cached(plan, provider, options, SharedAccessCache::unbounded())
+}
+
+/// [`run_distillation`] over a caller-provided [`SharedAccessCache`]:
+/// retained accesses are applied directly by the coordinator (never
+/// dispatched to a wrapper), and wrapper accesses are performed *through*
+/// the cache, so identical accesses of concurrent runs coalesce.
+pub fn run_distillation_cached(
+    plan: QueryPlan,
+    provider: Arc<dyn SourceProvider>,
+    options: DistillationOptions,
+    cache: SharedAccessCache,
+) -> AnswerStream {
     let (event_tx, event_rx) = unbounded::<StreamEvent>();
     let handle = std::thread::spawn(move || {
-        coordinate(plan, provider, options, &event_tx);
+        coordinate(plan, provider, options, &cache, &event_tx);
     });
     AnswerStream {
         receiver: event_rx,
@@ -82,6 +106,7 @@ fn coordinate(
     plan: QueryPlan,
     provider: Arc<dyn SourceProvider>,
     options: DistillationOptions,
+    access_cache: &SharedAccessCache,
     events: &Sender<StreamEvent>,
 ) {
     let started = Instant::now();
@@ -124,9 +149,18 @@ fn coordinate(
         wrapper_tx.insert(rel, tx);
         let provider = Arc::clone(&provider);
         let result_tx = result_tx.clone();
+        let shared = access_cache.clone();
         wrapper_handles.push(std::thread::spawn(move || {
             while let Ok(item) = rx.recv() {
-                let outcome = provider.access(item.relation, &item.binding);
+                // The access goes through the shared cache: a concurrent
+                // identical access (another run, another session) is
+                // coalesced rather than duplicated, and the result is
+                // retained for everyone.
+                let outcome = shared
+                    .get_or_load(item.relation, &item.binding, || {
+                        provider.access(item.relation, &item.binding)
+                    })
+                    .map(|lookup| (lookup.tuples, lookup.outcome.loaded()));
                 let sent = result_tx.send(WorkResult {
                     cache_idx: item.cache_idx,
                     relation: item.relation,
@@ -146,8 +180,11 @@ fn coordinate(
     // closure boundaries below).
     let facts = Mutex::new(FactStore::new());
     let mut log = AccessLog::new();
-    // Extractions completed so far: (relation, binding) → tuples.
-    let mut extractions: HashMap<(RelationId, Tuple), Vec<Tuple>> = HashMap::new();
+    // Extractions available to this run: (relation, binding) → tuples.
+    // Results are *pinned* here for the run's lifetime, so an eviction from
+    // the shared cache mid-run can never starve a sibling cache of data it
+    // still needs.
+    let mut extractions: HashMap<(RelationId, Tuple), Arc<[Tuple]>> = HashMap::new();
     // Bindings already dispatched per relation (the meta-cache discipline).
     let mut requested: HashSet<(RelationId, Tuple)> = HashSet::new();
     // Bindings already applied per cache.
@@ -212,7 +249,7 @@ fn coordinate(
                 }
                 let key = (relation, binding.clone());
                 if let Some(tuples) = extractions.get(&key) {
-                    // Served from the meta-cache at zero cost.
+                    // Already available to this run: applied at zero cost.
                     apply_extraction(
                         &plan,
                         &answer_rule,
@@ -228,14 +265,35 @@ fn coordinate(
                     served[cache_idx].insert(binding);
                     dispatched_or_applied = true;
                 } else if !requested.contains(&key) {
-                    if log.total() >= options.max_accesses {
+                    if let Some(tuples) = access_cache.try_get(relation, &binding) {
+                        // Retained by the shared cache (a previous query or
+                        // a warm-started snapshot): no wrapper involved.
+                        apply_extraction(
+                            &plan,
+                            &answer_rule,
+                            &facts,
+                            cache_idx,
+                            &tuples,
+                            &mut answers_seen,
+                            &mut answers,
+                            &mut first_answer_at,
+                            started,
+                            events,
+                        );
+                        served[cache_idx].insert(binding);
+                        extractions.insert(key, tuples);
+                        dispatched_or_applied = true;
+                        continue;
+                    }
+                    // Budget: count performed plus in-flight accesses, since
+                    // dispatched work is only logged on completion.
+                    if log.total() + in_flight >= options.max_accesses {
                         let _ =
                             events.send(StreamEvent::Failed(EngineError::AccessBudgetExceeded {
                                 limit: options.max_accesses,
                             }));
                         return;
                     }
-                    log.record(relation, binding.clone());
                     requested.insert(key);
                     in_flight += 1;
                     dispatched_or_applied = true;
@@ -267,8 +325,13 @@ fn coordinate(
             Ok(result) => {
                 in_flight -= 1;
                 match result.outcome {
-                    Ok(tuples) => {
-                        log.record_extracted(result.relation, tuples.iter());
+                    Ok((tuples, performed)) => {
+                        if performed {
+                            // This run paid for the access; coalesced and
+                            // cache-served wrapper results are free.
+                            log.record(result.relation, result.binding.clone());
+                            log.record_extracted(result.relation, tuples.iter());
+                        }
                         apply_extraction(
                             &plan,
                             &answer_rule,
@@ -564,6 +627,36 @@ mod tests {
             "first answer should arrive before the run completes ({first:?} vs {:?})",
             report.total_time
         );
+    }
+
+    #[test]
+    fn warm_cache_distillation_performs_no_accesses() {
+        let (plan, provider) = example_plan_and_source();
+        let cache = SharedAccessCache::unbounded();
+        let cold = run_distillation_cached(
+            plan.clone(),
+            Arc::clone(&provider),
+            DistillationOptions::default(),
+            cache.clone(),
+        )
+        .wait()
+        .unwrap();
+        assert!(cold.stats.total_accesses > 0);
+        let warm = run_distillation_cached(
+            plan,
+            provider,
+            DistillationOptions::default(),
+            cache.clone(),
+        )
+        .wait()
+        .unwrap();
+        let mut a = warm.answers.clone();
+        let mut b = cold.answers.clone();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "answers invariant under cache reuse");
+        assert_eq!(warm.stats.total_accesses, 0, "warm run pays nothing");
+        assert_eq!(cache.stats().misses as usize, cold.stats.total_accesses);
     }
 
     #[test]

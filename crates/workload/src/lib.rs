@@ -9,16 +9,23 @@
 //! * [`random`]: the synthetic workload of Figs. 10/11 — random schemata
 //!   (5–10 relations of arity 1–5 with random access patterns), random CQs
 //!   (2–6 atoms, at least one join), and random instances (10–10,000 tuples
-//!   per relation drawn from per-domain value pools of 100–1,000 values).
+//!   per relation drawn from per-domain value pools of 100–1,000 values);
+//! * [`overlapping`]: the serving workload for the shared-cache subsystem —
+//!   Example 1's music schema with many conjunctive queries whose access
+//!   sets heavily intersect (popular-entity traffic).
 //!
 //! All generators are deterministic given a seed, so experiments and tests
 //! are reproducible.
 
 #![warn(missing_docs)]
 
+pub mod overlapping;
 pub mod publications;
 pub mod random;
 
+pub use overlapping::{
+    music_instance, music_schema, overlapping_queries, MusicConfig, OverlapParams,
+};
 pub use publications::{
     paper_queries, publication_instance, publication_schema, PublicationConfig,
 };

@@ -1,0 +1,90 @@
+//! Sessions & caching: warm vs. cold access counts on Example 1.
+//!
+//! A serving deployment answers many overlapping queries over the same
+//! sources. With the default per-query meta-cache every query re-pays every
+//! remote access; with a session-level [`SharedAccessCache`] each access is
+//! paid once *across* the whole workload, and a snapshot carries the warmth
+//! over a restart.
+//!
+//! Run with: `cargo run --example cached_session`
+
+use std::sync::Arc;
+
+use toorjah::cache::SharedAccessCache;
+use toorjah::engine::{InstanceSource, SourceProvider};
+use toorjah::system::Toorjah;
+use toorjah::workload::{
+    music_instance, music_schema, overlapping_queries, MusicConfig, OverlapParams,
+};
+
+fn main() {
+    let schema = music_schema();
+    let db = music_instance(&schema, &MusicConfig::default());
+    let provider: Arc<dyn SourceProvider> = Arc::new(InstanceSource::new(schema.clone(), db));
+    let queries = overlapping_queries(&OverlapParams::default());
+
+    // Cold: the paper's one-shot semantics — every query starts from an
+    // empty meta-cache.
+    let cold_system = Toorjah::from_arc(Arc::clone(&provider));
+    let cold_total: usize = queries
+        .iter()
+        .map(|q| {
+            cold_system
+                .ask(q)
+                .expect("workload query")
+                .stats
+                .total_accesses
+        })
+        .sum();
+
+    // Warm: one session cache shared by all queries.
+    let cache = SharedAccessCache::unbounded();
+    let session = Toorjah::from_arc(Arc::clone(&provider)).with_cache(cache.clone());
+    println!("== session over {} overlapping queries ==", queries.len());
+    let mut warm_total = 0usize;
+    for (i, q) in queries.iter().enumerate() {
+        let result = session.ask(q).expect("workload query");
+        warm_total += result.stats.total_accesses;
+        println!(
+            "  q{i:02}: {:>3} accesses ({:>3} cache hits)  {q}",
+            result.stats.total_accesses, result.cache_hits
+        );
+    }
+
+    println!("\n== cold vs. warm ==");
+    println!("  per-query caches: {cold_total:>4} total accesses");
+    println!("  shared cache:     {warm_total:>4} total accesses");
+    println!(
+        "  reduction:        {:>4.0}%",
+        100.0 * (1.0 - warm_total as f64 / cold_total as f64)
+    );
+    println!("  cache: {}", cache.stats());
+
+    // Warm-start: snapshot the session, "restart", reload, re-run.
+    let snapshot = cache.snapshot(&schema);
+    let restarted = SharedAccessCache::unbounded();
+    let report = restarted
+        .load_snapshot(&schema, &snapshot)
+        .expect("own snapshot reloads");
+    let warm_started = Toorjah::from_arc(provider).with_cache(restarted);
+    let replay_total: usize = queries
+        .iter()
+        .map(|q| {
+            warm_started
+                .ask(q)
+                .expect("workload query")
+                .stats
+                .total_accesses
+        })
+        .sum();
+    println!("\n== warm-start after restart ==");
+    println!(
+        "  snapshot: {} lines, {} bytes; reloaded {} accesses",
+        snapshot.lines().count(),
+        snapshot.len(),
+        report.loaded
+    );
+    println!("  replayed workload: {replay_total} accesses");
+    assert_eq!(replay_total, 0, "a warm-started session pays nothing");
+    assert!(warm_total < cold_total, "sharing must save accesses");
+}

@@ -11,6 +11,7 @@
 //! | module | contents |
 //! |--------|----------|
 //! | [`catalog`] | abstract domains, access patterns, schemas, instances |
+//! | [`cache`] | the shared cross-query access cache: sharding, eviction, warm-start |
 //! | [`query`] | conjunctive queries, parsing, preprocessing, containment, minimization |
 //! | [`datalog`] | Datalog programs and semi-naive evaluation (plan representation) |
 //! | [`core`] | d-graphs, the GFP algorithm, relevance, orderings, ⊂-minimal plans |
@@ -49,6 +50,7 @@
 
 #![warn(missing_docs)]
 
+pub use toorjah_cache as cache;
 pub use toorjah_catalog as catalog;
 pub use toorjah_core as core;
 pub use toorjah_datalog as datalog;

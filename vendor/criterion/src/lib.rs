@@ -11,7 +11,10 @@
 //! executor and to track regressions by eye. Set
 //! `CRITERION_MEASURE_MS=<n>` to change the per-benchmark window (default
 //! 500 ms; 0 runs each benchmark exactly once, which keeps `cargo test
-//! --benches` fast).
+//! --benches` fast). Passing `--test` to the bench binary (`cargo bench --
+//! --test`) likewise smoke-runs each benchmark exactly once, mirroring
+//! upstream criterion's behavior — CI uses it to keep bench targets
+//! compiling and running without paying for measurements.
 
 #![warn(missing_docs)]
 
@@ -30,10 +33,17 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        let ms = std::env::var("CRITERION_MEASURE_MS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(500);
+        // `cargo bench -- --test`: smoke mode, one iteration per benchmark
+        // (upstream criterion's --test flag).
+        let smoke = std::env::args().any(|a| a == "--test");
+        let ms = if smoke {
+            0
+        } else {
+            std::env::var("CRITERION_MEASURE_MS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(500)
+        };
         Criterion {
             measure: Duration::from_millis(ms),
         }

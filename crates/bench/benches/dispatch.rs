@@ -1,0 +1,75 @@
+//! Criterion benchmarks of frontier dispatch on the overlapping music
+//! workload over a slow (real-sleep) source: the sequential path vs a
+//! batched round-trip path vs an 8-way parallel worker pool. Answers and
+//! access counts are identical across the three — the benchmark measures
+//! exactly the wall-clock the dispatcher buys back from source latency.
+//!
+//! Run in smoke mode (CI) with: `cargo bench -p toorjah-bench --bench
+//! dispatch -- --test`.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use toorjah_engine::{DispatchOptions, InstanceSource, LatencySource, SourceProvider};
+use toorjah_system::Toorjah;
+use toorjah_workload::{
+    music_instance, music_schema, overlapping_queries, MusicConfig, OverlapParams,
+};
+
+fn setup() -> (Arc<dyn SourceProvider>, Vec<String>) {
+    let schema = music_schema();
+    let db = music_instance(&schema, &MusicConfig::default());
+    // 200 µs per round trip, really slept: access latency dominates, as in
+    // the paper's web-wrapper setting (§V).
+    let provider: Arc<dyn SourceProvider> = Arc::new(
+        LatencySource::new(InstanceSource::new(schema, db), Duration::from_micros(200))
+            .with_real_sleep(),
+    );
+    let queries = overlapping_queries(&OverlapParams {
+        queries: 8,
+        ..OverlapParams::default()
+    });
+    (provider, queries)
+}
+
+fn run_workload(system: &Toorjah, queries: &[String]) -> usize {
+    queries
+        .iter()
+        .map(|q| {
+            system
+                .ask(std::hint::black_box(q))
+                .expect("workload queries are answerable")
+                .stats
+                .total_accesses
+        })
+        .sum()
+}
+
+fn dispatch_modes(c: &mut Criterion) {
+    let (provider, queries) = setup();
+    let mut group = c.benchmark_group("dispatch_workload");
+
+    group.bench_function("sequential", |b| {
+        let system =
+            Toorjah::from_arc(Arc::clone(&provider)).with_dispatch(DispatchOptions::sequential());
+        b.iter(|| run_workload(&system, &queries))
+    });
+
+    group.bench_function("batched_round_trips", |b| {
+        let system = Toorjah::from_arc(Arc::clone(&provider))
+            .with_dispatch(DispatchOptions::sequential().with_batch_size(16));
+        b.iter(|| run_workload(&system, &queries))
+    });
+
+    group.bench_function("parallel_8", |b| {
+        let system =
+            Toorjah::from_arc(Arc::clone(&provider)).with_dispatch(DispatchOptions::parallel(8));
+        b.iter(|| run_workload(&system, &queries))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, dispatch_modes);
+criterion_main!(benches);

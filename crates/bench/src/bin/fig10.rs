@@ -97,6 +97,7 @@ fn main() {
 
             let naive_opts = NaiveOptions {
                 max_accesses: budget,
+                ..NaiveOptions::default()
             };
             let exec_opts = ExecOptions {
                 max_accesses: budget,

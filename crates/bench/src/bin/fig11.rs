@@ -95,6 +95,7 @@ fn main() {
                 &provider,
                 NaiveOptions {
                     max_accesses: budget,
+                    ..NaiveOptions::default()
                 },
             );
             let naive_time = wall.elapsed() + provider.simulated_cost();

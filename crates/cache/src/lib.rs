@@ -40,7 +40,7 @@ mod snapshot;
 mod stats;
 
 pub use config::{CacheConfig, EvictionPolicy};
-pub use shard::{Lookup, LookupOutcome, SharedAccessCache};
+pub use shard::{BatchLookup, LoadResult, Lookup, LookupOutcome, SharedAccessCache};
 pub use snapshot::{SnapshotError, SnapshotReport};
 pub use stats::CacheStats;
 

@@ -8,13 +8,13 @@ use std::sync::atomic::Ordering;
 use std::sync::{Arc, Condvar, Mutex as StdMutex, PoisonError};
 
 use parking_lot::Mutex;
-use toorjah_catalog::{RelationId, Tuple};
+use toorjah_catalog::{AccessKey, RelationId, Tuple};
 
 use crate::{CacheConfig, CacheStats, Counters};
 
 /// Cache key: one access in the paper's sense (§II) — a relation plus the
 /// tuple of values bound to its input positions.
-pub(crate) type Key = (RelationId, Tuple);
+pub(crate) type Key = AccessKey;
 
 /// How a lookup was satisfied.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -47,6 +47,45 @@ pub struct Lookup {
     pub tuples: Arc<[Tuple]>,
     /// How the lookup was satisfied.
     pub outcome: LookupOutcome,
+}
+
+/// Per-request outcome reported by a batch loader (the closure handed to
+/// [`SharedAccessCache::get_or_load_batch`]). Mirrors the semantics of a
+/// batched source round trip: some requests return extractions, one may
+/// fail, and requests after a failure may never have been attempted.
+#[derive(Clone, Debug)]
+pub enum LoadResult<E> {
+    /// The access was performed and returned these tuples.
+    Loaded(Vec<Tuple>),
+    /// The access was attempted and failed; nothing is retained for it.
+    Failed(E),
+    /// The access was never attempted (the loader aborted the batch after an
+    /// earlier failure, or refused it — e.g. a budget check); nothing is
+    /// retained for it.
+    Skipped,
+}
+
+/// Per-request outcome of [`SharedAccessCache::get_or_load_batch`], aligned
+/// with the request slice.
+#[derive(Clone, Debug)]
+pub enum BatchLookup<E> {
+    /// The request was satisfied — retained, coalesced, or loaded by this
+    /// call; see [`Lookup::outcome`].
+    Served(Lookup),
+    /// The loader attempted this access and it failed.
+    Failed(E),
+    /// The loader never attempted this access.
+    Skipped,
+}
+
+impl<E> BatchLookup<E> {
+    /// The extraction, when the request was served.
+    pub fn served(&self) -> Option<&Lookup> {
+        match self {
+            BatchLookup::Served(lookup) => Some(lookup),
+            _ => None,
+        }
+    }
 }
 
 /// In-flight access shared between the performing thread (the *leader*) and
@@ -422,6 +461,179 @@ impl SharedAccessCache {
                 }
             }
         }
+    }
+
+    /// Batched [`SharedAccessCache::get_or_load`]: resolves every request of
+    /// `requests` with (at most) one loader invocation per resolution round.
+    ///
+    /// Retained requests are served as hits; requests currently led by a
+    /// concurrent caller are waited on and coalesced; every remaining
+    /// request is *claimed at once* — its `Pending` slot inserted under the
+    /// shard lock — and the full set of claimed keys is handed to `load` in
+    /// a single call, so a provider with a batched endpoint pays one round
+    /// trip for the whole miss set. The loader must return one
+    /// [`LoadResult`] per key it was given, in order (missing entries are
+    /// treated as `Skipped`): `Loaded` extractions are retained and their
+    /// single-flight waiters woken; `Failed` and `Skipped` entries retain
+    /// nothing, and waiters retry from scratch — exactly the failure
+    /// semantics of a single-key load.
+    ///
+    /// Duplicate keys within `requests` are loaded once: later occurrences
+    /// are served as plain hits of the first occurrence's extraction, or
+    /// mirror its failure as `Skipped`.
+    ///
+    /// `load` is `FnMut` because a wait on a concurrent leader's flight can
+    /// fail (that leader's access errored), in which case this caller
+    /// re-classifies the key — possibly leading it — and invokes the loader
+    /// again with the smaller key set.
+    pub fn get_or_load_batch<E>(
+        &self,
+        requests: &[Key],
+        mut load: impl FnMut(&[Key]) -> Vec<LoadResult<E>>,
+    ) -> Vec<BatchLookup<E>> {
+        let counters = &self.inner.counters;
+        let mut out: Vec<Option<BatchLookup<E>>> = requests.iter().map(|_| None).collect();
+        let mut unresolved: Vec<usize> = (0..requests.len()).collect();
+        while !unresolved.is_empty() {
+            let mut led: Vec<(usize, Arc<Flight>)> = Vec::new();
+            let mut waits: Vec<(usize, Arc<Flight>)> = Vec::new();
+            let mut dups: Vec<(usize, usize)> = Vec::new();
+            let mut leader_of: HashMap<&Key, usize> = HashMap::new();
+            for &i in &unresolved {
+                let key = &requests[i];
+                if let Some(&leader) = leader_of.get(key) {
+                    dups.push((i, leader));
+                    continue;
+                }
+                let mut shard = self.shard_for(key).lock();
+                let retained = match shard.map.get(key) {
+                    Some(Slot::Ready(ready)) => Some(Arc::clone(&ready.tuples)),
+                    _ => None,
+                };
+                if let Some(tuples) = retained {
+                    let tick = shard.touch(key);
+                    if let Some(Slot::Ready(ready)) = shard.map.get_mut(key) {
+                        ready.last_used = tick;
+                    }
+                    drop(shard);
+                    Counters::bump(&counters.hits);
+                    out[i] = Some(BatchLookup::Served(Lookup {
+                        tuples,
+                        outcome: LookupOutcome::Hit,
+                    }));
+                } else {
+                    match shard.map.entry(key.clone()) {
+                        Entry::Occupied(occupied) => match occupied.get() {
+                            Slot::Pending(flight) => waits.push((i, Arc::clone(flight))),
+                            Slot::Ready(_) => unreachable!("handled by the fast path"),
+                        },
+                        Entry::Vacant(vacant) => {
+                            let flight = Flight::new();
+                            vacant.insert(Slot::Pending(Arc::clone(&flight)));
+                            leader_of.insert(key, i);
+                            led.push((i, flight));
+                        }
+                    }
+                }
+            }
+
+            if !led.is_empty() {
+                // Panic safety: if `load` (user code) unwinds, fail every
+                // led flight so concurrent waiters retry instead of blocking
+                // forever on keys nobody will ever complete.
+                struct BatchGuard<'a> {
+                    cache: &'a SharedAccessCache,
+                    requests: &'a [Key],
+                    led: &'a [(usize, Arc<Flight>)],
+                    armed: bool,
+                }
+                impl Drop for BatchGuard<'_> {
+                    fn drop(&mut self) {
+                        if self.armed {
+                            for (i, flight) in self.led {
+                                self.cache.abort_load(&self.requests[*i]);
+                                flight.finish(None);
+                            }
+                        }
+                    }
+                }
+                let keys: Vec<Key> = led.iter().map(|(i, _)| requests[*i].clone()).collect();
+                let mut guard = BatchGuard {
+                    cache: self,
+                    requests,
+                    led: &led,
+                    armed: true,
+                };
+                let mut results = load(&keys);
+                guard.armed = false;
+                drop(guard);
+                debug_assert_eq!(results.len(), led.len(), "one LoadResult per led key");
+                while results.len() < led.len() {
+                    results.push(LoadResult::Skipped);
+                }
+                for ((i, flight), result) in led.into_iter().zip(results) {
+                    let key = &requests[i];
+                    match result {
+                        LoadResult::Loaded(tuples) => {
+                            let tuples: Arc<[Tuple]> = tuples.into();
+                            self.complete_load(key, Arc::clone(&tuples));
+                            Counters::bump(&counters.misses);
+                            flight.finish(Some(Arc::clone(&tuples)));
+                            out[i] = Some(BatchLookup::Served(Lookup {
+                                tuples,
+                                outcome: LookupOutcome::Loaded,
+                            }));
+                        }
+                        LoadResult::Failed(e) => {
+                            self.abort_load(key);
+                            Counters::bump(&counters.load_failures);
+                            flight.finish(None);
+                            out[i] = Some(BatchLookup::Failed(e));
+                        }
+                        LoadResult::Skipped => {
+                            self.abort_load(key);
+                            flight.finish(None);
+                            out[i] = Some(BatchLookup::Skipped);
+                        }
+                    }
+                }
+            }
+
+            // Duplicates of keys this round led: hits of the leader's
+            // extraction (the sequential path would find them retained).
+            for (i, leader) in dups {
+                out[i] = Some(match &out[leader] {
+                    Some(BatchLookup::Served(lookup)) => {
+                        Counters::bump(&counters.hits);
+                        BatchLookup::Served(Lookup {
+                            tuples: Arc::clone(&lookup.tuples),
+                            outcome: LookupOutcome::Hit,
+                        })
+                    }
+                    _ => BatchLookup::Skipped,
+                });
+            }
+
+            // Wait on concurrent leaders; a failed flight sends its key back
+            // through classification (this caller may lead it next round).
+            let mut next_unresolved = Vec::new();
+            for (i, flight) in waits {
+                match flight.wait() {
+                    Some(tuples) => {
+                        Counters::bump(&counters.coalesced_hits);
+                        out[i] = Some(BatchLookup::Served(Lookup {
+                            tuples,
+                            outcome: LookupOutcome::CoalescedHit,
+                        }));
+                    }
+                    None => next_unresolved.push(i),
+                }
+            }
+            unresolved = next_unresolved;
+        }
+        out.into_iter()
+            .map(|o| o.expect("every request is resolved"))
+            .collect()
     }
 
     /// Replaces this caller's pending slot with the loaded extraction and
@@ -847,6 +1059,118 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.misses, 1, "exactly one successful source access");
         assert_eq!(stats.load_failures, 1);
+    }
+
+    #[test]
+    fn batch_load_serves_hits_misses_and_duplicates() {
+        let cache = SharedAccessCache::unbounded();
+        let r = RelationId(0);
+        cache
+            .get_or_load(r, &k(1), || Ok::<_, ()>(extraction(1)))
+            .unwrap();
+        let requests = vec![(r, k(1)), (r, k(2)), (r, k(2)), (r, k(3))];
+        let mut loaded_keys = Vec::new();
+        let results = cache.get_or_load_batch::<()>(&requests, |keys| {
+            loaded_keys = keys.to_vec();
+            keys.iter()
+                .map(|(_, b)| LoadResult::Loaded(vec![b.clone()]))
+                .collect()
+        });
+        // One loader call, exactly the missing distinct keys.
+        assert_eq!(loaded_keys, vec![(r, k(2)), (r, k(3))]);
+        let outcomes: Vec<LookupOutcome> = results
+            .iter()
+            .map(|b| b.served().expect("all served").outcome)
+            .collect();
+        assert_eq!(
+            outcomes,
+            vec![
+                LookupOutcome::Hit,
+                LookupOutcome::Loaded,
+                LookupOutcome::Hit, // duplicate of the in-batch load
+                LookupOutcome::Loaded,
+            ]
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 3);
+        assert_eq!(stats.hits, 2);
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn batch_mid_failure_retains_the_loaded_prefix_only() {
+        let cache = SharedAccessCache::unbounded();
+        let r = RelationId(0);
+        let requests = vec![(r, k(1)), (r, k(2)), (r, k(3))];
+        let results = cache.get_or_load_batch::<&str>(&requests, |_| {
+            vec![
+                LoadResult::Loaded(extraction(1)),
+                LoadResult::Failed("boom"),
+                LoadResult::Skipped,
+            ]
+        });
+        assert!(matches!(&results[0], BatchLookup::Served(l) if l.outcome.loaded()));
+        assert!(matches!(results[1], BatchLookup::Failed("boom")));
+        assert!(matches!(results[2], BatchLookup::Skipped));
+        assert!(cache.contains(r, &k(1)));
+        assert!(!cache.contains(r, &k(2)), "failed access retains nothing");
+        assert!(!cache.contains(r, &k(3)), "skipped access retains nothing");
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.load_failures, 1);
+    }
+
+    #[test]
+    fn concurrent_batches_coalesce_to_one_load_per_key() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let cache = SharedAccessCache::unbounded();
+        let r = RelationId(0);
+        let loads = AtomicUsize::new(0);
+        let barrier = std::sync::Barrier::new(4);
+        let requests: Vec<Key> = (0..6).map(|i| (r, k(i))).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    barrier.wait();
+                    let results = cache.get_or_load_batch::<()>(&requests, |keys| {
+                        keys.iter()
+                            .map(|_| {
+                                loads.fetch_add(1, Ordering::SeqCst);
+                                std::thread::sleep(std::time::Duration::from_millis(5));
+                                LoadResult::Loaded(extraction(0))
+                            })
+                            .collect()
+                    });
+                    assert!(results.iter().all(|b| b.served().is_some()));
+                });
+            }
+        });
+        assert_eq!(
+            loads.load(Ordering::SeqCst),
+            6,
+            "each key loaded exactly once across all concurrent batches"
+        );
+        assert_eq!(cache.stats().misses, 6);
+    }
+
+    #[test]
+    fn a_panicking_batch_loader_does_not_wedge_its_keys() {
+        let cache = SharedAccessCache::unbounded();
+        let r = RelationId(0);
+        let requests = vec![(r, k(1)), (r, k(2))];
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = cache.get_or_load_batch::<()>(&requests, |_| panic!("buggy batch provider"));
+        }));
+        assert!(unwound.is_err());
+        assert!(!cache.contains(r, &k(1)));
+        assert!(!cache.contains(r, &k(2)));
+        // Both keys immediately usable again.
+        let results = cache.get_or_load_batch::<()>(&requests, |keys| {
+            keys.iter()
+                .map(|_| LoadResult::Loaded(extraction(1)))
+                .collect()
+        });
+        assert!(results.iter().all(|b| b.served().is_some()));
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub use domain::{Domain, DomainId, DomainRegistry};
 pub use error::CatalogError;
 pub use instance::{Instance, RelationData};
 pub use pattern::{AccessPattern, Mode};
-pub use relation::{RelationId, RelationSchema};
+pub use relation::{AccessKey, RelationId, RelationSchema};
 pub use schema::{Schema, SchemaBuilder};
 pub use tuple::Tuple;
 pub use value::Value;

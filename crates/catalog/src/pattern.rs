@@ -132,6 +132,16 @@ impl AccessPattern {
     pub fn output_count(&self) -> usize {
         self.arity() - self.input_count()
     }
+
+    /// The access binding for a fully instantiated atom: the values at the
+    /// input positions, in pattern order — the tuple half of an
+    /// [`crate::AccessKey`].
+    ///
+    /// # Panics
+    /// Panics if `values` is shorter than the pattern's arity.
+    pub fn binding_of(&self, values: &[crate::Value]) -> crate::Tuple {
+        self.input_positions().map(|k| values[k].clone()).collect()
+    }
 }
 
 impl FromStr for AccessPattern {

@@ -23,6 +23,14 @@ impl fmt::Display for RelationId {
     }
 }
 
+/// One access in the paper's sense (§II): a relation plus the tuple of
+/// values bound to its input positions, in pattern order.
+///
+/// This is the key under which access logs, meta-caches and the shared
+/// access cache identify an access — the unit the frontier-batched
+/// dispatcher hands out to workers.
+pub type AccessKey = (RelationId, crate::Tuple);
+
 /// A relation schema: name, abstract domain per position, access pattern.
 ///
 /// The paper uses positional notation — the `Ai` are abstract domains, not

@@ -11,6 +11,13 @@ use std::collections::{HashMap, HashSet};
 
 use toorjah_catalog::{RelationId, Schema, Tuple};
 
+/// Default hard cap on distinct accesses per execution, shared by every
+/// evaluator ([`crate::ExecOptions`], [`crate::NaiveOptions`], and the
+/// distillation executor). Large enough to never bind on the paper's
+/// workloads, small enough to stop a combinatorial blow-up (many-input
+/// relations under the naive algorithm) before it exhausts memory.
+pub const DEFAULT_ACCESS_BUDGET: usize = 10_000_000;
+
 /// A deduplicating log of performed accesses with per-relation counters.
 #[derive(Clone, Default, Debug)]
 pub struct AccessLog {

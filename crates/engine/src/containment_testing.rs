@@ -107,6 +107,7 @@ pub fn refute_obtainable_containment(
         let src = InstanceSource::new(schema.clone(), db);
         let opts = NaiveOptions {
             max_accesses: options.max_accesses,
+            ..NaiveOptions::default()
         };
         let a1 = naive_evaluate(q1, schema, &src, opts)?;
         let a2 = naive_evaluate(q2, schema, &src, opts)?;

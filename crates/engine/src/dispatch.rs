@@ -1,0 +1,476 @@
+//! Frontier-batched parallel access dispatch.
+//!
+//! The paper's cost model makes the *set* of accesses the only quantity that
+//! matters (§IV): the answer computed by a plan is determined by which
+//! accesses are performed, never by the order they are performed in — the
+//! observation "Determining Relevance of Accesses at Runtime"
+//! (Benedikt–Gottlob–Senellart) and the result-bounded-interface line of
+//! work (Amarilli–Benedikt) both build on. This module exploits that
+//! freedom for wall-clock: the evaluators *collect* the frontier of new
+//! `(relation, binding)` pairs each round derives and hand it to
+//! [`dispatch_frontier`], which chunks it into batches of
+//! [`DispatchOptions::batch_size`] and fans the batches out over
+//! [`DispatchOptions::parallelism`] scoped worker threads
+//! (`crossbeam::thread::scope`). Every load is routed through
+//! [`SharedAccessCache::get_or_load_batch`]'s single-flight path, so access
+//! deduplication, budget enforcement and cross-query sharing survive
+//! concurrency unchanged — no access is ever repeated, by any number of
+//! threads.
+//!
+//! **Determinism.** Extraction results are folded into the [`AccessLog`] and
+//! returned to the caller in frontier order, whatever order the workers
+//! finished in. Answers, access counts and cache hit/miss totals are
+//! therefore invariant in `parallelism` and `batch_size`; only wall-clock
+//! (and, for latency-accounted sources, the number of round trips) changes.
+//! `tests/parallel.rs` asserts this invariance.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use toorjah_cache::{BatchLookup, LoadResult, SharedAccessCache};
+use toorjah_catalog::{AccessKey, Tuple};
+
+use crate::{AccessLog, EngineError, SourceProvider};
+
+/// How a frontier of accesses is fanned out; threaded through
+/// [`crate::ExecOptions`] and [`crate::NaiveOptions`] into every evaluator.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DispatchOptions {
+    /// Number of worker threads the frontier's batches are spread over.
+    /// `1` (the default) keeps dispatch on the calling thread — the
+    /// sequential path, byte-for-byte the paper's execution.
+    pub parallelism: usize,
+    /// Number of accesses handed to one source round trip
+    /// ([`SourceProvider::access_batch`]) at once. `1` (the default)
+    /// reproduces one-access-per-round-trip sources.
+    pub batch_size: usize,
+}
+
+impl Default for DispatchOptions {
+    fn default() -> Self {
+        DispatchOptions {
+            parallelism: 1,
+            batch_size: 1,
+        }
+    }
+}
+
+impl DispatchOptions {
+    /// The sequential path: one access per round trip, on the calling
+    /// thread. This is the default.
+    pub fn sequential() -> Self {
+        DispatchOptions::default()
+    }
+
+    /// Fan accesses out over `parallelism` worker threads (round trips stay
+    /// one access each; combine with [`DispatchOptions::with_batch_size`]
+    /// for batched round trips).
+    pub fn parallel(parallelism: usize) -> Self {
+        DispatchOptions {
+            parallelism,
+            batch_size: 1,
+        }
+    }
+
+    /// Replaces the batch size.
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size;
+        self
+    }
+
+    fn effective(self) -> (usize, usize) {
+        (self.parallelism.max(1), self.batch_size.max(1))
+    }
+}
+
+/// What the dispatcher did during one execution: per-round frontier sizes
+/// and batch counts, surfaced in [`crate::ExecutionReport`],
+/// [`crate::NaiveResult`], [`crate::UnionReport`] and the system layer's
+/// `AskResult`.
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct DispatchReport {
+    /// Size of every non-empty frontier handed to the dispatcher, in
+    /// dispatch order — one entry per evaluator round that had work.
+    pub frontier_sizes: Vec<usize>,
+    /// Total number of batches the frontiers were chunked into (each batch
+    /// is at most one source round trip; batches fully served by the cache
+    /// never reach the source).
+    pub batches: usize,
+}
+
+impl DispatchReport {
+    /// Number of frontiers dispatched (evaluator rounds with work).
+    pub fn frontiers(&self) -> usize {
+        self.frontier_sizes.len()
+    }
+
+    /// Total accesses requested across all frontiers (before cache dedup).
+    pub fn total_requested(&self) -> usize {
+        self.frontier_sizes.iter().sum()
+    }
+
+    /// The largest single frontier — the available parallelism ceiling.
+    pub fn largest_frontier(&self) -> usize {
+        self.frontier_sizes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Folds another report into this one (union execution, negation
+    /// levels).
+    pub fn merge(&mut self, other: &DispatchReport) {
+        self.frontier_sizes.extend_from_slice(&other.frontier_sizes);
+        self.batches += other.batches;
+    }
+
+    /// One-line rendering for reports and the CLI.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} frontier(s), largest {}, {} batch(es)",
+            self.frontiers(),
+            self.largest_frontier(),
+            self.batches
+        )
+    }
+}
+
+/// Performs every access of `frontier` through the shared cache and returns
+/// the extractions aligned with the frontier.
+///
+/// Duplicate keys are loaded once; later occurrences share the extraction
+/// and are logged as cache-served, exactly as under one-at-a-time dispatch.
+/// The budget is enforced with a shared reservation counter seeded from
+/// `log.total()`, so no more than `max_accesses` distinct accesses are ever
+/// performed regardless of thread interleaving; accesses the log already
+/// contains (re-performed after an eviction) stay exempt, mirroring the
+/// sequential path. On failure, every access that *did* reach the source is
+/// still folded into the log before the error is returned — the log reports
+/// reality.
+pub(crate) fn dispatch_frontier(
+    cache: &SharedAccessCache,
+    provider: &dyn SourceProvider,
+    log: &mut AccessLog,
+    frontier: &[AccessKey],
+    options: DispatchOptions,
+    max_accesses: usize,
+    report: &mut DispatchReport,
+) -> Result<Vec<Arc<[Tuple]>>, EngineError> {
+    if frontier.is_empty() {
+        return Ok(Vec::new());
+    }
+    let (parallelism, batch_size) = options.effective();
+
+    // Deduplicate while preserving first-occurrence order.
+    let mut slot_of: HashMap<&AccessKey, usize> = HashMap::with_capacity(frontier.len());
+    let mut unique: Vec<&AccessKey> = Vec::with_capacity(frontier.len());
+    let mut slots: Vec<usize> = Vec::with_capacity(frontier.len());
+    for key in frontier {
+        let slot = *slot_of.entry(key).or_insert_with(|| {
+            unique.push(key);
+            unique.len() - 1
+        });
+        slots.push(slot);
+    }
+    let keys: Vec<AccessKey> = unique.iter().map(|k| (*k).clone()).collect();
+
+    // Budget exemptions: keys this query already paid for (re-performed
+    // after an eviction) do not consume budget, as in the sequential path.
+    let exempt: HashSet<&AccessKey> = unique
+        .iter()
+        .copied()
+        .filter(|(rel, binding)| log.contains(*rel, binding))
+        .collect();
+
+    let chunks: Vec<&[AccessKey]> = keys.chunks(batch_size).collect();
+    report.frontier_sizes.push(frontier.len());
+    report.batches += chunks.len();
+
+    // Distinct accesses performed so far (shared budget reservation).
+    let performed = AtomicUsize::new(log.total());
+    let process = |chunk: &[AccessKey]| -> Vec<BatchLookup<EngineError>> {
+        cache.get_or_load_batch(chunk, |led| {
+            // Reserve budget for every non-exempt key, in order; the first
+            // key that cannot be reserved fails the batch there, and the
+            // remainder is never attempted.
+            let mut attempt = led.len();
+            let mut busted = false;
+            for (j, key) in led.iter().enumerate() {
+                if exempt.contains(key) {
+                    continue;
+                }
+                if !reserve(&performed, max_accesses) {
+                    attempt = j;
+                    busted = true;
+                    break;
+                }
+            }
+            let mut out = provider.access_batch(&led[..attempt]);
+            out.truncate(attempt);
+            if busted {
+                out.push(LoadResult::Failed(EngineError::AccessBudgetExceeded {
+                    limit: max_accesses,
+                }));
+            }
+            while out.len() < led.len() {
+                out.push(LoadResult::Skipped);
+            }
+            out
+        })
+    };
+
+    // Outcomes per unique key, scattered back from whichever thread ran the
+    // key's batch.
+    let mut outcomes: Vec<Option<BatchLookup<EngineError>>> = keys.iter().map(|_| None).collect();
+    let workers = parallelism.min(chunks.len());
+    if workers <= 1 {
+        for (b, chunk) in chunks.iter().enumerate() {
+            let results = process(chunk);
+            let stop = results.iter().any(|r| r.served().is_none());
+            scatter(&mut outcomes, b, batch_size, results);
+            if stop {
+                break;
+            }
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        let abort = AtomicBool::new(false);
+        let completed = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut done: Vec<(usize, Vec<BatchLookup<EngineError>>)> = Vec::new();
+                        loop {
+                            if abort.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            let b = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(chunk) = chunks.get(b) else {
+                                break;
+                            };
+                            let results = process(chunk);
+                            if results.iter().any(|r| r.served().is_none()) {
+                                abort.store(true, Ordering::Relaxed);
+                            }
+                            done.push((b, results));
+                        }
+                        done
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("dispatch worker panicked"))
+                .collect::<Vec<_>>()
+        })
+        .expect("dispatch scope");
+        for (b, results) in completed {
+            scatter(&mut outcomes, b, batch_size, results);
+        }
+    }
+
+    // Fold reality into the log first — every access that reached the
+    // source is recorded (in deterministic first-occurrence order), even
+    // when a sibling batch failed.
+    for (key, outcome) in unique.iter().zip(&outcomes) {
+        if let Some(BatchLookup::Served(lookup)) = outcome {
+            if lookup.outcome.loaded() {
+                log.record(key.0, key.1.clone());
+                log.record_extracted(key.0, lookup.tuples.iter());
+            }
+        }
+    }
+    // Propagate the first failure (in frontier order).
+    for outcome in &outcomes {
+        if let Some(BatchLookup::Failed(e)) = outcome {
+            return Err(e.clone());
+        }
+    }
+    if outcomes
+        .iter()
+        .any(|o| !matches!(o, Some(BatchLookup::Served(_))))
+    {
+        // Skipped entries without a recorded failure cannot happen with a
+        // contract-abiding provider; surface them instead of panicking.
+        return Err(EngineError::SourceFailure {
+            relation: "<batch>".to_string(),
+            detail: "provider skipped accesses without reporting a failure".to_string(),
+        });
+    }
+
+    // Success: account cache service per *request* (duplicates and warm
+    // hits are free under the set semantics) and hand back the extractions
+    // aligned with the frontier.
+    let mut first_seen = vec![false; unique.len()];
+    let mut extractions = Vec::with_capacity(frontier.len());
+    for &slot in &slots {
+        let Some(BatchLookup::Served(lookup)) = &outcomes[slot] else {
+            unreachable!("checked above");
+        };
+        if !first_seen[slot] {
+            first_seen[slot] = true;
+            if !lookup.outcome.loaded() {
+                log.record_cache_served();
+            }
+        } else {
+            log.record_cache_served();
+        }
+        extractions.push(Arc::clone(&lookup.tuples));
+    }
+    Ok(extractions)
+}
+
+/// Writes one batch's results into the per-unique-key outcome table.
+fn scatter(
+    outcomes: &mut [Option<BatchLookup<EngineError>>],
+    batch_index: usize,
+    batch_size: usize,
+    results: Vec<BatchLookup<EngineError>>,
+) {
+    let base = batch_index * batch_size;
+    for (offset, result) in results.into_iter().enumerate() {
+        outcomes[base + offset] = Some(result);
+    }
+}
+
+/// Reserves one unit of access budget; `false` when the budget is
+/// exhausted.
+fn reserve(counter: &AtomicUsize, max: usize) -> bool {
+    let mut n = counter.load(Ordering::Relaxed);
+    loop {
+        if n >= max {
+            return false;
+        }
+        match counter.compare_exchange_weak(n, n + 1, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return true,
+            Err(current) => n = current,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::InstanceSource;
+    use toorjah_catalog::{tuple, Instance, RelationId, Schema};
+
+    fn sample() -> InstanceSource {
+        let schema = Schema::parse("r^io(A, B)").unwrap();
+        let db = Instance::with_data(
+            &schema,
+            [(
+                "r",
+                vec![tuple!["a", "b1"], tuple!["a", "b2"], tuple!["c", "d"]],
+            )],
+        )
+        .unwrap();
+        InstanceSource::new(schema, db)
+    }
+
+    fn frontier_of(r: RelationId, values: &[&str]) -> Vec<AccessKey> {
+        values.iter().map(|v| (r, tuple![*v])).collect()
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let src = sample();
+        let r = src.schema().relation_id("r").unwrap();
+        let frontier = frontier_of(r, &["a", "c", "zz", "a"]);
+        let mut runs = Vec::new();
+        for options in [
+            DispatchOptions::sequential(),
+            DispatchOptions::parallel(4),
+            DispatchOptions::parallel(16).with_batch_size(2),
+        ] {
+            let cache = SharedAccessCache::unbounded();
+            let mut log = AccessLog::new();
+            let mut report = DispatchReport::default();
+            let extractions = dispatch_frontier(
+                &cache,
+                &src,
+                &mut log,
+                &frontier,
+                options,
+                usize::MAX,
+                &mut report,
+            )
+            .unwrap();
+            assert_eq!(extractions.len(), 4);
+            assert_eq!(
+                extractions[0], extractions[3],
+                "duplicate shares extraction"
+            );
+            runs.push((
+                log.stats(),
+                log.sequence().to_vec(),
+                log.cache_served(),
+                cache.stats().misses,
+                extractions,
+            ));
+        }
+        for run in &runs[1..] {
+            assert_eq!(run.0, runs[0].0, "stats invariant");
+            assert_eq!(run.1, runs[0].1, "log order invariant");
+            assert_eq!(run.2, runs[0].2, "cache-served invariant");
+            assert_eq!(run.3, runs[0].3, "cache misses invariant");
+            assert_eq!(run.4, runs[0].4, "extractions invariant");
+        }
+        assert_eq!(runs[0].0.total_accesses, 3, "3 distinct accesses");
+        assert_eq!(runs[0].2, 1, "the duplicate was cache-served");
+    }
+
+    #[test]
+    fn budget_is_enforced_under_parallel_dispatch() {
+        let src = sample();
+        let r = src.schema().relation_id("r").unwrap();
+        let frontier = frontier_of(r, &["a", "b", "c", "d", "e", "f", "g", "h"]);
+        let cache = SharedAccessCache::unbounded();
+        let mut log = AccessLog::new();
+        let mut report = DispatchReport::default();
+        let err = dispatch_frontier(
+            &cache,
+            &src,
+            &mut log,
+            &frontier,
+            DispatchOptions::parallel(4),
+            3,
+            &mut report,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::AccessBudgetExceeded { limit: 3 }
+        ));
+        assert!(
+            log.total() <= 3,
+            "never more than the budget is performed, got {}",
+            log.total()
+        );
+    }
+
+    #[test]
+    fn report_counts_frontiers_and_batches() {
+        let src = sample();
+        let r = src.schema().relation_id("r").unwrap();
+        let cache = SharedAccessCache::unbounded();
+        let mut log = AccessLog::new();
+        let mut report = DispatchReport::default();
+        let options = DispatchOptions::parallel(2).with_batch_size(2);
+        for values in [&["a", "b", "c"][..], &["d"][..]] {
+            dispatch_frontier(
+                &cache,
+                &src,
+                &mut log,
+                &frontier_of(r, values),
+                options,
+                usize::MAX,
+                &mut report,
+            )
+            .unwrap();
+        }
+        assert_eq!(report.frontier_sizes, vec![3, 1]);
+        assert_eq!(report.frontiers(), 2);
+        assert_eq!(report.batches, 3, "ceil(3/2) + ceil(1/2)");
+        assert_eq!(report.largest_frontier(), 3);
+        assert_eq!(report.total_requested(), 4);
+        assert!(report.summary().contains("2 frontier(s)"));
+    }
+}

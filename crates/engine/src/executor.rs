@@ -27,11 +27,15 @@
 use std::collections::HashSet;
 
 use toorjah_cache::SharedAccessCache;
-use toorjah_catalog::{RelationId, Tuple, Value};
+use toorjah_catalog::{AccessKey, RelationId, Tuple, Value};
 use toorjah_core::{DomainMode, QueryPlan};
 use toorjah_datalog::{rule_body_satisfiable, rule_head_instances, FactStore, Rule};
 
-use crate::{AccessLog, AccessStats, EngineError, MetaCache, SourceProvider};
+use crate::dispatch::dispatch_frontier;
+use crate::{
+    AccessLog, AccessStats, DispatchOptions, DispatchReport, EngineError, MetaCache,
+    SourceProvider, DEFAULT_ACCESS_BUDGET,
+};
 
 /// Options for plan execution.
 #[derive(Clone, Copy, Debug)]
@@ -41,13 +45,17 @@ pub struct ExecOptions {
     /// Run the early non-emptiness checks (disable to compare against the
     /// plain fixpoint execution; the answer is unaffected).
     pub fail_fast: bool,
+    /// How each round's access frontier is dispatched (worker threads,
+    /// batched round trips). The default is the sequential path.
+    pub dispatch: DispatchOptions,
 }
 
 impl Default for ExecOptions {
     fn default() -> Self {
         ExecOptions {
-            max_accesses: 10_000_000,
+            max_accesses: DEFAULT_ACCESS_BUDGET,
             fail_fast: true,
+            dispatch: DispatchOptions::default(),
         }
     }
 }
@@ -66,6 +74,9 @@ pub struct ExecutionReport {
     pub positions_executed: usize,
     /// Final cache sizes, aligned with [`QueryPlan::caches`].
     pub cache_sizes: Vec<usize>,
+    /// What the frontier dispatcher did: per-round frontier sizes and batch
+    /// counts.
+    pub dispatch: DispatchReport,
 }
 
 /// Executes `plan` against `provider` under the fast-failing strategy.
@@ -163,6 +174,7 @@ pub fn execute_plan_cached(
     let mut facts = FactStore::new();
     let mut failed_at_position = None;
     let mut positions_executed = 0usize;
+    let mut dispatch_report = DispatchReport::default();
     // Semi-naive frontier per cache and input position: the values already
     // used in bindings for that position. A population pass enumerates only
     // binding combinations containing at least one *new* value, so every
@@ -199,7 +211,8 @@ pub fn execute_plan_cached(
                     cache,
                     log,
                     &mut frontiers[cache_idx],
-                    options.max_accesses,
+                    options,
+                    &mut dispatch_report,
                 )?;
             }
             if !changed {
@@ -234,43 +247,17 @@ pub fn execute_plan_cached(
         failed_at_position,
         positions_executed,
         cache_sizes,
+        dispatch: dispatch_report,
     })
 }
 
-/// Performs one access through the shared cache with per-query accounting:
-/// the log records only accesses actually performed against the provider
-/// (hits and coalesced waits are free under the paper's set semantics).
-///
-/// The `max_accesses` budget is enforced *inside* the load path — after the
-/// single-flight machinery has decided this caller really must touch the
-/// source — so there is no check-then-act window against a shared cache
-/// that may evict or fail an in-flight entry concurrently. Re-performing an
-/// access this query already paid for (possible after eviction) stays free
-/// under the set semantics and is exempt from the budget.
-pub(crate) fn cached_access(
-    cache: &SharedAccessCache,
-    provider: &dyn SourceProvider,
-    log: &mut AccessLog,
-    relation: RelationId,
-    binding: &Tuple,
-    max_accesses: usize,
-) -> Result<std::sync::Arc<[Tuple]>, EngineError> {
-    let lookup = cache.get_or_load(relation, binding, || {
-        if log.total() >= max_accesses && !log.contains(relation, binding) {
-            return Err(EngineError::AccessBudgetExceeded {
-                limit: max_accesses,
-            });
-        }
-        provider.access(relation, binding)
-    })?;
-    if lookup.outcome.loaded() {
-        log.record(relation, binding.clone());
-        log.record_extracted(relation, lookup.tuples.iter());
-    } else {
-        log.record_cache_served();
-    }
-    Ok(lookup.tuples)
-}
+// One-at-a-time accesses used to run through a `cached_access` helper here;
+// since the frontier-batched refactor every evaluator collects its round's
+// accesses and hands them to `crate::dispatch::dispatch_frontier`, which
+// keeps the same per-query accounting (the log records only accesses
+// actually performed against the provider; hits and coalesced waits are
+// free) and enforces the budget inside the load path via a shared
+// reservation counter, with no check-then-act window under concurrency.
 
 /// The §IV early test: the conjunction of the answer-rule literals whose
 /// caches are fully populated (position < `position`) must be satisfiable.
@@ -304,6 +291,14 @@ struct PoolFrontier {
 
 /// Populates one cache from the current domain-predicate values; returns
 /// `true` when new tuples were added.
+///
+/// The population is frontier-batched: the pass first *collects* every
+/// fresh binding (the cache's frontier for this round — the binding set is
+/// fully determined by the domain pools snapshot taken here, so collecting
+/// before accessing cannot change it), hands the whole frontier to the
+/// dispatcher, and folds the extractions into the fact store in frontier
+/// order. Answers are bit-identical to one-at-a-time dispatch; only
+/// wall-clock differs.
 #[allow(clippy::too_many_arguments)]
 fn populate_cache(
     plan: &QueryPlan,
@@ -314,7 +309,8 @@ fn populate_cache(
     access_cache: &SharedAccessCache,
     log: &mut AccessLog,
     frontier: &mut [PoolFrontier],
-    max_accesses: usize,
+    options: ExecOptions,
+    dispatch_report: &mut DispatchReport,
 ) -> Result<bool, EngineError> {
     let cache = &plan.caches[cache_idx];
     let mut changed = false;
@@ -352,28 +348,53 @@ fn populate_cache(
         return Ok(false);
     }
 
-    let arity = cache.input_domains.len();
-    if arity == 0 {
-        // Free relation: a single access with the empty binding (the
-        // access cache makes repeats free).
-        let tuples = cached_access(
-            access_cache,
-            provider,
-            log,
-            relation,
-            &Tuple::empty(),
-            max_accesses,
-        )?;
+    let requests = collect_bindings(relation, frontier, &news);
+    let extractions = dispatch_frontier(
+        access_cache,
+        provider,
+        log,
+        &requests,
+        options.dispatch,
+        options.max_accesses,
+        dispatch_report,
+    )?;
+    for tuples in &extractions {
         for t in tuples.iter() {
             changed |= facts.insert(cache.cache_pred, t.clone());
         }
-        return Ok(changed);
     }
 
-    // Pivot decomposition: positions before the pivot take old values, the
-    // pivot takes new values, positions after take old ∪ new — every fresh
-    // combination exactly once ("the relation is accessed only if all the
-    // other conditions succeed"); the meta-cache dedups across caches.
+    // Advance the frontier.
+    for (fr, new) in frontier.iter_mut().zip(news) {
+        for v in new {
+            if fr.seen.insert(v.clone()) {
+                fr.old.push(v);
+            }
+        }
+    }
+    Ok(changed)
+}
+
+/// Collects the round's fresh bindings for one cache: the frontier the
+/// dispatcher fans out.
+///
+/// Pivot decomposition: positions before the pivot take old values, the
+/// pivot takes new values, positions after take old ∪ new — every fresh
+/// combination exactly once ("the relation is accessed only if all the
+/// other conditions succeed"); the shared cache dedups across caches. A
+/// free relation contributes the single empty binding.
+fn collect_bindings(
+    relation: RelationId,
+    frontier: &[PoolFrontier],
+    news: &[Vec<Value>],
+) -> Vec<AccessKey> {
+    let arity = frontier.len();
+    if arity == 0 {
+        // Free relation: a single access with the empty binding (the
+        // access cache makes repeats free).
+        return vec![(relation, Tuple::empty())];
+    }
+    let mut requests: Vec<AccessKey> = Vec::new();
     for pivot in 0..arity {
         let counts: Vec<usize> = (0..arity)
             .map(|p| match p.cmp(&pivot) {
@@ -403,17 +424,7 @@ fn populate_cache(
             let binding: Tuple = (0..arity)
                 .map(|p| value_at(p, odometer[p]).clone())
                 .collect();
-            let tuples = cached_access(
-                access_cache,
-                provider,
-                log,
-                relation,
-                &binding,
-                max_accesses,
-            )?;
-            for t in tuples.iter() {
-                changed |= facts.insert(cache.cache_pred, t.clone());
-            }
+            requests.push((relation, binding));
             let mut pos = 0;
             loop {
                 if pos == arity {
@@ -431,16 +442,7 @@ fn populate_cache(
             }
         }
     }
-
-    // Advance the frontier.
-    for (fr, new) in frontier.iter_mut().zip(news) {
-        for v in new {
-            if fr.seen.insert(v.clone()) {
-                fr.old.push(v);
-            }
-        }
-    }
-    Ok(changed)
+    requests
 }
 
 /// The current extension of a domain predicate: the union (weak arcs) or

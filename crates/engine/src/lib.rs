@@ -37,6 +37,7 @@
 mod access;
 mod completeness;
 mod containment_testing;
+mod dispatch;
 mod error;
 mod executor;
 mod join;
@@ -46,13 +47,14 @@ mod negation;
 mod source;
 mod union;
 
-pub use access::{AccessLog, AccessStats};
+pub use access::{AccessLog, AccessStats, DEFAULT_ACCESS_BUDGET};
 pub use completeness::{
     check_completeness, complete_answer, CompletenessError, CompletenessReport,
 };
 pub use containment_testing::{
     refute_obtainable_containment, ContainmentCounterexample, RefutationOptions,
 };
+pub use dispatch::{DispatchOptions, DispatchReport};
 pub use error::EngineError;
 pub use executor::{
     execute_plan, execute_plan_cached, execute_plan_with, ExecOptions, ExecutionReport,
@@ -61,12 +63,12 @@ pub use join::{cq_satisfiable, evaluate_cq, evaluate_cq_subset};
 pub use metacache::MetaCache;
 pub use naive::{naive_evaluate, NaiveOptions, NaiveResult};
 pub use negation::{execute_negated, execute_negated_cached, NegationError, NegationReport};
-pub use source::{FlakySource, InstanceSource, LatencySource, SourceProvider};
+pub use source::{AccessResult, FlakySource, InstanceSource, LatencySource, SourceProvider};
 pub use union::{execute_union, execute_union_cached, UnionReport};
 
 // The shared-cache subsystem, re-exported so engine users configure and
 // share caches without a separate dependency.
 pub use toorjah_cache::{
-    CacheConfig, CacheStats, EvictionPolicy, Lookup, LookupOutcome, SharedAccessCache,
-    SnapshotError, SnapshotReport,
+    BatchLookup, CacheConfig, CacheStats, EvictionPolicy, LoadResult, Lookup, LookupOutcome,
+    SharedAccessCache, SnapshotError, SnapshotReport,
 };

@@ -21,10 +21,15 @@
 
 use std::collections::{HashMap, HashSet};
 
-use toorjah_catalog::{DomainId, Schema, Tuple, Value};
+use toorjah_cache::SharedAccessCache;
+use toorjah_catalog::{AccessKey, DomainId, Schema, Tuple, Value};
 use toorjah_query::ConjunctiveQuery;
 
-use crate::{evaluate_cq, AccessLog, AccessStats, EngineError, MetaCache, SourceProvider};
+use crate::dispatch::dispatch_frontier;
+use crate::{
+    evaluate_cq, AccessLog, AccessStats, DispatchOptions, DispatchReport, EngineError,
+    SourceProvider, DEFAULT_ACCESS_BUDGET,
+};
 
 /// Options for the naive evaluator.
 #[derive(Clone, Copy, Debug)]
@@ -33,12 +38,16 @@ pub struct NaiveOptions {
     /// [`EngineError::AccessBudgetExceeded`]. Guards against combinatorial
     /// blow-ups on relations with many input positions.
     pub max_accesses: usize,
+    /// How each round's access frontier is dispatched (worker threads,
+    /// batched round trips). The default is the sequential path.
+    pub dispatch: DispatchOptions,
 }
 
 impl Default for NaiveOptions {
     fn default() -> Self {
         NaiveOptions {
-            max_accesses: 10_000_000,
+            max_accesses: DEFAULT_ACCESS_BUDGET,
+            dispatch: DispatchOptions::default(),
         }
     }
 }
@@ -54,6 +63,9 @@ pub struct NaiveResult {
     pub rounds: usize,
     /// Total distinct values accumulated in the binding set `B`.
     pub binding_values: usize,
+    /// Frontier/batch accounting: one frontier per (relation, round) with
+    /// fresh bindings.
+    pub dispatch: DispatchReport,
 }
 
 /// Runs the Fig. 1 algorithm for `query` over the relations served by
@@ -105,9 +117,14 @@ pub fn naive_evaluate(
     let mut cache: Vec<Vec<Tuple>> = vec![Vec::new(); schema.relation_count()];
     let mut cache_seen: Vec<HashSet<Tuple>> = vec![HashSet::new(); schema.relation_count()];
 
-    let mut meta = MetaCache::new();
+    // The private per-run access cache (the meta-cache role); the frontier
+    // bookkeeping below never generates a binding twice, so in practice
+    // every lookup is a miss — the cache's job here is the single-flight
+    // load path the dispatcher requires.
+    let access_cache = SharedAccessCache::unbounded();
     let mut log = AccessLog::new();
     let mut rounds = 0usize;
+    let mut dispatch_report = DispatchReport::default();
 
     // Per-relation, per-input-position pool length already enumerated (the
     // semi-naive frontier): a round only enumerates combinations with at
@@ -121,7 +138,12 @@ pub fn naive_evaluate(
         .map(|(_, rel)| vec![0usize; rel.pattern().input_count()])
         .collect();
 
-    // 2) Fixpoint over accesses.
+    // 2) Fixpoint over accesses. Each relation's fresh bindings for the
+    // round are *collected* into one frontier and dispatched as a batch —
+    // the binding set is fully determined by the round's snapshot of B, so
+    // collecting before accessing cannot change it, and the extractions are
+    // folded back in binding order, keeping the run bit-identical to
+    // one-at-a-time dispatch.
     loop {
         rounds += 1;
         let mut new_access = false;
@@ -138,87 +160,83 @@ pub fn naive_evaluate(
                 .map(|d| snapshot.get(d).map_or(&[][..], Vec::as_slice))
                 .collect();
             let old = frontier[rel_id.index()].clone();
+            let mut requests: Vec<AccessKey> = Vec::new();
             if pools.is_empty() {
                 // Free relation: a single access, in the first round only.
                 if rounds == 1 {
-                    perform_access(
-                        provider,
-                        &mut meta,
-                        &mut log,
-                        rel_id,
-                        Tuple::empty(),
-                        rel,
-                        &mut cache,
-                        &mut cache_seen,
-                        &mut b_vec,
-                        &mut b_set,
-                        &add_value,
-                        options.max_accesses,
-                    )?;
-                    new_access = true;
+                    requests.push((rel_id, Tuple::empty()));
                 }
-                continue;
-            }
-            if pools.iter().any(|p| p.is_empty()) {
+            } else if pools.iter().any(|p| p.is_empty()) {
                 continue; // some input domain has no known values yet
-            }
-            for pivot in 0..pools.len() {
-                // Ranges: before the pivot old values, at the pivot new
-                // values, after the pivot all values.
-                let ranges: Vec<std::ops::Range<usize>> = (0..pools.len())
-                    .map(|p| match p.cmp(&pivot) {
-                        std::cmp::Ordering::Less => 0..old[p],
-                        std::cmp::Ordering::Equal => old[p]..pools[p].len(),
-                        std::cmp::Ordering::Greater => 0..pools[p].len(),
-                    })
-                    .collect();
-                if ranges.iter().any(|r| r.is_empty()) {
-                    continue;
-                }
-                let mut odometer: Vec<usize> = ranges.iter().map(|r| r.start).collect();
-                loop {
-                    let binding: Tuple = odometer
-                        .iter()
-                        .zip(&pools)
-                        .map(|(&i, p)| p[i].clone())
+            } else {
+                for pivot in 0..pools.len() {
+                    // Ranges: before the pivot old values, at the pivot new
+                    // values, after the pivot all values.
+                    let ranges: Vec<std::ops::Range<usize>> = (0..pools.len())
+                        .map(|p| match p.cmp(&pivot) {
+                            std::cmp::Ordering::Less => 0..old[p],
+                            std::cmp::Ordering::Equal => old[p]..pools[p].len(),
+                            std::cmp::Ordering::Greater => 0..pools[p].len(),
+                        })
                         .collect();
-                    debug_assert!(!log.contains(rel_id, &binding));
-                    perform_access(
-                        provider,
-                        &mut meta,
-                        &mut log,
-                        rel_id,
-                        binding,
-                        rel,
-                        &mut cache,
-                        &mut cache_seen,
-                        &mut b_vec,
-                        &mut b_set,
-                        &add_value,
-                        options.max_accesses,
-                    )?;
-                    new_access = true;
-                    // Advance within the ranges.
-                    let mut pos = 0;
+                    if ranges.iter().any(|r| r.is_empty()) {
+                        continue;
+                    }
+                    let mut odometer: Vec<usize> = ranges.iter().map(|r| r.start).collect();
                     loop {
+                        let binding: Tuple = odometer
+                            .iter()
+                            .zip(&pools)
+                            .map(|(&i, p)| p[i].clone())
+                            .collect();
+                        debug_assert!(!log.contains(rel_id, &binding));
+                        requests.push((rel_id, binding));
+                        // Advance within the ranges.
+                        let mut pos = 0;
+                        loop {
+                            if pos == odometer.len() {
+                                break;
+                            }
+                            odometer[pos] += 1;
+                            if odometer[pos] < ranges[pos].end {
+                                break;
+                            }
+                            odometer[pos] = ranges[pos].start;
+                            pos += 1;
+                        }
                         if pos == odometer.len() {
                             break;
                         }
-                        odometer[pos] += 1;
-                        if odometer[pos] < ranges[pos].end {
-                            break;
-                        }
-                        odometer[pos] = ranges[pos].start;
-                        pos += 1;
-                    }
-                    if pos == odometer.len() {
-                        break;
                     }
                 }
+                // The frontier advances to the snapshot sizes just
+                // enumerated.
+                for (p, pool) in pools.iter().enumerate() {
+                    frontier[rel_id.index()][p] = pool.len();
+                }
             }
-            // The frontier advances to the snapshot sizes just enumerated.
-            for (p, pool) in pools.iter().enumerate() {
-                frontier[rel_id.index()][p] = pool.len();
+            if requests.is_empty() {
+                continue;
+            }
+            let extractions = dispatch_frontier(
+                &access_cache,
+                provider,
+                &mut log,
+                &requests,
+                options.dispatch,
+                options.max_accesses,
+                &mut dispatch_report,
+            )?;
+            new_access = true;
+            for tuples in &extractions {
+                for t in tuples.iter() {
+                    if cache_seen[rel_id.index()].insert(t.clone()) {
+                        for (k, v) in t.values().iter().enumerate() {
+                            add_value(&mut b_vec, &mut b_set, rel.domain(k), v.clone());
+                        }
+                        cache[rel_id.index()].push(t.clone());
+                    }
+                }
             }
         }
         if !new_access {
@@ -236,46 +254,8 @@ pub fn naive_evaluate(
         stats: log.stats(),
         rounds,
         binding_values: b_vec.values().map(Vec::len).sum(),
+        dispatch: dispatch_report,
     })
-}
-
-/// Performs one (guaranteed fresh) access and folds the extraction into the
-/// cache and the binding set.
-#[allow(clippy::too_many_arguments)]
-fn perform_access(
-    provider: &dyn SourceProvider,
-    meta: &mut MetaCache,
-    log: &mut AccessLog,
-    rel_id: toorjah_catalog::RelationId,
-    binding: Tuple,
-    rel: &toorjah_catalog::RelationSchema,
-    cache: &mut [Vec<Tuple>],
-    cache_seen: &mut [HashSet<Tuple>],
-    b_vec: &mut HashMap<DomainId, Vec<Value>>,
-    b_set: &mut HashMap<DomainId, HashSet<Value>>,
-    add_value: &impl Fn(
-        &mut HashMap<DomainId, Vec<Value>>,
-        &mut HashMap<DomainId, HashSet<Value>>,
-        DomainId,
-        Value,
-    ),
-    max_accesses: usize,
-) -> Result<(), EngineError> {
-    if log.total() >= max_accesses {
-        return Err(EngineError::AccessBudgetExceeded {
-            limit: max_accesses,
-        });
-    }
-    let tuples = meta.access(provider, log, rel_id, &binding)?.to_vec();
-    for t in tuples {
-        if cache_seen[rel_id.index()].insert(t.clone()) {
-            for (k, v) in t.values().iter().enumerate() {
-                add_value(b_vec, b_set, rel.domain(k), v.clone());
-            }
-            cache[rel_id.index()].push(t);
-        }
-    }
-    Ok(())
 }
 
 #[cfg(test)]
@@ -373,7 +353,16 @@ mod tests {
     fn budget_is_enforced() {
         let (schema, src) = example2();
         let q = parse_query("q1(B) <- r1('a1', C), r2(B, C)", &schema).unwrap();
-        let err = naive_evaluate(&q, &schema, &src, NaiveOptions { max_accesses: 2 }).unwrap_err();
+        let err = naive_evaluate(
+            &q,
+            &schema,
+            &src,
+            NaiveOptions {
+                max_accesses: 2,
+                ..NaiveOptions::default()
+            },
+        )
+        .unwrap_err();
         assert!(matches!(
             err,
             EngineError::AccessBudgetExceeded { limit: 2 }

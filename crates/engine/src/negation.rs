@@ -6,11 +6,14 @@
 //! 1. plan and execute the **positive part** with an *extended head* that
 //!    additionally exposes every variable the negated atoms mention, so
 //!    each answer comes with a full enough assignment;
-//! 2. for each candidate assignment `θ` and each negated atom `¬r(t̄)`,
-//!    access `r` with the (fully bound, by access-safety) input values
-//!    `θ(t̄|inputs)` — through the same meta-cache, so repeated checks are
-//!    free — and reject the candidate iff some returned tuple matches
-//!    `θ(t̄)` on every position;
+//! 2. for each negated atom `¬r(t̄)` in turn, *collect* the frontier of
+//!    access bindings `θ(t̄|inputs)` of every surviving candidate `θ` and
+//!    dispatch it as one batch through the shared cache (repeated checks
+//!    are free, identical checks of different candidates are loaded once);
+//!    a candidate is rejected iff some returned tuple matches `θ(t̄)` on
+//!    every position, and rejected candidates never reach the next atom —
+//!    so the access *set* equals the one-candidate-at-a-time strategy's,
+//!    only batched per level;
 //! 3. project the survivors onto the original head.
 //!
 //! Because the access retrieves *all* source tuples with those input
@@ -20,13 +23,14 @@
 use std::collections::HashSet;
 
 use toorjah_cache::SharedAccessCache;
-use toorjah_catalog::{RelationId, Schema, Tuple};
+use toorjah_catalog::{AccessKey, RelationId, Schema, Tuple};
 use toorjah_core::{CoreError, Planner};
 use toorjah_query::{ConjunctiveQuery, NegatedQuery, Term, VarId};
 
-use crate::executor::cached_access;
+use crate::dispatch::dispatch_frontier;
 use crate::{
-    execute_plan_cached, AccessLog, AccessStats, EngineError, ExecOptions, SourceProvider,
+    execute_plan_cached, AccessLog, AccessStats, DispatchReport, EngineError, ExecOptions,
+    SourceProvider,
 };
 
 /// Result of executing a negated query.
@@ -39,6 +43,9 @@ pub struct NegationReport {
     pub stats: AccessStats,
     /// How many candidate assignments the negation checks rejected.
     pub rejected: usize,
+    /// Frontier/batch accounting: the positive plan's rounds plus one
+    /// frontier per negated atom with surviving candidates.
+    pub dispatch: DispatchReport,
 }
 
 /// Errors from [`execute_negated`].
@@ -135,20 +142,30 @@ pub fn execute_negated_cached(
         negated_rels.push(id);
     }
 
-    // Negation checks per candidate.
+    // Negation checks, one frontier per negated atom: every surviving
+    // candidate's binding is collected and dispatched as one batch, then
+    // the witnessed candidates are rejected before the next atom — the
+    // accesses performed are exactly those of the candidate-at-a-time
+    // strategy (a candidate reaches atom j iff atoms before j produced no
+    // witness for it), only batched.
     let var_slot: std::collections::HashMap<VarId, usize> = extended_head
         .iter()
         .enumerate()
         .map(|(i, &v)| (v, i))
         .collect();
     let original_arity = positive.head().len();
-    let mut answers = Vec::new();
-    let mut seen: HashSet<Tuple> = HashSet::new();
+    let mut dispatch_report = report.dispatch.clone();
     let mut rejected = 0usize;
-    'candidates: for candidate in &report.answers {
-        for (atom, &rel) in query.negated().iter().zip(&negated_rels) {
-            let rel_schema = schema.relation(atom.relation());
-            // Bind the atom's terms under the candidate.
+    let mut survivors: Vec<&Tuple> = report.answers.iter().collect();
+    for (atom, &rel) in query.negated().iter().zip(&negated_rels) {
+        if survivors.is_empty() {
+            break;
+        }
+        let rel_schema = schema.relation(atom.relation());
+        // Bind the atom's terms under each surviving candidate.
+        let mut bounds: Vec<Vec<toorjah_catalog::Value>> = Vec::with_capacity(survivors.len());
+        let mut requests: Vec<AccessKey> = Vec::with_capacity(survivors.len());
+        for candidate in &survivors {
             let bound: Vec<toorjah_catalog::Value> = atom
                 .terms()
                 .iter()
@@ -162,26 +179,35 @@ pub fn execute_negated_cached(
                         }),
                 })
                 .collect::<Result<_, _>>()?;
-            let binding: Tuple = rel_schema
-                .pattern()
-                .input_positions()
-                .map(|k| bound[k].clone())
-                .collect();
-            let extraction = cached_access(
-                cache,
-                provider,
-                &mut log,
-                rel,
-                &binding,
-                options.max_accesses,
-            )
-            .map_err(NegationError::Execution)?;
+            requests.push((rel, rel_schema.pattern().binding_of(&bound)));
+            bounds.push(bound);
+        }
+        let extractions = dispatch_frontier(
+            cache,
+            provider,
+            &mut log,
+            &requests,
+            options.dispatch,
+            options.max_accesses,
+            &mut dispatch_report,
+        )
+        .map_err(NegationError::Execution)?;
+        let mut next = Vec::with_capacity(survivors.len());
+        for ((candidate, bound), extraction) in survivors.into_iter().zip(&bounds).zip(&extractions)
+        {
             let witness = extraction.iter().any(|t| t.values() == bound.as_slice());
             if witness {
                 rejected += 1;
-                continue 'candidates;
+            } else {
+                next.push(candidate);
             }
         }
+        survivors = next;
+    }
+
+    let mut answers = Vec::new();
+    let mut seen: HashSet<Tuple> = HashSet::new();
+    for candidate in survivors {
         let answer: Tuple = (0..original_arity).map(|i| candidate[i].clone()).collect();
         if seen.insert(answer.clone()) {
             answers.push(answer);
@@ -192,6 +218,7 @@ pub fn execute_negated_cached(
         answers,
         stats: log.stats(),
         rejected,
+        dispatch: dispatch_report,
     })
 }
 

@@ -12,8 +12,8 @@ use toorjah_catalog::Tuple;
 use toorjah_core::QueryPlan;
 
 use crate::{
-    execute_plan_cached, AccessLog, AccessStats, EngineError, ExecOptions, ExecutionReport,
-    SourceProvider,
+    execute_plan_cached, AccessLog, AccessStats, DispatchReport, EngineError, ExecOptions,
+    ExecutionReport, SourceProvider,
 };
 
 /// Result of executing a union of plans.
@@ -26,6 +26,10 @@ pub struct UnionReport {
     /// Per-disjunct reports (their `stats` fields are snapshots of the
     /// shared log *after* the disjunct ran).
     pub per_disjunct: Vec<ExecutionReport>,
+    /// Frontier/batch accounting folded across all disjuncts, in execution
+    /// order (disjuncts share the cache, so a later disjunct's frontiers
+    /// are often fully cache-served).
+    pub dispatch: DispatchReport,
 }
 
 /// Executes the plans of a UCQ's disjuncts with a shared meta-cache.
@@ -56,6 +60,7 @@ pub fn execute_union_cached(
     let mut answers = Vec::new();
     let mut seen: HashSet<Tuple> = HashSet::new();
     let mut per_disjunct = Vec::with_capacity(plans.len());
+    let mut dispatch = DispatchReport::default();
     for plan in plans {
         let report = execute_plan_cached(plan, provider, options, cache, log)?;
         for t in &report.answers {
@@ -63,12 +68,14 @@ pub fn execute_union_cached(
                 answers.push(t.clone());
             }
         }
+        dispatch.merge(&report.dispatch);
         per_disjunct.push(report);
     }
     Ok(UnionReport {
         answers,
         stats: log.stats(),
         per_disjunct,
+        dispatch,
     })
 }
 

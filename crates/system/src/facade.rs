@@ -8,8 +8,8 @@ use toorjah_cache::{CacheStats, SharedAccessCache};
 use toorjah_catalog::{Schema, Tuple};
 use toorjah_core::{plan_query, CoreError, Planned, Planner};
 use toorjah_engine::{
-    execute_plan_cached, AccessLog, AccessStats, EngineError, ExecOptions, ExecutionReport,
-    SourceProvider,
+    execute_plan_cached, AccessLog, AccessStats, DispatchOptions, DispatchReport, EngineError,
+    ExecOptions, ExecutionReport, SourceProvider,
 };
 use toorjah_query::{parse_query, ConjunctiveQuery, QueryError};
 
@@ -87,6 +87,9 @@ pub struct AskResult {
     pub cache_hits: u64,
     /// Accesses this query actually performed against the sources.
     pub cache_misses: u64,
+    /// Frontier/batch accounting of the dispatcher (per-round frontier
+    /// sizes, batch counts).
+    pub dispatch: DispatchReport,
     /// The full execution report.
     pub report: ExecutionReport,
     /// Everything the planner produced (d-graph, ordering, program, …).
@@ -137,6 +140,16 @@ impl Toorjah {
     /// counts drop (see DESIGN.md).
     pub fn with_cache(mut self, cache: SharedAccessCache) -> Self {
         self.session_cache = Some(cache);
+        self
+    }
+
+    /// Configures how each round's access frontier is dispatched: worker
+    /// threads and batched round trips. Answers, access counts and cache
+    /// hit/miss totals are invariant in these settings (see DESIGN.md,
+    /// "Frontier batching & the access cost model"); only wall-clock
+    /// changes.
+    pub fn with_dispatch(mut self, dispatch: DispatchOptions) -> Self {
+        self.config.exec.dispatch = dispatch;
         self
     }
 
@@ -191,6 +204,7 @@ impl Toorjah {
             stats: report.stats.clone(),
             cache_hits: log.cache_served() as u64,
             cache_misses: log.total() as u64,
+            dispatch: report.dispatch.clone(),
             report,
             planned,
         })
@@ -317,6 +331,11 @@ impl Toorjah {
         for rule in planned.plan.program.rules() {
             out.push_str(&format!("  {}\n", planned.plan.program.render_rule(rule)));
         }
+        let dispatch = self.config.exec.dispatch;
+        out.push_str(&format!(
+            "dispatch: parallelism={}, batch_size={}\n",
+            dispatch.parallelism, dispatch.batch_size
+        ));
         if let Some(stats) = self.cache_stats() {
             out.push_str(&format!("session cache: {stats}\n"));
         }
@@ -389,6 +408,36 @@ mod tests {
     fn schema_accessor() {
         let system = example_system();
         assert_eq!(system.schema().relation_count(), 3);
+    }
+
+    #[test]
+    fn parallel_dispatch_is_answer_invariant_and_reported() {
+        let sequential = example_system()
+            .ask("q(C) <- r1('a', B), r2(B, C)")
+            .unwrap();
+        let parallel = example_system()
+            .with_dispatch(DispatchOptions::parallel(4).with_batch_size(2))
+            .ask("q(C) <- r1('a', B), r2(B, C)")
+            .unwrap();
+        assert_eq!(parallel.answers, sequential.answers);
+        assert_eq!(parallel.stats, sequential.stats);
+        assert_eq!(
+            parallel.dispatch.frontier_sizes, sequential.dispatch.frontier_sizes,
+            "the frontiers themselves are dispatch-invariant"
+        );
+        assert!(parallel.dispatch.frontiers() > 0);
+        assert!(
+            parallel.dispatch.batches <= sequential.dispatch.batches,
+            "batching can only reduce round trips"
+        );
+    }
+
+    #[test]
+    fn explain_mentions_dispatch_configuration() {
+        let system = example_system().with_dispatch(DispatchOptions::parallel(8));
+        let text = system.explain("q(C) <- r1('a', B), r2(B, C)").unwrap();
+        assert!(text.contains("parallelism=8"), "{text}");
+        assert!(text.contains("batch_size=1"), "{text}");
     }
 
     #[test]

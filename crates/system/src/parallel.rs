@@ -50,7 +50,7 @@ impl Default for DistillationOptions {
     fn default() -> Self {
         DistillationOptions {
             queue_capacity: 64,
-            max_accesses: 10_000_000,
+            max_accesses: toorjah_engine::DEFAULT_ACCESS_BUDGET,
         }
     }
 }

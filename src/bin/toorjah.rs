@@ -6,8 +6,14 @@
 //! ```console
 //! $ toorjah examples/music.toorjah --query "q(N) <- r1(A, N, Y1), r2('volare', Y2, A)"
 //! $ toorjah examples/music.toorjah --explain "q(N) <- ..."
+//! $ toorjah examples/music.toorjah --parallelism 8 --batch-size 16 --query "..."
 //! $ toorjah examples/music.toorjah          # interactive REPL
 //! ```
+//!
+//! `--parallelism <n>` fans each round's access frontier out over `n`
+//! worker threads; `--batch-size <n>` groups up to `n` accesses per source
+//! round trip. Answers and access counts are invariant in both — only
+//! wall-clock changes.
 //!
 //! Source-file format (`#` comments; one statement per line):
 //!
@@ -27,19 +33,26 @@ use std::io::{BufRead, Write};
 use std::process::ExitCode;
 
 use toorjah::catalog::{Instance, Schema, Tuple, Value};
-use toorjah::engine::{naive_evaluate, InstanceSource, NaiveOptions};
+use toorjah::engine::{naive_evaluate, DispatchOptions, InstanceSource, NaiveOptions};
 use toorjah::query::parse_query;
 use toorjah::system::Toorjah;
+
+const USAGE: &str = "usage: toorjah <source-file> [--parallelism <n>] [--batch-size <n>] \
+                     [--query <q> | --explain <q> | --naive <q>]";
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let Some(path) = args.next() else {
-        eprintln!("usage: toorjah <source-file> [--query <q> | --explain <q>]");
+        eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
     if path == "--help" || path == "-h" {
-        eprintln!("usage: toorjah <source-file> [--query <q> | --explain <q>]");
+        eprintln!("{USAGE}");
         eprintln!("With no flags, starts an interactive REPL; see :help inside.");
+        eprintln!(
+            "--parallelism <n>  fan each access frontier out over n worker threads\n\
+             --batch-size <n>   group up to n accesses per source round trip"
+        );
         return ExitCode::SUCCESS;
     }
 
@@ -63,10 +76,10 @@ fn main() -> ExitCode {
         instance.total_tuples()
     );
     let provider = InstanceSource::new(schema.clone(), instance);
-    let system = Toorjah::new(provider.clone());
 
-    // One-shot modes.
+    // One-shot modes and dispatch flags.
     let mut mode: Option<(String, String)> = None;
+    let mut dispatch = DispatchOptions::default();
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--query" | "--explain" | "--naive" => {
@@ -76,17 +89,32 @@ fn main() -> ExitCode {
                 };
                 mode = Some((flag, q));
             }
+            "--parallelism" | "--batch-size" => {
+                let value = match args.next().map(|v| v.parse::<usize>()) {
+                    Some(Ok(n)) if n > 0 => n,
+                    _ => {
+                        eprintln!("{flag} needs a positive integer argument");
+                        return ExitCode::from(2);
+                    }
+                };
+                if flag == "--parallelism" {
+                    dispatch.parallelism = value;
+                } else {
+                    dispatch.batch_size = value;
+                }
+            }
             other => {
                 eprintln!("unknown flag {other}");
                 return ExitCode::from(2);
             }
         }
     }
+    let system = Toorjah::new(provider.clone()).with_dispatch(dispatch);
     if let Some((flag, q)) = mode {
         return match flag.as_str() {
             "--query" => run_query(&system, &q),
             "--explain" => run_explain(&system, &q),
-            "--naive" => run_naive(&system, &provider, &schema, &q),
+            "--naive" => run_naive(&system, &provider, &schema, dispatch, &q),
             _ => unreachable!(),
         };
     }
@@ -130,6 +158,7 @@ fn main() -> ExitCode {
                     &system,
                     &provider,
                     &schema,
+                    dispatch,
                     line.trim_start_matches(":naive "),
                 );
             }
@@ -148,9 +177,10 @@ fn run_query(system: &Toorjah, q: &str) -> ExitCode {
                 println!("{answer}");
             }
             eprintln!(
-                "{} answer(s), {} access(es)",
+                "{} answer(s), {} access(es); dispatch: {}",
                 result.answers.len(),
-                result.stats.total_accesses
+                result.stats.total_accesses,
+                result.dispatch.summary()
             );
             ExitCode::SUCCESS
         }
@@ -174,7 +204,13 @@ fn run_explain(system: &Toorjah, q: &str) -> ExitCode {
     }
 }
 
-fn run_naive(system: &Toorjah, provider: &InstanceSource, schema: &Schema, q: &str) -> ExitCode {
+fn run_naive(
+    system: &Toorjah,
+    provider: &InstanceSource,
+    schema: &Schema,
+    dispatch: DispatchOptions,
+    q: &str,
+) -> ExitCode {
     let query = match parse_query(q, schema) {
         Ok(q) => q,
         Err(e) => {
@@ -182,7 +218,11 @@ fn run_naive(system: &Toorjah, provider: &InstanceSource, schema: &Schema, q: &s
             return ExitCode::FAILURE;
         }
     };
-    let naive = match naive_evaluate(&query, schema, provider, NaiveOptions::default()) {
+    let naive_options = NaiveOptions {
+        dispatch,
+        ..NaiveOptions::default()
+    };
+    let naive = match naive_evaluate(&query, schema, provider, naive_options) {
         Ok(n) => n,
         Err(e) => {
             eprintln!("naive evaluation failed: {e}");

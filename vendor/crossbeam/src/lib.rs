@@ -1,13 +1,38 @@
-//! Offline stand-in for the `crossbeam` crate (channel subset).
+//! Offline stand-in for the `crossbeam` crate (channel + scoped-thread
+//! subset).
 //!
 //! The build environment has no access to crates.io, so the workspace vendors
-//! the slice of `crossbeam::channel` it uses: [`channel::bounded`] /
+//! the slice of `crossbeam` it uses: [`channel::bounded`] /
 //! [`channel::unbounded`] constructors and a unified [`channel::Sender`] type
 //! for both flavors (upstream crossbeam's signature), layered over
-//! `std::sync::mpsc`. Single-consumer semantics are sufficient here — every
-//! receiver in the workspace is owned by exactly one thread.
+//! `std::sync::mpsc`, plus [`thread::scope`] for borrowed-data worker pools,
+//! layered over `std::thread::scope`. Single-consumer semantics are
+//! sufficient here — every receiver in the workspace is owned by exactly one
+//! thread.
 
 #![warn(missing_docs)]
+
+/// Scoped threads mirroring `crossbeam::thread::scope`, layered over
+/// `std::thread::scope` (stable std since 1.63).
+///
+/// Deviations from upstream, documented for anyone swapping the real crate
+/// back in: `Scope::spawn` takes a plain `FnOnce()` closure (std's signature)
+/// instead of upstream's `FnOnce(&Scope)`, and a panicking child propagates
+/// its panic out of [`scope`] (std's behavior) instead of surfacing as the
+/// `Err` variant — the `Result` wrapper is kept so call sites read like
+/// upstream.
+pub mod thread {
+    pub use std::thread::{Scope, ScopedJoinHandle};
+
+    /// Creates a scope in which threads borrowing non-`'static` data can be
+    /// spawned; every spawned thread is joined before `scope` returns.
+    pub fn scope<'env, F, T>(f: F) -> std::thread::Result<T>
+    where
+        F: for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> T,
+    {
+        Ok(std::thread::scope(f))
+    }
+}
 
 /// Multi-producer, single-consumer channels mirroring `crossbeam::channel`.
 pub mod channel {
@@ -152,5 +177,19 @@ mod tests {
         let (tx, rx) = unbounded::<u8>();
         drop(rx);
         assert!(tx.send(9).is_err());
+    }
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total = crate::thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| s.spawn(move || chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
     }
 }

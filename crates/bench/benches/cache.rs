@@ -31,6 +31,7 @@ fn run_workload(system: &Toorjah, queries: &[String]) -> usize {
             system
                 .ask(std::hint::black_box(q))
                 .expect("workload queries are answerable")
+                .profile
                 .stats
                 .total_accesses
         })

@@ -76,6 +76,24 @@ impl AccessLog {
         self.cache_served
     }
 
+    /// Folds another log into this one under the set semantics: accesses
+    /// already performed here are not re-counted, extracted-tuple sets are
+    /// unioned, and cache-served counters add up. Used to combine the
+    /// phases of a composite execution (e.g. per-disjunct streaming runs)
+    /// into one per-query account.
+    pub fn merge(&mut self, other: &AccessLog) {
+        for (relation, binding) in &other.sequence {
+            self.record(*relation, binding.clone());
+        }
+        for (&relation, tuples) in &other.extracted_per_relation {
+            self.extracted_per_relation
+                .entry(relation)
+                .or_default()
+                .extend(tuples.iter().cloned());
+        }
+        self.cache_served += other.cache_served;
+    }
+
     /// Whether an access was already performed.
     pub fn contains(&self, relation: RelationId, binding: &Tuple) -> bool {
         self.performed.contains(&(relation, binding.clone()))
@@ -182,6 +200,26 @@ mod tests {
         assert_eq!(stats.extracted_from(RelationId(0)), 2);
         assert_eq!(stats.extracted_from(RelationId(2)), 0);
         assert_eq!(stats.total_accesses, 2);
+    }
+
+    #[test]
+    fn merge_is_set_semantic() {
+        let mut a = AccessLog::new();
+        a.record(RelationId(0), tuple!["x"]);
+        a.record_extracted(RelationId(0), &[tuple!["x", 1]]);
+        a.record_cache_served();
+        let mut b = AccessLog::new();
+        b.record(RelationId(0), tuple!["x"]); // duplicate of a's access
+        b.record(RelationId(1), tuple!["y"]);
+        b.record_extracted(RelationId(0), &[tuple!["x", 1], tuple!["x", 2]]);
+        b.record_cache_served();
+        b.record_cache_served();
+        a.merge(&b);
+        assert_eq!(a.total(), 2, "duplicate access not re-counted");
+        assert_eq!(a.stats().accesses_to(RelationId(1)), 1);
+        assert_eq!(a.stats().extracted_from(RelationId(0)), 2, "tuple union");
+        assert_eq!(a.cache_served(), 3);
+        assert_eq!(a.sequence().len(), 2);
     }
 
     #[test]

@@ -62,7 +62,10 @@ pub use executor::{
 pub use join::{cq_satisfiable, evaluate_cq, evaluate_cq_subset};
 pub use metacache::MetaCache;
 pub use naive::{naive_evaluate, NaiveOptions, NaiveResult};
-pub use negation::{execute_negated, execute_negated_cached, NegationError, NegationReport};
+pub use negation::{
+    execute_negated, execute_negated_cached, execute_negated_plan, negation_checks, plan_negated,
+    NegatedPlan, NegationChecks, NegationError, NegationReport,
+};
 pub use source::{AccessResult, FlakySource, InstanceSource, LatencySource, SourceProvider};
 pub use union::{execute_union, execute_union_cached, UnionReport};
 

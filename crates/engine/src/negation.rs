@@ -20,12 +20,12 @@
 //! values, step 2 decides the negated atom exactly (not merely "absent
 //! from the extracted data"), so the computed answers are certain.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 use toorjah_cache::SharedAccessCache;
 use toorjah_catalog::{AccessKey, RelationId, Schema, Tuple};
-use toorjah_core::{CoreError, Planner};
-use toorjah_query::{ConjunctiveQuery, NegatedQuery, Term, VarId};
+use toorjah_core::{CoreError, Planned, Planner};
+use toorjah_query::{Atom, ConjunctiveQuery, NegatedQuery, Term, VarId};
 
 use crate::dispatch::dispatch_frontier;
 use crate::{
@@ -71,6 +71,94 @@ impl std::fmt::Display for NegationError {
 
 impl std::error::Error for NegationError {}
 
+/// A negated query planned once and executable many times: the positive
+/// part's plan (with the head extended by every negation variable) plus the
+/// validated negated atoms. Produced by [`plan_negated`], consumed by
+/// [`execute_negated_plan`] and [`negation_checks`].
+#[derive(Clone, Debug)]
+pub struct NegatedPlan {
+    planned: Planned,
+    negated: Vec<Atom>,
+    var_slot: HashMap<VarId, usize>,
+    original_arity: usize,
+    schema: Schema,
+}
+
+impl NegatedPlan {
+    /// Everything the planner produced for the extended positive part.
+    pub fn planned(&self) -> &Planned {
+        &self.planned
+    }
+
+    /// The negated atoms, in check order.
+    pub fn negated(&self) -> &[Atom] {
+        &self.negated
+    }
+
+    /// The schema the query was planned against.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+}
+
+/// The outcome of the negation-check phase ([`negation_checks`]).
+#[derive(Clone, Debug)]
+pub struct NegationChecks {
+    /// Surviving candidates projected onto the original head, deduplicated
+    /// in candidate order.
+    pub answers: Vec<Tuple>,
+    /// How many candidates a negated atom rejected.
+    pub rejected: usize,
+}
+
+/// Plans a negated query: the positive part is planned with an *extended
+/// head* that additionally exposes every variable the negated atoms
+/// mention, so each candidate answer comes with a full enough assignment
+/// for the checks. The plan depends only on query and schema — execute it
+/// any number of times with [`execute_negated_plan`].
+pub fn plan_negated(
+    query: &NegatedQuery,
+    schema: &Schema,
+    planner: &Planner,
+) -> Result<NegatedPlan, NegationError> {
+    let positive = query.positive();
+
+    // Extended head: original head followed by the negation variables that
+    // are not already in it.
+    let mut extended_head: Vec<VarId> = positive.head().to_vec();
+    for v in query.negation_variables() {
+        if !extended_head.contains(&v) {
+            extended_head.push(v);
+        }
+    }
+    let extended = ConjunctiveQuery::from_parts(
+        schema,
+        positive.head_name(),
+        extended_head.clone(),
+        positive.atoms().to_vec(),
+        positive.var_names().to_vec(),
+    )
+    .map_err(|e| NegationError::Internal(format!("extended head rewrite failed: {e}")))?;
+
+    // Minimization is safe here: negation variables are in the extended
+    // head, so CQ minimization preserves every binding the checks need.
+    let planned = planner
+        .plan(&extended, schema)
+        .map_err(NegationError::Planning)?;
+    let var_slot = extended_head
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, i))
+        .collect();
+    Ok(NegatedPlan {
+        planned,
+        negated: query.negated().to_vec(),
+        var_slot,
+        original_arity: positive.head().len(),
+        schema: schema.clone(),
+    })
+}
+
 /// Executes a negated query against `provider`, returning certain answers.
 pub fn execute_negated(
     query: &NegatedQuery,
@@ -98,42 +186,65 @@ pub fn execute_negated_cached(
     options: ExecOptions,
     cache: &SharedAccessCache,
 ) -> Result<NegationReport, NegationError> {
-    let positive = query.positive();
-
-    // Extended head: original head followed by the negation variables that
-    // are not already in it.
-    let mut extended_head: Vec<VarId> = positive.head().to_vec();
-    for v in query.negation_variables() {
-        if !extended_head.contains(&v) {
-            extended_head.push(v);
-        }
-    }
-    let extended = ConjunctiveQuery::from_parts(
-        schema,
-        positive.head_name(),
-        extended_head.clone(),
-        positive.atoms().to_vec(),
-        positive.var_names().to_vec(),
-    )
-    .map_err(|e| NegationError::Internal(format!("extended head rewrite failed: {e}")))?;
-
-    // Plan + execute the positive part. Minimization must be disabled: it
-    // could fold atoms that the negated atoms depend on for their variable
-    // bindings... (it cannot — negation variables are in the head now, so
-    // minimization preserves them — but the default planner is kept simple
-    // and explicit here).
-    let planner = Planner::default();
-    let planned = planner
-        .plan(&extended, schema)
-        .map_err(NegationError::Planning)?;
+    let plan = plan_negated(query, schema, &Planner::default())?;
     let mut log = AccessLog::new();
-    let report = execute_plan_cached(&planned.plan, provider, options, cache, &mut log)
-        .map_err(NegationError::Execution)?;
+    execute_negated_plan(&plan, provider, options, cache, &mut log)
+}
 
+/// Executes an already planned negated query ([`plan_negated`]): the
+/// positive plan runs through the fast-failing executor, then
+/// [`negation_checks`] decides every negated atom exactly. All accesses go
+/// through `cache` and are accounted in `log`.
+pub fn execute_negated_plan(
+    plan: &NegatedPlan,
+    provider: &dyn SourceProvider,
+    options: ExecOptions,
+    cache: &SharedAccessCache,
+    log: &mut AccessLog,
+) -> Result<NegationReport, NegationError> {
+    let report = execute_plan_cached(&plan.planned.plan, provider, options, cache, log)
+        .map_err(NegationError::Execution)?;
+    let mut dispatch = report.dispatch.clone();
+    let checks = negation_checks(
+        plan,
+        &report.answers,
+        provider,
+        options,
+        cache,
+        log,
+        &mut dispatch,
+    )?;
+    Ok(NegationReport {
+        answers: checks.answers,
+        stats: log.stats(),
+        rejected: checks.rejected,
+        dispatch,
+    })
+}
+
+/// The negation-check phase, one frontier per negated atom: every surviving
+/// candidate's binding is collected and dispatched as one batch, then the
+/// witnessed candidates are rejected before the next atom — the accesses
+/// performed are exactly those of the candidate-at-a-time strategy (a
+/// candidate reaches atom j iff atoms before j produced no witness for it),
+/// only batched. `candidates` are extended-head tuples as produced by the
+/// positive plan of a [`NegatedPlan`] — by any executor (the sequential
+/// fast-failing path or the distillation executor): the checks only need
+/// the assignments, not the schedule that found them.
+#[allow(clippy::too_many_arguments)]
+pub fn negation_checks(
+    plan: &NegatedPlan,
+    candidates: &[Tuple],
+    provider: &dyn SourceProvider,
+    options: ExecOptions,
+    cache: &SharedAccessCache,
+    log: &mut AccessLog,
+    dispatch: &mut DispatchReport,
+) -> Result<NegationChecks, NegationError> {
     // Resolve negated relations inside the provider's schema by name.
-    let mut negated_rels: Vec<RelationId> = Vec::with_capacity(query.negated().len());
-    for atom in query.negated() {
-        let name = schema.relation(atom.relation()).name();
+    let mut negated_rels: Vec<RelationId> = Vec::with_capacity(plan.negated.len());
+    for atom in &plan.negated {
+        let name = plan.schema.relation(atom.relation()).name();
         let id = provider.schema().relation_id(name).ok_or_else(|| {
             NegationError::Execution(EngineError::PlanMismatch(format!(
                 "provider lacks negated relation {name}"
@@ -142,26 +253,13 @@ pub fn execute_negated_cached(
         negated_rels.push(id);
     }
 
-    // Negation checks, one frontier per negated atom: every surviving
-    // candidate's binding is collected and dispatched as one batch, then
-    // the witnessed candidates are rejected before the next atom — the
-    // accesses performed are exactly those of the candidate-at-a-time
-    // strategy (a candidate reaches atom j iff atoms before j produced no
-    // witness for it), only batched.
-    let var_slot: std::collections::HashMap<VarId, usize> = extended_head
-        .iter()
-        .enumerate()
-        .map(|(i, &v)| (v, i))
-        .collect();
-    let original_arity = positive.head().len();
-    let mut dispatch_report = report.dispatch.clone();
     let mut rejected = 0usize;
-    let mut survivors: Vec<&Tuple> = report.answers.iter().collect();
-    for (atom, &rel) in query.negated().iter().zip(&negated_rels) {
+    let mut survivors: Vec<&Tuple> = candidates.iter().collect();
+    for (atom, &rel) in plan.negated.iter().zip(&negated_rels) {
         if survivors.is_empty() {
             break;
         }
-        let rel_schema = schema.relation(atom.relation());
+        let rel_schema = plan.schema.relation(atom.relation());
         // Bind the atom's terms under each surviving candidate.
         let mut bounds: Vec<Vec<toorjah_catalog::Value>> = Vec::with_capacity(survivors.len());
         let mut requests: Vec<AccessKey> = Vec::with_capacity(survivors.len());
@@ -171,7 +269,8 @@ pub fn execute_negated_cached(
                 .iter()
                 .map(|t| match t {
                     Term::Const(c) => Ok(c.clone()),
-                    Term::Var(v) => var_slot
+                    Term::Var(v) => plan
+                        .var_slot
                         .get(v)
                         .map(|&slot| candidate[slot].clone())
                         .ok_or_else(|| {
@@ -185,11 +284,11 @@ pub fn execute_negated_cached(
         let extractions = dispatch_frontier(
             cache,
             provider,
-            &mut log,
+            log,
             &requests,
             options.dispatch,
             options.max_accesses,
-            &mut dispatch_report,
+            dispatch,
         )
         .map_err(NegationError::Execution)?;
         let mut next = Vec::with_capacity(survivors.len());
@@ -208,18 +307,15 @@ pub fn execute_negated_cached(
     let mut answers = Vec::new();
     let mut seen: HashSet<Tuple> = HashSet::new();
     for candidate in survivors {
-        let answer: Tuple = (0..original_arity).map(|i| candidate[i].clone()).collect();
+        let answer: Tuple = (0..plan.original_arity)
+            .map(|i| candidate[i].clone())
+            .collect();
         if seen.insert(answer.clone()) {
             answers.push(answer);
         }
     }
 
-    Ok(NegationReport {
-        answers,
-        stats: log.stats(),
-        rejected,
-        dispatch: dispatch_report,
-    })
+    Ok(NegationChecks { answers, rejected })
 }
 
 #[cfg(test)]
@@ -318,6 +414,27 @@ mod tests {
         let mut answers = report.answers.clone();
         answers.sort();
         assert_eq!(answers, vec![tuple!["ann"], tuple!["cal"]]);
+    }
+
+    #[test]
+    fn planned_once_executes_many_times() {
+        let (schema, src) = setup();
+        let q = parse_query("q(P) <- works(P, C)", &schema).unwrap();
+        let neg = negated_atom(&schema, &q, "banned", &["P", "C"]);
+        let nq = NegatedQuery::new(q, vec![neg], &schema).unwrap();
+        let reference = execute_negated(&nq, &schema, &src, ExecOptions::default()).unwrap();
+
+        let plan = plan_negated(&nq, &schema, &Planner::default()).unwrap();
+        for _ in 0..3 {
+            let cache = SharedAccessCache::unbounded();
+            let mut log = AccessLog::new();
+            let report =
+                execute_negated_plan(&plan, &src, ExecOptions::default(), &cache, &mut log)
+                    .unwrap();
+            assert_eq!(report.answers, reference.answers);
+            assert_eq!(report.stats, reference.stats);
+            assert_eq!(report.rejected, reference.rejected);
+        }
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //!   `q(N) <- r1(A, N, Y1), r2('volare', Y2, A)`. Identifiers starting with an
 //!   uppercase letter are variables; quoted strings, numbers and
 //!   lowercase-initial identifiers are constants.
+//! * [`Statement`] / [`Statement::parse`]: the single entry point covering
+//!   all three query classes — plain CQs, unions (`;`-separated disjuncts)
+//!   and safe negation (`!`-prefixed literals, [`parse_negated_query`]).
 //! * [`preprocess`]: the §III constant-elimination step that replaces every
 //!   constant `a` by a fresh variable bound by an artificial free relation
 //!   `ℓa` containing exactly `⟨a⟩`.
@@ -36,6 +39,7 @@ mod minimize;
 mod negation;
 mod parser;
 mod preprocess;
+mod statement;
 mod term;
 mod ucq;
 
@@ -47,7 +51,8 @@ pub use error::QueryError;
 pub use homomorphism::{find_homomorphism, Homomorphism};
 pub use minimize::{is_minimal, minimize};
 pub use negation::NegatedQuery;
-pub use parser::parse_query;
+pub use parser::{parse_negated_query, parse_query};
 pub use preprocess::{preprocess, ConstantRelation, PreprocessedQuery};
+pub use statement::{Statement, StatementKind};
 pub use term::{Term, VarId};
 pub use ucq::UnionQuery;

@@ -3,23 +3,28 @@
 //! Grammar (whitespace-insensitive):
 //!
 //! ```text
-//! query  := head ("<-" | ":-" | "←") body
-//! head   := ident "(" [ variable { "," variable } ] ")"
-//! body   := atom { "," atom }
-//! atom   := ident "(" [ term { "," term } ] ")"
-//! term   := variable | constant
+//! query   := head ("<-" | ":-" | "←") body
+//! head    := ident "(" [ variable { "," variable } ] ")"
+//! body    := literal { "," literal }
+//! literal := [ "!" | "¬" ] atom
+//! atom    := ident "(" [ term { "," term } ] ")"
+//! term    := variable | constant
 //! ```
 //!
 //! Identifiers starting with an uppercase letter (or `_`) are **variables**;
 //! `_` alone is an anonymous variable (fresh per occurrence). Constants are
 //! single-quoted strings (`'volare'`), integers (`2008`), or
 //! lowercase-initial identifiers (`rej`, `icde` — the paper's style).
+//!
+//! Negated literals (`!banned(P, C)` or `¬banned(P, C)`) are accepted only
+//! by [`parse_negated_query`]; [`parse_query`] rejects them so a plain
+//! conjunctive query stays plain.
 
 use std::collections::HashMap;
 
 use toorjah_catalog::{Schema, Value};
 
-use crate::{Atom, ConjunctiveQuery, QueryError, Term, VarId};
+use crate::{Atom, ConjunctiveQuery, NegatedQuery, QueryError, Term, VarId};
 
 /// Parses a conjunctive query against a schema.
 ///
@@ -38,7 +43,34 @@ use crate::{Atom, ConjunctiveQuery, QueryError, Term, VarId};
 /// assert_eq!(q2.atoms().len(), 3);
 /// ```
 pub fn parse_query(text: &str, schema: &Schema) -> Result<ConjunctiveQuery, QueryError> {
-    Parser::new(text).parse(schema)
+    let (query, negated) = Parser::new(text).parse(schema)?;
+    if !negated.is_empty() {
+        return Err(QueryError::Parse {
+            fragment: text.to_string(),
+            reason: "negated literals are not allowed in a plain conjunctive query \
+                     (use a negated statement)"
+                .to_string(),
+        });
+    }
+    Ok(query)
+}
+
+/// Parses a conjunctive query with safe negation: body literals prefixed
+/// with `!` (or `¬`) become negated atoms, validated by
+/// [`NegatedQuery::new`] (every negated variable must occur positively).
+///
+/// ```
+/// use toorjah_catalog::Schema;
+/// use toorjah_query::parse_negated_query;
+///
+/// let schema = Schema::parse("works^oo(P, C) banned^io(P, C)").unwrap();
+/// let q = parse_negated_query("q(P) <- works(P, C), !banned(P, C)", &schema).unwrap();
+/// assert_eq!(q.positive().atoms().len(), 1);
+/// assert_eq!(q.negated().len(), 1);
+/// ```
+pub fn parse_negated_query(text: &str, schema: &Schema) -> Result<NegatedQuery, QueryError> {
+    let (positive, negated) = Parser::new(text).parse(schema)?;
+    NegatedQuery::new(positive, negated, schema)
 }
 
 struct Parser<'t> {
@@ -121,7 +153,10 @@ impl<'t> Parser<'t> {
         Err(self.error("expected '<-', ':-' or '←' after the head"))
     }
 
-    fn parse(mut self, schema: &Schema) -> Result<ConjunctiveQuery, QueryError> {
+    /// Parses head and body, returning the positive query plus any negated
+    /// atoms (`!`-prefixed literals). Callers decide whether negation is
+    /// allowed.
+    fn parse(mut self, schema: &Schema) -> Result<(ConjunctiveQuery, Vec<Atom>), QueryError> {
         let mut vars = VarTable::default();
 
         // Head.
@@ -147,7 +182,10 @@ impl<'t> Parser<'t> {
 
         // Body.
         let mut atoms = Vec::new();
+        let mut negated = Vec::new();
         loop {
+            self.skip_ws();
+            let is_negated = self.eat('!') || self.eat('¬');
             let name = self.ident()?;
             let rel = schema
                 .relation_id(&name)
@@ -165,7 +203,11 @@ impl<'t> Parser<'t> {
                     self.expect(',')?;
                 }
             }
-            atoms.push(Atom::new(rel, terms));
+            if is_negated {
+                negated.push(Atom::new(rel, terms));
+            } else {
+                atoms.push(Atom::new(rel, terms));
+            }
             self.skip_ws();
             if !self.eat(',') {
                 break;
@@ -176,7 +218,8 @@ impl<'t> Parser<'t> {
             return Err(self.error(format!("trailing input at offset {}", self.pos)));
         }
 
-        ConjunctiveQuery::from_parts(schema, head_name, head, atoms, vars.names)
+        let query = ConjunctiveQuery::from_parts(schema, head_name, head, atoms, vars.names)?;
+        Ok((query, negated))
     }
 
     fn term(&mut self, vars: &mut VarTable) -> Result<Term, QueryError> {
@@ -354,6 +397,34 @@ mod tests {
         let q1 = parse_query("q(R)<-pub1(P,R),conf(P,C,Y)", &s).unwrap();
         let q2 = parse_query("  q ( R )  <-  pub1 ( P , R ) , conf ( P , C , Y ) ", &s).unwrap();
         assert_eq!(q1, q2);
+    }
+
+    #[test]
+    fn negated_literals_parse_only_through_the_negated_entry_point() {
+        let s = Schema::parse("works^oo(P, C) banned^io(P, C)").unwrap();
+        let q = parse_negated_query("q(P) <- works(P, C), !banned(P, C)", &s).unwrap();
+        assert_eq!(q.positive().atoms().len(), 1);
+        assert_eq!(q.negated().len(), 1);
+        // The unicode negation sign works too.
+        let q2 = parse_negated_query("q(P) <- works(P, C), ¬banned(P, C)", &s).unwrap();
+        assert_eq!(q, q2);
+        // A plain parse rejects the same text.
+        assert!(matches!(
+            parse_query("q(P) <- works(P, C), !banned(P, C)", &s),
+            Err(QueryError::Parse { .. })
+        ));
+        // Safety is still validated: W never occurs positively.
+        assert!(matches!(
+            parse_negated_query("q(P) <- works(P, C), !banned(P, W)", &s),
+            Err(QueryError::UnsafeNegation { .. })
+        ));
+    }
+
+    #[test]
+    fn negated_query_with_constants_in_negated_atom() {
+        let s = Schema::parse("works^oo(P, C) banned^io(P, C)").unwrap();
+        let q = parse_negated_query("q(P) <- works(P, C), !banned(P, 'milan')", &s).unwrap();
+        assert_eq!(q.negated().len(), 1);
     }
 
     #[test]

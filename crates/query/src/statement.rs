@@ -1,0 +1,254 @@
+//! Statements: the single parse entry point of the unified facade API.
+//!
+//! The system layer's prepare/execute lifecycle starts from a
+//! [`Statement`] — one value covering every query class the engine can
+//! answer: a plain conjunctive query, a union of conjunctive queries
+//! (disjuncts separated by `;`), or a conjunctive query with safe negation
+//! (`!`-prefixed literals). [`Statement::parse`] dispatches on the text, so
+//! callers never pick an entry point by query class again.
+
+use std::fmt;
+
+use toorjah_catalog::Schema;
+
+use crate::{parse_negated_query, parse_query, NegatedQuery, QueryError, UnionQuery};
+
+/// A parsed statement: any query the system can prepare and execute.
+///
+/// ```
+/// use toorjah_catalog::Schema;
+/// use toorjah_query::{Statement, StatementKind};
+///
+/// let schema = Schema::parse("works^oo(P, C) banned^io(P, C) flag^o(P)").unwrap();
+/// // One entry point, three query classes:
+/// let cq = Statement::parse("q(P) <- works(P, C)", &schema).unwrap();
+/// assert_eq!(cq.kind(), StatementKind::Cq);
+///
+/// let union = Statement::parse("q(P) <- works(P, C); q(P) <- flag(P)", &schema).unwrap();
+/// assert_eq!(union.kind(), StatementKind::Union);
+///
+/// let negated = Statement::parse("q(P) <- works(P, C), !banned(P, C)", &schema).unwrap();
+/// assert_eq!(negated.kind(), StatementKind::Negated);
+/// assert_eq!(negated.head_arity(), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Statement {
+    /// A plain conjunctive query.
+    Cq(crate::ConjunctiveQuery),
+    /// A union of conjunctive queries (disjuncts share one head arity).
+    Union(UnionQuery),
+    /// A conjunctive query with safe negation.
+    Negated(NegatedQuery),
+}
+
+/// The class of a [`Statement`] — used for reporting and dispatch.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum StatementKind {
+    /// Plain conjunctive query.
+    Cq,
+    /// Union of conjunctive queries.
+    Union,
+    /// Conjunctive query with safe negation.
+    Negated,
+}
+
+impl StatementKind {
+    /// Stable lowercase name (used by machine-readable reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            StatementKind::Cq => "cq",
+            StatementKind::Union => "union",
+            StatementKind::Negated => "negated",
+        }
+    }
+}
+
+impl fmt::Display for StatementKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl Statement {
+    /// Parses a statement in the paper's textual notation, dispatching on
+    /// shape:
+    ///
+    /// * disjuncts separated by `;` → [`Statement::Union`] (each disjunct a
+    ///   plain CQ; a trailing `;` is tolerated);
+    /// * body literals prefixed with `!` or `¬` → [`Statement::Negated`];
+    /// * otherwise → [`Statement::Cq`].
+    ///
+    /// Separators inside quoted constants (`'a;b'`) are ignored.
+    pub fn parse(text: &str, schema: &Schema) -> Result<Statement, QueryError> {
+        let mut parts = split_disjuncts(text);
+        // Tolerate a trailing separator: `q(X) <- r(X);`.
+        if parts.len() > 1 && parts.last().is_some_and(|p| p.trim().is_empty()) {
+            parts.pop();
+        }
+        if parts.len() > 1 {
+            let cqs = parts
+                .into_iter()
+                .map(|p| parse_query(p, schema))
+                .collect::<Result<Vec<_>, _>>()?;
+            return Ok(Statement::Union(UnionQuery::new(cqs)?));
+        }
+        let single = parts.first().copied().unwrap_or(text);
+        if contains_negation(single) {
+            return Ok(Statement::Negated(parse_negated_query(single, schema)?));
+        }
+        Ok(Statement::Cq(parse_query(single, schema)?))
+    }
+
+    /// The statement's class.
+    pub fn kind(&self) -> StatementKind {
+        match self {
+            Statement::Cq(_) => StatementKind::Cq,
+            Statement::Union(_) => StatementKind::Union,
+            Statement::Negated(_) => StatementKind::Negated,
+        }
+    }
+
+    /// Arity of the answer tuples this statement produces.
+    pub fn head_arity(&self) -> usize {
+        match self {
+            Statement::Cq(q) => q.head().len(),
+            Statement::Union(u) => u.arity(),
+            Statement::Negated(n) => n.positive().head().len(),
+        }
+    }
+}
+
+impl From<crate::ConjunctiveQuery> for Statement {
+    fn from(q: crate::ConjunctiveQuery) -> Self {
+        Statement::Cq(q)
+    }
+}
+
+impl From<UnionQuery> for Statement {
+    fn from(u: UnionQuery) -> Self {
+        Statement::Union(u)
+    }
+}
+
+impl From<NegatedQuery> for Statement {
+    fn from(n: NegatedQuery) -> Self {
+        Statement::Negated(n)
+    }
+}
+
+/// Splits on `;` outside single-quoted constants.
+fn split_disjuncts(text: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut start = 0;
+    let mut in_quotes = false;
+    for (i, c) in text.char_indices() {
+        match c {
+            '\'' => in_quotes = !in_quotes,
+            ';' if !in_quotes => {
+                parts.push(&text[start..i]);
+                start = i + c.len_utf8();
+            }
+            _ => {}
+        }
+    }
+    parts.push(&text[start..]);
+    parts
+}
+
+/// Whether the text contains a negation marker outside quoted constants.
+fn contains_negation(text: &str) -> bool {
+    let mut in_quotes = false;
+    for c in text.chars() {
+        match c {
+            '\'' => in_quotes = !in_quotes,
+            '!' | '¬' if !in_quotes => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::parse("r^oo(A, B) s^oo(A, B) banned^io(A, B)").unwrap()
+    }
+
+    #[test]
+    fn single_cq() {
+        let s = schema();
+        let stmt = Statement::parse("q(X) <- r(X, Y)", &s).unwrap();
+        assert_eq!(stmt.kind(), StatementKind::Cq);
+        assert_eq!(stmt.head_arity(), 1);
+    }
+
+    #[test]
+    fn union_of_disjuncts() {
+        let s = schema();
+        let stmt = Statement::parse("q(X) <- r(X, Y); q(X) <- s(X, Y)", &s).unwrap();
+        let Statement::Union(u) = &stmt else {
+            panic!("expected a union, got {stmt:?}");
+        };
+        assert_eq!(u.len(), 2);
+        assert_eq!(stmt.head_arity(), 1);
+    }
+
+    #[test]
+    fn trailing_separator_tolerated() {
+        let s = schema();
+        let stmt = Statement::parse("q(X) <- r(X, Y);", &s).unwrap();
+        assert_eq!(stmt.kind(), StatementKind::Cq);
+    }
+
+    #[test]
+    fn negated_statement() {
+        let s = schema();
+        let stmt = Statement::parse("q(X) <- r(X, Y), !banned(X, Y)", &s).unwrap();
+        assert_eq!(stmt.kind(), StatementKind::Negated);
+    }
+
+    #[test]
+    fn quoted_separators_and_bangs_are_constants() {
+        let s = schema();
+        let stmt = Statement::parse("q(X) <- r(X, 'a;b')", &s).unwrap();
+        assert_eq!(stmt.kind(), StatementKind::Cq);
+        let stmt = Statement::parse("q(X) <- r(X, 'a!b')", &s).unwrap();
+        assert_eq!(stmt.kind(), StatementKind::Cq);
+    }
+
+    #[test]
+    fn union_disjuncts_must_share_head_arity() {
+        let s = schema();
+        assert!(matches!(
+            Statement::parse("q(X) <- r(X, Y); q(X, Y) <- s(X, Y)", &s),
+            Err(QueryError::MixedHeadArity { .. })
+        ));
+    }
+
+    #[test]
+    fn negation_inside_a_union_disjunct_is_rejected() {
+        let s = schema();
+        assert!(Statement::parse("q(X) <- r(X, Y), !banned(X, Y); q(X) <- s(X, Y)", &s).is_err());
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        assert_eq!(StatementKind::Cq.name(), "cq");
+        assert_eq!(StatementKind::Union.to_string(), "union");
+        assert_eq!(StatementKind::Negated.name(), "negated");
+    }
+
+    #[test]
+    fn from_impls() {
+        let s = schema();
+        let q = parse_query("q(X) <- r(X, Y)", &s).unwrap();
+        let stmt: Statement = q.clone().into();
+        assert_eq!(stmt.kind(), StatementKind::Cq);
+        let stmt: Statement = UnionQuery::new(vec![q.clone()]).unwrap().into();
+        assert_eq!(stmt.kind(), StatementKind::Union);
+        let stmt: Statement = NegatedQuery::new(q, vec![], &s).unwrap().into();
+        assert_eq!(stmt.kind(), StatementKind::Negated);
+    }
+}

@@ -9,7 +9,7 @@ use std::time::Duration;
 
 use crossbeam::channel::Receiver;
 use toorjah_catalog::Tuple;
-use toorjah_engine::{AccessStats, EngineError};
+use toorjah_engine::{AccessLog, AccessStats, EngineError};
 
 /// An event on the answer stream.
 #[derive(Clone, Debug)]
@@ -22,8 +22,9 @@ pub enum StreamEvent {
         /// Elapsed time when it was produced.
         at: Duration,
     },
-    /// Execution finished; no more events follow.
-    Done(StreamReport),
+    /// Execution finished; no more events follow. Boxed: the report
+    /// (answers + full access log) dwarfs the per-answer events.
+    Done(Box<StreamReport>),
     /// Execution failed; no more events follow.
     Failed(EngineError),
 }
@@ -33,8 +34,13 @@ pub enum StreamEvent {
 pub struct StreamReport {
     /// All distinct answers, in production order.
     pub answers: Vec<Tuple>,
-    /// Access counters.
+    /// Access counters (a snapshot of `log`).
     pub stats: AccessStats,
+    /// The run's full access log: exactly the accesses this run performed
+    /// (plus its cache-served counter), so composite executions — e.g. one
+    /// streaming run per union disjunct — can merge per-run accounts under
+    /// the set semantics ([`AccessLog::merge`]).
+    pub log: AccessLog,
     /// Time until the first answer was produced (`None` when the answer set
     /// is empty).
     pub time_to_first_answer: Option<Duration>,
@@ -71,7 +77,7 @@ impl AnswerStream {
         for event in self.receiver.iter() {
             match event {
                 StreamEvent::Answer { .. } => {}
-                StreamEvent::Done(r) => report = Some(Ok(r)),
+                StreamEvent::Done(r) => report = Some(Ok(*r)),
                 StreamEvent::Failed(e) => report = Some(Err(e)),
             }
         }

@@ -1,19 +1,35 @@
-//! The `Toorjah` facade: parse → plan → execute.
+//! The `Toorjah` facade: parse → prepare → execute.
+//!
+//! The lifecycle has three phases, each its own API step:
+//!
+//! 1. **parse** — [`Statement::parse`] turns text into a [`Statement`]
+//!    (plain CQ, `;`-separated union, or `!`-negated query);
+//! 2. **prepare** — [`Toorjah::prepare`] plans the statement once,
+//!    returning a [`crate::Prepared`] that is `Send + Sync` and cheaply
+//!    re-executable;
+//! 3. **execute** — [`crate::Prepared::execute`] runs the plan under an
+//!    [`ExecMode`] and returns the unified [`Response`].
+//!
+//! [`Toorjah::ask`] remains as the one-shot convenience: it chains the
+//! three phases and stitches the parse/plan timings into the response's
+//! [`crate::ExecutionProfile`].
 
 use std::error::Error;
 use std::fmt;
+use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
+use std::time::Instant;
 
 use toorjah_cache::{CacheStats, SharedAccessCache};
-use toorjah_catalog::{Schema, Tuple};
+use toorjah_catalog::Schema;
 use toorjah_core::{plan_query, CoreError, Planned, Planner};
 use toorjah_engine::{
-    execute_plan_cached, AccessLog, AccessStats, DispatchOptions, DispatchReport, EngineError,
-    ExecOptions, ExecutionReport, SourceProvider,
+    plan_negated, DispatchOptions, EngineError, ExecOptions, NegationError, SourceProvider,
 };
-use toorjah_query::{parse_query, ConjunctiveQuery, QueryError};
+use toorjah_query::{ConjunctiveQuery, QueryError, Statement};
 
-use crate::{run_distillation_cached, AnswerStream, DistillationOptions};
+use crate::prepared::PreparedKind;
+use crate::{DistillationOptions, ExecMode, Prepared, Response};
 
 /// Configuration of a [`Toorjah`] instance.
 #[derive(Clone, Debug, Default)]
@@ -22,19 +38,21 @@ pub struct ToorjahConfig {
     pub planner: Planner,
     /// Sequential execution settings.
     pub exec: ExecOptions,
-    /// Distillation (parallel) settings.
+    /// Distillation (streaming) settings.
     pub distillation: DistillationOptions,
 }
 
 /// Errors surfaced by the facade.
 #[derive(Clone, Debug)]
 pub enum ToorjahError {
-    /// Query parsing/validation failed.
+    /// Statement parsing/validation failed.
     Query(QueryError),
     /// Planning failed (e.g. the query is not answerable).
     Planning(CoreError),
     /// Execution failed.
     Execution(EngineError),
+    /// The requested operation is not supported for this statement kind.
+    Unsupported(String),
 }
 
 impl fmt::Display for ToorjahError {
@@ -43,6 +61,7 @@ impl fmt::Display for ToorjahError {
             ToorjahError::Query(e) => write!(f, "query error: {e}"),
             ToorjahError::Planning(e) => write!(f, "planning error: {e}"),
             ToorjahError::Execution(e) => write!(f, "execution error: {e}"),
+            ToorjahError::Unsupported(what) => write!(f, "unsupported: {what}"),
         }
     }
 }
@@ -53,6 +72,7 @@ impl Error for ToorjahError {
             ToorjahError::Query(e) => Some(e),
             ToorjahError::Planning(e) => Some(e),
             ToorjahError::Execution(e) => Some(e),
+            ToorjahError::Unsupported(_) => None,
         }
     }
 }
@@ -75,38 +95,101 @@ impl From<EngineError> for ToorjahError {
     }
 }
 
-/// The outcome of [`Toorjah::ask`].
-#[derive(Clone, Debug)]
-pub struct AskResult {
-    /// The distinct answers.
-    pub answers: Vec<Tuple>,
-    /// Access counters.
-    pub stats: AccessStats,
-    /// Accesses this query drew from the cache (meta-cache dedup within the
-    /// query, plus warm entries when a session cache is configured).
-    pub cache_hits: u64,
-    /// Accesses this query actually performed against the sources.
-    pub cache_misses: u64,
-    /// Frontier/batch accounting of the dispatcher (per-round frontier
-    /// sizes, batch counts).
-    pub dispatch: DispatchReport,
-    /// The full execution report.
-    pub report: ExecutionReport,
-    /// Everything the planner produced (d-graph, ordering, program, …).
-    pub planned: Planned,
+impl From<NegationError> for ToorjahError {
+    fn from(e: NegationError) -> Self {
+        match e {
+            NegationError::Planning(e) => ToorjahError::Planning(e),
+            NegationError::Execution(e) => ToorjahError::Execution(e),
+            NegationError::Internal(msg) => ToorjahError::Planning(CoreError::Internal(msg)),
+        }
+    }
+}
+
+/// Builds a [`Toorjah`] instance: provider, planner/executor configuration,
+/// dispatch settings and an optional session cache in one fluent chain.
+///
+/// ```
+/// use toorjah_catalog::{Instance, Schema};
+/// use toorjah_engine::{DispatchOptions, InstanceSource};
+/// use toorjah_system::Toorjah;
+/// use toorjah_cache::SharedAccessCache;
+///
+/// let schema = Schema::parse("r^oo(A, B)").unwrap();
+/// let provider = InstanceSource::new(schema.clone(), Instance::new(&schema));
+/// let system = Toorjah::builder(provider)
+///     .dispatch(DispatchOptions::parallel(4).with_batch_size(8))
+///     .cache(SharedAccessCache::unbounded())
+///     .build();
+/// assert!(system.session_cache().is_some());
+/// ```
+pub struct ToorjahBuilder {
+    provider: Arc<dyn SourceProvider>,
+    config: ToorjahConfig,
+    session_cache: Option<SharedAccessCache>,
+}
+
+impl ToorjahBuilder {
+    /// Replaces the whole configuration at once.
+    pub fn config(mut self, config: ToorjahConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Replaces the planner settings.
+    pub fn planner(mut self, planner: Planner) -> Self {
+        self.config.planner = planner;
+        self
+    }
+
+    /// Replaces the executor settings.
+    pub fn exec(mut self, exec: ExecOptions) -> Self {
+        self.config.exec = exec;
+        self
+    }
+
+    /// Replaces the distillation (streaming) settings.
+    pub fn distillation(mut self, distillation: DistillationOptions) -> Self {
+        self.config.distillation = distillation;
+        self
+    }
+
+    /// Configures how each round's access frontier is dispatched (worker
+    /// threads, batched round trips). Answers and access counts are
+    /// invariant in these settings; only wall-clock changes.
+    pub fn dispatch(mut self, dispatch: DispatchOptions) -> Self {
+        self.config.exec.dispatch = dispatch;
+        self
+    }
+
+    /// Installs a session cache shared by every statement this instance
+    /// (and any other holder of the handle) executes.
+    pub fn cache(mut self, cache: SharedAccessCache) -> Self {
+        self.session_cache = Some(cache);
+        self
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> Toorjah {
+        Toorjah {
+            provider: self.provider,
+            config: self.config,
+            session_cache: self.session_cache,
+        }
+    }
 }
 
 /// The Toorjah system: a source provider plus the planner/executor pipeline.
 ///
-/// By default each query evaluates against a private, unbounded access
+/// By default each statement evaluates against a private, unbounded access
 /// cache (the paper's one-shot semantics). Install a session cache with
-/// [`Toorjah::with_cache`] to share extractions across queries — and, since
-/// [`SharedAccessCache`] handles are cheaply cloneable, across any number
-/// of `Toorjah` instances and threads serving the same provider.
+/// [`Toorjah::builder`] (or [`Toorjah::with_cache`]) to share extractions
+/// across statements — and, since [`SharedAccessCache`] handles are cheaply
+/// cloneable, across any number of `Toorjah` instances and threads serving
+/// the same provider.
 pub struct Toorjah {
-    provider: Arc<dyn SourceProvider>,
-    config: ToorjahConfig,
-    session_cache: Option<SharedAccessCache>,
+    pub(crate) provider: Arc<dyn SourceProvider>,
+    pub(crate) config: ToorjahConfig,
+    pub(crate) session_cache: Option<SharedAccessCache>,
 }
 
 impl Toorjah {
@@ -128,16 +211,33 @@ impl Toorjah {
         }
     }
 
-    /// Replaces the configuration.
+    /// Starts a [`ToorjahBuilder`] over a provider — the one-stop
+    /// configuration surface consolidating [`Toorjah::with_config`],
+    /// [`Toorjah::with_cache`] and [`Toorjah::with_dispatch`].
+    pub fn builder(provider: impl SourceProvider + 'static) -> ToorjahBuilder {
+        Self::builder_from_arc(Arc::new(provider))
+    }
+
+    /// [`Toorjah::builder`] over an already-shared provider.
+    pub fn builder_from_arc(provider: Arc<dyn SourceProvider>) -> ToorjahBuilder {
+        ToorjahBuilder {
+            provider,
+            config: ToorjahConfig::default(),
+            session_cache: None,
+        }
+    }
+
+    /// Replaces the configuration (shorthand for the builder's
+    /// [`ToorjahBuilder::config`]).
     pub fn with_config(mut self, config: ToorjahConfig) -> Self {
         self.config = config;
         self
     }
 
-    /// Installs a session cache: consecutive queries (and any other session
-    /// holding a clone of the handle) skip accesses that are already
-    /// retained. Answers are invariant under cache reuse; only the access
-    /// counts drop (see DESIGN.md).
+    /// Installs a session cache: consecutive statements (and any other
+    /// session holding a clone of the handle) skip accesses that are
+    /// already retained. Answers are invariant under cache reuse; only the
+    /// access counts drop (see DESIGN.md).
     pub fn with_cache(mut self, cache: SharedAccessCache) -> Self {
         self.session_cache = Some(cache);
         self
@@ -163,139 +263,153 @@ impl Toorjah {
         self.session_cache.as_ref().map(SharedAccessCache::stats)
     }
 
-    /// The cache a query execution should use: the session cache, or a
-    /// fresh private one (the paper's per-query meta-cache semantics).
-    fn execution_cache(&self) -> SharedAccessCache {
-        self.session_cache
-            .clone()
-            .unwrap_or_else(SharedAccessCache::unbounded)
-    }
-
     /// The schema of the underlying sources.
     pub fn schema(&self) -> &Schema {
         self.provider.schema()
     }
 
-    /// Parses, plans and executes a query given in the paper's textual
-    /// notation (e.g. `q(C) <- r1('a', B), r2(B, C)`), returning all
-    /// obtainable answers with access statistics.
-    pub fn ask(&self, query_text: &str) -> Result<AskResult, ToorjahError> {
-        let query = parse_query(query_text, self.provider.schema())?;
-        self.ask_query(&query)
+    /// The [`ExecMode`] one-shot calls use: [`ExecMode::Sequential`], or
+    /// [`ExecMode::Parallel`] when dispatch settings were configured.
+    pub fn default_mode(&self) -> ExecMode {
+        Self::mode_for(&self.config)
     }
 
-    /// [`Toorjah::ask`] for an already parsed query.
-    pub fn ask_query(&self, query: &ConjunctiveQuery) -> Result<AskResult, ToorjahError> {
-        let planned = self.config.planner.plan(query, self.provider.schema())?;
-        let cache = self.execution_cache();
-        let mut log = AccessLog::new();
-        let report = execute_plan_cached(
-            &planned.plan,
-            self.provider.as_ref(),
-            self.config.exec,
-            &cache,
-            &mut log,
-        )?;
-        // Attribution comes from this query's own log, so concurrent
-        // sessions sharing the cache handle cannot contaminate each other's
-        // numbers.
-        Ok(AskResult {
-            answers: report.answers.clone(),
-            stats: report.stats.clone(),
-            cache_hits: log.cache_served() as u64,
-            cache_misses: log.total() as u64,
-            dispatch: report.dispatch.clone(),
-            report,
-            planned,
+    pub(crate) fn mode_for(config: &ToorjahConfig) -> ExecMode {
+        if config.exec.dispatch == DispatchOptions::sequential() {
+            ExecMode::Sequential
+        } else {
+            ExecMode::Parallel(config.exec.dispatch)
+        }
+    }
+
+    /// Plans a statement once, returning a [`Prepared`] that executes any
+    /// number of times — from any thread — without re-planning. The plan
+    /// depends only on statement and schema, never on data seen during an
+    /// execution.
+    ///
+    /// Non-answerable statements fail here for CQs and negated queries;
+    /// non-answerable *union disjuncts* are skipped (their indexes are
+    /// reported by [`Prepared::skipped_disjuncts`] and every
+    /// [`Response::skipped_disjuncts`]), mirroring the union semantics of
+    /// §II: a disjunct with no obtainable answers contributes nothing.
+    pub fn prepare(&self, statement: &Statement) -> Result<Prepared, ToorjahError> {
+        let schema = self.provider.schema();
+        let kind = match statement {
+            Statement::Cq(q) => PreparedKind::Cq(Box::new(self.config.planner.plan(q, schema)?)),
+            Statement::Union(u) => {
+                let mut planned = Vec::new();
+                let mut skipped = Vec::new();
+                for (i, cq) in u.cqs().iter().enumerate() {
+                    match self.config.planner.plan(cq, schema) {
+                        Ok(p) => planned.push(p),
+                        Err(CoreError::NotAnswerable { .. }) => skipped.push(i),
+                        Err(e) => return Err(e.into()),
+                    }
+                }
+                PreparedKind::Union { planned, skipped }
+            }
+            Statement::Negated(nq) => {
+                PreparedKind::Negated(Box::new(plan_negated(nq, schema, &self.config.planner)?))
+            }
+        };
+        Ok(Prepared {
+            provider: Arc::clone(&self.provider),
+            config: self.config.clone(),
+            session_cache: self.session_cache.clone(),
+            statement: statement.clone(),
+            kind,
+            executions: AtomicU64::new(0),
         })
+    }
+
+    /// One-shot convenience: parse → prepare → execute under the
+    /// configured [`Toorjah::default_mode`], with all three phase timings
+    /// stitched into the response profile. Handles every statement kind —
+    /// plain CQs, `;`-separated unions, `!`-negated queries.
+    pub fn ask(&self, text: &str) -> Result<Response, ToorjahError> {
+        self.ask_with(text, self.default_mode())
+    }
+
+    /// [`Toorjah::ask`] under an explicit [`ExecMode`].
+    pub fn ask_with(&self, text: &str, mode: ExecMode) -> Result<Response, ToorjahError> {
+        let parse_started = Instant::now();
+        let statement = Statement::parse(text, self.provider.schema())?;
+        let parse = parse_started.elapsed();
+        let plan_started = Instant::now();
+        let prepared = self.prepare(&statement)?;
+        let plan = plan_started.elapsed();
+        let mut response = prepared.execute(mode)?;
+        response.profile.timings.parse = Some(parse);
+        response.profile.timings.plan = Some(plan);
+        response.profile.timings.total += parse + plan;
+        Ok(response)
+    }
+
+    /// [`Toorjah::ask`] for an already parsed conjunctive query (no parse
+    /// phase; the plan timing is still reported).
+    pub fn ask_query(&self, query: &ConjunctiveQuery) -> Result<Response, ToorjahError> {
+        let plan_started = Instant::now();
+        let prepared = self.prepare(&Statement::Cq(query.clone()))?;
+        let plan = plan_started.elapsed();
+        let mut response = prepared.execute(self.default_mode())?;
+        response.profile.timings.plan = Some(plan);
+        response.profile.timings.total += plan;
+        Ok(response)
     }
 
     /// Plans a query without executing it.
     pub fn plan(&self, query_text: &str) -> Result<Planned, ToorjahError> {
-        let query = parse_query(query_text, self.provider.schema())?;
+        let query = toorjah_query::parse_query(query_text, self.provider.schema())?;
         Ok(plan_query(&query, self.provider.schema())?)
     }
 
-    /// Answers a union of conjunctive queries (§II): each disjunct gets its
-    /// own ⊂-minimal plan, all disjuncts share one meta-cache (no access is
-    /// repeated across them), and the answers are unioned. Non-answerable
-    /// disjuncts contribute nothing and are skipped (their indexes are
-    /// returned).
-    pub fn ask_union(
-        &self,
-        query_texts: &[&str],
-    ) -> Result<(toorjah_engine::UnionReport, Vec<usize>), ToorjahError> {
-        let schema = self.provider.schema();
-        let queries = query_texts
-            .iter()
-            .map(|t| parse_query(t, schema))
-            .collect::<Result<Vec<_>, _>>()?;
-        let union = toorjah_query::UnionQuery::new(queries)?;
-        let mut planned = Vec::new();
-        let mut skipped = Vec::new();
-        for (i, cq) in union.cqs().iter().enumerate() {
-            match self.config.planner.plan(cq, schema) {
-                Ok(p) => planned.push(p),
-                Err(CoreError::NotAnswerable { .. }) => skipped.push(i),
-                Err(e) => return Err(e.into()),
+    /// A human-readable explanation of a statement's plan(s): the minimized
+    /// quer(ies), the relevant sources with their ordering positions,
+    /// ∀-minimality, and the generated Datalog program — per disjunct for
+    /// unions, plus the negated atoms for negated statements.
+    pub fn explain(&self, text: &str) -> Result<String, ToorjahError> {
+        let statement = Statement::parse(text, self.provider.schema())?;
+        let prepared = self.prepare(&statement)?;
+        let mut out = String::new();
+        match &statement {
+            Statement::Cq(_) => {
+                let planned = prepared.planned().expect("CQ statements are planned");
+                out.push_str(&self.explain_planned(planned));
+            }
+            Statement::Union(_) => {
+                for (i, planned) in prepared.disjunct_plans().iter().enumerate() {
+                    out.push_str(&format!("== disjunct {i} ==\n"));
+                    out.push_str(&self.explain_planned(planned));
+                }
+                for &i in prepared.skipped_disjuncts() {
+                    out.push_str(&format!("== disjunct {i}: not answerable (skipped) ==\n"));
+                }
+            }
+            Statement::Negated(nq) => {
+                let planned = prepared.planned().expect("negated statements are planned");
+                out.push_str(&self.explain_planned(planned));
+                out.push_str("negation checks (decided exactly, per candidate):\n");
+                for atom in nq.negated() {
+                    out.push_str(&format!(
+                        "  not {}/{}\n",
+                        self.provider.schema().relation(atom.relation()).name(),
+                        atom.arity(),
+                    ));
+                }
             }
         }
-        let plans: Vec<&toorjah_core::QueryPlan> = planned.iter().map(|p| &p.plan).collect();
-        let mut log = AccessLog::new();
-        let report = toorjah_engine::execute_union_cached(
-            &plans,
-            self.provider.as_ref(),
-            self.config.exec,
-            &self.execution_cache(),
-            &mut log,
-        )?;
-        Ok((report, skipped))
+        let dispatch = self.config.exec.dispatch;
+        out.push_str(&format!(
+            "dispatch: parallelism={}, batch_size={}\n",
+            dispatch.parallelism, dispatch.batch_size
+        ));
+        if let Some(stats) = self.cache_stats() {
+            out.push_str(&format!("session cache: {stats}\n"));
+        }
+        Ok(out)
     }
 
-    /// Answers a conjunctive query with safe negation (§VII / reference
-    /// \[18\]): the
-    /// positive part runs through the optimized plan, and each negated atom
-    /// is decided exactly by accessing its relation with the candidate's
-    /// bound input values (meta-cached, so repeats are free).
-    pub fn ask_negated(
-        &self,
-        query: &toorjah_query::NegatedQuery,
-    ) -> Result<toorjah_engine::NegationReport, ToorjahError> {
-        toorjah_engine::execute_negated_cached(
-            query,
-            self.provider.schema(),
-            self.provider.as_ref(),
-            self.config.exec,
-            &self.execution_cache(),
-        )
-        .map_err(|e| match e {
-            toorjah_engine::NegationError::Planning(e) => ToorjahError::Planning(e),
-            toorjah_engine::NegationError::Execution(e) => ToorjahError::Execution(e),
-            toorjah_engine::NegationError::Internal(msg) => {
-                ToorjahError::Planning(CoreError::Internal(msg))
-            }
-        })
-    }
-
-    /// Parses, plans and executes a query with the §V distillation strategy:
-    /// wrapper threads access the sources in parallel and answers stream out
-    /// as soon as they are computed.
-    pub fn ask_streaming(&self, query_text: &str) -> Result<AnswerStream, ToorjahError> {
-        let query = parse_query(query_text, self.provider.schema())?;
-        let planned = self.config.planner.plan(&query, self.provider.schema())?;
-        Ok(run_distillation_cached(
-            planned.plan.clone(),
-            Arc::clone(&self.provider),
-            self.config.distillation,
-            self.execution_cache(),
-        ))
-    }
-
-    /// A human-readable explanation of the plan: the minimized query, the
-    /// relevant sources with their ordering positions, ∀-minimality, and the
-    /// generated Datalog program.
-    pub fn explain(&self, query_text: &str) -> Result<String, ToorjahError> {
-        let planned = self.plan(query_text)?;
+    fn explain_planned(&self, planned: &Planned) -> String {
         let schema = &planned.plan.schema;
         let mut out = String::new();
         out.push_str(&format!(
@@ -331,268 +445,6 @@ impl Toorjah {
         for rule in planned.plan.program.rules() {
             out.push_str(&format!("  {}\n", planned.plan.program.render_rule(rule)));
         }
-        let dispatch = self.config.exec.dispatch;
-        out.push_str(&format!(
-            "dispatch: parallelism={}, batch_size={}\n",
-            dispatch.parallelism, dispatch.batch_size
-        ));
-        if let Some(stats) = self.cache_stats() {
-            out.push_str(&format!("session cache: {stats}\n"));
-        }
-        Ok(out)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use toorjah_catalog::{tuple, Instance};
-    use toorjah_engine::InstanceSource;
-
-    fn example_system() -> Toorjah {
-        let schema = Schema::parse("r1^io(A, B) r2^io(B, C) r3^io(C, A)").unwrap();
-        let db = Instance::with_data(
-            &schema,
-            [
-                ("r1", vec![tuple!["a", "b1"]]),
-                ("r2", vec![tuple!["b1", "c1"]]),
-                ("r3", vec![tuple!["c1", "a"]]),
-            ],
-        )
-        .unwrap();
-        Toorjah::new(InstanceSource::new(schema, db))
-    }
-
-    #[test]
-    fn ask_end_to_end() {
-        let system = example_system();
-        let result = system.ask("q(C) <- r1('a', B), r2(B, C)").unwrap();
-        assert_eq!(result.answers, vec![tuple!["c1"]]);
-        assert_eq!(result.stats.total_accesses, 2);
-        assert!(result.planned.minimality.forall_minimal);
-    }
-
-    #[test]
-    fn parse_errors_are_surfaced() {
-        let system = example_system();
-        assert!(matches!(
-            system.ask("q(C) <- nope(C)"),
-            Err(ToorjahError::Query(_))
-        ));
-    }
-
-    #[test]
-    fn non_answerable_queries_fail_at_planning() {
-        let schema = Schema::parse("r1^io(A, C) r2^io(B, C)").unwrap();
-        let system = Toorjah::new(InstanceSource::new(schema.clone(), Instance::new(&schema)));
-        assert!(matches!(
-            system.ask("q(C) <- r1(X, C)"),
-            Err(ToorjahError::Planning(CoreError::NotAnswerable { .. }))
-        ));
-    }
-
-    #[test]
-    fn explain_mentions_program_and_relevance() {
-        let system = example_system();
-        let text = system.explain("q(C) <- r1('a', B), r2(B, C)").unwrap();
-        assert!(text.contains("datalog program"));
-        assert!(text.contains("r1_hat1"));
-        assert!(
-            !text.contains("r3_hat"),
-            "irrelevant r3 must not be cached:\n{text}"
-        );
-        assert!(text.contains("forall-minimal: yes"));
-    }
-
-    #[test]
-    fn schema_accessor() {
-        let system = example_system();
-        assert_eq!(system.schema().relation_count(), 3);
-    }
-
-    #[test]
-    fn parallel_dispatch_is_answer_invariant_and_reported() {
-        let sequential = example_system()
-            .ask("q(C) <- r1('a', B), r2(B, C)")
-            .unwrap();
-        let parallel = example_system()
-            .with_dispatch(DispatchOptions::parallel(4).with_batch_size(2))
-            .ask("q(C) <- r1('a', B), r2(B, C)")
-            .unwrap();
-        assert_eq!(parallel.answers, sequential.answers);
-        assert_eq!(parallel.stats, sequential.stats);
-        assert_eq!(
-            parallel.dispatch.frontier_sizes, sequential.dispatch.frontier_sizes,
-            "the frontiers themselves are dispatch-invariant"
-        );
-        assert!(parallel.dispatch.frontiers() > 0);
-        assert!(
-            parallel.dispatch.batches <= sequential.dispatch.batches,
-            "batching can only reduce round trips"
-        );
-    }
-
-    #[test]
-    fn explain_mentions_dispatch_configuration() {
-        let system = example_system().with_dispatch(DispatchOptions::parallel(8));
-        let text = system.explain("q(C) <- r1('a', B), r2(B, C)").unwrap();
-        assert!(text.contains("parallelism=8"), "{text}");
-        assert!(text.contains("batch_size=1"), "{text}");
-    }
-
-    #[test]
-    fn session_cache_makes_repeat_queries_free() {
-        let system = example_system().with_cache(SharedAccessCache::unbounded());
-        let cold = system.ask("q(C) <- r1('a', B), r2(B, C)").unwrap();
-        assert_eq!(cold.stats.total_accesses, 2);
-        assert_eq!(cold.cache_misses, 2);
-        let warm = system.ask("q(C) <- r1('a', B), r2(B, C)").unwrap();
-        assert_eq!(warm.answers, cold.answers);
-        assert_eq!(warm.stats.total_accesses, 0, "warm query pays nothing");
-        assert_eq!(warm.cache_hits, 2);
-        assert_eq!(warm.cache_misses, 0);
-        let stats = system.cache_stats().unwrap();
-        assert_eq!(stats.entries, 2);
-        assert_eq!(stats.misses, 2);
-    }
-
-    #[test]
-    fn without_session_cache_queries_stay_independent() {
-        let system = example_system();
-        assert!(system.cache_stats().is_none());
-        assert!(system.session_cache().is_none());
-        let first = system.ask("q(C) <- r1('a', B), r2(B, C)").unwrap();
-        let second = system.ask("q(C) <- r1('a', B), r2(B, C)").unwrap();
-        // No sharing: both runs pay the full access count.
-        assert_eq!(first.stats.total_accesses, 2);
-        assert_eq!(second.stats.total_accesses, 2);
-        assert_eq!(second.cache_misses, 2);
-    }
-
-    #[test]
-    fn two_sessions_share_one_cache_handle() {
-        let schema = Schema::parse("r1^io(A, B) r2^io(B, C) r3^io(C, A)").unwrap();
-        let db = Instance::with_data(
-            &schema,
-            [
-                ("r1", vec![tuple!["a", "b1"]]),
-                ("r2", vec![tuple!["b1", "c1"]]),
-                ("r3", vec![tuple!["c1", "a"]]),
-            ],
-        )
-        .unwrap();
-        let provider: Arc<dyn SourceProvider> = Arc::new(InstanceSource::new(schema, db));
-        let cache = SharedAccessCache::unbounded();
-        let one = Toorjah::from_arc(Arc::clone(&provider)).with_cache(cache.clone());
-        let two = Toorjah::from_arc(provider).with_cache(cache);
-        one.ask("q(C) <- r1('a', B), r2(B, C)").unwrap();
-        let warm = two.ask("q(C) <- r1('a', B), r2(B, C)").unwrap();
-        assert_eq!(warm.stats.total_accesses, 0, "cross-session sharing");
-    }
-
-    #[test]
-    fn explain_surfaces_session_cache_stats() {
-        let system = example_system().with_cache(SharedAccessCache::unbounded());
-        system.ask("q(C) <- r1('a', B), r2(B, C)").unwrap();
-        let text = system.explain("q(C) <- r1('a', B), r2(B, C)").unwrap();
-        assert!(text.contains("session cache: 2 entries"), "{text}");
-        // Without a session cache the line is absent.
-        let text = example_system()
-            .explain("q(C) <- r1('a', B), r2(B, C)")
-            .unwrap();
-        assert!(!text.contains("session cache"), "{text}");
-    }
-}
-
-#[cfg(test)]
-mod union_tests {
-    use super::*;
-    use toorjah_catalog::{tuple, Instance};
-    use toorjah_engine::InstanceSource;
-
-    #[test]
-    fn ask_union_merges_and_skips() {
-        let schema = Schema::parse("r^io(A, B) s^io(A, B) f^o(A) dead^io(Z, B)").unwrap();
-        let db = Instance::with_data(
-            &schema,
-            [
-                ("r", vec![tuple!["a", "rb"]]),
-                ("s", vec![tuple!["a", "sb"]]),
-                ("f", vec![tuple!["a"]]),
-            ],
-        )
-        .unwrap();
-        let system = Toorjah::new(InstanceSource::new(schema, db));
-        let (report, skipped) = system
-            .ask_union(&[
-                "q(B) <- f(X), r(X, B)",
-                "q(B) <- f(X), s(X, B)",
-                // Not answerable: `dead` needs domain Z that nothing yields.
-                "q(B) <- dead(Z, B)",
-            ])
-            .unwrap();
-        let mut answers = report.answers.clone();
-        answers.sort();
-        assert_eq!(answers, vec![tuple!["rb"], tuple!["sb"]]);
-        assert_eq!(skipped, vec![2]);
-        // f accessed once for both disjuncts.
-        let f = system.schema().relation_id("f").unwrap();
-        assert_eq!(report.stats.accesses_to(f), 1);
-    }
-
-    #[test]
-    fn ask_union_rejects_mixed_arity() {
-        let schema = Schema::parse("r^oo(A, B)").unwrap();
-        let db = Instance::new(&schema);
-        let system = Toorjah::new(InstanceSource::new(schema, db));
-        assert!(system
-            .ask_union(&["q(X) <- r(X, Y)", "q(X, Y) <- r(X, Y)"])
-            .is_err());
-    }
-}
-
-#[cfg(test)]
-mod streaming_tests {
-    use super::*;
-    use crate::StreamEvent;
-    use toorjah_catalog::{tuple, Instance};
-    use toorjah_engine::InstanceSource;
-
-    fn system() -> Toorjah {
-        let schema = Schema::parse("f^oo(A, B) g^io(B, C)").unwrap();
-        let db = Instance::with_data(
-            &schema,
-            [
-                ("f", vec![tuple!["a1", "b1"], tuple!["a2", "b2"]]),
-                ("g", vec![tuple!["b1", "c1"], tuple!["b2", "c2"]]),
-            ],
-        )
-        .unwrap();
-        Toorjah::new(InstanceSource::new(schema, db))
-    }
-
-    #[test]
-    fn streaming_answers_iterator() {
-        let stream = system().ask_streaming("q(C) <- f(A, B), g(B, C)").unwrap();
-        let mut answers: Vec<_> = stream.answers().collect();
-        answers.sort();
-        assert_eq!(answers, vec![tuple!["c1"], tuple!["c2"]]);
-    }
-
-    #[test]
-    fn streaming_events_are_timestamped_and_terminated() {
-        let stream = system().ask_streaming("q(C) <- f(A, B), g(B, C)").unwrap();
-        let mut saw_done = false;
-        while let Some(event) = stream.next_event() {
-            match event {
-                StreamEvent::Answer { at, .. } => assert!(at.as_nanos() > 0),
-                StreamEvent::Done(report) => {
-                    saw_done = true;
-                    assert_eq!(report.answers.len(), 2);
-                }
-                StreamEvent::Failed(e) => panic!("unexpected failure: {e}"),
-            }
-        }
-        assert!(saw_done);
+        out
     }
 }

@@ -5,10 +5,13 @@
 //! conjunctive queries over sources with access limitations by means of
 //! access-minimal query plans.
 //!
+//! The API is a **statement lifecycle** — parse → prepare → execute — with
+//! one request type ([`Statement`]) and one response type ([`Response`]):
+//!
 //! ```
 //! use toorjah_catalog::{Instance, Schema, tuple};
 //! use toorjah_engine::InstanceSource;
-//! use toorjah_system::Toorjah;
+//! use toorjah_system::{ExecMode, Statement, Toorjah};
 //!
 //! let schema = Schema::parse("r1^io(A, B) r2^io(B, C) r3^io(C, A)").unwrap();
 //! let db = Instance::with_data(&schema, [
@@ -18,33 +21,49 @@
 //! ]).unwrap();
 //! let system = Toorjah::new(InstanceSource::new(schema, db));
 //!
-//! let result = system.ask("q(C) <- r1('a', B), r2(B, C)").unwrap();
-//! assert_eq!(result.answers, vec![tuple!["c1"]]);
+//! // Parse once, plan once, execute as often as you like:
+//! let statement = Statement::parse("q(C) <- r1('a', B), r2(B, C)", system.schema()).unwrap();
+//! let prepared = system.prepare(&statement).unwrap();
+//! let response = prepared.execute(ExecMode::Sequential).unwrap();
+//! assert_eq!(response.answers, vec![tuple!["c1"]]);
 //! // r3 is irrelevant: the optimized plan never touches it.
-//! assert_eq!(result.stats.total_accesses, 2);
+//! assert_eq!(response.profile.stats.total_accesses, 2);
+//!
+//! // Or one-shot, any statement kind (CQ, `;`-union, `!`-negation):
+//! let response = system.ask("q(C) <- r1('a', B), r2(B, C)").unwrap();
+//! assert_eq!(response.answers, vec![tuple!["c1"]]);
 //! ```
 //!
-//! Besides the sequential fast-failing execution ([`Toorjah::ask`]), the
-//! facade offers the paper's **distillation** strategy
-//! ([`Toorjah::ask_streaming`]): per-relation wrapper threads with bounded
-//! queues receive access tuples as soon as they can be generated from the
-//! cache database, and answers are delivered incrementally as they are
-//! computed — "the system retrieves tuples that are significant for the
-//! answer in a time that is usually very short, compared to the total
-//! execution time".
+//! Execution modes ([`ExecMode`]) cover the paper's strategies without
+//! separate entry points: `Sequential` (the §IV fast-failing executor),
+//! `Parallel` (frontier-batched dispatch over worker threads), and
+//! `Streaming` (the §V distillation executor; use [`Prepared::stream`] for
+//! incremental answers). Answers and access counts are mode-invariant.
 //!
-//! For serving workloads, [`Toorjah::with_cache`] installs a session-level
+//! For serving workloads, [`Toorjah::builder`] installs a session-level
 //! [`toorjah_cache::SharedAccessCache`]: consecutive (and concurrent)
-//! queries over the same provider skip accesses that are already retained,
-//! with per-query effectiveness surfaced through [`AskResult`]'s
-//! `cache_hits`/`cache_misses` and [`Toorjah::cache_stats`].
+//! statements over the same provider skip accesses that are already
+//! retained, with per-execution effectiveness surfaced through the
+//! [`ExecutionProfile`]'s `accesses_served_by_cache` /
+//! `accesses_performed` counters.
 
 #![warn(missing_docs)]
 
 mod answers;
 mod facade;
+mod json;
 mod parallel;
+mod prepared;
+mod response;
 
 pub use answers::{AnswerStream, StreamEvent, StreamReport};
-pub use facade::{AskResult, Toorjah, ToorjahConfig, ToorjahError};
+pub use facade::{Toorjah, ToorjahBuilder, ToorjahConfig, ToorjahError};
 pub use parallel::{run_distillation, run_distillation_cached, DistillationOptions};
+pub use prepared::Prepared;
+pub use response::{ExecMode, ExecutionProfile, PhaseTimings, Response};
+// The statement types, re-exported so facade users need no direct
+// `toorjah-query` dependency.
+pub use toorjah_query::{Statement, StatementKind};
+
+#[cfg(test)]
+mod facade_tests;

@@ -249,7 +249,11 @@ fn coordinate(
                 }
                 let key = (relation, binding.clone());
                 if let Some(tuples) = extractions.get(&key) {
-                    // Already available to this run: applied at zero cost.
+                    // Already available to this run: applied at zero cost
+                    // (the meta-cache discipline — counted as cache-served,
+                    // like a repeated frontier request in the sequential
+                    // path).
+                    log.record_cache_served();
                     apply_extraction(
                         &plan,
                         &answer_rule,
@@ -268,6 +272,7 @@ fn coordinate(
                     if let Some(tuples) = access_cache.try_get(relation, &binding) {
                         // Retained by the shared cache (a previous query or
                         // a warm-started snapshot): no wrapper involved.
+                        log.record_cache_served();
                         apply_extraction(
                             &plan,
                             &answer_rule,
@@ -331,6 +336,8 @@ fn coordinate(
                             // cache-served wrapper results are free.
                             log.record(result.relation, result.binding.clone());
                             log.record_extracted(result.relation, tuples.iter());
+                        } else {
+                            log.record_cache_served();
                         }
                         apply_extraction(
                             &plan,
@@ -365,10 +372,11 @@ fn coordinate(
     let report = StreamReport {
         answers,
         stats: log.stats(),
+        log,
         time_to_first_answer: first_answer_at,
         total_time: started.elapsed(),
     };
-    let _ = events.send(StreamEvent::Done(report));
+    let _ = events.send(StreamEvent::Done(Box::new(report)));
 }
 
 /// Inserts an extraction into a cache and streams the answers newly

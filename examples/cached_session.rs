@@ -32,6 +32,7 @@ fn main() {
             cold_system
                 .ask(q)
                 .expect("workload query")
+                .profile
                 .stats
                 .total_accesses
         })
@@ -44,10 +45,10 @@ fn main() {
     let mut warm_total = 0usize;
     for (i, q) in queries.iter().enumerate() {
         let result = session.ask(q).expect("workload query");
-        warm_total += result.stats.total_accesses;
+        warm_total += result.profile.stats.total_accesses;
         println!(
             "  q{i:02}: {:>3} accesses ({:>3} cache hits)  {q}",
-            result.stats.total_accesses, result.cache_hits
+            result.profile.stats.total_accesses, result.profile.accesses_served_by_cache
         );
     }
 
@@ -73,6 +74,7 @@ fn main() {
             warm_started
                 .ask(q)
                 .expect("workload query")
+                .profile
                 .stats
                 .total_accesses
         })

@@ -11,8 +11,8 @@
 use toorjah::catalog::{tuple, Instance, Schema};
 use toorjah::core::{is_feasible, is_orderable};
 use toorjah::engine::{check_completeness, ExecOptions, InstanceSource};
-use toorjah::query::{parse_query, Atom, NegatedQuery, Term, VarId};
-use toorjah::system::Toorjah;
+use toorjah::query::parse_query;
+use toorjah::system::{ExecMode, Statement, Toorjah};
 
 fn main() {
     let schema = Schema::parse(
@@ -66,22 +66,24 @@ fn main() {
     );
 
     // 3. Safe negation: screened = contracted people NOT on the sanctions
-    //    list (¬sanctions(P, A) is decided exactly by a per-person lookup).
-    let p = q.var_names().iter().position(|n| n == "P").unwrap();
-    let sanctions = schema.relation_id("sanctions").unwrap();
-    // ¬sanctions(P, 'ofac')
-    let negated = Atom::new(
-        sanctions,
-        vec![Term::Var(VarId(p as u32)), Term::Const("ofac".into())],
-    );
-    let nq = NegatedQuery::new(q, vec![negated], &schema).expect("safe negation");
-    let report = system.ask_negated(&nq).expect("negated query runs");
+    //    list (¬sanctions(P, 'ofac') is decided exactly by a per-person
+    //    lookup). Negation is plain statement syntax now: a `!`-prefixed
+    //    literal, prepared and executed like any other statement.
+    let negated = Statement::parse(
+        "q(P, Country) <- contracts(Co, P), registry(Co, Country), !sanctions(P, 'ofac')",
+        &schema,
+    )
+    .expect("safe negation parses");
+    let prepared = system.prepare(&negated).expect("negated statement plans");
+    let response = prepared
+        .execute(ExecMode::Sequential)
+        .expect("negated query runs");
     println!("\ncleared contractors (not OFAC-sanctioned):");
-    for answer in &report.answers {
+    for answer in &response.answers {
         println!("  {answer}");
     }
     println!(
         "{} candidate(s) rejected by the sanction check; {} total accesses",
-        report.rejected, report.stats.total_accesses,
+        response.rejected, response.profile.stats.total_accesses,
     );
 }

@@ -45,14 +45,15 @@ fn main() {
                 "{:<12}{:>14}{:>14}{:>12}{:>12}",
                 rel.name(),
                 fmt(naive.stats.accesses_to(id)),
-                fmt(optimized.stats.accesses_to(id)),
+                fmt(optimized.stats().accesses_to(id)),
                 fmt(naive.stats.extracted_from(id)),
-                fmt(optimized.stats.extracted_from(id)),
+                fmt(optimized.stats().extracted_from(id)),
             );
         }
         let saved = 100.0
             * (1.0
-                - optimized.stats.total_accesses as f64 / naive.stats.total_accesses.max(1) as f64);
+                - optimized.stats().total_accesses as f64
+                    / naive.stats.total_accesses.max(1) as f64);
         println!(
             "answers: {} (identical: {}); accesses {} → {} ({saved:.1}% saved)",
             optimized.answers.len(),
@@ -64,7 +65,7 @@ fn main() {
                 a == b
             },
             naive.stats.total_accesses,
-            optimized.stats.total_accesses,
+            optimized.stats().total_accesses,
         );
     }
 }

@@ -10,7 +10,7 @@
 
 use toorjah::catalog::{tuple, Instance, Schema};
 use toorjah::engine::InstanceSource;
-use toorjah::system::Toorjah;
+use toorjah::system::{ExecMode, Statement, Toorjah};
 
 fn main() {
     let schema = Schema::parse(
@@ -55,20 +55,39 @@ fn main() {
     println!("== plan ==");
     println!("{}", system.explain(query).expect("query plans"));
 
-    let result = system.ask(query).expect("query executes");
+    // The statement lifecycle: parse once, prepare (plan) once, execute as
+    // often as you like — re-executions skip parse and plan entirely.
+    let statement = Statement::parse(query, system.schema()).expect("statement parses");
+    let prepared = system.prepare(&statement).expect("statement plans");
+    let response = prepared
+        .execute(ExecMode::Sequential)
+        .expect("query executes");
     println!("== answers ==");
-    for answer in &result.answers {
+    for answer in &response.answers {
         println!("  {answer}");
     }
     println!("\n== accesses ==");
-    print!("{}", result.stats.table(system.schema()));
+    print!("{}", response.stats().table(system.schema()));
     println!(
         "\n{} total accesses; forall-minimal plan: {}",
-        result.stats.total_accesses,
-        if result.planned.minimality.forall_minimal {
+        response.stats().total_accesses,
+        if prepared
+            .planned()
+            .expect("CQ statements carry a plan")
+            .minimality
+            .forall_minimal
+        {
             "yes"
         } else {
             "no"
         },
+    );
+    let warm = prepared.execute(ExecMode::Sequential).expect("re-executes");
+    println!(
+        "re-execution #{}: parse skipped: {}, plan skipped: {}, executed in {:.1?}",
+        warm.profile.execution,
+        warm.profile.timings.parse.is_none(),
+        warm.profile.timings.plan.is_none(),
+        warm.profile.timings.execute,
     );
 }

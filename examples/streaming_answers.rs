@@ -8,7 +8,7 @@ use std::time::Duration;
 
 use toorjah::catalog::{tuple, Instance, Schema};
 use toorjah::engine::{InstanceSource, LatencySource};
-use toorjah::system::{StreamEvent, Toorjah};
+use toorjah::system::{Statement, StreamEvent, Toorjah};
 
 fn main() {
     // A three-hop integration scenario: flights must be probed airport by
@@ -40,9 +40,16 @@ fn main() {
     .with_real_sleep();
 
     let system = Toorjah::new(provider);
+    // Streaming is an execution mode of a prepared statement, not a
+    // separate entry point: `stream()` hands back the incremental answers
+    // (`execute(ExecMode::Streaming)` would collect them into a Response).
+    let statement = Statement::parse("q(C, H) <- flights(X, C), hotels(C, H)", system.schema())
+        .expect("statement parses");
     let stream = system
-        .ask_streaming("q(C, H) <- flights(X, C), hotels(C, H)")
-        .expect("query plans");
+        .prepare(&statement)
+        .expect("query plans")
+        .stream()
+        .expect("CQ statements stream");
 
     println!("answers as they arrive:");
     let mut report = None;

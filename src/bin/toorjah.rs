@@ -6,14 +6,21 @@
 //! ```console
 //! $ toorjah examples/music.toorjah --query "q(N) <- r1(A, N, Y1), r2('volare', Y2, A)"
 //! $ toorjah examples/music.toorjah --explain "q(N) <- ..."
+//! $ toorjah examples/music.toorjah --json --query "q(N) <- ..."
 //! $ toorjah examples/music.toorjah --parallelism 8 --batch-size 16 --query "..."
 //! $ toorjah examples/music.toorjah          # interactive REPL
 //! ```
 //!
+//! Queries are *statements*: a plain conjunctive query, a union
+//! (`;`-separated disjuncts) or safe negation (`!`-prefixed literals) all
+//! go through the same `--query` flag (and the same `Toorjah::ask`).
+//!
 //! `--parallelism <n>` fans each round's access frontier out over `n`
 //! worker threads; `--batch-size <n>` groups up to `n` accesses per source
 //! round trip. Answers and access counts are invariant in both — only
-//! wall-clock changes.
+//! wall-clock changes. `--json` emits the full `Response` (answers plus
+//! the `ExecutionProfile`: access stats, cache attribution, dispatch
+//! account, phase timings) as one JSON object on stdout.
 //!
 //! Source-file format (`#` comments; one statement per line):
 //!
@@ -38,7 +45,7 @@ use toorjah::query::parse_query;
 use toorjah::system::Toorjah;
 
 const USAGE: &str = "usage: toorjah <source-file> [--parallelism <n>] [--batch-size <n>] \
-                     [--query <q> | --explain <q> | --naive <q>]";
+                     [--json] [--query <q> | --explain <q> | --naive <q>]";
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
@@ -51,7 +58,8 @@ fn main() -> ExitCode {
         eprintln!("With no flags, starts an interactive REPL; see :help inside.");
         eprintln!(
             "--parallelism <n>  fan each access frontier out over n worker threads\n\
-             --batch-size <n>   group up to n accesses per source round trip"
+             --batch-size <n>   group up to n accesses per source round trip\n\
+             --json             emit the full response (answers + execution profile) as JSON"
         );
         return ExitCode::SUCCESS;
     }
@@ -80,6 +88,7 @@ fn main() -> ExitCode {
     // One-shot modes and dispatch flags.
     let mut mode: Option<(String, String)> = None;
     let mut dispatch = DispatchOptions::default();
+    let mut json = false;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--query" | "--explain" | "--naive" => {
@@ -89,6 +98,7 @@ fn main() -> ExitCode {
                 };
                 mode = Some((flag, q));
             }
+            "--json" => json = true,
             "--parallelism" | "--batch-size" => {
                 let value = match args.next().map(|v| v.parse::<usize>()) {
                     Some(Ok(n)) if n > 0 => n,
@@ -109,10 +119,12 @@ fn main() -> ExitCode {
             }
         }
     }
-    let system = Toorjah::new(provider.clone()).with_dispatch(dispatch);
+    let system = Toorjah::builder(provider.clone())
+        .dispatch(dispatch)
+        .build();
     if let Some((flag, q)) = mode {
         return match flag.as_str() {
-            "--query" => run_query(&system, &q),
+            "--query" => run_query(&system, &q, json),
             "--explain" => run_explain(&system, &q),
             "--naive" => run_naive(&system, &provider, &schema, dispatch, &q),
             _ => unreachable!(),
@@ -144,10 +156,11 @@ fn main() -> ExitCode {
             ":help" => {
                 println!(
                     ":schema            show the loaded schema\n\
-                     :explain <query>   show the optimized plan\n\
+                     :explain <query>   show the optimized plan(s)\n\
                      :naive <query>     run the Fig. 1 baseline and compare accesses\n\
                      :quit              exit\n\
-                     <query>            e.g. q(X) <- r(X, Y)"
+                     <query>            e.g. q(X) <- r(X, Y); disjuncts join with ';',\n\
+                                        negated literals start with '!'"
                 );
             }
             _ if line.starts_with(":explain ") => {
@@ -164,23 +177,28 @@ fn main() -> ExitCode {
             }
             _ if line.starts_with(':') => eprintln!("unknown command; :help"),
             query => {
-                let _ = run_query(&system, query);
+                let _ = run_query(&system, query, json);
             }
         }
     }
 }
 
-fn run_query(system: &Toorjah, q: &str) -> ExitCode {
+fn run_query(system: &Toorjah, q: &str, json: bool) -> ExitCode {
     match system.ask(q) {
-        Ok(result) => {
-            for answer in &result.answers {
+        Ok(response) => {
+            if json {
+                println!("{}", response.to_json(system.schema()));
+                return ExitCode::SUCCESS;
+            }
+            for answer in &response.answers {
                 println!("{answer}");
             }
             eprintln!(
-                "{} answer(s), {} access(es); dispatch: {}",
-                result.answers.len(),
-                result.stats.total_accesses,
-                result.dispatch.summary()
+                "{} answer(s), {} access(es) ({} cache-served); dispatch: {}",
+                response.answer_count(),
+                response.profile.accesses_performed,
+                response.profile.accesses_served_by_cache,
+                response.profile.dispatch.summary()
             );
             ExitCode::SUCCESS
         }
@@ -234,12 +252,12 @@ fn run_naive(
             println!(
                 "naive: {} accesses; optimized: {} accesses ({:.1}% saved); {} answer(s)",
                 naive.stats.total_accesses,
-                optimized.stats.total_accesses,
+                optimized.profile.stats.total_accesses,
                 100.0
                     * (1.0
-                        - optimized.stats.total_accesses as f64
+                        - optimized.profile.stats.total_accesses as f64
                             / naive.stats.total_accesses.max(1) as f64),
-                optimized.answers.len(),
+                optimized.answer_count(),
             );
             ExitCode::SUCCESS
         }

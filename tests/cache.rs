@@ -18,7 +18,7 @@ use std::sync::Arc;
 use toorjah::cache::{CacheConfig, SharedAccessCache};
 use toorjah::catalog::{RelationId, Schema, Tuple};
 use toorjah::engine::{EngineError, FlakySource, InstanceSource, SourceProvider};
-use toorjah::system::Toorjah;
+use toorjah::system::{ExecMode, Statement, Toorjah};
 use toorjah::workload::{
     music_instance, music_schema, overlapping_queries, MusicConfig, OverlapParams,
 };
@@ -93,7 +93,7 @@ fn cold_reference(system: &Toorjah, queries: &[String]) -> (Vec<Vec<Tuple>>, usi
     let mut total = 0usize;
     for q in queries {
         let result = system.ask(q).expect("workload queries are answerable");
-        total += result.stats.total_accesses;
+        total += result.profile.stats.total_accesses;
         answers.push(sorted(result.answers));
     }
     (answers, total)
@@ -112,7 +112,7 @@ fn shared_cache_cuts_accesses_by_at_least_40_percent() {
     let mut warm_total = 0usize;
     for (q, cold) in queries.iter().zip(&cold_answers) {
         let result = session.ask(q).unwrap();
-        warm_total += result.stats.total_accesses;
+        warm_total += result.profile.stats.total_accesses;
         assert_eq!(&sorted(result.answers), cold, "answers invariant: {q}");
     }
     assert!(
@@ -264,7 +264,10 @@ fn snapshot_warm_start_replays_no_accesses() {
     for (q, cold) in queries.iter().zip(&first_answers) {
         let result = warm.ask(q).unwrap();
         assert_eq!(&sorted(result.answers), cold, "answers invariant: {q}");
-        assert_eq!(result.cache_misses, 0, "warm-started query pays nothing");
+        assert_eq!(
+            result.profile.accesses_performed, 0,
+            "warm-started query pays nothing"
+        );
     }
     assert_eq!(counting.attempts(), 0, "the sources were never touched");
     // The warm-started cache snapshots back to the identical text.
@@ -284,18 +287,24 @@ fn streaming_distillation_respects_the_session_cache() {
     let cache = SharedAccessCache::unbounded();
     let session = Toorjah::from_arc(provider).with_cache(cache.clone());
     let query = "q(N) <- r1(A, N, Y1), r2('t0', Y2, A)";
+    let statement = Statement::parse(query, session.schema()).unwrap();
+    let prepared = session.prepare(&statement).unwrap();
 
-    let cold = session.ask_streaming(query).unwrap().wait().unwrap();
+    let cold = prepared.execute(ExecMode::Streaming).unwrap();
     let cold_count = counting.attempts();
     assert!(cold_count > 0);
     // Warm streaming run: the coordinator serves everything from the cache.
-    let warm = session.ask_streaming(query).unwrap().wait().unwrap();
-    assert_eq!(sorted(warm.answers), sorted(cold.answers));
-    assert_eq!(warm.stats.total_accesses, 0);
+    let warm = prepared.execute(ExecMode::Streaming).unwrap();
+    assert_eq!(sorted(warm.answers), sorted(cold.answers.clone()));
+    assert_eq!(warm.profile.stats.total_accesses, 0);
     assert_eq!(counting.attempts(), cold_count, "no new source accesses");
-    // And the sequential path shares the same cache.
+    // The incremental stream shares the cache too…
+    let stream_report = prepared.stream().unwrap().wait().unwrap();
+    assert_eq!(sorted(stream_report.answers), sorted(cold.answers));
+    assert_eq!(stream_report.stats.total_accesses, 0);
+    // …and so does the sequential path.
     let sequential = session.ask(query).unwrap();
-    assert_eq!(sequential.stats.total_accesses, 0);
+    assert_eq!(sequential.profile.stats.total_accesses, 0);
 }
 
 #[test]
@@ -303,14 +312,14 @@ fn union_and_negation_share_the_session_cache() {
     let provider: Arc<dyn SourceProvider> = Arc::new(provider());
     let cache = SharedAccessCache::unbounded();
     let session = Toorjah::from_arc(provider).with_cache(cache.clone());
-    // Seed the cache through a union; both disjuncts touch r1/r3.
-    let (union, skipped) = session
-        .ask_union(&["q(N) <- r1('a0', N, Y)", "q(Al) <- r3(A, Al)"])
+    // Seed the cache through a union statement; both disjuncts touch r1/r3.
+    let union = session
+        .ask("q(N) <- r1('a0', N, Y); q(Al) <- r3(A, Al)")
         .unwrap();
-    assert!(skipped.is_empty());
-    assert!(union.stats.total_accesses > 0);
+    assert!(union.skipped_disjuncts.is_empty());
+    assert!(union.profile.stats.total_accesses > 0);
     // A plain ask over the warmed entries is free.
     let warm = session.ask("q(N) <- r1('a0', N, Y)").unwrap();
-    assert_eq!(warm.stats.total_accesses, 0);
-    assert!(warm.cache_hits > 0);
+    assert_eq!(warm.profile.stats.total_accesses, 0);
+    assert!(warm.profile.accesses_served_by_cache > 0);
 }

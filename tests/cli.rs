@@ -123,6 +123,87 @@ fn repl_session() {
 }
 
 #[test]
+fn json_output_has_the_response_shape() {
+    let file = sample_file();
+    let out = Command::new(BIN)
+        .arg(file.path())
+        .args([
+            "--json",
+            "--query",
+            "q(N) <- r1(A, N, Y1), r2('volare', Y2, A)",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let json = stdout.trim();
+    // One JSON object with the Response/ExecutionProfile shape.
+    assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+    assert_eq!(json.lines().count(), 1, "single-line JSON: {json}");
+    for key in [
+        "\"statement\":\"cq\"",
+        "\"mode\":\"sequential\"",
+        "\"answers\":[[\"italy\"]]",
+        "\"answer_count\":1",
+        "\"rejected\":0",
+        "\"skipped_disjuncts\":[]",
+        "\"accesses_performed\":",
+        "\"accesses_served_by_cache\":",
+        "\"per_relation\":",
+        "\"dispatch\":",
+        "\"timings_us\":",
+        "\"parse\":",
+        "\"plan\":",
+        "\"execute\":",
+        "\"execution\":1",
+    ] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+}
+
+#[test]
+fn union_and_negated_statements_run_through_the_same_flag() {
+    let file = sample_file();
+    // A union statement: two disjuncts over r3.
+    let out = Command::new(BIN)
+        .arg(file.path())
+        .args(["--query", "q(A) <- r3(A, B); q(A) <- r1(A, N, Y)"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("modugno") && stdout.contains("mina"),
+        "{stdout}"
+    );
+    // A negated statement emitted as JSON: ¬r1(A, 'italy', 1928) rejects
+    // modugno (an exact witness) and keeps mina (1958 ≠ 1928).
+    let out = Command::new(BIN)
+        .arg(file.path())
+        .args([
+            "--json",
+            "--query",
+            "q(A) <- r3(A, B), !r1(A, 'italy', 1928)",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"statement\":\"negated\""), "{stdout}");
+    assert!(stdout.contains("\"rejected\":1"), "{stdout}");
+    assert!(stdout.contains("\"answers\":[[\"mina\"]]"), "{stdout}");
+}
+
+#[test]
 fn bad_query_fails_cleanly() {
     let file = sample_file();
     let out = Command::new(BIN)

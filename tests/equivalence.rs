@@ -136,6 +136,148 @@ proptest! {
     }
 }
 
+/// The prepare/execute lifecycle is a pure refactoring of one-shot `ask`:
+/// for every statement kind (CQ, union, negated), every `ExecMode`
+/// (sequential, parallel, streaming) and every cache configuration
+/// (per-query, shared unbounded, shared entry-capped), a `Prepared`
+/// executed any number of times produces the one-shot answers — and, on a
+/// cold cache, the one-shot access counts.
+mod prepared_matches_one_shot {
+    use super::sorted;
+    use toorjah::cache::{CacheConfig, SharedAccessCache};
+    use toorjah::catalog::{tuple, Instance, Schema};
+    use toorjah::engine::{DispatchOptions, InstanceSource};
+    use toorjah::system::{ExecMode, Statement, Toorjah};
+
+    fn schema_and_instance() -> (Schema, Instance) {
+        let schema = Schema::parse("f^oo(A, B) g^io(B, C) h^io(B, C) banned^io(B, C)").unwrap();
+        let db = Instance::with_data(
+            &schema,
+            [
+                (
+                    "f",
+                    vec![tuple!["a1", "b1"], tuple!["a2", "b2"], tuple!["a3", "b3"]],
+                ),
+                (
+                    "g",
+                    vec![tuple!["b1", "c1"], tuple!["b2", "c2"], tuple!["b3", "c3"]],
+                ),
+                ("h", vec![tuple!["b1", "c9"], tuple!["b2", "c2"]]),
+                ("banned", vec![tuple!["b1", "c1"], tuple!["b3", "c9"]]),
+            ],
+        )
+        .unwrap();
+        (schema, db)
+    }
+
+    const STATEMENTS: [&str; 3] = [
+        // Plain CQ.
+        "q(C) <- f(A, B), g(B, C)",
+        // Union: overlapping disjuncts sharing the f accesses.
+        "q(C) <- f(A, B), g(B, C); q(C) <- f(A, B), h(B, C)",
+        // Safe negation: rejects (b1, c1), keeps the rest.
+        "q(B, C) <- f(A, B), g(B, C), !banned(B, C)",
+    ];
+
+    const MODES: [ExecMode; 3] = [
+        ExecMode::Sequential,
+        ExecMode::Parallel(DispatchOptions {
+            parallelism: 4,
+            batch_size: 2,
+        }),
+        ExecMode::Streaming,
+    ];
+
+    fn fresh_system(cache: Option<SharedAccessCache>) -> Toorjah {
+        let (schema, db) = schema_and_instance();
+        let mut builder = Toorjah::builder(InstanceSource::new(schema, db));
+        if let Some(cache) = cache {
+            builder = builder.cache(cache);
+        }
+        builder.build()
+    }
+
+    #[test]
+    fn all_kinds_all_modes_all_cache_configs() {
+        for text in STATEMENTS {
+            for mode in MODES {
+                // One-shot reference on a cold, session-less system.
+                let one_shot = fresh_system(None).ask_with(text, mode).unwrap();
+                assert!(!one_shot.answers.is_empty(), "{text} has answers");
+
+                let cache_configs: [(Option<SharedAccessCache>, bool); 3] = [
+                    (None, false),
+                    (Some(SharedAccessCache::unbounded()), false),
+                    (
+                        // Entry-capped: evictions force re-accesses, but
+                        // answers must stay invariant.
+                        Some(SharedAccessCache::new(
+                            CacheConfig::max_entries(3).with_shards(2),
+                        )),
+                        true,
+                    ),
+                ];
+                for (session_cache, evicting) in cache_configs {
+                    let shared = session_cache.is_some();
+                    let system = fresh_system(session_cache);
+                    let statement = Statement::parse(text, system.schema()).unwrap();
+                    let prepared = system.prepare(&statement).unwrap();
+
+                    let first = prepared.execute(mode).unwrap();
+                    // Answer-identical to the one-shot (streaming order is
+                    // schedule-dependent, so compare as sets there).
+                    if matches!(mode, ExecMode::Streaming) {
+                        assert_eq!(
+                            sorted(first.answers.clone()),
+                            sorted(one_shot.answers.clone()),
+                            "{text} under {mode:?}"
+                        );
+                    } else {
+                        assert_eq!(first.answers, one_shot.answers, "{text} under {mode:?}");
+                    }
+                    // Access-count-identical on the cold execution.
+                    assert_eq!(
+                        first.profile.accesses_performed, one_shot.profile.accesses_performed,
+                        "cold access count for {text} under {mode:?}"
+                    );
+                    assert_eq!(
+                        first.profile.stats, one_shot.profile.stats,
+                        "cold per-relation stats for {text} under {mode:?}"
+                    );
+                    assert_eq!(first.rejected, one_shot.rejected);
+                    assert_eq!(first.skipped_disjuncts, one_shot.skipped_disjuncts);
+
+                    // Re-execution: same answers, no parse, no plan.
+                    let second = prepared.execute(mode).unwrap();
+                    assert_eq!(
+                        sorted(second.answers.clone()),
+                        sorted(first.answers.clone()),
+                        "re-execution answers for {text} under {mode:?}"
+                    );
+                    assert!(second.profile.timings.parse.is_none());
+                    assert!(second.profile.timings.plan.is_none());
+                    assert_eq!(second.profile.execution, 2);
+                    if shared && !evicting {
+                        assert_eq!(
+                            second.profile.accesses_performed, 0,
+                            "a warm unbounded session serves everything: \
+                             {text} under {mode:?}"
+                        );
+                    }
+                    if !shared {
+                        // Private per-execution caches: every run pays the
+                        // full cold cost, like consecutive one-shot asks.
+                        assert_eq!(
+                            second.profile.accesses_performed, first.profile.accesses_performed,
+                            "{text} under {mode:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// A deterministic sweep over fixed seeds, so CI failures are reproducible
 /// without proptest shrinking.
 #[test]

@@ -42,7 +42,7 @@ fn example1_music_sources() {
     assert_eq!(result.answers, vec![tuple!["italy"]]);
     // r3 is accessed even though the query does not mention it.
     let r3 = schema.relation_id("r3").unwrap();
-    assert!(result.stats.accesses_to(r3) > 0);
+    assert!(result.profile.stats.accesses_to(r3) > 0);
 }
 
 /// Example 2: the extraction chain over r1/r2/r3 and the unobtainable

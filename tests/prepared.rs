@@ -1,0 +1,164 @@
+//! Acceptance suite for the prepared-statement lifecycle:
+//!
+//! * `Prepared` is `Send + Sync`: N threads re-executing one plan against a
+//!   shared session cache produce identical answers and exactly one cold
+//!   miss set (no access is ever loaded twice);
+//! * re-executions skip parse and plan, observably via the
+//!   `ExecutionProfile` (timings are `None`, the execution counter climbs);
+//! * the cache-attribution invariant holds in the frontier-dispatched
+//!   modes: every requested access is either performed or served —
+//!   `accesses_performed + accesses_served_by_cache == dispatch.total_requested()`.
+
+use std::sync::Arc;
+
+use toorjah::cache::SharedAccessCache;
+use toorjah::catalog::{tuple, Instance, Schema, Tuple};
+use toorjah::engine::{DispatchOptions, InstanceSource, SourceProvider};
+use toorjah::system::{ExecMode, Prepared, Statement, Toorjah};
+use toorjah::workload::{music_instance, music_schema, MusicConfig};
+
+fn sorted(mut v: Vec<Tuple>) -> Vec<Tuple> {
+    v.sort();
+    v
+}
+
+#[test]
+fn prepared_is_send_and_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Prepared>();
+}
+
+/// The satellite acceptance case: 8 threads × 4 executions of one
+/// `Prepared` over one session cache — identical answers everywhere, and
+/// the union of all performed accesses is exactly the cold miss set, each
+/// loaded exactly once.
+#[test]
+fn concurrent_reexecution_pays_one_cold_miss_set() {
+    let schema = music_schema();
+    let db = music_instance(&schema, &MusicConfig::default());
+    let provider: Arc<dyn SourceProvider> = Arc::new(InstanceSource::new(schema, db));
+
+    // Cold reference: a session-less system pays the full cost every time.
+    let reference = Toorjah::from_arc(Arc::clone(&provider))
+        .ask("q(N) <- r1(A, N, Y1), r2('t0', Y2, A)")
+        .unwrap();
+    let cold_set = reference.profile.accesses_performed;
+    assert!(cold_set > 0);
+
+    let cache = SharedAccessCache::unbounded();
+    let system = Toorjah::builder_from_arc(provider)
+        .cache(cache.clone())
+        .build();
+    let statement =
+        Statement::parse("q(N) <- r1(A, N, Y1), r2('t0', Y2, A)", system.schema()).unwrap();
+    let prepared = system.prepare(&statement).unwrap();
+
+    let performed_total: u64 = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let prepared = &prepared;
+                let reference = &reference;
+                scope.spawn(move || {
+                    let mut performed = 0;
+                    for _ in 0..4 {
+                        let response = prepared.execute(ExecMode::Sequential).unwrap();
+                        assert_eq!(
+                            sorted(response.answers),
+                            sorted(reference.answers.clone()),
+                            "answers invariant under concurrent re-execution"
+                        );
+                        assert!(response.profile.timings.parse.is_none());
+                        assert!(response.profile.timings.plan.is_none());
+                        performed += response.profile.accesses_performed;
+                    }
+                    performed
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+
+    // Exactly one cold miss set across all 32 executions: every distinct
+    // access was loaded once (by whichever execution got there first) and
+    // served from the cache everywhere else.
+    assert_eq!(performed_total, cold_set, "one cold miss set in total");
+    assert_eq!(cache.stats().misses, cold_set);
+    assert_eq!(cache.len() as u64, cold_set);
+    assert_eq!(prepared.executions(), 32);
+}
+
+/// Every requested access is either performed or cache-served — the
+/// rename satellite's invariant, pinned for all three statement kinds in
+/// both frontier-dispatched modes, cold and warm.
+#[test]
+fn hits_plus_misses_equal_frontier_accesses() {
+    let schema = Schema::parse("f^oo(A, B) g^io(B, C) h^io(B, C) banned^io(B, C)").unwrap();
+    let db = Instance::with_data(
+        &schema,
+        [
+            ("f", vec![tuple!["a1", "b1"], tuple!["a2", "b2"]]),
+            ("g", vec![tuple!["b1", "c1"], tuple!["b2", "c2"]]),
+            ("h", vec![tuple!["b1", "c9"]]),
+            ("banned", vec![tuple!["b1", "c1"]]),
+        ],
+    )
+    .unwrap();
+    let statements = [
+        "q(C) <- f(A, B), g(B, C)",
+        "q(C) <- f(A, B), g(B, C); q(C) <- f(A, B), h(B, C)",
+        "q(B, C) <- f(A, B), g(B, C), !banned(B, C)",
+    ];
+    for text in statements {
+        for mode in [
+            ExecMode::Sequential,
+            ExecMode::Parallel(DispatchOptions::parallel(4).with_batch_size(2)),
+        ] {
+            let system = Toorjah::new(InstanceSource::new(schema.clone(), db.clone()))
+                .with_cache(SharedAccessCache::unbounded());
+            let statement = Statement::parse(text, system.schema()).unwrap();
+            let prepared = system.prepare(&statement).unwrap();
+            for run in 0..2 {
+                let response = prepared.execute(mode).unwrap();
+                assert_eq!(
+                    response.profile.accesses_performed + response.profile.accesses_served_by_cache,
+                    response.profile.dispatch.total_requested() as u64,
+                    "hits + misses == frontier accesses for {text:?} \
+                     under {mode:?} (run {run})"
+                );
+            }
+        }
+    }
+}
+
+/// One-shot `ask` reports all three phases; `Prepared::execute` reports
+/// only the execute phase — the first timing surface of the API.
+#[test]
+fn phase_timings_expose_plan_reuse() {
+    let schema = Schema::parse("f^oo(A, B) g^io(B, C)").unwrap();
+    let db = Instance::with_data(
+        &schema,
+        [
+            ("f", vec![tuple!["a1", "b1"]]),
+            ("g", vec![tuple!["b1", "c1"]]),
+        ],
+    )
+    .unwrap();
+    let system = Toorjah::new(InstanceSource::new(schema, db));
+
+    let one_shot = system.ask("q(C) <- f(A, B), g(B, C)").unwrap();
+    assert!(one_shot.profile.timings.parse.is_some());
+    assert!(one_shot.profile.timings.plan.is_some());
+    assert!(one_shot.profile.timings.total >= one_shot.profile.timings.execute);
+    assert_eq!(one_shot.profile.execution, 1);
+
+    let statement = Statement::parse("q(C) <- f(A, B), g(B, C)", system.schema()).unwrap();
+    let prepared = system.prepare(&statement).unwrap();
+    for i in 1..=3u64 {
+        let response = prepared.execute(ExecMode::Sequential).unwrap();
+        assert!(response.profile.timings.parse.is_none(), "no parse phase");
+        assert!(response.profile.timings.plan.is_none(), "no plan phase");
+        assert_eq!(response.profile.execution, i);
+        assert_eq!(response.answers, one_shot.answers);
+        assert_eq!(response.profile.stats, one_shot.profile.stats);
+    }
+}

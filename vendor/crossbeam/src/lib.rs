@@ -18,7 +18,7 @@
 /// Deviations from upstream, documented for anyone swapping the real crate
 /// back in: `Scope::spawn` takes a plain `FnOnce()` closure (std's signature)
 /// instead of upstream's `FnOnce(&Scope)`, and a panicking child propagates
-/// its panic out of [`scope`] (std's behavior) instead of surfacing as the
+/// its panic out of `scope` (std's behavior) instead of surfacing as the
 /// `Err` variant — the `Result` wrapper is kept so call sites read like
 /// upstream.
 pub mod thread {

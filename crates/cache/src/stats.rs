@@ -51,11 +51,20 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
+    /// Total lookups the cache answered, however they went (hit, coalesced
+    /// wait, miss-and-load, or failed load). Attribution anchor for the
+    /// engine's request account: with the kernel's runtime pruning enabled,
+    /// requested-but-pruned accesses never reach the cache, so `lookups()`
+    /// equals requested minus pruned (pinned by `tests/relevance.rs`).
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.coalesced_hits + self.misses + self.load_failures
+    }
+
     /// Hits (direct + coalesced) as a fraction of all lookups; `None` before
     /// the first lookup.
     pub fn hit_rate(&self) -> Option<f64> {
         let served = self.hits + self.coalesced_hits;
-        let total = served + self.misses + self.load_failures;
+        let total = self.lookups();
         if total == 0 {
             return None;
         }
@@ -105,6 +114,8 @@ mod tests {
             ..CacheStats::default()
         };
         assert_eq!(s.hit_rate(), Some(0.5));
+        assert_eq!(s.lookups(), 8);
+        assert_eq!(CacheStats::default().lookups(), 0);
     }
 
     #[test]

@@ -21,6 +21,11 @@
 //!   Datalog program with cache predicates `r̂⁽ᵏ⁾` and domain predicates `s`
 //!   (disjunctive for weak incoming arcs, conjunctive for strong ones),
 //!   executed by `toorjah-engine` under the fast-failing strategy.
+//! * **Runtime-relevance metadata** ([`PlanRelevance`]): a conservative
+//!   per-plan reachability summary over the dependency arcs — terminal
+//!   caches and per-input semi-join partners — that the engine's evaluation
+//!   kernel uses to drop individual accesses whose outputs provably cannot
+//!   reach the query head.
 //! * **DOT export** ([`dgraph_to_dot`], [`optimized_to_dot`]) regenerating
 //!   the paper's Figures 2, 4, 7–9.
 
@@ -37,6 +42,7 @@ mod orderability;
 mod ordering;
 mod plan;
 mod queryability;
+mod relevance;
 mod util;
 
 pub use arcs::{candidate_strong_arcs, cyclic_candidate_arcs};
@@ -52,3 +58,4 @@ pub use plan::{
     plan_query, CacheInfo, DomainMode, DomainPredInfo, Planned, Planner, Provider, QueryPlan,
 };
 pub use queryability::{is_answerable, Queryability};
+pub use relevance::{CacheRelevance, PlanRelevance, SemijoinPartner};

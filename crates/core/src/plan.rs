@@ -26,7 +26,7 @@ use toorjah_query::{minimize, preprocess, ConjunctiveQuery, PreprocessedQuery};
 
 use crate::{
     analyze_minimality, gfp, order_sources, ArcMark, CoreError, DGraph, GfpStats, MinimalityReport,
-    OptimizedDGraph, OrderingHeuristic, SourceId, SourceKind, SourceOrdering,
+    OptimizedDGraph, OrderingHeuristic, PlanRelevance, SourceId, SourceKind, SourceOrdering,
 };
 
 /// How a domain predicate combines its providers.
@@ -103,6 +103,10 @@ pub struct QueryPlan {
     /// Facts seeding the artificial constant relations:
     /// (relation, EDB predicate, the constant).
     pub constant_facts: Vec<(RelationId, PredId, Value)>,
+    /// Runtime-relevance metadata (terminal caches, semi-join partners),
+    /// computed once from the plan's dependency arcs; the engine's
+    /// evaluation kernel consults it when runtime pruning is enabled.
+    pub relevance: PlanRelevance,
 }
 
 impl QueryPlan {
@@ -434,6 +438,7 @@ fn build_plan(
     }
 
     let k = ordering.k();
+    let relevance = PlanRelevance::analyze(&program, answer_pred, &caches);
     Ok(QueryPlan {
         program,
         answer_pred,
@@ -441,6 +446,7 @@ fn build_plan(
         k,
         schema: schema.clone(),
         constant_facts,
+        relevance,
     })
 }
 

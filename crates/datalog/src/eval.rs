@@ -177,25 +177,8 @@ pub fn rule_head_instances(rule: &Rule, facts: &FactStore) -> Vec<Tuple> {
     let mut projections: Vec<Vec<Vec<(u32, Value)>>> = Vec::new();
     for component in &head_components {
         let relevant: Vec<u32> = component.vars.intersection(&head_vars).copied().collect();
-        let mut seen: HashSet<Vec<(u32, Value)>> = HashSet::new();
-        let mut rows = Vec::new();
-        enumerate_subset(rule, &component.literals, facts, &mut |binding| {
-            let mut row: Vec<(u32, Value)> = relevant
-                .iter()
-                .map(|&v| {
-                    (
-                        v,
-                        binding[v as usize]
-                            .clone()
-                            .expect("component variables are bound"),
-                    )
-                })
-                .collect();
-            row.sort_by_key(|(v, _)| *v);
-            if seen.insert(row.clone()) {
-                rows.push(row);
-            }
-            true
+        let rows = project_component(&relevant, |on_row| {
+            enumerate_subset(rule, &component.literals, facts, on_row);
         });
         if rows.is_empty() {
             return Vec::new();
@@ -205,20 +188,74 @@ pub fn rule_head_instances(rule: &Rule, facts: &FactStore) -> Vec<Tuple> {
 
     // Combine the component projections into head instances.
     let mut out = Vec::new();
+    combine_projections(rule.var_names.len(), &projections, |assignment| {
+        out.push(instantiate(&rule.head, assignment));
+    });
+    out
+}
+
+/// Collects the deduplicated projections of a component's satisfying
+/// assignments onto the `relevant` variables. `enumerate` must invoke its
+/// callback once per satisfying assignment (a full binding vector indexed
+/// by variable id) and stop when the callback returns `false`. Rows are
+/// sorted by variable id and returned in first-encounter order.
+///
+/// Shared by this module's [`rule_head_instances`] and the engine's
+/// conjunctive-query evaluator, which enumerate different representations
+/// (Datalog rules vs. query atoms) but project head components identically.
+pub fn project_component(
+    relevant: &[u32],
+    enumerate: impl FnOnce(&mut dyn FnMut(&[Option<Value>]) -> bool),
+) -> Vec<Vec<(u32, Value)>> {
+    let mut seen: HashSet<Vec<(u32, Value)>> = HashSet::new();
+    let mut rows = Vec::new();
+    enumerate(&mut |binding| {
+        let mut row: Vec<(u32, Value)> = relevant
+            .iter()
+            .map(|&v| {
+                (
+                    v,
+                    binding[v as usize]
+                        .clone()
+                        .expect("component variables are bound"),
+                )
+            })
+            .collect();
+        row.sort_by_key(|(v, _)| *v);
+        if seen.insert(row.clone()) {
+            rows.push(row);
+        }
+        true
+    });
+    rows
+}
+
+/// Combines per-component head projections (as produced by
+/// [`project_component`]) into full assignments: an odometer walks every
+/// combination of one row per component, merges it into a binding vector of
+/// `var_count` slots, and hands it to `emit`. With no components a single
+/// all-unbound assignment is emitted, matching the semantics of a rule or
+/// query whose head needs nothing (boolean heads).
+pub fn combine_projections(
+    var_count: usize,
+    projections: &[Vec<Vec<(u32, Value)>>],
+    mut emit: impl FnMut(&[Option<Value>]),
+) {
+    debug_assert!(projections.iter().all(|rows| !rows.is_empty()));
     let mut choice = vec![0usize; projections.len()];
     loop {
-        let mut assignment: Vec<Option<Value>> = vec![None; rule.var_names.len()];
+        let mut assignment: Vec<Option<Value>> = vec![None; var_count];
         for (c, rows) in projections.iter().enumerate() {
             for (v, value) in &rows[choice[c]] {
                 assignment[*v as usize] = Some(value.clone());
             }
         }
-        out.push(instantiate(&rule.head, &assignment));
+        emit(&assignment);
         // Advance the odometer over component choices.
         let mut pos = 0;
         loop {
             if pos == choice.len() {
-                return out;
+                return;
             }
             choice[pos] += 1;
             if choice[pos] < projections[pos].len() {

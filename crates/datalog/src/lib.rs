@@ -27,6 +27,7 @@ mod store;
 pub use ast::{DTerm, Literal, PredId, Predicate, Program, Rule};
 pub use error::DatalogError;
 pub use eval::{
-    evaluate, rule_body_satisfiable, rule_head_instances, rule_head_instances_pinned, EvalStats,
+    combine_projections, evaluate, project_component, rule_body_satisfiable, rule_head_instances,
+    rule_head_instances_pinned, EvalStats,
 };
 pub use store::FactStore;

@@ -36,7 +36,14 @@ impl PredFacts {
         true
     }
 
-    fn matching(&self, col: usize, value: &Value) -> Vec<usize> {
+    /// Looks up `value` in the column's index (built on first use), handing
+    /// the hit — if any — to `read`.
+    fn with_index<R>(
+        &self,
+        col: usize,
+        value: &Value,
+        read: impl FnOnce(Option<&Vec<usize>>) -> R,
+    ) -> R {
         let mut indexes = self.indexes.borrow_mut();
         let index = indexes.entry(col).or_insert_with(|| {
             let mut index: HashMap<Value, Vec<usize>> = HashMap::new();
@@ -45,7 +52,15 @@ impl PredFacts {
             }
             index
         });
-        index.get(value).cloned().unwrap_or_default()
+        read(index.get(value))
+    }
+
+    fn matching(&self, col: usize, value: &Value) -> Vec<usize> {
+        self.with_index(col, value, |hit| hit.cloned().unwrap_or_default())
+    }
+
+    fn has_matching(&self, col: usize, value: &Value) -> bool {
+        self.with_index(col, value, |hit| hit.is_some())
     }
 }
 
@@ -111,6 +126,14 @@ impl FactStore {
         self.facts
             .get(&pred)
             .map_or_else(Vec::new, |f| f.matching(col, value))
+    }
+
+    /// Whether any fact matches `value` at `col` — the allocation-free
+    /// membership probe behind the engine's runtime semi-join pruning.
+    pub fn has_matching(&self, pred: PredId, col: usize, value: &Value) -> bool {
+        self.facts
+            .get(&pred)
+            .is_some_and(|f| f.has_matching(col, value))
     }
 
     /// Merges all facts of `other` into `self`.

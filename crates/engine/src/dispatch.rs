@@ -6,9 +6,10 @@
 //! observation "Determining Relevance of Accesses at Runtime"
 //! (Benedikt–Gottlob–Senellart) and the result-bounded-interface line of
 //! work (Amarilli–Benedikt) both build on. This module exploits that
-//! freedom for wall-clock: the evaluators *collect* the frontier of new
-//! `(relation, binding)` pairs each round derives and hand it to
-//! [`dispatch_frontier`], which chunks it into batches of
+//! freedom for wall-clock: the evaluation kernel (`crate::kernel`)
+//! *collects* the frontier of new `(relation, binding)` pairs each round
+//! derives, filters it for runtime relevance, and hands the survivors to
+//! [`dispatch_keys`], which chunks them into batches of
 //! [`DispatchOptions::batch_size`] and fans the batches out over
 //! [`DispatchOptions::parallelism`] scoped worker threads
 //! (`crossbeam::thread::scope`). Every load is routed through
@@ -90,13 +91,24 @@ impl DispatchOptions {
 /// `AskResult`.
 #[derive(Clone, Default, PartialEq, Eq, Debug)]
 pub struct DispatchReport {
-    /// Size of every non-empty frontier handed to the dispatcher, in
-    /// dispatch order — one entry per evaluator round that had work.
+    /// Size of every non-empty frontier the kernel collected, in dispatch
+    /// order — one entry per evaluator round that had work. Sizes are as
+    /// *requested* by the evaluator, before relevance pruning.
     pub frontier_sizes: Vec<usize>,
     /// Total number of batches the frontiers were chunked into (each batch
     /// is at most one source round trip; batches fully served by the cache
     /// never reach the source).
     pub batches: usize,
+    /// Accesses the kernel's runtime relevance pruner dropped before
+    /// dispatch — requested accesses whose outputs provably could not
+    /// reach the query head. In the frontier-dispatched modes
+    /// `accesses_performed + accesses_served_by_cache + accesses_pruned`
+    /// equals [`DispatchReport::total_requested`].
+    pub accesses_pruned: usize,
+    /// Per-round pruned counts, aligned with
+    /// [`DispatchReport::frontier_sizes`] (all zeros when pruning is
+    /// disabled).
+    pub pruned_per_frontier: Vec<usize>,
 }
 
 impl DispatchReport {
@@ -120,21 +132,31 @@ impl DispatchReport {
     pub fn merge(&mut self, other: &DispatchReport) {
         self.frontier_sizes.extend_from_slice(&other.frontier_sizes);
         self.batches += other.batches;
+        self.accesses_pruned += other.accesses_pruned;
+        self.pruned_per_frontier
+            .extend_from_slice(&other.pruned_per_frontier);
     }
 
     /// One-line rendering for reports and the CLI.
     pub fn summary(&self) -> String {
-        format!(
+        let mut out = format!(
             "{} frontier(s), largest {}, {} batch(es)",
             self.frontiers(),
             self.largest_frontier(),
             self.batches
-        )
+        );
+        if self.accesses_pruned > 0 {
+            out.push_str(&format!(", {} pruned", self.accesses_pruned));
+        }
+        out
     }
 }
 
 /// Performs every access of `frontier` through the shared cache and returns
-/// the extractions aligned with the frontier.
+/// the extractions aligned with the frontier. This is the dispatch stage of
+/// the evaluation kernel — evaluators reach it through
+/// `crate::kernel::Kernel::round`, which owns the per-round frontier
+/// accounting and the relevance filter.
 ///
 /// Duplicate keys are loaded once; later occurrences share the extraction
 /// and are logged as cache-served, exactly as under one-at-a-time dispatch.
@@ -145,7 +167,7 @@ impl DispatchReport {
 /// sequential path. On failure, every access that *did* reach the source is
 /// still folded into the log before the error is returned — the log reports
 /// reality.
-pub(crate) fn dispatch_frontier(
+pub(crate) fn dispatch_keys(
     cache: &SharedAccessCache,
     provider: &dyn SourceProvider,
     log: &mut AccessLog,
@@ -181,7 +203,6 @@ pub(crate) fn dispatch_frontier(
         .collect();
 
     let chunks: Vec<&[AccessKey]> = keys.chunks(batch_size).collect();
-    report.frontier_sizes.push(frontier.len());
     report.batches += chunks.len();
 
     // Distinct accesses performed so far (shared budget reservation).
@@ -349,8 +370,22 @@ fn reserve(counter: &AtomicUsize, max: usize) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kernel::Kernel;
     use crate::InstanceSource;
     use toorjah_catalog::{tuple, Instance, RelationId, Schema};
+
+    /// One unfiltered kernel round — the path every evaluator takes.
+    fn round(
+        cache: &SharedAccessCache,
+        provider: &dyn SourceProvider,
+        log: &mut AccessLog,
+        frontier: &[AccessKey],
+        options: DispatchOptions,
+        max_accesses: usize,
+        report: &mut DispatchReport,
+    ) -> Result<Vec<Arc<[Tuple]>>, EngineError> {
+        Kernel::new(cache, provider, log, report, options, max_accesses).round(frontier, None)
+    }
 
     fn sample() -> InstanceSource {
         let schema = Schema::parse("r^io(A, B)").unwrap();
@@ -383,7 +418,7 @@ mod tests {
             let cache = SharedAccessCache::unbounded();
             let mut log = AccessLog::new();
             let mut report = DispatchReport::default();
-            let extractions = dispatch_frontier(
+            let extractions = round(
                 &cache,
                 &src,
                 &mut log,
@@ -425,7 +460,7 @@ mod tests {
         let cache = SharedAccessCache::unbounded();
         let mut log = AccessLog::new();
         let mut report = DispatchReport::default();
-        let err = dispatch_frontier(
+        let err = round(
             &cache,
             &src,
             &mut log,
@@ -455,7 +490,7 @@ mod tests {
         let mut report = DispatchReport::default();
         let options = DispatchOptions::parallel(2).with_batch_size(2);
         for values in [&["a", "b", "c"][..], &["d"][..]] {
-            dispatch_frontier(
+            round(
                 &cache,
                 &src,
                 &mut log,

@@ -1,28 +1,42 @@
-//! The fast-failing plan executor (§IV).
+//! The fast-failing plan executor (§IV), as a strategy over the
+//! evaluation kernel.
 //!
-//! Interprets a [`QueryPlan`] against a [`SourceProvider`]:
+//! The executor is a configuration of [`crate::kernel`]'s round loop
+//! (collect frontier → relevance filter → dispatch → fold → fixpoint); what
+//! it owns is plan interpretation, not loop mechanics:
 //!
 //! 1. caches are populated by increasing ordering position; for every
-//!    position the group of caches is iterated to a local fixpoint (groups
+//!    position the group of caches is iterated to a kernel fixpoint (groups
 //!    contain cyclic d-paths, so a cache may feed itself or a sibling);
 //! 2. before populating position `i`, the subquery over the already fully
 //!    populated caches is tested for satisfiability; on failure the
 //!    execution stops and reports the empty answer (*fast failing*);
-//! 3. the shared access cache ([`toorjah_cache::SharedAccessCache`], of
-//!    which the paper's per-relation [`MetaCache`] is now a thin adapter)
-//!    guarantees no access is ever repeated, even across different
-//!    occurrences of one relation — or, through
-//!    [`execute_plan_cached`], across whole queries and sessions;
+//! 3. each pass collects a cache's fresh bindings — the pivot decomposition
+//!    over its domain pools, shared with the naive evaluator through
+//!    [`crate::kernel::fresh_bindings`] — and hands them to the kernel,
+//!    which (with [`ExecOptions::prune`]) drops accesses whose outputs
+//!    provably cannot reach the query head and dispatches the rest through
+//!    the shared access cache ([`toorjah_cache::SharedAccessCache`]), so no
+//!    access is ever repeated — or, through [`execute_plan_cached`], ever
+//!    repeated across whole queries and sessions;
 //! 4. a relation is accessed only with bindings produced by its domain
 //!    predicates ("the relation is accessed only if all the other
 //!    conditions succeed");
-//! 5. finally the rewritten query is evaluated over the caches.
+//! 5. finally the rewritten query is evaluated over the caches — or, with
+//!    [`ExecOptions::first_k`], re-evaluated after every changed kernel
+//!    round, so execution stops as soon as the requested number of answers
+//!    is certain (answers are monotone under growing caches). The
+//!    re-evaluation trades local join work for source accesses, the right
+//!    trade in the paper's access-dominated setting.
 //!
 //! The paper proves the strategy computes the same answer as the plain
 //! least-fixpoint semantics of the plan's Datalog program while never
 //! repeating an access and stopping as early as possible — together a
-//! ⊂-minimal plan. The engine's tests check the answer equivalence against
-//! [`toorjah_datalog::evaluate`].
+//! ⊂-minimal plan. Runtime pruning preserves that answer (see
+//! `crate::kernel` for the argument) while performing strictly fewer
+//! accesses. The engine's tests check the answer equivalence against
+//! [`toorjah_datalog::evaluate`], and `tests/proptests.rs` checks the
+//! pruned path against the naive oracle.
 
 use std::collections::HashSet;
 
@@ -31,7 +45,7 @@ use toorjah_catalog::{AccessKey, RelationId, Tuple, Value};
 use toorjah_core::{DomainMode, QueryPlan};
 use toorjah_datalog::{rule_body_satisfiable, rule_head_instances, FactStore, Rule};
 
-use crate::dispatch::dispatch_frontier;
+use crate::kernel::{fresh_bindings, Kernel, PoolView, RelevancePruner};
 use crate::{
     AccessLog, AccessStats, DispatchOptions, DispatchReport, EngineError, MetaCache,
     SourceProvider, DEFAULT_ACCESS_BUDGET,
@@ -48,6 +62,22 @@ pub struct ExecOptions {
     /// How each round's access frontier is dispatched (worker threads,
     /// batched round trips). The default is the sequential path.
     pub dispatch: DispatchOptions,
+    /// Enable the kernel's runtime access-relevance pruning stage: before
+    /// dispatch, drop accesses whose outputs provably cannot reach the
+    /// query head (conservative semi-join reachability over the plan's
+    /// dependency arcs). Answers are invariant; `accesses_performed`
+    /// drops. Off by default — the unpruned run reproduces the paper's
+    /// access counts exactly.
+    pub prune: bool,
+    /// Opt-in first-k early termination: stop dispatching as soon as `k`
+    /// distinct answers are certain (derived answers are monotone, so any
+    /// derived answer is final) and return exactly the first `k`. `None`
+    /// computes all obtainable answers. Ignored by the streaming executor;
+    /// unions stop between disjuncts; negated statements apply it only
+    /// after the negation checks. Checking costs one answer-rule
+    /// evaluation per changed round — worthwhile when accesses dominate
+    /// (the paper's setting), not when local joins do.
+    pub first_k: Option<usize>,
 }
 
 impl Default for ExecOptions {
@@ -56,6 +86,8 @@ impl Default for ExecOptions {
             max_accesses: DEFAULT_ACCESS_BUDGET,
             fail_fast: true,
             dispatch: DispatchOptions::default(),
+            prune: false,
+            first_k: None,
         }
     }
 }
@@ -74,9 +106,12 @@ pub struct ExecutionReport {
     pub positions_executed: usize,
     /// Final cache sizes, aligned with [`QueryPlan::caches`].
     pub cache_sizes: Vec<usize>,
-    /// What the frontier dispatcher did: per-round frontier sizes and batch
-    /// counts.
+    /// What the kernel did: per-round frontier sizes, batch counts and
+    /// pruned-access counters.
     pub dispatch: DispatchReport,
+    /// `true` when [`ExecOptions::first_k`] stopped the execution before
+    /// every position was populated.
+    pub terminated_early: bool,
 }
 
 /// Executes `plan` against `provider` under the fast-failing strategy.
@@ -175,6 +210,11 @@ pub fn execute_plan_cached(
     let mut failed_at_position = None;
     let mut positions_executed = 0usize;
     let mut dispatch_report = DispatchReport::default();
+    let pruner = if options.prune {
+        RelevancePruner::for_plan(plan)
+    } else {
+        None
+    };
     // Semi-naive frontier per cache and input position: the values already
     // used in bindings for that position. A population pass enumerates only
     // binding combinations containing at least one *new* value, so every
@@ -190,49 +230,79 @@ pub fn execute_plan_cached(
         })
         .collect();
 
-    'positions: for position in 1..=plan.k {
-        // Fast-failing check over the fully populated query-atom caches.
-        if options.fail_fast && !subquery_satisfiable(plan, &answer_rule, position, &facts) {
-            failed_at_position = Some(position);
-            break 'positions;
-        }
+    // With first-k, answers are accumulated incrementally after each kernel
+    // round; `early_answers` holds the truncated set once `k` are certain.
+    let mut early_answers: Option<Vec<Tuple>> = None;
+    {
+        let mut kernel = Kernel::new(
+            cache,
+            provider,
+            log,
+            &mut dispatch_report,
+            options.dispatch,
+            options.max_accesses,
+        );
+        'positions: for position in 1..=plan.k {
+            // Fast-failing check over the fully populated query-atom caches.
+            if options.fail_fast && !subquery_satisfiable(plan, &answer_rule, position, &facts) {
+                failed_at_position = Some(position);
+                break 'positions;
+            }
 
-        // Populate the group at this position to a fixpoint.
-        let group = plan.caches_at_position(position);
-        loop {
-            let mut changed = false;
-            for &cache_idx in &group {
-                changed |= populate_cache(
-                    plan,
-                    cache_idx,
-                    provider,
-                    provider_rel[cache_idx],
-                    &mut facts,
-                    cache,
-                    log,
-                    &mut frontiers[cache_idx],
-                    options,
-                    &mut dispatch_report,
-                )?;
+            // Populate the group at this position to a kernel fixpoint.
+            let group = plan.caches_at_position(position);
+            let mut satisfied_early = false;
+            kernel.fixpoint(|kernel, _round| {
+                let mut changed = false;
+                for &cache_idx in &group {
+                    changed |= populate_cache(
+                        plan,
+                        cache_idx,
+                        provider_rel[cache_idx],
+                        &mut facts,
+                        &mut frontiers[cache_idx],
+                        pruner.as_ref(),
+                        kernel,
+                    )?;
+                }
+                // First-k early termination: any answer derivable now stays
+                // derivable (caches grow monotonically), so `k` derived
+                // answers are `k` certain answers — stop pumping.
+                if changed {
+                    if let Some(k) = options.first_k {
+                        let current = distinct_head_instances(&answer_rule, &facts);
+                        if current.len() >= k {
+                            let mut current = current;
+                            current.truncate(k);
+                            early_answers = Some(current);
+                            satisfied_early = true;
+                            return Ok(false);
+                        }
+                    }
+                }
+                Ok(changed)
+            })?;
+            if satisfied_early {
+                break 'positions;
             }
-            if !changed {
-                break;
-            }
+            positions_executed += 1;
         }
-        positions_executed += 1;
     }
 
     // Final answer: evaluate the rewritten query over the caches (empty when
     // the fast-failing check tripped — the paper's guarantee makes skipping
-    // the remaining accesses sound).
+    // the remaining accesses sound; the first `k` when first-k terminated).
+    let terminated_early = early_answers.is_some();
     let answers = if failed_at_position.is_some() {
         Vec::new()
+    } else if let Some(early) = early_answers {
+        early
     } else {
-        let mut seen: HashSet<Tuple> = HashSet::new();
-        rule_head_instances(&answer_rule, &facts)
-            .into_iter()
-            .filter(|t| seen.insert(t.clone()))
-            .collect()
+        let mut answers = distinct_head_instances(&answer_rule, &facts);
+        if let Some(k) = options.first_k {
+            answers.truncate(k);
+        }
+        answers
     };
 
     let cache_sizes = plan
@@ -248,16 +318,19 @@ pub fn execute_plan_cached(
         positions_executed,
         cache_sizes,
         dispatch: dispatch_report,
+        terminated_early,
     })
 }
 
-// One-at-a-time accesses used to run through a `cached_access` helper here;
-// since the frontier-batched refactor every evaluator collects its round's
-// accesses and hands them to `crate::dispatch::dispatch_frontier`, which
-// keeps the same per-query accounting (the log records only accesses
-// actually performed against the provider; hits and coalesced waits are
-// free) and enforces the budget inside the load path via a shared
-// reservation counter, with no check-then-act window under concurrency.
+/// The distinct head instances of the answer rule over the current caches,
+/// in production order.
+fn distinct_head_instances(answer_rule: &Rule, facts: &FactStore) -> Vec<Tuple> {
+    let mut seen: HashSet<Tuple> = HashSet::new();
+    rule_head_instances(answer_rule, facts)
+        .into_iter()
+        .filter(|t| seen.insert(t.clone()))
+        .collect()
+}
 
 /// The §IV early test: the conjunction of the answer-rule literals whose
 /// caches are fully populated (position < `position`) must be satisfiable.
@@ -281,36 +354,32 @@ fn subquery_satisfiable(
     rule_body_satisfiable(answer_rule, &ready, facts)
 }
 
-/// Per-input-position enumeration frontier: the values already used in
-/// bindings, as a stable list plus membership set.
+/// Per-input-position enumeration frontier: the pool of values already
+/// known, with `old` marking how many of them earlier rounds enumerated
+/// (the kernel's [`PoolView`] over it), plus the membership set.
 #[derive(Clone, Default, Debug)]
 struct PoolFrontier {
-    old: Vec<Value>,
+    values: Vec<Value>,
+    old: usize,
     seen: HashSet<Value>,
 }
 
 /// Populates one cache from the current domain-predicate values; returns
 /// `true` when new tuples were added.
 ///
-/// The population is frontier-batched: the pass first *collects* every
-/// fresh binding (the cache's frontier for this round — the binding set is
-/// fully determined by the domain pools snapshot taken here, so collecting
-/// before accessing cannot change it), hands the whole frontier to the
-/// dispatcher, and folds the extractions into the fact store in frontier
-/// order. Answers are bit-identical to one-at-a-time dispatch; only
-/// wall-clock differs.
-#[allow(clippy::too_many_arguments)]
+/// One kernel round per pass: the fresh bindings (fully determined by the
+/// domain-pool snapshot taken here, so collecting before accessing cannot
+/// change them) go through the kernel's filter → dispatch stages, and the
+/// extractions are folded into the fact store in frontier order. Answers
+/// are bit-identical to one-at-a-time dispatch; only wall-clock differs.
 fn populate_cache(
     plan: &QueryPlan,
     cache_idx: usize,
-    provider: &dyn SourceProvider,
     provider_rel: Option<RelationId>,
     facts: &mut FactStore,
-    access_cache: &SharedAccessCache,
-    log: &mut AccessLog,
     frontier: &mut [PoolFrontier],
-    options: ExecOptions,
-    dispatch_report: &mut DispatchReport,
+    pruner: Option<&RelevancePruner>,
+    kernel: &mut Kernel<'_>,
 ) -> Result<bool, EngineError> {
     let cache = &plan.caches[cache_idx];
     let mut changed = false;
@@ -338,26 +407,45 @@ fn populate_cache(
         news.push(pool.into_iter().filter(|v| !fr.seen.contains(v)).collect());
     }
     // Any empty (old ∪ new) pool means the cache cannot be accessed yet.
-    if cache
-        .input_domains
+    if frontier
         .iter()
-        .zip(frontier.iter())
         .zip(news.iter())
-        .any(|((_, fr), new)| fr.old.is_empty() && new.is_empty())
+        .any(|(fr, new)| fr.values.is_empty() && new.is_empty())
     {
         return Ok(false);
     }
 
-    let requests = collect_bindings(relation, frontier, &news);
-    let extractions = dispatch_frontier(
-        access_cache,
-        provider,
-        log,
-        &requests,
-        options.dispatch,
-        options.max_accesses,
-        dispatch_report,
-    )?;
+    // Append the new values and collect the round's fresh bindings — the
+    // shared pivot decomposition; a free relation contributes the single
+    // empty binding (the access cache makes repeats free).
+    for (fr, new) in frontier.iter_mut().zip(news) {
+        for v in new {
+            if fr.seen.insert(v.clone()) {
+                fr.values.push(v);
+            }
+        }
+    }
+    let mut requests: Vec<AccessKey> = Vec::new();
+    if frontier.is_empty() {
+        requests.push((relation, Tuple::empty()));
+    } else {
+        let pools: Vec<PoolView> = frontier
+            .iter()
+            .map(|fr| PoolView {
+                values: &fr.values,
+                old: fr.old,
+            })
+            .collect();
+        fresh_bindings(relation, &pools, &mut requests);
+    }
+
+    let extractions = match pruner.filter(|p| p.cache_prunable(cache_idx)) {
+        Some(p) => {
+            let keep = |key: &AccessKey| p.keep(cache_idx, &key.1, facts);
+            kernel.round(&requests, Some(&keep))?
+        }
+        None => kernel.round(&requests, None)?,
+    };
     for tuples in &extractions {
         for t in tuples.iter() {
             changed |= facts.insert(cache.cache_pred, t.clone());
@@ -365,84 +453,10 @@ fn populate_cache(
     }
 
     // Advance the frontier.
-    for (fr, new) in frontier.iter_mut().zip(news) {
-        for v in new {
-            if fr.seen.insert(v.clone()) {
-                fr.old.push(v);
-            }
-        }
+    for fr in frontier.iter_mut() {
+        fr.old = fr.values.len();
     }
     Ok(changed)
-}
-
-/// Collects the round's fresh bindings for one cache: the frontier the
-/// dispatcher fans out.
-///
-/// Pivot decomposition: positions before the pivot take old values, the
-/// pivot takes new values, positions after take old ∪ new — every fresh
-/// combination exactly once ("the relation is accessed only if all the
-/// other conditions succeed"); the shared cache dedups across caches. A
-/// free relation contributes the single empty binding.
-fn collect_bindings(
-    relation: RelationId,
-    frontier: &[PoolFrontier],
-    news: &[Vec<Value>],
-) -> Vec<AccessKey> {
-    let arity = frontier.len();
-    if arity == 0 {
-        // Free relation: a single access with the empty binding (the
-        // access cache makes repeats free).
-        return vec![(relation, Tuple::empty())];
-    }
-    let mut requests: Vec<AccessKey> = Vec::new();
-    for pivot in 0..arity {
-        let counts: Vec<usize> = (0..arity)
-            .map(|p| match p.cmp(&pivot) {
-                std::cmp::Ordering::Less => frontier[p].old.len(),
-                std::cmp::Ordering::Equal => news[p].len(),
-                std::cmp::Ordering::Greater => frontier[p].old.len() + news[p].len(),
-            })
-            .collect();
-        if counts.contains(&0) {
-            continue;
-        }
-        let value_at = |p: usize, i: usize| -> &Value {
-            match p.cmp(&pivot) {
-                std::cmp::Ordering::Less => &frontier[p].old[i],
-                std::cmp::Ordering::Equal => &news[p][i],
-                std::cmp::Ordering::Greater => {
-                    if i < frontier[p].old.len() {
-                        &frontier[p].old[i]
-                    } else {
-                        &news[p][i - frontier[p].old.len()]
-                    }
-                }
-            }
-        };
-        let mut odometer = vec![0usize; arity];
-        loop {
-            let binding: Tuple = (0..arity)
-                .map(|p| value_at(p, odometer[p]).clone())
-                .collect();
-            requests.push((relation, binding));
-            let mut pos = 0;
-            loop {
-                if pos == arity {
-                    break;
-                }
-                odometer[pos] += 1;
-                if odometer[pos] < counts[pos] {
-                    break;
-                }
-                odometer[pos] = 0;
-                pos += 1;
-            }
-            if pos == arity {
-                break;
-            }
-        }
-    }
-    requests
 }
 
 /// The current extension of a domain predicate: the union (weak arcs) or
@@ -780,5 +794,185 @@ mod tests {
         let report = execute_plan(&planned.plan, &src, ExecOptions::default()).unwrap();
         assert_eq!(report.answers, vec![Tuple::empty()]);
         assert_eq!(report.stats.total_accesses, 2);
+    }
+}
+
+#[cfg(test)]
+mod pruning_tests {
+    use super::*;
+    use crate::InstanceSource;
+    use toorjah_catalog::{tuple, Instance, Schema};
+    use toorjah_core::plan_query;
+    use toorjah_query::parse_query;
+
+    /// A star join whose later terminal cache is probed with many keys the
+    /// earlier sibling never matched: the kernel prunes those accesses.
+    fn star_source(keys: usize, probe_matches: usize) -> (Schema, InstanceSource) {
+        let schema = Schema::parse("gen^o(K) probe^io(K, V) audit^io(K, W)").unwrap();
+        let mut db = Instance::new(&schema);
+        for i in 0..keys {
+            db.insert("gen", tuple![format!("k{i}")]).unwrap();
+            db.insert("audit", tuple![format!("k{i}"), format!("w{i}")])
+                .unwrap();
+            if i < probe_matches {
+                db.insert("probe", tuple![format!("k{i}"), format!("v{i}")])
+                    .unwrap();
+            }
+        }
+        (schema.clone(), InstanceSource::new(schema, db))
+    }
+
+    #[test]
+    fn pruning_preserves_answers_and_reduces_accesses() {
+        let (schema, src) = star_source(40, 5);
+        let q = parse_query("q(V, W) <- gen(K), probe(K, V), audit(K, W)", &schema).unwrap();
+        let planned = plan_query(&q, &schema).unwrap();
+        let base = execute_plan(&planned.plan, &src, ExecOptions::default()).unwrap();
+        let mut pruned_log = AccessLog::new();
+        let pruned = execute_plan_cached(
+            &planned.plan,
+            &src,
+            ExecOptions {
+                prune: true,
+                ..ExecOptions::default()
+            },
+            &SharedAccessCache::unbounded(),
+            &mut pruned_log,
+        )
+        .unwrap();
+        assert_eq!(pruned.answers, base.answers, "answers are bit-identical");
+        assert_eq!(pruned.answers.len(), 5);
+        assert!(
+            pruned.stats.total_accesses < base.stats.total_accesses,
+            "pruned {} vs {}",
+            pruned.stats.total_accesses,
+            base.stats.total_accesses
+        );
+        assert_eq!(
+            pruned.dispatch.accesses_pruned,
+            base.stats.total_accesses - pruned.stats.total_accesses
+        );
+        // Every requested access is performed, cache-served or pruned.
+        assert_eq!(
+            pruned.dispatch.total_requested(),
+            pruned.stats.total_accesses
+                + pruned_log.cache_served()
+                + pruned.dispatch.accesses_pruned
+        );
+        // The per-round counters line up with the frontier account.
+        assert_eq!(
+            pruned.dispatch.pruned_per_frontier.len(),
+            pruned.dispatch.frontier_sizes.len()
+        );
+        assert_eq!(
+            pruned.dispatch.pruned_per_frontier.iter().sum::<usize>(),
+            pruned.dispatch.accesses_pruned
+        );
+        // With pruning disabled nothing changes and nothing is counted.
+        assert_eq!(base.dispatch.accesses_pruned, 0);
+        assert!(base.dispatch.pruned_per_frontier.iter().all(|&p| p == 0));
+    }
+
+    #[test]
+    fn pruning_is_a_noop_when_pools_are_join_dominated() {
+        // Example 5's chain: every pool value of the terminal cache comes
+        // from its own semi-join partner, so nothing is ever pruned — and
+        // the run stays byte-identical to the unpruned one.
+        let schema = Schema::parse("r1^io(A, B) r2^io(B, C) r3^io(C, A)").unwrap();
+        let db = Instance::with_data(
+            &schema,
+            [
+                ("r1", vec![tuple!["a", "b1"]]),
+                ("r2", vec![tuple!["b1", "c1"]]),
+                ("r3", vec![tuple!["c1", "a"]]),
+            ],
+        )
+        .unwrap();
+        let src = InstanceSource::new(schema.clone(), db);
+        let q = parse_query("q(C) <- r1('a', B), r2(B, C)", &schema).unwrap();
+        let planned = plan_query(&q, &schema).unwrap();
+        let base = execute_plan(&planned.plan, &src, ExecOptions::default()).unwrap();
+        let pruned = execute_plan(
+            &planned.plan,
+            &src,
+            ExecOptions {
+                prune: true,
+                ..ExecOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(pruned.answers, base.answers);
+        assert_eq!(pruned.stats, base.stats);
+        assert_eq!(pruned.dispatch.accesses_pruned, 0);
+    }
+
+    #[test]
+    fn first_k_stops_a_cyclic_pump_early() {
+        // A long extraction chain inside one cyclic order group: each pump
+        // round reaches one more key and yields one more answer, so asking
+        // for the first answer stops the pump almost immediately.
+        let schema = Schema::parse("r1^io(A, B) r2^io(B, C) r3^io(C, A) seed^o(A)").unwrap();
+        let mut db = Instance::new(&schema);
+        db.insert("seed", tuple!["a0"]).unwrap();
+        let n = 30;
+        for i in 0..n {
+            db.insert("r1", tuple![format!("a{i}"), format!("b{i}")])
+                .unwrap();
+            db.insert("r2", tuple![format!("b{i}"), format!("c{i}")])
+                .unwrap();
+            // Close the per-key cycle (an answer) and chain to the next key.
+            db.insert("r3", tuple![format!("c{i}"), format!("a{i}")])
+                .unwrap();
+            db.insert("r3", tuple![format!("c{i}"), format!("a{}", i + 1)])
+                .unwrap();
+        }
+        let src = InstanceSource::new(schema.clone(), db);
+        let q = parse_query("q(A) <- r1(A, B), r2(B, C), r3(C, A), seed(A2)", &schema).unwrap();
+        let planned = plan_query(&q, &schema).unwrap();
+        let full = execute_plan(&planned.plan, &src, ExecOptions::default()).unwrap();
+        assert_eq!(full.answers.len(), n, "every key closes its cycle");
+        assert!(!full.terminated_early);
+
+        let first = execute_plan(
+            &planned.plan,
+            &src,
+            ExecOptions {
+                first_k: Some(1),
+                ..ExecOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(first.answers.len(), 1);
+        assert!(first.terminated_early);
+        assert!(
+            full.answers.contains(&first.answers[0]),
+            "the early answer is a real answer"
+        );
+        assert!(
+            first.stats.total_accesses < full.stats.total_accesses / 2,
+            "stopping the pump saves accesses: {} vs {}",
+            first.stats.total_accesses,
+            full.stats.total_accesses
+        );
+    }
+
+    #[test]
+    fn first_k_larger_than_answer_set_changes_nothing() {
+        let (schema, src) = star_source(10, 4);
+        let q = parse_query("q(V, W) <- gen(K), probe(K, V), audit(K, W)", &schema).unwrap();
+        let planned = plan_query(&q, &schema).unwrap();
+        let full = execute_plan(&planned.plan, &src, ExecOptions::default()).unwrap();
+        let capped = execute_plan(
+            &planned.plan,
+            &src,
+            ExecOptions {
+                first_k: Some(1000),
+                ..ExecOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(capped.answers, full.answers);
+        assert_eq!(capped.stats, full.stats);
+        assert!(!capped.terminated_early);
     }
 }

@@ -10,6 +10,7 @@
 use std::collections::{HashMap, HashSet};
 
 use toorjah_catalog::{Tuple, Value};
+use toorjah_datalog::{combine_projections, project_component};
 use toorjah_query::{ConjunctiveQuery, Term};
 
 /// Evaluates `query` over per-atom extensions, returning the distinct
@@ -40,29 +41,14 @@ pub fn evaluate_cq(
         }
     }
 
-    // Per-component projections onto the head variables it binds.
+    // Per-component projections onto the head variables it binds, combined
+    // into head tuples by the shared helpers (one implementation for this
+    // evaluator and the Datalog rule evaluator).
     let mut projections: Vec<Vec<Vec<(u32, Value)>>> = Vec::new();
     for component in &head_components {
         let relevant: Vec<u32> = component.vars.intersection(&head_vars).copied().collect();
-        let mut seen: HashSet<Vec<(u32, Value)>> = HashSet::new();
-        let mut rows = Vec::new();
-        enumerate(query, &component.atoms, tuples_for_atom, &mut |binding| {
-            let mut row: Vec<(u32, Value)> = relevant
-                .iter()
-                .map(|&v| {
-                    (
-                        v,
-                        binding[v as usize]
-                            .clone()
-                            .expect("component vars are bound"),
-                    )
-                })
-                .collect();
-            row.sort_by_key(|(v, _)| *v);
-            if seen.insert(row.clone()) {
-                rows.push(row);
-            }
-            true
+        let rows = project_component(&relevant, |on_row| {
+            enumerate(query, &component.atoms, tuples_for_atom, on_row);
         });
         if rows.is_empty() {
             return Vec::new();
@@ -70,17 +56,9 @@ pub fn evaluate_cq(
         projections.push(rows);
     }
 
-    // Combine projections into head tuples.
     let mut answers: Vec<Tuple> = Vec::new();
     let mut seen: HashSet<Tuple> = HashSet::new();
-    let mut choice = vec![0usize; projections.len()];
-    loop {
-        let mut assignment: Vec<Option<Value>> = vec![None; query.var_count()];
-        for (c, rows) in projections.iter().enumerate() {
-            for (v, value) in &rows[choice[c]] {
-                assignment[*v as usize] = Some(value.clone());
-            }
-        }
+    combine_projections(query.var_count(), &projections, |assignment| {
         let answer: Tuple = query
             .head()
             .iter()
@@ -93,19 +71,8 @@ pub fn evaluate_cq(
         if seen.insert(answer.clone()) {
             answers.push(answer);
         }
-        let mut pos = 0;
-        loop {
-            if pos == choice.len() {
-                return answers;
-            }
-            choice[pos] += 1;
-            if choice[pos] < projections[pos].len() {
-                break;
-            }
-            choice[pos] = 0;
-            pos += 1;
-        }
-    }
+    });
+    answers
 }
 
 /// A variable-connected group of body atoms.

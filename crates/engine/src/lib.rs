@@ -21,6 +21,13 @@
 //!   (re-exported from [`toorjah_cache`]) that [`execute_plan_cached`],
 //!   [`execute_union_cached`] and [`execute_negated_cached`] thread through
 //!   entire sessions;
+//! * the **evaluation kernel** (`kernel`, internal): the single
+//!   round-based loop — collect frontier → runtime relevance filter →
+//!   dispatch → fold, iterated to a fixpoint — that every evaluator is a
+//!   thin strategy configuration over, including the
+//!   [`RelevancePruner`](crate::ExecOptions::prune)-gated stage dropping
+//!   accesses whose outputs provably cannot reach the query head and the
+//!   opt-in [`first-k`](crate::ExecOptions::first_k) early termination;
 //! * [`naive_evaluate`]: the Fig. 1 algorithm (after [Li & Chang 2000]) that
 //!   accesses *every* relation of the schema with *every* domain-compatible
 //!   binding until fixpoint — the unoptimized baseline of the evaluation;
@@ -41,6 +48,7 @@ mod dispatch;
 mod error;
 mod executor;
 mod join;
+mod kernel;
 mod metacache;
 mod naive;
 mod negation;

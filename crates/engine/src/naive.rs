@@ -1,5 +1,5 @@
 //! The naive evaluation algorithm (Fig. 1 of the paper, after
-//! [Li & Chang, ICDE 2000]).
+//! [Li & Chang, ICDE 2000]), as a strategy over the evaluation kernel.
 //!
 //! ```text
 //! 1) Initialize B with the set of constants in the query
@@ -16,8 +16,17 @@
 //! accesses *every* relation of the schema — including relations irrelevant
 //! to the query — with *every* domain-compatible combination of known
 //! values, which is exactly the waste §III's relevance pruning eliminates.
-//! Accesses are deduplicated (the metric is a set, §IV), so the algorithm
-//! terminates: the value universe is bounded by the instance.
+//!
+//! The loop mechanics live in [`crate::kernel`]: step 2 is the kernel's
+//! fixpoint driver, each relation's fresh bindings per round come from the
+//! shared pivot decomposition ([`crate::kernel::fresh_bindings`], so every
+//! binding is generated exactly once across the run and the algorithm
+//! terminates — the value universe is bounded by the instance), and every
+//! frontier is dispatched through a kernel round (accesses deduplicated;
+//! the metric is a set, §IV). What this module owns is the strategy: the
+//! per-domain binding pools and the all-relations access policy. The
+//! kernel's *relevance filter* stays off here by design — this evaluator
+//! exists to measure the unpruned baseline.
 
 use std::collections::{HashMap, HashSet};
 
@@ -25,7 +34,7 @@ use toorjah_cache::SharedAccessCache;
 use toorjah_catalog::{AccessKey, DomainId, Schema, Tuple, Value};
 use toorjah_query::ConjunctiveQuery;
 
-use crate::dispatch::dispatch_frontier;
+use crate::kernel::{fresh_bindings, Kernel, PoolView};
 use crate::{
     evaluate_cq, AccessLog, AccessStats, DispatchOptions, DispatchReport, EngineError,
     SourceProvider, DEFAULT_ACCESS_BUDGET,
@@ -120,128 +129,96 @@ pub fn naive_evaluate(
     // The private per-run access cache (the meta-cache role); the frontier
     // bookkeeping below never generates a binding twice, so in practice
     // every lookup is a miss — the cache's job here is the single-flight
-    // load path the dispatcher requires.
+    // load path the kernel's dispatcher requires.
     let access_cache = SharedAccessCache::unbounded();
     let mut log = AccessLog::new();
-    let mut rounds = 0usize;
     let mut dispatch_report = DispatchReport::default();
 
     // Per-relation, per-input-position pool length already enumerated (the
     // semi-naive frontier): a round only enumerates combinations with at
     // least one value that is *new* since the relation's previous round,
-    // using the standard pivot decomposition (positions before the pivot
-    // take old values, the pivot takes new values, positions after take
-    // all). Every binding is therefore generated exactly once across the
-    // whole run, keeping the fixpoint linear in the number of accesses.
+    // via the kernel's shared pivot decomposition. Every binding is
+    // therefore generated exactly once across the whole run, keeping the
+    // fixpoint linear in the number of accesses.
     let mut frontier: Vec<Vec<usize>> = schema
         .iter()
         .map(|(_, rel)| vec![0usize; rel.pattern().input_count()])
         .collect();
 
-    // 2) Fixpoint over accesses. Each relation's fresh bindings for the
-    // round are *collected* into one frontier and dispatched as a batch —
-    // the binding set is fully determined by the round's snapshot of B, so
-    // collecting before accessing cannot change it, and the extractions are
-    // folded back in binding order, keeping the run bit-identical to
-    // one-at-a-time dispatch.
-    loop {
-        rounds += 1;
-        let mut new_access = false;
-        // Snapshot B so a round uses a consistent value set.
-        let snapshot: HashMap<DomainId, Vec<Value>> = b_vec.clone();
-        for (rel_id, rel) in schema.iter() {
-            let input_domains: Vec<DomainId> = rel
-                .pattern()
-                .input_positions()
-                .map(|k| rel.domain(k))
-                .collect();
-            let pools: Vec<&[Value]> = input_domains
-                .iter()
-                .map(|d| snapshot.get(d).map_or(&[][..], Vec::as_slice))
-                .collect();
-            let old = frontier[rel_id.index()].clone();
-            let mut requests: Vec<AccessKey> = Vec::new();
-            if pools.is_empty() {
-                // Free relation: a single access, in the first round only.
-                if rounds == 1 {
-                    requests.push((rel_id, Tuple::empty()));
-                }
-            } else if pools.iter().any(|p| p.is_empty()) {
-                continue; // some input domain has no known values yet
-            } else {
-                for pivot in 0..pools.len() {
-                    // Ranges: before the pivot old values, at the pivot new
-                    // values, after the pivot all values.
-                    let ranges: Vec<std::ops::Range<usize>> = (0..pools.len())
-                        .map(|p| match p.cmp(&pivot) {
-                            std::cmp::Ordering::Less => 0..old[p],
-                            std::cmp::Ordering::Equal => old[p]..pools[p].len(),
-                            std::cmp::Ordering::Greater => 0..pools[p].len(),
-                        })
+    // 2) Fixpoint over accesses, driven by the kernel. Each relation's
+    // fresh bindings for the round are *collected* into one frontier and
+    // dispatched as a kernel round — the binding set is fully determined by
+    // the round's snapshot of B, so collecting before accessing cannot
+    // change it, and the extractions are folded back in binding order,
+    // keeping the run bit-identical to one-at-a-time dispatch.
+    let rounds;
+    {
+        let mut kernel = Kernel::new(
+            &access_cache,
+            provider,
+            &mut log,
+            &mut dispatch_report,
+            options.dispatch,
+            options.max_accesses,
+        );
+        rounds = kernel.fixpoint(|kernel, round| {
+            let mut new_access = false;
+            // Snapshot B so a round uses a consistent value set.
+            let snapshot: HashMap<DomainId, Vec<Value>> = b_vec.clone();
+            for (rel_id, rel) in schema.iter() {
+                let input_domains: Vec<DomainId> = rel
+                    .pattern()
+                    .input_positions()
+                    .map(|k| rel.domain(k))
+                    .collect();
+                let pools: Vec<&[Value]> = input_domains
+                    .iter()
+                    .map(|d| snapshot.get(d).map_or(&[][..], Vec::as_slice))
+                    .collect();
+                let mut requests: Vec<AccessKey> = Vec::new();
+                if pools.is_empty() {
+                    // Free relation: a single access, in the first round
+                    // only.
+                    if round == 1 {
+                        requests.push((rel_id, Tuple::empty()));
+                    }
+                } else if pools.iter().any(|p| p.is_empty()) {
+                    continue; // some input domain has no known values yet
+                } else {
+                    let views: Vec<PoolView> = pools
+                        .iter()
+                        .zip(&frontier[rel_id.index()])
+                        .map(|(values, &old)| PoolView { values, old })
                         .collect();
-                    if ranges.iter().any(|r| r.is_empty()) {
-                        continue;
+                    fresh_bindings(rel_id, &views, &mut requests);
+                    // The frontier advances to the snapshot sizes just
+                    // enumerated.
+                    for (p, pool) in pools.iter().enumerate() {
+                        frontier[rel_id.index()][p] = pool.len();
                     }
-                    let mut odometer: Vec<usize> = ranges.iter().map(|r| r.start).collect();
-                    loop {
-                        let binding: Tuple = odometer
-                            .iter()
-                            .zip(&pools)
-                            .map(|(&i, p)| p[i].clone())
-                            .collect();
-                        debug_assert!(!log.contains(rel_id, &binding));
-                        requests.push((rel_id, binding));
-                        // Advance within the ranges.
-                        let mut pos = 0;
-                        loop {
-                            if pos == odometer.len() {
-                                break;
+                }
+                if requests.is_empty() {
+                    continue;
+                }
+                debug_assert!(
+                    requests.iter().all(|(r, b)| !kernel.log.contains(*r, b)),
+                    "the semi-naive frontier never repeats a binding"
+                );
+                let extractions = kernel.round(&requests, None)?;
+                new_access = true;
+                for tuples in &extractions {
+                    for t in tuples.iter() {
+                        if cache_seen[rel_id.index()].insert(t.clone()) {
+                            for (k, v) in t.values().iter().enumerate() {
+                                add_value(&mut b_vec, &mut b_set, rel.domain(k), v.clone());
                             }
-                            odometer[pos] += 1;
-                            if odometer[pos] < ranges[pos].end {
-                                break;
-                            }
-                            odometer[pos] = ranges[pos].start;
-                            pos += 1;
-                        }
-                        if pos == odometer.len() {
-                            break;
+                            cache[rel_id.index()].push(t.clone());
                         }
                     }
                 }
-                // The frontier advances to the snapshot sizes just
-                // enumerated.
-                for (p, pool) in pools.iter().enumerate() {
-                    frontier[rel_id.index()][p] = pool.len();
-                }
             }
-            if requests.is_empty() {
-                continue;
-            }
-            let extractions = dispatch_frontier(
-                &access_cache,
-                provider,
-                &mut log,
-                &requests,
-                options.dispatch,
-                options.max_accesses,
-                &mut dispatch_report,
-            )?;
-            new_access = true;
-            for tuples in &extractions {
-                for t in tuples.iter() {
-                    if cache_seen[rel_id.index()].insert(t.clone()) {
-                        for (k, v) in t.values().iter().enumerate() {
-                            add_value(&mut b_vec, &mut b_set, rel.domain(k), v.clone());
-                        }
-                        cache[rel_id.index()].push(t.clone());
-                    }
-                }
-            }
-        }
-        if !new_access {
-            break;
-        }
+            Ok(new_access)
+        })?;
     }
 
     // 3) Evaluate the query over the cache.

@@ -8,12 +8,15 @@
 //!    each answer comes with a full enough assignment;
 //! 2. for each negated atom `¬r(t̄)` in turn, *collect* the frontier of
 //!    access bindings `θ(t̄|inputs)` of every surviving candidate `θ` and
-//!    dispatch it as one batch through the shared cache (repeated checks
-//!    are free, identical checks of different candidates are loaded once);
+//!    hand it to one round of the evaluation kernel (`crate::kernel`),
+//!    which dispatches it through the shared cache (repeated checks are
+//!    free, identical checks of different candidates are loaded once);
 //!    a candidate is rejected iff some returned tuple matches `θ(t̄)` on
 //!    every position, and rejected candidates never reach the next atom —
 //!    so the access *set* equals the one-candidate-at-a-time strategy's,
-//!    only batched per level;
+//!    only batched per level. Every check access is *needed* (it decides
+//!    its candidates exactly), so the kernel's relevance filter has
+//!    nothing to drop here and stays off;
 //! 3. project the survivors onto the original head.
 //!
 //! Because the access retrieves *all* source tuples with those input
@@ -27,7 +30,7 @@ use toorjah_catalog::{AccessKey, RelationId, Schema, Tuple};
 use toorjah_core::{CoreError, Planned, Planner};
 use toorjah_query::{Atom, ConjunctiveQuery, NegatedQuery, Term, VarId};
 
-use crate::dispatch::dispatch_frontier;
+use crate::kernel::Kernel;
 use crate::{
     execute_plan_cached, AccessLog, AccessStats, DispatchReport, EngineError, ExecOptions,
     SourceProvider,
@@ -202,7 +205,11 @@ pub fn execute_negated_plan(
     cache: &SharedAccessCache,
     log: &mut AccessLog,
 ) -> Result<NegationReport, NegationError> {
-    let report = execute_plan_cached(&plan.planned.plan, provider, options, cache, log)
+    // The positive part must surface every candidate — first-k applies
+    // only to the certain answers after the checks.
+    let mut positive_options = options;
+    positive_options.first_k = None;
+    let report = execute_plan_cached(&plan.planned.plan, provider, positive_options, cache, log)
         .map_err(NegationError::Execution)?;
     let mut dispatch = report.dispatch.clone();
     let checks = negation_checks(
@@ -214,8 +221,12 @@ pub fn execute_negated_plan(
         log,
         &mut dispatch,
     )?;
+    let mut answers = checks.answers;
+    if let Some(k) = options.first_k {
+        answers.truncate(k);
+    }
     Ok(NegationReport {
-        answers: checks.answers,
+        answers,
         stats: log.stats(),
         rejected: checks.rejected,
         dispatch,
@@ -255,6 +266,14 @@ pub fn negation_checks(
 
     let mut rejected = 0usize;
     let mut survivors: Vec<&Tuple> = candidates.iter().collect();
+    let mut kernel = Kernel::new(
+        cache,
+        provider,
+        log,
+        dispatch,
+        options.dispatch,
+        options.max_accesses,
+    );
     for (atom, &rel) in plan.negated.iter().zip(&negated_rels) {
         if survivors.is_empty() {
             break;
@@ -281,16 +300,9 @@ pub fn negation_checks(
             requests.push((rel, rel_schema.pattern().binding_of(&bound)));
             bounds.push(bound);
         }
-        let extractions = dispatch_frontier(
-            cache,
-            provider,
-            log,
-            &requests,
-            options.dispatch,
-            options.max_accesses,
-            dispatch,
-        )
-        .map_err(NegationError::Execution)?;
+        let extractions = kernel
+            .round(&requests, None)
+            .map_err(NegationError::Execution)?;
         let mut next = Vec::with_capacity(survivors.len());
         for ((candidate, bound), extraction) in survivors.into_iter().zip(&bounds).zip(&extractions)
         {

@@ -1,9 +1,17 @@
 //! Union-of-conjunctive-queries execution (§II UCQs; the §VII extension).
 //!
-//! A UCQ is answered by executing one ⊂-minimal plan per disjunct; the
-//! disjuncts **share the per-relation meta-cache and the access log**, so an
-//! access performed for one disjunct is free for every other — the natural
+//! A UCQ is answered by executing one ⊂-minimal plan per disjunct — each an
+//! evaluation-kernel run of the fast-failing executor, so runtime relevance
+//! pruning ([`ExecOptions::prune`]) applies per disjunct. The disjuncts
+//! **share the per-relation meta-cache and the access log**, so an access
+//! performed for one disjunct is free for every other — the natural
 //! generalization of the paper's "never repeat an access" discipline.
+//!
+//! With [`ExecOptions::first_k`], execution stops *between* disjuncts once
+//! `k` distinct union answers are certain (a disjunct's answers are final —
+//! the union is monotone in its disjuncts); only the first disjunct may
+//! additionally terminate early *within* its run, since deduplication
+//! against earlier disjuncts cannot shrink its contribution.
 
 use std::collections::HashSet;
 
@@ -61,8 +69,15 @@ pub fn execute_union_cached(
     let mut seen: HashSet<Tuple> = HashSet::new();
     let mut per_disjunct = Vec::with_capacity(plans.len());
     let mut dispatch = DispatchReport::default();
-    for plan in plans {
-        let report = execute_plan_cached(plan, provider, options, cache, log)?;
+    for (i, plan) in plans.iter().enumerate() {
+        // In-run first-k is sound only for the first disjunct: later
+        // disjuncts' answers may deduplicate against earlier ones, so they
+        // must run to completion and the union stops between disjuncts.
+        let mut disjunct_options = options;
+        if i > 0 {
+            disjunct_options.first_k = None;
+        }
+        let report = execute_plan_cached(plan, provider, disjunct_options, cache, log)?;
         for t in &report.answers {
             if seen.insert(t.clone()) {
                 answers.push(t.clone());
@@ -70,6 +85,12 @@ pub fn execute_union_cached(
         }
         dispatch.merge(&report.dispatch);
         per_disjunct.push(report);
+        if let Some(k) = options.first_k {
+            if answers.len() >= k {
+                answers.truncate(k);
+                break;
+            }
+        }
     }
     Ok(UnionReport {
         answers,

@@ -161,6 +161,27 @@ impl ToorjahBuilder {
         self
     }
 
+    /// Enables the evaluation kernel's runtime access-relevance pruning:
+    /// before dispatch, accesses whose outputs provably cannot reach the
+    /// query head are dropped. Answers are invariant; `accesses_performed`
+    /// drops and the pruned count surfaces as
+    /// `profile.dispatch.accesses_pruned`. Off by default (the unpruned
+    /// run reproduces the paper's access counts exactly); ignored by the
+    /// streaming executor.
+    pub fn pruning(mut self, enabled: bool) -> Self {
+        self.config.exec.prune = enabled;
+        self
+    }
+
+    /// Opt-in first-k early termination: executions stop as soon as `k`
+    /// answers are certain and return exactly the first `k`. Unions stop
+    /// between disjuncts; negated statements apply the cap after the
+    /// negation checks; the streaming executor ignores it.
+    pub fn first_k(mut self, k: usize) -> Self {
+        self.config.exec.first_k = Some(k);
+        self
+    }
+
     /// Installs a session cache shared by every statement this instance
     /// (and any other holder of the handle) executes.
     pub fn cache(mut self, cache: SharedAccessCache) -> Self {
@@ -403,6 +424,17 @@ impl Toorjah {
             "dispatch: parallelism={}, batch_size={}\n",
             dispatch.parallelism, dispatch.batch_size
         ));
+        out.push_str(&format!(
+            "runtime pruning: {}\n",
+            if self.config.exec.prune {
+                "enabled"
+            } else {
+                "disabled"
+            }
+        ));
+        if let Some(k) = self.config.exec.first_k {
+            out.push_str(&format!("first-k: stop after {k} certain answer(s)\n"));
+        }
         if let Some(stats) = self.cache_stats() {
             out.push_str(&format!("session cache: {stats}\n"));
         }
@@ -441,6 +473,16 @@ impl Toorjah {
                 "no"
             }
         ));
+        let prunable = planned.plan.relevance.prunable_caches();
+        if prunable.is_empty() {
+            out.push_str("runtime-prunable caches: none\n");
+        } else {
+            let labels: Vec<&str> = prunable
+                .iter()
+                .map(|&i| planned.plan.caches[i].label.as_str())
+                .collect();
+            out.push_str(&format!("runtime-prunable caches: {}\n", labels.join(", ")));
+        }
         out.push_str("datalog program:\n");
         for rule in planned.plan.program.rules() {
             out.push_str(&format!("  {}\n", planned.plan.program.render_rule(rule)));

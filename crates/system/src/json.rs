@@ -19,7 +19,8 @@
 //!     "total_accesses": 2,
 //!     "per_relation": {"r1": {"accesses": 1, "extracted": 1}},
 //!     "dispatch": {"frontiers": 2, "largest_frontier": 1,
-//!                  "batches": 2, "total_requested": 2},
+//!                  "batches": 2, "total_requested": 2,
+//!                  "accesses_pruned": 0, "pruned_per_frontier": [0, 0]},
 //!     "timings_us": {"parse": 10, "plan": 120, "execute": 80, "total": 210},
 //!     "execution": 1
 //!   }
@@ -95,12 +96,21 @@ impl Response {
         let _ = write!(
             out,
             ",\"dispatch\":{{\"frontiers\":{},\"largest_frontier\":{},\
-             \"batches\":{},\"total_requested\":{}}}",
+             \"batches\":{},\"total_requested\":{},\"accesses_pruned\":{}",
             p.dispatch.frontiers(),
             p.dispatch.largest_frontier(),
             p.dispatch.batches,
             p.dispatch.total_requested(),
+            p.dispatch.accesses_pruned,
         );
+        out.push_str(",\"pruned_per_frontier\":[");
+        for (i, pruned) in p.dispatch.pruned_per_frontier.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{pruned}");
+        }
+        out.push_str("]}");
         out.push_str(",\"timings_us\":{\"parse\":");
         push_duration_json(&mut out, p.timings.parse);
         out.push_str(",\"plan\":");
@@ -187,6 +197,8 @@ mod tests {
         assert!(json.contains("\"mode\":\"sequential\""), "{json}");
         assert!(json.contains("\"answers\":[[\"c1\"]]"), "{json}");
         assert!(json.contains("\"accesses_performed\":2"), "{json}");
+        assert!(json.contains("\"accesses_pruned\":0"), "{json}");
+        assert!(json.contains("\"pruned_per_frontier\":["), "{json}");
         assert!(
             json.contains("\"r1\":{\"accesses\":1,\"extracted\":1}"),
             "{json}"

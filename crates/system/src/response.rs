@@ -86,9 +86,11 @@ pub struct ExecutionProfile {
     pub accesses_served_by_cache: u64,
     /// Distinct accesses this execution performed against the sources
     /// (equals `stats.total_accesses`). In the non-streaming modes, every
-    /// requested access is either performed or served:
-    /// `accesses_performed + accesses_served_by_cache ==
-    /// dispatch.total_requested()` (pinned by `tests/prepared.rs`).
+    /// requested access is performed, cache-served, or dropped by the
+    /// kernel's runtime relevance pruner:
+    /// `accesses_performed + accesses_served_by_cache +
+    /// dispatch.accesses_pruned == dispatch.total_requested()` (pinned by
+    /// `tests/prepared.rs` and `tests/relevance.rs`).
     pub accesses_performed: u64,
     /// Frontier/batch accounting of the dispatcher. Under
     /// [`ExecMode::Streaming`] the distillation executor schedules accesses

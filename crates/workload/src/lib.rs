@@ -12,7 +12,10 @@
 //!   per relation drawn from per-domain value pools of 100–1,000 values);
 //! * [`overlapping`]: the serving workload for the shared-cache subsystem —
 //!   Example 1's music schema with many conjunctive queries whose access
-//!   sets heavily intersect (popular-entity traffic).
+//!   sets heavily intersect (popular-entity traffic);
+//! * [`sparse`]: the high-irrelevance star-join workload for the engine's
+//!   runtime relevance pruning — statically every access is needed, at
+//!   runtime most provably cannot reach the query head.
 //!
 //! All generators are deterministic given a seed, so experiments and tests
 //! are reproducible.
@@ -22,6 +25,7 @@
 pub mod overlapping;
 pub mod publications;
 pub mod random;
+pub mod sparse;
 
 pub use overlapping::{
     music_instance, music_schema, overlapping_queries, MusicConfig, OverlapParams,
@@ -30,3 +34,4 @@ pub use publications::{
     paper_queries, publication_instance, publication_schema, PublicationConfig,
 };
 pub use random::{random_instance, random_query, random_schema, GeneratedSchema, RandomParams};
+pub use sparse::{sparse_instance, sparse_query, sparse_schema, SparseConfig};

@@ -18,9 +18,13 @@
 //! `--parallelism <n>` fans each round's access frontier out over `n`
 //! worker threads; `--batch-size <n>` groups up to `n` accesses per source
 //! round trip. Answers and access counts are invariant in both — only
-//! wall-clock changes. `--json` emits the full `Response` (answers plus
-//! the `ExecutionProfile`: access stats, cache attribution, dispatch
-//! account, phase timings) as one JSON object on stdout.
+//! wall-clock changes. `--prune` enables the evaluation kernel's runtime
+//! access-relevance pruning (answers invariant, `accesses_performed`
+//! drops); `--first-k <n>` stops as soon as `n` answers are certain.
+//! `--json` emits the full `Response` (answers plus the
+//! `ExecutionProfile`: access stats, cache attribution, dispatch account
+//! incl. pruned-access counters, phase timings) as one JSON object on
+//! stdout.
 //!
 //! Source-file format (`#` comments; one statement per line):
 //!
@@ -45,7 +49,8 @@ use toorjah::query::parse_query;
 use toorjah::system::Toorjah;
 
 const USAGE: &str = "usage: toorjah <source-file> [--parallelism <n>] [--batch-size <n>] \
-                     [--json] [--query <q> | --explain <q> | --naive <q>]";
+                     [--prune] [--first-k <n>] [--json] \
+                     [--query <q> | --explain <q> | --naive <q>]";
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
@@ -59,6 +64,8 @@ fn main() -> ExitCode {
         eprintln!(
             "--parallelism <n>  fan each access frontier out over n worker threads\n\
              --batch-size <n>   group up to n accesses per source round trip\n\
+             --prune            drop accesses that provably cannot reach the query head\n\
+             --first-k <n>      stop as soon as n answers are certain\n\
              --json             emit the full response (answers + execution profile) as JSON"
         );
         return ExitCode::SUCCESS;
@@ -89,6 +96,8 @@ fn main() -> ExitCode {
     let mut mode: Option<(String, String)> = None;
     let mut dispatch = DispatchOptions::default();
     let mut json = false;
+    let mut prune = false;
+    let mut first_k = None;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--query" | "--explain" | "--naive" => {
@@ -99,7 +108,8 @@ fn main() -> ExitCode {
                 mode = Some((flag, q));
             }
             "--json" => json = true,
-            "--parallelism" | "--batch-size" => {
+            "--prune" => prune = true,
+            "--parallelism" | "--batch-size" | "--first-k" => {
                 let value = match args.next().map(|v| v.parse::<usize>()) {
                     Some(Ok(n)) if n > 0 => n,
                     _ => {
@@ -107,10 +117,10 @@ fn main() -> ExitCode {
                         return ExitCode::from(2);
                     }
                 };
-                if flag == "--parallelism" {
-                    dispatch.parallelism = value;
-                } else {
-                    dispatch.batch_size = value;
+                match flag.as_str() {
+                    "--parallelism" => dispatch.parallelism = value,
+                    "--batch-size" => dispatch.batch_size = value,
+                    _ => first_k = Some(value),
                 }
             }
             other => {
@@ -119,9 +129,13 @@ fn main() -> ExitCode {
             }
         }
     }
-    let system = Toorjah::builder(provider.clone())
+    let mut builder = Toorjah::builder(provider.clone())
         .dispatch(dispatch)
-        .build();
+        .pruning(prune);
+    if let Some(k) = first_k {
+        builder = builder.first_k(k);
+    }
+    let system = builder.build();
     if let Some((flag, q)) = mode {
         return match flag.as_str() {
             "--query" => run_query(&system, &q, json),

@@ -155,6 +155,8 @@ fn json_output_has_the_response_shape() {
         "\"accesses_served_by_cache\":",
         "\"per_relation\":",
         "\"dispatch\":",
+        "\"accesses_pruned\":",
+        "\"pruned_per_frontier\":[",
         "\"timings_us\":",
         "\"parse\":",
         "\"plan\":",
@@ -201,6 +203,46 @@ fn union_and_negated_statements_run_through_the_same_flag() {
     assert!(stdout.contains("\"statement\":\"negated\""), "{stdout}");
     assert!(stdout.contains("\"rejected\":1"), "{stdout}");
     assert!(stdout.contains("\"answers\":[[\"mina\"]]"), "{stdout}");
+}
+
+#[test]
+fn prune_and_first_k_flags() {
+    let file = sample_file();
+    // --prune: answers unchanged, and the JSON carries the pruned counter.
+    let out = Command::new(BIN)
+        .arg(file.path())
+        .args([
+            "--prune",
+            "--json",
+            "--query",
+            "q(N) <- r1(A, N, Y1), r2('volare', Y2, A)",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"answers\":[[\"italy\"]]"), "{stdout}");
+    assert!(stdout.contains("\"accesses_pruned\":"), "{stdout}");
+    // --first-k 1 on a query with two answers returns exactly one.
+    let out = Command::new(BIN)
+        .arg(file.path())
+        .args(["--first-k", "1", "--json", "--query", "q(A) <- r3(A, B)"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"answer_count\":1"), "{stdout}");
+    // --first-k without a value fails cleanly.
+    let out = Command::new(BIN)
+        .arg(file.path())
+        .args(["--first-k"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
 }
 
 #[test]

@@ -227,6 +227,11 @@ impl Shard {
 /// Estimated retained size of one cache entry: the key's binding plus the
 /// extraction, via [`Tuple::estimated_bytes`], plus a fixed per-entry
 /// overhead for the map slot and recency bookkeeping.
+///
+/// Under the interned data plane every value is fixed-size, so an entry's
+/// charge is determined by tuple count and arity alone — string payloads are
+/// accounted once at the [`Interner`](toorjah_catalog::Interner), never per
+/// retained copy, and two extractions of equal shape always cost the same.
 fn entry_bytes(binding: &Tuple, tuples: &[Tuple]) -> usize {
     const ENTRY_OVERHEAD: usize = 96;
     ENTRY_OVERHEAD
@@ -911,6 +916,23 @@ mod tests {
         }
         assert!(cache.stats().evictions > 0);
         assert!(cache.len() < 200);
+    }
+
+    #[test]
+    fn entry_charges_are_payload_independent() {
+        // Fixed-size accounting: two extractions of equal shape charge the
+        // byte budget identically no matter how long their string payloads
+        // are — the payload bytes live in the interner, counted once
+        // process-wide, not once per retained copy.
+        let short: Vec<Tuple> = (0..4).map(|i| tuple![i, "ab"]).collect();
+        let long: Vec<Tuple> = (0..4)
+            .map(|i| tuple![i, "a considerably longer payload string than ab"])
+            .collect();
+        assert_eq!(entry_bytes(&k(1), &short), entry_bytes(&k(2), &long));
+        // More tuples still cost more: the budget keeps ordering entries by
+        // retained shape.
+        let wider: Vec<Tuple> = (0..5).map(|i| tuple![i, "ab"]).collect();
+        assert!(entry_bytes(&k(1), &wider) > entry_bytes(&k(1), &short));
     }
 
     #[test]

@@ -1,0 +1,152 @@
+//! A fast, non-cryptographic hasher for interned keys.
+//!
+//! The interned data plane turns every index key into a fixed-size integer
+//! ([`IVal`](crate::IVal): an `i64` or a `u32` symbol id). Integer keys
+//! drawn from a trusted domain — the interner assigns ids densely, sources
+//! are not adversarial — do not need the DoS resistance of `std`'s SipHash,
+//! whose fixed per-lookup overhead dominates a probe once the key is two
+//! words. [`FastBuildHasher`] is a multiplicative add-rotate-xor hasher in
+//! the FxHash family: a handful of arithmetic instructions per word, good
+//! dispersion on dense integers.
+//!
+//! This is itself a dividend of interning: while keys were heap strings,
+//! hashing attacker-influenced payloads with a weak hash would have been a
+//! collision hazard, so the pre-interning indexes were stuck with SipHash.
+//! Symbol ids made the cheap hasher safe to adopt.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Builds [`FastHasher`]s; plug into `HashMap`/`HashSet` as the `S`
+/// parameter. `Default`-constructed, so maps remain `Default` too.
+pub type FastBuildHasher = BuildHasherDefault<FastHasher>;
+
+/// A `HashMap` keyed by interned-friendly keys, hashed with [`FastHasher`].
+pub type FastMap<K, V> = std::collections::HashMap<K, V, FastBuildHasher>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The word-at-a-time multiplicative hasher behind [`FastBuildHasher`].
+#[derive(Clone, Copy, Default, Debug)]
+pub struct FastHasher(u64);
+
+impl FastHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Fallback for non-integer fragments (e.g. a derived Hash that
+        // feeds in a byte slice): fold whole words, then the tail.
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let mut tail = 0u64;
+        for (i, &b) in chunks.remainder().iter().enumerate() {
+            tail |= u64::from(b) << (8 * i);
+        }
+        if !chunks.remainder().is_empty() {
+            self.add_to_hash(tail);
+        }
+        self.add_to_hash(bytes.len() as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, i: i64) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_isize(&mut self, i: isize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        FastBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn equal_values_hash_equal() {
+        let a = crate::IVal::Sym(42);
+        let b = crate::IVal::Sym(42);
+        assert_eq!(hash_of(&a), hash_of(&b));
+        assert_ne!(
+            hash_of(&crate::IVal::Sym(42)),
+            hash_of(&crate::IVal::Int(42))
+        );
+    }
+
+    #[test]
+    fn dense_ids_disperse() {
+        // Dense symbol ids (the interner assigns 0, 1, 2, …) must not
+        // collide in the low bits the hashmap actually uses.
+        let mut low_bits: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        for id in 0u32..4096 {
+            low_bits.insert(hash_of(&crate::IVal::Sym(id)) & 0xfff);
+        }
+        assert!(
+            low_bits.len() > 2048,
+            "got {} distinct low-12-bit values out of 4096",
+            low_bits.len()
+        );
+    }
+
+    #[test]
+    fn fast_map_works_as_an_index() {
+        let mut m: FastMap<crate::IVal, Vec<u32>> = FastMap::default();
+        m.entry(crate::IVal::Sym(7)).or_default().push(3);
+        m.entry(crate::IVal::Int(-1)).or_default().push(9);
+        assert_eq!(m[&crate::IVal::Sym(7)], vec![3]);
+        assert_eq!(m[&crate::IVal::Int(-1)], vec![9]);
+        assert!(!m.contains_key(&crate::IVal::Sym(8)));
+    }
+
+    #[test]
+    fn byte_fallback_includes_length() {
+        let mut a = FastHasher::default();
+        a.write(b"ab");
+        let mut b = FastHasher::default();
+        b.write(b"ab\0");
+        assert_ne!(a.finish(), b.finish(), "length is folded in");
+    }
+}

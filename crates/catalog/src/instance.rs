@@ -202,7 +202,7 @@ impl Instance {
         self.extents[id.index()]
             .tuples()
             .iter()
-            .map(|t| t[position].clone())
+            .map(|t| t[position])
             .collect()
     }
 

@@ -27,7 +27,9 @@
 
 mod domain;
 mod error;
+mod hash;
 mod instance;
+mod intern;
 mod pattern;
 mod relation;
 mod schema;
@@ -36,7 +38,9 @@ mod value;
 
 pub use domain::{Domain, DomainId, DomainRegistry};
 pub use error::CatalogError;
+pub use hash::{FastBuildHasher, FastHasher, FastMap};
 pub use instance::{Instance, RelationData};
+pub use intern::{IVal, Interner, InternerStats, Symbol};
 pub use pattern::{AccessPattern, Mode};
 pub use relation::{AccessKey, RelationId, RelationSchema};
 pub use schema::{Schema, SchemaBuilder};

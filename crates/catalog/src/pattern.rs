@@ -140,7 +140,7 @@ impl AccessPattern {
     /// # Panics
     /// Panics if `values` is shorter than the pattern's arity.
     pub fn binding_of(&self, values: &[crate::Value]) -> crate::Tuple {
-        self.input_positions().map(|k| values[k].clone()).collect()
+        self.input_positions().map(|k| values[k]).collect()
     }
 }
 

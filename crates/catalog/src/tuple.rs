@@ -1,15 +1,34 @@
 //! Tuples `⟨c1,…,cn⟩` of constants.
 
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::ops::Deref;
 use std::sync::Arc;
 
 use crate::Value;
 
+/// Tuples up to this arity are stored inline — no heap allocation to build,
+/// clone or drop them. The paper's relations (and hence bindings and cache
+/// keys) are arity ≤ 3 throughout, so the hot loops never touch the heap
+/// variant.
+const INLINE: usize = 3;
+
+#[derive(Clone)]
+enum Repr {
+    /// `values[..len]` inline in the handle; the tail is padding.
+    Inline { len: u8, values: [Value; INLINE] },
+    /// Reference-counted spill for arities above [`INLINE`].
+    Heap(Arc<[Value]>),
+}
+
 /// An immutable tuple of [`Value`]s.
 ///
-/// Tuples are reference counted so that the cache database, meta-caches and
-/// answer sets can share them without copying. Dereferences to `[Value]`.
+/// Since values are `Copy` (interned symbols or integers), small tuples —
+/// up to arity 3, which covers every binding and extraction tuple of the
+/// paper's workloads — are stored inline: constructing or cloning one is a
+/// plain copy, no allocation. Larger tuples spill to a reference-counted
+/// slice. Equality, hashing and ordering are by content, independent of the
+/// representation. Dereferences to `[Value]`.
 ///
 /// ```
 /// use toorjah_catalog::{Tuple, Value};
@@ -18,34 +37,64 @@ use crate::Value;
 /// assert_eq!(t.len(), 2);
 /// assert_eq!(t.to_string(), "⟨'a1', 1990⟩");
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct Tuple(Arc<[Value]>);
+#[derive(Clone)]
+pub struct Tuple(Repr);
 
 impl Tuple {
     /// Creates a tuple from values.
     pub fn new(values: impl Into<Vec<Value>>) -> Self {
-        Tuple(Arc::from(values.into()))
+        let values = values.into();
+        if values.len() <= INLINE {
+            Tuple::from_slice(&values)
+        } else {
+            Tuple(Repr::Heap(Arc::from(values)))
+        }
+    }
+
+    /// Creates a tuple by copying a slice — the allocation-free path for
+    /// arity ≤ 3 (the kernel's fresh-binding enumeration builds every
+    /// binding through this from a reused scratch buffer).
+    pub fn from_slice(values: &[Value]) -> Self {
+        if values.len() <= INLINE {
+            let mut inline = [Value::Int(0); INLINE];
+            inline[..values.len()].copy_from_slice(values);
+            Tuple(Repr::Inline {
+                len: values.len() as u8,
+                values: inline,
+            })
+        } else {
+            Tuple(Repr::Heap(Arc::from(values)))
+        }
     }
 
     /// The empty (nullary) tuple `⟨⟩`.
     pub fn empty() -> Self {
-        Tuple(Arc::from(Vec::new()))
+        Tuple(Repr::Inline {
+            len: 0,
+            values: [Value::Int(0); INLINE],
+        })
     }
 
     /// The tuple's values.
     pub fn values(&self) -> &[Value] {
-        &self.0
+        match &self.0 {
+            Repr::Inline { len, values } => &values[..*len as usize],
+            Repr::Heap(values) => values,
+        }
     }
 
-    /// Estimated memory footprint in bytes: the handle, the shared slice
-    /// allocation (values plus the `Arc` reference counts), and every
-    /// value's heap payload. The estimate is what byte-budgeted caches
-    /// account per stored tuple; see [`Value::estimated_bytes`] for the
-    /// sharing caveat.
+    /// Estimated memory footprint in bytes: the handle plus one fixed-size
+    /// slot per value (string payloads are accounted at the
+    /// [`Interner`](crate::Interner), never per holder), plus the shared
+    /// slice allocation's reference counts for spilled tuples. This is what
+    /// byte-budgeted caches charge per stored tuple — deterministic in the
+    /// arity alone.
     pub fn estimated_bytes(&self) -> usize {
-        std::mem::size_of::<Tuple>()
-            + 2 * std::mem::size_of::<usize>()
-            + self.0.iter().map(Value::estimated_bytes).sum::<usize>()
+        let spill = match &self.0 {
+            Repr::Inline { .. } => 0,
+            Repr::Heap(_) => 2 * std::mem::size_of::<usize>(),
+        };
+        std::mem::size_of::<Tuple>() + self.len() * std::mem::size_of::<Value>() + spill
     }
 
     /// Projects the tuple onto the given 0-based positions.
@@ -53,12 +102,45 @@ impl Tuple {
     /// # Panics
     /// Panics if any position is out of range.
     pub fn project(&self, positions: &[usize]) -> Tuple {
-        Tuple::new(
-            positions
-                .iter()
-                .map(|&p| self.0[p].clone())
-                .collect::<Vec<_>>(),
-        )
+        let values = self.values();
+        if positions.len() <= INLINE {
+            let mut inline = [Value::Int(0); INLINE];
+            for (slot, &p) in inline.iter_mut().zip(positions) {
+                *slot = values[p];
+            }
+            Tuple(Repr::Inline {
+                len: positions.len() as u8,
+                values: inline,
+            })
+        } else {
+            Tuple(Repr::Heap(positions.iter().map(|&p| values[p]).collect()))
+        }
+    }
+}
+
+impl PartialEq for Tuple {
+    fn eq(&self, other: &Self) -> bool {
+        self.values() == other.values()
+    }
+}
+
+impl Eq for Tuple {}
+
+impl Hash for Tuple {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.values().hash(state);
+    }
+}
+
+impl PartialOrd for Tuple {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Tuple {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.values().cmp(other.values())
     }
 }
 
@@ -66,7 +148,7 @@ impl Deref for Tuple {
     type Target = [Value];
 
     fn deref(&self) -> &[Value] {
-        &self.0
+        self.values()
     }
 }
 
@@ -78,14 +160,42 @@ impl From<Vec<Value>> for Tuple {
 
 impl FromIterator<Value> for Tuple {
     fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Self {
-        Tuple::new(iter.into_iter().collect::<Vec<_>>())
+        let mut iter = iter.into_iter();
+        let mut inline = [Value::Int(0); INLINE];
+        let mut len = 0usize;
+        for slot in &mut inline {
+            match iter.next() {
+                Some(v) => {
+                    *slot = v;
+                    len += 1;
+                }
+                None => {
+                    return Tuple(Repr::Inline {
+                        len: len as u8,
+                        values: inline,
+                    })
+                }
+            }
+        }
+        match iter.next() {
+            None => Tuple(Repr::Inline {
+                len: len as u8,
+                values: inline,
+            }),
+            Some(next) => {
+                let mut values: Vec<Value> = inline.to_vec();
+                values.push(next);
+                values.extend(iter);
+                Tuple(Repr::Heap(Arc::from(values)))
+            }
+        }
     }
 }
 
 impl fmt::Display for Tuple {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str("⟨")?;
-        for (i, v) in self.0.iter().enumerate() {
+        for (i, v) in self.values().iter().enumerate() {
             if i > 0 {
                 f.write_str(", ")?;
             }
@@ -112,7 +222,7 @@ impl fmt::Debug for Tuple {
 #[macro_export]
 macro_rules! tuple {
     ($($v:expr),* $(,)?) => {
-        $crate::Tuple::new(vec![$($crate::Value::from($v)),*])
+        $crate::Tuple::from_slice(&[$($crate::Value::from($v)),*])
     };
 }
 
@@ -158,15 +268,37 @@ mod tests {
     }
 
     #[test]
-    fn byte_estimates_grow_with_arity_and_payload() {
+    fn inline_and_spilled_tuples_compare_by_content() {
+        // Arity 4 spills to the heap; equality, hashing and ordering must
+        // not see the representation difference.
+        let spilled: Tuple = (0..4).map(Value::from).collect();
+        let rebuilt = Tuple::new((0..4).map(Value::from).collect::<Vec<_>>());
+        assert_eq!(spilled, rebuilt);
+        let mut set = HashSet::new();
+        set.insert(spilled.clone());
+        assert!(set.contains(&rebuilt));
+        assert_eq!(spilled.len(), 4);
+        assert_eq!(spilled.project(&[0, 1, 2, 3]), rebuilt);
+        let mut sorted = [rebuilt, tuple![0, 1]];
+        sorted.sort();
+        assert_eq!(sorted[0].len(), 2, "prefix sorts first");
+    }
+
+    #[test]
+    fn byte_estimates_grow_with_arity() {
         let empty = Tuple::empty();
         let short = tuple![1, 2];
-        let stringy = tuple!["an artist", "a title", 1958];
+        let longer = tuple!["an artist", "a title", 1958];
         assert!(empty.estimated_bytes() > 0);
         assert!(short.estimated_bytes() > empty.estimated_bytes());
-        assert!(stringy.estimated_bytes() > short.estimated_bytes());
-        // The estimate is content-deterministic.
-        assert_eq!(stringy.estimated_bytes(), stringy.clone().estimated_bytes());
+        assert!(longer.estimated_bytes() > short.estimated_bytes());
+        // The estimate is content-deterministic and payload-independent:
+        // interned payloads are accounted at the interner, not per tuple.
+        assert_eq!(longer.estimated_bytes(), longer.clone().estimated_bytes());
+        assert_eq!(
+            tuple!["ab", "cd", 1].estimated_bytes(),
+            longer.estimated_bytes()
+        );
     }
 
     #[test]

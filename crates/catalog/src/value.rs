@@ -8,12 +8,16 @@
 //! bound to, exactly as in the paper's positional notation.
 
 use std::fmt;
-use std::sync::Arc;
+
+use crate::intern::Symbol;
 
 /// A constant of one of the supported concrete domains.
 ///
-/// `Value` is cheap to clone: string payloads are reference counted, so
-/// values can be freely shared between the binding set, caches and answers.
+/// `Value` is `Copy`: string payloads are interned into the process-wide
+/// [`Interner`](crate::Interner) and carried as a [`Symbol`] (`u32`), so a
+/// value is two machine words, cloning is a register copy, and hashing and
+/// equality never touch the string payload. See [`IVal`](crate::IVal) for
+/// the explicit compact mirror used in index signatures.
 ///
 /// ```
 /// use toorjah_catalog::Value;
@@ -22,18 +26,18 @@ use std::sync::Arc;
 /// assert_eq!(v.to_string(), "'volare'");
 /// assert_eq!(Value::from(2008).to_string(), "2008");
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Value {
     /// An integer constant, e.g. a year such as `2008`.
     Int(i64),
-    /// A string constant, e.g. `'volare'`.
-    Str(Arc<str>),
+    /// A string constant, e.g. `'volare'`, as an interned symbol.
+    Str(Symbol),
 }
 
 impl Value {
-    /// Creates a string value.
+    /// Creates a string value (interning the payload).
     pub fn str(s: impl AsRef<str>) -> Self {
-        Value::Str(Arc::from(s.as_ref()))
+        Value::Str(Symbol::intern(s))
     }
 
     /// Creates an integer value.
@@ -53,21 +57,19 @@ impl Value {
     pub fn as_str(&self) -> Option<&str> {
         match self {
             Value::Int(_) => None,
-            Value::Str(s) => Some(s),
+            Value::Str(s) => Some(s.as_str()),
         }
     }
 
-    /// Estimated memory footprint in bytes: the inline enum size plus any
-    /// heap payload (string bytes and the `Arc` reference counts). Used by
-    /// byte-budgeted caches; shared `Arc<str>` payloads are counted once per
-    /// holder, which over-approximates but keeps the accounting local.
+    /// Estimated memory footprint in bytes. Values are fixed-size: string
+    /// payloads are interned and accounted once at the
+    /// [`Interner`](crate::Interner) (see [`InternerStats::bytes`]), not
+    /// once per holder, so byte-budgeted caches charge every value the same
+    /// two words.
+    ///
+    /// [`InternerStats::bytes`]: crate::InternerStats
     pub fn estimated_bytes(&self) -> usize {
-        let heap = match self {
-            Value::Int(_) => 0,
-            // String payload plus the Arc's strong/weak counters.
-            Value::Str(s) => s.len() + 2 * std::mem::size_of::<usize>(),
-        };
-        std::mem::size_of::<Value>() + heap
+        std::mem::size_of::<Value>()
     }
 }
 
@@ -91,7 +93,34 @@ impl From<&str> for Value {
 
 impl From<String> for Value {
     fn from(s: String) -> Self {
-        Value::Str(Arc::from(s.as_str()))
+        Value::str(s)
+    }
+}
+
+impl From<Symbol> for Value {
+    fn from(s: Symbol) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    /// Integers order before strings; strings order by content (via
+    /// [`Symbol::cmp`]), exactly as the pre-interning derived ordering did —
+    /// sorted answer sets are byte-identical.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Int(_), Value::Str(_)) => Ordering::Less,
+            (Value::Str(_), Value::Int(_)) => Ordering::Greater,
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+        }
     }
 }
 
@@ -99,7 +128,7 @@ impl fmt::Display for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Value::Int(i) => write!(f, "{i}"),
-            Value::Str(s) => write!(f, "'{s}'"),
+            Value::Str(s) => write!(f, "'{}'", s.as_str()),
         }
     }
 }
@@ -129,11 +158,23 @@ mod tests {
     #[test]
     fn clone_is_equal_and_hashes_identically() {
         let v = Value::from("an artist name");
-        let w = v.clone();
+        let w = v;
         assert_eq!(v, w);
         let mut set = HashSet::new();
         set.insert(v);
         assert!(set.contains(&w));
+    }
+
+    #[test]
+    fn interning_unifies_equal_strings() {
+        // Two independently constructed equal strings share one symbol.
+        let a = Value::from("same constant");
+        let b = Value::from(String::from("same constant"));
+        assert_eq!(a, b);
+        match (a, b) {
+            (Value::Str(x), Value::Str(y)) => assert_eq!(x.id(), y.id()),
+            _ => panic!("both are strings"),
+        }
     }
 
     #[test]
@@ -145,7 +186,8 @@ mod tests {
             Value::from(1),
         ];
         vals.sort();
-        // Ints sort before strings under the derived ordering.
+        // Ints sort before strings, strings by content — the pre-interning
+        // ordering, independent of symbol-id assignment order.
         assert_eq!(vals[0], Value::from(1));
         assert_eq!(vals[1], Value::from(2));
         assert_eq!(vals[2], Value::from("a"));
@@ -153,13 +195,16 @@ mod tests {
     }
 
     #[test]
-    fn byte_estimates_track_payload() {
+    fn values_are_fixed_size() {
+        // Payloads are accounted at the interner, not per holder: a long
+        // string costs its holder exactly what an int does.
         let int = Value::from(2008);
         let short = Value::from("ab");
         let long = Value::from("a much longer artist name than the short one");
         assert_eq!(int.estimated_bytes(), std::mem::size_of::<Value>());
-        assert!(short.estimated_bytes() > int.estimated_bytes());
-        assert!(long.estimated_bytes() > short.estimated_bytes());
+        assert_eq!(short.estimated_bytes(), int.estimated_bytes());
+        assert_eq!(long.estimated_bytes(), int.estimated_bytes());
+        assert!(std::mem::size_of::<Value>() <= 16, "two words, Copy");
     }
 
     #[test]

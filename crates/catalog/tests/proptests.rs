@@ -50,14 +50,14 @@ proptest! {
         let schema = Schema::parse("r^io(A, B)").unwrap();
         let mut db = Instance::new(&schema);
         for (a, b) in &rows {
-            let _ = db.insert("r", Tuple::new(vec![a.clone(), b.clone()]));
+            let _ = db.insert("r", Tuple::new(vec![*a, *b]));
         }
-        let got = db.access_by_name("r", &Tuple::new(vec![probe.clone()])).unwrap();
+        let got = db.access_by_name("r", &Tuple::new(vec![probe])).unwrap();
         // Expected: distinct matching rows, in first-insertion order.
         let mut expected: Vec<Tuple> = Vec::new();
         for (a, b) in &rows {
             if *a == probe {
-                let t = Tuple::new(vec![a.clone(), b.clone()]);
+                let t = Tuple::new(vec![*a, *b]);
                 if !expected.contains(&t) {
                     expected.push(t);
                 }
@@ -72,11 +72,11 @@ proptest! {
         let schema = Schema::parse("r^io(A, B)").unwrap();
         let mut db = Instance::new(&schema);
         for (a, b) in &rows {
-            let _ = db.insert("r", Tuple::new(vec![a.clone(), b.clone()]));
+            let _ = db.insert("r", Tuple::new(vec![*a, *b]));
         }
         let before = db.total_tuples();
         for (a, b) in &rows {
-            let inserted = db.insert("r", Tuple::new(vec![a.clone(), b.clone()])).unwrap();
+            let inserted = db.insert("r", Tuple::new(vec![*a, *b])).unwrap();
             prop_assert!(!inserted);
         }
         prop_assert_eq!(db.total_tuples(), before);

@@ -429,11 +429,11 @@ fn build_plan(
         if let Some(cache_idx) = caches.iter().position(|c| c.relation == cr.relation) {
             let edb = caches[cache_idx].edb_pred;
             program.add_rule(Rule::new(
-                Literal::new(edb, vec![DTerm::Const(cr.value.clone())]),
+                Literal::new(edb, vec![DTerm::Const(cr.value)]),
                 vec![],
                 vec![],
             ))?;
-            constant_facts.push((cr.relation, edb, cr.value.clone()));
+            constant_facts.push((cr.relation, edb, cr.value));
         }
     }
 

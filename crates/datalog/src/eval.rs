@@ -215,9 +215,7 @@ pub fn project_component(
             .map(|&v| {
                 (
                     v,
-                    binding[v as usize]
-                        .clone()
-                        .expect("component variables are bound"),
+                    binding[v as usize].expect("component variables are bound"),
                 )
             })
             .collect();
@@ -247,7 +245,7 @@ pub fn combine_projections(
         let mut assignment: Vec<Option<Value>> = vec![None; var_count];
         for (c, rows) in projections.iter().enumerate() {
             for (v, value) in &rows[choice[c]] {
-                assignment[*v as usize] = Some(value.clone());
+                assignment[*v as usize] = Some(*value);
             }
         }
         emit(&assignment);
@@ -342,14 +340,11 @@ fn enumerate_search(
     };
     let lit = &rule.body[lit_idx];
     let bound_col = lit.terms.iter().enumerate().find_map(|(col, t)| match t {
-        DTerm::Const(c) => Some((col, c.clone())),
-        DTerm::Var(v) => binding[*v as usize].clone().map(|val| (col, val)),
+        DTerm::Const(c) => Some((col, *c)),
+        DTerm::Var(v) => binding[*v as usize].map(|val| (col, val)),
     });
-    let candidates: Vec<usize> = match &bound_col {
-        Some((col, value)) => facts.matching(lit.pred, *col, value),
-        None => (0..facts.len(lit.pred)).collect(),
-    };
-    'cand: for pos in candidates {
+    // Borrowed posting-list iteration: no per-probe allocation.
+    'cand: for pos in facts.candidates(lit.pred, bound_col) {
         let tuple = &facts.tuples(lit.pred)[pos];
         let mut newly_bound: Vec<u32> = Vec::new();
         for (t, v) in lit.terms.iter().zip(tuple.values()) {
@@ -368,7 +363,7 @@ fn enumerate_search(
                         }
                     }
                     None => {
-                        binding[*var as usize] = Some(v.clone());
+                        binding[*var as usize] = Some(*v);
                         newly_bound.push(*var);
                     }
                 },
@@ -456,14 +451,10 @@ fn satisfiable_search(
     };
     let lit = &rule.body[lit_idx];
     let bound_col = lit.terms.iter().enumerate().find_map(|(col, t)| match t {
-        DTerm::Const(c) => Some((col, c.clone())),
-        DTerm::Var(v) => binding[*v as usize].clone().map(|val| (col, val)),
+        DTerm::Const(c) => Some((col, *c)),
+        DTerm::Var(v) => binding[*v as usize].map(|val| (col, val)),
     });
-    let candidates: Vec<usize> = match &bound_col {
-        Some((col, value)) => facts.matching(lit.pred, *col, value),
-        None => (0..facts.len(lit.pred)).collect(),
-    };
-    'cand: for pos in candidates {
+    'cand: for pos in facts.candidates(lit.pred, bound_col) {
         let tuple = &facts.tuples(lit.pred)[pos];
         let mut newly_bound: Vec<u32> = Vec::new();
         for (t, v) in lit.terms.iter().zip(tuple.values()) {
@@ -482,7 +473,7 @@ fn satisfiable_search(
                         }
                     }
                     None => {
-                        binding[*var as usize] = Some(v.clone());
+                        binding[*var as usize] = Some(*v);
                         newly_bound.push(*var);
                     }
                 },
@@ -556,16 +547,11 @@ fn search_body(
 
     // Find a bound column to drive an index lookup, if any.
     let bound_col = lit.terms.iter().enumerate().find_map(|(col, t)| match t {
-        DTerm::Const(c) => Some((col, c.clone())),
-        DTerm::Var(v) => binding[*v as usize].clone().map(|val| (col, val)),
+        DTerm::Const(c) => Some((col, *c)),
+        DTerm::Var(v) => binding[*v as usize].map(|val| (col, val)),
     });
 
-    let candidates: Vec<usize> = match &bound_col {
-        Some((col, value)) => store.matching(lit.pred, *col, value),
-        None => (0..store.len(lit.pred)).collect(),
-    };
-
-    'cand: for pos in candidates {
+    'cand: for pos in store.candidates(lit.pred, bound_col) {
         let tuple = &store.tuples(lit.pred)[pos];
         let mut newly_bound: Vec<u32> = Vec::new();
         for (t, v) in lit.terms.iter().zip(tuple.values()) {
@@ -584,7 +570,7 @@ fn search_body(
                         }
                     }
                     None => {
-                        binding[*var as usize] = Some(v.clone());
+                        binding[*var as usize] = Some(*v);
                         newly_bound.push(*var);
                     }
                 },
@@ -615,10 +601,10 @@ fn instantiate(head: &Literal, binding: &[Option<Value>]) -> Tuple {
     head.terms
         .iter()
         .map(|t| match t {
-            DTerm::Const(c) => c.clone(),
-            DTerm::Var(v) => binding[*v as usize]
-                .clone()
-                .expect("range restriction guarantees head variables are bound"),
+            DTerm::Const(c) => *c,
+            DTerm::Var(v) => {
+                binding[*v as usize].expect("range restriction guarantees head variables are bound")
+            }
         })
         .collect()
 }

@@ -30,4 +30,4 @@ pub use eval::{
     combine_projections, evaluate, project_component, rule_body_satisfiable, rule_head_instances,
     rule_head_instances_pinned, EvalStats,
 };
-pub use store::FactStore;
+pub use store::{Candidates, FactStore};

@@ -1,26 +1,29 @@
-//! Fact storage with lazy single-column hash indexes.
+//! Fact storage with eager single-column hash indexes over interned values.
 
-use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 
-use toorjah_catalog::{Tuple, Value};
+use toorjah_catalog::{FastMap, IVal, Tuple, Value};
 
 use crate::PredId;
 
-/// Facts for one predicate: a deduplicated tuple list with lazily built
-/// single-column indexes (column value → tuple positions).
+/// Facts for one predicate: a deduplicated tuple list with one hash index
+/// per column, keyed by the compact [`IVal`] representation — probes hash a
+/// `u32` symbol id or an `i64` with the cheap [`FastMap`] hasher, never a
+/// string payload through SipHash.
 ///
-/// Indexes live behind a `RefCell` so lookups work through `&self`; the
-/// store is therefore not `Sync`, which is fine for the single-threaded
-/// bottom-up evaluator (the parallel executor in `toorjah-system` uses its
-/// own lock-protected structures).
+/// Indexes are built **eagerly**: the first insert fixes the arity and
+/// allocates one map per column, and every later insert appends its position
+/// to each column's posting list. Lookups therefore work through plain
+/// shared borrows (no interior mutability), the store is `Sync`, and a probe
+/// can hand out its posting list as a borrowed slice — see
+/// [`FactStore::candidates`] — instead of cloning it.
 #[derive(Clone, Default, Debug)]
 struct PredFacts {
     tuples: Vec<Tuple>,
     seen: HashSet<Tuple>,
-    /// `indexes[col]` maps a value to the positions of tuples carrying it at
-    /// column `col`. Built on first use, extended on insert thereafter.
-    indexes: RefCell<HashMap<usize, HashMap<Value, Vec<usize>>>>,
+    /// `indexes[col]` maps a column value to the positions of tuples
+    /// carrying it at `col`, in insertion order.
+    indexes: Vec<FastMap<IVal, Vec<u32>>>,
 }
 
 impl PredFacts {
@@ -28,41 +31,56 @@ impl PredFacts {
         if !self.seen.insert(t.clone()) {
             return false;
         }
-        let pos = self.tuples.len();
-        for (&col, index) in self.indexes.get_mut().iter_mut() {
-            index.entry(t[col].clone()).or_default().push(pos);
+        if self.tuples.is_empty() {
+            self.indexes = vec![FastMap::default(); t.len()];
+        }
+        let pos = u32::try_from(self.tuples.len()).expect("fewer than 2^32 facts per predicate");
+        for (index, &v) in self.indexes.iter_mut().zip(t.values()) {
+            index.entry(IVal::from(v)).or_default().push(pos);
         }
         self.tuples.push(t);
         true
     }
 
-    /// Looks up `value` in the column's index (built on first use), handing
-    /// the hit — if any — to `read`.
-    fn with_index<R>(
-        &self,
-        col: usize,
-        value: &Value,
-        read: impl FnOnce(Option<&Vec<usize>>) -> R,
-    ) -> R {
-        let mut indexes = self.indexes.borrow_mut();
-        let index = indexes.entry(col).or_insert_with(|| {
-            let mut index: HashMap<Value, Vec<usize>> = HashMap::new();
-            for (pos, t) in self.tuples.iter().enumerate() {
-                index.entry(t[col].clone()).or_default().push(pos);
-            }
-            index
-        });
-        read(index.get(value))
-    }
-
-    fn matching(&self, col: usize, value: &Value) -> Vec<usize> {
-        self.with_index(col, value, |hit| hit.cloned().unwrap_or_default())
-    }
-
-    fn has_matching(&self, col: usize, value: &Value) -> bool {
-        self.with_index(col, value, |hit| hit.is_some())
+    /// The posting list for `value` at `col`, borrowed from the index.
+    fn positions(&self, col: usize, value: Value) -> &[u32] {
+        self.indexes
+            .get(col)
+            .and_then(|index| index.get(&IVal::from(value)))
+            .map_or(&[], Vec::as_slice)
     }
 }
+
+/// Tuple positions produced by a probe: either a borrowed posting list from
+/// a column index or the full extent. Iterating allocates nothing — this is
+/// what the evaluator's recursive join loops drive.
+#[derive(Clone, Debug)]
+pub enum Candidates<'a> {
+    /// Positions from a column index, in insertion order.
+    Indexed(std::slice::Iter<'a, u32>),
+    /// Every position: the literal had no bound column to probe with.
+    All(std::ops::Range<usize>),
+}
+
+impl Iterator for Candidates<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        match self {
+            Candidates::Indexed(iter) => iter.next().map(|&p| p as usize),
+            Candidates::All(range) => range.next(),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            Candidates::Indexed(iter) => iter.size_hint(),
+            Candidates::All(range) => range.size_hint(),
+        }
+    }
+}
+
+impl ExactSizeIterator for Candidates<'_> {}
 
 /// A set of facts per predicate, the input/output format of
 /// [`crate::evaluate`].
@@ -120,12 +138,22 @@ impl FactStore {
             .is_some_and(|f| f.seen.contains(tuple))
     }
 
-    /// Positions (into [`FactStore::tuples`]) of facts matching `value` at
-    /// `col`, using (and building on demand) a hash index.
+    /// Candidate positions (into [`FactStore::tuples`]) for a body literal:
+    /// the posting list of `value` at `col` when a bound column is known, the
+    /// full extent otherwise. Borrows the index — no allocation per probe.
+    pub fn candidates(&self, pred: PredId, bound: Option<(usize, Value)>) -> Candidates<'_> {
+        match (bound, self.facts.get(&pred)) {
+            (Some((col, value)), Some(f)) => Candidates::Indexed(f.positions(col, value).iter()),
+            (Some(_), None) => Candidates::Indexed([].iter()),
+            (None, f) => Candidates::All(0..f.map_or(0, |f| f.tuples.len())),
+        }
+    }
+
+    /// Positions of facts matching `value` at `col`, as an owned vector.
+    /// Prefer [`FactStore::candidates`] in loops — this exists for callers
+    /// that need to keep the positions around.
     pub fn matching(&self, pred: PredId, col: usize, value: &Value) -> Vec<usize> {
-        self.facts
-            .get(&pred)
-            .map_or_else(Vec::new, |f| f.matching(col, value))
+        self.candidates(pred, Some((col, *value))).collect()
     }
 
     /// Whether any fact matches `value` at `col` — the allocation-free
@@ -133,7 +161,7 @@ impl FactStore {
     pub fn has_matching(&self, pred: PredId, col: usize, value: &Value) -> bool {
         self.facts
             .get(&pred)
-            .is_some_and(|f| f.has_matching(col, value))
+            .is_some_and(|f| !f.positions(col, *value).is_empty())
     }
 
     /// Merges all facts of `other` into `self`.
@@ -169,6 +197,11 @@ mod tests {
         assert!(s.is_empty(PredId(7)));
         assert_eq!(s.tuples(PredId(7)), &[]);
         assert!(s.matching(PredId(7), 0, &Value::from(1)).is_empty());
+        assert_eq!(s.candidates(PredId(7), None).count(), 0);
+        assert_eq!(
+            s.candidates(PredId(7), Some((0, Value::from(1)))).count(),
+            0
+        );
     }
 
     #[test]
@@ -186,10 +219,35 @@ mod tests {
         let mut s = FactStore::new();
         let p = PredId(0);
         s.insert(p, tuple!["a", 1]);
-        // Build the index, then insert more.
         assert_eq!(s.matching(p, 0, &Value::from("a")).len(), 1);
         s.insert(p, tuple!["a", 2]);
         assert_eq!(s.matching(p, 0, &Value::from("a")).len(), 2);
+    }
+
+    #[test]
+    fn candidates_without_bound_column_cover_extent() {
+        let mut s = FactStore::new();
+        let p = PredId(0);
+        s.extend(p, [tuple![3], tuple![1], tuple![2]]);
+        let all: Vec<usize> = s.candidates(p, None).collect();
+        assert_eq!(all, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn candidates_probe_every_column() {
+        let mut s = FactStore::new();
+        let p = PredId(0);
+        s.extend(p, [tuple!["a", 1, "x"], tuple!["b", 1, "y"]]);
+        let by_mid: Vec<usize> = s.candidates(p, Some((1, Value::from(1)))).collect();
+        assert_eq!(by_mid, vec![0, 1]);
+        let by_last: Vec<usize> = s.candidates(p, Some((2, Value::from("y")))).collect();
+        assert_eq!(by_last, vec![1]);
+    }
+
+    #[test]
+    fn store_is_sync() {
+        fn assert_sync<T: Sync + Send>() {}
+        assert_sync::<FactStore>();
     }
 
     #[test]

@@ -98,7 +98,7 @@ pub fn refute_obtainable_containment(
                 let tuple: Tuple = (0..rel.arity())
                     .map(|k| {
                         let pool = &pools[rel.domain(k).index()];
-                        pool[rng.gen_range(0..pool.len())].clone()
+                        pool[rng.gen_range(0..pool.len())]
                     })
                     .collect();
                 let _ = db.insert_by_id(id, tuple);

@@ -389,7 +389,7 @@ fn populate_cache(
     if cache.is_constant_source {
         for (rel, _pred, value) in &plan.constant_facts {
             if *rel == cache.relation {
-                changed |= facts.insert(cache.cache_pred, Tuple::new(vec![value.clone()]));
+                changed |= facts.insert(cache.cache_pred, Tuple::new(vec![*value]));
             }
         }
         return Ok(changed);
@@ -420,7 +420,7 @@ fn populate_cache(
     // empty binding (the access cache makes repeats free).
     for (fr, new) in frontier.iter_mut().zip(news) {
         for v in new {
-            if fr.seen.insert(v.clone()) {
+            if fr.seen.insert(v) {
                 fr.values.push(v);
             }
         }
@@ -473,8 +473,8 @@ fn domain_values(
         facts
             .tuples(cache.cache_pred)
             .iter()
-            .map(|t| t[provider.column].clone())
-            .filter(|v| seen.insert(v.clone()))
+            .map(|t| t[provider.column])
+            .filter(|v| seen.insert(*v))
             .collect()
     };
     match dp.mode {
@@ -483,7 +483,7 @@ fn domain_values(
             let mut out = Vec::new();
             for p in &dp.providers {
                 for v in project(p) {
-                    if seen.insert(v.clone()) {
+                    if seen.insert(v) {
                         out.push(v);
                     }
                 }

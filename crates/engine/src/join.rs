@@ -4,13 +4,14 @@
 //! and the fast-failing executor (early non-emptiness checks, final answer
 //! computation) evaluate a CQ against per-atom tuple collections. The
 //! evaluator is an index-assisted backtracking join: atoms are reordered
-//! greedily so joins stay bound, and per-column hash indexes are built
-//! lazily per call.
+//! greedily so joins stay bound, and per-column hash indexes over the
+//! compact interned representation are built once per call, so the
+//! recursive search probes borrowed posting lists without allocating.
 
 use std::collections::{HashMap, HashSet};
 
-use toorjah_catalog::{Tuple, Value};
-use toorjah_datalog::{combine_projections, project_component};
+use toorjah_catalog::{FastMap, IVal, Tuple, Value};
+use toorjah_datalog::{combine_projections, project_component, Candidates};
 use toorjah_query::{ConjunctiveQuery, Term};
 
 /// Evaluates `query` over per-atom extensions, returning the distinct
@@ -62,11 +63,7 @@ pub fn evaluate_cq(
         let answer: Tuple = query
             .head()
             .iter()
-            .map(|v| {
-                assignment[v.index()]
-                    .clone()
-                    .expect("safety guarantees head variables are bound")
-            })
+            .map(|v| assignment[v.index()].expect("safety guarantees head variables are bound"))
             .collect();
         if seen.insert(answer.clone()) {
             answers.push(answer);
@@ -199,18 +196,38 @@ fn enumerate(
     // extensions), then atoms sharing variables with the bound set.
     let order = plan_order(query, atoms, &extensions);
 
-    let mut indexes: HashMap<(usize, usize), HashMap<Value, Vec<usize>>> = HashMap::new();
+    // Index every column of every extension eagerly (one pass over the
+    // materialized tuples, keyed by the compact `IVal`), so the recursive
+    // search probes through shared borrows and never clones a posting list.
+    let indexes: HashMap<usize, Vec<ColumnIndex>> = extensions
+        .iter()
+        .map(|(&i, tuples)| {
+            let arity = query.atoms()[i].terms().len();
+            let mut per_col: Vec<ColumnIndex> = vec![FastMap::default(); arity];
+            for (pos, t) in tuples.iter().enumerate() {
+                for (index, &v) in per_col.iter_mut().zip(t.values()) {
+                    index.entry(IVal::from(v)).or_default().push(pos as u32);
+                }
+            }
+            (i, per_col)
+        })
+        .collect();
+
     let mut binding: Vec<Option<Value>> = vec![None; query.var_count()];
     search(
         query,
         &order,
         &extensions,
-        &mut indexes,
+        &indexes,
         0,
         &mut binding,
         on_match,
     );
 }
+
+/// One atom column's index: value → tuple positions, in extension order,
+/// hashed with the cheap interned-key hasher.
+type ColumnIndex = FastMap<IVal, Vec<u32>>;
 
 fn plan_order(
     query: &ConjunctiveQuery,
@@ -249,12 +266,11 @@ fn plan_order(
     order
 }
 
-#[allow(clippy::too_many_arguments)]
 fn search(
     query: &ConjunctiveQuery,
     order: &[usize],
     extensions: &HashMap<usize, Vec<Tuple>>,
-    indexes: &mut HashMap<(usize, usize), HashMap<Value, Vec<usize>>>,
+    indexes: &HashMap<usize, Vec<ColumnIndex>>,
     depth: usize,
     binding: &mut Vec<Option<Value>>,
     on_match: &mut dyn FnMut(&[Option<Value>]) -> bool,
@@ -271,22 +287,18 @@ fn search(
         .iter()
         .enumerate()
         .find_map(|(col, t)| match t {
-            Term::Const(c) => Some((col, c.clone())),
-            Term::Var(v) => binding[v.index()].clone().map(|val| (col, val)),
+            Term::Const(c) => Some((col, *c)),
+            Term::Var(v) => binding[v.index()].map(|val| (col, val)),
         });
 
-    let candidates: Vec<usize> = match &bound_col {
-        Some((col, value)) => {
-            let index = indexes.entry((atom_idx, *col)).or_insert_with(|| {
-                let mut ix: HashMap<Value, Vec<usize>> = HashMap::new();
-                for (pos, t) in tuples.iter().enumerate() {
-                    ix.entry(t[*col].clone()).or_default().push(pos);
-                }
-                ix
-            });
-            index.get(value).cloned().unwrap_or_default()
-        }
-        None => (0..tuples.len()).collect(),
+    let candidates = match bound_col {
+        Some((col, value)) => Candidates::Indexed(
+            indexes[&atom_idx][col]
+                .get(&IVal::from(value))
+                .map_or(&[][..], Vec::as_slice)
+                .iter(),
+        ),
+        None => Candidates::All(0..tuples.len()),
     };
 
     'cand: for pos in candidates {
@@ -308,7 +320,7 @@ fn search(
                         }
                     }
                     None => {
-                        binding[v.index()] = Some(value.clone());
+                        binding[v.index()] = Some(*value);
                         newly_bound.push(v.index());
                     }
                 },

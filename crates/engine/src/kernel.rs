@@ -183,13 +183,14 @@ pub(crate) fn fresh_bindings(relation: RelationId, pools: &[PoolView], out: &mut
             continue;
         }
         let mut odometer: Vec<usize> = ranges.iter().map(|r| r.start).collect();
+        // One scratch buffer for the whole enumeration: each combination is
+        // written in place and snapshotted via `Tuple::from_slice`, which is
+        // allocation-free at the arities the paper's schemas use (≤ 3).
+        let mut scratch: Vec<Value> = Vec::with_capacity(arity);
         loop {
-            let binding: Tuple = odometer
-                .iter()
-                .zip(pools)
-                .map(|(&i, pool)| pool.values[i].clone())
-                .collect();
-            out.push((relation, binding));
+            scratch.clear();
+            scratch.extend(odometer.iter().zip(pools).map(|(&i, pool)| pool.values[i]));
+            out.push((relation, Tuple::from_slice(&scratch)));
             let mut pos = 0;
             loop {
                 if pos == arity {

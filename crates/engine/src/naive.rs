@@ -112,7 +112,7 @@ pub fn naive_evaluate(
                      b_set: &mut HashMap<DomainId, HashSet<Value>>,
                      d: DomainId,
                      v: Value| {
-        if b_set.entry(d).or_default().insert(v.clone()) {
+        if b_set.entry(d).or_default().insert(v) {
             b_vec.entry(d).or_default().push(v);
         }
     };
@@ -210,7 +210,7 @@ pub fn naive_evaluate(
                     for t in tuples.iter() {
                         if cache_seen[rel_id.index()].insert(t.clone()) {
                             for (k, v) in t.values().iter().enumerate() {
-                                add_value(&mut b_vec, &mut b_set, rel.domain(k), v.clone());
+                                add_value(&mut b_vec, &mut b_set, rel.domain(k), *v);
                             }
                             cache[rel_id.index()].push(t.clone());
                         }

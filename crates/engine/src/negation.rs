@@ -287,11 +287,11 @@ pub fn negation_checks(
                 .terms()
                 .iter()
                 .map(|t| match t {
-                    Term::Const(c) => Ok(c.clone()),
+                    Term::Const(c) => Ok(*c),
                     Term::Var(v) => plan
                         .var_slot
                         .get(v)
-                        .map(|&slot| candidate[slot].clone())
+                        .map(|&slot| candidate[slot])
                         .ok_or_else(|| {
                             NegationError::Internal("unbound negation variable".to_string())
                         }),
@@ -319,9 +319,7 @@ pub fn negation_checks(
     let mut answers = Vec::new();
     let mut seen: HashSet<Tuple> = HashSet::new();
     for candidate in survivors {
-        let answer: Tuple = (0..plan.original_arity)
-            .map(|i| candidate[i].clone())
-            .collect();
+        let answer: Tuple = (0..plan.original_arity).map(|i| candidate[i]).collect();
         if seen.insert(answer.clone()) {
             answers.push(answer);
         }

@@ -169,7 +169,7 @@ impl ConjunctiveQuery {
             let rel = schema.relation(atom.relation());
             for (k, t) in atom.terms().iter().enumerate() {
                 if let Some(c) = t.as_const() {
-                    let entry = (c.clone(), rel.domain(k));
+                    let entry = (*c, rel.domain(k));
                     if !seen.contains(&entry) {
                         seen.push(entry);
                     }

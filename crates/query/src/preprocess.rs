@@ -104,7 +104,7 @@ pub fn preprocess(
         var_names.push(var_name);
         let rel_name = fresh_relation_name(schema, &used_names, value, *domain);
         used_names.push(rel_name.clone());
-        fresh_specs.push((value.clone(), *domain, var, rel_name));
+        fresh_specs.push((*value, *domain, var, rel_name));
     }
 
     // Extend the schema.
@@ -116,7 +116,7 @@ pub fn preprocess(
 
     let lookup: HashMap<(Value, DomainId), VarId> = fresh_specs
         .iter()
-        .map(|(v, d, var, _)| ((v.clone(), *d), *var))
+        .map(|(v, d, var, _)| ((*v, *d), *var))
         .collect();
 
     // Rewrite the body, replacing constants by the fresh variables.
@@ -128,7 +128,7 @@ pub fn preprocess(
             .iter()
             .enumerate()
             .map(|(k, t)| match t {
-                Term::Const(c) => Term::Var(lookup[&(c.clone(), rel.domain(k))]),
+                Term::Const(c) => Term::Var(lookup[&(*c, rel.domain(k))]),
                 Term::Var(v) => Term::Var(*v),
             })
             .collect();

@@ -284,6 +284,18 @@ impl Toorjah {
         self.session_cache.as_ref().map(SharedAccessCache::stats)
     }
 
+    /// The string interner this session's values resolve against.
+    ///
+    /// The interner is process-wide — cache keys built by one session must
+    /// hash and compare identically in every other session sharing a
+    /// [`SharedAccessCache`] — but it is surfaced here as session-level
+    /// observability: [`Interner::stats`](toorjah_catalog::Interner::stats)
+    /// reports the distinct-symbol count and the payload bytes accounted
+    /// once at the interner instead of per retained value.
+    pub fn interner(&self) -> &'static toorjah_catalog::Interner {
+        toorjah_catalog::Interner::global()
+    }
+
     /// The schema of the underlying sources.
     pub fn schema(&self) -> &Schema {
         self.provider.schema()

@@ -204,7 +204,7 @@ fn coordinate(
             let mut delta = FactStore::new();
             for (rel, _pred, value) in &plan.constant_facts {
                 if *rel == cache.relation {
-                    let t = Tuple::new(vec![value.clone()]);
+                    let t = Tuple::new(vec![*value]);
                     if facts.insert(cache.cache_pred, t.clone()) {
                         delta.insert(cache.cache_pred, t);
                     }
@@ -465,8 +465,8 @@ fn domain_values(
         facts
             .tuples(cache.cache_pred)
             .iter()
-            .map(|t| t[provider.column].clone())
-            .filter(|v| seen.insert(v.clone()))
+            .map(|t| t[provider.column])
+            .filter(|v| seen.insert(*v))
             .collect()
     };
     match dp.mode {
@@ -475,7 +475,7 @@ fn domain_values(
             let mut out = Vec::new();
             for p in &dp.providers {
                 for v in project(p) {
-                    if seen.insert(v.clone()) {
+                    if seen.insert(v) {
                         out.push(v);
                     }
                 }
@@ -527,7 +527,7 @@ impl Iterator for CartesianProduct<'_> {
             .odometer
             .iter()
             .zip(self.pools)
-            .map(|(&i, p)| p[i].clone())
+            .map(|(&i, p)| p[i])
             .collect();
         // Advance.
         let mut pos = 0;

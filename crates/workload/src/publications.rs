@@ -216,7 +216,7 @@ pub fn publication_instance(schema: &Schema, config: &PublicationConfig) -> Inst
     while db.relation_len(schema.relation_id("rev_icde").expect("rev_icde exists")) < n {
         let a = person(rng.gen_range(0..config.persons));
         let p = paper(rng.gen_range(0..config.papers));
-        let e = evals[rng.gen_range(0..evals.len())].clone();
+        let e = evals[rng.gen_range(0..evals.len())];
         let _ = db.insert("rev_icde", Tuple::new(vec![a, p, e]));
     }
     db

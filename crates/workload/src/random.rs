@@ -170,7 +170,7 @@ fn try_random_query(
                 Term::Var(same_domain[rng.gen_range(0..same_domain.len())])
             } else if rng.gen_bool(params.constant_probability) {
                 let pool = &generated.pools[domain];
-                Term::Const(pool[rng.gen_range(0..pool.len())].clone())
+                Term::Const(pool[rng.gen_range(0..pool.len())])
             } else {
                 let v = VarId(var_names.len() as u32);
                 var_names.push(format!("V{}", var_names.len()));
@@ -215,7 +215,7 @@ pub fn random_instance(
             let tuple: Tuple = (0..rel.arity())
                 .map(|k| {
                     let pool = &generated.pools[rel.domain(k).index()];
-                    pool[rng.gen_range(0..pool.len())].clone()
+                    pool[rng.gen_range(0..pool.len())]
                 })
                 .collect();
             let _ = db.insert_by_id(id, tuple);

@@ -169,6 +169,39 @@ fn json_output_has_the_response_shape() {
 }
 
 #[test]
+fn interned_plane_keeps_display_and_json_goldens_byte_identical() {
+    // The interned data plane must be invisible at the serialization
+    // boundary: answer rendering (Display) and the machine-readable JSON
+    // are pinned byte-for-byte against pre-interning goldens.
+    let file = sample_file();
+    let out = Command::new(BIN)
+        .arg(file.path())
+        .args(["--query", "q(A, B) <- r3(A, B)"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let answer_lines: Vec<&str> = stdout.lines().filter(|l| l.starts_with('⟨')).collect();
+    assert_eq!(
+        answer_lines,
+        vec!["⟨'modugno', 'nel blu'⟩", "⟨'mina', 'studio uno'⟩"],
+        "Display golden drifted: {stdout}"
+    );
+
+    let out = Command::new(BIN)
+        .arg(file.path())
+        .args(["--json", "--query", "q(A, B) <- r3(A, B)"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("\"answers\":[[\"modugno\",\"nel blu\"],[\"mina\",\"studio uno\"]]"),
+        "JSON golden drifted: {stdout}"
+    );
+}
+
+#[test]
 fn union_and_negated_statements_run_through_the_same_flag() {
     let file = sample_file();
     // A union statement: two disjuncts over r3.

@@ -6,24 +6,50 @@
 //! [`BenchmarkId::from_parameter`], [`black_box`], and the
 //! [`criterion_group!`] / [`criterion_main!`] macros. Instead of upstream's
 //! statistical analysis it warms each benchmark up briefly, then reports the
-//! mean and minimum wall-clock time per iteration over a fixed measurement
-//! window — enough to compare the naive baseline against the optimized
-//! executor and to track regressions by eye. Set
+//! mean, median and minimum wall-clock time per iteration over a fixed
+//! measurement window — enough to compare the naive baseline against the
+//! optimized executor and to track regressions by eye. Set
 //! `CRITERION_MEASURE_MS=<n>` to change the per-benchmark window (default
 //! 500 ms; 0 runs each benchmark exactly once, which keeps `cargo test
 //! --benches` fast). Passing `--test` to the bench binary (`cargo bench --
 //! --test`) likewise smoke-runs each benchmark exactly once, mirroring
 //! upstream criterion's behavior — CI uses it to keep bench targets
 //! compiling and running without paying for measurements.
+//!
+//! # The `BENCH_<area>.json` trajectory
+//!
+//! Each bench binary additionally persists its results as a machine-readable
+//! snapshot: when the binary exits ([`criterion_main!`] calls
+//! [`finalize`]), the recorded `(benchmark name, median ns)` pairs are
+//! written to `BENCH_<area>.json`, where `<area>` is the bench target's name
+//! (derived from the binary path). Measured runs write to the workspace root
+//! (the directory holding `Cargo.lock`, walking up from the working
+//! directory; override with `TOORJAH_BENCH_DIR`), where the files are
+//! committed per PR as a performance trajectory. Smoke runs (`-- --test`)
+//! write to `target/bench-smoke/` instead, so CI never dirties the committed
+//! trajectory with unmeasured numbers — the smoke snapshots exist for the
+//! `bench_trajectory` validator to cross-check benchmark *names* against the
+//! committed files.
 
 #![warn(missing_docs)]
 
 use std::fmt::Display;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Prevents the optimizer from deleting a computed value.
 pub fn black_box<T>(x: T) -> T {
     std::hint::black_box(x)
+}
+
+/// Per-iteration samples retained for the median: once the reservoir is
+/// full it is thinned to every other sample and the sampling stride doubles,
+/// keeping memory bounded while staying spread over the whole window.
+const MAX_SAMPLES: usize = 4096;
+
+fn records() -> &'static Mutex<Vec<(String, u128)>> {
+    static RECORDS: OnceLock<Mutex<Vec<(String, u128)>>> = OnceLock::new();
+    RECORDS.get_or_init(|| Mutex::new(Vec::new()))
 }
 
 /// The benchmark driver handed to `criterion_group!` targets.
@@ -35,8 +61,7 @@ impl Default for Criterion {
     fn default() -> Self {
         // `cargo bench -- --test`: smoke mode, one iteration per benchmark
         // (upstream criterion's --test flag).
-        let smoke = std::env::args().any(|a| a == "--test");
-        let ms = if smoke {
+        let ms = if smoke_mode() {
             0
         } else {
             std::env::var("CRITERION_MEASURE_MS")
@@ -48,6 +73,10 @@ impl Default for Criterion {
             measure: Duration::from_millis(ms),
         }
     }
+}
+
+fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
 }
 
 impl Criterion {
@@ -136,9 +165,24 @@ pub struct Bencher {
     elapsed: Duration,
     best: Duration,
     deadline: Option<Instant>,
+    samples: Vec<Duration>,
+    stride: u64,
+    since_sample: u64,
 }
 
 impl Bencher {
+    fn new(deadline: Option<Instant>) -> Self {
+        Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+            best: Duration::MAX,
+            deadline,
+            samples: Vec::new(),
+            stride: 1,
+            since_sample: 0,
+        }
+    }
+
     /// Calls `routine` repeatedly until the measurement window closes,
     /// timing each call.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
@@ -149,39 +193,153 @@ impl Bencher {
             self.elapsed += once;
             self.best = self.best.min(once);
             self.iters_done += 1;
+            self.since_sample += 1;
+            if self.since_sample >= self.stride {
+                self.since_sample = 0;
+                self.samples.push(once);
+                if self.samples.len() >= MAX_SAMPLES {
+                    // Thin to every other sample and sample half as often.
+                    let mut keep = false;
+                    self.samples.retain(|_| {
+                        keep = !keep;
+                        keep
+                    });
+                    self.stride *= 2;
+                }
+            }
             match self.deadline {
                 Some(d) if Instant::now() < d => {}
                 _ => break,
             }
         }
     }
+
+    /// The median of the retained per-iteration samples.
+    fn median(&self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        sorted[sorted.len() / 2]
+    }
 }
 
 fn run_one<F: FnMut(&mut Bencher)>(name: &str, measure: Duration, f: &mut F) {
     // Warm-up: one untimed pass (also a smoke test under a zero window).
-    let mut warm = Bencher {
-        iters_done: 0,
-        elapsed: Duration::ZERO,
-        best: Duration::MAX,
-        deadline: None,
-    };
+    let mut warm = Bencher::new(None);
     f(&mut warm);
     if measure.is_zero() {
         println!("{name}: smoke-ran {} iteration(s)", warm.iters_done);
+        // Record the warm pass so smoke snapshots still list every
+        // benchmark name (the staleness check compares name sets).
+        records()
+            .lock()
+            .unwrap()
+            .push((name.to_string(), warm.median().as_nanos()));
         return;
     }
-    let mut b = Bencher {
-        iters_done: 0,
-        elapsed: Duration::ZERO,
-        best: Duration::MAX,
-        deadline: Some(Instant::now() + measure),
-    };
+    let mut b = Bencher::new(Some(Instant::now() + measure));
     f(&mut b);
     let mean = b.elapsed / u32::try_from(b.iters_done.max(1)).unwrap_or(u32::MAX);
+    let median = b.median();
     println!(
-        "{name}: mean {mean:?}, min {:?} over {} iterations",
+        "{name}: median {median:?}, mean {mean:?}, min {:?} over {} iterations",
         b.best, b.iters_done
     );
+    records()
+        .lock()
+        .unwrap()
+        .push((name.to_string(), median.as_nanos()));
+}
+
+/// Writes the recorded medians to `BENCH_<area>.json`. Called by the `main`
+/// that [`criterion_main!`] expands after every group has run; harmless to
+/// call with nothing recorded (writes an empty benchmark list).
+///
+/// `binary` is the bench binary's path (`argv[0]`): the area is its file
+/// stem with cargo's trailing `-<hash>` stripped.
+pub fn finalize(binary: &str) {
+    let area = area_from_binary(binary);
+    let records = records().lock().unwrap();
+    let mut json = String::new();
+    json.push_str("{\n  \"area\": \"");
+    push_json_escaped(&mut json, &area);
+    json.push_str("\",\n  \"benchmarks\": [");
+    for (i, (name, median_ns)) in records.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str("\n    {\"name\": \"");
+        push_json_escaped(&mut json, name);
+        json.push_str(&format!("\", \"median_ns\": {median_ns}}}"));
+    }
+    json.push_str("\n  ]\n}\n");
+
+    let dir = output_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("criterion: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("BENCH_{area}.json"));
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("criterion: cannot write {}: {e}", path.display()),
+    }
+}
+
+/// The bench area: the binary's file stem, minus cargo's `-<16 hex>` suffix.
+fn area_from_binary(binary: &str) -> String {
+    let stem = std::path::Path::new(binary)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("bench");
+    match stem.rsplit_once('-') {
+        Some((name, hash)) if hash.len() == 16 && hash.bytes().all(|b| b.is_ascii_hexdigit()) => {
+            name.to_string()
+        }
+        _ => stem.to_string(),
+    }
+}
+
+/// Where the snapshot goes: `target/bench-smoke/` under the workspace root
+/// for smoke runs, otherwise `TOORJAH_BENCH_DIR` or the workspace root
+/// itself (the nearest ancestor of the working directory with a
+/// `Cargo.lock`, falling back to the working directory).
+fn output_dir() -> std::path::PathBuf {
+    let root = workspace_root();
+    if smoke_mode() {
+        return root.join("target").join("bench-smoke");
+    }
+    match std::env::var_os("TOORJAH_BENCH_DIR") {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None => root,
+    }
+}
+
+fn workspace_root() -> std::path::PathBuf {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| std::path::PathBuf::from("."));
+    let mut dir = cwd.as_path();
+    loop {
+        if dir.join("Cargo.lock").is_file() {
+            return dir.to_path_buf();
+        }
+        match dir.parent() {
+            Some(parent) => dir = parent,
+            None => return cwd,
+        }
+    }
+}
+
+fn push_json_escaped(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
 }
 
 /// Declares a benchmark group function, mirroring `criterion_group!`.
@@ -195,12 +353,16 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares the bench binary's `main`, mirroring `criterion_main!`.
+/// Declares the bench binary's `main`, mirroring `criterion_main!`. After
+/// every group has run, the recorded medians are persisted via
+/// [`finalize`].
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            let binary = std::env::args().next().unwrap_or_default();
+            $crate::finalize(&binary);
         }
     };
 }
@@ -216,6 +378,11 @@ mod tests {
         let mut runs = 0u64;
         c.bench_function("noop", |b| b.iter(|| runs += 1));
         assert!(runs >= 2, "warm-up plus at least one timed iteration");
+        let recorded = records().lock().unwrap();
+        assert!(
+            recorded.iter().any(|(name, _)| name == "noop"),
+            "measured runs register their median"
+        );
     }
 
     #[test]
@@ -229,5 +396,40 @@ mod tests {
         });
         group.bench_function("plain", |b| b.iter(|| black_box(1)));
         group.finish();
+        let recorded = records().lock().unwrap();
+        assert!(recorded.iter().any(|(name, _)| name == "g/7"));
+        assert!(recorded.iter().any(|(name, _)| name == "g/plain"));
+    }
+
+    #[test]
+    fn area_strips_cargo_hash() {
+        assert_eq!(
+            area_from_binary("/t/deps/datalog-0123456789abcdef"),
+            "datalog"
+        );
+        assert_eq!(area_from_binary("target/release/cache"), "cache");
+        assert_eq!(
+            area_from_binary("multi-word-bench"),
+            "multi-word-bench",
+            "only a 16-hex-digit suffix is a cargo hash"
+        );
+    }
+
+    #[test]
+    fn sample_reservoir_stays_bounded() {
+        let mut b = Bencher::new(None);
+        for _ in 0..3 * MAX_SAMPLES as u64 {
+            b.iter(|| black_box(1));
+        }
+        assert!(b.samples.len() <= MAX_SAMPLES);
+        assert!(b.stride > 1, "stride doubled as the reservoir filled");
+        assert!(b.median() > Duration::ZERO || b.best < Duration::from_nanos(1));
+    }
+
+    #[test]
+    fn json_escaping_is_minimal_and_correct() {
+        let mut s = String::new();
+        push_json_escaped(&mut s, "a\"b\\c\nd");
+        assert_eq!(s, "a\\\"b\\\\c\\u000ad");
     }
 }

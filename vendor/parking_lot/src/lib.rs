@@ -1,10 +1,11 @@
-//! Offline stand-in for the `parking_lot` crate (Mutex subset).
+//! Offline stand-in for the `parking_lot` crate (Mutex/RwLock subset).
 //!
 //! The build environment has no access to crates.io, so the workspace vendors
-//! the slice of `parking_lot` it uses: a [`Mutex`] whose `lock()` returns the
-//! guard directly (no poison `Result`), layered over `std::sync::Mutex`.
-//! Poisoning is deliberately ignored — parking_lot has no poisoning, and the
-//! worst case on a panicking holder is identical behavior to upstream.
+//! the slice of `parking_lot` it uses: a [`Mutex`] and an [`RwLock`] whose
+//! `lock()`/`read()`/`write()` return the guard directly (no poison
+//! `Result`), layered over the `std::sync` primitives. Poisoning is
+//! deliberately ignored — parking_lot has no poisoning, and the worst case on
+//! a panicking holder is identical behavior to upstream.
 
 #![warn(missing_docs)]
 
@@ -49,9 +50,62 @@ impl<T: ?Sized> Mutex<T> {
     }
 }
 
+/// A reader-writer lock mirroring `parking_lot::RwLock`.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+
+/// RAII shared-read guard returned by [`RwLock::read`].
+pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
+
+/// RAII exclusive-write guard returned by [`RwLock::write`].
+pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+
+impl<T> RwLock<T> {
+    /// Creates a reader-writer lock protecting `value`.
+    pub const fn new(value: T) -> Self {
+        RwLock(std::sync::RwLock::new(value))
+    }
+
+    /// Consumes the lock and returns the protected value.
+    pub fn into_inner(self) -> T {
+        match self.0.into_inner() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access, blocking until available. Unlike
+    /// `std::sync::RwLock`, never returns a poison error.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        match self.0.read() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Acquires exclusive write access, blocking until available. Unlike
+    /// `std::sync::RwLock`, never returns a poison error.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        match self.0.write() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Mutable access without locking (the borrow proves exclusivity).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.0.get_mut() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
-    use super::Mutex;
+    use super::{Mutex, RwLock};
     use std::sync::Arc;
 
     #[test]
@@ -71,6 +125,44 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(*m.lock(), 8000);
+    }
+
+    #[test]
+    fn rwlock_readers_share_writers_exclude() {
+        let l = Arc::new(RwLock::new(0u32));
+        {
+            let a = l.read();
+            let b = l.read();
+            assert_eq!(*a + *b, 0, "concurrent readers");
+        }
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let l = Arc::clone(&l);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        *l.write() += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*l.read(), 8000);
+    }
+
+    #[test]
+    fn rwlock_survives_poison() {
+        let l = Arc::new(RwLock::new(1u8));
+        let l2 = Arc::clone(&l);
+        let _ = std::thread::spawn(move || {
+            let _guard = l2.write();
+            panic!("poison the std rwlock underneath");
+        })
+        .join();
+        assert_eq!(*l.read(), 1);
+        *l.write() = 2;
+        assert_eq!(*l.read(), 2);
     }
 
     #[test]

@@ -1,0 +1,155 @@
+//! Criterion benchmark of the observability layer's overhead budget.
+//!
+//! The contract (DESIGN.md §8): with observability *disabled*, the probes
+//! threaded through the kernel round loop are branch-on-`None` no-ops —
+//! the instrumented loop must stay within **2%** of an identical loop with
+//! no probes at all. That bound is asserted here (min-of-interleaved-trials,
+//! so scheduler noise cannot produce a false pass) before the trajectory
+//! benchmarks run. The criterion groups then record the absolute cost of
+//! each observability tier end-to-end: disabled, metrics-only (the builder
+//! default), and metrics + tracing into a ring buffer.
+//!
+//! Run in smoke mode (CI) with: `cargo bench -p toorjah-bench --bench
+//! obs -- --test`.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use toorjah_engine::InstanceSource;
+use toorjah_obs::{EventKind, Obs, RingBufferSink};
+use toorjah_system::Toorjah;
+use toorjah_workload::{music_instance, music_schema, MusicConfig};
+
+const QUERY: &str = "q(N) <- r1(A, N, Y1), r2('t0', Y2, A)";
+
+/// Per-iteration "round work" standing in for frontier processing. Sized
+/// at ~150ns — still orders of magnitude below a real kernel round (tens
+/// of microseconds of dispatch work), so the bound asserted here is far
+/// stricter than the production budget — yet small enough that a probe
+/// that allocated or took a lock would blow it immediately.
+#[inline(never)]
+fn round_work(mut x: u64) -> u64 {
+    for _ in 0..128 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+    }
+    x
+}
+
+/// The kernel round loop with no observability probes at all.
+fn loop_plain(rounds: u64) -> u64 {
+    let mut acc = 0u64;
+    for round in 1..=rounds {
+        acc = acc.wrapping_add(round_work(round));
+    }
+    acc
+}
+
+/// The same loop with the exact probe pattern the kernel uses per round:
+/// an enabled check, a metrics-handle check, and two trace probes whose
+/// closures are never invoked on a disabled handle.
+fn loop_probed(obs: Obs, rounds: u64) -> u64 {
+    let registry = obs.registry();
+    let mut acc = 0u64;
+    for round in 1..=rounds {
+        let started = obs.is_enabled().then(Instant::now);
+        obs.trace(round as u32, || EventKind::RoundStart {
+            requested: round as usize,
+        });
+        acc = acc.wrapping_add(round_work(round));
+        if let Some(registry) = registry {
+            registry.counter("kernel.rounds").inc();
+        }
+        if let Some(started) = started {
+            let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+            obs.trace(round as u32, || EventKind::RoundEnd { micros });
+        }
+    }
+    acc
+}
+
+/// Asserts the disabled-path budget: min-of-interleaved-trials of the
+/// probed loop within 2% of the plain loop.
+fn assert_disabled_overhead_budget() {
+    const TRIALS: usize = 9;
+    const ROUNDS: u64 = 150_000;
+    let obs = Obs::disabled();
+    // Warm-up, and keep the results observable so neither loop folds away.
+    let mut sink = loop_plain(ROUNDS) ^ loop_probed(obs, ROUNDS);
+    let mut plain_min = u128::MAX;
+    let mut probed_min = u128::MAX;
+    for _ in 0..TRIALS {
+        let t = Instant::now();
+        sink ^= loop_plain(std::hint::black_box(ROUNDS));
+        plain_min = plain_min.min(t.elapsed().as_nanos());
+        let t = Instant::now();
+        sink ^= loop_probed(std::hint::black_box(obs), std::hint::black_box(ROUNDS));
+        probed_min = probed_min.min(t.elapsed().as_nanos());
+    }
+    std::hint::black_box(sink);
+    assert!(
+        probed_min * 100 <= plain_min * 102,
+        "disabled-path probes exceed the 2% budget: probed {probed_min}ns vs plain {plain_min}ns"
+    );
+    println!(
+        "disabled-path overhead: plain {plain_min}ns, probed {probed_min}ns \
+         ({:+.2}%)",
+        100.0 * (probed_min as f64 - plain_min as f64) / plain_min as f64
+    );
+}
+
+fn observability_tiers(c: &mut Criterion) {
+    assert_disabled_overhead_budget();
+
+    let schema = music_schema();
+    let db = music_instance(&schema, &MusicConfig::default());
+    let provider = InstanceSource::new(schema, db);
+    let mut group = c.benchmark_group("obs_tiers");
+
+    group.bench_function("round_loop_plain", |b| {
+        b.iter(|| loop_plain(std::hint::black_box(4096)))
+    });
+    group.bench_function("round_loop_probed_disabled", |b| {
+        let obs = Obs::disabled();
+        b.iter(|| loop_probed(std::hint::black_box(obs), std::hint::black_box(4096)))
+    });
+
+    group.bench_function("ask_disabled", |b| {
+        let system = Toorjah::new(provider.clone());
+        b.iter(|| {
+            system
+                .ask(std::hint::black_box(QUERY))
+                .expect("answerable")
+                .answers
+                .len()
+        })
+    });
+    group.bench_function("ask_metrics", |b| {
+        let system = Toorjah::builder(provider.clone()).build();
+        b.iter(|| {
+            system
+                .ask(std::hint::black_box(QUERY))
+                .expect("answerable")
+                .answers
+                .len()
+        })
+    });
+    group.bench_function("ask_traced", |b| {
+        let sink = Arc::new(RingBufferSink::new(4096));
+        let system = Toorjah::builder(provider.clone()).trace_sink(sink).build();
+        b.iter(|| {
+            system
+                .ask(std::hint::black_box(QUERY))
+                .expect("answerable")
+                .answers
+                .len()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, observability_tiers);
+criterion_main!(benches);

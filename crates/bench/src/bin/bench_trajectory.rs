@@ -20,7 +20,14 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 /// The bench areas every PR must keep a trajectory snapshot for.
-const REQUIRED_AREAS: [&str; 5] = ["cache", "dispatch", "relevance", "execution", "datalog"];
+const REQUIRED_AREAS: [&str; 6] = [
+    "cache",
+    "dispatch",
+    "relevance",
+    "execution",
+    "datalog",
+    "obs",
+];
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);

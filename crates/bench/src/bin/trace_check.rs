@@ -1,0 +1,191 @@
+//! Validates a JSON-lines trace file produced by the CLI's `--trace=<path>`
+//! flag (a `toorjah_obs::WriterSink` export).
+//!
+//! Checks, per line and across the stream:
+//!
+//! 1. every line is one JSON object with numeric `seq`, `round` and `us`
+//!    fields and a string `event` field naming a known event kind;
+//! 2. sequence ids are strictly increasing (the sink preserves the
+//!    emitter's deterministic order);
+//! 3. the access lifecycle reconciles: the number of `access_requested`
+//!    events equals `access_served_cache + access_served_source +
+//!    access_pruned + access_failed` — every requested access is
+//!    terminally resolved exactly once.
+//!
+//! Usage: `cargo run -p toorjah-bench --bin trace_check <trace.jsonl>`.
+//! Prints a one-line summary and exits non-zero on any violation.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// The event names the trace taxonomy can emit (`EventKind::name`).
+const KNOWN_EVENTS: [&str; 11] = [
+    "round_start",
+    "round_end",
+    "access_requested",
+    "access_dispatched",
+    "access_served_cache",
+    "access_served_source",
+    "access_pruned",
+    "access_failed",
+    "cache_evict",
+    "batch_coalesced",
+    "fixpoint_reached",
+];
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let (Some(path), None) = (args.next(), args.next()) else {
+        eprintln!("usage: trace_check <trace.jsonl>");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match check(&text) {
+        Ok(summary) => {
+            println!("ok: {path}: {summary}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("FAIL: {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn check(text: &str) -> Result<String, String> {
+    let mut last_seq = 0u64;
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+    let mut lines = 0usize;
+    for (no, line) in text.lines().enumerate() {
+        let no = no + 1;
+        if line.trim().is_empty() {
+            return Err(format!("line {no}: empty line in the stream"));
+        }
+        if !(line.starts_with('{') && line.ends_with('}')) {
+            return Err(format!("line {no}: not a JSON object: {line}"));
+        }
+        let seq = number_field(line, "seq").ok_or(format!("line {no}: no numeric \"seq\""))?;
+        number_field(line, "round").ok_or(format!("line {no}: no numeric \"round\""))?;
+        number_field(line, "us").ok_or(format!("line {no}: no numeric \"us\""))?;
+        let event = string_field(line, "event").ok_or(format!("line {no}: no string \"event\""))?;
+        if !KNOWN_EVENTS.contains(&event.as_str()) {
+            return Err(format!("line {no}: unknown event {event:?}"));
+        }
+        if seq <= last_seq {
+            return Err(format!(
+                "line {no}: sequence id {seq} not strictly above {last_seq}"
+            ));
+        }
+        last_seq = seq;
+        *counts.entry(event).or_default() += 1;
+        lines += 1;
+    }
+    if lines == 0 {
+        return Err("empty trace".into());
+    }
+
+    let count = |name: &str| counts.get(name).copied().unwrap_or(0);
+    let requested = count("access_requested");
+    let terminal = count("access_served_cache")
+        + count("access_served_source")
+        + count("access_pruned")
+        + count("access_failed");
+    if requested != terminal {
+        return Err(format!(
+            "lifecycle does not reconcile: {requested} requested vs {terminal} \
+             terminal events ({counts:?})"
+        ));
+    }
+    Ok(format!(
+        "{lines} events, {requested} accesses requested and terminally resolved \
+         ({} from source, {} from cache, {} pruned, {} failed)",
+        count("access_served_source"),
+        count("access_served_cache"),
+        count("access_pruned"),
+        count("access_failed"),
+    ))
+}
+
+/// The value of `"key": <integer>` (first occurrence).
+fn number_field(text: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\"");
+    let at = text.find(&pat)? + pat.len();
+    let rest = text[at..].trim_start().strip_prefix(':')?.trim_start();
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    if digits.is_empty() {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// The value of `"key": "..."` (first occurrence, minimal unescaping).
+fn string_field(text: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\"");
+    let at = text.find(&pat)? + pat.len();
+    let rest = text[at..].trim_start().strip_prefix(':')?.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'u' => {
+                    let code: String = chars.by_ref().take(4).collect();
+                    let n = u32::from_str_radix(&code, 16).ok()?;
+                    out.push(char::from_u32(n)?);
+                }
+                other => out.push(other),
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_reconciling_trace_passes() {
+        let trace = "\
+{\"seq\":1,\"round\":1,\"event\":\"round_start\",\"us\":0,\"requested\":1}\n\
+{\"seq\":2,\"round\":1,\"event\":\"access_requested\",\"us\":0,\"relation\":0,\"binding\":[]}\n\
+{\"seq\":3,\"round\":1,\"event\":\"access_served_source\",\"us\":4,\"relation\":0,\"binding\":[],\"tuples\":2}\n\
+{\"seq\":4,\"round\":1,\"event\":\"round_end\",\"us\":9}\n";
+        let summary = check(trace).unwrap();
+        assert!(summary.contains("4 events"), "{summary}");
+        assert!(summary.contains("1 accesses requested"), "{summary}");
+    }
+
+    #[test]
+    fn violations_fail() {
+        // Unresolved request.
+        let unresolved = "{\"seq\":1,\"round\":1,\"event\":\"access_requested\",\"us\":0}\n";
+        assert!(check(unresolved).unwrap_err().contains("reconcile"));
+        // Non-increasing sequence ids.
+        let stuck = "\
+{\"seq\":2,\"round\":1,\"event\":\"round_start\",\"us\":0}\n\
+{\"seq\":2,\"round\":1,\"event\":\"round_end\",\"us\":0}\n";
+        assert!(check(stuck).unwrap_err().contains("strictly above"));
+        // Unknown event name and missing fields.
+        assert!(
+            check("{\"seq\":1,\"round\":1,\"event\":\"nope\",\"us\":0}\n")
+                .unwrap_err()
+                .contains("unknown event")
+        );
+        assert!(check("{\"seq\":1,\"event\":\"round_end\",\"us\":0}\n")
+            .unwrap_err()
+            .contains("round"));
+        assert!(check("").unwrap_err().contains("empty trace"));
+    }
+}

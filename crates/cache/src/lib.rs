@@ -24,7 +24,13 @@
 //!   count, or LRU by a byte budget accounted through
 //!   [`toorjah_catalog::Tuple::estimated_bytes`];
 //! * [`CacheStats`] — hit / coalesced-hit / miss / eviction counters plus
-//!   occupancy, with [`CacheStats::delta_since`] for per-query attribution;
+//!   occupancy, with [`CacheStats::delta_since`] for per-query attribution.
+//!   Counters are kept **per shard** ([`ShardCounters`], surfaced by
+//!   [`SharedAccessCache::shard_counters`]) and summed on read, so the
+//!   shard-wise breakdown always reconciles with the totals; with an
+//!   [`Obs`](toorjah_obs::Obs) handle ([`SharedAccessCache::with_obs`])
+//!   evictions and single-flight coalesces are additionally emitted as
+//!   trace events;
 //! * **snapshot / warm-start** — [`SharedAccessCache::snapshot`] serializes
 //!   the retained extractions to a sorted line format that
 //!   [`SharedAccessCache::load_snapshot`] reloads in a fresh process.
@@ -42,6 +48,6 @@ mod stats;
 pub use config::{CacheConfig, EvictionPolicy};
 pub use shard::{BatchLookup, LoadResult, Lookup, LookupOutcome, SharedAccessCache};
 pub use snapshot::{SnapshotError, SnapshotReport};
-pub use stats::CacheStats;
+pub use stats::{CacheStats, ShardCounters};
 
 pub(crate) use stats::Counters;

@@ -4,13 +4,13 @@
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::Ordering;
 use std::sync::{Arc, Condvar, Mutex as StdMutex, PoisonError};
 
 use parking_lot::Mutex;
 use toorjah_catalog::{AccessKey, RelationId, Tuple};
+use toorjah_obs::{EventKind, Obs};
 
-use crate::{CacheConfig, CacheStats, Counters};
+use crate::{CacheConfig, CacheStats, Counters, ShardCounters};
 
 /// Cache key: one access in the paper's sense (§II) — a relation plus the
 /// tuple of values bound to its input positions.
@@ -202,7 +202,13 @@ impl Shard {
 
     /// Evicts least-recently-used ready entries until the shard respects its
     /// `(max_entries, max_bytes)` slice. Pending entries are never evicted.
-    fn evict_to_budget(&mut self, max_entries: usize, max_bytes: usize, counters: &Counters) {
+    fn evict_to_budget(
+        &mut self,
+        max_entries: usize,
+        max_bytes: usize,
+        counters: &Counters,
+        obs: Obs,
+    ) {
         while self.ready_entries > max_entries || self.bytes > max_bytes {
             let Some((tick, key)) = self.recency.pop_front() else {
                 // Only pending entries remain; nothing evictable.
@@ -219,6 +225,10 @@ impl Shard {
                 self.ready_entries -= 1;
                 self.bytes -= ready.bytes;
                 Counters::bump(&counters.evictions);
+                obs.trace(0, || EventKind::CacheEvict {
+                    key: key.clone(),
+                    bytes: ready.bytes,
+                });
             }
         }
     }
@@ -281,8 +291,12 @@ pub struct SharedAccessCache {
 
 pub(crate) struct Inner {
     pub(crate) shards: Vec<Mutex<Shard>>,
-    pub(crate) counters: Counters,
+    /// Per-shard counters, aligned with `shards`: every bump touches the
+    /// shard that owns the key, so shard-wise snapshots sum exactly to the
+    /// [`CacheStats`] totals.
+    pub(crate) counters: Vec<Counters>,
     pub(crate) config: CacheConfig,
+    obs: Obs,
     max_entries_per_shard: usize,
     max_bytes_per_shard: usize,
 }
@@ -313,6 +327,14 @@ impl std::fmt::Debug for SharedAccessCache {
 impl SharedAccessCache {
     /// Creates a cache with the given configuration.
     pub fn new(config: CacheConfig) -> Self {
+        SharedAccessCache::with_obs(config, Obs::disabled())
+    }
+
+    /// [`SharedAccessCache::new`] with an observability handle: evictions
+    /// and single-flight coalesces are emitted as trace events (round 0 —
+    /// cache activity is not tied to a kernel round). Counters are kept per
+    /// shard either way; `obs` only controls event emission.
+    pub fn with_obs(config: CacheConfig, obs: Obs) -> Self {
         let shards = config.effective_shards();
         let (max_entries_per_shard, max_bytes_per_shard) = config.shard_budget();
         let tracks_recency =
@@ -322,8 +344,9 @@ impl SharedAccessCache {
                 shards: (0..shards)
                     .map(|_| Mutex::new(Shard::new(tracks_recency)))
                     .collect(),
-                counters: Counters::default(),
+                counters: (0..shards).map(|_| Counters::default()).collect(),
                 config,
+                obs,
                 max_entries_per_shard,
                 max_bytes_per_shard,
             }),
@@ -340,11 +363,16 @@ impl SharedAccessCache {
         &self.inner.config
     }
 
-    fn shard_for(&self, key: &Key) -> &Mutex<Shard> {
+    /// The index of the shard owning `key`; every lock acquisition and
+    /// counter bump for the key goes through this one index.
+    fn shard_index(&self, key: &Key) -> usize {
         let mut hasher = std::collections::hash_map::DefaultHasher::new();
         key.hash(&mut hasher);
-        let index = (hasher.finish() as usize) % self.inner.shards.len();
-        &self.inner.shards[index]
+        (hasher.finish() as usize) % self.inner.shards.len()
+    }
+
+    fn shard_for(&self, key: &Key) -> &Mutex<Shard> {
+        &self.inner.shards[self.shard_index(key)]
     }
 
     /// Serves the access for `(relation, binding)` from the cache, or
@@ -362,7 +390,7 @@ impl SharedAccessCache {
         load: impl FnOnce() -> Result<Vec<Tuple>, E>,
     ) -> Result<Lookup, E> {
         let key: Key = (relation, binding.clone());
-        let counters = &self.inner.counters;
+        let counters = &self.inner.counters[self.shard_index(&key)];
         let mut load = Some(load);
         loop {
             enum Action {
@@ -409,6 +437,9 @@ impl SharedAccessCache {
                 Action::Wait(flight) => match flight.wait() {
                     Some(tuples) => {
                         Counters::bump(&counters.coalesced_hits);
+                        self.inner
+                            .obs
+                            .trace(0, || EventKind::BatchCoalesced { key: key.clone() });
                         return Ok(Lookup {
                             tuples,
                             outcome: LookupOutcome::CoalescedHit,
@@ -496,7 +527,6 @@ impl SharedAccessCache {
         requests: &[Key],
         mut load: impl FnMut(&[Key]) -> Vec<LoadResult<E>>,
     ) -> Vec<BatchLookup<E>> {
-        let counters = &self.inner.counters;
         let mut out: Vec<Option<BatchLookup<E>>> = requests.iter().map(|_| None).collect();
         let mut unresolved: Vec<usize> = (0..requests.len()).collect();
         while !unresolved.is_empty() {
@@ -510,7 +540,8 @@ impl SharedAccessCache {
                     dups.push((i, leader));
                     continue;
                 }
-                let mut shard = self.shard_for(key).lock();
+                let idx = self.shard_index(key);
+                let mut shard = self.inner.shards[idx].lock();
                 let retained = match shard.map.get(key) {
                     Some(Slot::Ready(ready)) => Some(Arc::clone(&ready.tuples)),
                     _ => None,
@@ -521,7 +552,7 @@ impl SharedAccessCache {
                         ready.last_used = tick;
                     }
                     drop(shard);
-                    Counters::bump(&counters.hits);
+                    Counters::bump(&self.inner.counters[idx].hits);
                     out[i] = Some(BatchLookup::Served(Lookup {
                         tuples,
                         outcome: LookupOutcome::Hit,
@@ -578,6 +609,7 @@ impl SharedAccessCache {
                 }
                 for ((i, flight), result) in led.into_iter().zip(results) {
                     let key = &requests[i];
+                    let counters = &self.inner.counters[self.shard_index(key)];
                     match result {
                         LoadResult::Loaded(tuples) => {
                             let tuples: Arc<[Tuple]> = tuples.into();
@@ -609,7 +641,7 @@ impl SharedAccessCache {
             for (i, leader) in dups {
                 out[i] = Some(match &out[leader] {
                     Some(BatchLookup::Served(lookup)) => {
-                        Counters::bump(&counters.hits);
+                        Counters::bump(&self.inner.counters[self.shard_index(&requests[i])].hits);
                         BatchLookup::Served(Lookup {
                             tuples: Arc::clone(&lookup.tuples),
                             outcome: LookupOutcome::Hit,
@@ -625,7 +657,11 @@ impl SharedAccessCache {
             for (i, flight) in waits {
                 match flight.wait() {
                     Some(tuples) => {
-                        Counters::bump(&counters.coalesced_hits);
+                        let key = &requests[i];
+                        Counters::bump(&self.inner.counters[self.shard_index(key)].coalesced_hits);
+                        self.inner
+                            .obs
+                            .trace(0, || EventKind::BatchCoalesced { key: key.clone() });
                         out[i] = Some(BatchLookup::Served(Lookup {
                             tuples,
                             outcome: LookupOutcome::CoalescedHit,
@@ -645,7 +681,8 @@ impl SharedAccessCache {
     /// enforces the shard budget.
     fn complete_load(&self, key: &Key, tuples: Arc<[Tuple]>) {
         let bytes = entry_bytes(&key.1, &tuples);
-        let mut shard = self.shard_for(key).lock();
+        let idx = self.shard_index(key);
+        let mut shard = self.inner.shards[idx].lock();
         if bytes > self.inner.max_bytes_per_shard {
             // Oversized for its shard's budget slice: hand the extraction
             // to the caller without retaining it, instead of flushing every
@@ -654,7 +691,7 @@ impl SharedAccessCache {
                 shard.map.remove(key);
             }
             drop(shard);
-            Counters::bump(&self.inner.counters.oversized);
+            Counters::bump(&self.inner.counters[idx].oversized);
             return;
         }
         let tick = shard.touch(key);
@@ -671,7 +708,8 @@ impl SharedAccessCache {
         shard.evict_to_budget(
             self.inner.max_entries_per_shard,
             self.inner.max_bytes_per_shard,
-            &self.inner.counters,
+            &self.inner.counters[idx],
+            self.inner.obs,
         );
     }
 
@@ -689,7 +727,8 @@ impl SharedAccessCache {
     /// their own dispatch bookkeeping).
     pub fn try_get(&self, relation: RelationId, binding: &Tuple) -> Option<Arc<[Tuple]>> {
         let key: Key = (relation, binding.clone());
-        let mut shard = self.shard_for(&key).lock();
+        let idx = self.shard_index(&key);
+        let mut shard = self.inner.shards[idx].lock();
         let tick = {
             match shard.map.get(&key) {
                 Some(Slot::Ready(_)) => shard.touch(&key),
@@ -702,7 +741,7 @@ impl SharedAccessCache {
         ready.last_used = tick;
         let tuples = Arc::clone(&ready.tuples);
         drop(shard);
-        Counters::bump(&self.inner.counters.hits);
+        Counters::bump(&self.inner.counters[idx].hits);
         Some(tuples)
     }
 
@@ -712,13 +751,14 @@ impl SharedAccessCache {
     pub fn insert(&self, relation: RelationId, binding: &Tuple, tuples: Vec<Tuple>) -> bool {
         let key: Key = (relation, binding.clone());
         let bytes = entry_bytes(binding, &tuples);
-        let mut shard = self.shard_for(&key).lock();
+        let idx = self.shard_index(&key);
+        let mut shard = self.inner.shards[idx].lock();
         if shard.map.contains_key(&key) {
             return false;
         }
         if bytes > self.inner.max_bytes_per_shard {
             drop(shard);
-            Counters::bump(&self.inner.counters.oversized);
+            Counters::bump(&self.inner.counters[idx].oversized);
             return false;
         }
         let tick = shard.touch(&key);
@@ -735,10 +775,11 @@ impl SharedAccessCache {
         shard.evict_to_budget(
             self.inner.max_entries_per_shard,
             self.inner.max_bytes_per_shard,
-            &self.inner.counters,
+            &self.inner.counters[idx],
+            self.inner.obs,
         );
         drop(shard);
-        Counters::bump(&self.inner.counters.insertions);
+        Counters::bump(&self.inner.counters[idx].insertions);
         true
     }
 
@@ -780,26 +821,39 @@ impl SharedAccessCache {
         }
     }
 
-    /// A point-in-time snapshot of counters and occupancy.
+    /// A point-in-time snapshot of counters and occupancy. Counter totals
+    /// are the sum of the per-shard counters (see
+    /// [`SharedAccessCache::shard_counters`]).
     pub fn stats(&self) -> CacheStats {
-        let counters = &self.inner.counters;
         let (mut entries, mut bytes) = (0usize, 0usize);
         for shard in &self.inner.shards {
             let shard = shard.lock();
             entries += shard.ready_entries;
             bytes += shard.bytes;
         }
-        CacheStats {
-            hits: counters.hits.load(Ordering::Relaxed),
-            coalesced_hits: counters.coalesced_hits.load(Ordering::Relaxed),
-            misses: counters.misses.load(Ordering::Relaxed),
-            load_failures: counters.load_failures.load(Ordering::Relaxed),
-            insertions: counters.insertions.load(Ordering::Relaxed),
-            evictions: counters.evictions.load(Ordering::Relaxed),
-            oversized: counters.oversized.load(Ordering::Relaxed),
+        let mut stats = CacheStats {
             entries,
             bytes,
+            ..CacheStats::default()
+        };
+        for counters in &self.inner.counters {
+            let shard = counters.snapshot();
+            stats.hits += shard.hits;
+            stats.coalesced_hits += shard.coalesced_hits;
+            stats.misses += shard.misses;
+            stats.load_failures += shard.load_failures;
+            stats.insertions += shard.insertions;
+            stats.evictions += shard.evictions;
+            stats.oversized += shard.oversized;
         }
+        stats
+    }
+
+    /// Point-in-time snapshots of every shard's counters, in shard order.
+    /// Each counter bump touches exactly the shard owning the key, so the
+    /// shard-wise sums equal the [`SharedAccessCache::stats`] totals.
+    pub fn shard_counters(&self) -> Vec<ShardCounters> {
+        self.inner.counters.iter().map(Counters::snapshot).collect()
     }
 
     /// Iterates the retained extractions, shard by shard (used by the
@@ -1219,6 +1273,90 @@ mod tests {
         assert!(cache.is_empty());
         assert_eq!(cache.bytes(), 0);
         assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn shard_counters_sum_to_the_stats_totals() {
+        let cache = SharedAccessCache::new(CacheConfig::max_entries(4).with_shards(4));
+        let r = RelationId(0);
+        for i in 0..32 {
+            cache
+                .get_or_load(r, &k(i), || Ok::<_, ()>(extraction(i)))
+                .unwrap();
+        }
+        for i in 24..32 {
+            let _ = cache.get_or_load(r, &k(i), || Ok::<_, ()>(vec![]));
+        }
+        let _ = cache.get_or_load(r, &k(1000), || Err::<Vec<Tuple>, _>("boom"));
+        let shards = cache.shard_counters();
+        assert_eq!(shards.len(), 4, "one snapshot per shard");
+        let stats = cache.stats();
+        assert_eq!(shards.iter().map(|s| s.hits).sum::<u64>(), stats.hits);
+        assert_eq!(shards.iter().map(|s| s.misses).sum::<u64>(), stats.misses);
+        assert_eq!(
+            shards.iter().map(|s| s.evictions).sum::<u64>(),
+            stats.evictions
+        );
+        assert_eq!(
+            shards.iter().map(|s| s.load_failures).sum::<u64>(),
+            stats.load_failures
+        );
+        assert!(stats.evictions > 0, "the workload actually evicted");
+        assert!(
+            shards.iter().filter(|s| s.misses > 0).count() > 1,
+            "keys spread over more than one shard"
+        );
+    }
+
+    #[test]
+    fn evictions_and_coalesces_emit_trace_events() {
+        use toorjah_obs::{Obs, RingBufferSink, TraceSink};
+        let sink = Arc::new(RingBufferSink::new(256));
+        let obs = Obs::with_sink(Arc::clone(&sink) as Arc<dyn TraceSink>);
+        let cache = SharedAccessCache::with_obs(CacheConfig::max_entries(2).with_shards(1), obs);
+        let r = RelationId(0);
+        for i in 0..4 {
+            cache
+                .get_or_load(r, &k(i), || Ok::<_, ()>(extraction(i)))
+                .unwrap();
+        }
+        let evicts: Vec<_> = sink
+            .events()
+            .into_iter()
+            .filter(|e| matches!(e.kind, toorjah_obs::EventKind::CacheEvict { .. }))
+            .collect();
+        assert_eq!(evicts.len() as u64, cache.stats().evictions);
+        assert!(
+            evicts.iter().all(|e| e.round == 0),
+            "cache events use round 0"
+        );
+        match &evicts[0].kind {
+            toorjah_obs::EventKind::CacheEvict { key, bytes } => {
+                assert_eq!(key.0, r);
+                assert!(*bytes > 0, "evicted bytes are reported");
+            }
+            other => panic!("not an eviction: {other:?}"),
+        }
+
+        // A coalesced waiter emits BatchCoalesced.
+        let barrier = std::sync::Barrier::new(2);
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                scope.spawn(|| {
+                    barrier.wait();
+                    let _ = cache.get_or_load(r, &k(99), || {
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        Ok::<_, ()>(extraction(99))
+                    });
+                });
+            }
+        });
+        let coalesces = sink
+            .events()
+            .into_iter()
+            .filter(|e| matches!(e.kind, toorjah_obs::EventKind::BatchCoalesced { .. }))
+            .count() as u64;
+        assert_eq!(coalesces, cache.stats().coalesced_hits);
     }
 
     #[test]

@@ -18,6 +18,43 @@ impl Counters {
     pub fn bump(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
     }
+
+    pub fn snapshot(&self) -> ShardCounters {
+        ShardCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            coalesced_hits: self.coalesced_hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            load_failures: self.load_failures.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            oversized: self.oversized.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time snapshot of one shard's counters.
+///
+/// Counters are kept per shard (each bump touches only the shard that owns
+/// the key), so the shard-wise snapshots returned by
+/// [`crate::SharedAccessCache::shard_counters`] sum exactly to the
+/// corresponding [`CacheStats`] totals — by construction, not by a second
+/// accounting pass.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct ShardCounters {
+    /// Lookups this shard served from a retained extraction.
+    pub hits: u64,
+    /// Lookups that coalesced onto an in-flight access of this shard.
+    pub coalesced_hits: u64,
+    /// Lookups that performed the access against the source.
+    pub misses: u64,
+    /// Failed source accesses attempted through this shard.
+    pub load_failures: u64,
+    /// Extractions inserted directly into this shard.
+    pub insertions: u64,
+    /// Extractions this shard's eviction policy discarded.
+    pub evictions: u64,
+    /// Oversized extractions this shard refused to retain.
+    pub oversized: u64,
 }
 
 /// A point-in-time snapshot of a cache's counters and occupancy.

@@ -26,11 +26,13 @@
 //! `tests/parallel.rs` asserts this invariance.
 
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use toorjah_cache::{BatchLookup, LoadResult, SharedAccessCache};
-use toorjah_catalog::{AccessKey, Tuple};
+use toorjah_catalog::{AccessKey, RelationId, Tuple};
+use toorjah_obs::{EventKind, Histogram, Obs};
 
 use crate::{AccessLog, EngineError, SourceProvider};
 
@@ -167,6 +169,7 @@ impl DispatchReport {
 /// sequential path. On failure, every access that *did* reach the source is
 /// still folded into the log before the error is returned — the log reports
 /// reality.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn dispatch_keys(
     cache: &SharedAccessCache,
     provider: &dyn SourceProvider,
@@ -175,6 +178,8 @@ pub(crate) fn dispatch_keys(
     options: DispatchOptions,
     max_accesses: usize,
     report: &mut DispatchReport,
+    obs: Obs,
+    round: u32,
 ) -> Result<Vec<Arc<[Tuple]>>, EngineError> {
     if frontier.is_empty() {
         return Ok(Vec::new());
@@ -205,10 +210,35 @@ pub(crate) fn dispatch_keys(
     let chunks: Vec<&[AccessKey]> = keys.chunks(batch_size).collect();
     report.batches += chunks.len();
 
+    if let Some(h) = obs.histogram("dispatch.batch_size") {
+        for chunk in &chunks {
+            h.record(chunk.len() as u64);
+        }
+    }
+    if obs.is_tracing() {
+        for (u, key) in unique.iter().enumerate() {
+            obs.trace(round, || EventKind::AccessDispatched {
+                key: (*key).clone(),
+                batch: u / batch_size,
+            });
+        }
+    }
+    // Per-unique-key attributed source latency (a batch's wall-clock split
+    // evenly over the keys it actually loaded), written by whichever worker
+    // ran the batch and read back on the coordinating thread.
+    let queue_wait = obs.gauge("dispatch.queue_wait_us");
+    let dispatch_start = obs.is_enabled().then(Instant::now);
+    let latency_us: Option<Vec<AtomicU64>> = obs
+        .is_enabled()
+        .then(|| unique.iter().map(|_| AtomicU64::new(0)).collect());
+
     // Distinct accesses performed so far (shared budget reservation).
     let performed = AtomicUsize::new(log.total());
     let process = |chunk: &[AccessKey]| -> Vec<BatchLookup<EngineError>> {
         cache.get_or_load_batch(chunk, |led| {
+            if let (Some(g), Some(t0)) = (&queue_wait, &dispatch_start) {
+                g.record_max(micros_since(t0));
+            }
             // Reserve budget for every non-exempt key, in order; the first
             // key that cannot be reserved fails the batch there, and the
             // remainder is never attempted.
@@ -224,7 +254,16 @@ pub(crate) fn dispatch_keys(
                     break;
                 }
             }
+            let load_start = latency_us.as_ref().map(|_| Instant::now());
             let mut out = provider.access_batch(&led[..attempt]);
+            if let (Some(lat), Some(start)) = (&latency_us, &load_start) {
+                let share = micros_since(start) / led[..attempt].len().max(1) as u64;
+                for key in &led[..attempt] {
+                    if let Some(&slot) = slot_of.get(key) {
+                        lat[slot].store(share, Ordering::Relaxed);
+                    }
+                }
+            }
             out.truncate(attempt);
             if busted {
                 out.push(LoadResult::Failed(EngineError::AccessBudgetExceeded {
@@ -299,23 +338,76 @@ pub(crate) fn dispatch_keys(
             }
         }
     }
-    // Propagate the first failure (in frontier order).
+    // Propagate the first failure (in frontier order). Skipped entries
+    // without a recorded failure cannot happen with a contract-abiding
+    // provider; surface them instead of panicking.
+    let mut failure: Option<EngineError> = None;
     for outcome in &outcomes {
         if let Some(BatchLookup::Failed(e)) = outcome {
-            return Err(e.clone());
+            failure = Some(e.clone());
+            break;
         }
     }
-    if outcomes
-        .iter()
-        .any(|o| !matches!(o, Some(BatchLookup::Served(_))))
+    if failure.is_none()
+        && outcomes
+            .iter()
+            .any(|o| !matches!(o, Some(BatchLookup::Served(_))))
     {
-        // Skipped entries without a recorded failure cannot happen with a
-        // contract-abiding provider; surface them instead of panicking.
-        return Err(EngineError::SourceFailure {
+        failure = Some(EngineError::SourceFailure {
             relation: "<batch>".to_string(),
             detail: "provider skipped accesses without reporting a failure".to_string(),
         });
     }
+    if let Some(err) = failure {
+        // The trace reports reality before the error surfaces: every
+        // request still gets its terminal event — served outcomes as such,
+        // everything else as failed.
+        if obs.is_tracing() {
+            let mut first_seen = vec![false; unique.len()];
+            for &slot in &slots {
+                let key = unique[slot];
+                match &outcomes[slot] {
+                    Some(BatchLookup::Served(lookup)) => {
+                        if !first_seen[slot] && lookup.outcome.loaded() {
+                            first_seen[slot] = true;
+                            obs.trace(round, || EventKind::AccessServedSource {
+                                key: key.clone(),
+                                micros: slot_latency(&latency_us, slot),
+                                tuples: lookup.tuples.len(),
+                            });
+                        } else {
+                            first_seen[slot] = true;
+                            obs.trace(round, || EventKind::AccessServedCache { key: key.clone() });
+                        }
+                    }
+                    _ => obs.trace(round, || EventKind::AccessFailed { key: key.clone() }),
+                }
+            }
+        }
+        return Err(err);
+    }
+
+    // Per-source latency histograms, one instrument per provider relation
+    // that actually performed accesses this frontier.
+    if let Some(lat) = &latency_us {
+        let mut per_rel: HashMap<RelationId, Arc<Histogram>> = HashMap::new();
+        for (u, key) in unique.iter().enumerate() {
+            let Some(BatchLookup::Served(lookup)) = &outcomes[u] else {
+                continue;
+            };
+            if !lookup.outcome.loaded() {
+                continue;
+            }
+            let histogram = per_rel.entry(key.0).or_insert_with(|| {
+                let name = provider.schema().relation(key.0).name();
+                obs.histogram(&format!("dispatch.latency_us.{name}"))
+                    .expect("latency vector implies metrics are on")
+            });
+            histogram.record(lat[u].load(Ordering::Relaxed));
+        }
+    }
+    let performed_ctr = obs.counter("dispatch.performed");
+    let served_cache_ctr = obs.counter("dispatch.served_cache");
 
     // Success: account cache service per *request* (duplicates and warm
     // hits are free under the set semantics) and hand back the extractions
@@ -330,13 +422,48 @@ pub(crate) fn dispatch_keys(
             first_seen[slot] = true;
             if !lookup.outcome.loaded() {
                 log.record_cache_served();
+                if let Some(c) = &served_cache_ctr {
+                    c.inc();
+                }
+                obs.trace(round, || EventKind::AccessServedCache {
+                    key: unique[slot].clone(),
+                });
+            } else {
+                if let Some(c) = &performed_ctr {
+                    c.inc();
+                }
+                obs.trace(round, || EventKind::AccessServedSource {
+                    key: unique[slot].clone(),
+                    micros: slot_latency(&latency_us, slot),
+                    tuples: lookup.tuples.len(),
+                });
             }
         } else {
             log.record_cache_served();
+            if let Some(c) = &served_cache_ctr {
+                c.inc();
+            }
+            obs.trace(round, || EventKind::AccessServedCache {
+                key: unique[slot].clone(),
+            });
         }
         extractions.push(Arc::clone(&lookup.tuples));
     }
     Ok(extractions)
+}
+
+/// Microseconds elapsed since `start`, saturating instead of truncating.
+fn micros_since(start: &Instant) -> u64 {
+    u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// The attributed latency recorded for a unique-key slot, `0` when latency
+/// accounting is off (tracing without metrics cannot happen — a sink
+/// implies an enabled handle).
+fn slot_latency(latency_us: &Option<Vec<AtomicU64>>, slot: usize) -> u64 {
+    latency_us
+        .as_ref()
+        .map_or(0, |lat| lat[slot].load(Ordering::Relaxed))
 }
 
 /// Writes one batch's results into the per-unique-key outcome table.
@@ -384,7 +511,16 @@ mod tests {
         max_accesses: usize,
         report: &mut DispatchReport,
     ) -> Result<Vec<Arc<[Tuple]>>, EngineError> {
-        Kernel::new(cache, provider, log, report, options, max_accesses).round(frontier, None)
+        Kernel::new(
+            cache,
+            provider,
+            log,
+            report,
+            options,
+            max_accesses,
+            Obs::disabled(),
+        )
+        .round(frontier, None)
     }
 
     fn sample() -> InstanceSource {

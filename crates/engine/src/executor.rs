@@ -44,6 +44,7 @@ use toorjah_cache::SharedAccessCache;
 use toorjah_catalog::{AccessKey, RelationId, Tuple, Value};
 use toorjah_core::{DomainMode, QueryPlan};
 use toorjah_datalog::{rule_body_satisfiable, rule_head_instances, FactStore, Rule};
+use toorjah_obs::Obs;
 
 use crate::kernel::{fresh_bindings, Kernel, PoolView, RelevancePruner};
 use crate::{
@@ -78,6 +79,12 @@ pub struct ExecOptions {
     /// evaluation per changed round — worthwhile when accesses dominate
     /// (the paper's setting), not when local joins do.
     pub first_k: Option<usize>,
+    /// Observability handle threaded into the kernel's round loop, the
+    /// dispatcher and the relevance pruner. The default is
+    /// [`Obs::disabled`] — a no-op handle whose probes cost one branch and
+    /// allocate nothing, keeping the hot path byte-identical to an
+    /// uninstrumented build (pinned by `tests/alloc_probes.rs`).
+    pub obs: Obs,
 }
 
 impl Default for ExecOptions {
@@ -88,6 +95,7 @@ impl Default for ExecOptions {
             dispatch: DispatchOptions::default(),
             prune: false,
             first_k: None,
+            obs: Obs::disabled(),
         }
     }
 }
@@ -211,7 +219,7 @@ pub fn execute_plan_cached(
     let mut positions_executed = 0usize;
     let mut dispatch_report = DispatchReport::default();
     let pruner = if options.prune {
-        RelevancePruner::for_plan(plan)
+        RelevancePruner::for_plan(plan, options.obs)
     } else {
         None
     };
@@ -241,6 +249,7 @@ pub fn execute_plan_cached(
             &mut dispatch_report,
             options.dispatch,
             options.max_accesses,
+            options.obs,
         );
         'positions: for position in 1..=plan.k {
             // Fast-failing check over the fully populated query-atom caches.

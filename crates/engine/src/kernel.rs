@@ -37,14 +37,37 @@
 //! why it lives in the kernel and not the planner.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use toorjah_cache::SharedAccessCache;
 use toorjah_catalog::{AccessKey, RelationId, Tuple, Value};
 use toorjah_core::{PlanRelevance, QueryPlan};
 use toorjah_datalog::FactStore;
+use toorjah_obs::{Counter, EventKind, Histogram, Obs};
 
 use crate::dispatch::dispatch_keys;
 use crate::{AccessLog, DispatchOptions, DispatchReport, EngineError, SourceProvider};
+
+/// Kernel-level instruments, resolved once per execution so the round loop
+/// never takes the registry lock.
+struct KernelMetrics {
+    rounds: Arc<Counter>,
+    requested: Arc<Counter>,
+    pruned: Arc<Counter>,
+    round_us: Arc<Histogram>,
+}
+
+impl KernelMetrics {
+    fn resolve(obs: Obs) -> Option<Self> {
+        let registry = obs.registry()?;
+        Some(KernelMetrics {
+            rounds: registry.counter("kernel.rounds"),
+            requested: registry.counter("kernel.accesses_requested"),
+            pruned: registry.counter("kernel.accesses_pruned"),
+            round_us: registry.histogram("kernel.round_us"),
+        })
+    }
+}
 
 /// Execution-scoped kernel state: the shared cache, the provider, the
 /// per-query access log and the dispatch accounting every evaluator
@@ -56,6 +79,11 @@ pub(crate) struct Kernel<'a> {
     report: &'a mut DispatchReport,
     dispatch: DispatchOptions,
     max_accesses: usize,
+    obs: Obs,
+    metrics: Option<KernelMetrics>,
+    /// Rounds this kernel has dispatched (empty frontiers excluded), the
+    /// `round` stamp on every emitted trace event.
+    round_no: u32,
 }
 
 impl<'a> Kernel<'a> {
@@ -66,6 +94,7 @@ impl<'a> Kernel<'a> {
         report: &'a mut DispatchReport,
         dispatch: DispatchOptions,
         max_accesses: usize,
+        obs: Obs,
     ) -> Self {
         Kernel {
             cache,
@@ -74,6 +103,9 @@ impl<'a> Kernel<'a> {
             report,
             dispatch,
             max_accesses,
+            obs,
+            metrics: KernelMetrics::resolve(obs),
+            round_no: 0,
         }
     }
 
@@ -108,6 +140,31 @@ impl<'a> Kernel<'a> {
         self.report.pruned_per_frontier.push(pruned);
         self.report.accesses_pruned += pruned;
 
+        self.round_no += 1;
+        let round = self.round_no;
+        let started = self.obs.is_enabled().then(Instant::now);
+        if let Some(m) = &self.metrics {
+            m.rounds.inc();
+            m.requested.add(frontier.len() as u64);
+            m.pruned.add(pruned as u64);
+        }
+        if self.obs.is_tracing() {
+            self.obs.trace(round, || EventKind::RoundStart {
+                requested: frontier.len(),
+            });
+            // Every requested access gets an `access_requested` event —
+            // pruned entries and duplicates included — so the trace can be
+            // reconciled request-by-request against the dispatch report.
+            for (key, &keep) in frontier.iter().zip(&kept_mask) {
+                self.obs
+                    .trace(round, || EventKind::AccessRequested { key: key.clone() });
+                if !keep {
+                    self.obs
+                        .trace(round, || EventKind::AccessPruned { key: key.clone() });
+                }
+            }
+        }
+
         let dispatched = dispatch_keys(
             self.cache,
             self.provider,
@@ -116,7 +173,17 @@ impl<'a> Kernel<'a> {
             self.dispatch,
             self.max_accesses,
             self.report,
-        )?;
+            self.obs,
+            round,
+        );
+        if let Some(started) = started {
+            let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+            if let Some(m) = &self.metrics {
+                m.round_us.record(micros);
+            }
+            self.obs.trace(round, || EventKind::RoundEnd { micros });
+        }
+        let dispatched = dispatched?;
 
         if pruned == 0 {
             return Ok(dispatched);
@@ -149,6 +216,8 @@ impl<'a> Kernel<'a> {
         loop {
             rounds += 1;
             if !step(self, rounds)? {
+                self.obs
+                    .trace(self.round_no, || EventKind::FixpointReached { rounds });
                 return Ok(rounds);
             }
         }
@@ -217,14 +286,20 @@ pub(crate) fn fresh_bindings(relation: RelationId, pools: &[PoolView], out: &mut
 /// test against the current fact store.
 pub(crate) struct RelevancePruner<'p> {
     relevance: &'p PlanRelevance,
+    /// `(probes, pruned)` counters, resolved once at construction; `None`
+    /// when metrics are off so `keep` stays branch-cheap.
+    counters: Option<(Arc<Counter>, Arc<Counter>)>,
 }
 
 impl<'p> RelevancePruner<'p> {
     /// The pruner for a plan, or `None` when the metadata shows nothing is
     /// ever prunable (the filter stage then costs strictly nothing).
-    pub(crate) fn for_plan(plan: &'p QueryPlan) -> Option<Self> {
-        plan.relevance.any_prunable().then_some(RelevancePruner {
+    pub(crate) fn for_plan(plan: &'p QueryPlan, obs: Obs) -> Option<Self> {
+        plan.relevance.any_prunable().then(|| RelevancePruner {
             relevance: &plan.relevance,
+            counters: obs
+                .registry()
+                .map(|r| (r.counter("relevance.probes"), r.counter("relevance.pruned"))),
         })
     }
 
@@ -239,11 +314,17 @@ impl<'p> RelevancePruner<'p> {
     /// extensions are final when this runs — a failed probe proves the
     /// access's outputs cannot reach the query head.
     pub(crate) fn keep(&self, cache_idx: usize, binding: &Tuple, facts: &FactStore) -> bool {
+        if let Some((probes, _)) = &self.counters {
+            probes.inc();
+        }
         let semijoins = &self.relevance.cache(cache_idx).semijoins;
         debug_assert_eq!(semijoins.len(), binding.values().len());
         for (value, partners) in binding.values().iter().zip(semijoins) {
             for partner in partners {
                 if !facts.has_matching(partner.pred, partner.column, value) {
+                    if let Some((_, pruned)) = &self.counters {
+                        pruned.inc();
+                    }
                     return false;
                 }
             }
@@ -286,6 +367,7 @@ mod tests {
             &mut report,
             DispatchOptions::sequential(),
             usize::MAX,
+            Obs::disabled(),
         );
         // Drop everything but the binding "a".
         let keep = |key: &AccessKey| key.1 == tuple!["a"];
@@ -313,6 +395,7 @@ mod tests {
             &mut report,
             DispatchOptions::sequential(),
             usize::MAX,
+            Obs::disabled(),
         );
         let rounds = kernel.fixpoint(|_, round| Ok(round < 3)).unwrap();
         assert_eq!(rounds, 3);

@@ -81,5 +81,10 @@ pub use union::{execute_union, execute_union_cached, UnionReport};
 // share caches without a separate dependency.
 pub use toorjah_cache::{
     BatchLookup, CacheConfig, CacheStats, EvictionPolicy, LoadResult, Lookup, LookupOutcome,
-    SharedAccessCache, SnapshotError, SnapshotReport,
+    ShardCounters, SharedAccessCache, SnapshotError, SnapshotReport,
 };
+
+// The observability handle threaded through `ExecOptions` / `NaiveOptions`,
+// re-exported with its sink types so engine users can enable tracing
+// without a separate dependency.
+pub use toorjah_obs::{EventKind, Obs, RingBufferSink, TraceEvent, TraceSink, WriterSink};

@@ -32,6 +32,7 @@ use std::collections::{HashMap, HashSet};
 
 use toorjah_cache::SharedAccessCache;
 use toorjah_catalog::{AccessKey, DomainId, Schema, Tuple, Value};
+use toorjah_obs::Obs;
 use toorjah_query::ConjunctiveQuery;
 
 use crate::kernel::{fresh_bindings, Kernel, PoolView};
@@ -50,6 +51,9 @@ pub struct NaiveOptions {
     /// How each round's access frontier is dispatched (worker threads,
     /// batched round trips). The default is the sequential path.
     pub dispatch: DispatchOptions,
+    /// Observability handle threaded into the kernel (disabled by
+    /// default), as in [`crate::ExecOptions::obs`].
+    pub obs: Obs,
 }
 
 impl Default for NaiveOptions {
@@ -57,6 +61,7 @@ impl Default for NaiveOptions {
         NaiveOptions {
             max_accesses: DEFAULT_ACCESS_BUDGET,
             dispatch: DispatchOptions::default(),
+            obs: Obs::disabled(),
         }
     }
 }
@@ -160,6 +165,7 @@ pub fn naive_evaluate(
             &mut dispatch_report,
             options.dispatch,
             options.max_accesses,
+            options.obs,
         );
         rounds = kernel.fixpoint(|kernel, round| {
             let mut new_access = false;

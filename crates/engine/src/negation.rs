@@ -273,6 +273,7 @@ pub fn negation_checks(
         dispatch,
         options.dispatch,
         options.max_accesses,
+        options.obs,
     );
     for (atom, &rel) in plan.negated.iter().zip(&negated_rels) {
         if survivors.is_empty() {

@@ -149,6 +149,36 @@ fn fresh_binding_snapshot_allocates_nothing_at_paper_arities() {
 }
 
 #[test]
+fn disabled_obs_probes_allocate_nothing() {
+    use toorjah_catalog::RelationId;
+    use toorjah_obs::{EventKind, Obs};
+    let (_, _, values) = seeded_store();
+    // A disabled handle is the default on every execution: its trace probe
+    // must cost one branch — the event-constructing closure (which clones
+    // the access key) must never run, and no metric lookup may intern or
+    // allocate. This is the "zero cost when off" half of the tracing
+    // contract; the cache and dispatcher hot paths run these probes per
+    // access.
+    let obs = Obs::disabled();
+    let (allocs, emitted) = allocations_during(|| {
+        let mut emitted = 0usize;
+        for _ in 0..100 {
+            for v in &values {
+                obs.trace(1, || EventKind::AccessRequested {
+                    key: (RelationId(0), Tuple::from_slice(&[*v])),
+                });
+                if obs.counter("kernel.rounds").is_some() || obs.is_tracing() {
+                    emitted += 1;
+                }
+            }
+        }
+        emitted
+    });
+    assert_eq!(emitted, 0, "disabled handle observes nothing");
+    assert_eq!(allocs, 0, "disabled observability probes must not allocate");
+}
+
+#[test]
 fn the_counter_itself_counts() {
     // Guard the guard: a deliberately allocating closure must be seen by
     // the counting allocator, or the zero-assertions above prove nothing.

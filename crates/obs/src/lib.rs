@@ -1,0 +1,239 @@
+//! Observability for toorjah: structured execution tracing and a lock-cheap
+//! metrics registry.
+//!
+//! The engine's execution layers — the evaluation kernel's round loop, the
+//! frontier dispatcher, the relevance pruner and the shared access cache —
+//! are instrumented against the [`Obs`] handle defined here. The handle has
+//! three states:
+//!
+//! * **disabled** ([`Obs::disabled`]) — a `None`; every emission site is one
+//!   branch on a `Copy` option and touches nothing else. The hot path stays
+//!   allocation-free and byte-identical (pinned by the engine's
+//!   `alloc_probes` and equivalence suites).
+//! * **metrics only** ([`Obs::enabled`]) — a [`Registry`] of counters,
+//!   gauges and fixed-bucket latency histograms keyed by interned
+//!   [`Symbol`]s; trace events are still skipped entirely.
+//! * **tracing** ([`Obs::with_sink`]) — additionally every typed
+//!   [`TraceEvent`] is stamped with a monotonic sequence id and handed to a
+//!   [`TraceSink`] ([`RingBufferSink`] for in-process inspection,
+//!   [`WriterSink`] for JSON-lines export).
+//!
+//! `Obs` is `Copy` so it can ride inside the engine's `Copy` option structs
+//! and be shared across dispatcher worker threads without reference
+//! counting: an enabled handle points at a leaked, process-lifetime
+//! `ObsInner` — the same intentional-leak discipline the global
+//! [`Interner`](toorjah_catalog::Interner) uses for symbol payloads. A
+//! session enables observability once and keeps the handle for its
+//! lifetime; handles are never created per query.
+//!
+//! [`Symbol`]: toorjah_catalog::Symbol
+
+#![warn(missing_docs)]
+
+mod event;
+mod metrics;
+mod sink;
+
+pub use event::{EventKind, TraceEvent};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
+pub use sink::{RingBufferSink, TraceSink, WriterSink};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The shared state behind an enabled [`Obs`] handle: the sequence stamp,
+/// the metrics registry and (when tracing) the sink.
+struct ObsInner {
+    seq: AtomicU64,
+    metrics: Registry,
+    sink: Option<Arc<dyn TraceSink>>,
+}
+
+/// A copyable observability handle threaded through the execution layers.
+///
+/// See the [crate docs](crate) for the three states. All methods are safe to
+/// call in any state; in the disabled state every one of them is a single
+/// branch.
+///
+/// ```
+/// use toorjah_obs::{EventKind, Obs, RingBufferSink};
+/// use std::sync::Arc;
+///
+/// let sink = Arc::new(RingBufferSink::new(16));
+/// let obs = Obs::with_sink(Arc::clone(&sink) as Arc<_>);
+/// obs.trace(1, || EventKind::RoundStart { requested: 3 });
+/// obs.counter("kernel.rounds").unwrap().inc();
+///
+/// assert_eq!(sink.len(), 1);
+/// let snapshot = obs.snapshot().unwrap();
+/// assert_eq!(snapshot.counters[0].1, 1);
+/// ```
+#[derive(Clone, Copy, Default)]
+pub struct Obs {
+    inner: Option<&'static ObsInner>,
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Obs")
+            .field("enabled", &self.is_enabled())
+            .field("tracing", &self.is_tracing())
+            .finish()
+    }
+}
+
+impl Obs {
+    /// The inert handle: no metrics, no tracing, no allocation — every
+    /// emission site short-circuits on a `None`. This is the default.
+    pub fn disabled() -> Self {
+        Obs { inner: None }
+    }
+
+    /// A metrics-only handle: counters/gauges/histograms are live, trace
+    /// events are skipped without being built.
+    ///
+    /// The backing state is leaked to give the `Copy` handle a
+    /// `'static` lifetime; callers create one handle per session, not per
+    /// query.
+    pub fn enabled() -> Self {
+        Obs::build(None)
+    }
+
+    /// A tracing handle: metrics plus every [`TraceEvent`] delivered to
+    /// `sink`, stamped with a monotonic sequence id.
+    pub fn with_sink(sink: Arc<dyn TraceSink>) -> Self {
+        Obs::build(Some(sink))
+    }
+
+    fn build(sink: Option<Arc<dyn TraceSink>>) -> Self {
+        let inner: &'static ObsInner = Box::leak(Box::new(ObsInner {
+            seq: AtomicU64::new(0),
+            metrics: Registry::new(),
+            sink,
+        }));
+        Obs { inner: Some(inner) }
+    }
+
+    /// Whether metrics (and possibly tracing) are live.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Whether trace events reach a sink.
+    pub fn is_tracing(&self) -> bool {
+        matches!(self.inner, Some(inner) if inner.sink.is_some())
+    }
+
+    /// Emits one trace event. `kind` is only invoked when a sink is
+    /// attached, so emission sites never pay for building the event (key
+    /// clones included) in the disabled and metrics-only states.
+    #[inline]
+    pub fn trace(&self, round: u32, kind: impl FnOnce() -> EventKind) {
+        if let Some(inner) = self.inner {
+            if let Some(sink) = &inner.sink {
+                let seq = inner.seq.fetch_add(1, Ordering::Relaxed) + 1;
+                sink.record(&TraceEvent {
+                    seq,
+                    round,
+                    kind: kind(),
+                });
+            }
+        }
+    }
+
+    /// Flushes the attached sink, if any.
+    pub fn flush(&self) {
+        if let Some(inner) = self.inner {
+            if let Some(sink) = &inner.sink {
+                sink.flush();
+            }
+        }
+    }
+
+    /// The live metrics registry, when enabled.
+    pub fn registry(&self) -> Option<&'static Registry> {
+        self.inner.map(|inner| &inner.metrics)
+    }
+
+    /// Resolves (creating on first use) the counter named `name`; `None`
+    /// when disabled. Emission sites resolve once and bump the returned
+    /// [`Counter`] lock-free.
+    pub fn counter(&self, name: &str) -> Option<Arc<Counter>> {
+        self.registry().map(|r| r.counter(name))
+    }
+
+    /// Resolves (creating on first use) the gauge named `name`; `None` when
+    /// disabled.
+    pub fn gauge(&self, name: &str) -> Option<Arc<Gauge>> {
+        self.registry().map(|r| r.gauge(name))
+    }
+
+    /// Resolves (creating on first use) the histogram named `name`; `None`
+    /// when disabled.
+    pub fn histogram(&self, name: &str) -> Option<Arc<Histogram>> {
+        self.registry().map(|r| r.histogram(name))
+    }
+
+    /// A point-in-time snapshot of every registered metric; `None` when
+    /// disabled.
+    pub fn snapshot(&self) -> Option<MetricsSnapshot> {
+        self.registry().map(Registry::snapshot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use toorjah_catalog::{tuple, RelationId};
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let obs = Obs::disabled();
+        assert!(!obs.is_enabled());
+        assert!(!obs.is_tracing());
+        assert!(obs.counter("x").is_none());
+        assert!(obs.snapshot().is_none());
+        obs.trace(1, || panic!("the event closure must never run"));
+        obs.flush();
+    }
+
+    #[test]
+    fn metrics_only_skips_event_construction() {
+        let obs = Obs::enabled();
+        assert!(obs.is_enabled());
+        assert!(!obs.is_tracing());
+        obs.trace(1, || panic!("no sink — the closure must not run"));
+        obs.counter("a").unwrap().add(3);
+        obs.gauge("g").unwrap().set(7);
+        obs.histogram("h").unwrap().record(100);
+        let snap = obs.snapshot().unwrap();
+        assert_eq!(snap.counters.len(), 1);
+        assert_eq!(snap.counters[0].1, 3);
+        assert_eq!(snap.gauges[0].1, 7);
+        assert_eq!(snap.histograms[0].1.count, 1);
+    }
+
+    #[test]
+    fn tracing_stamps_monotonic_sequence_ids() {
+        let sink = Arc::new(RingBufferSink::new(8));
+        let obs = Obs::with_sink(Arc::clone(&sink) as Arc<dyn TraceSink>);
+        assert!(obs.is_tracing());
+        let key = (RelationId(0), tuple!["a"]);
+        obs.trace(1, || EventKind::RoundStart { requested: 1 });
+        obs.trace(1, || EventKind::AccessRequested { key: key.clone() });
+        obs.trace(1, || EventKind::RoundEnd { micros: 5 });
+        let events = sink.events();
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![1, 2, 3]);
+        assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+
+    #[test]
+    fn copies_share_state() {
+        let obs = Obs::enabled();
+        let copy = obs;
+        copy.counter("shared").unwrap().inc();
+        obs.counter("shared").unwrap().inc();
+        assert_eq!(obs.snapshot().unwrap().counters[0].1, 2);
+    }
+}

@@ -1,0 +1,382 @@
+//! The lock-cheap metrics registry: counters, gauges and fixed-bucket
+//! latency histograms keyed by interned [`Symbol`]s.
+//!
+//! Registration (name → instrument) takes a short mutex; emission sites
+//! resolve their instruments once (an `Arc` clone) and then update them
+//! lock-free through relaxed atomics — the dispatcher's worker threads bump
+//! shared histograms without ever contending on the registry.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use toorjah_catalog::Symbol;
+
+use crate::event::push_json_string;
+
+/// Number of histogram buckets: powers of two covering 1 µs … 16 ms, with
+/// the last bucket absorbing everything slower.
+pub const HISTOGRAM_BUCKETS: usize = 16;
+
+/// A monotonically increasing counter.
+#[derive(Default, Debug)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge with a max-tracking update for contention-free
+/// "worst observed" measurements.
+#[derive(Default, Debug)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, value: u64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Raises the gauge to `value` if it is larger than the current value.
+    #[inline]
+    pub fn record_max(&self, value: u64) {
+        self.0.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket latency histogram over microseconds.
+///
+/// Bucket `0` holds 0 µs observations; bucket `i ≥ 1` holds
+/// `[2^(i-1), 2^i)` µs; the last bucket is unbounded above. Recording is
+/// one relaxed `fetch_add` per atomic touched.
+#[derive(Default, Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    total_us: AtomicU64,
+}
+
+/// The bucket index for a `micros` observation.
+fn bucket_index(micros: u64) -> usize {
+    if micros == 0 {
+        0
+    } else {
+        (64 - micros.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+impl Histogram {
+    /// Records one observation of `micros` microseconds.
+    #[inline]
+    pub fn record(&self, micros: u64) {
+        self.buckets[bucket_index(micros)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_us.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations, in microseconds.
+    pub fn total_us(&self) -> u64 {
+        self.total_us.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the bucket counts and totals.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for (out, bucket) in buckets.iter_mut().zip(&self.buckets) {
+            *out = bucket.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            count: self.count(),
+            total_us: self.total_us(),
+            buckets,
+        }
+    }
+}
+
+/// A point-in-time copy of one histogram.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observations, in microseconds.
+    pub total_us: u64,
+    /// Per-bucket observation counts; see [`Histogram`] for the bucket
+    /// boundaries.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl HistogramSnapshot {
+    /// Mean observation in microseconds; `None` before the first.
+    pub fn mean_us(&self) -> Option<u64> {
+        (self.count > 0).then(|| self.total_us / self.count)
+    }
+}
+
+/// The instrument registry: named counters, gauges and histograms.
+///
+/// Names are interned to [`Symbol`]s; the maps are ordered by the symbols'
+/// content-based `Ord`, so iteration (and therefore every serialized
+/// snapshot) is alphabetical and stable.
+#[derive(Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<Symbol, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<Symbol, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<Symbol, Arc<Histogram>>>,
+}
+
+fn resolve<T: Default>(map: &Mutex<BTreeMap<Symbol, Arc<T>>>, name: &str) -> Arc<T> {
+    let symbol = Symbol::intern(name);
+    let mut map = map.lock().unwrap_or_else(PoisonError::into_inner);
+    Arc::clone(map.entry(symbol).or_default())
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        resolve(&self.counters, name)
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        resolve(&self.gauges, name)
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        resolve(&self.histograms, name)
+    }
+
+    /// A point-in-time snapshot of every instrument, alphabetically by
+    /// name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(name, c)| (*name, c.get()))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(name, g)| (*name, g.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(name, h)| (*name, h.snapshot()))
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// A point-in-time snapshot of a [`Registry`], alphabetically ordered by
+/// instrument name for stable serialization.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` per counter.
+    pub counters: Vec<(Symbol, u64)>,
+    /// `(name, value)` per gauge.
+    pub gauges: Vec<(Symbol, u64)>,
+    /// `(name, snapshot)` per histogram.
+    pub histograms: Vec<(Symbol, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// The counter named `name`, when registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n.as_str() == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// The histogram named `name`, when registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n.as_str() == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Appends the snapshot as one JSON object with the stable key order
+    /// `counters`, `gauges`, `histograms`; each section's keys are
+    /// alphabetical. Histograms serialize as
+    /// `{"count":N,"total_us":N,"buckets":[...]}`.
+    pub fn write_json(&self, out: &mut String) {
+        use std::fmt::Write;
+        out.push_str("{\"counters\":{");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_string(out, name.as_str());
+            write!(out, ":{value}").expect("writing to a String cannot fail");
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, value)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_string(out, name.as_str());
+            write!(out, ":{value}").expect("writing to a String cannot fail");
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_string(out, name.as_str());
+            write!(
+                out,
+                ":{{\"count\":{},\"total_us\":{},\"buckets\":[",
+                h.count, h.total_us
+            )
+            .expect("writing to a String cannot fail");
+            for (j, bucket) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                write!(out, "{bucket}").expect("writing to a String cannot fail");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1 << 13), 14);
+        assert_eq!(bucket_index(1 << 14), 15, "16 ms and up share a bucket");
+        assert_eq!(bucket_index(u64::MAX), 15);
+    }
+
+    #[test]
+    fn histogram_accumulates() {
+        let h = Histogram::default();
+        for us in [0, 1, 3, 100, 1_000_000] {
+            h.record(us);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 5);
+        assert_eq!(snap.total_us, 1_000_104);
+        assert_eq!(snap.buckets.iter().sum::<u64>(), 5);
+        assert_eq!(snap.buckets[0], 1);
+        assert_eq!(snap.buckets[15], 1);
+        assert_eq!(snap.mean_us(), Some(200_020));
+        let empty = HistogramSnapshot {
+            count: 0,
+            total_us: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        };
+        assert_eq!(empty.mean_us(), None);
+    }
+
+    #[test]
+    fn registry_resolves_one_instrument_per_name() {
+        let registry = Registry::new();
+        let a = registry.counter("kernel.rounds");
+        let b = registry.counter("kernel.rounds");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3, "both handles hit one counter");
+        registry.gauge("g").record_max(5);
+        registry.gauge("g").record_max(3);
+        assert_eq!(registry.gauge("g").get(), 5, "max update keeps the peak");
+    }
+
+    #[test]
+    fn snapshot_is_alphabetical_and_serializes_stably() {
+        let registry = Registry::new();
+        registry.counter("zebra").inc();
+        registry.counter("alpha").add(2);
+        registry.gauge("wait").set(9);
+        registry.histogram("lat").record(7);
+        let snap = registry.snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["alpha", "zebra"], "content-ordered symbols");
+        assert_eq!(snap.counter("alpha"), Some(2));
+        assert_eq!(snap.histogram("lat").unwrap().count, 1);
+
+        let mut json = String::new();
+        snap.write_json(&mut json);
+        assert!(json.starts_with("{\"counters\":{"), "{json}");
+        let alpha = json.find("\"alpha\"").unwrap();
+        let zebra = json.find("\"zebra\"").unwrap();
+        assert!(alpha < zebra, "alphabetical key order: {json}");
+        assert!(json.contains("\"gauges\":{\"wait\":9}"), "{json}");
+        assert!(json.contains("\"lat\":{\"count\":1,\"total_us\":7,\"buckets\":["));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn concurrent_bumps_are_lock_free_per_update() {
+        let registry = Registry::new();
+        let counter = registry.counter("c");
+        let histogram = registry.histogram("h");
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let counter = Arc::clone(&counter);
+                let histogram = Arc::clone(&histogram);
+                scope.spawn(move || {
+                    for i in 0..1000 {
+                        counter.inc();
+                        histogram.record(i);
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.get(), 8000);
+        assert_eq!(histogram.count(), 8000);
+        assert_eq!(histogram.snapshot().buckets.iter().sum::<u64>(), 8000);
+    }
+}

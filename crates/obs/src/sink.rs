@@ -1,0 +1,194 @@
+//! Trace sinks: where emitted [`TraceEvent`]s go.
+
+use std::collections::VecDeque;
+use std::io::Write;
+use std::sync::Mutex;
+
+use crate::TraceEvent;
+
+/// Receives every emitted trace event.
+///
+/// Contract: `record` is called from the emitting thread (the engine emits
+/// from the coordinating thread only, in deterministic order), must not
+/// panic, and should return quickly — slow exporters should buffer and
+/// drain in [`TraceSink::flush`]. Implementations are `Send + Sync` so one
+/// sink can serve a whole session.
+pub trait TraceSink: Send + Sync {
+    /// Delivers one event.
+    fn record(&self, event: &TraceEvent);
+
+    /// Drains any buffered output; called at the end of an execution and
+    /// before the process exits. The default does nothing.
+    fn flush(&self) {}
+}
+
+/// A bounded in-memory sink retaining the `capacity` most recent events —
+/// the in-process inspection surface tests and embedders use.
+pub struct RingBufferSink {
+    capacity: usize,
+    events: Mutex<VecDeque<TraceEvent>>,
+}
+
+impl RingBufferSink {
+    /// A ring retaining at most `capacity` events (oldest dropped first).
+    pub fn new(capacity: usize) -> Self {
+        RingBufferSink {
+            capacity: capacity.max(1),
+            events: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
+    }
+
+    /// Whether no event is retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl TraceSink for RingBufferSink {
+    fn record(&self, event: &TraceEvent) {
+        let mut events = self
+            .events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if events.len() == self.capacity {
+            events.pop_front();
+        }
+        events.push_back(event.clone());
+    }
+}
+
+/// A JSON-lines exporter: each event is rendered with
+/// [`TraceEvent::write_json`] and written as one line to the wrapped
+/// writer. Write errors are counted, not propagated — tracing must never
+/// fail an execution.
+pub struct WriterSink<W: Write + Send> {
+    writer: Mutex<W>,
+    errors: Mutex<usize>,
+}
+
+impl<W: Write + Send> WriterSink<W> {
+    /// Wraps `writer` (a `File`, `Stderr`, `Vec<u8>`, ...).
+    pub fn new(writer: W) -> Self {
+        WriterSink {
+            writer: Mutex::new(writer),
+            errors: Mutex::new(0),
+        }
+    }
+
+    /// Number of write errors swallowed so far.
+    pub fn errors(&self) -> usize {
+        *self
+            .errors
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Consumes the sink and returns the wrapped writer (flushing first).
+    pub fn into_inner(self) -> W {
+        let mut writer = self
+            .writer
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let _ = writer.flush();
+        writer
+    }
+}
+
+impl<W: Write + Send> TraceSink for WriterSink<W> {
+    fn record(&self, event: &TraceEvent) {
+        let mut line = String::with_capacity(128);
+        event.write_json(&mut line);
+        line.push('\n');
+        let mut writer = self
+            .writer
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if writer.write_all(line.as_bytes()).is_err() {
+            *self
+                .errors
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner) += 1;
+        }
+    }
+
+    fn flush(&self) {
+        let _ = self
+            .writer
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EventKind;
+
+    fn event(seq: u64) -> TraceEvent {
+        TraceEvent {
+            seq,
+            round: 1,
+            kind: EventKind::RoundStart { requested: 1 },
+        }
+    }
+
+    #[test]
+    fn ring_buffer_drops_oldest_beyond_capacity() {
+        let sink = RingBufferSink::new(3);
+        assert!(sink.is_empty());
+        for seq in 1..=5 {
+            sink.record(&event(seq));
+        }
+        let seqs: Vec<u64> = sink.events().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![3, 4, 5]);
+        assert_eq!(sink.len(), 3);
+    }
+
+    #[test]
+    fn writer_sink_emits_one_json_line_per_event() {
+        let sink = WriterSink::new(Vec::new());
+        sink.record(&event(1));
+        sink.record(&event(2));
+        sink.flush();
+        assert_eq!(sink.errors(), 0);
+        let bytes = sink.into_inner();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert!(line.contains("\"event\":\"round_start\""));
+        }
+    }
+
+    #[test]
+    fn sinks_are_object_safe_and_shareable() {
+        use std::sync::Arc;
+        let sink: Arc<dyn TraceSink> = Arc::new(RingBufferSink::new(4));
+        let clone = Arc::clone(&sink);
+        std::thread::scope(|scope| {
+            scope.spawn(move || clone.record(&event(1)));
+        });
+        sink.record(&event(2));
+        sink.flush();
+    }
+}

@@ -20,16 +20,17 @@ use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 use std::time::Instant;
 
-use toorjah_cache::{CacheStats, SharedAccessCache};
+use toorjah_cache::{CacheConfig, CacheStats, SharedAccessCache};
 use toorjah_catalog::Schema;
 use toorjah_core::{plan_query, CoreError, Planned, Planner};
 use toorjah_engine::{
     plan_negated, DispatchOptions, EngineError, ExecOptions, NegationError, SourceProvider,
 };
+use toorjah_obs::{Obs, TraceSink};
 use toorjah_query::{ConjunctiveQuery, QueryError, Statement};
 
 use crate::prepared::PreparedKind;
-use crate::{DistillationOptions, ExecMode, Prepared, Response};
+use crate::{DistillationOptions, ExecMode, MetricsReport, Prepared, Response};
 
 /// Configuration of a [`Toorjah`] instance.
 #[derive(Clone, Debug, Default)]
@@ -126,6 +127,11 @@ pub struct ToorjahBuilder {
     provider: Arc<dyn SourceProvider>,
     config: ToorjahConfig,
     session_cache: Option<SharedAccessCache>,
+    /// Cache configuration for a session cache built at [`ToorjahBuilder::build`]
+    /// time, wired to the instance's observability handle.
+    session_cache_config: Option<CacheConfig>,
+    /// `None` means "default": a metrics-only [`Obs::enabled`] handle.
+    obs: Option<Obs>,
 }
 
 impl ToorjahBuilder {
@@ -183,18 +189,60 @@ impl ToorjahBuilder {
     }
 
     /// Installs a session cache shared by every statement this instance
-    /// (and any other holder of the handle) executes.
+    /// (and any other holder of the handle) executes. The cache keeps its
+    /// own per-shard counters regardless; to additionally have it *trace*
+    /// evictions and coalesces, build it from a config with
+    /// [`ToorjahBuilder::cache_config`] instead (or construct it yourself
+    /// with [`SharedAccessCache::with_obs`]).
     pub fn cache(mut self, cache: SharedAccessCache) -> Self {
         self.session_cache = Some(cache);
         self
     }
 
+    /// Builds the session cache from `config` at [`ToorjahBuilder::build`]
+    /// time, wired to the instance's observability handle — evictions and
+    /// single-flight coalesces then emit trace events when a sink is
+    /// installed. Overrides [`ToorjahBuilder::cache`].
+    pub fn cache_config(mut self, config: CacheConfig) -> Self {
+        self.session_cache_config = Some(config);
+        self
+    }
+
+    /// Replaces the observability handle. The default is a metrics-only
+    /// [`Obs::enabled`] handle — counters, gauges and latency histograms
+    /// are collected (lock-free atomic bumps) and surfaced through
+    /// [`Toorjah::metrics`] / [`Response::metrics`]. Pass
+    /// [`Obs::disabled`] to opt out entirely (every probe then costs one
+    /// branch and allocates nothing), or a tracing handle from
+    /// [`Obs::with_sink`] — which [`ToorjahBuilder::trace_sink`]
+    /// abbreviates — for the full structured event stream.
+    pub fn observability(mut self, obs: Obs) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
+    /// Enables structured execution tracing into `sink`: every kernel
+    /// round, access, cache eviction and coalesce is exported as a typed
+    /// [`toorjah_obs::TraceEvent`] (metrics stay on too). Shorthand for
+    /// `observability(Obs::with_sink(sink))`.
+    pub fn trace_sink(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.obs = Some(Obs::with_sink(sink));
+        self
+    }
+
     /// Finishes the build.
     pub fn build(self) -> Toorjah {
+        let obs = self.obs.unwrap_or_else(Obs::enabled);
+        let mut config = self.config;
+        config.exec.obs = obs;
+        let session_cache = self
+            .session_cache_config
+            .map(|c| SharedAccessCache::with_obs(c, obs))
+            .or(self.session_cache);
         Toorjah {
             provider: self.provider,
-            config: self.config,
-            session_cache: self.session_cache,
+            config,
+            session_cache,
         }
     }
 }
@@ -245,6 +293,8 @@ impl Toorjah {
             provider,
             config: ToorjahConfig::default(),
             session_cache: None,
+            session_cache_config: None,
+            obs: None,
         }
     }
 
@@ -282,6 +332,36 @@ impl Toorjah {
     /// Statistics of the session cache, when one is installed.
     pub fn cache_stats(&self) -> Option<CacheStats> {
         self.session_cache.as_ref().map(SharedAccessCache::stats)
+    }
+
+    /// The observability handle this instance threads through every
+    /// execution. [`Toorjah::new`] leaves it disabled; the builder enables
+    /// metrics by default (see [`ToorjahBuilder::observability`]).
+    pub fn obs(&self) -> Obs {
+        self.config.exec.obs
+    }
+
+    /// A point-in-time [`MetricsReport`]: the registry's instruments plus
+    /// interner occupancy and the session cache's totals + per-shard
+    /// counters (defaults when no session cache is installed). `None`
+    /// under a disabled observability handle. For per-execution metrics —
+    /// including executions without a session cache — read
+    /// [`Response::metrics`] instead.
+    pub fn metrics(&self) -> Option<MetricsReport> {
+        self.config
+            .exec
+            .obs
+            .snapshot()
+            .map(|snapshot| MetricsReport {
+                snapshot,
+                interner: self.interner().stats(),
+                cache: self.cache_stats().unwrap_or_default(),
+                shards: self
+                    .session_cache
+                    .as_ref()
+                    .map(SharedAccessCache::shard_counters)
+                    .unwrap_or_default(),
+            })
     }
 
     /// The string interner this session's values resolve against.
@@ -352,6 +432,7 @@ impl Toorjah {
             statement: statement.clone(),
             kind,
             executions: AtomicU64::new(0),
+            cumulative_execute_ns: AtomicU64::new(0),
         })
     }
 
@@ -450,6 +531,22 @@ impl Toorjah {
         if let Some(stats) = self.cache_stats() {
             out.push_str(&format!("session cache: {stats}\n"));
         }
+        let interner = self.interner().stats();
+        out.push_str(&format!(
+            "interner: {} symbol(s), {} payload byte(s)\n",
+            interner.symbols, interner.bytes
+        ));
+        let obs = self.config.exec.obs;
+        out.push_str(&format!(
+            "observability: {}\n",
+            if obs.is_tracing() {
+                "metrics + tracing"
+            } else if obs.is_enabled() {
+                "metrics (tracing off)"
+            } else {
+                "disabled"
+            }
+        ));
         Ok(out)
     }
 

@@ -21,11 +21,18 @@
 //!     "dispatch": {"frontiers": 2, "largest_frontier": 1,
 //!                  "batches": 2, "total_requested": 2,
 //!                  "accesses_pruned": 0, "pruned_per_frontier": [0, 0]},
-//!     "timings_us": {"parse": 10, "plan": 120, "execute": 80, "total": 210},
+//!     "timings_us": {"parse": 10, "plan": 120, "execute": 80,
+//!                    "cumulative_execute": 80, "total": 210},
 //!     "execution": 1
-//!   }
+//!   },
+//!   "metrics": {"interner": {...}, "counters": {...}, "gauges": {...},
+//!               "histograms": {...}, "cache": {..., "shards": [...]}}
 //! }
 //! ```
+//!
+//! `metrics` is `null` when the instance's observability handle is
+//! disabled; the builder's default enables it (see
+//! [`crate::MetricsReport`] for the block's exact shape).
 
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -117,12 +124,19 @@ impl Response {
         push_duration_json(&mut out, p.timings.plan);
         let _ = write!(
             out,
-            ",\"execute\":{},\"total\":{}}}",
+            ",\"execute\":{},\"cumulative_execute\":{},\"total\":{}}}",
             p.timings.execute.as_micros(),
+            p.timings.cumulative_execute.as_micros(),
             p.timings.total.as_micros()
         );
         let _ = write!(out, ",\"execution\":{}", p.execution);
-        out.push_str("}}");
+        out.push('}');
+        out.push_str(",\"metrics\":");
+        match &self.metrics {
+            Some(m) => m.write_json(&mut out),
+            None => out.push_str("null"),
+        }
+        out.push('}');
         out
     }
 }
@@ -205,7 +219,9 @@ mod tests {
         );
         assert!(json.contains("\"time_to_first_answer_us\":null"), "{json}");
         assert!(json.contains("\"execution\":1"), "{json}");
-        assert!(json.ends_with("}}"), "{json}");
+        assert!(json.contains("\"cumulative_execute\":"), "{json}");
+        // `Toorjah::new` leaves observability disabled: no metrics block.
+        assert!(json.ends_with("\"metrics\":null}"), "{json}");
         // Balanced braces/brackets (cheap well-formedness check).
         assert_eq!(
             json.matches('{').count(),
@@ -217,6 +233,22 @@ mod tests {
             json.matches(']').count(),
             "{json}"
         );
+    }
+
+    #[test]
+    fn builder_instances_emit_the_metrics_block() {
+        let schema = Schema::parse("r1^io(A, B)").unwrap();
+        let db = Instance::with_data(&schema, [("r1", vec![tuple!["a", "b1"]])]).unwrap();
+        let system = Toorjah::builder(InstanceSource::new(schema.clone(), db)).build();
+        let response = system.ask("q(B) <- r1('a', B)").unwrap();
+        let json = response.to_json(&schema);
+        assert!(json.contains("\"metrics\":{\"interner\":{"), "{json}");
+        assert!(json.contains("\"kernel.rounds\":"), "{json}");
+        assert!(json.contains("\"dispatch.latency_us.r1\":"), "{json}");
+        assert!(json.contains("\"shards\":["), "{json}");
+        assert!(json.ends_with("}}"), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 
     #[test]

@@ -52,12 +52,14 @@
 mod answers;
 mod facade;
 mod json;
+mod metrics;
 mod parallel;
 mod prepared;
 mod response;
 
 pub use answers::{AnswerStream, StreamEvent, StreamReport};
 pub use facade::{Toorjah, ToorjahBuilder, ToorjahConfig, ToorjahError};
+pub use metrics::MetricsReport;
 pub use parallel::{run_distillation, run_distillation_cached, DistillationOptions};
 pub use prepared::Prepared;
 pub use response::{ExecMode, ExecutionProfile, PhaseTimings, Response};

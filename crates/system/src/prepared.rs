@@ -12,7 +12,7 @@
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use toorjah_cache::SharedAccessCache;
 use toorjah_core::Planned;
@@ -24,7 +24,7 @@ use toorjah_query::Statement;
 
 use crate::facade::{Toorjah, ToorjahConfig, ToorjahError};
 use crate::response::{ExecMode, ExecutionProfile, PhaseTimings, Response};
-use crate::{run_distillation_cached, AnswerStream};
+use crate::{run_distillation_cached, AnswerStream, MetricsReport};
 
 /// The planned form of one statement kind (large payloads boxed: a
 /// `Prepared` is built once and moved around rarely).
@@ -78,6 +78,9 @@ pub struct Prepared {
     pub(crate) statement: Statement,
     pub(crate) kind: PreparedKind,
     pub(crate) executions: AtomicU64,
+    /// Execute-phase nanoseconds accumulated across successful executions,
+    /// surfaced as `PhaseTimings::cumulative_execute`.
+    pub(crate) cumulative_execute_ns: AtomicU64,
 }
 
 impl Prepared {
@@ -254,6 +257,24 @@ impl Prepared {
         // sequence number, so `profile.execution` tracks successful runs.
         let execution = self.executions.fetch_add(1, Ordering::Relaxed) + 1;
         let elapsed = started.elapsed();
+        let elapsed_ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        let cumulative_ns = self
+            .cumulative_execute_ns
+            .fetch_add(elapsed_ns, Ordering::Relaxed)
+            .saturating_add(elapsed_ns);
+        // Metrics are captured against the cache this execution actually
+        // used — the session cache, or the private per-execution one.
+        let metrics = self
+            .config
+            .exec
+            .obs
+            .snapshot()
+            .map(|snapshot| MetricsReport {
+                snapshot,
+                interner: toorjah_catalog::Interner::global().stats(),
+                cache: cache.stats(),
+                shards: cache.shard_counters(),
+            });
         Ok(Response {
             answers,
             rejected,
@@ -271,9 +292,11 @@ impl Prepared {
                     plan: None,
                     execute: elapsed,
                     total: elapsed,
+                    cumulative_execute: Duration::from_nanos(cumulative_ns),
                 },
                 execution,
             },
+            metrics,
         })
     }
 
@@ -306,9 +329,12 @@ impl Prepared {
     /// prepared with, or a fresh private one (the paper's per-query
     /// meta-cache semantics).
     fn execution_cache(&self) -> SharedAccessCache {
-        self.session_cache
-            .clone()
-            .unwrap_or_else(SharedAccessCache::unbounded)
+        self.session_cache.clone().unwrap_or_else(|| {
+            SharedAccessCache::with_obs(
+                toorjah_cache::CacheConfig::unbounded(),
+                self.config.exec.obs,
+            )
+        })
     }
 
     /// The executor options for one mode: `Sequential` forces the

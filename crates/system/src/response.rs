@@ -14,6 +14,8 @@ use toorjah_catalog::Tuple;
 use toorjah_engine::{AccessStats, DispatchOptions, DispatchReport};
 use toorjah_query::StatementKind;
 
+use crate::MetricsReport;
+
 /// How a prepared statement is executed.
 ///
 /// Answers and access counts are invariant across modes (the paper's §IV
@@ -67,6 +69,12 @@ pub struct PhaseTimings {
     pub execute: Duration,
     /// Total lifecycle time of this call.
     pub total: Duration,
+    /// Execute time summed over every successful execution of the
+    /// [`crate::Prepared`] this response came from, **including this one**
+    /// — so re-executions accumulate instead of silently resetting.
+    /// Equals `execute` on the first execution (and on every one-shot
+    /// call, which prepares privately).
+    pub cumulative_execute: Duration,
 }
 
 /// How an execution went: access statistics, cache attribution, dispatch
@@ -145,6 +153,11 @@ pub struct Response {
     pub time_to_first_answer: Option<Duration>,
     /// How the execution went.
     pub profile: ExecutionProfile,
+    /// Point-in-time metrics captured when the execution finished, against
+    /// the cache it actually used. `Some` exactly when the instance's
+    /// observability handle is enabled (the builder's default); `None`
+    /// under a disabled handle, whose probes cost nothing.
+    pub metrics: Option<MetricsReport>,
 }
 
 impl Response {

@@ -24,7 +24,11 @@
 //! `--json` emits the full `Response` (answers plus the
 //! `ExecutionProfile`: access stats, cache attribution, dispatch account
 //! incl. pruned-access counters, phase timings) as one JSON object on
-//! stdout.
+//! stdout. `--trace` streams per-access trace events as JSON lines to
+//! stderr (`--trace=<path>` writes them to a file instead); `--metrics`
+//! prints the metrics snapshot — kernel/dispatch counters, per-source
+//! latency histograms, interner occupancy and per-shard cache counters —
+//! as one JSON object after the query.
 //!
 //! Source-file format (`#` comments; one statement per line):
 //!
@@ -42,14 +46,16 @@
 
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use toorjah::catalog::{Instance, Schema, Tuple, Value};
 use toorjah::engine::{naive_evaluate, DispatchOptions, InstanceSource, NaiveOptions};
+use toorjah::obs::{Obs, WriterSink};
 use toorjah::query::parse_query;
 use toorjah::system::Toorjah;
 
 const USAGE: &str = "usage: toorjah <source-file> [--parallelism <n>] [--batch-size <n>] \
-                     [--prune] [--first-k <n>] [--json] \
+                     [--prune] [--first-k <n>] [--json] [--trace[=<path>]] [--metrics] \
                      [--query <q> | --explain <q> | --naive <q>]";
 
 fn main() -> ExitCode {
@@ -66,7 +72,9 @@ fn main() -> ExitCode {
              --batch-size <n>   group up to n accesses per source round trip\n\
              --prune            drop accesses that provably cannot reach the query head\n\
              --first-k <n>      stop as soon as n answers are certain\n\
-             --json             emit the full response (answers + execution profile) as JSON"
+             --json             emit the full response (answers + execution profile) as JSON\n\
+             --trace[=<path>]   export per-access trace events as JSON lines (stderr, or <path>)\n\
+             --metrics          print the metrics snapshot (counters, histograms, cache shards)"
         );
         return ExitCode::SUCCESS;
     }
@@ -98,6 +106,9 @@ fn main() -> ExitCode {
     let mut json = false;
     let mut prune = false;
     let mut first_k = None;
+    // None = tracing off; Some(None) = stderr; Some(Some(path)) = file.
+    let mut trace: Option<Option<String>> = None;
+    let mut show_metrics = false;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--query" | "--explain" | "--naive" => {
@@ -109,6 +120,11 @@ fn main() -> ExitCode {
             }
             "--json" => json = true,
             "--prune" => prune = true,
+            "--metrics" => show_metrics = true,
+            "--trace" => trace = Some(None),
+            other if other.starts_with("--trace=") => {
+                trace = Some(Some(other["--trace=".len()..].to_string()));
+            }
             "--parallelism" | "--batch-size" | "--first-k" => {
                 let value = match args.next().map(|v| v.parse::<usize>()) {
                     Some(Ok(n)) if n > 0 => n,
@@ -135,14 +151,35 @@ fn main() -> ExitCode {
     if let Some(k) = first_k {
         builder = builder.first_k(k);
     }
+    match trace {
+        None => {}
+        Some(None) => {
+            builder =
+                builder.observability(Obs::with_sink(Arc::new(WriterSink::new(std::io::stderr()))))
+        }
+        Some(Some(path)) => match std::fs::File::create(&path) {
+            Ok(file) => {
+                builder = builder.observability(Obs::with_sink(Arc::new(WriterSink::new(file))));
+            }
+            Err(e) => {
+                eprintln!("cannot create trace file {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    }
     let system = builder.build();
     if let Some((flag, q)) = mode {
-        return match flag.as_str() {
+        let code = match flag.as_str() {
             "--query" => run_query(&system, &q, json),
             "--explain" => run_explain(&system, &q),
             "--naive" => run_naive(&system, &provider, &schema, dispatch, &q),
             _ => unreachable!(),
         };
+        if show_metrics {
+            emit_metrics(&system);
+        }
+        system.obs().flush();
+        return code;
     }
 
     // REPL.
@@ -192,8 +229,20 @@ fn main() -> ExitCode {
             _ if line.starts_with(':') => eprintln!("unknown command; :help"),
             query => {
                 let _ = run_query(&system, query, json);
+                if show_metrics {
+                    emit_metrics(&system);
+                }
+                system.obs().flush();
             }
         }
+    }
+}
+
+/// Prints the instance-level metrics snapshot as one JSON object on stdout.
+fn emit_metrics(system: &Toorjah) {
+    match system.metrics() {
+        Some(report) => println!("{}", report.to_json()),
+        None => eprintln!("metrics unavailable: observability is disabled"),
     }
 }
 

@@ -11,6 +11,7 @@
 //! | module | contents |
 //! |--------|----------|
 //! | [`catalog`] | abstract domains, access patterns, schemas, instances |
+//! | [`obs`] | observability: structured trace events, sinks, the metrics registry |
 //! | [`cache`] | the shared cross-query access cache: sharding, eviction, warm-start |
 //! | [`query`] | conjunctive queries, parsing, preprocessing, containment, minimization |
 //! | [`datalog`] | Datalog programs and semi-naive evaluation (plan representation) |
@@ -55,6 +56,7 @@ pub use toorjah_catalog as catalog;
 pub use toorjah_core as core;
 pub use toorjah_datalog as datalog;
 pub use toorjah_engine as engine;
+pub use toorjah_obs as obs;
 pub use toorjah_query as query;
 pub use toorjah_system as system;
 pub use toorjah_workload as workload;

@@ -278,6 +278,171 @@ fn prune_and_first_k_flags() {
     assert!(!out.status.success());
 }
 
+/// First number following `key` inside `s`.
+fn number_after(s: &str, key: &str) -> u64 {
+    let rest = &s[s
+        .find(key)
+        .unwrap_or_else(|| panic!("{key} missing in {s}"))
+        + key.len()..];
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits
+        .parse()
+        .unwrap_or_else(|_| panic!("no number after {key} in {s}"))
+}
+
+/// Sum of every number following `key` inside `s`.
+fn sum_after(s: &str, key: &str) -> u64 {
+    let mut total = 0;
+    let mut rest = s;
+    while let Some(i) = rest.find(key) {
+        rest = &rest[i + key.len()..];
+        let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+        total += digits.parse::<u64>().unwrap();
+    }
+    total
+}
+
+/// The golden shape of the `metrics` block: stable key order, kernel and
+/// per-source dispatch instruments present, and per-shard cache counters
+/// summing exactly to the `cache` totals.
+#[test]
+fn json_metrics_block_golden_shape() {
+    let file = sample_file();
+    let out = Command::new(BIN)
+        .arg(file.path())
+        .args([
+            "--json",
+            "--query",
+            "q(N) <- r1(A, N, Y1), r2('volare', Y2, A)",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let json = stdout.trim();
+    let metrics_at = json.find("\"metrics\":{").expect("metrics block present");
+    let metrics = &json[metrics_at..];
+    // Stable key order within the block.
+    let order = [
+        "\"interner\"",
+        "\"counters\"",
+        "\"gauges\"",
+        "\"histograms\"",
+        "\"cache\"",
+        "\"shards\"",
+    ];
+    let positions: Vec<usize> = order
+        .iter()
+        .map(|k| {
+            metrics
+                .find(k)
+                .unwrap_or_else(|| panic!("{k} missing in {metrics}"))
+        })
+        .collect();
+    assert!(positions.windows(2).all(|w| w[0] < w[1]), "{metrics}");
+    // The kernel and dispatcher instruments are populated.
+    assert!(number_after(metrics, "\"kernel.rounds\":") > 0, "{metrics}");
+    assert!(
+        number_after(metrics, "\"kernel.accesses_requested\":") > 0,
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("\"kernel.round_us\":{\"count\":"),
+        "{metrics}"
+    );
+    assert!(metrics.contains("\"dispatch.batch_size\":"), "{metrics}");
+    assert!(metrics.contains("\"dispatch.latency_us.r1\":"), "{metrics}");
+    assert!(metrics.contains("\"dispatch.latency_us.r2\":"), "{metrics}");
+    assert!(number_after(metrics, "\"symbols\":") > 0, "{metrics}");
+    // Shard counters sum to the cache totals, field by field.
+    let cache = &metrics[metrics.find("\"cache\":{").unwrap()..];
+    let shards = &cache[cache.find("\"shards\":[").unwrap()..];
+    let totals = &cache[..cache.len() - shards.len()];
+    for key in [
+        "\"hits\":",
+        "\"coalesced_hits\":",
+        "\"misses\":",
+        "\"load_failures\":",
+        "\"insertions\":",
+        "\"evictions\":",
+        "\"oversized\":",
+    ] {
+        assert_eq!(
+            number_after(totals, key),
+            sum_after(shards, key),
+            "shard counters sum to the cache total for {key} in {metrics}"
+        );
+    }
+    // The execution actually exercised the cache (misses were recorded).
+    assert!(number_after(totals, "\"misses\":") > 0, "{metrics}");
+}
+
+/// `--metrics` prints the instance-level snapshot as one JSON object on
+/// stdout, after the answers.
+#[test]
+fn metrics_flag_prints_a_snapshot() {
+    let file = sample_file();
+    let out = Command::new(BIN)
+        .arg(file.path())
+        .args([
+            "--metrics",
+            "--query",
+            "q(N) <- r1(A, N, Y1), r2('volare', Y2, A)",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let snapshot = stdout
+        .lines()
+        .find(|l| l.starts_with("{\"interner\":"))
+        .unwrap_or_else(|| panic!("no metrics line in {stdout}"));
+    assert!(snapshot.contains("\"kernel.rounds\":"), "{snapshot}");
+    assert!(snapshot.contains("\"dispatch.latency_us."), "{snapshot}");
+    assert_eq!(snapshot.matches('{').count(), snapshot.matches('}').count());
+}
+
+/// `--trace=<path>` writes parseable JSON lines whose lifecycle events
+/// reconcile: every requested access is terminally resolved.
+#[test]
+fn trace_flag_writes_reconciling_json_lines() {
+    let file = sample_file();
+    let trace_path =
+        std::env::temp_dir().join(format!("toorjah-cli-trace-{}.jsonl", std::process::id()));
+    let out = Command::new(BIN)
+        .arg(file.path())
+        .arg(format!("--trace={}", trace_path.display()))
+        .args(["--query", "q(N) <- r1(A, N, Y1), r2('volare', Y2, A)"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&trace_path).expect("trace file written");
+    let _ = std::fs::remove_file(&trace_path);
+    assert!(!text.is_empty());
+    for line in text.lines() {
+        assert!(
+            line.starts_with("{\"seq\":") && line.ends_with('}'),
+            "malformed trace line: {line}"
+        );
+        assert!(line.contains("\"event\":\""), "{line}");
+    }
+    let requested = text.matches("\"event\":\"access_requested\"").count();
+    let terminal = text.matches("\"event\":\"access_served_cache\"").count()
+        + text.matches("\"event\":\"access_served_source\"").count()
+        + text.matches("\"event\":\"access_pruned\"").count()
+        + text.matches("\"event\":\"access_failed\"").count();
+    assert!(requested > 0, "{text}");
+    assert_eq!(requested, terminal, "{text}");
+}
+
 #[test]
 fn bad_query_fails_cleanly() {
     let file = sample_file();

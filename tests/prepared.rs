@@ -162,3 +162,47 @@ fn phase_timings_expose_plan_reuse() {
         assert_eq!(response.profile.stats, one_shot.profile.stats);
     }
 }
+
+/// `cumulative_execute` sums the execute phases of all (successful)
+/// executions of one `Prepared` — `execute` stays the per-call value, so
+/// re-executions can be profiled individually and in aggregate.
+#[test]
+fn cumulative_execute_accumulates_across_reexecutions() {
+    let schema = Schema::parse("f^oo(A, B) g^io(B, C)").unwrap();
+    let db = Instance::with_data(
+        &schema,
+        [
+            ("f", vec![tuple!["a1", "b1"]]),
+            ("g", vec![tuple!["b1", "c1"]]),
+        ],
+    )
+    .unwrap();
+    let system = Toorjah::new(InstanceSource::new(schema, db));
+
+    // One-shot: exactly one execution, so the two fields coincide.
+    let one_shot = system.ask("q(C) <- f(A, B), g(B, C)").unwrap();
+    assert_eq!(
+        one_shot.profile.timings.cumulative_execute,
+        one_shot.profile.timings.execute
+    );
+
+    let statement = Statement::parse("q(C) <- f(A, B), g(B, C)", system.schema()).unwrap();
+    let prepared = system.prepare(&statement).unwrap();
+    let mut summed = std::time::Duration::ZERO;
+    let mut previous_cumulative = std::time::Duration::ZERO;
+    for i in 1..=4u64 {
+        let response = prepared.execute(ExecMode::Sequential).unwrap();
+        let timings = &response.profile.timings;
+        summed += timings.execute;
+        assert_eq!(response.profile.execution, i);
+        if i == 1 {
+            assert_eq!(timings.cumulative_execute, timings.execute);
+        }
+        // Monotone and never below the per-call value; exactly the sum of
+        // the per-call execute phases.
+        assert!(timings.cumulative_execute >= previous_cumulative);
+        assert!(timings.cumulative_execute >= timings.execute);
+        assert_eq!(timings.cumulative_execute, summed);
+        previous_cumulative = timings.cumulative_execute;
+    }
+}

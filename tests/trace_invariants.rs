@@ -1,0 +1,243 @@
+//! Trace-reconciliation properties of the observability layer, checked
+//! over random workloads:
+//!
+//! 1. **Terminal resolution** — every `access_requested` event is
+//!    terminally resolved, within its round and for its exact key, by
+//!    exactly one of `access_served_cache`, `access_served_source`,
+//!    `access_pruned` or `access_failed`.
+//! 2. **Report reconciliation** — per-kind event totals match the
+//!    execution's `DispatchReport`/`ExecutionProfile` counters exactly:
+//!    `served_source == accesses_performed`,
+//!    `served_cache == accesses_served_by_cache`,
+//!    `pruned == accesses_pruned`, and
+//!    `performed + served + pruned == total_requested`.
+//! 3. **Well-formed stream** — sequence ids are strictly increasing, and
+//!    tracing never alters answers or access counts (the traced run equals
+//!    an untraced reference run).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use toorjah::catalog::AccessKey;
+use toorjah::core::{plan_query, CoreError};
+use toorjah::engine::{DispatchOptions, FlakySource, InstanceSource};
+use toorjah::obs::{EventKind, Obs, RingBufferSink, TraceEvent};
+use toorjah::system::{Response, Toorjah};
+use toorjah::workload::random::seeded_rng;
+use toorjah::workload::{random_instance, random_query, random_schema, RandomParams};
+
+/// Per-round, per-key tally of requested vs terminal lifecycle events.
+#[derive(Default)]
+struct Tally {
+    requested: usize,
+    served_cache: usize,
+    served_source: usize,
+    pruned: usize,
+    failed: usize,
+}
+
+impl Tally {
+    fn terminal(&self) -> usize {
+        self.served_cache + self.served_source + self.pruned + self.failed
+    }
+}
+
+/// Tallies the access-lifecycle events by `(round, key)` and checks the
+/// stream-level invariants (strictly increasing sequence ids).
+fn tally(events: &[TraceEvent]) -> HashMap<(u32, AccessKey), Tally> {
+    let mut last_seq = 0;
+    let mut tallies: HashMap<(u32, AccessKey), Tally> = HashMap::new();
+    for event in events {
+        assert!(event.seq > last_seq, "sequence ids strictly increase");
+        last_seq = event.seq;
+        let Some(key) = event.kind.key() else {
+            continue;
+        };
+        let entry = tallies.entry((event.round, key.clone())).or_default();
+        match event.kind {
+            EventKind::AccessRequested { .. } => entry.requested += 1,
+            EventKind::AccessServedCache { .. } => entry.served_cache += 1,
+            EventKind::AccessServedSource { .. } => entry.served_source += 1,
+            EventKind::AccessPruned { .. } => entry.pruned += 1,
+            EventKind::AccessFailed { .. } => entry.failed += 1,
+            _ => {}
+        }
+    }
+    tallies
+}
+
+/// Properties 1 and 2 for one traced response.
+fn check_reconciliation(events: &[TraceEvent], response: &Response, context: &str) {
+    let tallies = tally(events);
+    let mut requested = 0usize;
+    let mut served_cache = 0usize;
+    let mut served_source = 0usize;
+    let mut pruned = 0usize;
+    let mut failed = 0usize;
+    for ((round, key), t) in &tallies {
+        assert_eq!(
+            t.requested,
+            t.terminal(),
+            "every requested access terminally resolved exactly once \
+             (round {round}, key {key:?}, {context})"
+        );
+        requested += t.requested;
+        served_cache += t.served_cache;
+        served_source += t.served_source;
+        pruned += t.pruned;
+        failed += t.failed;
+    }
+    let profile = &response.profile;
+    assert_eq!(failed, 0, "no failures on a successful run ({context})");
+    assert_eq!(
+        served_source as u64, profile.accesses_performed,
+        "served_source events == accesses_performed ({context})"
+    );
+    assert_eq!(
+        served_cache as u64, profile.accesses_served_by_cache,
+        "served_cache events == accesses_served_by_cache ({context})"
+    );
+    assert_eq!(
+        pruned, profile.dispatch.accesses_pruned,
+        "pruned events == accesses_pruned ({context})"
+    );
+    assert_eq!(
+        requested,
+        profile.dispatch.total_requested(),
+        "requested events == dispatch total_requested ({context})"
+    );
+    assert_eq!(
+        served_source as u64 + served_cache as u64 + pruned as u64,
+        profile.dispatch.total_requested() as u64,
+        "performed + served + pruned == total_requested ({context})"
+    );
+}
+
+/// One full random scenario driven by a seed; returns false when the seed
+/// produced no usable (answerable) query, which the sweep simply skips.
+fn check_scenario(seed: u64) -> bool {
+    let params = RandomParams::small();
+    let mut rng = seeded_rng(seed);
+    let generated = random_schema(&mut rng, &params);
+    let Some(query) = random_query(&mut rng, &generated, &params) else {
+        return false;
+    };
+    let instance = random_instance(&mut rng, &generated, &params);
+    if matches!(
+        plan_query(&query, &generated.schema),
+        Err(CoreError::NotAnswerable { .. })
+    ) {
+        return false;
+    }
+    let provider = InstanceSource::new(generated.schema.clone(), instance);
+
+    // Untraced reference: tracing must not change answers or accesses.
+    let reference = Toorjah::new(provider.clone())
+        .ask_query(&query)
+        .expect("answerable query executes on small workloads");
+
+    for (context, prune, dispatch) in [
+        ("sequential", false, DispatchOptions::default()),
+        ("sequential+prune", true, DispatchOptions::default()),
+        (
+            "parallel",
+            false,
+            DispatchOptions::parallel(4).with_batch_size(2),
+        ),
+    ] {
+        let sink = Arc::new(RingBufferSink::new(1 << 16));
+        let system = Toorjah::builder(provider.clone())
+            .pruning(prune)
+            .dispatch(dispatch)
+            .trace_sink(sink.clone())
+            .build();
+        let response = system
+            .ask_query(&query)
+            .expect("traced execution succeeds like the reference");
+        let events = sink.events();
+        assert!(
+            events.len() < (1 << 16),
+            "ring buffer large enough to retain the full trace"
+        );
+        check_reconciliation(&events, &response, &format!("{context}, seed {seed}"));
+
+        let mut sorted_answers = response.answers.clone();
+        sorted_answers.sort();
+        let mut sorted_reference = reference.answers.clone();
+        sorted_reference.sort();
+        assert_eq!(
+            sorted_answers, sorted_reference,
+            "tracing changed the answers ({context}, seed {seed})"
+        );
+        if !prune {
+            assert_eq!(
+                response.profile.accesses_performed + response.profile.accesses_served_by_cache,
+                reference.profile.accesses_performed + reference.profile.accesses_served_by_cache,
+                "tracing changed the access totals ({context}, seed {seed})"
+            );
+        }
+    }
+    true
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 160, ..ProptestConfig::default() })]
+
+    #[test]
+    fn traced_runs_reconcile_with_dispatch_reports(seed in 0u64..1_000_000) {
+        check_scenario(seed);
+    }
+}
+
+/// A deterministic sweep over fixed seeds, so CI failures are reproducible
+/// without proptest shrinking.
+#[test]
+fn fixed_seed_sweep() {
+    let mut usable = 0;
+    for seed in 0..64 {
+        if check_scenario(seed) {
+            usable += 1;
+        }
+    }
+    assert!(usable > 10, "the sweep exercised only {usable} scenarios");
+}
+
+/// Failures terminate the trace too: with a source that fails mid-run,
+/// every requested access in the final round is still terminally resolved
+/// — the doomed ones by `access_failed`.
+#[test]
+fn failed_accesses_are_terminally_resolved() {
+    let schema = toorjah::catalog::Schema::parse("a^oo(X, Y) b^io(Y, Z)").unwrap();
+    let db = toorjah::catalog::Instance::with_data(
+        &schema,
+        [
+            ("a", vec![toorjah::catalog::tuple!["x1", "y1"]]),
+            ("b", vec![toorjah::catalog::tuple!["y1", "z1"]]),
+        ],
+    )
+    .unwrap();
+    let source = InstanceSource::new(schema.clone(), db);
+    for fail_at in 1..=2 {
+        let sink = Arc::new(RingBufferSink::new(1 << 12));
+        let system = Toorjah::builder(FlakySource::new(source.clone(), fail_at))
+            .observability(Obs::with_sink(sink.clone()))
+            .build();
+        let result = system.ask("q(Z) <- a(X, Y), b(Y, Z)");
+        assert!(result.is_err(), "failure at access #{fail_at} surfaces");
+        let events = sink.events();
+        let failed = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::AccessFailed { .. }))
+            .count();
+        assert!(failed > 0, "the failing access is traced as access_failed");
+        for (round_key, t) in tally(&events) {
+            assert_eq!(
+                t.requested,
+                t.terminal(),
+                "requested accesses terminally resolved even on failure \
+                 (round/key {round_key:?}, fail_at {fail_at})"
+            );
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Criterion micro-benchmarks of the semi-naive delta discipline: the
+//! delta-join evaluator (`evaluate`) against the full-join reference
+//! (`evaluate_full_join`) on the two recursion shapes where the discipline
+//! matters most.
+//!
+//! - **Chain transitive closure** (120 edges): ~120 rounds whose deltas
+//!   shrink by one fact per round — the full join re-derives the entire
+//!   closure every round, the delta join touches each fact once.
+//! - **Cyclic group** (a 48-cycle): the closure is all 48² pairs, reached
+//!   through deltas that first grow and then saturate — stressing the
+//!   dedup-versus-total path rather than the shrinking-frontier path.
+//!
+//! The committed `BENCH_kernel.json` snapshot doubles as a regression
+//! guard: `bench_trajectory` fails the build if the full-join median on the
+//! chain drops under 2× the delta-join median.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use toorjah_catalog::tuple;
+use toorjah_datalog::{evaluate, evaluate_full_join, DTerm, FactStore, Literal, Program, Rule};
+
+/// The textbook closure program: `path(X,Y) ← edge(X,Y)` and
+/// `path(X,Z) ← edge(X,Y), path(Y,Z)`.
+fn closure_program() -> (Program, toorjah_datalog::PredId) {
+    let mut p = Program::new();
+    let edge = p.predicate("edge", 2).unwrap();
+    let path = p.predicate("path", 2).unwrap();
+    let v = DTerm::Var;
+    p.add_rule(Rule::new(
+        Literal::new(path, vec![v(0), v(1)]),
+        vec![Literal::new(edge, vec![v(0), v(1)])],
+        vec!["X".into(), "Y".into()],
+    ))
+    .unwrap();
+    p.add_rule(Rule::new(
+        Literal::new(path, vec![v(0), v(2)]),
+        vec![
+            Literal::new(edge, vec![v(0), v(1)]),
+            Literal::new(path, vec![v(1), v(2)]),
+        ],
+        vec!["X".into(), "Y".into(), "Z".into()],
+    ))
+    .unwrap();
+    (p, edge)
+}
+
+fn chain_edb(edge: toorjah_datalog::PredId, n: i64) -> FactStore {
+    let mut edb = FactStore::new();
+    for i in 0..n {
+        edb.insert(edge, tuple![i, i + 1]);
+    }
+    edb
+}
+
+fn cycle_edb(edge: toorjah_datalog::PredId, n: i64) -> FactStore {
+    let mut edb = FactStore::new();
+    for i in 0..n {
+        edb.insert(edge, tuple![i, (i + 1) % n]);
+    }
+    edb
+}
+
+fn transitive_closure_chain(c: &mut Criterion) {
+    let (p, edge) = closure_program();
+    let edb = chain_edb(edge, 120);
+    c.bench_function("seminaive_transitive_closure_120", |b| {
+        b.iter(|| evaluate(std::hint::black_box(&p), &edb))
+    });
+    c.bench_function("fulljoin_transitive_closure_120", |b| {
+        b.iter(|| evaluate_full_join(std::hint::black_box(&p), &edb))
+    });
+}
+
+fn cyclic_group(c: &mut Criterion) {
+    let (p, edge) = closure_program();
+    let edb = cycle_edb(edge, 48);
+    c.bench_function("seminaive_cyclic_group_48", |b| {
+        b.iter(|| evaluate(std::hint::black_box(&p), &edb))
+    });
+    c.bench_function("fulljoin_cyclic_group_48", |b| {
+        b.iter(|| evaluate_full_join(std::hint::black_box(&p), &edb))
+    });
+}
+
+criterion_group!(benches, transitive_closure_chain, cyclic_group);
+criterion_main!(benches);

@@ -20,13 +20,14 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 /// The bench areas every PR must keep a trajectory snapshot for.
-const REQUIRED_AREAS: [&str; 6] = [
+const REQUIRED_AREAS: [&str; 7] = [
     "cache",
     "dispatch",
     "relevance",
     "execution",
     "datalog",
     "obs",
+    "kernel",
 ];
 
 fn main() -> ExitCode {
@@ -103,6 +104,29 @@ fn check_area(root: &Path, area: &str) -> Result<String, String> {
         }
         if *median_ns == 0 {
             return Err(format!("benchmark {name:?} has median_ns 0 (unmeasured?)"));
+        }
+    }
+
+    // The kernel area carries a speedup guard: the committed medians must
+    // show the delta-join evaluator at least 2× ahead of the full-join
+    // reference on the 120-chain transitive closure. A refactor that quietly
+    // loses the semi-naive advantage fails here, not in a reviewer's head.
+    if area == "kernel" {
+        let median = |wanted: &str| {
+            snapshot
+                .benchmarks
+                .iter()
+                .find(|(n, _)| n == wanted)
+                .map(|&(_, m)| m)
+                .ok_or_else(|| format!("missing benchmark {wanted:?}"))
+        };
+        let semi = median("seminaive_transitive_closure_120")?;
+        let full = median("fulljoin_transitive_closure_120")?;
+        if full < semi.saturating_mul(2) {
+            return Err(format!(
+                "semi-naive speedup guard: full-join median {full} ns is \
+                 under 2x the delta-join median {semi} ns"
+            ));
         }
     }
 

@@ -10,16 +10,22 @@
 //! 3. the access lifecycle reconciles: the number of `access_requested`
 //!    events equals `access_served_cache + access_served_source +
 //!    access_pruned + access_failed` — every requested access is
-//!    terminally resolved exactly once.
+//!    terminally resolved exactly once;
+//! 4. with `--monotone-deltas`, at least one `delta_round` event is present
+//!    and, within each fixpoint segment (between `fixpoint_reached`
+//!    boundaries), the per-round `delta` sizes never increase. This is an
+//!    opt-in property: it holds for straight-line frontier schedules like
+//!    the paper's Example 1, not for every workload.
 //!
-//! Usage: `cargo run -p toorjah-bench --bin trace_check <trace.jsonl>`.
-//! Prints a one-line summary and exits non-zero on any violation.
+//! Usage: `cargo run -p toorjah-bench --bin trace_check <trace.jsonl>
+//! [--monotone-deltas]`. Prints a one-line summary and exits non-zero on
+//! any violation.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 /// The event names the trace taxonomy can emit (`EventKind::name`).
-const KNOWN_EVENTS: [&str; 11] = [
+const KNOWN_EVENTS: [&str; 12] = [
     "round_start",
     "round_end",
     "access_requested",
@@ -31,12 +37,24 @@ const KNOWN_EVENTS: [&str; 11] = [
     "cache_evict",
     "batch_coalesced",
     "fixpoint_reached",
+    "delta_round",
 ];
 
 fn main() -> ExitCode {
-    let mut args = std::env::args().skip(1);
-    let (Some(path), None) = (args.next(), args.next()) else {
-        eprintln!("usage: trace_check <trace.jsonl>");
+    let mut path = None;
+    let mut monotone_deltas = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--monotone-deltas" => monotone_deltas = true,
+            _ if path.is_none() => path = Some(arg),
+            other => {
+                eprintln!("unexpected argument: {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: trace_check <trace.jsonl> [--monotone-deltas]");
         return ExitCode::from(2);
     };
     let text = match std::fs::read_to_string(&path) {
@@ -46,7 +64,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match check(&text) {
+    match check_with(&text, monotone_deltas) {
         Ok(summary) => {
             println!("ok: {path}: {summary}");
             ExitCode::SUCCESS
@@ -58,10 +76,18 @@ fn main() -> ExitCode {
     }
 }
 
+#[cfg(test)]
 fn check(text: &str) -> Result<String, String> {
+    check_with(text, false)
+}
+
+fn check_with(text: &str, monotone_deltas: bool) -> Result<String, String> {
     let mut last_seq = 0u64;
     let mut counts: BTreeMap<String, usize> = BTreeMap::new();
     let mut lines = 0usize;
+    // The previous `delta_round` size within the current fixpoint segment;
+    // `fixpoint_reached` closes a segment and resets the baseline.
+    let mut last_delta: Option<u64> = None;
     for (no, line) in text.lines().enumerate() {
         let no = no + 1;
         if line.trim().is_empty() {
@@ -83,11 +109,33 @@ fn check(text: &str) -> Result<String, String> {
             ));
         }
         last_seq = seq;
+        match event.as_str() {
+            "delta_round" => {
+                let delta = number_field(line, "delta")
+                    .ok_or(format!("line {no}: delta_round without numeric \"delta\""))?;
+                if monotone_deltas {
+                    if let Some(prev) = last_delta {
+                        if delta > prev {
+                            return Err(format!(
+                                "line {no}: delta grew from {prev} to {delta} within a \
+                                 fixpoint segment (--monotone-deltas)"
+                            ));
+                        }
+                    }
+                    last_delta = Some(delta);
+                }
+            }
+            "fixpoint_reached" => last_delta = None,
+            _ => {}
+        }
         *counts.entry(event).or_default() += 1;
         lines += 1;
     }
     if lines == 0 {
         return Err("empty trace".into());
+    }
+    if monotone_deltas && !counts.contains_key("delta_round") {
+        return Err("--monotone-deltas: trace contains no delta_round events".into());
     }
 
     let count = |name: &str| counts.get(name).copied().unwrap_or(0);
@@ -104,11 +152,12 @@ fn check(text: &str) -> Result<String, String> {
     }
     Ok(format!(
         "{lines} events, {requested} accesses requested and terminally resolved \
-         ({} from source, {} from cache, {} pruned, {} failed)",
+         ({} from source, {} from cache, {} pruned, {} failed), {} delta round(s)",
         count("access_served_source"),
         count("access_served_cache"),
         count("access_pruned"),
         count("access_failed"),
+        count("delta_round"),
     ))
 }
 
@@ -187,5 +236,35 @@ mod tests {
             .unwrap_err()
             .contains("round"));
         assert!(check("").unwrap_err().contains("empty trace"));
+    }
+
+    #[test]
+    fn monotone_deltas_flag() {
+        let shrinking = "\
+{\"seq\":1,\"round\":1,\"event\":\"delta_round\",\"us\":0,\"delta\":3}\n\
+{\"seq\":2,\"round\":2,\"event\":\"delta_round\",\"us\":0,\"delta\":1}\n\
+{\"seq\":3,\"round\":2,\"event\":\"fixpoint_reached\",\"us\":0}\n\
+{\"seq\":4,\"round\":3,\"event\":\"delta_round\",\"us\":0,\"delta\":2}\n";
+        // Non-increasing within each segment; the post-fixpoint rebound to 2
+        // starts a fresh segment and is fine.
+        let summary = check_with(shrinking, true).unwrap();
+        assert!(summary.contains("3 delta round(s)"), "{summary}");
+
+        let growing = "\
+{\"seq\":1,\"round\":1,\"event\":\"delta_round\",\"us\":0,\"delta\":1}\n\
+{\"seq\":2,\"round\":2,\"event\":\"delta_round\",\"us\":0,\"delta\":4}\n";
+        let err = check_with(growing, true).unwrap_err();
+        assert!(err.contains("delta grew from 1 to 4"), "{err}");
+        // Without the flag the same trace passes: growth is workload-legal.
+        assert!(check_with(growing, false).is_ok());
+
+        // The flag demands evidence: a trace with no delta_round fails.
+        let silent = "{\"seq\":1,\"round\":1,\"event\":\"round_start\",\"us\":0}\n";
+        let err = check_with(silent, true).unwrap_err();
+        assert!(err.contains("no delta_round"), "{err}");
+
+        // A delta_round without its payload is malformed either way.
+        let bare = "{\"seq\":1,\"round\":1,\"event\":\"delta_round\",\"us\":0}\n";
+        assert!(check(bare).unwrap_err().contains("delta"));
     }
 }

@@ -23,6 +23,9 @@ pub type FastBuildHasher = BuildHasherDefault<FastHasher>;
 /// A `HashMap` keyed by interned-friendly keys, hashed with [`FastHasher`].
 pub type FastMap<K, V> = std::collections::HashMap<K, V, FastBuildHasher>;
 
+/// A `HashSet` of interned-friendly keys, hashed with [`FastHasher`].
+pub type FastSet<T> = std::collections::HashSet<T, FastBuildHasher>;
+
 const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
 
 /// The word-at-a-time multiplicative hasher behind [`FastBuildHasher`].

@@ -38,7 +38,7 @@ mod value;
 
 pub use domain::{Domain, DomainId, DomainRegistry};
 pub use error::CatalogError;
-pub use hash::{FastBuildHasher, FastHasher, FastMap};
+pub use hash::{FastBuildHasher, FastHasher, FastMap, FastSet};
 pub use instance::{Instance, RelationData};
 pub use intern::{IVal, Interner, InternerStats, Symbol};
 pub use pattern::{AccessPattern, Mode};

@@ -4,15 +4,32 @@
 //! that the fast-failing strategy "is guaranteed to always calculate the same
 //! answer as the fixpoint semantics for the Datalog program". The engine's
 //! executor is property-tested against this evaluator.
+//!
+//! Two evaluators share the same round skeleton (initialization round, then
+//! one pass per rule per delta pivot until the delta is empty):
+//!
+//! * [`evaluate`] — the **delta-join** evaluator: every pass enumerates the
+//!   pivot literal's *delta first*, then joins the remaining literals (in a
+//!   greedy bound-variable order) against the full extents through the
+//!   column-index probes of [`FactStore::candidates`]. Per-round work is
+//!   proportional to the delta, not the total, and a shared bind trail
+//!   keeps the inner join loop allocation-free.
+//! * [`evaluate_full_join`] — the historical evaluator enumerating every
+//!   body in literal order from the full extents. It is kept as the oracle
+//!   the delta evaluator is property-tested against: answers, rounds,
+//!   derived counts, derivation counts and per-round delta sizes are
+//!   identical, because a conjunctive body's satisfaction set does not
+//!   depend on enumeration order.
 
 use std::collections::HashSet;
 
 use toorjah_catalog::{Tuple, Value};
+use toorjah_obs::Obs;
 
 use crate::{DTerm, FactStore, Literal, PredId, Program, Rule};
 
 /// Counters describing one evaluation run.
-#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
 pub struct EvalStats {
     /// Number of fixpoint rounds (including the initialization round).
     pub rounds: usize,
@@ -20,6 +37,13 @@ pub struct EvalStats {
     pub derived: usize,
     /// Number of rule-body satisfactions considered (including rederivations).
     pub derivations: usize,
+    /// Facts newly derived per round, aligned with the rounds (the
+    /// initialization round first; the final barren round contributes `0`).
+    /// The entries sum to [`EvalStats::derived`], and the semi-naive
+    /// invariant holds round by round: the delta is disjoint from the
+    /// previous total, and delta ∪ total is closed under the rules applied
+    /// so far.
+    pub delta_sizes: Vec<usize>,
 }
 
 /// Evaluates `program` over the extensional facts in `edb`, returning the
@@ -54,15 +78,220 @@ pub struct EvalStats {
 /// let (idb, stats) = evaluate(&p, &edb);
 /// assert_eq!(idb.len(path), 3); // (1,2), (2,3), (1,3)
 /// assert!(stats.rounds >= 2);
+/// assert_eq!(stats.delta_sizes.iter().sum::<usize>(), stats.derived);
 /// ```
 pub fn evaluate(program: &Program, edb: &FactStore) -> (FactStore, EvalStats) {
+    evaluate_with_obs(program, edb, Obs::disabled())
+}
+
+/// [`evaluate`] with an observability handle: per-round delta sizes are
+/// recorded into the `datalog.delta_facts` histogram (when metrics are on),
+/// so delta decay toward the fixpoint is visible next to the kernel's
+/// `kernel.delta_size` in a metrics snapshot.
+pub fn evaluate_with_obs(program: &Program, edb: &FactStore, obs: Obs) -> (FactStore, EvalStats) {
+    let idb_preds = program.idb_predicates();
+    let is_idb = |p: PredId| idb_preds.contains(&p);
+    let delta_hist = obs.histogram("datalog.delta_facts");
+
+    // Per rule: the IDB body positions (the pivot set) and, per pivot, the
+    // delta-join enumeration order starting at the pivot. Computed once —
+    // the round loop only walks precomputed orders.
+    let rule_plans: Vec<(Vec<usize>, Vec<Vec<usize>>)> = program
+        .rules()
+        .iter()
+        .map(|rule| {
+            let idb_positions: Vec<usize> = rule
+                .body
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| is_idb(l.pred))
+                .map(|(i, _)| i)
+                .collect();
+            let orders = idb_positions
+                .iter()
+                .map(|&pivot| pivot_order(rule, pivot))
+                .collect();
+            (idb_positions, orders)
+        })
+        .collect();
+
+    let max_vars = program
+        .rules()
+        .iter()
+        .map(|r| r.var_names.len())
+        .max()
+        .unwrap_or(0);
+
+    // The total store is only ever probed by a bound column when some rule
+    // joins the pivot's delta against *another* IDB literal (`Source::Total`
+    // arises for non-pivot IDB positions alone). Linear-recursive programs —
+    // one IDB literal per body, transitive closure being the canonical case —
+    // never probe it, so skip index maintenance on their hot insert path.
+    let total_probed = rule_plans
+        .iter()
+        .any(|(idb_positions, _)| idb_positions.len() >= 2);
+    let mut total = if total_probed {
+        FactStore::new()
+    } else {
+        FactStore::unindexed()
+    };
+    // The delta and pending stores are refilled every round and probed only
+    // through verifying search loops, where an unindexed full-extent scan of
+    // a small delta beats maintaining per-column posting lists.
+    let mut delta = FactStore::unindexed();
+    // Initialization counts as the first round: facts and rules whose bodies
+    // contain no IDB literal fire exactly once, here.
+    let mut stats = EvalStats {
+        rounds: 1,
+        ..EvalStats::default()
+    };
+    // Shared scratch: the binding vector and bind trail are reused across
+    // every pass (a completed search always unwinds its trail, leaving the
+    // binding vector all-unbound), as are the head-tuple and new-fact
+    // buffers and — via [`FactStore::clear`] — the delta store itself.
+    let mut binding: Vec<Option<Value>> = vec![None; max_vars];
+    let mut trail: Vec<u32> = Vec::with_capacity(max_vars);
+    let mut out: Vec<Tuple> = Vec::new();
+    let mut new_facts: Vec<(PredId, Tuple)> = Vec::new();
+    let mut pending = FactStore::unindexed();
+
+    for (rule, (idb_positions, _)) in program.rules().iter().zip(&rule_plans) {
+        if !idb_positions.is_empty() {
+            continue;
+        }
+        let order: Vec<usize> = (0..rule.body.len()).collect();
+        out.clear();
+        delta_search(
+            rule,
+            &order,
+            &|_| Source::Edb,
+            edb,
+            &total,
+            &delta,
+            0,
+            &mut binding,
+            &mut trail,
+            &mut out,
+            &mut stats,
+        );
+        for t in out.drain(..) {
+            if total.insert(rule.head.pred, t.clone()) {
+                delta.insert(rule.head.pred, t);
+                stats.derived += 1;
+            }
+        }
+    }
+    stats.delta_sizes.push(stats.derived);
+    if let Some(h) = &delta_hist {
+        h.record(stats.derived as u64);
+    }
+
+    // Semi-naive rounds: one delta-seeded pass per rule per pivot. The
+    // pivot literal ranges over the delta — enumerated *first*, so the
+    // remaining literals are joined through index probes on the variables
+    // the pivot tuple bound — every other literal over the running total
+    // (for IDB) or the EDB. Using the full total for non-pivot IDB literals
+    // may rederive facts but never misses a new combination, because any
+    // new derivation uses at least one delta tuple.
+    while delta.total() > 0 {
+        stats.rounds += 1;
+        new_facts.clear();
+        for (rule, (idb_positions, orders)) in program.rules().iter().zip(&rule_plans) {
+            for (k, &pivot) in idb_positions.iter().enumerate() {
+                // An empty pivot delta admits no satisfaction: skip the
+                // pass without touching the other literals at all.
+                if delta.is_empty(rule.body[pivot].pred) {
+                    continue;
+                }
+                out.clear();
+                delta_search(
+                    rule,
+                    &orders[k],
+                    &|i| {
+                        if !is_idb(rule.body[i].pred) {
+                            Source::Edb
+                        } else if i == pivot {
+                            Source::Delta
+                        } else {
+                            Source::Total
+                        }
+                    },
+                    edb,
+                    &total,
+                    &delta,
+                    0,
+                    &mut binding,
+                    &mut trail,
+                    &mut out,
+                    &mut stats,
+                );
+                for t in out.drain(..) {
+                    if !total.contains(rule.head.pred, &t) {
+                        new_facts.push((rule.head.pred, t));
+                    }
+                }
+            }
+        }
+        // The new facts become the next delta, deduplicated against the
+        // total — preserving the invariant that the delta is disjoint from
+        // the previous total while delta ∪ total stays closed.
+        std::mem::swap(&mut delta, &mut pending);
+        delta.clear();
+        let mut added = 0usize;
+        for (pred, t) in new_facts.drain(..) {
+            if total.insert(pred, t.clone()) {
+                delta.insert(pred, t);
+                stats.derived += 1;
+                added += 1;
+            }
+        }
+        stats.delta_sizes.push(added);
+        if let Some(h) = &delta_hist {
+            h.record(added as u64);
+        }
+    }
+
+    (total, stats)
+}
+
+/// The delta-join enumeration order for one `(rule, pivot)` pass: the pivot
+/// literal first, then greedily the lowest-index remaining literal sharing
+/// a variable with the literals already placed (so its probe has a bound
+/// column), falling back to the lowest-index remaining literal when the
+/// body is variable-disconnected.
+fn pivot_order(rule: &Rule, pivot: usize) -> Vec<usize> {
+    let n = rule.body.len();
+    let vars_of = |i: usize| rule.body[i].terms.iter().filter_map(DTerm::as_var);
+    let mut order = Vec::with_capacity(n);
+    let mut used = vec![false; n];
+    let mut bound: HashSet<u32> = HashSet::new();
+    order.push(pivot);
+    used[pivot] = true;
+    bound.extend(vars_of(pivot));
+    while order.len() < n {
+        let next = (0..n)
+            .find(|&i| !used[i] && vars_of(i).any(|v| bound.contains(&v)))
+            .or_else(|| (0..n).find(|&i| !used[i]))
+            .expect("unplaced literals remain");
+        order.push(next);
+        used[next] = true;
+        bound.extend(vars_of(next));
+    }
+    order
+}
+
+/// The full-join oracle: the evaluator [`evaluate`] replaced, kept verbatim
+/// as its differential-testing reference. Bodies are enumerated in literal
+/// order from the full extents (delta only at the pivot), with a fresh
+/// bound-variable list per candidate. Answers and every [`EvalStats`]
+/// counter — including per-round delta sizes — match [`evaluate`] exactly;
+/// only internal tuple production order differs.
+pub fn evaluate_full_join(program: &Program, edb: &FactStore) -> (FactStore, EvalStats) {
     let idb_preds = program.idb_predicates();
     let is_idb = |p: PredId| idb_preds.contains(&p);
 
     let mut total = FactStore::new();
     let mut delta = FactStore::new();
-    // Initialization counts as the first round: facts and rules whose bodies
-    // contain no IDB literal fire exactly once, here.
     let mut stats = EvalStats {
         rounds: 1,
         ..EvalStats::default()
@@ -88,8 +317,8 @@ pub fn evaluate(program: &Program, edb: &FactStore) -> (FactStore, EvalStats) {
             }
         }
     }
+    stats.delta_sizes.push(stats.derived);
 
-    // Semi-naive rounds.
     while delta.total() > 0 {
         stats.rounds += 1;
         let mut new_facts: Vec<(PredId, Tuple)> = Vec::new();
@@ -104,11 +333,6 @@ pub fn evaluate(program: &Program, edb: &FactStore) -> (FactStore, EvalStats) {
             if idb_positions.is_empty() {
                 continue;
             }
-            // One pass per pivot: the pivot literal ranges over the delta,
-            // every other literal over the running total (for IDB) or the
-            // EDB. Using the full total for non-pivot IDB literals may
-            // rederive facts but never misses a new combination, because any
-            // new derivation uses at least one delta tuple.
             for &pivot in &idb_positions {
                 let mut out = Vec::new();
                 apply_rule(
@@ -136,12 +360,15 @@ pub fn evaluate(program: &Program, edb: &FactStore) -> (FactStore, EvalStats) {
             }
         }
         delta = FactStore::new();
+        let mut added = 0usize;
         for (pred, t) in new_facts {
             if total.insert(pred, t.clone()) {
                 delta.insert(pred, t);
                 stats.derived += 1;
+                added += 1;
             }
         }
+        stats.delta_sizes.push(added);
     }
 
     (total, stats)
@@ -591,6 +818,97 @@ fn search_body(
     }
 }
 
+/// The delta-join body search: enumerates the literals in `order` (pivot
+/// first, as produced by [`pivot_order`]), each over the store chosen by
+/// `source_of(literal_index)`, and collects head instances into `out`.
+///
+/// Unlike [`search_body`], newly bound variables go onto a shared `trail`
+/// instead of a per-candidate vector: a failed or exhausted candidate
+/// unwinds the trail to its entry mark, so the inner loop performs no
+/// allocation per candidate. A completed call leaves `binding` all-unbound
+/// and `trail` empty, ready for the next pass.
+#[allow(clippy::too_many_arguments)]
+fn delta_search(
+    rule: &Rule,
+    order: &[usize],
+    source_of: &impl Fn(usize) -> Source,
+    edb: &FactStore,
+    total: &FactStore,
+    delta: &FactStore,
+    depth: usize,
+    binding: &mut Vec<Option<Value>>,
+    trail: &mut Vec<u32>,
+    out: &mut Vec<Tuple>,
+    stats: &mut EvalStats,
+) {
+    let Some(&lit_idx) = order.get(depth) else {
+        stats.derivations += 1;
+        out.push(instantiate(&rule.head, binding));
+        return;
+    };
+    let lit = &rule.body[lit_idx];
+    let store = match source_of(lit_idx) {
+        Source::Edb => edb,
+        Source::Total => total,
+        Source::Delta => delta,
+    };
+
+    // Find a bound column to drive an index probe, if any.
+    let bound_col = lit.terms.iter().enumerate().find_map(|(col, t)| match t {
+        DTerm::Const(c) => Some((col, *c)),
+        DTerm::Var(v) => binding[*v as usize].map(|val| (col, val)),
+    });
+
+    let mark = trail.len();
+    'cand: for pos in store.candidates(lit.pred, bound_col) {
+        let tuple = &store.tuples(lit.pred)[pos];
+        for (t, v) in lit.terms.iter().zip(tuple.values()) {
+            match t {
+                DTerm::Const(c) => {
+                    if c != v {
+                        unwind(binding, trail, mark);
+                        continue 'cand;
+                    }
+                }
+                DTerm::Var(var) => match &binding[*var as usize] {
+                    Some(bound) => {
+                        if bound != v {
+                            unwind(binding, trail, mark);
+                            continue 'cand;
+                        }
+                    }
+                    None => {
+                        binding[*var as usize] = Some(*v);
+                        trail.push(*var);
+                    }
+                },
+            }
+        }
+        delta_search(
+            rule,
+            order,
+            source_of,
+            edb,
+            total,
+            delta,
+            depth + 1,
+            binding,
+            trail,
+            out,
+            stats,
+        );
+        unwind(binding, trail, mark);
+    }
+}
+
+/// Unbinds every variable the trail recorded past `mark`, truncating the
+/// trail back to it.
+fn unwind(binding: &mut [Option<Value>], trail: &mut Vec<u32>, mark: usize) {
+    for v in trail.drain(mark..) {
+        binding[v as usize] = None;
+    }
+}
+
 fn unbind(binding: &mut [Option<Value>], vars: &[u32]) {
     for v in vars {
         binding[*v as usize] = None;
@@ -758,6 +1076,41 @@ mod tests {
         edb.extend(r, [tuple![1, 1], tuple![1, 2], tuple![3, 3]]);
         let (idb, _) = evaluate(&p, &edb);
         assert_eq!(idb.len(q), 2);
+    }
+
+    #[test]
+    fn delta_join_matches_full_join_oracle() {
+        let (p, edge, path) = transitive_closure();
+        let mut edb = FactStore::new();
+        edb.extend(edge, (1..8).map(|i| tuple![i, i + 1]));
+        edb.insert(edge, tuple![8, 1]); // close the cycle
+        let (fast, fast_stats) = evaluate(&p, &edb);
+        let (slow, slow_stats) = evaluate_full_join(&p, &edb);
+        assert_eq!(fast_stats, slow_stats, "stats incl. delta_sizes match");
+        let mut a: Vec<Tuple> = fast.tuples(path).to_vec();
+        let mut b: Vec<Tuple> = slow.tuples(path).to_vec();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn delta_sizes_align_with_rounds() {
+        let (p, edge, _) = transitive_closure();
+        let mut edb = FactStore::new();
+        edb.extend(edge, (1..5).map(|i| tuple![i, i + 1]));
+        let (_, stats) = evaluate(&p, &edb);
+        assert_eq!(stats.delta_sizes.len(), stats.rounds);
+        assert_eq!(stats.delta_sizes.iter().sum::<usize>(), stats.derived);
+        // The final round is the barren one that confirmed the fixpoint.
+        assert_eq!(*stats.delta_sizes.last().unwrap(), 0);
+        // On a chain the delta shrinks monotonically after initialization.
+        let mid = &stats.delta_sizes[..stats.delta_sizes.len() - 1];
+        assert!(
+            mid.windows(2).all(|w| w[1] <= w[0]),
+            "{:?}",
+            stats.delta_sizes
+        );
     }
 
     #[test]

@@ -27,7 +27,7 @@ mod store;
 pub use ast::{DTerm, Literal, PredId, Predicate, Program, Rule};
 pub use error::DatalogError;
 pub use eval::{
-    combine_projections, evaluate, project_component, rule_body_satisfiable, rule_head_instances,
-    rule_head_instances_pinned, EvalStats,
+    combine_projections, evaluate, evaluate_full_join, evaluate_with_obs, project_component,
+    rule_body_satisfiable, rule_head_instances, rule_head_instances_pinned, EvalStats,
 };
 pub use store::{Candidates, FactStore};

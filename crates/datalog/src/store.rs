@@ -1,8 +1,8 @@
 //! Fact storage with eager single-column hash indexes over interned values.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
-use toorjah_catalog::{FastMap, IVal, Tuple, Value};
+use toorjah_catalog::{FastMap, FastSet, IVal, Tuple, Value};
 
 use crate::PredId;
 
@@ -20,23 +20,26 @@ use crate::PredId;
 #[derive(Clone, Default, Debug)]
 struct PredFacts {
     tuples: Vec<Tuple>,
-    seen: HashSet<Tuple>,
+    seen: FastSet<Tuple>,
     /// `indexes[col]` maps a column value to the positions of tuples
-    /// carrying it at `col`, in insertion order.
+    /// carrying it at `col`, in insertion order. Empty in an
+    /// [unindexed](FactStore::unindexed) store.
     indexes: Vec<FastMap<IVal, Vec<u32>>>,
 }
 
 impl PredFacts {
-    fn insert(&mut self, t: Tuple) -> bool {
+    fn insert(&mut self, t: Tuple, indexed: bool) -> bool {
         if !self.seen.insert(t.clone()) {
             return false;
         }
-        if self.tuples.is_empty() {
-            self.indexes = vec![FastMap::default(); t.len()];
-        }
         let pos = u32::try_from(self.tuples.len()).expect("fewer than 2^32 facts per predicate");
-        for (index, &v) in self.indexes.iter_mut().zip(t.values()) {
-            index.entry(IVal::from(v)).or_default().push(pos);
+        if indexed {
+            if self.indexes.len() != t.len() {
+                self.indexes = vec![FastMap::default(); t.len()];
+            }
+            for (index, &v) in self.indexes.iter_mut().zip(t.values()) {
+                index.entry(IVal::from(v)).or_default().push(pos);
+            }
         }
         self.tuples.push(t);
         true
@@ -87,27 +90,59 @@ impl ExactSizeIterator for Candidates<'_> {}
 ///
 /// Insertion order is preserved per predicate, making iteration — and hence
 /// evaluation traces and test expectations — deterministic.
-#[derive(Clone, Default, Debug)]
+#[derive(Clone, Debug)]
 pub struct FactStore {
     facts: HashMap<PredId, PredFacts>,
+    /// Whether inserts maintain the per-column posting lists. An unindexed
+    /// store skips them and answers probes by scanning; see
+    /// [`FactStore::unindexed`].
+    indexed: bool,
+}
+
+impl Default for FactStore {
+    fn default() -> Self {
+        FactStore {
+            facts: HashMap::new(),
+            indexed: true,
+        }
+    }
 }
 
 impl FactStore {
-    /// Creates an empty store.
+    /// Creates an empty store with eager column indexes.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Creates an empty store that skips index maintenance entirely.
+    ///
+    /// Probes stay correct — [`FactStore::candidates`] falls back to the
+    /// full extent (callers re-verify every column against the tuple, so a
+    /// superset is safe) and [`FactStore::matching`] /
+    /// [`FactStore::has_matching`] scan. Worth it for stores that are
+    /// written far more than probed: the semi-naive evaluator's delta and
+    /// pending stores are refilled every round but probed only through
+    /// verifying search loops, so the two index-map operations per inserted
+    /// fact are pure overhead.
+    pub fn unindexed() -> Self {
+        FactStore {
+            facts: HashMap::new(),
+            indexed: false,
+        }
+    }
+
     /// Inserts a fact; returns `true` if it was new.
     pub fn insert(&mut self, pred: PredId, tuple: Tuple) -> bool {
-        self.facts.entry(pred).or_default().insert(tuple)
+        let indexed = self.indexed;
+        self.facts.entry(pred).or_default().insert(tuple, indexed)
     }
 
     /// Inserts many facts.
     pub fn extend(&mut self, pred: PredId, tuples: impl IntoIterator<Item = Tuple>) {
+        let indexed = self.indexed;
         let facts = self.facts.entry(pred).or_default();
         for t in tuples {
-            facts.insert(t);
+            facts.insert(t, indexed);
         }
     }
 
@@ -141,11 +176,18 @@ impl FactStore {
     /// Candidate positions (into [`FactStore::tuples`]) for a body literal:
     /// the posting list of `value` at `col` when a bound column is known, the
     /// full extent otherwise. Borrows the index — no allocation per probe.
+    ///
+    /// On an [unindexed](FactStore::unindexed) store a bound column yields
+    /// the full extent too: a superset of the posting list, in the same
+    /// (insertion) order, so search loops that re-verify each tuple visit
+    /// the same matches in the same sequence.
     pub fn candidates(&self, pred: PredId, bound: Option<(usize, Value)>) -> Candidates<'_> {
         match (bound, self.facts.get(&pred)) {
-            (Some((col, value)), Some(f)) => Candidates::Indexed(f.positions(col, value).iter()),
+            (Some((col, value)), Some(f)) if self.indexed => {
+                Candidates::Indexed(f.positions(col, value).iter())
+            }
             (Some(_), None) => Candidates::Indexed([].iter()),
-            (None, f) => Candidates::All(0..f.map_or(0, |f| f.tuples.len())),
+            (_, f) => Candidates::All(0..f.map_or(0, |f| f.tuples.len())),
         }
     }
 
@@ -153,23 +195,53 @@ impl FactStore {
     /// Prefer [`FactStore::candidates`] in loops — this exists for callers
     /// that need to keep the positions around.
     pub fn matching(&self, pred: PredId, col: usize, value: &Value) -> Vec<usize> {
-        self.candidates(pred, Some((col, *value))).collect()
+        if self.indexed {
+            self.candidates(pred, Some((col, *value))).collect()
+        } else {
+            self.tuples(pred)
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.values().get(col) == Some(value))
+                .map(|(pos, _)| pos)
+                .collect()
+        }
     }
 
     /// Whether any fact matches `value` at `col` — the allocation-free
     /// membership probe behind the engine's runtime semi-join pruning.
     pub fn has_matching(&self, pred: PredId, col: usize, value: &Value) -> bool {
-        self.facts
-            .get(&pred)
-            .is_some_and(|f| !f.positions(col, *value).is_empty())
+        if self.indexed {
+            self.facts
+                .get(&pred)
+                .is_some_and(|f| !f.positions(col, *value).is_empty())
+        } else {
+            self.tuples(pred)
+                .iter()
+                .any(|t| t.values().get(col) == Some(value))
+        }
+    }
+
+    /// Removes every fact while keeping the per-predicate allocations
+    /// (tuple vectors, seen sets, index maps) for reuse — the semi-naive
+    /// evaluator clears and refills its delta store every round instead of
+    /// reallocating one.
+    pub fn clear(&mut self) {
+        for facts in self.facts.values_mut() {
+            facts.tuples.clear();
+            facts.seen.clear();
+            for index in &mut facts.indexes {
+                index.clear();
+            }
+        }
     }
 
     /// Merges all facts of `other` into `self`.
     pub fn absorb(&mut self, other: &FactStore) {
+        let indexed = self.indexed;
         for (&pred, facts) in &other.facts {
             let target = self.facts.entry(pred).or_default();
             for t in &facts.tuples {
-                target.insert(t.clone());
+                target.insert(t.clone(), indexed);
             }
         }
     }
@@ -270,6 +342,60 @@ mod tests {
         s.extend(p, [tuple![3], tuple![1], tuple![2]]);
         let order: Vec<_> = s.tuples(p).to_vec();
         assert_eq!(order, vec![tuple![3], tuple![1], tuple![2]]);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_indexes_working() {
+        let mut s = FactStore::new();
+        let p = PredId(0);
+        s.extend(p, [tuple!["a", 1], tuple!["b", 2]]);
+        s.clear();
+        assert_eq!(s.total(), 0);
+        assert!(s.is_empty(p));
+        assert!(!s.contains(p, &tuple!["a", 1]));
+        assert!(s.matching(p, 0, &Value::from("a")).is_empty());
+        // Refilling after a clear keeps dedup and indexing intact.
+        assert!(s.insert(p, tuple!["a", 7]));
+        assert!(!s.insert(p, tuple!["a", 7]));
+        assert_eq!(s.matching(p, 0, &Value::from("a")), vec![0]);
+    }
+
+    #[test]
+    fn unindexed_store_answers_probes_by_scanning() {
+        let mut indexed = FactStore::new();
+        let mut plain = FactStore::unindexed();
+        let p = PredId(0);
+        for s in [&mut indexed, &mut plain] {
+            s.extend(p, [tuple!["a", 1], tuple!["b", 2], tuple!["a", 3]]);
+        }
+        // matching/has_matching agree with the indexed store exactly.
+        assert_eq!(
+            plain.matching(p, 0, &Value::from("a")),
+            indexed.matching(p, 0, &Value::from("a"))
+        );
+        assert!(plain.has_matching(p, 1, &Value::from(2)));
+        assert!(!plain.has_matching(p, 1, &Value::from(9)));
+        assert!(plain.matching(p, 0, &Value::from("zz")).is_empty());
+        // candidates with a bound column fall back to the full extent — a
+        // superset of the posting list, in insertion order.
+        let all: Vec<usize> = plain.candidates(p, Some((0, Value::from("a")))).collect();
+        assert_eq!(all, vec![0, 1, 2]);
+        // Dedup and membership are index-free and unaffected.
+        assert!(!plain.insert(p, tuple!["a", 1]));
+        assert!(plain.contains(p, &tuple!["b", 2]));
+        assert_eq!(plain.len(p), 3);
+    }
+
+    #[test]
+    fn unindexed_store_clears_and_refills() {
+        let mut s = FactStore::unindexed();
+        let p = PredId(0);
+        s.extend(p, [tuple![1, 2], tuple![2, 3]]);
+        s.clear();
+        assert_eq!(s.total(), 0);
+        assert!(s.insert(p, tuple![5, 6]));
+        assert!(!s.insert(p, tuple![5, 6]));
+        assert_eq!(s.matching(p, 1, &Value::from(6)), vec![0]);
     }
 
     #[test]

@@ -111,6 +111,12 @@ pub struct DispatchReport {
     /// [`DispatchReport::frontier_sizes`] (all zeros when pruning is
     /// disabled).
     pub pruned_per_frontier: Vec<usize>,
+    /// The semi-naive delta schedule: fresh frontier entries per evaluator
+    /// fixpoint step (one entry per step, including the barren step's `0`)
+    /// and per standalone round. Frontiers enumerate only binding
+    /// combinations new since the previous round, so these are deltas and
+    /// their sum equals [`DispatchReport::total_requested`].
+    pub delta_schedule: Vec<usize>,
 }
 
 impl DispatchReport {
@@ -137,6 +143,7 @@ impl DispatchReport {
         self.accesses_pruned += other.accesses_pruned;
         self.pruned_per_frontier
             .extend_from_slice(&other.pruned_per_frontier);
+        self.delta_schedule.extend_from_slice(&other.delta_schedule);
     }
 
     /// One-line rendering for reports and the CLI.
@@ -149,6 +156,19 @@ impl DispatchReport {
         );
         if self.accesses_pruned > 0 {
             out.push_str(&format!(", {} pruned", self.accesses_pruned));
+        }
+        if !self.delta_schedule.is_empty() {
+            out.push_str(", deltas [");
+            for (i, d) in self.delta_schedule.iter().take(12).enumerate() {
+                if i > 0 {
+                    out.push(' ');
+                }
+                out.push_str(&d.to_string());
+            }
+            if self.delta_schedule.len() > 12 {
+                out.push_str(" …");
+            }
+            out.push(']');
         }
         out
     }

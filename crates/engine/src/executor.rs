@@ -38,7 +38,7 @@
 //! [`toorjah_datalog::evaluate`], and `tests/proptests.rs` checks the
 //! pruned path against the naive oracle.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 use toorjah_cache::SharedAccessCache;
 use toorjah_catalog::{AccessKey, RelationId, Tuple, Value};
@@ -365,12 +365,165 @@ fn subquery_satisfiable(
 
 /// Per-input-position enumeration frontier: the pool of values already
 /// known, with `old` marking how many of them earlier rounds enumerated
-/// (the kernel's [`PoolView`] over it), plus the membership set.
+/// (the kernel's [`PoolView`] over it), plus the membership set and the
+/// incremental domain-scan state.
 #[derive(Clone, Default, Debug)]
 struct PoolFrontier {
     values: Vec<Value>,
     old: usize,
     seen: HashSet<Value>,
+    delta: DomainDelta,
+}
+
+/// Incremental domain-pool state for one cache input position: instead of
+/// re-projecting every provider's full cache each pass, only the tuples a
+/// provider gained since the last committed scan are read — per-pass domain
+/// work is O(|delta|), not O(|total|). Caches only ever append, so the
+/// consumed positions are stable cursors.
+#[derive(Clone, Default, Debug)]
+struct DomainDelta {
+    /// Per provider: tuples of its cache already scanned.
+    consumed: Vec<usize>,
+    /// Join mode, per provider: values present in its scanned projection.
+    present: Vec<HashSet<Value>>,
+    /// Join mode: first-encounter rank of each value in provider 0's
+    /// projection — the order the full pool recomputation would emit
+    /// values in, which newly completed values are sorted by.
+    first_rank: HashMap<Value, usize>,
+}
+
+impl DomainDelta {
+    fn ensure_providers(&mut self, n: usize) {
+        if self.consumed.len() < n {
+            self.consumed.resize(n, 0);
+            self.present.resize_with(n, HashSet::new);
+        }
+    }
+}
+
+/// One pass's staged domain scan: the new pool values (in exactly the order
+/// a full recomputation would first encounter them) plus the cursor and
+/// membership updates that produced them. Staging keeps early-returning
+/// passes side-effect free — an uncommitted scan is simply redone next
+/// pass, matching the full-recompute semantics value for value.
+struct StagedScan {
+    /// New pool values, in the full pool's first-encounter order.
+    news: Vec<Value>,
+    /// Per provider: consumed position after this scan.
+    scanned: Vec<usize>,
+    /// Join mode, per provider: values newly present in its projection.
+    memberships: Vec<Vec<Value>>,
+    /// Join mode: provider-0 values first encountered this scan, in order.
+    ranked: Vec<Value>,
+}
+
+impl StagedScan {
+    /// Folds the staged scan into its frontier: cursors advance, join
+    /// memberships and ranks persist, and the new values enter the pool.
+    fn commit(self, fr: &mut PoolFrontier) {
+        fr.delta.consumed.copy_from_slice(&self.scanned);
+        for (present, mem) in fr.delta.present.iter_mut().zip(self.memberships) {
+            present.extend(mem);
+        }
+        for v in self.ranked {
+            let rank = fr.delta.first_rank.len();
+            fr.delta.first_rank.insert(v, rank);
+        }
+        for v in self.news {
+            if fr.seen.insert(v) {
+                fr.values.push(v);
+            }
+        }
+    }
+}
+
+/// Stages one pass's new domain values for `dp`: the values entering the
+/// domain-predicate extension since the frontier's last committed scan.
+///
+/// Order is identical to the full recomputation the scan replaces. Union:
+/// a new value's first encounter necessarily sits in some provider's
+/// unscanned region (scanned regions hold only already-emitted values), and
+/// those regions are visited in the same provider-major, insertion order.
+/// Join: the pool's order is provider 0's first-encounter order, persisted
+/// as ranks; a value completes the intersection exactly in the pass where
+/// its last missing provider gains it, so every newly complete value is
+/// among this scan's touched values, and sorting them by rank restores the
+/// pool order.
+fn stage_new_values(
+    plan: &QueryPlan,
+    dp: &toorjah_core::DomainPredInfo,
+    facts: &FactStore,
+    fr: &PoolFrontier,
+) -> StagedScan {
+    let delta = &fr.delta;
+    let mut news: Vec<Value> = Vec::new();
+    let mut scanned: Vec<usize> = Vec::with_capacity(dp.providers.len());
+    let mut memberships: Vec<Vec<Value>> = Vec::new();
+    let mut ranked: Vec<Value> = Vec::new();
+    match dp.mode {
+        DomainMode::Union => {
+            let mut fresh: HashSet<Value> = HashSet::new();
+            for (j, p) in dp.providers.iter().enumerate() {
+                let tuples = facts.tuples(plan.caches[p.cache].cache_pred);
+                scanned.push(tuples.len());
+                for t in &tuples[delta.consumed[j]..] {
+                    let v = t[p.column];
+                    if !fr.seen.contains(&v) && fresh.insert(v) {
+                        news.push(v);
+                    }
+                }
+            }
+        }
+        DomainMode::Join => {
+            let mut touched: Vec<Value> = Vec::new();
+            let mut touched_set: HashSet<Value> = HashSet::new();
+            let mut staged_rank: HashMap<Value, usize> = HashMap::new();
+            let mut mem_sets: Vec<HashSet<Value>> = Vec::with_capacity(dp.providers.len());
+            for (j, p) in dp.providers.iter().enumerate() {
+                let tuples = facts.tuples(plan.caches[p.cache].cache_pred);
+                scanned.push(tuples.len());
+                let mut mem: Vec<Value> = Vec::new();
+                let mut mem_set: HashSet<Value> = HashSet::new();
+                for t in &tuples[delta.consumed[j]..] {
+                    let v = t[p.column];
+                    if !delta.present[j].contains(&v) && mem_set.insert(v) {
+                        mem.push(v);
+                        if j == 0 {
+                            staged_rank.insert(v, delta.first_rank.len() + ranked.len());
+                            ranked.push(v);
+                        }
+                        if touched_set.insert(v) {
+                            touched.push(v);
+                        }
+                    }
+                }
+                memberships.push(mem);
+                mem_sets.push(mem_set);
+            }
+            news = touched
+                .into_iter()
+                .filter(|v| !fr.seen.contains(v))
+                .filter(|v| {
+                    (0..dp.providers.len())
+                        .all(|j| delta.present[j].contains(v) || mem_sets[j].contains(v))
+                })
+                .collect();
+            news.sort_by_key(|v| {
+                delta
+                    .first_rank
+                    .get(v)
+                    .or_else(|| staged_rank.get(v))
+                    .copied()
+                    .expect("a complete value is in provider 0's projection")
+            });
+        }
+    }
+    StagedScan {
+        news,
+        scanned,
+        memberships,
+        ranked,
+    }
 }
 
 /// Populates one cache from the current domain-predicate values; returns
@@ -407,32 +560,33 @@ fn populate_cache(
     let relation = provider_rel
         .ok_or_else(|| EngineError::PlanMismatch("unresolved provider relation".into()))?;
 
-    // New value per input position = current domain-predicate extension
-    // minus the frontier. Both union and join (intersection) extensions are
-    // monotone, so values never leave a pool.
-    let mut news: Vec<Vec<Value>> = Vec::with_capacity(cache.input_domains.len());
-    for (dp, fr) in cache.input_domains.iter().zip(frontier.iter()) {
-        let pool = domain_values(plan, dp, facts);
-        news.push(pool.into_iter().filter(|v| !fr.seen.contains(v)).collect());
+    // New value per input position = values entering the domain-predicate
+    // extension since this frontier's last committed scan. The scan is
+    // incremental — only tuples a provider's cache gained since the last
+    // pass are read — and *staged*: an early-returning pass commits
+    // nothing, so its values simply reappear next pass, exactly as under
+    // full recomputation. Both union and join (intersection) extensions
+    // are monotone, so values never leave a pool.
+    let mut staged: Vec<StagedScan> = Vec::with_capacity(cache.input_domains.len());
+    for (dp, fr) in cache.input_domains.iter().zip(frontier.iter_mut()) {
+        fr.delta.ensure_providers(dp.providers.len());
+        staged.push(stage_new_values(plan, dp, facts, fr));
     }
     // Any empty (old ∪ new) pool means the cache cannot be accessed yet.
     if frontier
         .iter()
-        .zip(news.iter())
-        .any(|(fr, new)| fr.values.is_empty() && new.is_empty())
+        .zip(staged.iter())
+        .any(|(fr, scan)| fr.values.is_empty() && scan.news.is_empty())
     {
         return Ok(false);
     }
 
-    // Append the new values and collect the round's fresh bindings — the
-    // shared pivot decomposition; a free relation contributes the single
-    // empty binding (the access cache makes repeats free).
-    for (fr, new) in frontier.iter_mut().zip(news) {
-        for v in new {
-            if fr.seen.insert(v) {
-                fr.values.push(v);
-            }
-        }
+    // Commit the scans — appending the new values — and collect the round's
+    // fresh bindings: the shared pivot decomposition; a free relation
+    // contributes the single empty binding (the access cache makes repeats
+    // free).
+    for (fr, scan) in frontier.iter_mut().zip(staged) {
+        scan.commit(fr);
     }
     let mut requests: Vec<AccessKey> = Vec::new();
     if frontier.is_empty() {
@@ -466,52 +620,6 @@ fn populate_cache(
         fr.old = fr.values.len();
     }
     Ok(changed)
-}
-
-/// The current extension of a domain predicate: the union (weak arcs) or
-/// intersection (strong arcs — a join on a single shared variable) of the
-/// providers' column projections.
-fn domain_values(
-    plan: &QueryPlan,
-    dp: &toorjah_core::DomainPredInfo,
-    facts: &FactStore,
-) -> Vec<Value> {
-    let project = |provider: &toorjah_core::Provider| -> Vec<Value> {
-        let cache = &plan.caches[provider.cache];
-        let mut seen = HashSet::new();
-        facts
-            .tuples(cache.cache_pred)
-            .iter()
-            .map(|t| t[provider.column])
-            .filter(|v| seen.insert(*v))
-            .collect()
-    };
-    match dp.mode {
-        DomainMode::Union => {
-            let mut seen = HashSet::new();
-            let mut out = Vec::new();
-            for p in &dp.providers {
-                for v in project(p) {
-                    if seen.insert(v) {
-                        out.push(v);
-                    }
-                }
-            }
-            out
-        }
-        DomainMode::Join => {
-            let mut iter = dp.providers.iter();
-            let Some(first) = iter.next() else {
-                return Vec::new();
-            };
-            let mut out = project(first);
-            for p in iter {
-                let other: HashSet<Value> = project(p).into_iter().collect();
-                out.retain(|v| other.contains(v));
-            }
-            out
-        }
-    }
 }
 
 #[cfg(test)]

@@ -55,6 +55,7 @@ struct KernelMetrics {
     requested: Arc<Counter>,
     pruned: Arc<Counter>,
     round_us: Arc<Histogram>,
+    delta_size: Arc<Histogram>,
 }
 
 impl KernelMetrics {
@@ -65,6 +66,7 @@ impl KernelMetrics {
             requested: registry.counter("kernel.accesses_requested"),
             pruned: registry.counter("kernel.accesses_pruned"),
             round_us: registry.histogram("kernel.round_us"),
+            delta_size: registry.histogram("kernel.delta_size"),
         })
     }
 }
@@ -84,6 +86,16 @@ pub(crate) struct Kernel<'a> {
     /// Rounds this kernel has dispatched (empty frontiers excluded), the
     /// `round` stamp on every emitted trace event.
     round_no: u32,
+    /// Whether a [`Kernel::fixpoint`] loop is driving the rounds. Inside a
+    /// fixpoint, each `round` accumulates its frontier into
+    /// `current_delta` and the driver flushes once per step; a standalone
+    /// round (e.g. a negation check) flushes its own delta immediately.
+    in_fixpoint: bool,
+    /// Frontier entries requested by the rounds of the current fixpoint
+    /// step — the step's delta. Frontiers contain only *fresh* binding
+    /// combinations (see [`fresh_bindings`]), so this is the semi-naive
+    /// delta, not a running total.
+    current_delta: usize,
 }
 
 impl<'a> Kernel<'a> {
@@ -106,7 +118,21 @@ impl<'a> Kernel<'a> {
             obs,
             metrics: KernelMetrics::resolve(obs),
             round_no: 0,
+            in_fixpoint: false,
+            current_delta: 0,
         }
+    }
+
+    /// Records one completed delta (a fixpoint step's fresh frontier total,
+    /// or a standalone round's frontier) in the dispatch report's schedule,
+    /// the `kernel.delta_size` histogram, and the trace.
+    fn flush_delta(&mut self, delta: usize) {
+        self.report.delta_schedule.push(delta);
+        if let Some(m) = &self.metrics {
+            m.delta_size.record(delta as u64);
+        }
+        self.obs
+            .trace(self.round_no, || EventKind::DeltaRound { delta });
     }
 
     /// One kernel round: records the requested frontier, applies the
@@ -185,6 +211,16 @@ impl<'a> Kernel<'a> {
         }
         let dispatched = dispatched?;
 
+        // Frontiers are deltas (fresh combinations only): inside a fixpoint
+        // the driver flushes once per step, a standalone round is its own
+        // delta entry. Either way `sum(delta_schedule)` stays equal to
+        // `sum(frontier_sizes)`.
+        if self.in_fixpoint {
+            self.current_delta += frontier.len();
+        } else {
+            self.flush_delta(frontier.len());
+        }
+
         if pruned == 0 {
             return Ok(dispatched);
         }
@@ -212,15 +248,30 @@ impl<'a> Kernel<'a> {
         &mut self,
         mut step: impl FnMut(&mut Self, usize) -> Result<bool, EngineError>,
     ) -> Result<usize, EngineError> {
+        let was_in_fixpoint = self.in_fixpoint;
+        self.in_fixpoint = true;
         let mut rounds = 0;
-        loop {
+        let result = loop {
             rounds += 1;
-            if !step(self, rounds)? {
-                self.obs
-                    .trace(self.round_no, || EventKind::FixpointReached { rounds });
-                return Ok(rounds);
+            self.current_delta = 0;
+            match step(self, rounds) {
+                Err(e) => break Err(e),
+                Ok(changed) => {
+                    // One delta entry per step — the barren step that
+                    // confirms the fixpoint contributes its (zero) delta
+                    // too, closing the schedule.
+                    let delta = std::mem::take(&mut self.current_delta);
+                    self.flush_delta(delta);
+                    if !changed {
+                        self.obs
+                            .trace(self.round_no, || EventKind::FixpointReached { rounds });
+                        break Ok(rounds);
+                    }
+                }
             }
-        }
+        };
+        self.in_fixpoint = was_in_fixpoint;
+        result
     }
 }
 

@@ -169,28 +169,42 @@ pub fn naive_evaluate(
         );
         rounds = kernel.fixpoint(|kernel, round| {
             let mut new_access = false;
-            // Snapshot B so a round uses a consistent value set.
-            let snapshot: HashMap<DomainId, Vec<Value>> = b_vec.clone();
+            // Snapshot B as per-domain *lengths*: a round enumerates only
+            // the prefix of each pool that existed when the round began
+            // (values folded in mid-round belong to the next round), so the
+            // snapshot costs O(#domains) instead of cloning every value —
+            // per-round overhead stays proportional to the delta, not the
+            // accumulated binding set.
+            let snapshot: HashMap<DomainId, usize> =
+                b_vec.iter().map(|(&d, v)| (d, v.len())).collect();
+            let mut requests: Vec<AccessKey> = Vec::new();
             for (rel_id, rel) in schema.iter() {
                 let input_domains: Vec<DomainId> = rel
                     .pattern()
                     .input_positions()
                     .map(|k| rel.domain(k))
                     .collect();
-                let pools: Vec<&[Value]> = input_domains
-                    .iter()
-                    .map(|d| snapshot.get(d).map_or(&[][..], Vec::as_slice))
-                    .collect();
-                let mut requests: Vec<AccessKey> = Vec::new();
-                if pools.is_empty() {
+                requests.clear();
+                if input_domains.is_empty() {
                     // Free relation: a single access, in the first round
                     // only.
                     if round == 1 {
                         requests.push((rel_id, Tuple::empty()));
                     }
-                } else if pools.iter().any(|p| p.is_empty()) {
-                    continue; // some input domain has no known values yet
                 } else {
+                    // Scoped borrow of B: the pool slices (truncated to the
+                    // snapshot lengths; a domain first seen mid-round has
+                    // length 0) are dropped before the fold below mutates B.
+                    let pools: Vec<&[Value]> = input_domains
+                        .iter()
+                        .map(|d| {
+                            let len = snapshot.get(d).copied().unwrap_or(0);
+                            b_vec.get(d).map_or(&[][..], |v| &v[..len])
+                        })
+                        .collect();
+                    if pools.iter().any(|p| p.is_empty()) {
+                        continue; // some input domain has no known values yet
+                    }
                     let views: Vec<PoolView> = pools
                         .iter()
                         .zip(&frontier[rel_id.index()])

@@ -18,6 +18,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard};
 
 use toorjah_catalog::{tuple, Tuple, Value};
 use toorjah_datalog::{FactStore, PredId};
@@ -45,12 +46,35 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static COUNTER: CountingAlloc = CountingAlloc;
 
-/// Allocations performed while running `f`.
-fn allocations_during(f: impl FnOnce() -> usize) -> (usize, usize) {
-    let before = ALLOCATIONS.load(Ordering::Relaxed);
-    let witness = f();
-    let after = ALLOCATIONS.load(Ordering::Relaxed);
-    (after - before, witness)
+/// The allocation counter is process-global, so a concurrently running
+/// test's setup allocations would bleed into another probe's window. Every
+/// probe takes this lock for its whole body (setup included) to serialize.
+static PROBE_LOCK: Mutex<()> = Mutex::new(());
+
+fn serialized() -> MutexGuard<'static, ()> {
+    PROBE_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Allocations observed while running `f`, minimized over a few attempts.
+///
+/// The counter is global, so unrelated threads (libtest's own bookkeeping
+/// runs outside [`PROBE_LOCK`]) can inflate a window but never deflate it:
+/// if the probed path allocated, *every* attempt would count it. Observing
+/// zero on any attempt therefore proves allocation-freedom; retrying rides
+/// out transient interference. Probes must be idempotent.
+fn allocations_during(mut f: impl FnMut() -> usize) -> (usize, usize) {
+    let mut best = usize::MAX;
+    let mut witness = 0;
+    for _ in 0..5 {
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
+        witness = f();
+        let after = ALLOCATIONS.load(Ordering::Relaxed);
+        best = best.min(after - before);
+        if best == 0 {
+            break;
+        }
+    }
+    (best, witness)
 }
 
 fn seeded_store() -> (FactStore, PredId, Vec<Value>) {
@@ -67,6 +91,7 @@ fn seeded_store() -> (FactStore, PredId, Vec<Value>) {
 
 #[test]
 fn relevance_probe_allocates_nothing() {
+    let _guard = serialized();
     let (store, p, values) = seeded_store();
     // `has_matching` is the RelevancePruner::keep inner loop: one hash of a
     // fixed-size value against the eager column index.
@@ -87,6 +112,7 @@ fn relevance_probe_allocates_nothing() {
 
 #[test]
 fn indexed_candidate_walk_allocates_nothing() {
+    let _guard = serialized();
     let (store, p, values) = seeded_store();
     // `candidates` with a bound column is the evaluator's join probe: it
     // borrows the posting list, so iterating it is allocation-free.
@@ -105,6 +131,7 @@ fn indexed_candidate_walk_allocates_nothing() {
 
 #[test]
 fn frontier_dedup_of_seen_values_allocates_nothing() {
+    let _guard = serialized();
     let (_, _, values) = seeded_store();
     // PoolFrontier-style dedup: re-offering an already-seen value is a pure
     // hash probe of a Copy value.
@@ -126,6 +153,7 @@ fn frontier_dedup_of_seen_values_allocates_nothing() {
 
 #[test]
 fn fresh_binding_snapshot_allocates_nothing_at_paper_arities() {
+    let _guard = serialized();
     let (_, _, values) = seeded_store();
     // The kernel's fresh-binding enumeration snapshots each odometer state
     // with `Tuple::from_slice`; at arity ≤ 3 (all of the paper's schemas)
@@ -150,6 +178,7 @@ fn fresh_binding_snapshot_allocates_nothing_at_paper_arities() {
 
 #[test]
 fn disabled_obs_probes_allocate_nothing() {
+    let _guard = serialized();
     use toorjah_catalog::RelationId;
     use toorjah_obs::{EventKind, Obs};
     let (_, _, values) = seeded_store();
@@ -179,7 +208,38 @@ fn disabled_obs_probes_allocate_nothing() {
 }
 
 #[test]
+fn delta_maintenance_recheck_allocates_nothing() {
+    let _guard = serialized();
+    let (mut store, p, values) = seeded_store();
+    // The semi-naive evaluator's per-round dedup: every fact a delta-join
+    // pass rederives is checked against the total store (`contains`) and
+    // re-offered to the delta (`insert` returning false). Both paths hash
+    // an inline tuple — the rejected insert's clone stays inline and the
+    // seen-set probe finds the entry without growing anything, so
+    // re-deriving an already-known fact costs zero heap traffic.
+    let mut delta = FactStore::unindexed();
+    for (i, &v) in values.iter().enumerate() {
+        delta.insert(p, Tuple::from_slice(&[v, Value::from(i as i64)]));
+    }
+    let (allocs, rejected) = allocations_during(|| {
+        let mut rejected = 0usize;
+        for _ in 0..100 {
+            for (i, &v) in values.iter().enumerate() {
+                let t = Tuple::from_slice(&[v, Value::from(i as i64)]);
+                if store.contains(p, &t) && !store.insert(p, t.clone()) && !delta.insert(p, t) {
+                    rejected += 1;
+                }
+            }
+        }
+        rejected
+    });
+    assert_eq!(rejected, 6400, "every rederivation is already known");
+    assert_eq!(allocs, 0, "re-deriving a seen fact must not allocate");
+}
+
+#[test]
 fn the_counter_itself_counts() {
+    let _guard = serialized();
     // Guard the guard: a deliberately allocating closure must be seen by
     // the counting allocator, or the zero-assertions above prove nothing.
     let (allocs, len) = allocations_during(|| {
@@ -195,6 +255,7 @@ fn the_counter_itself_counts() {
 
 #[test]
 fn equivalence_smoke_under_the_counting_allocator() {
+    let _guard = serialized();
     // The allocator wrapper must not change behavior: a tiny end-to-end
     // store interaction still answers correctly.
     let (store, p, values) = seeded_store();

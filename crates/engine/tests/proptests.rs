@@ -115,6 +115,46 @@ fn check_scenario(seed: u64) -> bool {
         pruned.dispatch.accesses_pruned,
         "per-round pruned counters reconcile on seed {seed}"
     );
+    // The delta schedule partitions the dispatched accesses: every access
+    // belongs to exactly one fixpoint step's delta, so the schedule sums to
+    // the total requested in every mode.
+    for (name, report) in [("base", &base), ("pruned", &pruned)] {
+        assert_eq!(
+            report.dispatch.delta_schedule.iter().sum::<usize>(),
+            report.dispatch.total_requested(),
+            "{name} delta schedule sums to total_requested on seed {seed}"
+        );
+    }
+
+    // Parallel dispatch (threads > 1) is a scheduling change only: answers
+    // and the access *multiset* per relation match the sequential kernel,
+    // and the delta schedule still partitions the dispatched accesses.
+    let (par, _par_log) = run(
+        &planned.plan,
+        &provider,
+        ExecOptions {
+            dispatch: toorjah_engine::DispatchOptions {
+                parallelism: 3,
+                batch_size: 2,
+            },
+            ..ExecOptions::default()
+        },
+    );
+    assert_eq!(
+        sorted(par.answers.clone()),
+        sorted(naive.answers.clone()),
+        "parallel kernel vs naive oracle differ for {} on seed {seed}",
+        query.display(&generated.schema),
+    );
+    assert_eq!(
+        par.stats.total_accesses, base.stats.total_accesses,
+        "parallel dispatch changed the access count on seed {seed}"
+    );
+    assert_eq!(
+        par.dispatch.delta_schedule.iter().sum::<usize>(),
+        par.dispatch.total_requested(),
+        "parallel delta schedule sums to total_requested on seed {seed}"
+    );
 
     // Property 3: first-k returns min(k, |answers|) real answers at no
     // higher cost.

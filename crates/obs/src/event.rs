@@ -83,6 +83,14 @@ pub enum EventKind {
         /// Rounds executed.
         rounds: usize,
     },
+    /// One semi-naive evaluation round completed having requested `delta`
+    /// *new* frontier bindings — the round's delta. Emitted once per
+    /// fixpoint step (and once per standalone kernel round), so the decay
+    /// of the delta toward the fixpoint is visible in a trace.
+    DeltaRound {
+        /// New frontier bindings requested this round.
+        delta: usize,
+    },
 }
 
 impl EventKind {
@@ -100,6 +108,7 @@ impl EventKind {
             EventKind::CacheEvict { .. } => "cache_evict",
             EventKind::BatchCoalesced { .. } => "batch_coalesced",
             EventKind::FixpointReached { .. } => "fixpoint_reached",
+            EventKind::DeltaRound { .. } => "delta_round",
         }
     }
 
@@ -116,7 +125,8 @@ impl EventKind {
             | EventKind::BatchCoalesced { key } => Some(key),
             EventKind::RoundStart { .. }
             | EventKind::RoundEnd { .. }
-            | EventKind::FixpointReached { .. } => None,
+            | EventKind::FixpointReached { .. }
+            | EventKind::DeltaRound { .. } => None,
         }
     }
 }
@@ -185,6 +195,9 @@ impl TraceEvent {
             }
             EventKind::FixpointReached { rounds } => {
                 write!(out, ",\"rounds\":{rounds}").expect("writing to a String cannot fail");
+            }
+            EventKind::DeltaRound { delta } => {
+                write!(out, ",\"delta\":{delta}").expect("writing to a String cannot fail");
             }
             _ => {}
         }
@@ -300,6 +313,7 @@ mod tests {
             },
             EventKind::BatchCoalesced { key },
             EventKind::FixpointReached { rounds: 0 },
+            EventKind::DeltaRound { delta: 0 },
         ];
         let names: std::collections::HashSet<&str> = kinds.iter().map(EventKind::name).collect();
         assert_eq!(names.len(), kinds.len(), "names are distinct");

@@ -596,6 +596,28 @@ impl Toorjah {
         for rule in planned.plan.program.rules() {
             out.push_str(&format!("  {}\n", planned.plan.program.render_rule(rule)));
         }
+        // The static delta schedule: each round of semi-naive evaluation runs
+        // one delta-join pass per (recursive rule, IDB body literal) pair,
+        // joining that literal's delta against the totals of the rest.
+        let program = &planned.plan.program;
+        let idb = program.idb_predicates();
+        let mut recursive_rules = 0usize;
+        let mut delta_passes = 0usize;
+        for rule in program.rules() {
+            let pivots = rule.body.iter().filter(|l| idb.contains(&l.pred)).count();
+            if pivots > 0 {
+                recursive_rules += 1;
+                delta_passes += pivots;
+            }
+        }
+        if delta_passes == 0 {
+            out.push_str("semi-naive: no recursive rules, single-round evaluation\n");
+        } else {
+            out.push_str(&format!(
+                "semi-naive: {recursive_rules} recursive rule(s), \
+                 {delta_passes} delta-join pass(es) per round\n"
+            ));
+        }
         out
     }
 }

@@ -84,6 +84,10 @@ fn explain_mentions_program_and_relevance() {
         "irrelevant r3 must not be cached:\n{text}"
     );
     assert!(text.contains("forall-minimal: yes"));
+    // The dependency-graph program is recursive: explain reports how many
+    // delta-join passes each semi-naive round will run.
+    assert!(text.contains("semi-naive: "), "{text}");
+    assert!(text.contains("delta-join pass(es) per round"), "{text}");
 }
 
 #[test]

@@ -20,7 +20,8 @@
 //!     "per_relation": {"r1": {"accesses": 1, "extracted": 1}},
 //!     "dispatch": {"frontiers": 2, "largest_frontier": 1,
 //!                  "batches": 2, "total_requested": 2,
-//!                  "accesses_pruned": 0, "pruned_per_frontier": [0, 0]},
+//!                  "accesses_pruned": 0, "pruned_per_frontier": [0, 0],
+//!                  "delta_schedule": [1, 1]},
 //!     "timings_us": {"parse": 10, "plan": 120, "execute": 80,
 //!                    "cumulative_execute": 80, "total": 210},
 //!     "execution": 1
@@ -116,6 +117,14 @@ impl Response {
                 out.push(',');
             }
             let _ = write!(out, "{pruned}");
+        }
+        out.push(']');
+        out.push_str(",\"delta_schedule\":[");
+        for (i, delta) in p.dispatch.delta_schedule.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{delta}");
         }
         out.push_str("]}");
         out.push_str(",\"timings_us\":{\"parse\":");
@@ -213,6 +222,11 @@ mod tests {
         assert!(json.contains("\"accesses_performed\":2"), "{json}");
         assert!(json.contains("\"accesses_pruned\":0"), "{json}");
         assert!(json.contains("\"pruned_per_frontier\":["), "{json}");
+        // One delta entry per fixpoint step: positions with no caches flush
+        // a bare 0, each populated cache contributes its dispatch step (1
+        // new access) plus the barren confirmation step (0). Their sum is
+        // total_requested.
+        assert!(json.contains("\"delta_schedule\":[0,0,1,0,1,0]"), "{json}");
         assert!(
             json.contains("\"r1\":{\"accesses\":1,\"extracted\":1}"),
             "{json}"

@@ -98,6 +98,14 @@ fn check_scenario(seed: u64) -> bool {
                 "fast-failing vs fixpoint answers differ on seed {seed}",
             );
 
+            // The kernel's delta schedule partitions its dispatched
+            // accesses: one entry per fixpoint step, summing to the total.
+            assert_eq!(
+                report.dispatch.delta_schedule.iter().sum::<usize>(),
+                report.dispatch.total_requested(),
+                "delta schedule sums to total_requested on seed {seed}",
+            );
+
             // Property 2: optimized accesses never exceed the naive per
             // relation (the naive probes every domain-compatible binding the
             // optimized plan could ever generate).
@@ -246,6 +254,20 @@ mod prepared_matches_one_shot {
                     );
                     assert_eq!(first.rejected, one_shot.rejected);
                     assert_eq!(first.skipped_disjuncts, one_shot.skipped_disjuncts);
+                    // The delta schedule partitions the dispatched accesses
+                    // in every statement kind × mode combination…
+                    assert_eq!(
+                        first.profile.dispatch.delta_schedule.iter().sum::<usize>(),
+                        first.profile.dispatch.total_requested(),
+                        "delta schedule reconciles for {text} under {mode:?}"
+                    );
+                    // …and the per-step sizes themselves are deterministic:
+                    // prepared matches one-shot exactly.
+                    assert_eq!(
+                        first.profile.dispatch.delta_schedule,
+                        one_shot.profile.dispatch.delta_schedule,
+                        "delta schedule for {text} under {mode:?}"
+                    );
 
                     // Re-execution: same answers, no parse, no plan.
                     let second = prepared.execute(mode).unwrap();

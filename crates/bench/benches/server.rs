@@ -1,0 +1,136 @@
+//! Criterion benchmark of the query daemon's wire path.
+//!
+//! The contract (DESIGN.md §10): the service tax — request parsing,
+//! admission, session bookkeeping, and response rendering around an
+//! execution — must stay within **3×** of the direct facade call on a
+//! cache-warm prepared statement (where the execution itself is cheapest
+//! and the wrapper is proportionally largest). That bound is asserted
+//! up front (min-of-interleaved-trials, so scheduler noise cannot
+//! produce a false pass); the criterion groups then record the absolute
+//! request rates: warm `execute` through the statement registry, one-shot
+//! `ask` (fresh parse + plan per request), the pure protocol floor
+//! (`cache_stats`, no execution), and the direct facade baseline.
+//!
+//! Run in smoke mode (CI) with: `cargo bench -p toorjah-bench --bench
+//! server -- --test`.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use toorjah_cache::SharedAccessCache;
+use toorjah_engine::InstanceSource;
+use toorjah_obs::Obs;
+use toorjah_query::Statement;
+use toorjah_server::{Service, ServiceConfig};
+use toorjah_system::{ExecMode, Toorjah};
+use toorjah_workload::{music_instance, music_schema, MusicConfig};
+
+const QUERY: &str = "q(N) <- r1(A, N, Y1), r2('t0', Y2, A)";
+
+fn warm_service() -> Service {
+    let schema = music_schema();
+    let db = music_instance(&schema, &MusicConfig::default());
+    let system = Toorjah::builder(InstanceSource::new(schema, db))
+        .cache(SharedAccessCache::unbounded())
+        .observability(Obs::disabled())
+        .build();
+    let service = Service::new(system, ServiceConfig::default());
+    // Pay the cold misses and the plan once; the measured loops below run
+    // entirely cache- and registry-warm (cache-served lookups are free, so
+    // the tenant budget never depletes).
+    let reply = service.handle_line(&execute_line(QUERY));
+    assert!(reply.contains("\"ok\":true"), "{reply}");
+    service
+}
+
+fn execute_line(query: &str) -> String {
+    format!("{{\"id\":1,\"verb\":\"execute\",\"query\":\"{query}\"}}")
+}
+
+fn ask_line(query: &str) -> String {
+    format!("{{\"id\":1,\"verb\":\"ask\",\"query\":\"{query}\"}}")
+}
+
+fn prepare(service: &Service) -> toorjah_system::Prepared {
+    let system = service.system();
+    let statement = Statement::parse(QUERY, system.schema()).expect("parses");
+    system.prepare(&statement).expect("answerable")
+}
+
+/// Asserts the wire-tax budget: min-of-interleaved-trials of the warm
+/// wire `execute` within 3× of the direct facade execution it wraps.
+fn assert_wire_overhead_budget() {
+    const TRIALS: usize = 9;
+    const ITERS: usize = 300;
+    let service = warm_service();
+    let prepared = prepare(&service);
+    let line = execute_line(QUERY);
+    let mut sink = 0usize;
+    let mut direct_min = u128::MAX;
+    let mut wire_min = u128::MAX;
+    for _ in 0..TRIALS {
+        let t = Instant::now();
+        for _ in 0..ITERS {
+            sink ^= prepared
+                .execute(ExecMode::Sequential)
+                .expect("answerable")
+                .answers
+                .len();
+        }
+        direct_min = direct_min.min(t.elapsed().as_nanos());
+        let t = Instant::now();
+        for _ in 0..ITERS {
+            sink ^= service.handle_line(std::hint::black_box(&line)).len();
+        }
+        wire_min = wire_min.min(t.elapsed().as_nanos());
+    }
+    std::hint::black_box(sink);
+    assert!(
+        wire_min <= direct_min * 3,
+        "wire path exceeds the 3x budget: wire {wire_min}ns vs direct {direct_min}ns \
+         per {ITERS} warm executions"
+    );
+    println!(
+        "wire tax on a warm statement: direct {direct_min}ns, wire {wire_min}ns \
+         ({:.2}x)",
+        wire_min as f64 / direct_min as f64
+    );
+}
+
+fn server_wire(c: &mut Criterion) {
+    assert_wire_overhead_budget();
+
+    let mut group = c.benchmark_group("server_wire");
+
+    group.bench_function("direct_execute_warm", |b| {
+        let service = warm_service();
+        let prepared = prepare(&service);
+        b.iter(|| {
+            prepared
+                .execute(ExecMode::Sequential)
+                .expect("answerable")
+                .answers
+                .len()
+        })
+    });
+    group.bench_function("wire_execute_warm", |b| {
+        let service = warm_service();
+        let line = execute_line(QUERY);
+        b.iter(|| service.handle_line(std::hint::black_box(&line)).len())
+    });
+    group.bench_function("wire_ask_warm", |b| {
+        let service = warm_service();
+        let line = ask_line(QUERY);
+        b.iter(|| service.handle_line(std::hint::black_box(&line)).len())
+    });
+    group.bench_function("wire_cache_stats", |b| {
+        let service = warm_service();
+        let line = "{\"id\":1,\"verb\":\"cache_stats\"}";
+        b.iter(|| service.handle_line(std::hint::black_box(line)).len())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, server_wire);
+criterion_main!(benches);

@@ -20,7 +20,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 /// The bench areas every PR must keep a trajectory snapshot for.
-const REQUIRED_AREAS: [&str; 7] = [
+const REQUIRED_AREAS: [&str; 8] = [
     "cache",
     "dispatch",
     "relevance",
@@ -28,6 +28,7 @@ const REQUIRED_AREAS: [&str; 7] = [
     "datalog",
     "obs",
     "kernel",
+    "server",
 ];
 
 fn main() -> ExitCode {

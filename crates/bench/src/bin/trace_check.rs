@@ -11,21 +11,28 @@
 //!    events equals `access_served_cache + access_served_source +
 //!    access_pruned + access_failed` — every requested access is
 //!    terminally resolved exactly once;
-//! 4. with `--monotone-deltas`, at least one `delta_round` event is present
+//! 4. the server request lifecycle reconciles: `request_accepted` equals
+//!    `request_completed + request_rejected` plus the requests still in
+//!    flight when the trace ended (every accepted request reaches exactly
+//!    one terminal event — see the `toorjah-server` crate);
+//! 5. with `--drained`, that in-flight remainder must be zero — the
+//!    property of a *graceful* shutdown, where the server finishes every
+//!    admitted request before exiting;
+//! 6. with `--monotone-deltas`, at least one `delta_round` event is present
 //!    and, within each fixpoint segment (between `fixpoint_reached`
 //!    boundaries), the per-round `delta` sizes never increase. This is an
 //!    opt-in property: it holds for straight-line frontier schedules like
 //!    the paper's Example 1, not for every workload.
 //!
 //! Usage: `cargo run -p toorjah-bench --bin trace_check <trace.jsonl>
-//! [--monotone-deltas]`. Prints a one-line summary and exits non-zero on
-//! any violation.
+//! [--monotone-deltas] [--drained]`. Prints a one-line summary and exits
+//! non-zero on any violation.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 /// The event names the trace taxonomy can emit (`EventKind::name`).
-const KNOWN_EVENTS: [&str; 12] = [
+const KNOWN_EVENTS: [&str; 15] = [
     "round_start",
     "round_end",
     "access_requested",
@@ -38,14 +45,19 @@ const KNOWN_EVENTS: [&str; 12] = [
     "batch_coalesced",
     "fixpoint_reached",
     "delta_round",
+    "request_accepted",
+    "request_rejected",
+    "request_completed",
 ];
 
 fn main() -> ExitCode {
     let mut path = None;
     let mut monotone_deltas = false;
+    let mut drained = false;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--monotone-deltas" => monotone_deltas = true,
+            "--drained" => drained = true,
             _ if path.is_none() => path = Some(arg),
             other => {
                 eprintln!("unexpected argument: {other}");
@@ -54,7 +66,7 @@ fn main() -> ExitCode {
         }
     }
     let Some(path) = path else {
-        eprintln!("usage: trace_check <trace.jsonl> [--monotone-deltas]");
+        eprintln!("usage: trace_check <trace.jsonl> [--monotone-deltas] [--drained]");
         return ExitCode::from(2);
     };
     let text = match std::fs::read_to_string(&path) {
@@ -64,7 +76,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match check_with(&text, monotone_deltas) {
+    match check_full(&text, monotone_deltas, drained) {
         Ok(summary) => {
             println!("ok: {path}: {summary}");
             ExitCode::SUCCESS
@@ -78,10 +90,15 @@ fn main() -> ExitCode {
 
 #[cfg(test)]
 fn check(text: &str) -> Result<String, String> {
-    check_with(text, false)
+    check_full(text, false, false)
 }
 
+#[cfg(test)]
 fn check_with(text: &str, monotone_deltas: bool) -> Result<String, String> {
+    check_full(text, monotone_deltas, false)
+}
+
+fn check_full(text: &str, monotone_deltas: bool, drained: bool) -> Result<String, String> {
     let mut last_seq = 0u64;
     let mut counts: BTreeMap<String, usize> = BTreeMap::new();
     let mut lines = 0usize;
@@ -150,14 +167,37 @@ fn check_with(text: &str, monotone_deltas: bool) -> Result<String, String> {
              terminal events ({counts:?})"
         ));
     }
+
+    // The server request lifecycle: every accepted request must reach one
+    // terminal event (completed or rejected); the remainder was in flight
+    // when the trace ended, which a drained trace forbids.
+    let accepted = count("request_accepted");
+    let request_terminal = count("request_completed") + count("request_rejected");
+    if request_terminal > accepted {
+        return Err(format!(
+            "request lifecycle does not reconcile: {request_terminal} terminal \
+             events for only {accepted} accepted requests ({counts:?})"
+        ));
+    }
+    let in_flight = accepted - request_terminal;
+    if drained && in_flight != 0 {
+        return Err(format!(
+            "--drained: {in_flight} of {accepted} accepted request(s) never \
+             reached a terminal event ({counts:?})"
+        ));
+    }
+
     Ok(format!(
         "{lines} events, {requested} accesses requested and terminally resolved \
-         ({} from source, {} from cache, {} pruned, {} failed), {} delta round(s)",
+         ({} from source, {} from cache, {} pruned, {} failed), {} delta round(s), \
+         {accepted} request(s) accepted ({} completed, {} rejected, {in_flight} in flight)",
         count("access_served_source"),
         count("access_served_cache"),
         count("access_pruned"),
         count("access_failed"),
         count("delta_round"),
+        count("request_completed"),
+        count("request_rejected"),
     ))
 }
 
@@ -266,5 +306,34 @@ mod tests {
         // A delta_round without its payload is malformed either way.
         let bare = "{\"seq\":1,\"round\":1,\"event\":\"delta_round\",\"us\":0}\n";
         assert!(check(bare).unwrap_err().contains("delta"));
+    }
+
+    #[test]
+    fn request_lifecycle_reconciles() {
+        let served = "\
+{\"seq\":1,\"round\":0,\"event\":\"request_accepted\",\"us\":0,\"tenant\":\"a\",\"verb\":\"ask\"}\n\
+{\"seq\":2,\"round\":0,\"event\":\"request_accepted\",\"us\":0,\"tenant\":\"b\",\"verb\":\"ask\"}\n\
+{\"seq\":3,\"round\":0,\"event\":\"request_rejected\",\"us\":0,\"tenant\":\"b\",\"verb\":\"ask\",\"retry_after_ms\":25}\n\
+{\"seq\":4,\"round\":0,\"event\":\"request_completed\",\"us\":12,\"tenant\":\"a\",\"verb\":\"ask\"}\n";
+        let summary = check_full(served, false, true).unwrap();
+        assert!(
+            summary.contains("2 request(s) accepted (1 completed, 1 rejected, 0 in flight)"),
+            "{summary}"
+        );
+
+        // An accepted request with no terminal event: fine by default
+        // (it was in flight when the trace ended), fatal under --drained.
+        let in_flight = "\
+{\"seq\":1,\"round\":0,\"event\":\"request_accepted\",\"us\":0,\"tenant\":\"a\",\"verb\":\"ask\"}\n";
+        let summary = check(in_flight).unwrap();
+        assert!(summary.contains("1 in flight"), "{summary}");
+        let err = check_full(in_flight, false, true).unwrap_err();
+        assert!(err.contains("--drained"), "{err}");
+
+        // More terminal events than acceptances is corrupt either way.
+        let excess = "\
+{\"seq\":1,\"round\":0,\"event\":\"request_completed\",\"us\":3,\"tenant\":\"a\",\"verb\":\"ask\"}\n";
+        let err = check(excess).unwrap_err();
+        assert!(err.contains("request lifecycle"), "{err}");
     }
 }

@@ -1,6 +1,6 @@
 //! The typed trace-event taxonomy and its JSON-lines rendering.
 
-use toorjah_catalog::{AccessKey, Value};
+use toorjah_catalog::{AccessKey, Symbol, Value};
 
 /// What happened, with the payload that identifies it. Key-carrying
 /// variants hold the `(relation, binding)` access key of the paper's cost
@@ -91,6 +91,41 @@ pub enum EventKind {
         /// New frontier bindings requested this round.
         delta: usize,
     },
+    /// The query service accepted an execution-bearing request from a
+    /// tenant session. Every accepted request is terminally resolved by
+    /// exactly one of [`EventKind::RequestCompleted`] (it ran, successfully
+    /// or with a typed error response) or [`EventKind::RequestRejected`]
+    /// (admission control turned it away) — so at any instant
+    /// `accepted = completed + rejected + in-flight`, and after a graceful
+    /// drain the in-flight term is zero (validated by `trace_check`).
+    RequestAccepted {
+        /// The requesting tenant.
+        tenant: Symbol,
+        /// The request verb (`execute`, `ask`).
+        verb: Symbol,
+    },
+    /// Admission control rejected the request: the in-flight cap and the
+    /// bounded wait queue were both saturated. The client is told to retry
+    /// after `retry_after_ms` milliseconds.
+    RequestRejected {
+        /// The requesting tenant.
+        tenant: Symbol,
+        /// The request verb (`execute`, `ask`).
+        verb: Symbol,
+        /// Suggested client back-off, milliseconds.
+        retry_after_ms: u64,
+    },
+    /// An admitted request ran to completion — a full response or a typed
+    /// error (budget exhaustion included) — after `micros` microseconds of
+    /// wall-clock inside the service.
+    RequestCompleted {
+        /// The requesting tenant.
+        tenant: Symbol,
+        /// The request verb (`execute`, `ask`).
+        verb: Symbol,
+        /// Wall-clock from admission to response, microseconds.
+        micros: u64,
+    },
 }
 
 impl EventKind {
@@ -109,6 +144,9 @@ impl EventKind {
             EventKind::BatchCoalesced { .. } => "batch_coalesced",
             EventKind::FixpointReached { .. } => "fixpoint_reached",
             EventKind::DeltaRound { .. } => "delta_round",
+            EventKind::RequestAccepted { .. } => "request_accepted",
+            EventKind::RequestRejected { .. } => "request_rejected",
+            EventKind::RequestCompleted { .. } => "request_completed",
         }
     }
 
@@ -126,7 +164,20 @@ impl EventKind {
             EventKind::RoundStart { .. }
             | EventKind::RoundEnd { .. }
             | EventKind::FixpointReached { .. }
-            | EventKind::DeltaRound { .. } => None,
+            | EventKind::DeltaRound { .. }
+            | EventKind::RequestAccepted { .. }
+            | EventKind::RequestRejected { .. }
+            | EventKind::RequestCompleted { .. } => None,
+        }
+    }
+
+    /// The `(tenant, verb)` pair, for the query-service request variants.
+    pub fn request(&self) -> Option<(Symbol, Symbol)> {
+        match self {
+            EventKind::RequestAccepted { tenant, verb }
+            | EventKind::RequestRejected { tenant, verb, .. }
+            | EventKind::RequestCompleted { tenant, verb, .. } => Some((*tenant, *verb)),
+            _ => None,
         }
     }
 }
@@ -153,7 +204,9 @@ impl TraceEvent {
     pub fn write_json(&self, out: &mut String) {
         use std::fmt::Write;
         let micros = match self.kind {
-            EventKind::RoundEnd { micros } | EventKind::AccessServedSource { micros, .. } => micros,
+            EventKind::RoundEnd { micros }
+            | EventKind::AccessServedSource { micros, .. }
+            | EventKind::RequestCompleted { micros, .. } => micros,
             _ => 0,
         };
         write!(
@@ -180,6 +233,12 @@ impl TraceEvent {
             }
             out.push(']');
         }
+        if let Some((tenant, verb)) = self.kind.request() {
+            out.push_str(",\"tenant\":");
+            push_json_string(out, tenant.as_str());
+            out.push_str(",\"verb\":");
+            push_json_string(out, verb.as_str());
+        }
         match self.kind {
             EventKind::RoundStart { requested } => {
                 write!(out, ",\"requested\":{requested}").expect("writing to a String cannot fail");
@@ -198,6 +257,10 @@ impl TraceEvent {
             }
             EventKind::DeltaRound { delta } => {
                 write!(out, ",\"delta\":{delta}").expect("writing to a String cannot fail");
+            }
+            EventKind::RequestRejected { retry_after_ms, .. } => {
+                write!(out, ",\"retry_after_ms\":{retry_after_ms}")
+                    .expect("writing to a String cannot fail");
             }
             _ => {}
         }
@@ -314,9 +377,65 @@ mod tests {
             EventKind::BatchCoalesced { key },
             EventKind::FixpointReached { rounds: 0 },
             EventKind::DeltaRound { delta: 0 },
+            EventKind::RequestAccepted {
+                tenant: Symbol::intern("t0"),
+                verb: Symbol::intern("execute"),
+            },
+            EventKind::RequestRejected {
+                tenant: Symbol::intern("t0"),
+                verb: Symbol::intern("execute"),
+                retry_after_ms: 0,
+            },
+            EventKind::RequestCompleted {
+                tenant: Symbol::intern("t0"),
+                verb: Symbol::intern("execute"),
+                micros: 0,
+            },
         ];
         let names: std::collections::HashSet<&str> = kinds.iter().map(EventKind::name).collect();
         assert_eq!(names.len(), kinds.len(), "names are distinct");
         assert!(kinds.iter().all(|k| !k.name().is_empty()));
+    }
+
+    #[test]
+    fn request_events_carry_tenant_and_verb() {
+        let accepted = TraceEvent {
+            seq: 1,
+            round: 0,
+            kind: EventKind::RequestAccepted {
+                tenant: Symbol::intern("acme"),
+                verb: Symbol::intern("execute"),
+            },
+        };
+        let text = line(&accepted);
+        assert!(text.contains("\"event\":\"request_accepted\""), "{text}");
+        assert!(text.contains("\"tenant\":\"acme\""), "{text}");
+        assert!(text.contains("\"verb\":\"execute\""), "{text}");
+
+        let rejected = TraceEvent {
+            seq: 2,
+            round: 0,
+            kind: EventKind::RequestRejected {
+                tenant: Symbol::intern("acme"),
+                verb: Symbol::intern("ask"),
+                retry_after_ms: 50,
+            },
+        };
+        let text = line(&rejected);
+        assert!(text.contains("\"retry_after_ms\":50"), "{text}");
+
+        let completed = TraceEvent {
+            seq: 3,
+            round: 0,
+            kind: EventKind::RequestCompleted {
+                tenant: Symbol::intern("acme"),
+                verb: Symbol::intern("execute"),
+                micros: 1234,
+            },
+        };
+        let text = line(&completed);
+        // The request duration rides in the uniform `us` field.
+        assert!(text.contains("\"us\":1234"), "{text}");
+        assert_eq!(text.matches('{').count(), text.matches('}').count());
     }
 }

@@ -1,0 +1,222 @@
+//! Admission control: a bounded execution-slot semaphore with a bounded
+//! wait queue.
+//!
+//! The daemon caps concurrent statement executions at `max_inflight`. A
+//! request arriving while every slot is busy *waits* — but only if fewer
+//! than `max_queue` requests are already waiting; beyond that the request
+//! is rejected immediately with a `retry_after_ms` hint instead of queuing
+//! unboundedly. Two bounds, two failure modes kept apart: a full queue
+//! protects latency (no unbounded backlog), the slot cap protects the
+//! sources behind the cache from a thundering herd of frontier dispatches.
+//!
+//! Built on `std::sync::{Mutex, Condvar}` — the vendored `parking_lot`
+//! stand-in deliberately omits condition variables, and admission is far
+//! off the per-access hot path, so the std primitives are the right tool.
+
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+#[derive(Debug, Default)]
+struct AdmissionState {
+    inflight: usize,
+    waiting: usize,
+    /// Once draining, waiters are woken and new arrivals refused.
+    draining: bool,
+}
+
+/// The outcome of [`Admission::admit`].
+pub enum Admit<'a> {
+    /// Admitted: hold the permit for the duration of the execution; slots
+    /// release on drop.
+    Admitted(Permit<'a>),
+    /// Every slot busy and the wait queue full — retry after the hint.
+    Rejected {
+        /// The client-facing backoff hint, in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The server is draining; no new work is admitted.
+    Draining,
+}
+
+/// The admission controller: `max_inflight` concurrent execution slots and
+/// at most `max_queue` waiters.
+#[derive(Debug)]
+pub struct Admission {
+    state: Mutex<AdmissionState>,
+    slot_freed: Condvar,
+    max_inflight: usize,
+    max_queue: usize,
+    retry_after_ms: u64,
+}
+
+impl Admission {
+    /// A controller with `max_inflight` slots, `max_queue` wait positions
+    /// and the given rejection backoff hint. Both bounds are clamped to at
+    /// least one slot (a zero-slot server could admit nothing).
+    pub fn new(max_inflight: usize, max_queue: usize, retry_after_ms: u64) -> Self {
+        Admission {
+            state: Mutex::new(AdmissionState::default()),
+            slot_freed: Condvar::new(),
+            max_inflight: max_inflight.max(1),
+            max_queue,
+            retry_after_ms,
+        }
+    }
+
+    /// Requests an execution slot: returns immediately when one is free,
+    /// waits when the queue has room, rejects otherwise.
+    pub fn admit(&self) -> Admit<'_> {
+        let mut state = self.state.lock().expect("admission mutex poisoned");
+        if state.draining {
+            return Admit::Draining;
+        }
+        if state.inflight < self.max_inflight {
+            state.inflight += 1;
+            return Admit::Admitted(Permit { admission: self });
+        }
+        if state.waiting >= self.max_queue {
+            return Admit::Rejected {
+                retry_after_ms: self.retry_after_ms,
+            };
+        }
+        state.waiting += 1;
+        loop {
+            state = self
+                .slot_freed
+                .wait(state)
+                .expect("admission mutex poisoned");
+            if state.draining {
+                state.waiting -= 1;
+                return Admit::Draining;
+            }
+            if state.inflight < self.max_inflight {
+                state.waiting -= 1;
+                state.inflight += 1;
+                return Admit::Admitted(Permit { admission: self });
+            }
+        }
+    }
+
+    /// Refuses all future admissions and wakes every waiter (they return
+    /// [`Admit::Draining`]). In-flight permits run to completion.
+    pub fn drain(&self) {
+        let mut state = self.state.lock().expect("admission mutex poisoned");
+        state.draining = true;
+        drop(state);
+        self.slot_freed.notify_all();
+    }
+
+    /// Blocks until no execution is in flight (used by the graceful
+    /// shutdown path after [`Admission::drain`]). Panics if called while
+    /// still admitting — draining first is the contract.
+    pub fn await_idle(&self) {
+        let mut state = self.state.lock().expect("admission mutex poisoned");
+        assert!(state.draining, "await_idle before drain");
+        while state.inflight > 0 {
+            let (next, _) = self
+                .slot_freed
+                .wait_timeout(state, Duration::from_millis(10))
+                .expect("admission mutex poisoned");
+            state = next;
+        }
+    }
+
+    /// The current in-flight execution count.
+    pub fn inflight(&self) -> usize {
+        self.state
+            .lock()
+            .expect("admission mutex poisoned")
+            .inflight
+    }
+
+    fn release(&self) {
+        let mut state = self.state.lock().expect("admission mutex poisoned");
+        state.inflight -= 1;
+        drop(state);
+        self.slot_freed.notify_all();
+    }
+}
+
+/// An execution slot; releasing is dropping.
+pub struct Permit<'a> {
+    admission: &'a Admission,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        self.admission.release();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn admits_up_to_the_slot_cap_then_rejects_past_the_queue() {
+        let admission = Admission::new(1, 0, 25);
+        let permit = match admission.admit() {
+            Admit::Admitted(p) => p,
+            _ => panic!("first admit must succeed"),
+        };
+        match admission.admit() {
+            Admit::Rejected { retry_after_ms } => assert_eq!(retry_after_ms, 25),
+            _ => panic!("zero-queue controller must reject while the slot is held"),
+        }
+        drop(permit);
+        assert!(matches!(admission.admit(), Admit::Admitted(_)));
+    }
+
+    #[test]
+    fn queued_waiters_run_when_a_slot_frees() {
+        let admission = Arc::new(Admission::new(1, 4, 25));
+        let ran = Arc::new(AtomicUsize::new(0));
+        let permit = match admission.admit() {
+            Admit::Admitted(p) => p,
+            _ => panic!("first admit must succeed"),
+        };
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let admission = Arc::clone(&admission);
+                let ran = Arc::clone(&ran);
+                std::thread::spawn(move || match admission.admit() {
+                    Admit::Admitted(_p) => {
+                        ran.fetch_add(1, Ordering::SeqCst);
+                    }
+                    _ => panic!("queued waiter must eventually be admitted"),
+                })
+            })
+            .collect();
+        // Let the waiters reach the queue, then free the slot.
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(ran.load(Ordering::SeqCst), 0, "no waiter may jump the slot");
+        drop(permit);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(ran.load(Ordering::SeqCst), 4);
+        assert_eq!(admission.inflight(), 0);
+    }
+
+    #[test]
+    fn drain_wakes_waiters_and_refuses_new_work() {
+        let admission = Arc::new(Admission::new(1, 4, 25));
+        let permit = match admission.admit() {
+            Admit::Admitted(p) => p,
+            _ => panic!("first admit must succeed"),
+        };
+        let waiter = {
+            let admission = Arc::clone(&admission);
+            std::thread::spawn(move || matches!(admission.admit(), Admit::Draining))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        admission.drain();
+        assert!(waiter.join().unwrap(), "drain must wake the waiter");
+        assert!(matches!(admission.admit(), Admit::Draining));
+        drop(permit);
+        admission.await_idle();
+        assert_eq!(admission.inflight(), 0);
+    }
+}

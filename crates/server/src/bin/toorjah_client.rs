@@ -1,0 +1,90 @@
+//! `toorjah_client` — a command-line client for the Toorjah daemon.
+//!
+//! ```text
+//! toorjah_client --addr HOST:PORT [--tenant NAME] VERB [QUERY]
+//! ```
+//!
+//! `VERB` is one of the wire verbs (`prepare`, `execute`, `ask`,
+//! `explain`, `cache_stats`, `metrics`, `shutdown`); the query verbs take
+//! the statement text as the final argument. Prints the raw response line
+//! and exits 0 on `"ok":true`, 1 on a wire error, 2 on usage/IO errors.
+
+use std::process::ExitCode;
+
+use toorjah_server::{reply_ok, WireClient};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: toorjah_client --addr HOST:PORT [--tenant NAME] \
+         prepare|execute|ask|explain QUERY\n\
+         \x20      toorjah_client --addr HOST:PORT [--tenant NAME] \
+         cache_stats|metrics|shutdown"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = None;
+    let mut tenant = "default".to_string();
+    let mut rest = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                i += 1;
+                match args.get(i) {
+                    Some(a) => addr = Some(a.clone()),
+                    None => return usage(),
+                }
+            }
+            "--tenant" => {
+                i += 1;
+                match args.get(i) {
+                    Some(t) => tenant = t.clone(),
+                    None => return usage(),
+                }
+            }
+            _ => rest.push(args[i].clone()),
+        }
+        i += 1;
+    }
+    let Some(addr) = addr else {
+        return usage();
+    };
+    let Some(verb) = rest.first().map(String::as_str) else {
+        return usage();
+    };
+
+    let mut client = match WireClient::connect(&addr, &tenant) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("toorjah_client: cannot connect to {addr}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match (verb, rest.get(1).map(String::as_str)) {
+        ("prepare", Some(q)) => client.prepare(q),
+        ("execute", Some(q)) => client.execute(q),
+        ("ask", Some(q)) => client.ask(q),
+        ("explain", Some(q)) => client.explain(q),
+        ("cache_stats", None) => client.cache_stats(),
+        ("metrics", None) => client.metrics(),
+        ("shutdown", None) => client.shutdown(),
+        _ => return usage(),
+    };
+    match result {
+        Ok(reply) => {
+            println!("{reply}");
+            if reply_ok(&reply) {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("toorjah_client: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! The prepared-statement registry: plan each distinct statement once,
+//! share the plan across every tenant and connection.
+//!
+//! Plans depend only on statement text and schema — never on data or on
+//! who is asking — so the daemon keys its registry by *normalized*
+//! statement text (whitespace runs collapsed) and hands out
+//! `Arc<Prepared>` clones: the `Prepared` is `Send + Sync` and
+//! re-executable, so eight tenants asking the same statement share one
+//! plan and pay only the execution phase each.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use toorjah_system::{Prepared, Statement, Toorjah, ToorjahError};
+
+/// Statement-text normalization: trims and collapses internal whitespace
+/// runs to single spaces, so formatting differences don't split the
+/// registry (the parser is whitespace-insensitive anyway).
+pub fn normalize(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut pending_space = false;
+    for c in text.trim().chars() {
+        if c.is_whitespace() {
+            pending_space = true;
+        } else {
+            if pending_space && !out.is_empty() {
+                out.push(' ');
+            }
+            pending_space = false;
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// The registry: normalized statement text → shared plan.
+pub struct StatementRegistry {
+    statements: Mutex<HashMap<String, Arc<Prepared>>>,
+}
+
+impl StatementRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        StatementRegistry {
+            statements: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The plan for `text`, planning it against `system` on first sight.
+    /// The boolean is `true` when the registry already held the plan.
+    pub fn get_or_prepare(
+        &self,
+        system: &Toorjah,
+        text: &str,
+    ) -> Result<(Arc<Prepared>, bool), ToorjahError> {
+        let key = normalize(text);
+        if let Some(prepared) = self
+            .statements
+            .lock()
+            .expect("statement registry mutex poisoned")
+            .get(&key)
+        {
+            return Ok((Arc::clone(prepared), true));
+        }
+        // Plan outside the lock: planning is pure and idempotent, so two
+        // racing first sights both plan and one insert wins — cheaper than
+        // holding the registry across the planner.
+        let statement = Statement::parse(&key, system.schema())?;
+        let prepared = Arc::new(system.prepare(&statement)?);
+        let mut statements = self
+            .statements
+            .lock()
+            .expect("statement registry mutex poisoned");
+        let entry = statements
+            .entry(key)
+            .or_insert_with(|| Arc::clone(&prepared));
+        Ok((Arc::clone(entry), false))
+    }
+
+    /// How many distinct statements have been prepared.
+    pub fn len(&self) -> usize {
+        self.statements
+            .lock()
+            .expect("statement registry mutex poisoned")
+            .len()
+    }
+
+    /// Whether nothing has been prepared yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for StatementRegistry {
+    fn default() -> Self {
+        StatementRegistry::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use toorjah_catalog::{tuple, Instance, Schema};
+    use toorjah_engine::InstanceSource;
+
+    fn system() -> Toorjah {
+        let schema = Schema::parse("r1^io(A, B)").unwrap();
+        let db = Instance::with_data(&schema, [("r1", vec![tuple!["a", "b1"]])]).unwrap();
+        Toorjah::builder(InstanceSource::new(schema, db)).build()
+    }
+
+    #[test]
+    fn normalization_collapses_whitespace() {
+        assert_eq!(
+            normalize("  q(B)  <-\n\tr1('a',  B) "),
+            "q(B) <- r1('a', B)"
+        );
+        assert_eq!(normalize(""), "");
+    }
+
+    #[test]
+    fn equivalent_texts_share_one_plan() {
+        let system = system();
+        let registry = StatementRegistry::new();
+        let (first, cached) = registry
+            .get_or_prepare(&system, "q(B) <- r1('a', B)")
+            .unwrap();
+        assert!(!cached);
+        let (second, cached) = registry
+            .get_or_prepare(&system, "q(B)   <-\n r1('a', B)")
+            .unwrap();
+        assert!(cached);
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(registry.len(), 1);
+    }
+
+    #[test]
+    fn planning_errors_surface_and_cache_nothing() {
+        let system = system();
+        let registry = StatementRegistry::new();
+        assert!(registry.get_or_prepare(&system, "not a statement").is_err());
+        assert!(registry.is_empty());
+    }
+}

@@ -1,0 +1,190 @@
+//! Per-tenant sessions: access-budget accounting over one shared cache.
+//!
+//! Every tenant gets a [`Session`] — created on first request — holding its
+//! access budget. The budget is the paper's access limitation made
+//! operational: a tenant may cause at most `budget_limit` *performed*
+//! source accesses across its whole session; cache-served lookups stay
+//! free, exactly like the engine's `accesses_served_by_cache` accounting.
+//! Enforcement is two-sided:
+//!
+//! * **before** an execution, the remaining budget rides into
+//!   [`Prepared::execute_capped`](toorjah_system::Prepared::execute_capped)
+//!   as the access cap, so a single statement can never overdraw mid-run
+//!   (the kernel aborts atomically with `AccessBudgetExceeded` — no
+//!   partial answer);
+//! * **after** a successful execution, the profile's `accesses_performed`
+//!   is charged against the session.
+//!
+//! A tenant normally drives one connection and its requests serialize on
+//! that connection's line loop, making the check-then-charge sequence
+//! exact. Tenants sharing a name across connections share the budget;
+//! their charges interleave but each individual execution still respects
+//! the remaining budget it saw at admission.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+/// One tenant's accounting state.
+#[derive(Clone, Debug)]
+pub struct SessionSnapshot {
+    /// The configured budget (performed accesses allowed in total).
+    pub budget_limit: usize,
+    /// Performed accesses charged so far.
+    pub budget_used: usize,
+    /// Execution-bearing requests this tenant has had accepted.
+    pub requests: u64,
+}
+
+impl SessionSnapshot {
+    /// The budget still available.
+    pub fn budget_remaining(&self) -> usize {
+        self.budget_limit.saturating_sub(self.budget_used)
+    }
+}
+
+#[derive(Debug)]
+struct Session {
+    budget_limit: usize,
+    budget_used: usize,
+    requests: u64,
+}
+
+/// The tenant registry: sessions keyed by tenant name, created lazily with
+/// the registry's default budget.
+#[derive(Debug)]
+pub struct SessionRegistry {
+    default_budget: usize,
+    // BTreeMap so `metrics` renders tenants in a deterministic order.
+    sessions: Mutex<BTreeMap<String, Session>>,
+}
+
+impl SessionRegistry {
+    /// A registry handing every new tenant `default_budget` performed
+    /// accesses.
+    pub fn new(default_budget: usize) -> Self {
+        SessionRegistry {
+            default_budget,
+            sessions: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Registers one accepted execution-bearing request for `tenant`
+    /// (creating the session on first contact) and returns the remaining
+    /// budget to ride into the execution as its access cap.
+    pub fn begin(&self, tenant: &str) -> usize {
+        let mut sessions = self.sessions.lock().expect("session mutex poisoned");
+        let session = sessions
+            .entry(tenant.to_string())
+            .or_insert_with(|| Session {
+                budget_limit: self.default_budget,
+                budget_used: 0,
+                requests: 0,
+            });
+        session.requests += 1;
+        session.budget_limit.saturating_sub(session.budget_used)
+    }
+
+    /// Charges `performed` accesses against `tenant`'s budget and returns
+    /// the remainder. Called only after a successful execution — a failed
+    /// one performed accesses too, but the kernel's cap guarantees they
+    /// never exceeded the remainder, and charging only observable answers
+    /// keeps the accounting reconcilable against response profiles.
+    pub fn charge(&self, tenant: &str, performed: usize) -> usize {
+        let mut sessions = self.sessions.lock().expect("session mutex poisoned");
+        let session = sessions
+            .get_mut(tenant)
+            .expect("charge without a begin for this tenant");
+        session.budget_used = session.budget_used.saturating_add(performed);
+        session.budget_limit.saturating_sub(session.budget_used)
+    }
+
+    /// The number of sessions created so far.
+    pub fn len(&self) -> usize {
+        self.sessions.lock().expect("session mutex poisoned").len()
+    }
+
+    /// Whether no tenant has connected yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A point-in-time snapshot of every session, tenant-ordered.
+    pub fn snapshot(&self) -> Vec<(String, SessionSnapshot)> {
+        let sessions = self.sessions.lock().expect("session mutex poisoned");
+        sessions
+            .iter()
+            .map(|(tenant, s)| {
+                (
+                    tenant.clone(),
+                    SessionSnapshot {
+                        budget_limit: s.budget_limit,
+                        budget_used: s.budget_used,
+                        requests: s.requests,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// Renders the per-tenant block of the `metrics` response:
+    /// `{"alice":{"budget_limit":…,"budget_used":…,"budget_remaining":…,"requests":…},…}`.
+    pub fn write_json(&self, out: &mut String) {
+        out.push('{');
+        for (i, (tenant, s)) in self.snapshot().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            crate::wire::push_json_string(out, tenant);
+            let _ = write!(
+                out,
+                ":{{\"budget_limit\":{},\"budget_used\":{},\
+                 \"budget_remaining\":{},\"requests\":{}}}",
+                s.budget_limit,
+                s.budget_used,
+                s.budget_remaining(),
+                s.requests,
+            );
+        }
+        out.push('}');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budgets_are_per_tenant_and_monotone() {
+        let registry = SessionRegistry::new(10);
+        assert!(registry.is_empty());
+        assert_eq!(registry.begin("alice"), 10);
+        assert_eq!(registry.charge("alice", 4), 6);
+        assert_eq!(registry.begin("alice"), 6);
+        assert_eq!(registry.charge("alice", 6), 0);
+        assert_eq!(registry.begin("alice"), 0);
+        // Bob's budget is untouched by Alice's consumption.
+        assert_eq!(registry.begin("bob"), 10);
+        assert_eq!(registry.len(), 2);
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot[0].0, "alice");
+        assert_eq!(snapshot[0].1.budget_used, 10);
+        assert_eq!(snapshot[0].1.requests, 3);
+    }
+
+    #[test]
+    fn json_rendering_is_deterministic() {
+        let registry = SessionRegistry::new(5);
+        registry.begin("b");
+        registry.begin("a");
+        registry.charge("a", 2);
+        let mut out = String::new();
+        registry.write_json(&mut out);
+        assert_eq!(
+            out,
+            "{\"a\":{\"budget_limit\":5,\"budget_used\":2,\"budget_remaining\":3,\
+             \"requests\":1},\"b\":{\"budget_limit\":5,\"budget_used\":0,\
+             \"budget_remaining\":5,\"requests\":1}}"
+        );
+    }
+}

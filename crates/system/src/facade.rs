@@ -446,13 +446,28 @@ impl Toorjah {
 
     /// [`Toorjah::ask`] under an explicit [`ExecMode`].
     pub fn ask_with(&self, text: &str, mode: ExecMode) -> Result<Response, ToorjahError> {
+        self.ask_capped(text, mode, None)
+    }
+
+    /// [`Toorjah::ask_with`] under a per-execution access cap (see
+    /// [`crate::Prepared::execute_capped`]): at most `max_accesses` of
+    /// `Some(n)` distinct source accesses, or a typed
+    /// [`EngineError::AccessBudgetExceeded`] failure with no partial
+    /// answer. The query service threads each tenant's remaining budget
+    /// through here.
+    pub fn ask_capped(
+        &self,
+        text: &str,
+        mode: ExecMode,
+        max_accesses: Option<usize>,
+    ) -> Result<Response, ToorjahError> {
         let parse_started = Instant::now();
         let statement = Statement::parse(text, self.provider.schema())?;
         let parse = parse_started.elapsed();
         let plan_started = Instant::now();
         let prepared = self.prepare(&statement)?;
         let plan = plan_started.elapsed();
-        let mut response = prepared.execute(mode)?;
+        let mut response = prepared.execute_capped(mode, max_accesses)?;
         response.profile.timings.parse = Some(parse);
         response.profile.timings.plan = Some(plan);
         response.profile.timings.total += parse + plan;

@@ -135,9 +135,32 @@ impl Prepared {
     /// may execute one `Prepared` concurrently, sharing the session cache
     /// it was prepared with.
     pub fn execute(&self, mode: ExecMode) -> Result<Response, ToorjahError> {
+        self.execute_capped(mode, None)
+    }
+
+    /// [`Prepared::execute`] under a per-execution access cap: at most
+    /// `max_accesses` of `Some(n)` distinct source accesses may be
+    /// performed (cache-served lookups stay free). When the cap binds, the
+    /// whole execution fails with
+    /// [`toorjah_engine::EngineError::AccessBudgetExceeded`] — no partial
+    /// answer is ever returned. This is the enforcement point for the query
+    /// service's per-tenant access budgets: the remaining budget rides in
+    /// as the cap, so a session can never overdraw mid-execution. `None`
+    /// keeps the instance's configured limit. The cap governs the kernel
+    /// executors (`Sequential`/`Parallel`, plus a negated statement's
+    /// checks under `Streaming`); the distillation phase itself keeps its
+    /// own [`crate::DistillationOptions`] budget.
+    pub fn execute_capped(
+        &self,
+        mode: ExecMode,
+        max_accesses: Option<usize>,
+    ) -> Result<Response, ToorjahError> {
         let started = Instant::now();
         let cache = self.execution_cache();
-        let exec = self.exec_options(mode);
+        let mut exec = self.exec_options(mode);
+        if let Some(cap) = max_accesses {
+            exec.max_accesses = cap.min(exec.max_accesses);
+        }
 
         let mut log = AccessLog::new();
         let mut dispatch = DispatchReport::default();

@@ -15,7 +15,10 @@
 //!   sets heavily intersect (popular-entity traffic);
 //! * [`sparse`]: the high-irrelevance star-join workload for the engine's
 //!   runtime relevance pruning — statically every access is needed, at
-//!   runtime most provably cannot reach the query head.
+//!   runtime most provably cannot reach the query head;
+//! * [`mod@traffic`]: multi-tenant streams for the query service — N tenants ×
+//!   M overlapping statements in a seeded mix, replayed by the server load
+//!   test and the CI daemon smoke step.
 //!
 //! All generators are deterministic given a seed, so experiments and tests
 //! are reproducible.
@@ -26,6 +29,7 @@ pub mod overlapping;
 pub mod publications;
 pub mod random;
 pub mod sparse;
+pub mod traffic;
 
 pub use overlapping::{
     music_instance, music_schema, overlapping_queries, MusicConfig, OverlapParams,
@@ -35,3 +39,4 @@ pub use publications::{
 };
 pub use random::{random_instance, random_query, random_schema, GeneratedSchema, RandomParams};
 pub use sparse::{sparse_instance, sparse_query, sparse_schema, SparseConfig};
+pub use traffic::{traffic, traffic_statements, TenantTraffic, TrafficParams};

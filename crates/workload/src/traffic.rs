@@ -1,0 +1,148 @@
+//! Multi-tenant traffic for the query service: N tenants × M overlapping
+//! statements, interleaved into a deterministic seeded mix.
+//!
+//! The daemon's load scenario is the [`overlapping`](crate::overlapping)
+//! workload made concurrent: a population of tenants asks variations of
+//! the same handful of question shapes over one shared cache, so the cold
+//! misses any one tenant's statement needs were mostly paid by an earlier
+//! tenant already. The generator assigns each tenant a per-tenant slice of
+//! a shared statement pool — overlapping across tenants by construction —
+//! and shuffles each tenant's request order with its own seeded RNG, so a
+//! load test replaying tenant streams concurrently is reproducible
+//! request-for-request.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::overlapping::{overlapping_queries, OverlapParams};
+
+/// Knobs for the multi-tenant traffic generator.
+#[derive(Clone, Copy, Debug)]
+pub struct TrafficParams {
+    /// Number of tenants (`tenant0`, `tenant1`, …).
+    pub tenants: usize,
+    /// Requests each tenant sends.
+    pub requests_per_tenant: usize,
+    /// Size of the shared statement pool the tenants draw from; smaller
+    /// pools mean heavier cross-tenant overlap.
+    pub statement_pool: usize,
+    /// Parameters of the underlying overlapping-query generator.
+    pub overlap: OverlapParams,
+    /// RNG seed for the per-tenant mixes.
+    pub seed: u64,
+}
+
+impl Default for TrafficParams {
+    fn default() -> Self {
+        TrafficParams {
+            tenants: 8,
+            requests_per_tenant: 12,
+            statement_pool: 10,
+            overlap: OverlapParams::default(),
+            seed: 0x5E12_F1CE,
+        }
+    }
+}
+
+/// One tenant's request stream.
+#[derive(Clone, Debug)]
+pub struct TenantTraffic {
+    /// The tenant name (`tenant0`, `tenant1`, …).
+    pub tenant: String,
+    /// The statement texts, in send order.
+    pub requests: Vec<String>,
+}
+
+/// Generates the tenant streams: a shared pool of
+/// `params.statement_pool` distinct overlapping statements, each tenant
+/// drawing `params.requests_per_tenant` of them with its own seeded RNG.
+/// Deterministic given `params`; every statement in every stream appears
+/// in [`traffic_statements`] of the same parameters.
+pub fn traffic(params: &TrafficParams) -> Vec<TenantTraffic> {
+    let pool = traffic_statements(params);
+    (0..params.tenants)
+        .map(|t| {
+            let mut rng = StdRng::seed_from_u64(params.seed ^ (t as u64).wrapping_mul(0x9E37));
+            let requests = (0..params.requests_per_tenant)
+                .map(|_| pool[rng.gen_range(0..pool.len())].clone())
+                .collect();
+            TenantTraffic {
+                tenant: format!("tenant{t}"),
+                requests,
+            }
+        })
+        .collect()
+}
+
+/// The shared statement pool behind [`traffic`]: the first
+/// `params.statement_pool` *distinct* statements the overlapping generator
+/// produces (generating more behind the scenes when the requested pool
+/// exceeds the distinct yield of one batch).
+pub fn traffic_statements(params: &TrafficParams) -> Vec<String> {
+    let mut pool: Vec<String> = Vec::new();
+    let mut batch = params.overlap;
+    batch.queries = params.statement_pool.max(1) * 4;
+    for q in overlapping_queries(&batch) {
+        if !pool.contains(&q) {
+            pool.push(q);
+            if pool.len() == params.statement_pool.max(1) {
+                break;
+            }
+        }
+    }
+    // Six templates over small constant pools bound the distinct yield;
+    // take what exists rather than spinning (the pool stays overlapping).
+    pool
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::overlapping::music_schema;
+    use toorjah_query::parse_query;
+
+    #[test]
+    fn streams_are_deterministic_and_draw_from_the_pool() {
+        let params = TrafficParams::default();
+        let streams = traffic(&params);
+        assert_eq!(streams.len(), params.tenants);
+        let pool = traffic_statements(&params);
+        assert!(!pool.is_empty());
+        let schema = music_schema();
+        for stream in &streams {
+            assert_eq!(stream.requests.len(), params.requests_per_tenant);
+            for q in &stream.requests {
+                assert!(pool.contains(q), "{q} not from the pool");
+                parse_query(q, &schema).unwrap_or_else(|e| panic!("{q}: {e}"));
+            }
+        }
+        // Reproducible request-for-request.
+        let again = traffic(&params);
+        for (a, b) in streams.iter().zip(&again) {
+            assert_eq!(a.tenant, b.tenant);
+            assert_eq!(a.requests, b.requests);
+        }
+        // Tenants differ from each other (distinct per-tenant seeds).
+        assert!(
+            streams.windows(2).any(|w| w[0].requests != w[1].requests),
+            "tenant mixes must not all coincide"
+        );
+    }
+
+    #[test]
+    fn tenants_overlap_on_statements() {
+        let streams = traffic(&TrafficParams::default());
+        let mut shared = 0usize;
+        for (i, a) in streams.iter().enumerate() {
+            for b in &streams[i + 1..] {
+                if a.requests.iter().any(|q| b.requests.contains(q)) {
+                    shared += 1;
+                }
+            }
+        }
+        assert!(
+            shared > 0,
+            "a traffic mix with zero overlap defeats the cache"
+        );
+    }
+}

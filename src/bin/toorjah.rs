@@ -43,20 +43,36 @@
 //!
 //! REPL commands: a query (`q(X) <- ...`), `:explain <query>`, `:schema`,
 //! `:naive <query>` (run the Fig. 1 baseline and compare), `:help`, `:quit`.
+//!
+//! **Daemon mode** — `toorjah serve <source-file>` starts the long-running
+//! query service (see DESIGN.md §10 and the `toorjah-server` crate): a TCP
+//! daemon speaking line-delimited JSON with per-tenant access budgets,
+//! admission control and one shared access cache across all tenants:
+//!
+//! ```console
+//! $ toorjah serve examples/music.toorjah --addr 127.0.0.1:0 --trace=/tmp/t.jsonl
+//! listening on 127.0.0.1:40123
+//! ```
 
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
 use std::sync::Arc;
 
+use toorjah::cache::SharedAccessCache;
 use toorjah::catalog::{Instance, Schema, Tuple, Value};
 use toorjah::engine::{naive_evaluate, DispatchOptions, InstanceSource, NaiveOptions};
 use toorjah::obs::{Obs, WriterSink};
 use toorjah::query::parse_query;
+use toorjah::server::{Server, Service, ServiceConfig};
 use toorjah::system::Toorjah;
 
 const USAGE: &str = "usage: toorjah <source-file> [--parallelism <n>] [--batch-size <n>] \
                      [--prune] [--first-k <n>] [--json] [--trace[=<path>]] [--metrics] \
-                     [--query <q> | --explain <q> | --naive <q>]";
+                     [--query <q> | --explain <q> | --naive <q>]\n\
+                     \x20      toorjah serve <source-file> [--addr <host:port>] \
+                     [--port-file <path>] [--budget <n>] [--max-inflight <n>] \
+                     [--max-queue <n>] [--retry-after-ms <n>] [--parallelism <n>] \
+                     [--batch-size <n>] [--trace=<path>]";
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
@@ -64,6 +80,9 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
+    if path == "serve" {
+        return run_serve(args);
+    }
     if path == "--help" || path == "-h" {
         eprintln!("{USAGE}");
         eprintln!("With no flags, starts an interactive REPL; see :help inside.");
@@ -326,6 +345,135 @@ fn run_naive(
         }
         Err(e) => {
             eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The `toorjah serve` daemon mode: load the source file, build one
+/// `Toorjah` instance over one shared cache, and serve the wire protocol
+/// until a `shutdown` request drains the server. Prints
+/// `listening on <addr>` on stdout (and into `--port-file` when given) so
+/// callers binding port 0 can discover the ephemeral port.
+fn run_serve(mut args: impl Iterator<Item = String>) -> ExitCode {
+    let Some(path) = args.next() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut port_file = None;
+    let mut config = ServiceConfig::default();
+    let mut dispatch = DispatchOptions::default();
+    let mut trace_path = None;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--addr" => {
+                let Some(a) = args.next() else {
+                    eprintln!("--addr needs a host:port argument");
+                    return ExitCode::from(2);
+                };
+                addr = a;
+            }
+            "--port-file" => {
+                let Some(p) = args.next() else {
+                    eprintln!("--port-file needs a path argument");
+                    return ExitCode::from(2);
+                };
+                port_file = Some(p);
+            }
+            other if other.starts_with("--trace=") => {
+                trace_path = Some(other["--trace=".len()..].to_string());
+            }
+            "--budget" | "--max-inflight" | "--max-queue" | "--retry-after-ms"
+            | "--parallelism" | "--batch-size" => {
+                let value = match args.next().map(|v| v.parse::<usize>()) {
+                    Some(Ok(n)) => n,
+                    _ => {
+                        eprintln!("{flag} needs a non-negative integer argument");
+                        return ExitCode::from(2);
+                    }
+                };
+                match flag.as_str() {
+                    "--budget" => config.default_budget = value,
+                    "--max-inflight" => config.max_inflight = value.max(1),
+                    "--max-queue" => config.max_queue = value,
+                    "--retry-after-ms" => config.retry_after_ms = value as u64,
+                    "--parallelism" => dispatch.parallelism = value.max(1),
+                    _ => dispatch.batch_size = value.max(1),
+                }
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (schema, instance) = match load_source(&text) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("cannot load {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "loaded {} relations, {} tuples from {path}",
+        schema.relation_count(),
+        instance.total_tuples()
+    );
+    let mut builder = Toorjah::builder(InstanceSource::new(schema, instance))
+        .dispatch(dispatch)
+        .cache(SharedAccessCache::unbounded());
+    if let Some(trace_path) = trace_path {
+        match std::fs::File::create(&trace_path) {
+            Ok(file) => {
+                builder = builder.observability(Obs::with_sink(Arc::new(WriterSink::new(file))));
+            }
+            Err(e) => {
+                eprintln!("cannot create trace file {trace_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let system = builder.build();
+    let obs = system.obs();
+    let server = match Server::bind(&addr, Service::new(system, config)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let local = match server.local_addr() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("cannot read the bound address: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("listening on {local}");
+    let _ = std::io::stdout().flush();
+    if let Some(port_file) = port_file {
+        if let Err(e) = std::fs::write(&port_file, format!("{local}\n")) {
+            eprintln!("cannot write port file {port_file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let result = server.run();
+    obs.flush();
+    match result {
+        Ok(()) => {
+            eprintln!("drained; bye");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("server error: {e}");
             ExitCode::FAILURE
         }
     }

@@ -18,6 +18,7 @@
 //! | [`core`] | d-graphs, the GFP algorithm, relevance, orderings, ⊂-minimal plans |
 //! | [`engine`] | sources, access accounting, the naive baseline, the fast-failing executor |
 //! | [`system`] | the Toorjah facade and the parallel distillation executor |
+//! | [`server`] | the query service: wire protocol, sessions/budgets, admission control |
 //! | [`workload`] | the §V publication workload and the random workloads of Figs. 10–11 |
 //!
 //! ## Quickstart
@@ -58,5 +59,6 @@ pub use toorjah_datalog as datalog;
 pub use toorjah_engine as engine;
 pub use toorjah_obs as obs;
 pub use toorjah_query as query;
+pub use toorjah_server as server;
 pub use toorjah_system as system;
 pub use toorjah_workload as workload;

@@ -1,0 +1,67 @@
+//! Criterion benchmark of demand-driven (magic sets) Datalog evaluation on
+//! the bound-reachability workload: the left-linear transitive closure of
+//! a 120-edge chain with 8 feeder nodes per chain position, queried with
+//! the source bound (`path(n0, ?)`).
+//!
+//! - **runtime_bound_closure_120** — what the `Runtime` pruning tier does
+//!   for a bound Datalog query: derive the full least fixpoint (65,340
+//!   `path` facts) and filter the answers afterwards.
+//! - **magic_bound_closure_120** — the `Magic` tier: rewrite the program
+//!   for the `bf` adornment and evaluate only the demanded facts (120).
+//!
+//! The committed `BENCH_magic.json` snapshot doubles as a regression
+//! guard: `bench_trajectory` fails the build if the full-evaluation median
+//! drops under 5× the demand-driven median — the headline claim of the
+//! magic-sets tier.
+//!
+//! Run in smoke mode (CI) with: `cargo bench -p toorjah-bench --bench
+//! magic -- --test`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use toorjah_catalog::Tuple;
+use toorjah_datalog::{evaluate, evaluate_demand};
+use toorjah_workload::{bound_closure, BoundConfig, BoundWorkload};
+
+fn sorted(mut v: Vec<Tuple>) -> Vec<Tuple> {
+    v.sort();
+    v
+}
+
+/// Full evaluation followed by the answer filter — the bound query as the
+/// non-demand tiers execute it.
+fn full_then_filter(w: &BoundWorkload) -> Vec<Tuple> {
+    let (idb, _) = evaluate(&w.program, &w.edb);
+    idb.tuples(w.path)
+        .iter()
+        .filter(|t| t.values()[0] == w.source)
+        .cloned()
+        .collect()
+}
+
+fn demand(w: &BoundWorkload) -> Vec<Tuple> {
+    let (idb, _) = evaluate_demand(&w.program, &w.edb, w.path, &w.bound_bindings())
+        .expect("the bound query admits a magic rewrite");
+    idb.tuples(w.path).to_vec()
+}
+
+fn bound_closure_120(c: &mut Criterion) {
+    let config = BoundConfig::default();
+    let w = bound_closure(&config);
+
+    // Pin the bench's claim up front: identical answers, a fraction of the
+    // derivations.
+    let full = full_then_filter(&w);
+    let demanded = demand(&w);
+    assert_eq!(sorted(full), sorted(demanded.clone()));
+    assert_eq!(demanded.len(), config.demanded_facts());
+
+    c.bench_function("runtime_bound_closure_120", |b| {
+        b.iter(|| full_then_filter(std::hint::black_box(&w)))
+    });
+    c.bench_function("magic_bound_closure_120", |b| {
+        b.iter(|| demand(std::hint::black_box(&w)))
+    });
+}
+
+criterion_group!(benches, bound_closure_120);
+criterion_main!(benches);

@@ -12,7 +12,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use toorjah_engine::{InstanceSource, LatencySource, SourceProvider};
+use toorjah_engine::{InstanceSource, LatencySource, PruningLevel, SourceProvider};
 use toorjah_system::Toorjah;
 use toorjah_workload::{sparse_instance, sparse_query, sparse_schema, SparseConfig};
 
@@ -32,7 +32,7 @@ fn setup() -> Arc<dyn SourceProvider> {
         .ask(sparse_query())
         .expect("sparse query is answerable");
     let on = Toorjah::builder_from_arc(Arc::clone(&provider))
-        .pruning(true)
+        .prune_level(PruningLevel::Runtime)
         .build()
         .ask(sparse_query())
         .expect("sparse query is answerable");
@@ -64,7 +64,7 @@ fn pruning_modes(c: &mut Criterion) {
 
     group.bench_function("pruning_on", |b| {
         let system = Toorjah::builder_from_arc(Arc::clone(&provider))
-            .pruning(true)
+            .prune_level(PruningLevel::Runtime)
             .build();
         b.iter(|| {
             system

@@ -85,6 +85,11 @@ pub struct CacheInfo {
     pub is_constant_source: bool,
     /// Domain predicates, one per input position of the relation.
     pub input_domains: Vec<DomainPredInfo>,
+    /// The cache's adornment in the classical magic-sets notation: one
+    /// character per column, `b` where the access pattern demands a bound
+    /// input, `f` where the source produces the value. Derived from the
+    /// relation's access pattern at plan-build time; surfaced by `explain`.
+    pub adornment: String,
 }
 
 /// A self-contained, executable ⊂-minimal query plan.
@@ -269,6 +274,7 @@ fn build_plan(
             SourceKind::Relation => None,
         };
         let is_constant_source = pre.constant_relation(source.relation).is_some();
+        let mask: Vec<bool> = rel.pattern().modes().iter().map(|m| m.is_input()).collect();
         cache_of_source.insert(s, caches.len());
         caches.push(CacheInfo {
             source: s,
@@ -280,6 +286,7 @@ fn build_plan(
             occurrence,
             is_constant_source,
             input_domains: Vec::new(),
+            adornment: toorjah_datalog::adornment_string(&mask),
         });
     }
 

@@ -25,8 +25,9 @@
 //!   round-based loop — collect frontier → runtime relevance filter →
 //!   dispatch → fold, iterated to a fixpoint — that every evaluator is a
 //!   thin strategy configuration over, including the
-//!   [`RelevancePruner`](crate::ExecOptions::prune)-gated stage dropping
-//!   accesses whose outputs provably cannot reach the query head and the
+//!   [`PruningLevel`]-gated stages — runtime access pruning (`Runtime`)
+//!   dropping accesses whose outputs provably cannot reach the query head,
+//!   and demand-driven derivation suppression (`Magic`) — plus the
 //!   opt-in [`first-k`](crate::ExecOptions::first_k) early termination;
 //! * [`naive_evaluate`]: the Fig. 1 algorithm (after [Li & Chang 2000]) that
 //!   accesses *every* relation of the schema with *every* domain-compatible
@@ -66,6 +67,7 @@ pub use dispatch::{DispatchOptions, DispatchReport};
 pub use error::EngineError;
 pub use executor::{
     execute_plan, execute_plan_cached, execute_plan_with, ExecOptions, ExecutionReport,
+    PruningLevel,
 };
 pub use join::{cq_satisfiable, evaluate_cq, evaluate_cq_subset};
 pub use metacache::MetaCache;

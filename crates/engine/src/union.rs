@@ -2,7 +2,7 @@
 //!
 //! A UCQ is answered by executing one ⊂-minimal plan per disjunct — each an
 //! evaluation-kernel run of the fast-failing executor, so runtime relevance
-//! pruning ([`ExecOptions::prune`]) applies per disjunct. The disjuncts
+//! pruning ([`ExecOptions::prune_level`]) applies per disjunct. The disjuncts
 //! **share the per-relation meta-cache and the access log**, so an access
 //! performed for one disjunct is free for every other — the natural
 //! generalization of the paper's "never repeat an access" discipline.

@@ -16,6 +16,7 @@ use toorjah_cache::SharedAccessCache;
 use toorjah_core::{plan_query, CoreError};
 use toorjah_engine::{
     execute_plan_cached, naive_evaluate, AccessLog, ExecOptions, InstanceSource, NaiveOptions,
+    PruningLevel,
 };
 use toorjah_workload::random::seeded_rng;
 use toorjah_workload::{random_instance, random_query, random_schema, RandomParams};
@@ -72,7 +73,7 @@ fn check_scenario(seed: u64) -> bool {
         &planned.plan,
         &provider,
         ExecOptions {
-            prune: true,
+            prune_level: PruningLevel::Runtime,
             ..ExecOptions::default()
         },
     );
@@ -124,6 +125,31 @@ fn check_scenario(seed: u64) -> bool {
             report.dispatch.total_requested(),
             "{name} delta schedule sums to total_requested on seed {seed}"
         );
+    }
+
+    // The Magic tier (demand-driven derivation suppression on top of
+    // runtime access pruning) is also answer-invariant; it never performs
+    // more accesses and never grows a cache beyond the unpruned run's.
+    let (magic, _magic_log) = run(
+        &planned.plan,
+        &provider,
+        ExecOptions {
+            prune_level: PruningLevel::Magic,
+            ..ExecOptions::default()
+        },
+    );
+    assert_eq!(
+        sorted(magic.answers.clone()),
+        sorted(naive.answers.clone()),
+        "magic tier vs naive oracle differ for {} on seed {seed}",
+        query.display(&generated.schema),
+    );
+    assert!(
+        magic.stats.total_accesses <= base.stats.total_accesses,
+        "magic tier increased accesses on seed {seed}"
+    );
+    for (m, b) in magic.cache_sizes.iter().zip(&base.cache_sizes) {
+        assert!(m <= b, "magic tier grew a cache ({m} > {b}) on seed {seed}");
     }
 
     // Parallel dispatch (threads > 1) is a scheduling change only: answers

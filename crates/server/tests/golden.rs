@@ -69,10 +69,12 @@ fn golden_execute() {
          \"response\":{{\"statement\":\"cq\",\"mode\":\"sequential\",\
          \"answers\":[[\"c1\"]],\"answer_count\":1,\"rejected\":0,\
          \"skipped_disjuncts\":[],\"time_to_first_answer_us\":null,\
-         \"profile\":{{\"accesses_performed\":2,\"accesses_served_by_cache\":0,\
+         \"profile\":{{\"prune_level\":\"static\",\
+         \"accesses_performed\":2,\"accesses_served_by_cache\":0,\
          \"total_accesses\":2,\"per_relation\":{{\"r1\":{{\"accesses\":1,\"extracted\":1}},\
          \"r2\":{{\"accesses\":1,\"extracted\":1}}}},\"dispatch\":{{\"frontiers\":2,\
          \"largest_frontier\":1,\"batches\":2,\"total_requested\":2,\"accesses_pruned\":0,\
+         \"derivations_suppressed\":0,\
          \"pruned_per_frontier\":[0,0],\"delta_schedule\":[0,0,1,0,1,0]}},\
          \"timings_us\":{{\"parse\":null,\"plan\":null,",
         toorjah_server::DEFAULT_TENANT_BUDGET - 2,

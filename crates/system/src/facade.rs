@@ -24,7 +24,8 @@ use toorjah_cache::{CacheConfig, CacheStats, SharedAccessCache};
 use toorjah_catalog::Schema;
 use toorjah_core::{plan_query, CoreError, Planned, Planner};
 use toorjah_engine::{
-    plan_negated, DispatchOptions, EngineError, ExecOptions, NegationError, SourceProvider,
+    plan_negated, DispatchOptions, EngineError, ExecOptions, NegationError, PruningLevel,
+    SourceProvider,
 };
 use toorjah_obs::{Obs, TraceSink};
 use toorjah_query::{ConjunctiveQuery, QueryError, Statement};
@@ -167,16 +168,36 @@ impl ToorjahBuilder {
         self
     }
 
-    /// Enables the evaluation kernel's runtime access-relevance pruning:
-    /// before dispatch, accesses whose outputs provably cannot reach the
-    /// query head are dropped. Answers are invariant; `accesses_performed`
-    /// drops and the pruned count surfaces as
-    /// `profile.dispatch.accesses_pruned`. Off by default (the unpruned
-    /// run reproduces the paper's access counts exactly); ignored by the
-    /// streaming executor.
-    pub fn pruning(mut self, enabled: bool) -> Self {
-        self.config.exec.prune = enabled;
+    /// Selects the tiered pruning configuration (see
+    /// [`PruningLevel`](toorjah_engine::PruningLevel)):
+    ///
+    /// | level     | adds                                               |
+    /// |-----------|----------------------------------------------------|
+    /// | `off`     | nothing — plans with strong-arc analysis disabled  |
+    /// | `static`  | plan-time relevance (the default)                  |
+    /// | `runtime` | kernel access-relevance pruning before dispatch    |
+    /// | `magic`   | demand-driven derivation suppression at the fold   |
+    ///
+    /// Answers are invariant across every level; `accesses_performed`
+    /// drops from `runtime` up (surfaced as
+    /// `profile.dispatch.accesses_pruned`) and derived-tuple counts drop
+    /// at `magic` (surfaced as `profile.dispatch.derivations_suppressed`).
+    /// Ignored by the streaming executor.
+    pub fn prune_level(mut self, level: PruningLevel) -> Self {
+        self.config.exec.prune_level = level;
         self
+    }
+
+    /// Deprecated boolean alias for [`ToorjahBuilder::prune_level`]:
+    /// `true` ≙ [`PruningLevel::Runtime`], `false` ≙
+    /// [`PruningLevel::Static`] (the default).
+    #[deprecated(note = "use prune_level(PruningLevel::…) instead")]
+    pub fn pruning(self, enabled: bool) -> Self {
+        self.prune_level(if enabled {
+            PruningLevel::Runtime
+        } else {
+            PruningLevel::Static
+        })
     }
 
     /// Opt-in first-k early termination: executions stop as soon as `k`
@@ -407,13 +428,14 @@ impl Toorjah {
     /// §II: a disjunct with no obtainable answers contributes nothing.
     pub fn prepare(&self, statement: &Statement) -> Result<Prepared, ToorjahError> {
         let schema = self.provider.schema();
+        let planner = self.effective_planner();
         let kind = match statement {
-            Statement::Cq(q) => PreparedKind::Cq(Box::new(self.config.planner.plan(q, schema)?)),
+            Statement::Cq(q) => PreparedKind::Cq(Box::new(planner.plan(q, schema)?)),
             Statement::Union(u) => {
                 let mut planned = Vec::new();
                 let mut skipped = Vec::new();
                 for (i, cq) in u.cqs().iter().enumerate() {
-                    match self.config.planner.plan(cq, schema) {
+                    match planner.plan(cq, schema) {
                         Ok(p) => planned.push(p),
                         Err(CoreError::NotAnswerable { .. }) => skipped.push(i),
                         Err(e) => return Err(e.into()),
@@ -422,7 +444,7 @@ impl Toorjah {
                 PreparedKind::Union { planned, skipped }
             }
             Statement::Negated(nq) => {
-                PreparedKind::Negated(Box::new(plan_negated(nq, schema, &self.config.planner)?))
+                PreparedKind::Negated(Box::new(plan_negated(nq, schema, &planner)?))
             }
         };
         Ok(Prepared {
@@ -434,6 +456,22 @@ impl Toorjah {
             executions: AtomicU64::new(0),
             cumulative_execute_ns: AtomicU64::new(0),
         })
+    }
+
+    /// The planner [`Toorjah::prepare`] actually uses: at
+    /// [`PruningLevel::Off`] the strong-arc machinery is disabled —
+    /// reproducing the [`toorjah_core::gfp_relevance_only`] ablation, so
+    /// `off` really means *no* relevance reasoning at any layer. Every
+    /// other level plans with the configured settings.
+    fn effective_planner(&self) -> Planner {
+        if self.config.exec.prune_level == PruningLevel::Off {
+            Planner {
+                strong_arcs: false,
+                ..self.config.planner
+            }
+        } else {
+            self.config.planner
+        }
     }
 
     /// One-shot convenience: parse → prepare → execute under the
@@ -533,8 +571,12 @@ impl Toorjah {
             dispatch.parallelism, dispatch.batch_size
         ));
         out.push_str(&format!(
+            "pruning level: {}\n",
+            self.config.exec.prune_level
+        ));
+        out.push_str(&format!(
             "runtime pruning: {}\n",
-            if self.config.exec.prune {
+            if self.config.exec.prune_level >= PruningLevel::Runtime {
                 "enabled"
             } else {
                 "disabled"
@@ -580,13 +622,14 @@ impl Toorjah {
             planned.optimized.weak_count(),
             planned.optimized.deleted_count(),
         ));
-        out.push_str("relevant sources (by position):\n");
+        out.push_str("relevant sources (by position, with adornment):\n");
         for cache in &planned.plan.caches {
             out.push_str(&format!(
-                "  {}. {} over {}\n",
+                "  {}. {} over {} [{}]\n",
                 cache.position,
                 cache.label,
                 schema.relation(cache.relation).name(),
+                cache.adornment,
             ));
         }
         out.push_str(&format!(

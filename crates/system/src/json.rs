@@ -14,13 +14,15 @@
 //!   "skipped_disjuncts": [],
 //!   "time_to_first_answer_us": null,
 //!   "profile": {
+//!     "prune_level": "static",
 //!     "accesses_performed": 2,
 //!     "accesses_served_by_cache": 0,
 //!     "total_accesses": 2,
 //!     "per_relation": {"r1": {"accesses": 1, "extracted": 1}},
 //!     "dispatch": {"frontiers": 2, "largest_frontier": 1,
 //!                  "batches": 2, "total_requested": 2,
-//!                  "accesses_pruned": 0, "pruned_per_frontier": [0, 0],
+//!                  "accesses_pruned": 0, "derivations_suppressed": 0,
+//!                  "pruned_per_frontier": [0, 0],
 //!                  "delta_schedule": [1, 1]},
 //!     "timings_us": {"parse": 10, "plan": 120, "execute": 80,
 //!                    "cumulative_execute": 80, "total": 210},
@@ -75,7 +77,9 @@ impl Response {
 
         let p = &self.profile;
         out.push_str(",\"profile\":{");
-        let _ = write!(out, "\"accesses_performed\":{}", p.accesses_performed);
+        out.push_str("\"prune_level\":");
+        push_str_json(&mut out, p.prune_level.name());
+        let _ = write!(out, ",\"accesses_performed\":{}", p.accesses_performed);
         let _ = write!(
             out,
             ",\"accesses_served_by_cache\":{}",
@@ -104,12 +108,14 @@ impl Response {
         let _ = write!(
             out,
             ",\"dispatch\":{{\"frontiers\":{},\"largest_frontier\":{},\
-             \"batches\":{},\"total_requested\":{},\"accesses_pruned\":{}",
+             \"batches\":{},\"total_requested\":{},\"accesses_pruned\":{},\
+             \"derivations_suppressed\":{}",
             p.dispatch.frontiers(),
             p.dispatch.largest_frontier(),
             p.dispatch.batches,
             p.dispatch.total_requested(),
             p.dispatch.accesses_pruned,
+            p.dispatch.derivations_suppressed,
         );
         out.push_str(",\"pruned_per_frontier\":[");
         for (i, pruned) in p.dispatch.pruned_per_frontier.iter().enumerate() {
@@ -219,8 +225,10 @@ mod tests {
         assert!(json.starts_with("{\"statement\":\"cq\""), "{json}");
         assert!(json.contains("\"mode\":\"sequential\""), "{json}");
         assert!(json.contains("\"answers\":[[\"c1\"]]"), "{json}");
+        assert!(json.contains("\"prune_level\":\"static\""), "{json}");
         assert!(json.contains("\"accesses_performed\":2"), "{json}");
         assert!(json.contains("\"accesses_pruned\":0"), "{json}");
+        assert!(json.contains("\"derivations_suppressed\":0"), "{json}");
         assert!(json.contains("\"pruned_per_frontier\":["), "{json}");
         // One delta entry per fixpoint step: positions with no caches flush
         // a bare 0, each populated cache contributes its dispatch step (1

@@ -1,0 +1,189 @@
+//! The bound-reachability workload: a transitive-closure program whose
+//! answer set is tiny compared to its full least fixpoint — the showcase
+//! for demand-driven (magic-sets) evaluation.
+//!
+//! The program is the *left-linear* transitive closure
+//!
+//! ```text
+//! path(X, Y) <- edge(X, Y)
+//! path(X, Z) <- path(X, Y), edge(Y, Z)
+//! ```
+//!
+//! over a backbone chain `n0 -> n1 -> ... -> n_len` plus, at every chain
+//! position `i >= 1`, `fan_out` feeder nodes with an edge *into* the chain
+//! (`f -> n_i`). A query bound on the first column — "all nodes reachable
+//! from `n0`" — has exactly `len` answers, but the full fixpoint also
+//! contains every suffix pair of the chain and every feeder's reach:
+//! `len·(len+1)/2 + fan_out·Σᵢ(len−i+1)` facts in total, all but `len` of
+//! them invisible to the query. Left-linearity is what keeps the rewrite
+//! profitable: the recursive rule passes the bound source through
+//! unchanged, so the magic set stays `{n0}` and demand-driven evaluation
+//! derives only the `len + 1` demanded facts instead of the full closure.
+//!
+//! The generator is fully deterministic (no seed needed): node identities
+//! are integers, with feeders numbered after the chain.
+
+use toorjah_catalog::{Tuple, Value};
+use toorjah_datalog::{DTerm, FactStore, Literal, PredId, Program, Rule};
+
+/// Shape of the bound-reachability workload.
+#[derive(Clone, Copy, Debug)]
+pub struct BoundConfig {
+    /// Number of edges in the backbone chain (`len + 1` nodes).
+    pub chain_len: usize,
+    /// Feeder nodes with an edge into the chain, per chain position
+    /// (positions `1..=chain_len`). Tunes the undemanded mass: every
+    /// feeder's whole reach is derived by full evaluation and skipped by
+    /// the demand-driven one.
+    pub fan_out: usize,
+}
+
+impl Default for BoundConfig {
+    /// The committed benchmark shape: chain-120 with 8 feeders per node.
+    fn default() -> Self {
+        BoundConfig {
+            chain_len: 120,
+            fan_out: 8,
+        }
+    }
+}
+
+impl BoundConfig {
+    /// Facts in the full least fixpoint of `path`.
+    pub fn full_facts(&self) -> usize {
+        let n = self.chain_len;
+        n * (n + 1) / 2 + self.fan_out * (1..=n).map(|i| n - i + 1).sum::<usize>()
+    }
+
+    /// Facts demanded by the query bound to the chain's source.
+    pub fn demanded_facts(&self) -> usize {
+        self.chain_len
+    }
+}
+
+/// A generated bound-reachability workload: the program, its extensional
+/// database, and the handles a caller needs to query it.
+#[derive(Clone, Debug)]
+pub struct BoundWorkload {
+    /// The left-linear transitive-closure program.
+    pub program: Program,
+    /// The edge facts (backbone chain plus feeders).
+    pub edb: FactStore,
+    /// The extensional `edge` predicate.
+    pub edge: PredId,
+    /// The intensional `path` predicate (the query target).
+    pub path: PredId,
+    /// The chain's source node, `n0`.
+    pub source: Value,
+}
+
+impl BoundWorkload {
+    /// Bindings for the bound query `path(n0, ?)` — the first column bound
+    /// to the source, the second free (adornment `bf`).
+    pub fn bound_bindings(&self) -> Vec<Option<Value>> {
+        vec![Some(self.source), None]
+    }
+}
+
+/// Builds the bound-reachability workload for `config`.
+pub fn bound_closure(config: &BoundConfig) -> BoundWorkload {
+    let mut program = Program::new();
+    let edge = program
+        .predicate("edge", 2)
+        .expect("fresh program accepts edge/2");
+    let path = program
+        .predicate("path", 2)
+        .expect("fresh program accepts path/2");
+    let v = DTerm::Var;
+    program
+        .add_rule(Rule::new(
+            Literal::new(path, vec![v(0), v(1)]),
+            vec![Literal::new(edge, vec![v(0), v(1)])],
+            vec!["X".into(), "Y".into()],
+        ))
+        .expect("base rule is range-restricted");
+    program
+        .add_rule(Rule::new(
+            Literal::new(path, vec![v(0), v(2)]),
+            vec![
+                Literal::new(path, vec![v(0), v(1)]),
+                Literal::new(edge, vec![v(1), v(2)]),
+            ],
+            vec!["X".into(), "Y".into(), "Z".into()],
+        ))
+        .expect("left-linear step is range-restricted");
+
+    let mut edb = FactStore::new();
+    let node = |i: usize| Value::int(i as i64);
+    for i in 0..config.chain_len {
+        edb.insert(edge, Tuple::new(vec![node(i), node(i + 1)]));
+    }
+    // Feeders are numbered after the chain's `chain_len + 1` nodes.
+    let mut next = config.chain_len + 1;
+    for i in 1..=config.chain_len {
+        for _ in 0..config.fan_out {
+            edb.insert(edge, Tuple::new(vec![node(next), node(i)]));
+            next += 1;
+        }
+    }
+
+    BoundWorkload {
+        program,
+        edb,
+        edge,
+        path,
+        source: Value::int(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use toorjah_datalog::{evaluate, evaluate_demand};
+
+    #[test]
+    fn fixpoint_and_demand_counts_match_the_formulas() {
+        let config = BoundConfig {
+            chain_len: 10,
+            fan_out: 3,
+        };
+        let w = bound_closure(&config);
+        let (full, _) = evaluate(&w.program, &w.edb);
+        assert_eq!(full.len(w.path), config.full_facts());
+
+        let (demand, stats) =
+            evaluate_demand(&w.program, &w.edb, w.path, &w.bound_bindings()).unwrap();
+        assert_eq!(demand.len(w.path), config.demanded_facts());
+        assert!(stats.magic_facts >= 1, "{stats:?}");
+        assert!(demand.len(w.path) < full.len(w.path));
+    }
+
+    #[test]
+    fn demanded_answers_equal_the_filtered_fixpoint() {
+        let w = bound_closure(&BoundConfig {
+            chain_len: 7,
+            fan_out: 2,
+        });
+        let (full, _) = evaluate(&w.program, &w.edb);
+        let mut filtered: Vec<Tuple> = full
+            .tuples(w.path)
+            .iter()
+            .filter(|t| t.values()[0] == w.source)
+            .cloned()
+            .collect();
+        filtered.sort();
+        let (demand, _) = evaluate_demand(&w.program, &w.edb, w.path, &w.bound_bindings()).unwrap();
+        let mut demanded = demand.tuples(w.path).to_vec();
+        demanded.sort();
+        assert_eq!(demanded, filtered);
+    }
+
+    #[test]
+    fn default_shape_is_the_committed_benchmark() {
+        let config = BoundConfig::default();
+        assert_eq!(config.chain_len, 120);
+        assert_eq!(config.demanded_facts(), 120);
+        // 120·121/2 + 8·(120 + 119 + … + 1) = 7260 + 58080.
+        assert_eq!(config.full_facts(), 65_340);
+    }
+}

@@ -18,9 +18,13 @@
 //! `--parallelism <n>` fans each round's access frontier out over `n`
 //! worker threads; `--batch-size <n>` groups up to `n` accesses per source
 //! round trip. Answers and access counts are invariant in both — only
-//! wall-clock changes. `--prune` enables the evaluation kernel's runtime
-//! access-relevance pruning (answers invariant, `accesses_performed`
-//! drops); `--first-k <n>` stops as soon as `n` answers are certain.
+//! wall-clock changes. `--prune-level <off|static|runtime|magic>` selects
+//! the pruning tier (answers invariant at every level): `off` disables
+//! the planner's static strong-arc pruning, `static` is the default,
+//! `runtime` adds the kernel's access-relevance pruner, `magic` adds
+//! demand-driven derivation suppression on top. `--prune` is a deprecated
+//! alias for `--prune-level runtime`. `--first-k <n>` stops as soon as
+//! `n` answers are certain.
 //! `--json` emits the full `Response` (answers plus the
 //! `ExecutionProfile`: access stats, cache attribution, dispatch account
 //! incl. pruned-access counters, phase timings) as one JSON object on
@@ -67,7 +71,8 @@ use toorjah::server::{Server, Service, ServiceConfig};
 use toorjah::system::Toorjah;
 
 const USAGE: &str = "usage: toorjah <source-file> [--parallelism <n>] [--batch-size <n>] \
-                     [--prune] [--first-k <n>] [--json] [--trace[=<path>]] [--metrics] \
+                     [--prune-level <off|static|runtime|magic>] [--first-k <n>] [--json] \
+                     [--trace[=<path>]] [--metrics] \
                      [--query <q> | --explain <q> | --naive <q>]\n\
                      \x20      toorjah serve <source-file> [--addr <host:port>] \
                      [--port-file <path>] [--budget <n>] [--max-inflight <n>] \
@@ -89,7 +94,8 @@ fn main() -> ExitCode {
         eprintln!(
             "--parallelism <n>  fan each access frontier out over n worker threads\n\
              --batch-size <n>   group up to n accesses per source round trip\n\
-             --prune            drop accesses that provably cannot reach the query head\n\
+             --prune-level <l>  pruning tier: off | static (default) | runtime | magic\n\
+             --prune            deprecated alias for --prune-level runtime\n\
              --first-k <n>      stop as soon as n answers are certain\n\
              --json             emit the full response (answers + execution profile) as JSON\n\
              --trace[=<path>]   export per-access trace events as JSON lines (stderr, or <path>)\n\
@@ -123,7 +129,7 @@ fn main() -> ExitCode {
     let mut mode: Option<(String, String)> = None;
     let mut dispatch = DispatchOptions::default();
     let mut json = false;
-    let mut prune = false;
+    let mut prune_level = toorjah::engine::PruningLevel::default();
     let mut first_k = None;
     // None = tracing off; Some(None) = stderr; Some(Some(path)) = file.
     let mut trace: Option<Option<String>> = None;
@@ -138,7 +144,21 @@ fn main() -> ExitCode {
                 mode = Some((flag, q));
             }
             "--json" => json = true,
-            "--prune" => prune = true,
+            "--prune" => prune_level = toorjah::engine::PruningLevel::Runtime,
+            "--prune-level" => {
+                let level = args.next().map(|v| v.parse());
+                match level {
+                    Some(Ok(level)) => prune_level = level,
+                    Some(Err(e)) => {
+                        eprintln!("{e}");
+                        return ExitCode::from(2);
+                    }
+                    None => {
+                        eprintln!("--prune-level needs an argument (off|static|runtime|magic)");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             "--metrics" => show_metrics = true,
             "--trace" => trace = Some(None),
             other if other.starts_with("--trace=") => {
@@ -166,7 +186,7 @@ fn main() -> ExitCode {
     }
     let mut builder = Toorjah::builder(provider.clone())
         .dispatch(dispatch)
-        .pruning(prune);
+        .prune_level(prune_level);
     if let Some(k) = first_k {
         builder = builder.first_k(k);
     }

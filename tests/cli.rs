@@ -79,6 +79,7 @@ fn explain_shows_the_program() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("datalog program"), "{stdout}");
     assert!(stdout.contains("r1_hat1"), "{stdout}");
+    assert!(stdout.contains("pruning level: static"), "{stdout}");
 }
 
 #[test]
@@ -151,11 +152,13 @@ fn json_output_has_the_response_shape() {
         "\"answer_count\":1",
         "\"rejected\":0",
         "\"skipped_disjuncts\":[]",
+        "\"prune_level\":\"static\"",
         "\"accesses_performed\":",
         "\"accesses_served_by_cache\":",
         "\"per_relation\":",
         "\"dispatch\":",
         "\"accesses_pruned\":",
+        "\"derivations_suppressed\":",
         "\"pruned_per_frontier\":[",
         "\"timings_us\":",
         "\"parse\":",
@@ -276,6 +279,120 @@ fn prune_and_first_k_flags() {
         .output()
         .expect("binary runs");
     assert!(!out.status.success());
+}
+
+#[test]
+fn prune_level_flag() {
+    let file = sample_file();
+    // Every tier answers the query identically; the JSON reports the level.
+    for level in ["off", "static", "runtime", "magic"] {
+        let out = Command::new(BIN)
+            .arg(file.path())
+            .args([
+                "--prune-level",
+                level,
+                "--json",
+                "--query",
+                "q(N) <- r1(A, N, Y1), r2('volare', Y2, A)",
+            ])
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("\"answers\":[[\"italy\"]]"), "{stdout}");
+        assert!(
+            stdout.contains(&format!("\"prune_level\":\"{level}\"")),
+            "{level}: {stdout}"
+        );
+    }
+    // A negated statement at magic falls back to runtime, visibly.
+    let out = Command::new(BIN)
+        .arg(file.path())
+        .args([
+            "--prune-level",
+            "magic",
+            "--json",
+            "--query",
+            "q(A) <- r3(A, B), !r1(A, 'italy', 1928)",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"answers\":[[\"mina\"]]"), "{stdout}");
+    assert!(stdout.contains("\"prune_level\":\"runtime\""), "{stdout}");
+    // An unknown level fails cleanly.
+    let out = Command::new(BIN)
+        .arg(file.path())
+        .args(["--prune-level", "bogus"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown pruning level 'bogus'"), "{stderr}");
+    // A missing argument fails cleanly too.
+    let out = Command::new(BIN)
+        .arg(file.path())
+        .args(["--prune-level"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+}
+
+/// The magic tier's trace events surface end-to-end: a conjunctive query
+/// emits `demand_seeded`, a negated statement emits `rewrite_fallback`.
+#[test]
+fn magic_tier_trace_events() {
+    let file = sample_file();
+    let trace_path = std::env::temp_dir().join(format!(
+        "toorjah-cli-magic-trace-{}.jsonl",
+        std::process::id()
+    ));
+    let out = Command::new(BIN)
+        .arg(file.path())
+        .arg(format!("--trace={}", trace_path.display()))
+        .args([
+            "--prune-level",
+            "magic",
+            "--query",
+            "q(N) <- r1(A, N, Y1), r2('volare', Y2, A)",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&trace_path).expect("trace file written");
+    assert!(text.contains("\"event\":\"demand_seeded\""), "{text}");
+
+    let out = Command::new(BIN)
+        .arg(file.path())
+        .arg(format!("--trace={}", trace_path.display()))
+        .args([
+            "--prune-level",
+            "magic",
+            "--query",
+            "q(A) <- r3(A, B), !r1(A, 'italy', 1928)",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&trace_path).expect("trace file written");
+    let _ = std::fs::remove_file(&trace_path);
+    assert!(
+        text.contains("\"event\":\"rewrite_fallback\"") && text.contains("\"level\":\"runtime\""),
+        "{text}"
+    );
 }
 
 /// First number following `key` inside `s`.

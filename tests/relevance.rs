@@ -13,15 +13,20 @@
 //!    unnecessary.
 
 use toorjah::cache::SharedAccessCache;
-use toorjah::engine::{DispatchOptions, InstanceSource};
+use toorjah::engine::{DispatchOptions, InstanceSource, PruningLevel};
 use toorjah::system::{ExecMode, Response, Toorjah};
 use toorjah::workload::{sparse_instance, sparse_query, sparse_schema, SparseConfig};
 
 fn sparse_system(prune: bool) -> Toorjah {
     let schema = sparse_schema();
     let db = sparse_instance(&schema, &SparseConfig::default());
+    let level = if prune {
+        PruningLevel::Runtime
+    } else {
+        PruningLevel::Static
+    };
     Toorjah::builder(InstanceSource::new(schema, db))
-        .pruning(prune)
+        .prune_level(level)
         .build()
 }
 
@@ -141,7 +146,7 @@ fn pruned_accesses_never_reach_the_session_cache() {
     let cache = SharedAccessCache::unbounded();
     let system = Toorjah::builder(InstanceSource::new(schema.clone(), db.clone()))
         .cache(cache.clone())
-        .pruning(true)
+        .prune_level(PruningLevel::Runtime)
         .build();
     let response = system.ask(sparse_query()).unwrap();
     assert!(response.profile.dispatch.accesses_pruned > 0);

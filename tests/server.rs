@@ -201,18 +201,28 @@ fn over_admission_rejects_with_retry_after() {
     let server = std::thread::spawn(move || server.run().expect("server run"));
 
     let statement = "q(N) <- r1('a0', N, Y)";
+    // Whichever tenant is admitted first holds the slot for the whole
+    // 30ms-per-access cold execution; the other must be rejected with the
+    // configured hint. Admission order is a genuine race (either side can
+    // win under scheduler load), so the holder retries rejections until it
+    // succeeds and reports the first one it saw.
     let slow_holder = {
         let statement = statement.to_string();
-        std::thread::spawn(move || {
+        std::thread::spawn(move || -> Option<String> {
             let mut client = WireClient::connect(addr, "holder").expect("connect");
-            let reply = client.ask(&statement).expect("round trip");
-            assert!(reply_ok(&reply), "{reply}");
+            let mut first_rejection = None;
+            loop {
+                let reply = client.ask(&statement).expect("round trip");
+                if reply_ok(&reply) {
+                    return first_rejection;
+                }
+                first_rejection.get_or_insert(reply);
+                std::thread::sleep(Duration::from_millis(2));
+            }
         })
     };
-    // While the holder's 30ms-per-access execution occupies the only slot,
-    // a second tenant must be rejected with the configured hint. The
-    // holder's start is asynchronous, so allow a few attempts to land one
-    // inside its execution window.
+    // The holder's start is asynchronous, so allow a few attempts to land
+    // one inside its execution window.
     let mut client = WireClient::connect(addr, "pushy").expect("connect");
     let mut rejected = None;
     for _ in 0..50 {
@@ -223,7 +233,10 @@ fn over_admission_rejects_with_retry_after() {
         }
         std::thread::sleep(Duration::from_millis(1));
     }
-    let rejected = rejected.expect("a single-slot daemon under load must reject");
+    let holder_rejection = slow_holder.join().expect("holder");
+    let rejected = rejected
+        .or(holder_rejection)
+        .expect("a single-slot daemon under load must reject");
     assert_eq!(
         reply_error_code(&rejected),
         Some("admission_rejected"),
@@ -234,8 +247,6 @@ fn over_admission_rejects_with_retry_after() {
         Some(10),
         "{rejected}"
     );
-    slow_holder.join().expect("holder");
-
     // After the slot frees, the same tenant's retry succeeds.
     let reply = client.ask(statement).expect("round trip");
     assert!(

@@ -21,7 +21,7 @@ use std::sync::Arc;
 use proptest::prelude::*;
 use toorjah::catalog::AccessKey;
 use toorjah::core::{plan_query, CoreError};
-use toorjah::engine::{DispatchOptions, FlakySource, InstanceSource};
+use toorjah::engine::{DispatchOptions, FlakySource, InstanceSource, PruningLevel};
 use toorjah::obs::{EventKind, Obs, RingBufferSink, TraceEvent};
 use toorjah::system::{Response, Toorjah};
 use toorjah::workload::random::seeded_rng;
@@ -137,18 +137,26 @@ fn check_scenario(seed: u64) -> bool {
         .ask_query(&query)
         .expect("answerable query executes on small workloads");
 
-    for (context, prune, dispatch) in [
-        ("sequential", false, DispatchOptions::default()),
-        ("sequential+prune", true, DispatchOptions::default()),
+    for (context, level, dispatch) in [
+        (
+            "sequential",
+            PruningLevel::Static,
+            DispatchOptions::default(),
+        ),
+        (
+            "sequential+prune",
+            PruningLevel::Runtime,
+            DispatchOptions::default(),
+        ),
         (
             "parallel",
-            false,
+            PruningLevel::Static,
             DispatchOptions::parallel(4).with_batch_size(2),
         ),
     ] {
         let sink = Arc::new(RingBufferSink::new(1 << 16));
         let system = Toorjah::builder(provider.clone())
-            .pruning(prune)
+            .prune_level(level)
             .dispatch(dispatch)
             .trace_sink(sink.clone())
             .build();
@@ -170,7 +178,7 @@ fn check_scenario(seed: u64) -> bool {
             sorted_answers, sorted_reference,
             "tracing changed the answers ({context}, seed {seed})"
         );
-        if !prune {
+        if level < PruningLevel::Runtime {
             assert_eq!(
                 response.profile.accesses_performed + response.profile.accesses_served_by_cache,
                 reference.profile.accesses_performed + reference.profile.accesses_served_by_cache,
